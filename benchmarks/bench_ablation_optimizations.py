@@ -1,0 +1,144 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Three questions, answered with the simulated cost model on a mid-size
+configuration:
+
+1. **Section-5 local thresholding** — how many first-batch insertions (and
+   how much simulated time) does the local-threshold policy save when the
+   first mini-batch is much larger than ``k``?
+2. **Local reservoir backend** — B+ tree (paper) vs. plain sorted array:
+   identical samples, different constant factors.
+3. **Number of selection pivots** — selection depth and simulated selection
+   time for d in {1, 2, 4, 8, 16} (the paper settles on d = 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_configuration
+from repro.core import DistributedReservoirSampler
+from repro.network import SimComm
+from repro.runtime import MachineSpec
+from repro.selection import PivotSelection
+from repro.stream import MiniBatchStream
+
+from harness import scaling_config, write_result
+
+
+def machine_for(scale: str) -> MachineSpec:
+    return scaling_config(scale).machine_spec()
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_local_thresholding(benchmark, scale):
+    """First-batch local thresholding (Section 5) on vs. off."""
+    p, k, first_batch = 8, 50, 20_000
+    machine = machine_for(scale)
+
+    def run(local_thresholding: bool):
+        comm = SimComm(p, cost=machine.comm)
+        sampler = DistributedReservoirSampler(
+            k, comm, machine=machine, seed=3, local_thresholding=local_thresholding
+        )
+        stream = MiniBatchStream(p, first_batch, seed=4)
+        metrics = sampler.process_round(stream.next_round().batches)
+        return metrics, sampler
+
+    (with_policy, sampler_a) = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    without_policy, sampler_b = run(False)
+
+    rows = [
+        ["enabled", with_policy.max_insertions, with_policy.total_insertions,
+         with_policy.phase_total("insert") * 1e6, sampler_a.sample_size()],
+        ["disabled", without_policy.max_insertions, without_policy.total_insertions,
+         without_policy.phase_total("insert") * 1e6, sampler_b.sample_size()],
+    ]
+    write_result(
+        "ablation_local_thresholding.txt",
+        f"Section-5 local thresholding, first batch of {first_batch} items/PE, k = {k}\n"
+        + format_table(
+            ["policy", "max insert/PE", "total inserts", "insert time (us)", "sample size"], rows
+        ),
+    )
+    # both give a correct sample, the policy saves insertions and time
+    assert sampler_a.sample_size() == sampler_b.sample_size() == k
+    assert with_policy.total_insertions < without_policy.total_insertions
+    assert with_policy.phase_total("insert") <= without_policy.phase_total("insert") * 1.05
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_reservoir_backend(benchmark, scale):
+    """B+ tree vs. sorted-array local reservoirs (wall clock + same sample)."""
+    p, k, batch, rounds = 8, 500, 2_000, 5
+
+    def run(backend: str):
+        comm = SimComm(p)
+        sampler = DistributedReservoirSampler(k, comm, seed=5, backend=backend)
+        stream = MiniBatchStream(p, batch, seed=6)
+        for _ in range(rounds):
+            sampler.process_round(stream.next_round().batches)
+        return sampler
+
+    import time
+
+    samplers = {}
+    wall = {}
+    for backend in ("btree", "sorted_array"):
+        start = time.perf_counter()
+        samplers[backend] = run(backend)
+        wall[backend] = time.perf_counter() - start
+    benchmark.pedantic(run, args=("btree",), rounds=1, iterations=1)
+
+    rows = [[backend, wall[backend] * 1e3, samplers[backend].sample_size()] for backend in samplers]
+    write_result(
+        "ablation_reservoir_backend.txt",
+        f"Local reservoir backend, p = {p}, k = {k}, {rounds} rounds of {batch} items/PE\n"
+        + format_table(["backend", "wall clock (ms)", "sample size"], rows),
+    )
+    # identical random streams => identical samples regardless of backend
+    a = sorted(samplers["btree"].sample_ids().tolist())
+    b = sorted(samplers["sorted_array"].sample_ids().tolist())
+    assert a == b
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_pivot_count(benchmark, scale):
+    """Selection depth / simulated selection time as a function of d."""
+    machine = machine_for(scale)
+    p, k, batch, rounds = 64, 2_000, 1_000, 4
+    pivot_counts = [1, 2, 4, 8, 16]
+
+    def run_with_pivots(d: int):
+        return run_configuration(
+            "ours" if d == 1 else f"ours-{d}",
+            p=p,
+            k=k,
+            batch_per_pe=batch,
+            rounds=rounds,
+            warmup_rounds=1,
+            prewarm_items=50 * p * batch,
+            machine=machine,
+            seed=11,
+        )
+
+    results = {}
+    for d in pivot_counts:
+        results[d] = run_with_pivots(d)
+    benchmark.pedantic(run_with_pivots, args=(8,), rounds=1, iterations=1)
+
+    rows = [
+        [d, results[d].mean_selection_depth(), results[d].selection_time() * 1e6,
+         results[d].simulated_time * 1e3]
+        for d in pivot_counts
+    ]
+    write_result(
+        "ablation_pivot_count.txt",
+        f"Selection pivots d, p = {p}, k = {k}, steady state\n"
+        + format_table(["pivots d", "mean depth", "select time (us)", "total time (ms)"], rows),
+    )
+    # more pivots => no deeper recursions; 8 pivots clearly beat 1
+    assert results[8].mean_selection_depth() < results[1].mean_selection_depth()
+    assert results[16].mean_selection_depth() <= results[1].mean_selection_depth()

@@ -1,0 +1,68 @@
+"""Figure 4 — strong scaling speedups.
+
+Paper setup: total batch sizes B1 = 2^10*1e4, B2 = 2^10*1e5, B3 = 2^10*1e6
+items per round (divided evenly over the PEs), sample sizes k in
+{1e3, 1e4, 1e5}; speedups relative to ``ours`` on one node.
+
+Expected qualitative shape (checked by assertions):
+* speedups rise steeply — super-linearly for the smaller total batches —
+  once the per-PE batch drops below the modelled cache capacity;
+* after the cache transition the curves flatten as the selection latency
+  (O(log^2 kp) messages) starts to dominate;
+* ``gather`` stops scaling for the largest sample size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series_table
+
+from harness import strong_scaling_result, write_result
+
+
+@pytest.mark.benchmark(group="fig4-strong-scaling")
+def test_fig4_strong_scaling(benchmark, scale, config):
+    result = benchmark.pedantic(strong_scaling_result, args=(scale,), rounds=1, iterations=1)
+
+    sections = []
+    for total in config.strong_total_batches:
+        series = {}
+        for k in config.sample_sizes:
+            for algorithm in config.algorithms:
+                series[f"{algorithm} k={k}"] = result.speedups(algorithm, k, total)
+        table = format_series_table(series, x_label="nodes")
+        sections.append(f"Strong scaling, total batch B = {total} items per round\n{table}")
+    write_result("fig4_strong_scaling.txt", "\n\n".join(sections))
+
+
+    if scale == "smoke":
+        # The smoke sweep is too small for the paper's crossovers (gather is
+        # legitimately competitive for tiny sample sizes); the qualitative
+        # shape checks below are only meaningful at default/full scale.
+        return
+
+    # ---- qualitative shape checks -------------------------------------
+    nodes = sorted(config.node_counts)
+    nodes_max = nodes[-1]
+    k_small, k_large = min(config.sample_sizes), max(config.sample_sizes)
+    total_mid = sorted(config.strong_total_batches)[len(config.strong_total_batches) // 2]
+
+    # cache transition: somewhere along the sweep the speedup jump between
+    # consecutive node counts exceeds the PE-count ratio (super-linear step)
+    ours = result.speedups("ours", k_small, total_mid)
+    jumps = [ours[b] / ours[a] for a, b in zip(nodes, nodes[1:])]
+    ratios = [b / a for a, b in zip(nodes, nodes[1:])]
+    assert any(jump > ratio for jump, ratio in zip(jumps, ratios)), (jumps, ratios)
+
+    # gather stops scaling for the largest k while ours keeps going
+    total_large = max(config.strong_total_batches)
+    gather_large = result.speedups("gather", k_large, total_large)
+    ours8_large = result.speedups("ours-8", k_large, total_large)
+    assert ours8_large[nodes_max] > 1.5 * gather_large[nodes_max]
+
+    # speedups grow with node count for our algorithm in every configuration
+    for k in config.sample_sizes:
+        for total in config.strong_total_batches:
+            series = result.speedups("ours", k, total)
+            assert series[nodes_max] > series[nodes[0]]

@@ -1,0 +1,109 @@
+"""Figure 6 — composition of the running time (insert / select / threshold / gather).
+
+Paper setup: for the largest sample size, compare ``ours-8`` and ``gather``
+per node count, each bar split into the time spent processing the local
+input (insert), establishing the new threshold (select), publishing it
+(threshold) and — for the centralized algorithm — gathering the candidates
+(gather).  Each pair of bars is normalised to the slower of the two
+algorithms.  Four panels: strong scaling with B2 and B3, weak scaling with
+b2 and b3.
+
+Expected qualitative shape (checked by assertions):
+* for our algorithm the fraction spent on selection grows with the node
+  count while the insert fraction shrinks;
+* for the centralized algorithm the select + gather share grows and its
+  total time exceeds ours at scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.runtime.metrics import PHASES
+
+from harness import strong_scaling_result, weak_scaling_result, write_result
+
+ALGORITHMS = ("ours-8", "gather")
+
+
+def composition_rows(result, config, k, size, algorithms=ALGORITHMS):
+    """Figure-6 style rows: per node count, per algorithm, the phase shares
+    of the *slower* algorithm's total time (so rows are comparable pairs)."""
+    rows = []
+    for nodes in sorted(config.node_counts):
+        totals = {}
+        phase_times = {}
+        for algorithm in algorithms:
+            metrics = result.get(algorithm, k, size, nodes)
+            phase_times[algorithm] = metrics.phase_times()
+            totals[algorithm] = metrics.simulated_time
+        slower = max(totals.values())
+        for algorithm in algorithms:
+            shares = {
+                phase: phase_times[algorithm].get(phase).total / slower
+                if phase in phase_times[algorithm]
+                else 0.0
+                for phase in PHASES
+            }
+            rows.append(
+                [nodes, algorithm]
+                + [shares[phase] for phase in PHASES]
+                + [totals[algorithm] / slower]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6-composition")
+def test_fig6_running_time_composition(benchmark, scale, config):
+    strong = benchmark.pedantic(strong_scaling_result, args=(scale,), rounds=1, iterations=1)
+    weak = weak_scaling_result(scale)
+
+    k = max(config.sample_sizes)
+    headers = ["nodes", "algorithm"] + list(PHASES) + ["total (rel.)"]
+    sections = []
+
+    strong_sizes = sorted(config.strong_total_batches)[-2:]
+    for size in strong_sizes:
+        rows = composition_rows(strong, config, k, size)
+        sections.append(
+            f"Strong scaling, total batch B = {size}, k = {k} "
+            f"(fractions of the slower algorithm's time)\n"
+            + format_table(headers, rows, precision=3)
+        )
+    weak_sizes = sorted(config.weak_batch_sizes)[-2:]
+    for size in weak_sizes:
+        rows = composition_rows(weak, config, k, size)
+        sections.append(
+            f"Weak scaling, per-PE batch b = {size}, k = {k} "
+            f"(fractions of the slower algorithm's time)\n"
+            + format_table(headers, rows, precision=3)
+        )
+    write_result("fig6_time_composition.txt", "\n\n".join(sections))
+
+
+    if scale == "smoke":
+        # The smoke sweep is too small for the paper's crossovers (gather is
+        # legitimately competitive for tiny sample sizes); the qualitative
+        # shape checks below are only meaningful at default/full scale.
+        return
+
+    # ---- qualitative shape checks -------------------------------------
+    nodes = sorted(config.node_counts)
+    first, last = nodes[0], nodes[-1]
+    size = max(config.strong_total_batches)
+
+    ours_first = strong.get("ours-8", k, size, first).phase_fractions()
+    ours_last = strong.get("ours-8", k, size, last).phase_fractions()
+    # selection's share of our running time grows with the machine size
+    assert ours_last.get("select", 0.0) > ours_first.get("select", 0.0)
+    # the insert share shrinks correspondingly
+    assert ours_last.get("insert", 1.0) < ours_first.get("insert", 1.0)
+
+    gather_last = strong.get("gather", k, size, last)
+    ours_last_total = strong.get("ours-8", k, size, last).simulated_time
+    # at scale, the centralized algorithm is the slower of the two
+    assert gather_last.simulated_time > ours_last_total
+    # and its select + gather phases dominate its own running time
+    fractions = gather_last.phase_fractions()
+    assert fractions.get("select", 0.0) + fractions.get("gather", 0.0) > 0.5

@@ -1,0 +1,150 @@
+"""Wall-clock micro-benchmarks of the Python kernels (pytest-benchmark).
+
+Unlike the figure benchmarks — which report *simulated* times under the
+paper's machine model — these measure the real wall-clock performance of
+the building blocks of this implementation: key generation, the
+exponential-jumps batch kernel, reservoir insertion (B+ tree vs. sorted
+array), distributed selection and a full mini-batch round of the simulator.
+They are the numbers to look at when judging how fast the simulation itself
+runs, and they back the Section 5 / 6.2 implementation discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.btree import BPlusTree
+from repro.core import DistributedReservoirSampler, keys as keymod
+from repro.core.local_reservoir import LocalReservoir
+from repro.network import SimComm
+from repro.selection import ArrayKeySet, MultiPivotSelection, SinglePivotSelection
+from repro.stream import MiniBatchStream
+from repro.utils import spawn_generators
+
+RNG = np.random.default_rng(12345)
+BATCH = 50_000
+RESERVOIR = 10_000
+
+
+@pytest.mark.benchmark(group="kernels-keys")
+def test_exponential_key_generation(benchmark):
+    weights = RNG.uniform(0.1, 100.0, size=BATCH)
+    rng = np.random.default_rng(0)
+    result = benchmark(keymod.exponential_keys, weights, rng)
+    assert result.shape == (BATCH,)
+
+
+@pytest.mark.benchmark(group="kernels-keys")
+def test_weighted_jump_kernel_steady_state(benchmark):
+    """The per-batch skip traversal once n >> k (few insertions)."""
+    weights = RNG.uniform(0.1, 100.0, size=BATCH)
+    threshold = 1e-6  # deep in the stream: almost nothing is accepted
+    rng = np.random.default_rng(1)
+    idx, keys = benchmark(keymod.weighted_jump_positions, weights, threshold, rng)
+    assert len(idx) == len(keys)
+
+
+@pytest.mark.benchmark(group="kernels-keys")
+def test_uniform_jump_kernel_steady_state(benchmark):
+    rng = np.random.default_rng(2)
+    idx, keys = benchmark(keymod.uniform_jump_positions, BATCH, 0.001, rng)
+    assert len(idx) == len(keys)
+
+
+@pytest.mark.benchmark(group="kernels-reservoir")
+def test_btree_insert_throughput(benchmark):
+    keys = RNG.random(RESERVOIR)
+
+    def build():
+        tree = BPlusTree(order=16)
+        for i, key in enumerate(keys):
+            tree.insert(float(key), i)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == RESERVOIR
+
+
+@pytest.mark.benchmark(group="kernels-reservoir")
+def test_sorted_array_bulk_insert_throughput(benchmark):
+    keys = RNG.random(RESERVOIR)
+    ids = np.arange(RESERVOIR)
+
+    def build():
+        reservoir = LocalReservoir(backend="sorted_array")
+        for start in range(0, RESERVOIR, 500):
+            reservoir.insert_many(keys[start : start + 500], ids[start : start + 500])
+        return reservoir
+
+    reservoir = benchmark(build)
+    assert len(reservoir) == RESERVOIR
+
+
+@pytest.mark.benchmark(group="kernels-reservoir")
+def test_btree_rank_select_queries(benchmark):
+    tree = BPlusTree(order=16)
+    keys = RNG.random(RESERVOIR)
+    for i, key in enumerate(keys):
+        tree.insert(float(key), i)
+    queries = RNG.random(1000)
+
+    def run_queries():
+        total = 0
+        for q in queries:
+            total += tree.count_le(float(q))
+            tree.select(total % RESERVOIR)
+        return total
+
+    assert benchmark(run_queries) > 0
+
+
+@pytest.mark.benchmark(group="kernels-reservoir")
+def test_btree_truncate_after_batch(benchmark):
+    keys = np.sort(RNG.random(RESERVOIR))
+
+    def build_and_truncate():
+        tree = BPlusTree.from_sorted_items([(float(k), i) for i, k in enumerate(keys)], order=16)
+        tree.truncate_to_rank(RESERVOIR // 2)
+        return tree
+
+    tree = benchmark(build_and_truncate)
+    assert len(tree) == RESERVOIR // 2
+
+
+@pytest.mark.benchmark(group="kernels-selection")
+@pytest.mark.parametrize("pivots", [1, 8], ids=["single-pivot", "eight-pivots"])
+def test_distributed_selection_wall_clock(benchmark, pivots):
+    p, per_pe, k = 64, 500, 8_000
+    arrays = [RNG.random(per_pe) for _ in range(p)]
+    keyset = ArrayKeySet(arrays)
+    algorithm = SinglePivotSelection() if pivots == 1 else MultiPivotSelection(pivots)
+    truth = np.sort(np.concatenate(arrays))[k - 1]
+
+    def select():
+        comm = SimComm(p)
+        return algorithm.select(keyset, k, comm, spawn_generators(3, p))
+
+    result = benchmark(select)
+    assert result.key == pytest.approx(truth)
+
+
+@pytest.mark.benchmark(group="kernels-round")
+@pytest.mark.parametrize("algorithm", ["ours", "ours-8", "gather"])
+def test_full_round_wall_clock(benchmark, algorithm):
+    """Wall-clock cost of simulating one steady-state mini-batch round."""
+    from repro.core import make_distributed_sampler
+
+    p, k, batch = 32, 1_000, 2_000
+    comm = SimComm(p)
+    sampler = make_distributed_sampler(algorithm, k, comm, seed=7)
+    stream = MiniBatchStream(p, batch, seed=8)
+    # warm up into the steady state
+    for _ in range(3):
+        sampler.process_round(stream.next_round().batches)
+
+    def one_round():
+        return sampler.process_round(stream.next_round().batches)
+
+    metrics = benchmark(one_round)
+    assert metrics.batch_items == p * batch

@@ -1,0 +1,79 @@
+"""Section 6.3 — selection recursion depth and selection-time improvements.
+
+The paper quotes, for the weak-scaling experiments, the average recursion
+depth of the distributed selection with one pivot vs. eight pivots and the
+resulting selection-time improvement:
+
+=========  ==============  ==============  =======================
+sample k   depth (1 pivot) depth (8 pivots) selection time saving
+=========  ==============  ==============  =======================
+1e5        7.3             2.7             up to 25 %
+1e4        4.3             1.8             about 17 %
+1e3        1.9             1.1             no significant change
+=========  ==============  ==============  =======================
+
+This benchmark reproduces the same table from the scaled weak-scaling sweep
+(largest node count, largest per-PE batch size) and checks the qualitative
+claims: the depth reduction is large (>= 1.5x) for the larger sample sizes
+and the single-pivot depth grows with k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+from harness import weak_scaling_result, write_result
+
+
+@pytest.mark.benchmark(group="table-recursion-depth")
+def test_recursion_depth_and_selection_time(benchmark, scale, config):
+    result = benchmark.pedantic(weak_scaling_result, args=(scale,), rounds=1, iterations=1)
+
+    nodes = max(config.node_counts)
+    batch = max(config.weak_batch_sizes)
+    rows = []
+    for k in sorted(config.sample_sizes, reverse=True):
+        depth_single = result.selection_depth("ours", k, batch, nodes)
+        depth_multi = result.selection_depth("ours-8", k, batch, nodes)
+        time_single = result.selection_time("ours", k, batch, nodes)
+        time_multi = result.selection_time("ours-8", k, batch, nodes)
+        saving = 1.0 - time_multi / time_single if time_single > 0 else 0.0
+        rows.append(
+            [
+                k,
+                depth_single,
+                depth_multi,
+                depth_single / depth_multi if depth_multi else float("inf"),
+                saving * 100.0,
+            ]
+        )
+    table = format_table(
+        ["k", "depth ours", "depth ours-8", "depth ratio", "selection time saving %"],
+        rows,
+        precision=2,
+    )
+    write_result(
+        "table_recursion_depth.txt",
+        f"Selection recursion depth, weak scaling, {nodes} nodes, b = {batch}\n{table}",
+    )
+
+    if scale == "smoke":
+        # With the tiny smoke sample sizes, selections often terminate before
+        # the first pivot round, so depth comparisons are meaningless there.
+        return
+
+    # ---- qualitative checks against the paper's Section 6.3 -----------
+    depths = {k: (result.selection_depth("ours", k, batch, nodes),
+                  result.selection_depth("ours-8", k, batch, nodes))
+              for k in config.sample_sizes}
+    k_sorted = sorted(config.sample_sizes)
+    # single-pivot depth grows with the sample size
+    assert depths[k_sorted[-1]][0] > depths[k_sorted[0]][0]
+    # eight pivots reduce the depth substantially for the largest k
+    single, multi = depths[k_sorted[-1]]
+    assert single / max(multi, 1e-9) >= 1.5
+    # and never increase it
+    for k in k_sorted:
+        assert depths[k][1] <= depths[k][0] + 1e-9

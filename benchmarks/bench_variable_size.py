@@ -1,0 +1,90 @@
+"""Section 4.4 — reservoir sampling with a variable reservoir size.
+
+Compares, in the steady state, the fixed-size sampler (selection every
+round, exact rank) against the variable-size sampler (selection only when
+the sample outgrows ``k_hi``, banded amsSelect): number of selections,
+selection recursion depth, simulated selection time and total time.
+
+Expected shape (Corollary 5): the variable-size sampler runs far fewer
+selections and each of them converges in (expected) constantly many rounds,
+so its selection time is a small fraction of the fixed-size sampler's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import DistributedReservoirSampler, VariableSizeReservoirSampler
+from repro.network import SimComm
+from repro.selection import AmsSelection, MultiPivotSelection
+from repro.stream import MiniBatchStream
+
+from harness import scaling_config, write_result
+
+
+@pytest.mark.benchmark(group="variable-size")
+def test_variable_size_vs_fixed(benchmark, scale):
+    config = scaling_config(scale)
+    machine = config.machine_spec()
+    p, k, batch, rounds = 32, 500, 400, 30
+
+    def run_fixed():
+        comm = SimComm(p, cost=machine.comm)
+        sampler = DistributedReservoirSampler(
+            k, comm, machine=machine, selection=MultiPivotSelection(8), seed=21
+        )
+        stream = MiniBatchStream(p, batch, seed=22)
+        metrics = []
+        for _ in range(rounds):
+            metrics.append(sampler.process_round(stream.next_round().batches))
+        return sampler, metrics
+
+    def run_variable():
+        comm = SimComm(p, cost=machine.comm)
+        sampler = VariableSizeReservoirSampler(
+            k, 2 * k, comm, machine=machine, selection=AmsSelection(2), seed=21
+        )
+        stream = MiniBatchStream(p, batch, seed=22)
+        metrics = []
+        for _ in range(rounds):
+            metrics.append(sampler.process_round(stream.next_round().batches))
+        return sampler, metrics
+
+    fixed_sampler, fixed_metrics = benchmark.pedantic(run_fixed, rounds=1, iterations=1)
+    variable_sampler, variable_metrics = run_variable()
+
+    def summarise(metrics_list):
+        selections = sum(1 for m in metrics_list if m.selection_ran)
+        depth = np.mean(
+            [m.selection_stats.recursion_depth for m in metrics_list if m.selection_ran]
+        ) if selections else 0.0
+        select_time = sum(m.phase_total("select") for m in metrics_list)
+        total_time = sum(m.simulated_time for m in metrics_list)
+        return selections, float(depth), select_time, total_time
+
+    fixed_summary = summarise(fixed_metrics)
+    variable_summary = summarise(variable_metrics)
+    rows = [
+        ["fixed k", *fixed_summary[:2], fixed_summary[2] * 1e6, fixed_summary[3] * 1e6,
+         fixed_sampler.sample_size()],
+        ["variable k..2k", *variable_summary[:2], variable_summary[2] * 1e6,
+         variable_summary[3] * 1e6, variable_sampler.sample_size()],
+    ]
+    write_result(
+        "variable_size.txt",
+        f"Variable reservoir size, p = {p}, k = {k}, {rounds} rounds of {batch} items/PE\n"
+        + format_table(
+            ["sampler", "selections", "mean depth", "select time (us)", "total time (us)", "sample size"],
+            rows,
+        ),
+    )
+
+    # the variable-size sampler selects far less often ...
+    assert variable_summary[0] < fixed_summary[0] / 2
+    # ... spends less simulated time on selection overall ...
+    assert variable_summary[2] < fixed_summary[2]
+    # ... and still maintains a sample inside the band
+    assert k <= variable_sampler.sample_size() <= 2 * k
+    assert fixed_sampler.sample_size() == k

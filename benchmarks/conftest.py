@@ -1,0 +1,19 @@
+"""Pytest fixtures of the benchmark harness (see harness.py for the helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import bench_scale, scaling_config
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Sweep size selected through the REPRO_BENCH_SCALE environment variable."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def config(scale):
+    """The :class:`repro.analysis.ScalingConfig` of the selected scale."""
+    return scaling_config(scale)

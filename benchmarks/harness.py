@@ -1,0 +1,85 @@
+"""Shared helpers of the benchmark harness (sweep caching, result files).
+
+Every benchmark module reproduces one table or figure of the paper's
+evaluation (see EXPERIMENTS.md for the index).  Because several figures are
+derived from the same scaling sweeps, the sweeps are executed once per
+session and cached here.
+
+Scale selection
+---------------
+The environment variable ``REPRO_BENCH_SCALE`` chooses the sweep size:
+
+* ``smoke``   — a sanity run that finishes in well under a minute,
+* ``default`` — the scaled-down reproduction described in EXPERIMENTS.md
+  (the default; a few minutes for the full benchmark suite),
+* ``full``    — the paper's original parameters (hours; provided for
+  completeness).
+
+Output
+------
+Each figure benchmark writes the series it reproduces as a plain-text table
+to ``benchmarks/results/<figure>.txt`` (and prints it), so the numbers are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    ScalingConfig,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = [
+    "RESULTS_DIR",
+    "bench_scale",
+    "scaling_config",
+    "weak_scaling_result",
+    "strong_scaling_result",
+    "write_result",
+]
+
+
+def bench_scale() -> str:
+    """The sweep size selected through ``REPRO_BENCH_SCALE``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if scale not in ("smoke", "default", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke/default/full, got {scale!r}")
+    return scale
+
+
+def scaling_config(scale: str) -> ScalingConfig:
+    """The sweep parameters for a given scale name."""
+    if scale == "smoke":
+        return ScalingConfig.smoke()
+    if scale == "full":
+        return ScalingConfig.paper_full()
+    return ScalingConfig.scaled_default()
+
+
+@functools.lru_cache(maxsize=None)
+def weak_scaling_result(scale: str) -> ExperimentResult:
+    """The Figure-3 sweep (cached across benchmark modules)."""
+    return run_weak_scaling(scaling_config(scale))
+
+
+@functools.lru_cache(maxsize=None)
+def strong_scaling_result(scale: str) -> ExperimentResult:
+    """The Figure-4/5 sweep (cached across benchmark modules)."""
+    return run_strong_scaling(scaling_config(scale))
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under ``benchmarks/results/`` and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}\n")
+    return path

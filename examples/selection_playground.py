@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Comparing the distributed selection algorithms (paper Section 3.3).
+
+The threshold re-establishment of Algorithm 1 is "just" a distributed
+selection: find the key with global rank ``k`` over the union of the local
+reservoirs.  The paper discusses several algorithms for this step; this
+example runs all of them on the same distributed key set and reports
+
+* recursion depth (the quantity behind the paper's Section 6.3 numbers),
+* number of collective operations,
+* simulated communication time under the alpha/beta model, and
+* the number of keys that had to be moved to a single PE (the reason the
+  centralized approaches stop scaling).
+
+Run with::
+
+    python examples/selection_playground.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SimComm
+from repro.analysis import format_table
+from repro.selection import (
+    AmsSelection,
+    ArrayKeySet,
+    MultiPivotSelection,
+    SampledSelection,
+    SinglePivotSelection,
+    UnsortedSelection,
+)
+from repro.utils import spawn_generators
+
+P = 256          # simulated PEs
+PER_PE = 2_000   # candidate keys per PE
+K = 50_000       # rank to select
+REPETITIONS = 5
+
+
+def main() -> None:
+    print("=" * 72)
+    print(f"Distributed selection of rank k={K:,} over {P} PEs x {PER_PE:,} keys")
+    print("=" * 72)
+
+    algorithms = {
+        "single pivot (3.3.3)": SinglePivotSelection(),
+        "8 pivots (3.3.2+3.3.3)": MultiPivotSelection(8),
+        "amsSelect band k..1.5k (3.3.2)": AmsSelection(2),
+        "sampled two-pivot (3.3.1)": SampledSelection(),
+        "unsorted fallback (3.3.4)": UnsortedSelection(),
+    }
+
+    rows = []
+    rng = np.random.default_rng(0)
+    for label, algorithm in algorithms.items():
+        depths, collectives, comm_times, gathered = [], [], [], []
+        for rep in range(REPETITIONS):
+            arrays = [rng.random(PER_PE) for _ in range(P)]
+            keyset = ArrayKeySet(arrays, assume_sorted=False)
+            comm = SimComm(P)
+            rngs = spawn_generators(rep, P)
+            if isinstance(algorithm, AmsSelection):
+                result = algorithm.select_range(keyset, K, int(1.5 * K), comm, rngs)
+            else:
+                result = algorithm.select(keyset, K, comm, rngs)
+            # verify against ground truth
+            truth = np.sort(np.concatenate(arrays))[K - 1]
+            rank = int(np.searchsorted(np.sort(np.concatenate(arrays)), result.key, side="right"))
+            assert (abs(result.key - truth) < 1e-12) or (K <= rank <= int(1.5 * K)), label
+            depths.append(result.stats.recursion_depth)
+            collectives.append(result.stats.collective_calls)
+            comm_times.append(comm.ledger.total_time)
+            gathered.append(result.stats.final_gather_items)
+        rows.append(
+            [
+                label,
+                float(np.mean(depths)),
+                float(np.mean(collectives)),
+                float(np.mean(comm_times) * 1e6),
+                float(np.mean(gathered)),
+            ]
+        )
+
+    print(
+        format_table(
+            ["algorithm", "mean depth", "collectives", "comm time (us)", "keys gathered"],
+            rows,
+            precision=2,
+        )
+    )
+    print()
+    print("Takeaways (matching the paper):")
+    print(" * multiple pivots cut the recursion depth roughly in half or better;")
+    print(" * the banded amsSelect needs only a couple of rounds;")
+    print(" * the sampled/unsorted variants trade recursion depth for moving more keys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The environment this reproduction targets has no network access and an older
+setuptools without the ``wheel`` package, so PEP 517 editable builds are not
+available; this classic ``setup.py`` keeps ``pip install -e .`` working there.
+Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

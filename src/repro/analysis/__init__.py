@@ -1,0 +1,52 @@
+"""Analysis helpers: statistical validation, scaling experiments, tables.
+
+* :mod:`~repro.analysis.statistics` — correctness evidence: empirical
+  inclusion frequencies, chi-square and total-variation comparisons against
+  reference samplers.
+* :mod:`~repro.analysis.scaling` — speedup/throughput series computed from
+  :class:`~repro.runtime.metrics.RunMetrics`.
+* :mod:`~repro.analysis.experiments` — the parameterised weak/strong scaling
+  and time-composition experiments behind the Figure 3-6 benchmarks.
+* :mod:`~repro.analysis.tables` — plain-text table rendering used by the
+  benchmark harness to print paper-style rows.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    ScalingConfig,
+    run_configuration,
+    run_strong_scaling,
+    run_time_composition,
+    run_weak_scaling,
+)
+from repro.analysis.scaling import ScalingSeries, speedup_series, throughput_series
+from repro.analysis.statistics import (
+    chi_square_statistic,
+    empirical_inclusion_frequencies,
+    inclusion_counts,
+    single_draw_reference_probabilities,
+    total_variation_distance,
+    weighted_inclusion_reference,
+)
+from repro.analysis.tables import format_fraction_table, format_series_table, format_table
+
+__all__ = [
+    "ScalingConfig",
+    "ExperimentResult",
+    "run_configuration",
+    "run_weak_scaling",
+    "run_strong_scaling",
+    "run_time_composition",
+    "ScalingSeries",
+    "speedup_series",
+    "throughput_series",
+    "inclusion_counts",
+    "empirical_inclusion_frequencies",
+    "weighted_inclusion_reference",
+    "single_draw_reference_probabilities",
+    "chi_square_statistic",
+    "total_variation_distance",
+    "format_table",
+    "format_series_table",
+    "format_fraction_table",
+]

@@ -1,0 +1,76 @@
+"""Speedup and throughput series derived from run metrics.
+
+The paper reports *relative speedups*: the time per processed item of a
+configuration relative to the reference algorithm ("ours" with single-pivot
+selection, same sample size) on one node.  Because different configurations
+process different numbers of rounds/items, speedups are computed from the
+per-item simulated times rather than the raw run times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.runtime.metrics import RunMetrics
+
+__all__ = ["ScalingSeries", "speedup_series", "throughput_series"]
+
+
+@dataclass
+class ScalingSeries:
+    """One line of a scaling plot: a metric per node count."""
+
+    algorithm: str
+    k: int
+    node_counts: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, nodes: int, value: float) -> None:
+        self.node_counts.append(int(nodes))
+        self.values.append(float(value))
+
+    def as_dict(self) -> Dict[int, float]:
+        return dict(zip(self.node_counts, self.values))
+
+    def value_at(self, nodes: int) -> Optional[float]:
+        for n, v in zip(self.node_counts, self.values):
+            if n == nodes:
+                return v
+        return None
+
+
+def _time_per_item(metrics: RunMetrics) -> float:
+    items = metrics.total_items
+    if items <= 0:
+        raise ValueError("run processed no items; cannot compute per-item time")
+    return metrics.simulated_time / items
+
+
+def speedup_series(
+    runs: Dict[int, RunMetrics], baseline: RunMetrics, *, algorithm: str = "", k: int = 0
+) -> ScalingSeries:
+    """Relative speedups of ``runs`` (keyed by node count) vs ``baseline``.
+
+    The speedup of a run on ``x`` nodes is
+    ``time_per_item(baseline) / time_per_item(run)``: how many times more
+    items per unit time the whole machine processes compared to the
+    baseline configuration (the reference algorithm on one node).
+    """
+    base = _time_per_item(baseline)
+    series = ScalingSeries(algorithm=algorithm, k=k)
+    for nodes in sorted(runs):
+        series.add(nodes, base / _time_per_item(runs[nodes]))
+    return series
+
+
+def throughput_series(
+    runs: Dict[int, RunMetrics], *, per_pe: bool = True, algorithm: str = "", k: int = 0
+) -> ScalingSeries:
+    """Throughput (items/s, per PE by default) per node count (Figure 5)."""
+    series = ScalingSeries(algorithm=algorithm, k=k)
+    for nodes in sorted(runs):
+        metrics = runs[nodes]
+        value = metrics.throughput_per_pe() if per_pe else metrics.throughput_total()
+        series.add(nodes, value)
+    return series

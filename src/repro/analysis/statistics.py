@@ -1,0 +1,129 @@
+"""Statistical validation of the samplers.
+
+Weighted sampling *without replacement* has no simple closed-form inclusion
+probability for general ``k``, so the tests validate the samplers in three
+complementary ways:
+
+1. **Exact single-draw check** (``k = 1``): the inclusion probability of item
+   ``i`` is exactly ``w_i / W``.
+2. **Reference comparison**: the empirical inclusion frequencies of the
+   sampler under test are compared (chi-square / total-variation distance)
+   against those of the *dense* reference sampler
+   (:func:`repro.core.sequential.dense_weighted_sample`), whose correctness
+   follows directly from the sampling-by-sorting construction.
+3. **Uniform check**: for unweighted sampling the inclusion probability is
+   exactly ``k / n`` for every item.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sequential import dense_weighted_sample
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_positive_int, check_weights
+
+__all__ = [
+    "inclusion_counts",
+    "empirical_inclusion_frequencies",
+    "single_draw_reference_probabilities",
+    "weighted_inclusion_reference",
+    "chi_square_statistic",
+    "total_variation_distance",
+]
+
+
+def inclusion_counts(samples: Iterable[np.ndarray], n_items: int) -> np.ndarray:
+    """How often each of ``0..n_items-1`` appeared across the given samples."""
+    counts = np.zeros(n_items, dtype=np.int64)
+    for sample in samples:
+        sample = np.asarray(sample, dtype=np.int64)
+        if sample.size == 0:
+            continue
+        if sample.min() < 0 or sample.max() >= n_items:
+            raise ValueError("sample contains ids outside 0..n_items-1")
+        counts += np.bincount(sample, minlength=n_items)
+    return counts
+
+
+def empirical_inclusion_frequencies(samples: Iterable[np.ndarray], n_items: int) -> np.ndarray:
+    """Per-item inclusion frequencies over a collection of samples."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError("at least one sample is required")
+    return inclusion_counts(samples, n_items) / float(len(samples))
+
+
+def single_draw_reference_probabilities(weights: Sequence[float]) -> np.ndarray:
+    """Exact inclusion probabilities for a weighted sample of size 1."""
+    weights = check_weights(np.asarray(weights, dtype=np.float64))
+    return weights / weights.sum()
+
+
+def weighted_inclusion_reference(
+    weights: Sequence[float], k: int, trials: int, rng=None
+) -> np.ndarray:
+    """Monte-Carlo inclusion frequencies of the dense reference sampler.
+
+    The dense sampler (generate a key per item, keep the ``k`` smallest) is
+    correct by construction; its empirical frequencies serve as the
+    reference distribution for the samplers under test.
+    """
+    weights = check_weights(np.asarray(weights, dtype=np.float64))
+    check_positive_int(k, "k")
+    check_positive_int(trials, "trials")
+    rng = ensure_generator(rng)
+    n = weights.shape[0]
+    ids = np.arange(n, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    for _ in range(trials):
+        sample = dense_weighted_sample(ids, weights, k, rng)
+        counts += np.bincount(sample, minlength=n)
+    return counts / float(trials)
+
+
+def chi_square_statistic(
+    observed_counts: np.ndarray, expected_probabilities: np.ndarray, trials: int
+) -> Tuple[float, int]:
+    """Pearson chi-square statistic of per-item inclusion counts.
+
+    ``observed_counts[i]`` is how often item ``i`` was included over
+    ``trials`` independent samples; ``expected_probabilities[i]`` its
+    expected inclusion probability.  Returns ``(statistic, degrees of
+    freedom)``; the caller compares against a chi-square quantile (the tests
+    use ``scipy.stats`` for that).
+
+    Items are treated as independent Bernoulli counts, which is a standard
+    (slightly conservative) approximation for inclusion frequencies of
+    samples without replacement.
+    """
+    observed = np.asarray(observed_counts, dtype=np.float64)
+    expected_probabilities = np.asarray(expected_probabilities, dtype=np.float64)
+    if observed.shape != expected_probabilities.shape:
+        raise ValueError("observed and expected arrays must have equal shape")
+    trials = check_positive_int(trials, "trials")
+    expected = expected_probabilities * trials
+    # Guard against zero-expectation cells (items that can never be sampled).
+    mask = expected > 0
+    statistic = float(np.sum((observed[mask] - expected[mask]) ** 2 / expected[mask]))
+    dof = int(mask.sum()) - 1
+    return statistic, max(dof, 1)
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two (sub-)probability vectors.
+
+    Both arguments are normalised to sum to one before comparison, so
+    inclusion-frequency vectors (which sum to ``k``) can be passed directly.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have equal shape")
+    ps = p.sum()
+    qs = q.sum()
+    if ps <= 0 or qs <= 0:
+        raise ValueError("distributions must have positive mass")
+    return 0.5 * float(np.abs(p / ps - q / qs).sum())

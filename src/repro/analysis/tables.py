@@ -1,0 +1,76 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark modules print, for every figure of the paper, the same series
+the figure plots (speedups per node count, throughput per PE, phase
+fractions).  These helpers render them as aligned ASCII tables so the
+benchmark output is self-contained and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series_table", "format_fraction_table"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, precision: int = 2
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [[_format_cell(c, precision) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series_by_label: Mapping[str, Mapping[int, float]],
+    *,
+    x_label: str = "nodes",
+    precision: int = 2,
+) -> str:
+    """Render several series (label -> {x -> value}) against a shared x axis."""
+    xs = sorted({x for series in series_by_label.values() for x in series})
+    headers = [x_label] + list(series_by_label.keys())
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for label in series_by_label:
+            value = series_by_label[label].get(x)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, precision=precision)
+
+
+def format_fraction_table(
+    fractions_by_config: Mapping[str, Mapping[str, float]],
+    *,
+    phases: Sequence[str] = ("insert", "select", "threshold", "gather"),
+    precision: int = 3,
+) -> str:
+    """Render per-configuration phase fractions (Figure 6 style)."""
+    headers = ["configuration"] + list(phases)
+    rows = []
+    for config, fracs in fractions_by_config.items():
+        rows.append([config] + [fracs.get(phase, 0.0) for phase in phases])
+    return format_table(headers, rows, precision=precision)

@@ -1,0 +1,13 @@
+"""B+ tree substrate (paper Section 3.2).
+
+The local reservoirs of the distributed sampler are maintained as augmented
+B+ trees: search trees whose leaves hold the (key, item) pairs and whose
+inner nodes store separator keys plus subtree sizes, so that ``rank`` and
+``select`` queries run in logarithmic time.  Leaves are linked, which gives
+ordered iteration and next/previous access in constant time per step.
+"""
+
+from repro.btree.bplustree import BPlusTree
+from repro.btree.node import InnerNode, LeafNode
+
+__all__ = ["BPlusTree", "InnerNode", "LeafNode"]

@@ -1,0 +1,760 @@
+"""An augmented B+ tree with rank/select and suffix-split support.
+
+This is the search-tree substrate of the paper (Section 3.2): the local
+reservoirs of the distributed sampler are kept in B+ trees so that
+
+* inserting a new candidate item costs ``O(log n)``,
+* ``rank`` (how many stored keys are below a value) and ``select`` (the item
+  with the r-th smallest key) queries cost ``O(log n)``, which is what the
+  distributed selection algorithms of Section 3.3 need, and
+* pruning all items whose keys exceed the new global threshold
+  (``splitAt`` in Algorithm 1) walks only the right spine of the tree.
+
+Keys are floats (the exponential/uniform variates associated with the
+items); values are opaque payloads, typically integer item identifiers.
+Duplicate keys are allowed and handled consistently by all queries.
+
+Notes on fidelity
+-----------------
+``insert``, ``erase``, ``rank``, ``select`` and ``truncate_to_rank`` follow
+the standard logarithmic B+-tree algorithms.  ``split_at_rank`` (which also
+*returns* the removed suffix) and ``join`` materialise the affected items
+and bulk-load them, i.e. they are linear in the size of the moved part
+rather than logarithmic as in the TLX-based C++ implementation used by the
+paper; the simulated cost model nevertheless charges the paper's
+logarithmic bound.  Algorithm 1 itself only ever needs the suffix *discard*
+(:meth:`truncate_to_rank`), which is implemented with the efficient
+spine-cut algorithm.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.btree.node import InnerNode, LeafNode
+
+__all__ = ["BPlusTree"]
+
+
+class BPlusTree:
+    """Augmented B+ tree mapping float keys to arbitrary payloads.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children of an inner node; leaves hold at most
+        ``order`` items.  Must be at least 4.  Every node except the root is
+        kept at least half full.
+    """
+
+    DEFAULT_ORDER = 16
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 4:
+            raise ValueError(f"order must be at least 4, got {order}")
+        self._order = int(order)
+        self._leaf_capacity = int(order)
+        self._min_leaf = (self._leaf_capacity + 1) // 2
+        self._min_children = (self._order + 1) // 2
+        self._root: Optional[object] = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Maximum fan-out of the tree's nodes."""
+        return self._order
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def height(self) -> int:
+        """Number of levels of the tree (0 for an empty tree)."""
+        h = 0
+        node = self._root
+        while node is not None:
+            h += 1
+            if node.is_leaf:
+                break
+            node = node.children[0]
+        return h
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted_items(
+        cls, items: Sequence[Tuple[float, object]], order: int = DEFAULT_ORDER
+    ) -> "BPlusTree":
+        """Bulk-load a tree from items already sorted by key."""
+        tree = cls(order=order)
+        tree._bulk_load(list(items))
+        return tree
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[Tuple[float, object]], order: int = DEFAULT_ORDER
+    ) -> "BPlusTree":
+        """Build a tree from an arbitrary iterable of (key, value) pairs."""
+        pairs = sorted(items, key=lambda kv: kv[0])
+        return cls.from_sorted_items(pairs, order=order)
+
+    def _bulk_load(self, pairs: List[Tuple[float, object]]) -> None:
+        """Replace the contents of the tree with ``pairs`` (sorted by key)."""
+        self._root = None
+        self._size = 0
+        if not pairs:
+            return
+        for i in range(1, len(pairs)):
+            if pairs[i - 1][0] > pairs[i][0]:
+                raise ValueError("bulk load requires items sorted by key")
+        # Build leaves with a fill factor that keeps every leaf legal.
+        fill = max(self._min_leaf, (self._leaf_capacity * 3) // 4)
+        n = len(pairs)
+        leaves: List[LeafNode] = []
+        start = 0
+        while start < n:
+            remaining = n - start
+            if remaining <= self._leaf_capacity:
+                end = n
+            else:
+                end = start + fill
+                # Avoid creating a final underfull leaf.
+                if n - end < self._min_leaf:
+                    end = n - self._min_leaf
+            leaf = LeafNode()
+            leaf.keys = [kv[0] for kv in pairs[start:end]]
+            leaf.values = [kv[1] for kv in pairs[start:end]]
+            leaves.append(leaf)
+            start = end
+        for left, right in zip(leaves, leaves[1:]):
+            left.next = right
+            right.prev = left
+        # Build inner levels bottom-up.
+        level: List[object] = list(leaves)
+        while len(level) > 1:
+            fanout = max(self._min_children, (self._order * 3) // 4)
+            parents: List[InnerNode] = []
+            start = 0
+            while start < len(level):
+                remaining = len(level) - start
+                if remaining <= self._order:
+                    end = len(level)
+                else:
+                    end = start + fanout
+                    if len(level) - end < self._min_children:
+                        end = len(level) - self._min_children
+                parent = InnerNode()
+                parent.children = level[start:end]
+                parent.separators = [child.max_key for child in parent.children]
+                parent.counts = [child.size for child in parent.children]
+                parents.append(parent)
+                start = end
+            level = parents
+        self._root = level[0]
+        self._size = n
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def min_item(self) -> Tuple[float, object]:
+        """Return the (key, value) pair with the smallest key."""
+        if self._size == 0:
+            raise IndexError("min_item of empty tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def max_item(self) -> Tuple[float, object]:
+        """Return the (key, value) pair with the largest key."""
+        if self._size == 0:
+            raise IndexError("max_item of empty tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def min_key(self) -> float:
+        return self.min_item()[0]
+
+    def max_key(self) -> float:
+        return self.max_item()[0]
+
+    def select(self, rank: int) -> Tuple[float, object]:
+        """Return the item with the ``rank``-th smallest key (0-indexed)."""
+        if rank < 0 or rank >= self._size:
+            raise IndexError(f"rank {rank} out of range for tree of size {self._size}")
+        node = self._root
+        r = int(rank)
+        while not node.is_leaf:
+            for i, cnt in enumerate(node.counts):
+                if r < cnt:
+                    node = node.children[i]
+                    break
+                r -= cnt
+            else:  # pragma: no cover - defensive, counts are kept in sync
+                raise RuntimeError("subtree counts out of sync")
+        return node.keys[r], node.values[r]
+
+    def count_less(self, key: float) -> int:
+        """Number of stored items with key strictly smaller than ``key``."""
+        node = self._root
+        if node is None:
+            return 0
+        total = 0
+        while not node.is_leaf:
+            descend = None
+            for i, sep in enumerate(node.separators):
+                if sep < key:
+                    total += node.counts[i]
+                else:
+                    descend = node.children[i]
+                    break
+            if descend is None:
+                return total
+            node = descend
+        return total + bisect_left(node.keys, key)
+
+    def count_le(self, key: float) -> int:
+        """Number of stored items with key smaller than or equal to ``key``."""
+        node = self._root
+        if node is None:
+            return 0
+        total = 0
+        while not node.is_leaf:
+            descend = None
+            for i, sep in enumerate(node.separators):
+                if sep <= key:
+                    total += node.counts[i]
+                else:
+                    descend = node.children[i]
+                    break
+            if descend is None:
+                return total
+            node = descend
+        return total + bisect_right(node.keys, key)
+
+    def rank_of_key(self, key: float) -> int:
+        """Alias for :meth:`count_less` (the rank a new ``key`` would get)."""
+        return self.count_less(key)
+
+    def __contains__(self, key: float) -> bool:
+        return self.count_le(key) > self.count_less(key)
+
+    def get(self, key: float, default: object = None) -> object:
+        """Return the payload of the first item with exactly this key."""
+        rank = self.count_less(key)
+        if rank >= self._size:
+            return default
+        found_key, value = self.select(rank)
+        return value if found_key == key else default
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def _first_leaf(self) -> Optional[LeafNode]:
+        node = self._root
+        if node is None:
+            return None
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def _last_leaf(self) -> Optional[LeafNode]:
+        node = self._root
+        if node is None:
+            return None
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """Iterate over all (key, value) pairs in increasing key order."""
+        leaf = self._first_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def keys(self) -> Iterator[float]:
+        """Iterate over all keys in increasing order."""
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[object]:
+        """Iterate over all payloads in increasing key order."""
+        for _, value in self.items():
+            yield value
+
+    def keys_array(self) -> np.ndarray:
+        """All keys as a sorted ``float64`` numpy array."""
+        return np.fromiter(self.keys(), dtype=np.float64, count=self._size)
+
+    def items_in_rank_range(self, lo: int, hi: int) -> List[Tuple[float, object]]:
+        """Items with ranks in ``[lo, hi)`` in increasing key order."""
+        lo = max(0, int(lo))
+        hi = min(self._size, int(hi))
+        if lo >= hi:
+            return []
+        out: List[Tuple[float, object]] = []
+        # Walk to the leaf containing rank ``lo``, then follow leaf links.
+        node = self._root
+        r = lo
+        while not node.is_leaf:
+            for i, cnt in enumerate(node.counts):
+                if r < cnt:
+                    node = node.children[i]
+                    break
+                r -= cnt
+        remaining = hi - lo
+        leaf: Optional[LeafNode] = node
+        idx = r
+        while leaf is not None and remaining > 0:
+            take = min(remaining, len(leaf.keys) - idx)
+            out.extend(zip(leaf.keys[idx : idx + take], leaf.values[idx : idx + take]))
+            remaining -= take
+            leaf = leaf.next
+            idx = 0
+        return out
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value: object) -> None:
+        """Insert an item; duplicate keys are permitted."""
+        key = float(key)
+        if self._root is None:
+            leaf = LeafNode()
+            leaf.keys.append(key)
+            leaf.values.append(value)
+            self._root = leaf
+            self._size = 1
+            return
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            new_root = InnerNode()
+            new_root.children = [self._root, split]
+            new_root.separators = [self._root.max_key, split.max_key]
+            new_root.counts = [self._root.size, split.size]
+            self._root = new_root
+        self._size += 1
+
+    def update(self, pairs: Iterable[Tuple[float, object]]) -> None:
+        """Insert every (key, value) pair from ``pairs``."""
+        for key, value in pairs:
+            self.insert(key, value)
+
+    def _insert(self, node: object, key: float, value: object) -> Optional[object]:
+        if node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) > self._leaf_capacity:
+                return self._split_leaf(node)
+            return None
+        i = node.child_index_for_key(key)
+        split = self._insert(node.children[i], key, value)
+        node.refresh_child(i)
+        if split is not None:
+            node.children.insert(i + 1, split)
+            node.separators.insert(i + 1, split.max_key)
+            node.counts.insert(i + 1, split.size)
+            node.refresh_child(i)
+            if len(node.children) > self._order:
+                return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, leaf: LeafNode) -> LeafNode:
+        mid = len(leaf.keys) // 2
+        right = LeafNode()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        del leaf.keys[mid:]
+        del leaf.values[mid:]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        return right
+
+    def _split_inner(self, node: InnerNode) -> InnerNode:
+        mid = len(node.children) // 2
+        right = InnerNode()
+        right.children = node.children[mid:]
+        right.separators = node.separators[mid:]
+        right.counts = node.counts[mid:]
+        del node.children[mid:]
+        del node.separators[mid:]
+        del node.counts[mid:]
+        return right
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def erase_at(self, rank: int) -> Tuple[float, object]:
+        """Remove and return the item with the ``rank``-th smallest key."""
+        if rank < 0 or rank >= self._size:
+            raise IndexError(f"rank {rank} out of range for tree of size {self._size}")
+        result = self._erase_at(self._root, int(rank))
+        self._size -= 1
+        self._collapse_root()
+        return result
+
+    def erase(self, key: float) -> object:
+        """Remove the first item whose key equals ``key`` and return its payload."""
+        rank = self.count_less(key)
+        if rank >= self._size:
+            raise KeyError(key)
+        found_key, _ = self.select(rank)
+        if found_key != key:
+            raise KeyError(key)
+        _, value = self.erase_at(rank)
+        return value
+
+    def pop_max(self) -> Tuple[float, object]:
+        """Remove and return the item with the largest key."""
+        if self._size == 0:
+            raise IndexError("pop_max of empty tree")
+        return self.erase_at(self._size - 1)
+
+    def pop_min(self) -> Tuple[float, object]:
+        """Remove and return the item with the smallest key."""
+        if self._size == 0:
+            raise IndexError("pop_min of empty tree")
+        return self.erase_at(0)
+
+    def _erase_at(self, node: object, rank: int) -> Tuple[float, object]:
+        if node.is_leaf:
+            key = node.keys.pop(rank)
+            value = node.values.pop(rank)
+            return key, value
+        i = 0
+        while rank >= node.counts[i]:
+            rank -= node.counts[i]
+            i += 1
+        result = self._erase_at(node.children[i], rank)
+        node.refresh_child(i) if node.children[i].size > 0 else None
+        self._fix_child(node, i)
+        return result
+
+    def _collapse_root(self) -> None:
+        while self._root is not None and not self._root.is_leaf:
+            if len(self._root.children) == 1:
+                self._root = self._root.children[0]
+            else:
+                break
+        if self._size == 0:
+            self._root = None
+
+    # -- rebalancing helpers ---------------------------------------------
+    def _node_units(self, node: object) -> int:
+        return len(node.keys) if node.is_leaf else len(node.children)
+
+    def _min_units(self, node: object) -> int:
+        return self._min_leaf if node.is_leaf else self._min_children
+
+    def _capacity_units(self, node: object) -> int:
+        return self._leaf_capacity if node.is_leaf else self._order
+
+    def _remove_child(self, parent: InnerNode, index: int) -> None:
+        child = parent.children[index]
+        if child.is_leaf:
+            if child.prev is not None:
+                child.prev.next = child.next
+            if child.next is not None:
+                child.next.prev = child.prev
+        del parent.children[index]
+        del parent.separators[index]
+        del parent.counts[index]
+
+    def _fix_child(self, parent: InnerNode, index: int) -> None:
+        """Restore the minimum-fill invariant of ``parent.children[index]``.
+
+        The child may be empty or arbitrarily underfull (this happens after
+        a suffix cut); elements are borrowed from a sibling or the child is
+        merged into one.  ``parent`` counts/separators are refreshed.
+        """
+        child = parent.children[index]
+        if self._node_units(child) == 0:
+            if len(parent.children) > 1:
+                self._remove_child(parent, index)
+            else:
+                parent.counts[index] = 0
+            return
+        parent.refresh_child(index)
+        if self._node_units(child) >= self._min_units(child):
+            return
+        if len(parent.children) == 1:
+            return  # nothing to rebalance against; root collapse handles it
+        # Prefer the left sibling, fall back to the right one.
+        if index > 0:
+            sib_index = index - 1
+        else:
+            sib_index = index + 1
+        sibling = parent.children[sib_index]
+        combined = self._node_units(child) + self._node_units(sibling)
+        if combined <= self._capacity_units(child):
+            self._merge_children(parent, min(index, sib_index))
+        else:
+            self._borrow(parent, index, sib_index)
+
+    def _merge_children(self, parent: InnerNode, left_index: int) -> None:
+        """Merge ``children[left_index + 1]`` into ``children[left_index]``."""
+        left = parent.children[left_index]
+        right = parent.children[left_index + 1]
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+            if right.next is not None:
+                right.next.prev = left
+        else:
+            left.children.extend(right.children)
+            left.separators.extend(right.separators)
+            left.counts.extend(right.counts)
+        del parent.children[left_index + 1]
+        del parent.separators[left_index + 1]
+        del parent.counts[left_index + 1]
+        parent.refresh_child(left_index)
+
+    def _borrow(self, parent: InnerNode, index: int, sib_index: int) -> None:
+        """Move units from the sibling until the child reaches minimum fill."""
+        child = parent.children[index]
+        sibling = parent.children[sib_index]
+        need = self._min_units(child) - self._node_units(child)
+        if need <= 0:
+            return
+        # Never let the sibling drop below its own minimum.
+        spare = self._node_units(sibling) - self._min_units(sibling)
+        move = min(need, max(spare, 0))
+        if move <= 0:
+            return
+        if sib_index < index:
+            # take the largest elements of the left sibling
+            if child.is_leaf:
+                child.keys[:0] = sibling.keys[-move:]
+                child.values[:0] = sibling.values[-move:]
+                del sibling.keys[-move:]
+                del sibling.values[-move:]
+            else:
+                child.children[:0] = sibling.children[-move:]
+                child.separators[:0] = sibling.separators[-move:]
+                child.counts[:0] = sibling.counts[-move:]
+                del sibling.children[-move:]
+                del sibling.separators[-move:]
+                del sibling.counts[-move:]
+        else:
+            # take the smallest elements of the right sibling
+            if child.is_leaf:
+                child.keys.extend(sibling.keys[:move])
+                child.values.extend(sibling.values[:move])
+                del sibling.keys[:move]
+                del sibling.values[:move]
+            else:
+                child.children.extend(sibling.children[:move])
+                child.separators.extend(sibling.separators[:move])
+                child.counts.extend(sibling.counts[:move])
+                del sibling.children[:move]
+                del sibling.separators[:move]
+                del sibling.counts[:move]
+        parent.refresh_child(index)
+        parent.refresh_child(sib_index)
+
+    # ------------------------------------------------------------------
+    # suffix truncation and splitting
+    # ------------------------------------------------------------------
+    def truncate_to_rank(self, keep: int) -> int:
+        """Discard all items except the ``keep`` smallest; return #removed.
+
+        This is the ``splitAt`` of Algorithm 1 when the upper part is not
+        needed: the tree is cut along the right spine, which touches only
+        ``O(log n)`` nodes plus the rebalancing of the spine.
+        """
+        keep = int(keep)
+        if keep < 0:
+            raise ValueError(f"keep must be non-negative, got {keep}")
+        removed = max(0, self._size - keep)
+        if removed == 0:
+            return 0
+        if keep == 0:
+            self.clear()
+            return removed
+        self._cut_suffix(keep)
+        self._size = keep
+        self._collapse_root()
+        return removed
+
+    def _cut_suffix(self, keep: int) -> None:
+        """Keep only the first ``keep`` items (``0 < keep < size``)."""
+        # Descend along the boundary, dropping every child to its right and
+        # recording the kept item count of the boundary child as we go.
+        node = self._root
+        r = keep
+        while not node.is_leaf:
+            i = 0
+            while r > node.counts[i]:
+                r -= node.counts[i]
+                i += 1
+            del node.children[i + 1 :]
+            del node.separators[i + 1 :]
+            del node.counts[i + 1 :]
+            node.counts[i] = r  # exactly r items remain below the boundary child
+            node = node.children[i]
+        # node is the boundary leaf; keep its first r items (r >= 1).
+        del node.keys[r:]
+        del node.values[r:]
+        node.next = None
+        self._refresh_right_spine()
+        self._repair_right_spine()
+
+    def _right_spine(self) -> List[InnerNode]:
+        """Inner nodes on the path from the root to the rightmost leaf."""
+        spine: List[InnerNode] = []
+        node = self._root
+        while node is not None and not node.is_leaf:
+            spine.append(node)
+            node = node.children[-1]
+        return spine
+
+    def _refresh_right_spine(self) -> None:
+        """Re-derive separators/counts of the rightmost child at every level."""
+        for parent in reversed(self._right_spine()):
+            parent.refresh_child(len(parent.children) - 1)
+
+    def _collapse_root_chain(self) -> None:
+        while (
+            self._root is not None
+            and not self._root.is_leaf
+            and len(self._root.children) == 1
+        ):
+            self._root = self._root.children[0]
+
+    def _repair_right_spine(self) -> None:
+        """Restore minimum fill along the right spine after a suffix cut.
+
+        A cut can leave every node on the rightmost path underfull.  Each
+        bottom-up pass fixes all spine nodes whose parent has a sibling to
+        borrow from or merge with; a node whose parent is a single-child
+        chain can only be fixed after an upper-level merge gave that parent
+        siblings, hence the outer loop (at most ``height`` passes).
+        """
+        for _ in range(self.height + 2):
+            self._collapse_root_chain()
+            if self._root is None or self._root.is_leaf:
+                return
+            changed = False
+            for parent in reversed(self._right_spine()):
+                index = len(parent.children) - 1
+                child = parent.children[index]
+                if len(parent.children) > 1 and self._node_units(child) < self._min_units(child):
+                    self._fix_child(parent, index)
+                    changed = True
+                parent.refresh_child(len(parent.children) - 1)
+            if not changed:
+                return
+
+    def split_at_rank(self, keep: int) -> "BPlusTree":
+        """Split off and return the items with ranks ``>= keep``.
+
+        ``self`` keeps the ``keep`` smallest items; the returned tree holds
+        the remainder (possibly empty).
+        """
+        keep = int(keep)
+        if keep < 0:
+            raise ValueError(f"keep must be non-negative, got {keep}")
+        suffix_items = self.items_in_rank_range(keep, self._size)
+        self.truncate_to_rank(keep)
+        return BPlusTree.from_sorted_items(suffix_items, order=self._order)
+
+    def split_at_key(self, key: float, inclusive: bool = True) -> "BPlusTree":
+        """Split off the items with keys greater than (or equal to) ``key``.
+
+        With ``inclusive=True`` items whose key equals ``key`` are *kept*,
+        matching Algorithm 1, which keeps the selected threshold item.
+        """
+        keep = self.count_le(key) if inclusive else self.count_less(key)
+        return self.split_at_rank(keep)
+
+    def join(self, other: "BPlusTree") -> None:
+        """Append all items of ``other`` (whose keys must not be smaller).
+
+        ``other`` is emptied.  Joining trees with interleaving key ranges is
+        rejected, mirroring the precondition of the classic join operation.
+        """
+        if len(other) == 0:
+            return
+        if len(self) == 0:
+            self._root = other._root
+            self._size = other._size
+            other.clear()
+            return
+        if other.min_key() < self.max_key():
+            raise ValueError("join requires all keys of `other` to be >= max key of self")
+        merged = list(self.items()) + list(other.items())
+        self._bulk_load(merged)
+        other.clear()
+
+    def clear(self) -> None:
+        """Remove all items."""
+        self._root = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # invariants (used heavily by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` if any structural invariant is violated."""
+        if self._root is None:
+            assert self._size == 0, "empty tree must have size 0"
+            return
+        total, height = self._check_node(self._root, is_root=True)
+        assert total == self._size, f"size mismatch: counted {total}, stored {self._size}"
+        # leaf chain must visit exactly the items in sorted order
+        chained = list(self.items())
+        assert len(chained) == self._size, "leaf chain misses items"
+        keys = [k for k, _ in chained]
+        assert all(a <= b for a, b in zip(keys, keys[1:])), "leaf chain not sorted"
+        del height
+
+    def _check_node(self, node: object, is_root: bool) -> Tuple[int, int]:
+        if node.is_leaf:
+            assert len(node.keys) == len(node.values), "leaf keys/values length mismatch"
+            assert len(node.keys) <= self._leaf_capacity, "leaf overfull"
+            if not is_root:
+                assert len(node.keys) >= self._min_leaf, "leaf underfull"
+            assert all(
+                a <= b for a, b in zip(node.keys, node.keys[1:])
+            ), "leaf keys not sorted"
+            return len(node.keys), 1
+        assert len(node.children) == len(node.separators) == len(node.counts), (
+            "inner node bookkeeping lists must have equal length"
+        )
+        assert len(node.children) <= self._order, "inner node overfull"
+        if not is_root:
+            assert len(node.children) >= self._min_children, "inner node underfull"
+        else:
+            assert len(node.children) >= 2, "inner root must have at least two children"
+        total = 0
+        heights = set()
+        prev_max = None
+        for i, child in enumerate(node.children):
+            child_total, child_height = self._check_node(child, is_root=False)
+            heights.add(child_height)
+            assert node.counts[i] == child_total, "subtree count out of sync"
+            assert node.separators[i] == child.max_key, "separator out of sync"
+            if prev_max is not None:
+                assert child.min_key >= prev_max, "children key ranges overlap"
+            prev_max = child.max_key
+            total += child_total
+        assert len(heights) == 1, "children have differing heights"
+        return total, heights.pop() + 1

@@ -1,0 +1,124 @@
+"""Node types for the augmented B+ tree.
+
+Two node kinds exist:
+
+* :class:`LeafNode` stores the actual (key, value) pairs in sorted key
+  order, and is doubly linked with its neighbouring leaves.
+* :class:`InnerNode` stores child pointers, the separator keys between
+  adjacent children, and the size (number of stored items) of every child
+  subtree.  The subtree sizes are what make ``rank``/``select`` queries run
+  in time proportional to the height of the tree.
+
+Separator convention: ``separators[i]`` is the largest key stored in the
+subtree ``children[i]``; a search for key ``x`` descends into the first
+child ``i`` with ``x <= separators[i]`` (or the last child if no such
+separator exists).  This "max-key separator" convention keeps separators in
+sync with deletions without extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["LeafNode", "InnerNode"]
+
+
+class LeafNode:
+    """A leaf of the B+ tree holding items in sorted key order."""
+
+    __slots__ = ("keys", "values", "next", "prev")
+
+    def __init__(self) -> None:
+        self.keys: List[float] = []
+        self.values: List[object] = []
+        self.next: Optional["LeafNode"] = None
+        self.prev: Optional["LeafNode"] = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def size(self) -> int:
+        """Number of items stored in this leaf."""
+        return len(self.keys)
+
+    @property
+    def max_key(self) -> float:
+        if not self.keys:
+            raise ValueError("empty leaf has no max key")
+        return self.keys[-1]
+
+    @property
+    def min_key(self) -> float:
+        if not self.keys:
+            raise ValueError("empty leaf has no min key")
+        return self.keys[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LeafNode(n={len(self.keys)}, keys={self.keys[:4]}...)"
+
+
+class InnerNode:
+    """An inner node of the B+ tree.
+
+    Attributes
+    ----------
+    children:
+        Child nodes (either all :class:`InnerNode` or all :class:`LeafNode`).
+    separators:
+        ``separators[i]`` is the maximum key in ``children[i]``; the list has
+        the same length as ``children``.
+    counts:
+        ``counts[i]`` is the number of items stored in the subtree rooted at
+        ``children[i]``.
+    """
+
+    __slots__ = ("children", "separators", "counts")
+
+    def __init__(self) -> None:
+        self.children: List[object] = []
+        self.separators: List[float] = []
+        self.counts: List[int] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    @property
+    def size(self) -> int:
+        """Total number of items stored below this node."""
+        return sum(self.counts)
+
+    @property
+    def max_key(self) -> float:
+        return self.separators[-1]
+
+    @property
+    def min_key(self) -> float:
+        child = self.children[0]
+        return child.min_key
+
+    def child_index_for_key(self, key: float) -> int:
+        """Index of the child subtree a search for ``key`` must descend into."""
+        # Linear scan is fine: the fan-out is a small constant (the order).
+        for i, sep in enumerate(self.separators):
+            if key <= sep:
+                return i
+        return len(self.children) - 1
+
+    def refresh_child(self, index: int) -> None:
+        """Re-derive separator and count for ``children[index]``."""
+        child = self.children[index]
+        self.counts[index] = child.size
+        self.separators[index] = child.max_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"InnerNode(children={len(self.children)}, size={self.size})"

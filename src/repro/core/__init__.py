@@ -1,0 +1,60 @@
+"""Core reservoir-sampling algorithms (paper Sections 4 and 5).
+
+This package holds the paper's primary contribution and the algorithms it
+is compared against:
+
+* :mod:`~repro.core.keys` — exponential/uniform keys, exponential and
+  geometric jumps (skip values),
+* :mod:`~repro.core.sequential` — sequential weighted/uniform reservoir
+  samplers (building blocks and baselines),
+* :mod:`~repro.core.local_reservoir` — per-PE reservoirs (B+ tree or sorted
+  array backend) and the Section-5 local-thresholding policy,
+* :mod:`~repro.core.distributed` — the fully distributed mini-batch
+  reservoir sampler (Algorithm 1), weighted and uniform,
+* :mod:`~repro.core.variable_size` — the variable-reservoir-size variant
+  (Section 4.4),
+* :mod:`~repro.core.centralized` — the centralized gathering baseline
+  (Section 4.5),
+* :mod:`~repro.core.bulk_pq` — a bulk priority-queue view over the union of
+  the local reservoirs,
+* :mod:`~repro.core.api` — the convenience facade re-exported at package
+  top level.
+"""
+
+from repro.core.api import DistributedSamplingRun, ReservoirSampler, make_distributed_sampler
+from repro.core.bulk_pq import DistributedBulkPriorityQueue
+from repro.core.centralized import CentralizedGatherSampler
+from repro.core.distributed import (
+    DistributedReservoirSampler,
+    DistributedUniformReservoirSampler,
+    DistributedWeightedReservoirSampler,
+    ReservoirKeySet,
+)
+from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy, SortedArrayStore
+from repro.core.sequential import (
+    SequentialUniformReservoir,
+    SequentialWeightedReservoir,
+    dense_uniform_sample,
+    dense_weighted_sample,
+)
+from repro.core.variable_size import VariableSizeReservoirSampler
+
+__all__ = [
+    "ReservoirSampler",
+    "DistributedSamplingRun",
+    "make_distributed_sampler",
+    "DistributedReservoirSampler",
+    "DistributedWeightedReservoirSampler",
+    "DistributedUniformReservoirSampler",
+    "ReservoirKeySet",
+    "VariableSizeReservoirSampler",
+    "CentralizedGatherSampler",
+    "DistributedBulkPriorityQueue",
+    "LocalReservoir",
+    "LocalThresholdPolicy",
+    "SortedArrayStore",
+    "SequentialWeightedReservoir",
+    "SequentialUniformReservoir",
+    "dense_weighted_sample",
+    "dense_uniform_sample",
+]

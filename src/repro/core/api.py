@@ -1,0 +1,230 @@
+"""High-level convenience API.
+
+Three entry points cover the common uses of the library:
+
+* :class:`ReservoirSampler` — a *sequential* weighted or uniform reservoir
+  sampler for single-process streams (Sections 4.1/4.3 of the paper).
+* :func:`make_distributed_sampler` — factory for the distributed samplers by
+  their paper names: ``"ours"``, ``"ours-8"`` (any ``"ours-<d>"``),
+  ``"gather"`` and ``"ours-variable"``.
+* :class:`DistributedSamplingRun` — binds a mini-batch stream, a distributed
+  sampler and a machine model, runs a number of rounds and exposes the
+  sample plus the collected metrics.  The scaling benchmarks are thin
+  wrappers around this class.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.centralized import CentralizedGatherSampler
+from repro.core.distributed import (
+    DistributedReservoirSampler,
+    DistributedUniformReservoirSampler,
+    DistributedWeightedReservoirSampler,
+)
+from repro.core.sequential import SequentialUniformReservoir, SequentialWeightedReservoir
+from repro.core.variable_size import VariableSizeReservoirSampler
+from repro.network.communicator import SimComm
+from repro.runtime.machine import MachineSpec
+from repro.runtime.metrics import RunMetrics
+from repro.selection.ams_select import AmsSelection
+from repro.selection.bernoulli_pivot import SinglePivotSelection
+from repro.selection.multi_pivot import MultiPivotSelection
+from repro.stream.items import ItemBatch
+from repro.stream.minibatch import MiniBatchStream
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ReservoirSampler", "make_distributed_sampler", "DistributedSamplingRun"]
+
+
+class ReservoirSampler:
+    """Sequential reservoir sampler (weighted by default).
+
+    A small facade over :class:`SequentialWeightedReservoir` /
+    :class:`SequentialUniformReservoir` so that the quickstart fits in a few
+    lines::
+
+        sampler = ReservoirSampler(k=100, weighted=True, seed=1)
+        sampler.feed(ids, weights)
+        sample = sampler.sample_ids()
+    """
+
+    def __init__(self, k: int, *, weighted: bool = True, seed=None) -> None:
+        self.k = check_positive_int(k, "k")
+        self.weighted = bool(weighted)
+        self._impl = (
+            SequentialWeightedReservoir(k, seed) if weighted else SequentialUniformReservoir(k, seed)
+        )
+
+    @property
+    def items_seen(self) -> int:
+        return self._impl.items_seen
+
+    @property
+    def size(self) -> int:
+        return self._impl.size
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._impl.threshold
+
+    def add(self, item_id: int, weight: float = 1.0) -> bool:
+        """Feed one item; returns whether it entered the reservoir."""
+        if self.weighted:
+            return self._impl.insert(item_id, weight)
+        return self._impl.insert(item_id)
+
+    def feed(self, ids: Sequence[int], weights: Optional[Sequence[float]] = None) -> None:
+        """Feed a batch of items (weights default to 1)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if weights is None:
+            weights = np.ones(ids.shape[0], dtype=np.float64)
+        batch = ItemBatch(ids=ids, weights=np.asarray(weights, dtype=np.float64))
+        self._impl.process(batch)
+
+    def feed_batch(self, batch: ItemBatch) -> None:
+        self._impl.process(batch)
+
+    def sample_ids(self) -> np.ndarray:
+        return self._impl.sample_ids()
+
+    def sample_with_keys(self) -> List[Tuple[float, int, float]]:
+        return self._impl.sample_with_keys()
+
+
+def make_distributed_sampler(
+    algorithm: str,
+    k: int,
+    comm: SimComm,
+    *,
+    machine: Optional[MachineSpec] = None,
+    weighted: bool = True,
+    seed: Optional[int] = 0,
+    k_hi: Optional[int] = None,
+    backend: str = "btree",
+    local_thresholding: bool = True,
+) -> Union[DistributedReservoirSampler, CentralizedGatherSampler]:
+    """Create a distributed sampler by its paper name.
+
+    ``algorithm`` is one of
+
+    * ``"ours"`` — Algorithm 1 with single-pivot selection,
+    * ``"ours-<d>"`` (e.g. ``"ours-8"``) — Algorithm 1 with ``d``-pivot selection,
+    * ``"ours-variable"`` — variable reservoir size in ``[k, k_hi]`` (Section 4.4),
+    * ``"gather"`` — the centralized gathering baseline (Section 4.5).
+    """
+    name = algorithm.strip().lower()
+    common = dict(machine=machine, weighted=weighted, seed=seed)
+    if name == "gather":
+        return CentralizedGatherSampler(k, comm, **common)
+    if name == "ours":
+        return DistributedReservoirSampler(
+            k,
+            comm,
+            selection=SinglePivotSelection(),
+            backend=backend,
+            local_thresholding=local_thresholding,
+            **common,
+        )
+    if name in ("ours-variable", "variable"):
+        upper = k_hi if k_hi is not None else 2 * k
+        return VariableSizeReservoirSampler(
+            k,
+            upper,
+            comm,
+            selection=AmsSelection(num_pivots=2),
+            backend=backend,
+            local_thresholding=local_thresholding,
+            **common,
+        )
+    match = re.fullmatch(r"ours-(\d+)", name)
+    if match:
+        d = int(match.group(1))
+        selection = MultiPivotSelection(d) if d > 1 else SinglePivotSelection()
+        return DistributedReservoirSampler(
+            k,
+            comm,
+            selection=selection,
+            backend=backend,
+            local_thresholding=local_thresholding,
+            **common,
+        )
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; expected 'ours', 'ours-<d>', 'ours-variable' or 'gather'"
+    )
+
+
+class DistributedSamplingRun:
+    """Run a distributed sampler over a mini-batch stream and collect metrics.
+
+    Parameters
+    ----------
+    algorithm:
+        Paper name of the algorithm (see :func:`make_distributed_sampler`),
+        or an already constructed sampler object.
+    k:
+        Sample size (ignored when a sampler object is passed).
+    p:
+        Number of PEs (ignored when a sampler object is passed).
+    stream:
+        The mini-batch stream to consume; one is built from ``batch_size``
+        if not given.
+    """
+
+    def __init__(
+        self,
+        algorithm: Union[str, DistributedReservoirSampler, CentralizedGatherSampler] = "ours",
+        *,
+        k: int = 1000,
+        p: int = 4,
+        stream: Optional[MiniBatchStream] = None,
+        batch_size: int = 1000,
+        machine: Optional[MachineSpec] = None,
+        weighted: bool = True,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.machine = machine if machine is not None else MachineSpec.forhlr_like()
+        if isinstance(algorithm, str):
+            comm = SimComm(p, cost=self.machine.comm)
+            self.sampler = make_distributed_sampler(
+                algorithm, k, comm, machine=self.machine, weighted=weighted, seed=seed
+            )
+            self.algorithm = algorithm
+        else:
+            self.sampler = algorithm
+            self.algorithm = getattr(algorithm, "algorithm_name", type(algorithm).__name__)
+        self.stream = stream if stream is not None else MiniBatchStream(
+            self.sampler.p, batch_size, seed=seed
+        )
+        if self.stream.p != self.sampler.p:
+            raise ValueError(
+                f"stream has {self.stream.p} PEs but the sampler has {self.sampler.p}"
+            )
+        self.metrics = RunMetrics(p=self.sampler.p, k=getattr(self.sampler, "k", k), algorithm=self.algorithm)
+
+    # ------------------------------------------------------------------
+    @property
+    def comm(self) -> SimComm:
+        return self.sampler.comm
+
+    def run(self, rounds: int) -> RunMetrics:
+        """Process ``rounds`` mini-batch rounds and return the run metrics."""
+        for _ in range(check_positive_int(rounds, "rounds", allow_zero=True)):
+            round_batches = self.stream.next_round()
+            round_metrics = self.sampler.process_round(round_batches.batches)
+            self.metrics.add_round(round_metrics)
+        return self.metrics
+
+    def sample_ids(self) -> np.ndarray:
+        return self.sampler.sample_ids()
+
+    def sample_items(self) -> List[Tuple[int, float]]:
+        return self.sampler.sample_items()
+
+    def communication_summary(self) -> dict:
+        """Summary of all communication charged during the run."""
+        return self.comm.ledger.summary()

@@ -1,0 +1,120 @@
+"""Bulk priority-queue view over the union of the local reservoirs.
+
+The paper frames the distributed reservoir as "a communication-efficient
+bulk priority queue" [21]: a distributed collection of keyed items that
+supports bulk operations on the globally smallest elements.  This module
+provides that view as a thin facade used by the public API, the tests and
+the examples — all heavy lifting is delegated to the selection algorithms
+and the communicator, so every operation's communication cost is accounted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distributed import ReservoirKeySet
+from repro.core.local_reservoir import LocalReservoir
+from repro.network.communicator import SimComm
+from repro.selection.base import SelectionAlgorithm, SelectionResult
+from repro.selection.bernoulli_pivot import SinglePivotSelection
+
+__all__ = ["DistributedBulkPriorityQueue"]
+
+
+class DistributedBulkPriorityQueue:
+    """Bulk operations over the union of per-PE reservoirs.
+
+    Parameters
+    ----------
+    reservoirs:
+        The per-PE local reservoirs (not copied; the queue is a live view).
+    comm:
+        Simulated communicator used for the distributed operations.
+    selection:
+        Selection algorithm used by rank-based queries; defaults to the
+        single-pivot algorithm.
+    """
+
+    def __init__(
+        self,
+        reservoirs: Sequence[LocalReservoir],
+        comm: SimComm,
+        *,
+        selection: Optional[SelectionAlgorithm] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if len(reservoirs) != comm.p:
+            raise ValueError(f"expected {comm.p} reservoirs, got {len(reservoirs)}")
+        self.reservoirs = list(reservoirs)
+        self.comm = comm
+        self.selection = selection if selection is not None else SinglePivotSelection()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def keyset(self) -> ReservoirKeySet:
+        return ReservoirKeySet(self.reservoirs)
+
+    def global_size(self) -> int:
+        """Total number of items (one all-reduction)."""
+        sizes = [float(len(r)) for r in self.reservoirs]
+        return int(self.comm.allreduce(sizes, SimComm.SUM)[0])
+
+    def global_min(self) -> float:
+        """Globally smallest key (one all-reduction)."""
+        mins = [r.min_key() if len(r) else np.inf for r in self.reservoirs]
+        return float(self.comm.allreduce(mins, SimComm.MIN)[0])
+
+    def global_max(self) -> float:
+        """Globally largest key (one all-reduction)."""
+        maxs = [r.max_key() if len(r) else -np.inf for r in self.reservoirs]
+        return float(self.comm.allreduce(maxs, SimComm.MAX)[0])
+
+    def global_rank(self, key: float) -> int:
+        """Number of items with keys at most ``key`` (one all-reduction)."""
+        counts = [float(r.count_le(key)) for r in self.reservoirs]
+        return int(self.comm.allreduce(counts, SimComm.SUM)[0])
+
+    def global_select(self, k: int) -> SelectionResult:
+        """The key with global rank ``k`` (communication-efficient selection)."""
+        return self.selection.select(self.keyset(), k, self.comm, self._rng)
+
+    def top_k_items(self, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` items with the globally smallest keys as (id, key) pairs.
+
+        Uses one distributed selection to find the rank-``k`` key and then
+        collects the qualifying items from each reservoir.  Intended for
+        result extraction, not for the per-batch hot path.
+        """
+        total = self.global_size()
+        if total == 0 or k <= 0:
+            return []
+        if k >= total:
+            out: List[Tuple[int, float]] = []
+            for reservoir in self.reservoirs:
+                out.extend((item_id, key) for key, item_id in reservoir.items())
+            return sorted(out, key=lambda pair: pair[1])
+        result = self.global_select(k)
+        out = []
+        for reservoir in self.reservoirs:
+            for key, item_id in reservoir.items():
+                if key <= result.key:
+                    out.append((item_id, key))
+        out.sort(key=lambda pair: pair[1])
+        return out[:k]
+
+    def prune_to_top_k(self, k: int) -> Tuple[Optional[float], int]:
+        """Discard all but the ``k`` globally smallest items.
+
+        Returns the threshold key used and the number of removed items.
+        This is exactly the select + splitAt step of Algorithm 1.
+        """
+        total = self.global_size()
+        if total <= k:
+            return None, 0
+        result = self.global_select(k)
+        removed = 0
+        for reservoir in self.reservoirs:
+            removed += reservoir.prune_above_key(result.key, inclusive=True)
+        return float(result.key), removed

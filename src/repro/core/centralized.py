@@ -1,0 +1,240 @@
+"""Centralized gathering baseline (paper Section 4.5).
+
+To highlight the importance of communication efficiency, the paper compares
+against a more centralized approach, which can be seen as an adaptation of
+Jayaram et al.'s coordinator-based algorithm to the mini-batch model:
+
+1. **insert** — every PE filters its local batch with the current global
+   threshold exactly like Algorithm 1 does, but buffers the surviving
+   candidates in a plain array instead of a search tree (in the very first
+   batch a PE keeps only its ``k`` smallest keys);
+2. **gather** — all candidate (key, id) pairs are gathered at a designated
+   root PE;
+3. **select** — the root merges the candidates into its reservoir and uses a
+   standard sequential selection (quickselect) to keep the ``k`` smallest;
+4. **threshold** — the root broadcasts the new threshold.
+
+The reservoir lives solely at the root, whose gather volume and sequential
+selection work grow with ``k`` and ``p`` — which is exactly why this
+algorithm stops scaling for large sample sizes (Figures 3, 4 and 6 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import keys as keymod
+from repro.network.communicator import SimComm
+from repro.runtime.clock import PhaseClock
+from repro.runtime.machine import MachineSpec
+from repro.runtime.metrics import PhaseTimes, RoundMetrics
+from repro.stream.items import ItemBatch
+from repro.utils.rng import spawn_generators
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CentralizedGatherSampler"]
+
+
+class CentralizedGatherSampler:
+    """Mini-batch reservoir sampling with a gathering coordinator ("gather")."""
+
+    algorithm_name = "gather"
+
+    def __init__(
+        self,
+        k: int,
+        comm: SimComm,
+        *,
+        machine: Optional[MachineSpec] = None,
+        weighted: bool = True,
+        root: int = 0,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.comm = comm
+        self.machine = machine if machine is not None else MachineSpec.forhlr_like()
+        self.weighted = bool(weighted)
+        self.root = comm.topology.validate_rank(root)
+        self._rngs = spawn_generators(seed, comm.p)
+        # Reservoir at the root: sorted arrays of keys and item ids.
+        self._keys = np.empty(0, dtype=np.float64)
+        self._ids = np.empty(0, dtype=np.int64)
+        self.threshold: Optional[float] = None
+        self._items_seen = 0
+        self._total_weight = 0.0
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        return self.comm.p
+
+    @property
+    def items_seen(self) -> int:
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def rounds_processed(self) -> int:
+        return self._round
+
+    def sample_size(self) -> int:
+        return int(self._keys.shape[0])
+
+    def sample_ids(self) -> np.ndarray:
+        """Item ids of the current sample (held at the root)."""
+        return self._ids.copy()
+
+    def sample_items(self) -> List[Tuple[int, float]]:
+        """The current sample as ``(item id, key)`` pairs."""
+        return list(zip(self._ids.tolist(), self._keys.tolist()))
+
+    def preload(
+        self,
+        per_pe_items: Sequence[Sequence[Tuple[float, int]]],
+        *,
+        items_seen: int,
+        total_weight: float,
+        threshold: Optional[float],
+    ) -> None:
+        """Install a pre-computed sampler state (steady-state warm start).
+
+        The centralized algorithm keeps the whole reservoir at the root, so
+        the per-PE item lists are simply merged there.  See
+        :meth:`repro.core.distributed.DistributedReservoirSampler.preload`.
+        """
+        if self._items_seen:
+            raise RuntimeError("preload is only valid on a fresh sampler")
+        keys: List[float] = []
+        ids: List[int] = []
+        for items in per_pe_items:
+            for key, item_id in items:
+                keys.append(float(key))
+                ids.append(int(item_id))
+        order = np.argsort(np.asarray(keys, dtype=np.float64))
+        self._keys = np.asarray(keys, dtype=np.float64)[order]
+        self._ids = np.asarray(ids, dtype=np.int64)[order]
+        self._items_seen = int(items_seen)
+        self._total_weight = float(total_weight)
+        self.threshold = float(threshold) if threshold is not None else None
+
+    # ------------------------------------------------------------------
+    def _candidates_for_batch(
+        self, pe: int, batch: ItemBatch
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Filter a local batch to the candidates below the current threshold."""
+        rng = self._rngs[pe]
+        b = len(batch)
+        if self.threshold is None:
+            if self.weighted:
+                keys = keymod.exponential_keys(batch.weights, rng)
+            else:
+                keys = keymod.uniform_keys(b, rng)
+            ids = batch.ids
+            if b > self.k:
+                order = np.argpartition(keys, self.k - 1)[: self.k]
+                keys, ids = keys[order], ids[order]
+            return keys, ids
+        if self.weighted:
+            idx, keys = keymod.weighted_jump_positions(batch.weights, self.threshold, rng)
+        else:
+            idx, keys = keymod.uniform_jump_positions(b, self.threshold, rng)
+        return keys, batch.ids[idx]
+
+    def process_round(self, batches: Sequence[ItemBatch]) -> RoundMetrics:
+        """Process one mini-batch round (one batch per PE)."""
+        if len(batches) != self.p:
+            raise ValueError(f"expected {self.p} batches (one per PE), got {len(batches)}")
+        clock = PhaseClock(self.p)
+        phase_comm_before = self.comm.ledger.time_by_phase()
+
+        # ---------------- insert (local filtering) ----------------
+        candidate_keys: List[np.ndarray] = []
+        candidate_ids: List[np.ndarray] = []
+        for pe, batch in enumerate(batches):
+            b = len(batch)
+            if b == 0:
+                candidate_keys.append(np.empty(0, dtype=np.float64))
+                candidate_ids.append(np.empty(0, dtype=np.int64))
+                continue
+            keys, ids = self._candidates_for_batch(pe, batch)
+            candidate_keys.append(np.asarray(keys, dtype=np.float64))
+            candidate_ids.append(np.asarray(ids, dtype=np.int64))
+            if self.weighted:
+                scan = self.machine.scan_time(b, batch_size=b)
+            else:
+                scan = self.machine.scan_time(len(keys), batch_size=b)
+            key_gens = b if self.threshold is None else 2 * len(keys) + 1
+            clock.charge(
+                "insert",
+                pe,
+                scan + self.machine.key_gen_time(key_gens) + self.machine.array_append_time(len(keys)),
+            )
+        batch_items = sum(len(batch) for batch in batches)
+        self._items_seen += batch_items
+        self._total_weight += sum(batch.total_weight for batch in batches)
+
+        # ---------------- gather ----------------
+        payloads = [
+            np.stack([candidate_keys[pe], candidate_ids[pe].astype(np.float64)], axis=1)
+            for pe in range(self.p)
+        ]
+        with self.comm.phase("gather"):
+            gathered = self.comm.gather(
+                payloads,
+                root=self.root,
+                words_per_pe=[float(2 * candidate_keys[pe].shape[0]) for pe in range(self.p)],
+            )
+        candidates_gathered = int(sum(candidate_keys[pe].shape[0] for pe in range(self.p)))
+
+        # ---------------- select (sequential, at the root) ----------------
+        all_keys = np.concatenate([self._keys] + [np.asarray(g[:, 0]) for g in gathered])
+        all_ids = np.concatenate(
+            [self._ids] + [np.asarray(g[:, 1]).astype(np.int64) for g in gathered]
+        )
+        merged = int(all_keys.shape[0])
+        if merged > self.k:
+            order = np.argpartition(all_keys, self.k - 1)[: self.k]
+        else:
+            order = np.arange(merged)
+        sort_order = order[np.argsort(all_keys[order], kind="stable")]
+        self._keys = all_keys[sort_order]
+        self._ids = all_ids[sort_order]
+        clock.charge("select", self.root, self.machine.sequential_select_time(merged))
+
+        # ---------------- threshold (broadcast) ----------------
+        new_threshold: Optional[float] = None
+        if self._keys.shape[0] >= self.k:
+            new_threshold = float(self._keys[-1])
+        with self.comm.phase("threshold"):
+            broadcast = self.comm.broadcast([new_threshold] * self.p, root=self.root, words=1.0)
+        self.threshold = broadcast[0]
+
+        self._round += 1
+        phase_comm_after = self.comm.ledger.time_by_phase()
+        phases = set(phase_comm_after) | set(clock.phases()) | set(phase_comm_before)
+        phase_times: Dict[str, PhaseTimes] = {}
+        for phase in phases:
+            comm_delta = phase_comm_after.get(phase, 0.0) - phase_comm_before.get(phase, 0.0)
+            local = clock.max_time(phase)
+            if comm_delta > 0.0 or local > 0.0:
+                phase_times[phase] = PhaseTimes(local=local, comm=comm_delta)
+        insertions = [int(candidate_keys[pe].shape[0]) for pe in range(self.p)]
+        return RoundMetrics(
+            round_index=self._round - 1,
+            batch_items=batch_items,
+            items_seen_total=self._items_seen,
+            sample_size=self.sample_size(),
+            threshold=self.threshold,
+            phase_times=phase_times,
+            insertions_per_pe=insertions,
+            candidates_gathered=candidates_gathered,
+            selection_stats=None,
+            selection_ran=self._keys.shape[0] >= self.k,
+        )

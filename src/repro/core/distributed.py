@@ -1,0 +1,434 @@
+"""The fully distributed mini-batch reservoir sampler (paper Algorithm 1).
+
+Every PE keeps the candidate items it has seen in a local reservoir
+(:class:`~repro.core.local_reservoir.LocalReservoir`).  A *global insertion
+threshold* ``T`` — the key of the globally ``k``-th smallest candidate — is
+known to all PEs and stays fixed while a mini-batch is processed:
+
+1. **insert** — each PE runs the exponential-jumps (or geometric-jumps)
+   traversal of its local batch under ``T`` and inserts the surviving
+   candidates into its local reservoir;
+2. **select** — the PEs jointly select the key with global rank ``k`` over
+   the union of the local reservoirs using a communication-efficient
+   selection algorithm (Section 3.3);
+3. **threshold** — the selected key is established as the new ``T`` via an
+   all-reduction and every PE prunes its local reservoir with a ``splitAt``.
+
+The union of the local reservoirs is then a weighted (or uniform) sample
+without replacement of size ``min(k, n)`` of everything seen so far.  No PE
+plays a special role.
+
+The implementation is SPMD-style: one process simulates all ``p`` PEs, all
+communication goes through :class:`~repro.network.communicator.SimComm`
+(and is therefore cost-accounted), and local work is charged to a
+:class:`~repro.runtime.clock.PhaseClock` using the
+:class:`~repro.runtime.machine.MachineSpec` operation costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import keys as keymod
+from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy
+from repro.network.communicator import SimComm
+from repro.runtime.clock import PhaseClock
+from repro.runtime.machine import MachineSpec
+from repro.runtime.metrics import PhaseTimes, RoundMetrics
+from repro.selection.base import DistributedKeySet, SelectionAlgorithm, SelectionResult
+from repro.selection.bernoulli_pivot import SinglePivotSelection
+from repro.stream.items import ItemBatch
+from repro.utils.rng import spawn_generators
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ReservoirKeySet",
+    "DistributedReservoirSampler",
+    "DistributedWeightedReservoirSampler",
+    "DistributedUniformReservoirSampler",
+]
+
+
+class ReservoirKeySet(DistributedKeySet):
+    """Adapter exposing a list of local reservoirs as a distributed key set."""
+
+    def __init__(self, reservoirs: Sequence[LocalReservoir]) -> None:
+        if not reservoirs:
+            raise ValueError("at least one reservoir is required")
+        self._reservoirs = list(reservoirs)
+
+    @property
+    def p(self) -> int:
+        return len(self._reservoirs)
+
+    def local_size(self, pe: int) -> int:
+        return len(self._reservoirs[pe])
+
+    def count_le(self, pe: int, key: float) -> int:
+        return self._reservoirs[pe].count_le(key)
+
+    def count_less(self, pe: int, key: float) -> int:
+        return self._reservoirs[pe].count_less(key)
+
+    def select_local(self, pe: int, rank: int) -> float:
+        return self._reservoirs[pe].kth_key(rank)
+
+    def keys_in_rank_range(self, pe: int, lo: int, hi: int) -> np.ndarray:
+        return self._reservoirs[pe].keys_in_rank_range(lo, hi)
+
+
+class DistributedReservoirSampler:
+    """Algorithm 1: distributed weighted/uniform reservoir sampling.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    comm:
+        Simulated communicator over the ``p`` PEs.
+    selection:
+        Distributed selection algorithm used to re-establish the threshold;
+        defaults to the single-pivot general-case algorithm ("ours").
+    machine:
+        Machine model used to charge simulated local-work time.
+    weighted:
+        ``True`` for weighted sampling (exponential keys/jumps), ``False``
+        for uniform sampling (uniform keys, geometric jumps).
+    backend:
+        Local reservoir backend, ``"btree"`` (paper) or ``"sorted_array"``.
+    local_thresholding:
+        Enable the Section-5 first-batch local-thresholding optimisation.
+    seed:
+        Seed from which the per-PE random streams are derived.
+    """
+
+    algorithm_name = "ours"
+
+    def __init__(
+        self,
+        k: int,
+        comm: SimComm,
+        *,
+        selection: Optional[SelectionAlgorithm] = None,
+        machine: Optional[MachineSpec] = None,
+        weighted: bool = True,
+        backend: str = "btree",
+        order: int = 16,
+        local_thresholding: bool = True,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.comm = comm
+        self.selection = selection if selection is not None else SinglePivotSelection()
+        self.machine = machine if machine is not None else MachineSpec.forhlr_like()
+        self.weighted = bool(weighted)
+        self.backend = backend
+        self.local_thresholding = bool(local_thresholding)
+        self.reservoirs: List[LocalReservoir] = [
+            LocalReservoir(backend=backend, order=order) for _ in range(comm.p)
+        ]
+        self._rngs = spawn_generators(seed, comm.p)
+        self._policy = LocalThresholdPolicy(self.k)
+        self.threshold: Optional[float] = None
+        self._items_seen = 0
+        self._total_weight = 0.0
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of PEs."""
+        return self.comm.p
+
+    @property
+    def items_seen(self) -> int:
+        """Total number of items processed so far (all PEs)."""
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight processed so far (all PEs)."""
+        return self._total_weight
+
+    @property
+    def rounds_processed(self) -> int:
+        return self._round
+
+    def sample_size(self) -> int:
+        """Current size of the distributed sample (union of local reservoirs)."""
+        return sum(len(r) for r in self.reservoirs)
+
+    def sample_items(self) -> List[Tuple[int, float]]:
+        """The current sample as ``(item id, key)`` pairs (all PEs, unordered)."""
+        out: List[Tuple[int, float]] = []
+        for reservoir in self.reservoirs:
+            out.extend((item_id, key) for key, item_id in reservoir.items())
+        return out
+
+    def sample_ids(self) -> np.ndarray:
+        """The item ids of the current sample."""
+        ids = [reservoir.item_ids() for reservoir in self.reservoirs]
+        return np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+
+    def keyset(self) -> ReservoirKeySet:
+        """A selection view over the current local reservoirs."""
+        return ReservoirKeySet(self.reservoirs)
+
+    def preload(
+        self,
+        per_pe_items: Sequence[Sequence[Tuple[float, int]]],
+        *,
+        items_seen: int,
+        total_weight: float,
+        threshold: Optional[float],
+    ) -> None:
+        """Install a pre-computed sampler state (steady-state warm start).
+
+        ``per_pe_items`` holds, per PE, the (key, item id) pairs of its local
+        reservoir.  ``items_seen``/``total_weight`` describe the stream that
+        is considered to have been processed already, and ``threshold`` is
+        the global insertion threshold in effect.  Used by the scaling
+        experiments to start measurements in the steady state (``n >> k``)
+        that the paper's 30-second runs operate in, without paying the cost
+        of streaming ``n`` items through the simulator.
+        """
+        if len(per_pe_items) != self.p:
+            raise ValueError(f"expected {self.p} per-PE item lists, got {len(per_pe_items)}")
+        if self._items_seen:
+            raise RuntimeError("preload is only valid on a fresh sampler")
+        for pe, items in enumerate(per_pe_items):
+            for key, item_id in items:
+                self.reservoirs[pe].insert(float(key), int(item_id))
+        self._items_seen = int(items_seen)
+        self._total_weight = float(total_weight)
+        self.threshold = float(threshold) if threshold is not None else None
+
+    # ------------------------------------------------------------------
+    def process_round(self, batches: Sequence[ItemBatch]) -> RoundMetrics:
+        """Process one mini-batch round (one batch per PE)."""
+        if len(batches) != self.p:
+            raise ValueError(f"expected {self.p} batches (one per PE), got {len(batches)}")
+        clock = PhaseClock(self.p)
+        phase_comm_before = self.comm.ledger.time_by_phase()
+
+        # ---------------- insert phase ----------------
+        insertions = [0] * self.p
+        for pe, batch in enumerate(batches):
+            if len(batch) == 0:
+                continue
+            if self.threshold is None:
+                insertions[pe] = self._insert_without_threshold(pe, batch, clock)
+            else:
+                insertions[pe] = self._insert_with_threshold(pe, batch, clock)
+        batch_items = sum(len(batch) for batch in batches)
+        self._items_seen += batch_items
+        self._total_weight += sum(batch.total_weight for batch in batches)
+
+        # ---------------- select phase ----------------
+        selection_result: Optional[SelectionResult] = None
+        selection_ran = False
+        sizes = [float(len(r)) for r in self.reservoirs]
+        with self.comm.phase("select"):
+            total_candidates = int(self.comm.allreduce(sizes, SimComm.SUM)[0])
+        if self._needs_selection(total_candidates):
+            keyset = ReservoirKeySet(self.reservoirs)
+            with self.comm.phase("select"):
+                selection_result = self._run_selection(keyset)
+            selection_ran = True
+            self._charge_selection_work(clock, selection_result)
+            new_threshold = float(selection_result.key)
+        else:
+            new_threshold = self._tighten_without_selection(total_candidates)
+
+        # ---------------- threshold phase ----------------
+        if selection_ran:
+            with self.comm.phase("threshold"):
+                agreed = self.comm.allreduce([new_threshold] * self.p, SimComm.MAX)
+            new_threshold = float(agreed[0])
+        if new_threshold is not None:
+            self.threshold = new_threshold
+            for pe, reservoir in enumerate(self.reservoirs):
+                size_before = len(reservoir)
+                keep = reservoir.count_le(self.threshold)
+                reservoir.prune_to_rank(keep)
+                clock.charge("threshold", pe, self.machine.tree_op_time(2, size_before))
+
+        self._round += 1
+        metrics = self._build_metrics(
+            clock,
+            phase_comm_before,
+            batch_items=batch_items,
+            insertions=insertions,
+            selection_result=selection_result,
+            selection_ran=selection_ran,
+        )
+        return metrics
+
+    # ------------------------------------------------------------------
+    # insert-phase kernels
+    # ------------------------------------------------------------------
+    def _generate_keys(self, batch: ItemBatch, rng: np.random.Generator) -> np.ndarray:
+        if self.weighted:
+            return keymod.exponential_keys(batch.weights, rng)
+        return keymod.uniform_keys(len(batch), rng)
+
+    def _insert_without_threshold(self, pe: int, batch: ItemBatch, clock: PhaseClock) -> int:
+        """First-phase processing: no global threshold exists yet.
+
+        Every item is a candidate and receives a key.  If the batch is large
+        compared to ``k`` and local thresholding is enabled, the Section-5
+        policy keeps the reservoir close to ``k`` items.
+        """
+        reservoir = self.reservoirs[pe]
+        rng = self._rngs[pe]
+        b = len(batch)
+        inserted = 0
+        pruned = 0
+        use_policy = self.local_thresholding and self._policy.applies_to_batch(b + len(reservoir))
+        if not use_policy:
+            keys = self._generate_keys(batch, rng)
+            inserted = reservoir.insert_many(keys, batch.ids)
+        else:
+            chunk = max(self._policy.refresh_size - self.k, 64)
+            local_threshold: Optional[float] = None
+            if len(reservoir) >= self.k:
+                local_threshold = reservoir.kth_key(self.k)
+            for start in range(0, b, chunk):
+                stop = min(start + chunk, b)
+                sub = ItemBatch(ids=batch.ids[start:stop], weights=batch.weights[start:stop])
+                keys = self._generate_keys(sub, rng)
+                if local_threshold is not None:
+                    mask = keys < local_threshold
+                    keys = keys[mask]
+                    ids = sub.ids[mask]
+                else:
+                    ids = sub.ids
+                inserted += reservoir.insert_many(keys, ids)
+                local_threshold, removed = self._policy.refresh_if_needed(reservoir)
+                pruned += removed
+        clock.charge(
+            "insert",
+            pe,
+            self.machine.scan_time(b, batch_size=b)
+            + self.machine.key_gen_time(b)
+            + self.machine.tree_op_time(inserted + pruned, max(len(reservoir), 1)),
+        )
+        return inserted
+
+    def _insert_with_threshold(self, pe: int, batch: ItemBatch, clock: PhaseClock) -> int:
+        """Steady-state processing under the fixed global threshold."""
+        reservoir = self.reservoirs[pe]
+        rng = self._rngs[pe]
+        b = len(batch)
+        if self.weighted:
+            idx, keys = keymod.weighted_jump_positions(batch.weights, self.threshold, rng)
+            scan_time = self.machine.scan_time(b, batch_size=b)
+        else:
+            idx, keys = keymod.uniform_jump_positions(b, self.threshold, rng)
+            # Skipping items is O(1) per accepted item for uniform sampling
+            # (Corollary 4): only the accepted items cost local work.
+            scan_time = self.machine.scan_time(len(idx), batch_size=b)
+        inserted = reservoir.insert_many(keys, batch.ids[idx])
+        clock.charge(
+            "insert",
+            pe,
+            scan_time
+            + self.machine.key_gen_time(2 * inserted + 1)
+            + self.machine.tree_op_time(inserted, max(len(reservoir), 1)),
+        )
+        return inserted
+
+    # ------------------------------------------------------------------
+    # selection helpers (overridden by the variable-size sampler)
+    # ------------------------------------------------------------------
+    def _needs_selection(self, total_candidates: int) -> bool:
+        """Whether the candidate count requires re-establishing the threshold."""
+        return total_candidates > self.k
+
+    def _tighten_without_selection(self, total_candidates: int) -> Optional[float]:
+        """Threshold update used when no full selection is necessary.
+
+        When the candidate count equals ``k`` exactly, the sample is the
+        union of the reservoirs and the threshold can be tightened to the
+        globally largest key with a single all-reduction, letting the next
+        batch skip items already.
+        """
+        if total_candidates != self.k:
+            return None
+        local_max = [
+            self.reservoirs[pe].max_key() if len(self.reservoirs[pe]) else -np.inf
+            for pe in range(self.p)
+        ]
+        with self.comm.phase("threshold"):
+            return float(self.comm.allreduce(local_max, SimComm.MAX)[0])
+
+    def _run_selection(self, keyset: ReservoirKeySet) -> SelectionResult:
+        return self.selection.select(keyset, self.k, self.comm, self._rngs)
+
+    def _charge_selection_work(self, clock: PhaseClock, result: SelectionResult) -> None:
+        """Charge the local part of the distributed selection."""
+        stats = result.stats
+        pivots = max(int(getattr(self.selection, "num_pivots", 1)), 1)
+        for pe, reservoir in enumerate(self.reservoirs):
+            size = max(len(reservoir), 1)
+            # per pivot round: one Bernoulli sample draw plus `pivots` rank
+            # queries and `pivots` select queries on the local reservoir
+            ops = stats.recursion_depth * (2 * pivots + 1)
+            clock.charge("select", pe, self.machine.tree_op_time(ops, size))
+        if stats.final_gather_items:
+            clock.charge(
+                "select", 0, self.machine.sequential_select_time(stats.final_gather_items)
+            )
+
+    # ------------------------------------------------------------------
+    def _build_metrics(
+        self,
+        clock: PhaseClock,
+        phase_comm_before: Dict[str, float],
+        *,
+        batch_items: int,
+        insertions: List[int],
+        selection_result: Optional[SelectionResult],
+        selection_ran: bool,
+    ) -> RoundMetrics:
+        phase_comm_after = self.comm.ledger.time_by_phase()
+        phases = set(phase_comm_after) | set(clock.phases()) | set(phase_comm_before)
+        phase_times: Dict[str, PhaseTimes] = {}
+        for phase in phases:
+            comm_delta = phase_comm_after.get(phase, 0.0) - phase_comm_before.get(phase, 0.0)
+            local = clock.max_time(phase)
+            if comm_delta > 0.0 or local > 0.0:
+                phase_times[phase] = PhaseTimes(local=local, comm=comm_delta)
+        return RoundMetrics(
+            round_index=self._round - 1,
+            batch_items=batch_items,
+            items_seen_total=self._items_seen,
+            sample_size=self.sample_size(),
+            threshold=self.threshold,
+            phase_times=phase_times,
+            insertions_per_pe=list(insertions),
+            selection_stats=selection_result.stats if selection_result is not None else None,
+            selection_ran=selection_ran,
+        )
+
+
+class DistributedWeightedReservoirSampler(DistributedReservoirSampler):
+    """Weighted instantiation of Algorithm 1 (exponential keys and jumps)."""
+
+    algorithm_name = "ours"
+
+    def __init__(self, k: int, comm: SimComm, **kwargs) -> None:
+        kwargs.setdefault("weighted", True)
+        super().__init__(k, comm, **kwargs)
+
+
+class DistributedUniformReservoirSampler(DistributedReservoirSampler):
+    """Uniform (unweighted) instantiation (Section 4.3, geometric jumps)."""
+
+    algorithm_name = "ours-uniform"
+
+    def __init__(self, k: int, comm: SimComm, **kwargs) -> None:
+        kwargs.setdefault("weighted", False)
+        super().__init__(k, comm, **kwargs)

@@ -1,0 +1,288 @@
+"""Per-PE local reservoirs and the Section-5 local-thresholding policy.
+
+Each PE of the distributed sampler keeps the candidate items it has seen in
+a *local reservoir*: an ordered map from key to item id that supports
+
+* insertion of a new candidate,
+* ``count_le`` / ``kth_key`` (rank and select) queries — what the
+  distributed selection needs,
+* pruning of all items whose keys exceed the new global threshold
+  (Algorithm 1's ``splitAt``), and
+* a Bernoulli sample of the stored keys (pivot proposals).
+
+Two backends are provided: the paper's augmented **B+ tree**
+(:class:`repro.btree.BPlusTree`) and a numpy **sorted array**
+(:class:`SortedArrayStore`).  The sorted array has ``O(n)`` insertion but a
+tiny constant, and is used for the ablation study comparing the two (the
+paper briefly notes the gathering algorithm benefits from array storage).
+
+:class:`LocalThresholdPolicy` implements the first optimisation of
+Section 5: while no *global* threshold exists yet (fewer than ``k`` items
+seen globally), a PE that receives a huge first batch would insert every
+item; the policy installs a *local* threshold as soon as the reservoir
+grows beyond ``max(1.5k, k + 500)`` items and re-tightens it whenever the
+reservoir exceeds ``max(1.1k, k + 250)``, never pruning below ``k`` items,
+so the union of the local reservoirs always remains a valid sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.btree import BPlusTree
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SortedArrayStore", "LocalReservoir", "LocalThresholdPolicy"]
+
+
+class SortedArrayStore:
+    """Keys and item ids kept in sorted numpy arrays.
+
+    Single insertions are ``O(n)`` (array shift) but bulk insertions of
+    ``m`` items cost ``O(n + m log m)``, which in the mini-batch setting is
+    often the better trade-off; the distributed sampler inserts per batch.
+    """
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=np.float64)
+        self._ids = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self._keys.shape[0])
+
+    def insert(self, key: float, item_id: int) -> None:
+        pos = int(np.searchsorted(self._keys, key, side="right"))
+        self._keys = np.insert(self._keys, pos, key)
+        self._ids = np.insert(self._ids, pos, item_id)
+
+    def insert_many(self, keys: np.ndarray, ids: np.ndarray) -> None:
+        if len(keys) == 0:
+            return
+        keys = np.asarray(keys, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        order = np.argsort(keys, kind="stable")
+        keys, ids = keys[order], ids[order]
+        merged_keys = np.concatenate([self._keys, keys])
+        merged_ids = np.concatenate([self._ids, ids])
+        order = np.argsort(merged_keys, kind="stable")
+        self._keys = merged_keys[order]
+        self._ids = merged_ids[order]
+
+    def count_le(self, key: float) -> int:
+        return int(np.searchsorted(self._keys, key, side="right"))
+
+    def count_less(self, key: float) -> int:
+        return int(np.searchsorted(self._keys, key, side="left"))
+
+    def kth_key(self, rank: int) -> float:
+        return float(self._keys[rank - 1])
+
+    def max_key(self) -> float:
+        if not len(self):
+            raise IndexError("empty store has no max key")
+        return float(self._keys[-1])
+
+    def min_key(self) -> float:
+        if not len(self):
+            raise IndexError("empty store has no min key")
+        return float(self._keys[0])
+
+    def truncate_to_rank(self, keep: int) -> int:
+        removed = max(0, len(self) - keep)
+        if removed:
+            self._keys = self._keys[:keep].copy()
+            self._ids = self._ids[:keep].copy()
+        return removed
+
+    def keys_array(self) -> np.ndarray:
+        return self._keys.copy()
+
+    def keys_in_rank_range(self, lo: int, hi: int) -> np.ndarray:
+        return self._keys[lo:hi].copy()
+
+    def items(self) -> Iterable[Tuple[float, int]]:
+        return zip(self._keys.tolist(), self._ids.tolist())
+
+    def ids_array(self) -> np.ndarray:
+        return self._ids.copy()
+
+
+class LocalReservoir:
+    """A PE's local reservoir with a pluggable ordered-map backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"btree"`` (paper's data structure) or ``"sorted_array"``.
+    order:
+        Fan-out of the B+ tree backend.
+    """
+
+    def __init__(self, backend: str = "btree", *, order: int = 16) -> None:
+        if backend not in ("btree", "sorted_array"):
+            raise ValueError(f"unknown backend {backend!r}; use 'btree' or 'sorted_array'")
+        self.backend = backend
+        self._tree: Optional[BPlusTree] = BPlusTree(order=order) if backend == "btree" else None
+        self._array: Optional[SortedArrayStore] = SortedArrayStore() if backend == "sorted_array" else None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tree) if self._tree is not None else len(self._array)
+
+    @property
+    def size(self) -> int:
+        return len(self)
+
+    def insert(self, key: float, item_id: int) -> None:
+        """Insert one candidate item."""
+        if self._tree is not None:
+            self._tree.insert(float(key), int(item_id))
+        else:
+            self._array.insert(float(key), int(item_id))
+
+    def insert_many(self, keys: Sequence[float], ids: Sequence[int]) -> int:
+        """Insert several candidates; returns how many were inserted."""
+        keys = np.asarray(keys, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if keys.shape[0] != ids.shape[0]:
+            raise ValueError("keys and ids must have equal length")
+        if self._tree is not None:
+            for key, item_id in zip(keys.tolist(), ids.tolist()):
+                self._tree.insert(key, item_id)
+        else:
+            self._array.insert_many(keys, ids)
+        return int(keys.shape[0])
+
+    # -- queries -----------------------------------------------------------
+    def count_le(self, key: float) -> int:
+        return self._tree.count_le(key) if self._tree is not None else self._array.count_le(key)
+
+    def count_less(self, key: float) -> int:
+        return self._tree.count_less(key) if self._tree is not None else self._array.count_less(key)
+
+    def kth_key(self, rank: int) -> float:
+        """The ``rank``-th smallest key (1-based)."""
+        if not 1 <= rank <= len(self):
+            raise IndexError(f"rank {rank} out of range for reservoir of size {len(self)}")
+        if self._tree is not None:
+            return float(self._tree.select(rank - 1)[0])
+        return self._array.kth_key(rank)
+
+    def max_key(self) -> float:
+        if self._tree is not None:
+            return float(self._tree.max_key())
+        return self._array.max_key()
+
+    def min_key(self) -> float:
+        if self._tree is not None:
+            return float(self._tree.min_key())
+        return self._array.min_key()
+
+    def keys_array(self) -> np.ndarray:
+        """All keys in increasing order."""
+        if self._tree is not None:
+            return self._tree.keys_array()
+        return self._array.keys_array()
+
+    def keys_in_rank_range(self, lo: int, hi: int) -> np.ndarray:
+        """Keys with 0-based local ranks in ``[lo, hi)``."""
+        if self._tree is not None:
+            return np.array([k for k, _ in self._tree.items_in_rank_range(lo, hi)], dtype=np.float64)
+        return self._array.keys_in_rank_range(lo, hi)
+
+    def items(self) -> List[Tuple[float, int]]:
+        """(key, item id) pairs in increasing key order."""
+        if self._tree is not None:
+            return list(self._tree.items())
+        return list(self._array.items())
+
+    def item_ids(self) -> np.ndarray:
+        """Item ids currently stored (in increasing key order)."""
+        if self._tree is not None:
+            return np.fromiter(self._tree.values(), dtype=np.int64, count=len(self._tree))
+        return self._array.ids_array()
+
+    # -- pruning -------------------------------------------------------------
+    def prune_to_rank(self, keep: int) -> int:
+        """Keep only the ``keep`` smallest items; returns how many were removed."""
+        if self._tree is not None:
+            return self._tree.truncate_to_rank(keep)
+        return self._array.truncate_to_rank(keep)
+
+    def prune_above_key(self, key: float, *, inclusive: bool = True) -> int:
+        """Discard items with keys above ``key`` (keeping ties when inclusive)."""
+        keep = self.count_le(key) if inclusive else self.count_less(key)
+        return self.prune_to_rank(keep)
+
+    # -- sampling -------------------------------------------------------------
+    def sample_keys(self, probability: float, rng: np.random.Generator, *, limit: Optional[int] = None) -> np.ndarray:
+        """Bernoulli sample of the stored keys (at most ``limit`` smallest)."""
+        size = len(self)
+        if size == 0 or probability <= 0.0:
+            return np.empty(0, dtype=np.float64)
+        count = int(rng.binomial(size, min(probability, 1.0)))
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        ranks = np.sort(rng.choice(size, size=count, replace=False))
+        if limit is not None:
+            ranks = ranks[:limit]
+        return np.array([self.kth_key(int(r) + 1) for r in ranks], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class LocalThresholdPolicy:
+    """First-batch local thresholding (paper Section 5).
+
+    While the global threshold is unknown, a PE applies a purely local
+    threshold once its reservoir grows beyond ``hard_limit(k)`` items and
+    re-tightens the reservoir to ``k`` items whenever it exceeds
+    ``refresh_limit(k)`` items.  Correctness: the reservoir is never pruned
+    below ``k`` items, so every local reservoir remains a size->=k sample of
+    the items the PE has seen, and the union remains a valid candidate set.
+    """
+
+    k: int
+    hard_factor: float = 1.5
+    hard_slack: int = 500
+    refresh_factor: float = 1.1
+    refresh_slack: int = 250
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.k, "k")
+        if self.hard_factor < 1.0 or self.refresh_factor < 1.0:
+            raise ValueError("threshold factors must be at least 1")
+
+    @property
+    def activation_size(self) -> int:
+        """Reservoir size beyond which the local threshold is first applied."""
+        return int(max(self.hard_factor * self.k, self.k + self.hard_slack))
+
+    @property
+    def refresh_size(self) -> int:
+        """Reservoir size beyond which the reservoir is re-tightened to ``k``."""
+        return int(max(self.refresh_factor * self.k, self.k + self.refresh_slack))
+
+    def applies_to_batch(self, batch_size: int) -> bool:
+        """Whether a first batch of ``batch_size`` items triggers the policy."""
+        return batch_size >= self.activation_size
+
+    def refresh_if_needed(self, reservoir: LocalReservoir) -> Tuple[Optional[float], int]:
+        """Re-tighten ``reservoir`` if it grew beyond the refresh size.
+
+        Returns ``(local_threshold, removed)``: the key of local rank ``k``
+        to use as the threshold for subsequent items (``None`` while the
+        reservoir still holds fewer than ``k`` items) and the number of
+        items pruned by this call.  The reservoir is never pruned below
+        ``k`` items.
+        """
+        size = len(reservoir)
+        removed = 0
+        if size > self.refresh_size:
+            removed = reservoir.prune_to_rank(self.k)
+            size = self.k
+        if size >= self.k:
+            return reservoir.kth_key(self.k), removed
+        return None, removed

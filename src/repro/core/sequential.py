@@ -1,0 +1,271 @@
+"""Sequential reservoir samplers (paper Sections 4.1 and 4.3).
+
+These are the single-PE building blocks of the distributed algorithm and
+double as baselines and as reference implementations for the statistical
+tests:
+
+* :class:`SequentialWeightedReservoir` — weighted reservoir sampling with
+  the exponential-jumps skip values adapted to exponential keys
+  (Section 4.1).  The threshold (largest key in the reservoir) is updated
+  after every insertion, unlike the distributed mini-batch algorithm which
+  freezes it per batch.
+* :class:`SequentialUniformReservoir` — uniform reservoir sampling with
+  geometric jumps (Section 4.3, following Devroye/Li).
+* :func:`dense_weighted_sample` / :func:`dense_uniform_sample` — brute-force
+  reference samplers that give every item a key and keep the ``k`` smallest;
+  the distribution of their output is by construction correct, so they are
+  the ground truth for the statistical equivalence tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import keys as keymod
+from repro.stream.items import ItemBatch
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "SequentialWeightedReservoir",
+    "SequentialUniformReservoir",
+    "dense_weighted_sample",
+    "dense_uniform_sample",
+]
+
+
+class _ReservoirHeap:
+    """A max-heap of (key, item id, weight) capped at ``k`` entries."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        # store negated keys so that heapq (a min-heap) pops the largest key
+        self._heap: List[Tuple[float, int, float]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def max_key(self) -> float:
+        if not self._heap:
+            raise ValueError("empty reservoir has no threshold")
+        return -self._heap[0][0]
+
+    def push(self, key: float, item_id: int, weight: float) -> None:
+        heapq.heappush(self._heap, (-key, item_id, weight))
+
+    def replace_max(self, key: float, item_id: int, weight: float) -> None:
+        heapq.heapreplace(self._heap, (-key, item_id, weight))
+
+    def items(self) -> List[Tuple[float, int, float]]:
+        return [(-neg_key, item_id, weight) for neg_key, item_id, weight in self._heap]
+
+
+class SequentialWeightedReservoir:
+    """Weighted reservoir sampler over a stream of (id, weight) items.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    seed:
+        Seed or generator for the random key stream.
+
+    Notes
+    -----
+    The sampler keeps the ``k`` items with the smallest exponential keys
+    seen so far.  After the reservoir is full it uses exponential jumps: it
+    draws how much *weight* may pass before the next insertion and examines
+    only the items that exhaust the skip, as in Section 4.1 of the paper.
+    """
+
+    def __init__(self, k: int, seed=None) -> None:
+        self.k = check_positive_int(k, "k")
+        self._rng = ensure_generator(seed)
+        self._reservoir = _ReservoirHeap(self.k)
+        self._items_seen = 0
+        self._total_weight = 0.0
+        self._weight_to_skip = 0.0  # remaining weight of the current jump
+        self._skips_drawn = 0
+        self._insertions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current number of items in the reservoir (``min(k, n)``)."""
+        return len(self._reservoir)
+
+    @property
+    def items_seen(self) -> int:
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def insertions(self) -> int:
+        """Number of reservoir insertions performed so far (diagnostics)."""
+        return self._insertions
+
+    @property
+    def threshold(self) -> Optional[float]:
+        """Current insertion threshold (largest key), ``None`` while filling."""
+        return self._reservoir.max_key if self._reservoir.full else None
+
+    # ------------------------------------------------------------------
+    def insert(self, item_id: int, weight: float) -> bool:
+        """Process one item; returns ``True`` if it entered the reservoir."""
+        weight = check_positive(weight, "weight")
+        self._items_seen += 1
+        self._total_weight += weight
+        if not self._reservoir.full:
+            key = float(-math.log(1.0 - self._rng.random()) / weight)
+            self._reservoir.push(key, int(item_id), weight)
+            self._insertions += 1
+            if self._reservoir.full:
+                self._weight_to_skip = keymod.weighted_skip(self._reservoir.max_key, self._rng)
+                self._skips_drawn += 1
+            return True
+        self._weight_to_skip -= weight
+        if self._weight_to_skip > 0.0:
+            return False
+        threshold = self._reservoir.max_key
+        key = keymod.weighted_key_below_threshold(weight, threshold, self._rng)
+        self._reservoir.replace_max(key, int(item_id), weight)
+        self._insertions += 1
+        self._weight_to_skip = keymod.weighted_skip(self._reservoir.max_key, self._rng)
+        self._skips_drawn += 1
+        return True
+
+    def process(self, batch: ItemBatch) -> int:
+        """Process a whole batch; returns the number of insertions."""
+        before = self._insertions
+        for item_id, weight in zip(batch.ids.tolist(), batch.weights.tolist()):
+            self.insert(item_id, weight)
+        return self._insertions - before
+
+    def extend(self, items: Iterable[Tuple[int, float]]) -> None:
+        """Process an iterable of ``(id, weight)`` pairs."""
+        for item_id, weight in items:
+            self.insert(item_id, weight)
+
+    # ------------------------------------------------------------------
+    def sample(self) -> List[Tuple[int, float]]:
+        """The current sample as ``(item id, weight)`` pairs (unordered)."""
+        return [(item_id, weight) for _, item_id, weight in self._reservoir.items()]
+
+    def sample_ids(self) -> np.ndarray:
+        """The current sample's item ids."""
+        return np.array([item_id for _, item_id, _ in self._reservoir.items()], dtype=np.int64)
+
+    def sample_with_keys(self) -> List[Tuple[float, int, float]]:
+        """The current sample as ``(key, id, weight)`` triples."""
+        return self._reservoir.items()
+
+
+class SequentialUniformReservoir:
+    """Uniform reservoir sampler with geometric jumps (Section 4.3)."""
+
+    def __init__(self, k: int, seed=None) -> None:
+        self.k = check_positive_int(k, "k")
+        self._rng = ensure_generator(seed)
+        self._reservoir = _ReservoirHeap(self.k)
+        self._items_seen = 0
+        self._items_to_skip = 0
+        self._insertions = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._reservoir)
+
+    @property
+    def items_seen(self) -> int:
+        return self._items_seen
+
+    @property
+    def insertions(self) -> int:
+        return self._insertions
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._reservoir.max_key if self._reservoir.full else None
+
+    # ------------------------------------------------------------------
+    def insert(self, item_id: int) -> bool:
+        """Process one item; returns ``True`` if it entered the reservoir."""
+        self._items_seen += 1
+        if not self._reservoir.full:
+            key = float(1.0 - self._rng.random())
+            self._reservoir.push(key, int(item_id), 1.0)
+            self._insertions += 1
+            if self._reservoir.full:
+                self._items_to_skip = keymod.geometric_skip(self._reservoir.max_key, self._rng)
+            return True
+        if self._items_to_skip > 0:
+            self._items_to_skip -= 1
+            return False
+        threshold = self._reservoir.max_key
+        key = keymod.uniform_key_below_threshold(threshold, self._rng)
+        self._reservoir.replace_max(key, int(item_id), 1.0)
+        self._insertions += 1
+        self._items_to_skip = keymod.geometric_skip(self._reservoir.max_key, self._rng)
+        return True
+
+    def process(self, batch: ItemBatch) -> int:
+        """Process a batch (weights ignored); returns the number of insertions."""
+        before = self._insertions
+        for item_id in batch.ids.tolist():
+            self.insert(item_id)
+        return self._insertions - before
+
+    def extend_ids(self, ids: Iterable[int]) -> None:
+        for item_id in ids:
+            self.insert(item_id)
+
+    def sample_ids(self) -> np.ndarray:
+        return np.array([item_id for _, item_id, _ in self._reservoir.items()], dtype=np.int64)
+
+    def sample_with_keys(self) -> List[Tuple[float, int, float]]:
+        return self._reservoir.items()
+
+
+# ---------------------------------------------------------------------------
+# dense reference samplers
+# ---------------------------------------------------------------------------
+def dense_weighted_sample(
+    ids: Sequence[int], weights: Sequence[float], k: int, rng=None
+) -> np.ndarray:
+    """Brute-force weighted sample without replacement of size ``min(k, n)``.
+
+    Gives every item an exponential key and returns the ids of the ``k``
+    smallest.  Correct by construction (Section 3.1); used as ground truth.
+    """
+    rng = ensure_generator(rng)
+    ids = np.asarray(ids, dtype=np.int64)
+    keys = keymod.exponential_keys(np.asarray(weights, dtype=np.float64), rng)
+    k = min(int(k), ids.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argpartition(keys, k - 1)[:k]
+    return ids[order]
+
+
+def dense_uniform_sample(ids: Sequence[int], k: int, rng=None) -> np.ndarray:
+    """Brute-force uniform sample without replacement of size ``min(k, n)``."""
+    rng = ensure_generator(rng)
+    ids = np.asarray(ids, dtype=np.int64)
+    keys = keymod.uniform_keys(ids.shape[0], rng)
+    k = min(int(k), ids.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argpartition(keys, k - 1)[:k]
+    return ids[order]

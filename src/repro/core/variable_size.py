@@ -1,0 +1,85 @@
+"""Reservoir sampling with a variable reservoir size (paper Section 4.4).
+
+For any threshold ``T`` the items with keys below ``T`` form a valid sample
+without replacement; its size ``s`` just is not fixed.  If the application
+tolerates ``s`` anywhere in a band ``[k_lo, k_hi]``, two savings follow:
+
+* the expensive selection only has to run when the sample has *grown out of
+  the band* (for a stationary input the turnover is tiny once ``n >> k``,
+  so whole batches pass without any selection at all), and
+* when a selection does run, the approximate ``amsSelect`` algorithm may
+  stop at any rank inside the band, which gives expected **constant**
+  recursion depth when the band is wide enough (Corollary 5), so
+  ``T_sel = O(alpha * log p)``.
+
+The implementation reuses the machinery of
+:class:`~repro.core.distributed.DistributedReservoirSampler` and only
+replaces the "when to select and which rank to accept" decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.distributed import DistributedReservoirSampler, ReservoirKeySet
+from repro.network.communicator import SimComm
+from repro.selection.ams_select import AmsSelection
+from repro.selection.base import SelectionResult
+from repro.utils.validation import check_positive_int
+
+__all__ = ["VariableSizeReservoirSampler"]
+
+
+class VariableSizeReservoirSampler(DistributedReservoirSampler):
+    """Distributed reservoir sampling with sample size in ``[k_lo, k_hi]``.
+
+    Parameters
+    ----------
+    k_lo, k_hi:
+        Band of acceptable sample sizes (``k_lo <= k_hi``).  After every
+        round the sample holds at least ``min(k_lo, n)`` and at most
+        ``k_hi`` items.
+    selection:
+        Banded selection algorithm; defaults to
+        :class:`~repro.selection.ams_select.AmsSelection` with two pivots.
+    """
+
+    algorithm_name = "ours-variable"
+
+    def __init__(
+        self,
+        k_lo: int,
+        k_hi: int,
+        comm: SimComm,
+        *,
+        selection=None,
+        **kwargs,
+    ) -> None:
+        check_positive_int(k_lo, "k_lo")
+        check_positive_int(k_hi, "k_hi")
+        if k_hi < k_lo:
+            raise ValueError(f"k_hi ({k_hi}) must be at least k_lo ({k_lo})")
+        selection = selection if selection is not None else AmsSelection(num_pivots=2)
+        super().__init__(k_lo, comm, selection=selection, **kwargs)
+        self.k_lo = int(k_lo)
+        self.k_hi = int(k_hi)
+        #: number of rounds in which a (banded) selection actually ran
+        self.selections_run = 0
+        #: number of rounds that needed no selection at all
+        self.rounds_without_selection = 0
+
+    # ------------------------------------------------------------------
+    def _needs_selection(self, total_candidates: int) -> bool:
+        """Only re-threshold when the sample outgrew the upper band limit."""
+        needed = total_candidates > self.k_hi
+        if not needed:
+            self.rounds_without_selection += 1
+        return needed
+
+    def _tighten_without_selection(self, total_candidates: int) -> Optional[float]:
+        """Inside the band the existing threshold remains valid; do nothing."""
+        return None
+
+    def _run_selection(self, keyset: ReservoirKeySet) -> SelectionResult:
+        self.selections_run += 1
+        return self.selection.select_range(keyset, self.k_lo, self.k_hi, self.comm, self._rngs)

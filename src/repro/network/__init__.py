@@ -1,0 +1,51 @@
+"""Simulated distributed machine and communication substrate (paper Section 3).
+
+The paper's machine model is ``p`` processing elements (PEs) connected by a
+single-ported, full-duplex network in which sending a message of ``l``
+machine words costs ``alpha + beta * l`` time.  Collective operations
+(broadcast, reduction, all-reduction, gather) built on tree algorithms cost
+``O(beta*l + alpha*log p)`` (``O(beta*p*l + alpha*log p)`` for gather).
+
+This package provides:
+
+* :class:`~repro.network.cost_model.CostParameters` — the ``alpha``/``beta``
+  machine constants,
+* :class:`~repro.network.cost_model.CostLedger` — an account of every
+  communication event (messages, words, simulated time) grouped by
+  algorithm phase,
+* :mod:`~repro.network.collectives` — the tree-based collective algorithms
+  operating on per-PE value lists, exposing the exact message pattern,
+* :class:`~repro.network.communicator.SimComm` — the SPMD-style facade the
+  sampling algorithms program against, mirroring the familiar MPI
+  collective interface while charging the cost model.
+"""
+
+from repro.network.collectives import (
+    binomial_broadcast,
+    binomial_gather,
+    binomial_reduce,
+    butterfly_allgather,
+    butterfly_allreduce,
+    hypercube_scan,
+)
+from repro.network.communicator import ReduceOp, SimComm
+from repro.network.cost_model import CommEvent, CostLedger, CostParameters
+from repro.network.message import Message, MessageTrace
+from repro.network.topology import Topology
+
+__all__ = [
+    "CostParameters",
+    "CostLedger",
+    "CommEvent",
+    "Message",
+    "MessageTrace",
+    "Topology",
+    "SimComm",
+    "ReduceOp",
+    "binomial_broadcast",
+    "binomial_reduce",
+    "binomial_gather",
+    "butterfly_allreduce",
+    "butterfly_allgather",
+    "hypercube_scan",
+]

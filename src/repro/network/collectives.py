@@ -1,0 +1,352 @@
+"""Tree-based collective communication algorithms.
+
+These functions implement the classic algorithms behind the collective
+operations the paper relies on (Section 3, "Collective Communication"):
+
+* **binomial broadcast / reduction / gather** — ``ceil(log2 p)`` rounds, with
+  every PE sending and receiving at most one message per round (the machine
+  model is single-ported full-duplex);
+* **butterfly all-reduction** — recursive doubling, with the standard fold-in
+  step for non-power-of-two PE counts;
+* **all-gather and prefix sums** built from the primitives above.
+
+They operate on *per-PE value lists* (``values[i]`` is PE ``i``'s
+contribution) because the whole machine is simulated inside one process.
+Each function optionally reports every message it would send through the
+``on_message`` callback so tests can verify message patterns, and returns
+the number of communication rounds it used.
+
+The functions are deliberately free of cost accounting — that is the job of
+:class:`repro.network.communicator.SimComm` — so they can be unit-tested in
+isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.network.message import Message
+from repro.network.topology import Topology
+
+__all__ = [
+    "payload_words",
+    "binomial_broadcast",
+    "binomial_reduce",
+    "binomial_gather",
+    "butterfly_allreduce",
+    "butterfly_allgather",
+    "hypercube_scan",
+]
+
+MessageCallback = Optional[Callable[[Message], None]]
+
+
+def payload_words(value: object) -> float:
+    """Best-effort estimate of the size of ``value`` in machine words."""
+    if value is None:
+        return 0.0
+    size = getattr(value, "size", None)
+    if size is not None and not isinstance(value, (str, bytes)):
+        try:
+            return float(size)
+        except TypeError:  # pragma: no cover - exotic objects
+            pass
+    if isinstance(value, (list, tuple)):
+        return float(len(value)) if value else 0.0
+    return 1.0
+
+
+def _emit(
+    on_message: MessageCallback,
+    src: int,
+    dst: int,
+    words: float,
+    op: str,
+    round_index: int,
+) -> None:
+    if on_message is not None and src != dst:
+        on_message(Message(src=src, dst=dst, words=words, op=op, round_index=round_index))
+
+
+# ---------------------------------------------------------------------------
+# binomial tree collectives
+# ---------------------------------------------------------------------------
+def binomial_broadcast(
+    values: Sequence[object],
+    root: int,
+    topology: Topology,
+    *,
+    words: Optional[float] = None,
+    on_message: MessageCallback = None,
+    op_name: str = "broadcast",
+) -> Tuple[List[object], int]:
+    """Broadcast ``values[root]`` to every PE along a binomial tree.
+
+    Returns the new per-PE value list and the number of rounds.
+    """
+    p = topology.p
+    root = topology.validate_rank(root)
+    payload = values[root]
+    if words is None:
+        words = payload_words(payload)
+    rounds = topology.rounds
+    result = [payload for _ in range(p)]
+    # Message pattern: relative rank ``rel`` receives from its parent in the
+    # round indexed by ``rounds - 1 - lowest_set_bit(rel)``.
+    for rank in range(p):
+        rel = topology.relative_rank(rank, root)
+        if rel == 0:
+            continue
+        parent = topology.binomial_parent(rank, root)
+        bit = (rel & -rel).bit_length() - 1
+        _emit(on_message, parent, rank, words, op_name, rounds - 1 - bit)
+    return result, rounds
+
+
+def binomial_reduce(
+    values: Sequence[object],
+    op: Callable[[object, object], object],
+    root: int,
+    topology: Topology,
+    *,
+    words: Optional[float] = None,
+    on_message: MessageCallback = None,
+    op_name: str = "reduce",
+) -> Tuple[object, int]:
+    """Reduce the per-PE values with ``op`` along a binomial tree.
+
+    The reduction is performed in rank order within each subtree, so
+    ``op`` need only be associative.  Returns ``(result_at_root, rounds)``.
+    """
+    p = topology.p
+    root = topology.validate_rank(root)
+    rounds = topology.rounds
+    if words is None:
+        words = max(payload_words(v) for v in values) if p else 0.0
+    # accumulate children into parents bottom-up, round by round
+    partial = list(values)
+    for bit in range(rounds):
+        for rank in range(p):
+            rel = topology.relative_rank(rank, root)
+            if rel == 0:
+                continue
+            low = (rel & -rel).bit_length() - 1
+            if low == bit:
+                parent = topology.binomial_parent(rank, root)
+                _emit(on_message, rank, parent, words, op_name, bit)
+                partial[parent] = op(partial[parent], partial[rank])
+    return partial[root], rounds
+
+
+def binomial_gather(
+    values: Sequence[object],
+    root: int,
+    topology: Topology,
+    *,
+    words_per_pe: Optional[Sequence[float]] = None,
+    on_message: MessageCallback = None,
+    op_name: str = "gather",
+) -> Tuple[List[object], int]:
+    """Gather one value from every PE at ``root`` along a binomial tree.
+
+    Returns ``(list_of_values_in_rank_order, rounds)``.  Message sizes grow
+    towards the root, which is why the gather volume term is ``beta*p*l``
+    rather than ``beta*l``.
+    """
+    p = topology.p
+    root = topology.validate_rank(root)
+    rounds = topology.rounds
+    if words_per_pe is None:
+        words_per_pe = [payload_words(v) for v in values]
+    # Each rank accumulates (rank, value) pairs from its subtree.
+    bucket: List[List[Tuple[int, object]]] = [[(rank, values[rank])] for rank in range(p)]
+    weight: List[float] = [float(words_per_pe[rank]) for rank in range(p)]
+    for bit in range(rounds):
+        for rank in range(p):
+            rel = topology.relative_rank(rank, root)
+            if rel == 0:
+                continue
+            low = (rel & -rel).bit_length() - 1
+            if low == bit:
+                parent = topology.binomial_parent(rank, root)
+                _emit(on_message, rank, parent, weight[rank], op_name, bit)
+                bucket[parent].extend(bucket[rank])
+                weight[parent] += weight[rank]
+    gathered = sorted(bucket[root], key=lambda pair: pair[0])
+    return [value for _, value in gathered], rounds
+
+
+# ---------------------------------------------------------------------------
+# butterfly collectives
+# ---------------------------------------------------------------------------
+def butterfly_allreduce(
+    values: Sequence[object],
+    op: Callable[[object, object], object],
+    topology: Topology,
+    *,
+    words: Optional[float] = None,
+    on_message: MessageCallback = None,
+    op_name: str = "allreduce",
+) -> Tuple[List[object], int]:
+    """All-reduce via recursive doubling (butterfly exchange).
+
+    Non-power-of-two PE counts use the standard fold-in: the excess ranks
+    first send their contribution to a partner inside the largest power of
+    two, the butterfly runs there, and the result is sent back.  ``op`` must
+    be associative and commutative.
+    """
+    p = topology.p
+    if words is None:
+        words = max(payload_words(v) for v in values) if p else 0.0
+    if p == 1:
+        return list(values), 0
+    core = 1 << (p.bit_length() - 1)  # largest power of two <= p
+    extra = p - core
+    partial = list(values)
+    rounds = 0
+    # fold-in round
+    if extra:
+        for rank in range(core, p):
+            partner = rank - core
+            _emit(on_message, rank, partner, words, op_name, rounds)
+            partial[partner] = op(partial[partner], partial[rank])
+        rounds += 1
+    # butterfly among the core ranks
+    bits = core.bit_length() - 1
+    for bit in range(bits):
+        for rank in range(core):
+            partner = rank ^ (1 << bit)
+            if partner < rank:
+                continue
+            _emit(on_message, rank, partner, words, op_name, rounds)
+            _emit(on_message, partner, rank, words, op_name, rounds)
+            combined = op(partial[rank], partial[partner])
+            partial[rank] = combined
+            partial[partner] = combined
+        rounds += 1
+    # fold-out round
+    if extra:
+        for rank in range(core, p):
+            partner = rank - core
+            _emit(on_message, partner, rank, words, op_name, rounds)
+            partial[rank] = partial[partner]
+        rounds += 1
+    return partial, rounds
+
+
+def butterfly_allgather(
+    values: Sequence[object],
+    topology: Topology,
+    *,
+    words_per_pe: Optional[Sequence[float]] = None,
+    on_message: MessageCallback = None,
+    op_name: str = "allgather",
+) -> Tuple[List[List[object]], int]:
+    """All-gather: every PE ends up with the list of all per-PE values.
+
+    Power-of-two PE counts use recursive doubling; other counts fall back to
+    a binomial gather followed by a broadcast (same asymptotic cost).
+    """
+    p = topology.p
+    if words_per_pe is None:
+        words_per_pe = [payload_words(v) for v in values]
+    if p == 1:
+        return [[values[0]]], 0
+    if p & (p - 1) == 0:
+        # recursive doubling: each rank maintains a dict rank -> value
+        holdings: List[dict] = [{rank: values[rank]} for rank in range(p)]
+        volume: List[float] = [float(words_per_pe[rank]) for rank in range(p)]
+        rounds = 0
+        bits = p.bit_length() - 1
+        for bit in range(bits):
+            for rank in range(p):
+                partner = rank ^ (1 << bit)
+                if partner < rank:
+                    continue
+                _emit(on_message, rank, partner, volume[rank], op_name, rounds)
+                _emit(on_message, partner, rank, volume[partner], op_name, rounds)
+                merged = dict(holdings[rank])
+                merged.update(holdings[partner])
+                holdings[rank] = merged
+                holdings[partner] = dict(merged)
+                new_volume = volume[rank] + volume[partner]
+                volume[rank] = new_volume
+                volume[partner] = new_volume
+            rounds += 1
+        result = [[holdings[rank][r] for r in range(p)] for rank in range(p)]
+        return result, rounds
+    gathered, gather_rounds = binomial_gather(
+        values, 0, topology, words_per_pe=words_per_pe, on_message=on_message, op_name=op_name
+    )
+    # Shift the broadcast's round indices past the gather rounds so that the
+    # combined trace still respects the single-ported model round by round.
+    if on_message is None:
+        shifted_callback = None
+    else:
+        def shifted_callback(message: Message) -> None:
+            on_message(
+                Message(
+                    src=message.src,
+                    dst=message.dst,
+                    words=message.words,
+                    op=message.op,
+                    round_index=message.round_index + gather_rounds,
+                    tag=message.tag,
+                )
+            )
+
+    broadcasted, bcast_rounds = binomial_broadcast(
+        [gathered] * p,
+        0,
+        topology,
+        words=float(sum(words_per_pe)),
+        on_message=shifted_callback,
+        op_name=op_name,
+    )
+    return [list(v) for v in broadcasted], gather_rounds + bcast_rounds
+
+
+def hypercube_scan(
+    values: Sequence[object],
+    op: Callable[[object, object], object],
+    topology: Topology,
+    *,
+    words: Optional[float] = None,
+    on_message: MessageCallback = None,
+    op_name: str = "scan",
+) -> Tuple[List[object], int]:
+    """Inclusive prefix "sum" (scan) with ``op`` over the PE ranks.
+
+    Uses the hypercube scan algorithm: in round ``i`` each PE exchanges its
+    running aggregate with its partner across bit ``i`` and folds the
+    partner's aggregate into the prefix if the partner has a lower rank.
+    Non-power-of-two counts are handled by letting the missing partners sit
+    out the round, which preserves correctness at the price of a slightly
+    unbalanced schedule.
+    """
+    p = topology.p
+    if words is None:
+        words = max(payload_words(v) for v in values) if p else 0.0
+    if p == 1:
+        return list(values), 0
+    prefix = list(values)  # inclusive prefix result per rank
+    aggregate = list(values)  # aggregate of the rank's current hypercube group
+    rounds = topology.rounds
+    for bit in range(rounds):
+        new_prefix = list(prefix)
+        new_aggregate = list(aggregate)
+        for rank in range(p):
+            partner = rank ^ (1 << bit)
+            if partner >= p:
+                continue
+            if rank < partner:
+                _emit(on_message, rank, partner, words, op_name, bit)
+            else:
+                _emit(on_message, rank, partner, words, op_name, bit)
+            combined = op(aggregate[min(rank, partner)], aggregate[max(rank, partner)])
+            new_aggregate[rank] = combined
+            if partner < rank:
+                new_prefix[rank] = op(aggregate[partner], prefix[rank])
+        prefix = new_prefix
+        aggregate = new_aggregate
+    return prefix, rounds

@@ -1,0 +1,265 @@
+"""SPMD-style simulated communicator with cost accounting.
+
+:class:`SimComm` is the facade the sampling algorithms program against.  It
+mirrors the collective interface of MPI (broadcast, reduce, all-reduce,
+gather, all-gather, scan, barrier) but operates on *per-PE value lists*
+because all ``p`` PEs live inside one simulating process.
+
+Every call
+
+1. routes the data with the tree algorithms from
+   :mod:`repro.network.collectives` (optionally tracing every message), and
+2. charges the :class:`~repro.network.cost_model.CostLedger` with the
+   simulated time of the operation under the paper's machine model —
+   ``O(beta*l + alpha*log p)`` for broadcast/reductions and
+   ``O(beta*p*l + alpha*log p)`` for gather/all-gather.
+
+Calls are attributed to the *phase* currently set via :meth:`SimComm.phase`
+(e.g. ``"select"`` or ``"threshold"``), which is how the running-time
+composition of Figure 6 is reconstructed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.network import collectives
+from repro.network.cost_model import CostLedger, CostParameters
+from repro.network.message import MessageTrace
+from repro.network.topology import Topology
+
+__all__ = ["ReduceOp", "SimComm"]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An associative reduction operator usable in (all-)reductions."""
+
+    name: str
+    func: Callable[[object, object], object]
+
+    def __call__(self, a: object, b: object) -> object:
+        return self.func(a, b)
+
+
+def _sum(a, b):
+    return a + b
+
+
+def _max(a, b):
+    return np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b)
+
+
+def _min(a, b):
+    return np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b)
+
+
+class SimComm:
+    """Simulated communicator over ``p`` PEs.
+
+    Parameters
+    ----------
+    p:
+        Number of simulated processing elements.
+    cost:
+        Machine constants; defaults to :class:`CostParameters` defaults.
+    ledger:
+        Cost ledger to charge; a fresh one is created if not given.
+    trace_messages:
+        If true, every simulated point-to-point message is recorded in
+        :attr:`trace` (useful in tests, off by default for speed).
+    """
+
+    SUM = ReduceOp("sum", _sum)
+    MAX = ReduceOp("max", _max)
+    MIN = ReduceOp("min", _min)
+
+    def __init__(
+        self,
+        p: int,
+        cost: Optional[CostParameters] = None,
+        ledger: Optional[CostLedger] = None,
+        *,
+        trace_messages: bool = False,
+    ) -> None:
+        self.topology = Topology(p)
+        self.cost = cost or CostParameters()
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.trace: Optional[MessageTrace] = MessageTrace() if trace_messages else None
+        self._phase = "other"
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of PEs."""
+        return self.topology.p
+
+    @property
+    def current_phase(self) -> str:
+        """Phase label new communication is attributed to."""
+        return self._phase
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all communication inside the block to phase ``name``."""
+        previous = self._phase
+        self._phase = name
+        try:
+            yield
+        finally:
+            self._phase = previous
+
+    def _on_message(self):
+        return self.trace.add if self.trace is not None else None
+
+    def _check_values(self, values: Sequence[object]) -> None:
+        if len(values) != self.p:
+            raise ValueError(
+                f"expected one value per PE ({self.p}), got {len(values)}"
+            )
+
+    def _record(self, op: str, messages: int, words: float, rounds: int, time: float) -> None:
+        self.ledger.record(
+            op,
+            phase=self._phase,
+            p=self.p,
+            messages=messages,
+            words=words,
+            rounds=rounds,
+            time=time,
+        )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def broadcast(self, values: Sequence[object], root: int = 0, *, words: Optional[float] = None) -> List[object]:
+        """Broadcast ``values[root]`` to all PEs; returns the per-PE list."""
+        self._check_values(values)
+        if words is None:
+            words = collectives.payload_words(values[root])
+        result, rounds = collectives.binomial_broadcast(
+            values, root, self.topology, words=words, on_message=self._on_message()
+        )
+        time = self.cost.collective_time(self.p, words)
+        self._record("broadcast", messages=self.p - 1, words=words * (self.p - 1), rounds=rounds, time=time)
+        return result
+
+    def reduce(
+        self,
+        values: Sequence[object],
+        op: ReduceOp,
+        root: int = 0,
+        *,
+        words: Optional[float] = None,
+    ) -> object:
+        """Reduce per-PE values with ``op``; the result is returned (logically at ``root``)."""
+        self._check_values(values)
+        if words is None:
+            words = max(collectives.payload_words(v) for v in values)
+        result, rounds = collectives.binomial_reduce(
+            values, op, root, self.topology, words=words, on_message=self._on_message()
+        )
+        time = self.cost.collective_time(self.p, words)
+        self._record(f"reduce[{op.name}]", messages=self.p - 1, words=words * (self.p - 1), rounds=rounds, time=time)
+        return result
+
+    def allreduce(
+        self,
+        values: Sequence[object],
+        op: ReduceOp,
+        *,
+        words: Optional[float] = None,
+    ) -> List[object]:
+        """All-reduce: every PE obtains the reduction of all contributions."""
+        self._check_values(values)
+        if words is None:
+            words = max(collectives.payload_words(v) for v in values)
+        result, rounds = collectives.butterfly_allreduce(
+            values, op, self.topology, words=words, on_message=self._on_message()
+        )
+        messages = max(0, 2 * (self.p - 1))
+        time = self.cost.collective_time(self.p, words)
+        self._record(f"allreduce[{op.name}]", messages=messages, words=words * messages, rounds=rounds, time=time)
+        return result
+
+    def gather(
+        self,
+        values: Sequence[object],
+        root: int = 0,
+        *,
+        words_per_pe: Optional[Sequence[float]] = None,
+    ) -> List[object]:
+        """Gather one value from every PE; returns the rank-ordered list.
+
+        The gathered list is logically available only at ``root``; callers
+        emulating SPMD code should only use it "on" that PE.
+        """
+        self._check_values(values)
+        if words_per_pe is None:
+            words_per_pe = [collectives.payload_words(v) for v in values]
+        result, rounds = collectives.binomial_gather(
+            values, root, self.topology, words_per_pe=words_per_pe, on_message=self._on_message()
+        )
+        total_words = float(sum(words_per_pe))
+        time = self.cost.gather_time(self.p, total_words / max(self.p, 1))
+        self._record("gather", messages=self.p - 1, words=total_words, rounds=rounds, time=time)
+        return result
+
+    def allgather(
+        self,
+        values: Sequence[object],
+        *,
+        words_per_pe: Optional[Sequence[float]] = None,
+    ) -> List[List[object]]:
+        """All-gather: every PE obtains the rank-ordered list of all values."""
+        self._check_values(values)
+        if words_per_pe is None:
+            words_per_pe = [collectives.payload_words(v) for v in values]
+        result, rounds = collectives.butterfly_allgather(
+            values, self.topology, words_per_pe=words_per_pe, on_message=self._on_message()
+        )
+        total_words = float(sum(words_per_pe))
+        time = self.cost.gather_time(self.p, total_words / max(self.p, 1))
+        self._record("allgather", messages=2 * (self.p - 1), words=total_words, rounds=rounds, time=time)
+        return result
+
+    def scan(self, values: Sequence[object], op: ReduceOp, *, words: Optional[float] = None) -> List[object]:
+        """Inclusive prefix reduction over PE ranks."""
+        self._check_values(values)
+        if words is None:
+            words = max(collectives.payload_words(v) for v in values)
+        result, rounds = collectives.hypercube_scan(
+            values, op, self.topology, words=words, on_message=self._on_message()
+        )
+        time = self.cost.collective_time(self.p, words)
+        self._record(f"scan[{op.name}]", messages=max(0, 2 * (self.p - 1)), words=words * (self.p - 1), rounds=rounds, time=time)
+        return result
+
+    def barrier(self) -> None:
+        """Synchronise all PEs (accounted as an empty all-reduction)."""
+        time = self.cost.collective_time(self.p, 0.0)
+        self._record("barrier", messages=max(0, 2 * (self.p - 1)), words=0.0, rounds=self.topology.rounds, time=time)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, value: object, *, words: Optional[float] = None) -> object:
+        """Send ``value`` from PE ``src`` to PE ``dst`` and return it."""
+        src = self.topology.validate_rank(src)
+        dst = self.topology.validate_rank(dst)
+        if words is None:
+            words = collectives.payload_words(value)
+        if src != dst:
+            if self.trace is not None:
+                from repro.network.message import Message
+
+                self.trace.add(Message(src=src, dst=dst, words=words, op="send", round_index=0))
+            self._record("send", messages=1, words=words, rounds=1, time=self.cost.message_time(words))
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SimComm(p={self.p}, phase={self._phase!r})"

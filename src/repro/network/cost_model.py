@@ -1,0 +1,245 @@
+"""Communication cost model and accounting ledger.
+
+The paper expresses running times as ``O(x + beta*y + alpha*z)`` where ``x``
+is local work, ``y`` communication volume (machine words) and ``z`` the
+latency (number of message start-ups on the critical path).  The simulator
+executes the real algorithms and *accounts* every collective operation here,
+so that a full run yields both the exact communicated volume/message counts
+and a simulated elapsed time under a configurable machine.
+
+Default constants loosely follow a modern InfiniBand-class interconnect
+(micro-seconds of latency, GB/s of bandwidth) similar to the ForHLR II
+system used in the paper; the absolute values only set the scale, the
+*ratio* of latency to local work is what shapes the scaling curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.utils.validation import check_positive
+
+__all__ = ["CostParameters", "CommEvent", "CostLedger"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Machine constants of the communication model.
+
+    Attributes
+    ----------
+    alpha:
+        Time (seconds) to initiate a message transfer (start-up latency).
+    beta:
+        Time (seconds) to transfer a single machine word once the connection
+        is established.
+    word_bytes:
+        Size of a machine word in bytes; only used for reporting volume in
+        bytes, the cost formulas work in words.
+    """
+
+    alpha: float = 2.0e-6
+    beta: float = 1.0e-9
+    word_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive(self.alpha, "alpha")
+        check_positive(self.beta, "beta")
+        if self.word_bytes <= 0:
+            raise ValueError("word_bytes must be positive")
+
+    # -- elementary costs ------------------------------------------------
+    def message_time(self, words: float) -> float:
+        """Time to send one point-to-point message of ``words`` words."""
+        return self.alpha + self.beta * float(words)
+
+    def collective_time(self, p: int, words: float) -> float:
+        """Time of a broadcast/(all-)reduction of ``words`` words on ``p`` PEs.
+
+        Matches the paper's ``O(beta*l + alpha*log p)`` bound for the
+        pipelined / two-tree collective algorithms.
+        """
+        if p <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        return self.alpha * rounds + self.beta * float(words)
+
+    def gather_time(self, p: int, words_per_pe: float) -> float:
+        """Time of gathering ``words_per_pe`` words from each of ``p`` PEs.
+
+        Matches the paper's ``O(beta*p*l + alpha*log p)`` bound: the root
+        ultimately receives the full volume, the start-ups form a tree.
+        """
+        if p <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        return self.alpha * rounds + self.beta * float(words_per_pe) * p
+
+    def scaled(self, *, alpha_factor: float = 1.0, beta_factor: float = 1.0) -> "CostParameters":
+        """Return a copy with scaled constants (useful for sensitivity studies)."""
+        return CostParameters(
+            alpha=self.alpha * alpha_factor,
+            beta=self.beta * beta_factor,
+            word_bytes=self.word_bytes,
+        )
+
+
+@dataclass
+class CommEvent:
+    """A single accounted communication operation."""
+
+    op: str
+    phase: str
+    p: int
+    messages: int
+    words: float
+    rounds: int
+    time: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "op": self.op,
+            "phase": self.phase,
+            "p": self.p,
+            "messages": self.messages,
+            "words": self.words,
+            "rounds": self.rounds,
+            "time": self.time,
+        }
+
+
+class CostLedger:
+    """Accumulates :class:`CommEvent` records grouped by algorithm phase.
+
+    The ledger is the ground truth for every communication-related number
+    the benchmarks report: simulated communication time, message counts,
+    volume, and the per-phase decomposition that reproduces Figure 6.
+    """
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self._keep_events = keep_events
+        self.events: List[CommEvent] = []
+        self._time_by_phase: Dict[str, float] = {}
+        self._time_by_op: Dict[str, float] = {}
+        self._messages = 0
+        self._words = 0.0
+        self._rounds = 0
+        self._time = 0.0
+
+    # -- recording -------------------------------------------------------
+    def record(
+        self,
+        op: str,
+        *,
+        phase: str,
+        p: int,
+        messages: int,
+        words: float,
+        rounds: int,
+        time: float,
+    ) -> CommEvent:
+        """Account one communication operation and return the event."""
+        event = CommEvent(
+            op=op,
+            phase=phase,
+            p=int(p),
+            messages=int(messages),
+            words=float(words),
+            rounds=int(rounds),
+            time=float(time),
+        )
+        if self._keep_events:
+            self.events.append(event)
+        self._time_by_phase[phase] = self._time_by_phase.get(phase, 0.0) + event.time
+        self._time_by_op[op] = self._time_by_op.get(op, 0.0) + event.time
+        self._messages += event.messages
+        self._words += event.words
+        self._rounds += event.rounds
+        self._time += event.time
+        return event
+
+    # -- aggregate views ---------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Total simulated communication time (seconds)."""
+        return self._time
+
+    @property
+    def total_messages(self) -> int:
+        """Total number of point-to-point messages across all collectives."""
+        return self._messages
+
+    @property
+    def total_words(self) -> float:
+        """Total communicated volume in machine words."""
+        return self._words
+
+    @property
+    def total_rounds(self) -> int:
+        """Total number of communication rounds on the critical path."""
+        return self._rounds
+
+    def time_by_phase(self) -> Dict[str, float]:
+        """Simulated communication time grouped by phase label."""
+        return dict(self._time_by_phase)
+
+    def time_by_op(self) -> Dict[str, float]:
+        """Simulated communication time grouped by collective operation."""
+        return dict(self._time_by_op)
+
+    def events_for_phase(self, phase: str) -> List[CommEvent]:
+        """All recorded events attributed to ``phase`` (requires keep_events)."""
+        return [e for e in self.events if e.phase == phase]
+
+    # -- bookkeeping -------------------------------------------------------
+    def reset(self) -> None:
+        """Clear all recorded events and aggregates."""
+        self.events.clear()
+        self._time_by_phase.clear()
+        self._time_by_op.clear()
+        self._messages = 0
+        self._words = 0.0
+        self._rounds = 0
+        self._time = 0.0
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold the contents of ``other`` into this ledger."""
+        for event in other.events:
+            self.record(
+                event.op,
+                phase=event.phase,
+                p=event.p,
+                messages=event.messages,
+                words=event.words,
+                rounds=event.rounds,
+                time=event.time,
+            )
+        if not other.events:
+            # Aggregate-only merge when the other ledger dropped its events.
+            self._messages += other._messages
+            self._words += other._words
+            self._rounds += other._rounds
+            self._time += other._time
+            for phase, t in other._time_by_phase.items():
+                self._time_by_phase[phase] = self._time_by_phase.get(phase, 0.0) + t
+            for op, t in other._time_by_op.items():
+                self._time_by_op[op] = self._time_by_op.get(op, 0.0) + t
+
+    def summary(self) -> Dict[str, object]:
+        """A dictionary summary convenient for reporting and tests."""
+        return {
+            "time": self.total_time,
+            "messages": self.total_messages,
+            "words": self.total_words,
+            "rounds": self.total_rounds,
+            "time_by_phase": self.time_by_phase(),
+            "time_by_op": self.time_by_op(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CostLedger(time={self.total_time:.3e}s, msgs={self.total_messages}, "
+            f"words={self.total_words:.0f})"
+        )

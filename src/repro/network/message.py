@@ -1,0 +1,93 @@
+"""Message records for the simulated network.
+
+The collectives can optionally log every point-to-point message they would
+issue on a real machine.  Tests use these traces to verify that the message
+patterns match the textbook algorithms (binomial trees, butterflies) and
+that the per-collective message counts equal the analytic values the cost
+model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Message", "MessageTrace"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single simulated point-to-point message."""
+
+    src: int
+    dst: int
+    words: float
+    op: str = ""
+    round_index: int = 0
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("a PE does not send messages to itself")
+        if self.words < 0:
+            raise ValueError("message size must be non-negative")
+
+
+class MessageTrace:
+    """An append-only log of simulated messages with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.messages: List[Message] = []
+
+    def add(self, message: Message) -> None:
+        self.messages.append(message)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self.messages)
+
+    def clear(self) -> None:
+        self.messages.clear()
+
+    # -- queries -----------------------------------------------------------
+    def count_for_op(self, op: str) -> int:
+        """Number of messages attributed to collective ``op``."""
+        return sum(1 for m in self.messages if m.op == op)
+
+    def words_for_op(self, op: str) -> float:
+        """Total words attributed to collective ``op``."""
+        return sum(m.words for m in self.messages if m.op == op)
+
+    def sends_per_rank(self) -> Dict[int, int]:
+        """How many messages each rank sent."""
+        out: Dict[int, int] = {}
+        for m in self.messages:
+            out[m.src] = out.get(m.src, 0) + 1
+        return out
+
+    def receives_per_rank(self) -> Dict[int, int]:
+        """How many messages each rank received."""
+        out: Dict[int, int] = {}
+        for m in self.messages:
+            out[m.dst] = out.get(m.dst, 0) + 1
+        return out
+
+    def max_messages_per_rank_per_round(self) -> int:
+        """Largest number of sends (or receives) of any rank in any round.
+
+        The machine model is single-ported: in a given communication round a
+        PE may send at most one and receive at most one message.  The
+        collectives are built to respect this; the trace lets tests check it.
+        """
+        sends: Dict[tuple, int] = {}
+        recvs: Dict[tuple, int] = {}
+        for m in self.messages:
+            sends[(m.op, m.round_index, m.src)] = sends.get((m.op, m.round_index, m.src), 0) + 1
+            recvs[(m.op, m.round_index, m.dst)] = recvs.get((m.op, m.round_index, m.dst), 0) + 1
+        worst = 0
+        for counter in (sends, recvs):
+            if counter:
+                worst = max(worst, max(counter.values()))
+        return worst

@@ -1,0 +1,108 @@
+"""Logical topology helpers for the simulated machine.
+
+The collectives use binomial trees and hypercube (butterfly) exchanges, the
+standard building blocks behind the ``O(beta*l + alpha*log p)`` collective
+bounds assumed by the paper.  The topology object answers purely structural
+questions — who is whose parent/child in a binomial tree rooted at an
+arbitrary rank, which ranks pair up in each butterfly round — and carries no
+state of its own.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Structural description of ``p`` PEs numbered ``0..p-1``."""
+
+    def __init__(self, p: int) -> None:
+        self.p = check_positive_int(p, "p")
+
+    @property
+    def rounds(self) -> int:
+        """Number of communication rounds of a tree/butterfly collective."""
+        return math.ceil(math.log2(self.p)) if self.p > 1 else 0
+
+    def validate_rank(self, rank: int) -> int:
+        rank = int(rank)
+        if not 0 <= rank < self.p:
+            raise ValueError(f"rank {rank} out of range 0..{self.p - 1}")
+        return rank
+
+    # -- binomial tree ----------------------------------------------------
+    def relative_rank(self, rank: int, root: int) -> int:
+        """Rank relative to ``root`` (the root has relative rank 0)."""
+        rank = self.validate_rank(rank)
+        root = self.validate_rank(root)
+        return (rank - root) % self.p
+
+    def binomial_parent(self, rank: int, root: int = 0) -> int:
+        """Parent of ``rank`` in the binomial broadcast tree rooted at ``root``.
+
+        The root is its own parent.
+        """
+        rel = self.relative_rank(rank, root)
+        if rel == 0:
+            return self.validate_rank(root)
+        # Clear the lowest set bit of the relative rank.
+        parent_rel = rel & (rel - 1)
+        return (parent_rel + root) % self.p
+
+    def binomial_children(self, rank: int, root: int = 0) -> List[int]:
+        """Children of ``rank`` in the binomial tree rooted at ``root``.
+
+        Children are returned in the order a broadcast sends to them (most
+        significant new bit first), which is also the reverse order in which
+        a reduction receives from them.
+        """
+        rel = self.relative_rank(rank, root)
+        children: List[int] = []
+        # The lowest set bit of ``rel`` (or log2(p) for the root) bounds the
+        # bit positions at which children attach.
+        if rel == 0:
+            low = self.rounds
+        else:
+            low = (rel & -rel).bit_length() - 1
+        for bit in reversed(range(low)):
+            child_rel = rel | (1 << bit)
+            if child_rel < self.p:
+                children.append((child_rel + self.validate_rank(root)) % self.p)
+        return children
+
+    # -- hypercube / butterfly --------------------------------------------
+    def butterfly_partner(self, rank: int, round_index: int) -> int:
+        """Partner of ``rank`` in butterfly round ``round_index`` (may not exist).
+
+        Returns the XOR partner; for non-power-of-two ``p`` the caller has to
+        check that the partner is a valid rank.
+        """
+        rank = self.validate_rank(rank)
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        return rank ^ (1 << round_index)
+
+    def butterfly_rounds(self) -> List[List[Tuple[int, int]]]:
+        """Pairs of ranks exchanging data in each butterfly round.
+
+        Ranks without a valid partner in a round (non-power-of-two ``p``)
+        simply sit the round out; the resulting schedule still converges in
+        ``ceil(log2 p)`` rounds for the all-reduce/all-gather built on it.
+        """
+        schedule: List[List[Tuple[int, int]]] = []
+        for r in range(self.rounds):
+            pairs: List[Tuple[int, int]] = []
+            for rank in range(self.p):
+                partner = rank ^ (1 << r)
+                if partner < self.p and rank < partner:
+                    pairs.append((rank, partner))
+            schedule.append(pairs)
+        return schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Topology(p={self.p})"

@@ -1,0 +1,32 @@
+"""Simulation runtime: machine model, per-phase metrics, and the driver.
+
+The paper evaluates its algorithms on a real supercomputer; this
+reproduction executes the same algorithms inside one process and derives
+*simulated* running times from
+
+* a :class:`~repro.runtime.machine.MachineSpec` describing per-operation
+  local-work costs (including an explicit cache-capacity effect) and the
+  ``alpha``/``beta`` communication constants, and
+* the per-phase operation counts produced by the samplers plus the
+  communication ledger filled in by the simulated communicator.
+
+:class:`~repro.runtime.simulator.StreamingSimulation` drives a sampler over
+a mini-batch stream for a number of rounds and aggregates
+:class:`~repro.runtime.metrics.RoundMetrics` into a
+:class:`~repro.runtime.metrics.RunMetrics` record, from which the scaling
+benchmarks read speedups, throughput and the running-time composition.
+"""
+
+from repro.runtime.clock import PhaseClock
+from repro.runtime.machine import MachineSpec
+from repro.runtime.metrics import PhaseTimes, RoundMetrics, RunMetrics
+from repro.runtime.simulator import StreamingSimulation
+
+__all__ = [
+    "MachineSpec",
+    "PhaseClock",
+    "PhaseTimes",
+    "RoundMetrics",
+    "RunMetrics",
+    "StreamingSimulation",
+]

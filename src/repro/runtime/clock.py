@@ -1,0 +1,58 @@
+"""Per-phase accounting of simulated local work.
+
+The samplers charge local work (scanning, key generation, tree operations,
+sequential selection) to a :class:`PhaseClock`, keyed by phase label and PE
+rank.  At the end of a round the clock reports, per phase, the *maximum*
+local time over all PEs — in the bulk-synchronous execution of the
+mini-batch model the slowest PE determines when the collective operations
+of the next phase can start — which is then combined with the
+communication time from the cost ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["PhaseClock"]
+
+
+class PhaseClock:
+    """Accumulates local-work time per (phase, PE)."""
+
+    def __init__(self, p: int) -> None:
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self.p = int(p)
+        self._times: Dict[str, List[float]] = {}
+
+    def charge(self, phase: str, pe: int, seconds: float) -> None:
+        """Charge ``seconds`` of local work of PE ``pe`` to ``phase``."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        if not 0 <= pe < self.p:
+            raise IndexError(f"PE {pe} out of range 0..{self.p - 1}")
+        bucket = self._times.setdefault(phase, [0.0] * self.p)
+        bucket[pe] += float(seconds)
+
+    def phases(self) -> Iterable[str]:
+        return self._times.keys()
+
+    def per_pe(self, phase: str) -> List[float]:
+        """Per-PE local time charged to ``phase`` so far."""
+        return list(self._times.get(phase, [0.0] * self.p))
+
+    def max_time(self, phase: str) -> float:
+        """Bottleneck (maximum over PEs) local time of ``phase``."""
+        bucket = self._times.get(phase)
+        return max(bucket) if bucket else 0.0
+
+    def total_max_time(self) -> float:
+        """Sum over phases of the bottleneck local time."""
+        return sum(self.max_time(phase) for phase in self._times)
+
+    def snapshot(self) -> Dict[str, List[float]]:
+        """Copy of the full (phase -> per-PE times) table."""
+        return {phase: list(times) for phase, times in self._times.items()}
+
+    def reset(self) -> None:
+        self._times.clear()

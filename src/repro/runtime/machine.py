@@ -1,0 +1,119 @@
+"""Machine model used to convert operation counts into simulated time.
+
+The simulated running times are computed as
+
+``local work`` (per PE, the maximum over PEs is what counts per phase)
+    operation counts reported by the samplers (items scanned, keys
+    generated, tree operations, sequential selection work, ...) multiplied
+    by the per-operation costs below.  Scanning a mini-batch whose size
+    exceeds the modelled cache capacity pays the ``out_of_cache_factor``,
+    which is the mechanism behind the superlinear strong-scaling jump the
+    paper observes when per-PE batches start fitting into cache.
+
+``communication``
+    charged by the simulated communicator according to the
+    ``alpha``/``beta`` model (see :mod:`repro.network.cost_model`).
+
+The default constants are chosen to mimic the *ratios* of a compiled,
+vectorised implementation on a ForHLR-II-like node (the paper reports
+roughly 10^8..10^9 items/s per PE of local processing): a few nanoseconds
+to scan an item, tens of nanoseconds per B+-tree level, a couple of
+microseconds of message start-up latency.  Absolute values only set the
+time unit; the scaling *shapes* depend on the ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.network.cost_model import CostParameters
+from repro.utils.validation import check_positive
+
+__all__ = ["MachineSpec"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Per-operation local costs plus the communication constants."""
+
+    #: time to examine one item of the mini-batch in the skip loop (in-cache)
+    time_scan_item: float = 1.0e-9
+    #: extra multiplier on scanning when the local batch exceeds the cache
+    out_of_cache_factor: float = 4.0
+    #: number of items of the local batch that fit into the cache
+    cache_items: int = 100_000
+    #: time to draw one random variate / compute one key
+    time_key_gen: float = 12.0e-9
+    #: time per level of a B+-tree operation (insert/rank/select/split)
+    time_tree_level: float = 25.0e-9
+    #: time to append one candidate to a plain array (centralized algorithm)
+    time_array_append: float = 3.0e-9
+    #: per-item time of the root's sequential selection (quickselect pass)
+    time_sequential_select_item: float = 6.0e-9
+    #: communication constants (alpha/beta model)
+    comm: CostParameters = field(default_factory=CostParameters)
+
+    def __post_init__(self) -> None:
+        check_positive(self.time_scan_item, "time_scan_item")
+        check_positive(self.out_of_cache_factor, "out_of_cache_factor")
+        check_positive(self.time_key_gen, "time_key_gen")
+        check_positive(self.time_tree_level, "time_tree_level")
+        check_positive(self.time_array_append, "time_array_append")
+        check_positive(self.time_sequential_select_item, "time_sequential_select_item")
+        if self.cache_items <= 0:
+            raise ValueError("cache_items must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def forhlr_like(cls) -> "MachineSpec":
+        """Defaults mimicking the paper's evaluation platform ratios."""
+        return cls()
+
+    @classmethod
+    def latency_bound(cls, alpha: float = 10.0e-6) -> "MachineSpec":
+        """A machine with expensive message start-ups (stress communication)."""
+        return cls(comm=CostParameters(alpha=alpha, beta=2.0e-9))
+
+    def with_cache_items(self, cache_items: int) -> "MachineSpec":
+        """Copy of the spec with a different modelled cache capacity."""
+        return replace(self, cache_items=int(cache_items))
+
+    def with_comm(self, comm: CostParameters) -> "MachineSpec":
+        """Copy of the spec with different communication constants."""
+        return replace(self, comm=comm)
+
+    # ------------------------------------------------------------------
+    # local-work formulas
+    # ------------------------------------------------------------------
+    def scan_time(self, items: int, batch_size: Optional[int] = None) -> float:
+        """Time to stream over ``items`` items of a local batch.
+
+        ``batch_size`` (defaults to ``items``) decides whether the batch is
+        cache-resident; larger batches pay the out-of-cache factor.
+        """
+        if items <= 0:
+            return 0.0
+        reference = items if batch_size is None else batch_size
+        factor = 1.0 if reference <= self.cache_items else self.out_of_cache_factor
+        return self.time_scan_item * factor * items
+
+    def key_gen_time(self, count: int) -> float:
+        """Time to generate ``count`` random keys / skip deviates."""
+        return self.time_key_gen * max(count, 0)
+
+    def tree_op_time(self, ops: int, size: int) -> float:
+        """Time for ``ops`` B+-tree operations on a tree of ``size`` items."""
+        if ops <= 0:
+            return 0.0
+        levels = math.log2(size + 2.0)
+        return self.time_tree_level * levels * ops
+
+    def array_append_time(self, count: int) -> float:
+        """Time to buffer ``count`` candidates in a plain array."""
+        return self.time_array_append * max(count, 0)
+
+    def sequential_select_time(self, items: int) -> float:
+        """Time of a sequential (quick-)selection over ``items`` items."""
+        return self.time_sequential_select_item * max(items, 0)

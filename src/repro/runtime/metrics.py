@@ -1,0 +1,183 @@
+"""Per-round and per-run metrics of a simulated sampling execution.
+
+The phase names follow Figure 6 of the paper:
+
+* ``"insert"``  — local processing of the mini-batch (skip loop, key
+  generation, insertions into the local reservoir / candidate buffer),
+* ``"select"``  — establishing the new global threshold: the distributed
+  selection for our algorithms, the sequential selection at the root for
+  the centralized algorithm,
+* ``"threshold"`` — the all-reduction that publishes the new threshold plus
+  pruning the local reservoirs,
+* ``"gather"``  — only used by the centralized algorithm: shipping the
+  candidate items to the root.
+
+Every phase time is split into a *local* component (bottleneck local work,
+i.e. the maximum over PEs) and a *communication* component (from the cost
+ledger), so the benchmarks can report both the Figure 6 composition and the
+overall speedups/throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.selection.base import SelectionStats
+
+__all__ = ["PHASES", "PhaseTimes", "RoundMetrics", "RunMetrics"]
+
+#: canonical phase order used in reports
+PHASES = ("insert", "select", "threshold", "gather")
+
+
+@dataclass
+class PhaseTimes:
+    """Local and communication time of one phase."""
+
+    local: float = 0.0
+    comm: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.local + self.comm
+
+    def __add__(self, other: "PhaseTimes") -> "PhaseTimes":
+        return PhaseTimes(local=self.local + other.local, comm=self.comm + other.comm)
+
+
+@dataclass
+class RoundMetrics:
+    """Metrics of one processed mini-batch round."""
+
+    round_index: int
+    batch_items: int
+    items_seen_total: int
+    sample_size: int
+    threshold: Optional[float]
+    phase_times: Dict[str, PhaseTimes] = field(default_factory=dict)
+    insertions_per_pe: List[int] = field(default_factory=list)
+    candidates_gathered: int = 0
+    selection_stats: Optional[SelectionStats] = None
+    selection_ran: bool = False
+
+    @property
+    def simulated_time(self) -> float:
+        """Total simulated time of this round."""
+        return sum(pt.total for pt in self.phase_times.values())
+
+    @property
+    def max_insertions(self) -> int:
+        """Bottleneck number of insertions into any local reservoir."""
+        return max(self.insertions_per_pe) if self.insertions_per_pe else 0
+
+    @property
+    def total_insertions(self) -> int:
+        return sum(self.insertions_per_pe)
+
+    def phase_total(self, phase: str) -> float:
+        pt = self.phase_times.get(phase)
+        return pt.total if pt else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round_index,
+            "batch_items": self.batch_items,
+            "items_seen_total": self.items_seen_total,
+            "sample_size": self.sample_size,
+            "threshold": self.threshold,
+            "simulated_time": self.simulated_time,
+            "phases": {name: (pt.local, pt.comm) for name, pt in self.phase_times.items()},
+            "total_insertions": self.total_insertions,
+            "max_insertions": self.max_insertions,
+            "candidates_gathered": self.candidates_gathered,
+            "selection_ran": self.selection_ran,
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated metrics of a full simulated run (many rounds)."""
+
+    p: int
+    k: int
+    algorithm: str
+    rounds: List[RoundMetrics] = field(default_factory=list)
+
+    def add_round(self, metrics: RoundMetrics) -> None:
+        self.rounds.append(metrics)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_items(self) -> int:
+        """Total number of stream items processed across all rounds."""
+        return sum(r.batch_items for r in self.rounds)
+
+    @property
+    def simulated_time(self) -> float:
+        """Total simulated time of the run."""
+        return sum(r.simulated_time for r in self.rounds)
+
+    @property
+    def total_insertions(self) -> int:
+        return sum(r.total_insertions for r in self.rounds)
+
+    @property
+    def max_insertions_per_pe(self) -> int:
+        """Sum over rounds of the bottleneck per-PE insertions."""
+        return sum(r.max_insertions for r in self.rounds)
+
+    def throughput_total(self) -> float:
+        """Processed items per second of simulated time (whole machine)."""
+        t = self.simulated_time
+        return self.total_items / t if t > 0 else float("inf")
+
+    def throughput_per_pe(self) -> float:
+        """Processed items per PE per second of simulated time (Figure 5)."""
+        return self.throughput_total() / self.p
+
+    def phase_times(self) -> Dict[str, PhaseTimes]:
+        """Per-phase times summed over rounds."""
+        totals: Dict[str, PhaseTimes] = {}
+        for r in self.rounds:
+            for phase, pt in r.phase_times.items():
+                totals[phase] = totals.get(phase, PhaseTimes()) + pt
+        return totals
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Fraction of total simulated time spent in each phase (Figure 6)."""
+        totals = self.phase_times()
+        grand = sum(pt.total for pt in totals.values())
+        if grand <= 0:
+            return {phase: 0.0 for phase in totals}
+        return {phase: pt.total / grand for phase, pt in totals.items()}
+
+    def mean_selection_depth(self) -> float:
+        """Average selection recursion depth over the rounds that selected."""
+        depths = [
+            r.selection_stats.recursion_depth
+            for r in self.rounds
+            if r.selection_ran and r.selection_stats is not None
+        ]
+        return float(sum(depths)) / len(depths) if depths else 0.0
+
+    def selection_time(self) -> float:
+        """Total simulated time of the selection phase."""
+        return self.phase_times().get("select", PhaseTimes()).total
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "p": self.p,
+            "k": self.k,
+            "algorithm": self.algorithm,
+            "rounds": self.num_rounds,
+            "total_items": self.total_items,
+            "simulated_time": self.simulated_time,
+            "throughput_per_pe": self.throughput_per_pe(),
+            "phase_fractions": self.phase_fractions(),
+            "mean_selection_depth": self.mean_selection_depth(),
+        }

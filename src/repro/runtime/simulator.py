@@ -1,0 +1,95 @@
+"""Driver that runs a distributed sampler over a stream and collects metrics.
+
+The paper's experiments run each configuration for 30 seconds of wall-clock
+time, completing as many mini-batches as possible, and report speedups and
+per-PE throughput.  :class:`StreamingSimulation` mirrors this on top of the
+*simulated* clock: it can either process a fixed number of rounds or keep
+processing rounds until a given amount of simulated time has elapsed.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.metrics import RoundMetrics, RunMetrics
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["StreamingSimulation"]
+
+
+class StreamingSimulation:
+    """Run a (distributed or centralized) sampler over a mini-batch stream.
+
+    Parameters
+    ----------
+    sampler:
+        Any object with ``process_round(batches) -> RoundMetrics``, ``p`` and
+        ``sample_ids()`` — i.e. the samplers from :mod:`repro.core`.
+    stream:
+        A mini-batch stream with ``next_round()`` (see
+        :class:`repro.stream.minibatch.MiniBatchStream`).
+    warmup_rounds:
+        Rounds processed before metric collection starts (their cost is not
+        reported).  The paper's steady-state behaviour — few insertions per
+        batch — only establishes itself after the first few batches.
+    """
+
+    def __init__(self, sampler, stream, *, warmup_rounds: int = 0) -> None:
+        if stream.p != sampler.p:
+            raise ValueError(f"stream has {stream.p} PEs but the sampler has {sampler.p}")
+        self.sampler = sampler
+        self.stream = stream
+        self.warmup_rounds = check_positive_int(warmup_rounds, "warmup_rounds", allow_zero=True)
+        self._warmed_up = False
+        self.metrics = RunMetrics(
+            p=sampler.p,
+            k=int(getattr(sampler, "k", 0)),
+            algorithm=str(getattr(sampler, "algorithm_name", type(sampler).__name__)),
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_warmup(self) -> None:
+        if self._warmed_up:
+            return
+        for _ in range(self.warmup_rounds):
+            batches = self.stream.next_round()
+            self.sampler.process_round(batches.batches)
+        self._warmed_up = True
+
+    def step(self) -> RoundMetrics:
+        """Process one round and record its metrics."""
+        self._ensure_warmup()
+        batches = self.stream.next_round()
+        round_metrics = self.sampler.process_round(batches.batches)
+        self.metrics.add_round(round_metrics)
+        return round_metrics
+
+    def run_rounds(self, rounds: int) -> RunMetrics:
+        """Process a fixed number of rounds (after warm-up)."""
+        for _ in range(check_positive_int(rounds, "rounds", allow_zero=True)):
+            self.step()
+        return self.metrics
+
+    def run_for_simulated_time(
+        self, duration: float, *, max_rounds: int = 10_000, min_rounds: int = 1
+    ) -> RunMetrics:
+        """Process rounds until ``duration`` seconds of simulated time elapsed.
+
+        Mirrors the paper's fixed-wall-clock-duration runs: faster
+        configurations complete more mini-batches.  At least ``min_rounds``
+        and at most ``max_rounds`` rounds are processed.
+        """
+        check_positive(duration, "duration")
+        check_positive_int(max_rounds, "max_rounds")
+        rounds_done = 0
+        while rounds_done < max_rounds and (
+            rounds_done < min_rounds or self.metrics.simulated_time < duration
+        ):
+            self.step()
+            rounds_done += 1
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def sample_ids(self):
+        return self.sampler.sample_ids()
+
+    def communication_summary(self) -> dict:
+        return self.sampler.comm.ledger.summary()

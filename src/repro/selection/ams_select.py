@@ -1,0 +1,65 @@
+"""Approximate (banded) selection ``amsSelect`` (paper Sections 3.3.2 / 4.4).
+
+When the requested output rank may vary inside a band ``[k_lo, k_hi]`` the
+pivot loop of :class:`~repro.selection.pivot_select.PivotSelection` stops as
+soon as any pivot's rank lands inside the band.  For a band of width
+``Omega(k/d)`` the expected recursion depth is constant (paper Lemma 3 /
+Corollary 5), which is what makes the variable-reservoir-size sampler of
+Section 4.4 cheap.
+
+:class:`AmsSelection` packages this: it remembers a *relative* band and, on
+:meth:`select`, expands the requested rank ``k`` into ``[k, k * (1 +
+slack)]`` — exactly the way the variable-size sampler uses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.selection.base import DistributedKeySet, SelectionResult
+from repro.selection.pivot_select import PivotSelection
+
+__all__ = ["AmsSelection"]
+
+
+class AmsSelection(PivotSelection):
+    """Banded selection with expected constant recursion depth.
+
+    Parameters
+    ----------
+    num_pivots:
+        Pivots per round (``d``); the band only needs width ``Omega(k/d)``.
+    relative_slack:
+        When :meth:`select` is called with a single rank ``k``, it is
+        expanded to the band ``[k, ceil(k * (1 + relative_slack))]``.
+        Explicit bands can always be requested through
+        :meth:`select_range`.
+    """
+
+    def __init__(
+        self,
+        num_pivots: int = 2,
+        *,
+        relative_slack: float = 0.25,
+        gather_cutoff: int = 16,
+        max_rounds: int = 200,
+    ) -> None:
+        super().__init__(num_pivots, gather_cutoff=gather_cutoff, max_rounds=max_rounds)
+        if relative_slack < 0:
+            raise ValueError("relative_slack must be non-negative")
+        self.relative_slack = float(relative_slack)
+
+    @property
+    def name(self) -> str:
+        return f"ams-select-{self.num_pivots}"
+
+    def band_for(self, k: int, total: int) -> tuple:
+        """The rank band used when a single rank ``k`` is requested."""
+        k_hi = int(np.ceil(k * (1.0 + self.relative_slack)))
+        if total >= k:
+            k_hi = max(k, min(k_hi, total))
+        return k, k_hi
+
+    def select(self, keyset: DistributedKeySet, k: int, comm, rng=None) -> SelectionResult:
+        k_lo, k_hi = self.band_for(k, keyset.total_size())
+        return self.select_range(keyset, k_lo, k_hi, comm, rng)

@@ -1,0 +1,169 @@
+"""Interfaces shared by the distributed selection algorithms (paper Section 3.3).
+
+The selection algorithms find the item with a given global rank (or with a
+rank inside a given band) over the union of ``p`` *sorted* local key sets —
+in Algorithm 1 these are the local reservoirs.  They only interact with the
+data through the :class:`DistributedKeySet` interface, so the same
+implementations serve the B+-tree reservoirs of the distributed sampler,
+plain sorted arrays in tests, and any future backend.
+
+Rank convention: ranks are **1-based** ("the k-th smallest key"), matching
+the paper's ``select(R, k)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DistributedKeySet",
+    "SelectionStats",
+    "SelectionResult",
+    "SelectionAlgorithm",
+    "SelectionError",
+]
+
+
+class SelectionError(RuntimeError):
+    """Raised when a selection cannot be carried out (e.g. empty key set)."""
+
+
+class DistributedKeySet(abc.ABC):
+    """Read-only view over ``p`` locally sorted key multisets."""
+
+    @property
+    @abc.abstractmethod
+    def p(self) -> int:
+        """Number of PEs."""
+
+    @abc.abstractmethod
+    def local_size(self, pe: int) -> int:
+        """Number of keys held by PE ``pe``."""
+
+    @abc.abstractmethod
+    def count_le(self, pe: int, key: float) -> int:
+        """Number of keys of PE ``pe`` that are ``<= key``."""
+
+    @abc.abstractmethod
+    def count_less(self, pe: int, key: float) -> int:
+        """Number of keys of PE ``pe`` that are ``< key``."""
+
+    @abc.abstractmethod
+    def select_local(self, pe: int, rank: int) -> float:
+        """The ``rank``-th smallest key of PE ``pe`` (1-based)."""
+
+    @abc.abstractmethod
+    def keys_in_rank_range(self, pe: int, lo: int, hi: int) -> np.ndarray:
+        """Keys of PE ``pe`` with local 0-based ranks in ``[lo, hi)``, sorted."""
+
+    # -- conveniences with default implementations -------------------------
+    def total_size(self) -> int:
+        """Total number of keys across all PEs (computed locally by the driver)."""
+        return sum(self.local_size(pe) for pe in range(self.p))
+
+    def local_min(self, pe: int) -> float:
+        """Smallest key of PE ``pe`` (``+inf`` when empty)."""
+        return self.select_local(pe, 1) if self.local_size(pe) else np.inf
+
+    def local_max(self, pe: int) -> float:
+        """Largest key of PE ``pe`` (``-inf`` when empty)."""
+        size = self.local_size(pe)
+        return self.select_local(pe, size) if size else -np.inf
+
+    def local_keys(self, pe: int) -> np.ndarray:
+        """All keys of PE ``pe`` as a sorted array."""
+        return self.keys_in_rank_range(pe, 0, self.local_size(pe))
+
+
+@dataclass
+class SelectionStats:
+    """Diagnostics of one distributed selection.
+
+    ``recursion_depth`` is the number of pivot rounds, the quantity the
+    paper reports in Section 6.3 (e.g. 7.3 with a single pivot vs 2.7 with
+    8 pivots for k = 1e5).
+    """
+
+    recursion_depth: int = 0
+    collective_calls: int = 0
+    pivots_proposed: int = 0
+    sample_retries: int = 0
+    final_gather_items: int = 0
+    used_fallback: bool = False
+
+    def merge(self, other: "SelectionStats") -> "SelectionStats":
+        """Aggregate two stats records (used when averaging over batches)."""
+        return SelectionStats(
+            recursion_depth=self.recursion_depth + other.recursion_depth,
+            collective_calls=self.collective_calls + other.collective_calls,
+            pivots_proposed=self.pivots_proposed + other.pivots_proposed,
+            sample_retries=self.sample_retries + other.sample_retries,
+            final_gather_items=self.final_gather_items + other.final_gather_items,
+            used_fallback=self.used_fallback or other.used_fallback,
+        )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a distributed selection.
+
+    Attributes
+    ----------
+    key:
+        The selected key value.
+    rank:
+        Global rank of the selected key, i.e. the number of keys ``<= key``
+        (1-based).  For exact selection this equals the requested ``k``;
+        for approximate (banded) selection it lies inside ``[k_lo, k_hi]``.
+    stats:
+        Diagnostics about the selection run.
+    """
+
+    key: float
+    rank: int
+    stats: SelectionStats = field(default_factory=SelectionStats)
+
+
+class SelectionAlgorithm(abc.ABC):
+    """A distributed selection strategy.
+
+    Implementations communicate exclusively through the provided
+    :class:`~repro.network.communicator.SimComm`, so every message they
+    would send on a real machine is accounted in the cost ledger.
+    """
+
+    name: str = "selection"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        keyset: DistributedKeySet,
+        k: int,
+        comm,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        """Return the key with global rank ``k`` (1-based)."""
+
+    def select_range(
+        self,
+        keyset: DistributedKeySet,
+        k_lo: int,
+        k_hi: int,
+        comm,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        """Return a key whose global rank lies in ``[k_lo, k_hi]``.
+
+        The default implementation simply selects rank ``k_hi`` exactly;
+        algorithms with genuine approximate support override this.
+        """
+        if k_lo > k_hi:
+            raise ValueError(f"empty rank band [{k_lo}, {k_hi}]")
+        return self.select(keyset, k_hi, comm, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"

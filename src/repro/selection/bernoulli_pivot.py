@@ -1,0 +1,21 @@
+"""Single-pivot general-case selection ("ours" in the paper's experiments).
+
+This is the universally applicable selection algorithm of Section 3.3.3
+with a single Bernoulli pivot per round: expected recursion depth
+``O(log(kp))`` and latency ``O(alpha * log^2(kp))``.  It is a thin
+specialisation of :class:`repro.selection.pivot_select.PivotSelection` with
+``num_pivots = 1``; see that module for the algorithm description.
+"""
+
+from __future__ import annotations
+
+from repro.selection.pivot_select import PivotSelection
+
+__all__ = ["SinglePivotSelection"]
+
+
+class SinglePivotSelection(PivotSelection):
+    """General-case distributed selection with one pivot per round."""
+
+    def __init__(self, *, gather_cutoff: int = 16, max_rounds: int = 200) -> None:
+        super().__init__(1, gather_cutoff=gather_cutoff, max_rounds=max_rounds)

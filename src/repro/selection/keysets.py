@@ -1,0 +1,74 @@
+"""Concrete :class:`DistributedKeySet` backends.
+
+``ArrayKeySet`` wraps one sorted numpy array per PE and is the reference
+backend used throughout the selection tests; the sampling core provides an
+equivalent adapter over its local reservoirs
+(:class:`repro.core.distributed.ReservoirKeySet`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.selection.base import DistributedKeySet
+
+__all__ = ["ArrayKeySet"]
+
+
+class ArrayKeySet(DistributedKeySet):
+    """A distributed key set backed by one sorted float array per PE."""
+
+    def __init__(self, arrays: Sequence[np.ndarray], *, assume_sorted: bool = False) -> None:
+        self._arrays: List[np.ndarray] = []
+        for arr in arrays:
+            arr = np.asarray(arr, dtype=np.float64)
+            if arr.ndim != 1:
+                raise ValueError("each local key set must be one-dimensional")
+            if not assume_sorted:
+                arr = np.sort(arr)
+            self._arrays.append(arr)
+        if not self._arrays:
+            raise ValueError("at least one PE is required")
+
+    @classmethod
+    def from_global(cls, keys: np.ndarray, p: int, rng=None) -> "ArrayKeySet":
+        """Scatter a global key array over ``p`` PEs (round-robin or random)."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if rng is None:
+            parts = [keys[pe::p] for pe in range(p)]
+        else:
+            assignment = rng.integers(0, p, size=keys.shape[0])
+            parts = [keys[assignment == pe] for pe in range(p)]
+        return cls(parts)
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        return len(self._arrays)
+
+    def local_size(self, pe: int) -> int:
+        return int(self._arrays[pe].shape[0])
+
+    def count_le(self, pe: int, key: float) -> int:
+        return int(np.searchsorted(self._arrays[pe], key, side="right"))
+
+    def count_less(self, pe: int, key: float) -> int:
+        return int(np.searchsorted(self._arrays[pe], key, side="left"))
+
+    def select_local(self, pe: int, rank: int) -> float:
+        arr = self._arrays[pe]
+        if not 1 <= rank <= arr.shape[0]:
+            raise IndexError(f"local rank {rank} out of range for PE {pe} with {arr.shape[0]} keys")
+        return float(arr[rank - 1])
+
+    def keys_in_rank_range(self, pe: int, lo: int, hi: int) -> np.ndarray:
+        arr = self._arrays[pe]
+        lo = max(0, int(lo))
+        hi = min(arr.shape[0], int(hi))
+        return arr[lo:hi].copy()
+
+    def all_keys(self) -> np.ndarray:
+        """All keys across PEs, sorted (test helper)."""
+        return np.sort(np.concatenate(self._arrays)) if self._arrays else np.empty(0)

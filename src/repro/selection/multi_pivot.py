@@ -1,0 +1,25 @@
+"""Multi-pivot selection ("ours-d" in the paper's experiments).
+
+Uses ``d`` Bernoulli pivots per round (Section 3.3.2 applied to the
+general-case algorithm of Section 3.3.3), which reduces the expected
+recursion depth by roughly a factor ``log d`` at the price of ``O(beta*d)``
+extra communication volume per round.  The paper uses ``d = 8`` and reports
+a depth reduction of about 2.5x for large sample sizes.
+"""
+
+from __future__ import annotations
+
+from repro.selection.pivot_select import PivotSelection
+
+__all__ = ["MultiPivotSelection"]
+
+
+class MultiPivotSelection(PivotSelection):
+    """General-case distributed selection with ``d`` pivots per round."""
+
+    DEFAULT_PIVOTS = 8
+
+    def __init__(self, num_pivots: int = DEFAULT_PIVOTS, *, gather_cutoff: int = 16, max_rounds: int = 200) -> None:
+        if num_pivots < 2:
+            raise ValueError("MultiPivotSelection requires at least 2 pivots; use SinglePivotSelection otherwise")
+        super().__init__(num_pivots, gather_cutoff=gather_cutoff, max_rounds=max_rounds)

@@ -1,0 +1,296 @@
+"""Pivot-based distributed selection (paper Sections 3.3.2 and 3.3.3).
+
+This module implements the selection engine used by the distributed
+reservoir sampler:
+
+* the **general-case single-pivot algorithm** (Section 3.3.3): each PE draws
+  a Bernoulli sample of its candidate keys with success probability ``1/k``;
+  the globally smallest sampled key — whose expected rank is ``k`` — becomes
+  the pivot; an all-reduction counts the keys at most as large as the pivot;
+  depending on the count the search recurses below or above the pivot.
+  When ``k`` is large relative to the number of remaining candidates the
+  symmetric variant samples with probability ``1/(N-k+1)`` and uses the
+  largest sampled key.
+* the **multi-pivot variant** (Section 3.3.2 applied in 3.3.3): sampling with
+  probability ``d/k`` and keeping the ``d`` smallest sampled keys yields
+  ``d`` pivots whose expected ranks are spread over ``k/d, 2k/d, ..., k``;
+  one counting all-reduction then narrows the active range by an expected
+  factor of ``d``, reducing the recursion depth accordingly.
+* **approximate (banded) selection** ``amsSelect`` (Section 3.3.2 / 4.4):
+  the same loop terminates as soon as any pivot's global rank falls inside
+  the requested band ``[k_lo, k_hi]``, which gives expected constant
+  recursion depth when the band is wide enough.
+
+All communication goes through the simulated communicator; every round
+costs one small all-reduction for the pivot proposal and one for the rank
+counts, which is exactly the ``O(alpha * log p)`` latency per round the
+paper's analysis charges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.network.communicator import ReduceOp, SimComm
+from repro.selection.base import (
+    DistributedKeySet,
+    SelectionAlgorithm,
+    SelectionError,
+    SelectionResult,
+    SelectionStats,
+)
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PivotSelection"]
+
+RngLike = Union[np.random.Generator, Sequence[np.random.Generator], int, None]
+
+
+def _merge_smallest(limit: int) -> ReduceOp:
+    def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        merged = np.concatenate((np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
+        merged.sort()
+        return merged[:limit]
+
+    return ReduceOp(f"merge_smallest_{limit}", merge)
+
+
+def _merge_largest(limit: int) -> ReduceOp:
+    def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        merged = np.concatenate((np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
+        merged.sort()
+        return merged[-limit:] if limit < merged.shape[0] else merged
+
+    return ReduceOp(f"merge_largest_{limit}", merge)
+
+
+class PivotSelection(SelectionAlgorithm):
+    """Exact and banded distributed selection with 1 or more pivots.
+
+    Parameters
+    ----------
+    num_pivots:
+        Number of pivots ``d`` proposed per round.  ``1`` gives the paper's
+        "ours"; ``8`` the "ours-8" configuration.
+    gather_cutoff:
+        Once fewer than this many candidate keys remain in the active
+        window, they are gathered at a root PE and the answer is computed
+        sequentially.  This bounds the recursion depth in degenerate cases
+        (e.g. massive key duplication) and mirrors practical
+        implementations; set to ``0`` to disable.
+    max_rounds:
+        Hard safety bound on the number of pivot rounds.
+    """
+
+    def __init__(self, num_pivots: int = 1, *, gather_cutoff: int = 16, max_rounds: int = 200) -> None:
+        self.num_pivots = check_positive_int(num_pivots, "num_pivots")
+        self.gather_cutoff = check_positive_int(gather_cutoff, "gather_cutoff", allow_zero=True)
+        self.max_rounds = check_positive_int(max_rounds, "max_rounds")
+
+    @property
+    def name(self) -> str:
+        return "single-pivot" if self.num_pivots == 1 else f"multi-pivot-{self.num_pivots}"
+
+    # ------------------------------------------------------------------
+    def select(self, keyset: DistributedKeySet, k: int, comm: SimComm, rng: RngLike = None) -> SelectionResult:
+        return self.select_range(keyset, k, k, comm, rng)
+
+    def select_range(
+        self,
+        keyset: DistributedKeySet,
+        k_lo: int,
+        k_hi: int,
+        comm: SimComm,
+        rng: RngLike = None,
+    ) -> SelectionResult:
+        p = keyset.p
+        if comm.p != p:
+            raise ValueError(f"communicator has {comm.p} PEs but key set has {p}")
+        if k_lo < 1 or k_lo > k_hi:
+            raise ValueError(f"invalid rank band [{k_lo}, {k_hi}]")
+        rngs = self._normalise_rngs(rng, p)
+        stats = SelectionStats()
+
+        lo = [0] * p
+        hi = [keyset.local_size(pe) for pe in range(p)]
+        # One all-reduction establishes the total number of candidates; the
+        # loop afterwards tracks the active-window size without extra
+        # communication because every rank count is learned globally.
+        total = int(comm.allreduce([float(h) for h in hi], SimComm.SUM)[0])
+        stats.collective_calls += 1
+        if total == 0:
+            raise SelectionError("cannot select from an empty key set")
+        if k_hi > total:
+            raise SelectionError(f"rank band [{k_lo}, {k_hi}] exceeds total size {total}")
+
+        offset = 0
+        window = total
+        boost = 1.0  # sampling-probability boost after empty proposal rounds
+
+        while True:
+            target_lo = k_lo - offset
+            target_hi = k_hi - offset
+            if window <= 0:  # pragma: no cover - defensive
+                raise SelectionError("selection window collapsed without an answer")
+            if target_hi >= window:
+                # The largest key of the window is inside the band.
+                return self._finish_by_gather(
+                    keyset, lo, hi, offset, min(target_hi, window), comm, stats
+                )
+            if (self.gather_cutoff and window <= self.gather_cutoff) or (
+                stats.recursion_depth >= self.max_rounds
+            ):
+                stats.used_fallback = stats.recursion_depth >= self.max_rounds
+                return self._finish_by_gather(keyset, lo, hi, offset, target_lo, comm, stats)
+
+            from_below = target_hi <= window - target_lo + 1
+            pivots = self._propose_pivots(
+                keyset, lo, hi, window, target_lo, target_hi, from_below, boost, comm, rngs, stats
+            )
+            if pivots.shape[0] == 0:
+                stats.sample_retries += 1
+                boost *= 2.0
+                continue
+            boost = 1.0
+
+            # Count, for every pivot, the number of active keys <= pivot.
+            local_counts = []
+            for pe in range(p):
+                if hi[pe] > lo[pe]:
+                    counts = np.array(
+                        [
+                            min(max(keyset.count_le(pe, float(piv)) - lo[pe], 0), hi[pe] - lo[pe])
+                            for piv in pivots
+                        ],
+                        dtype=np.float64,
+                    )
+                else:
+                    counts = np.zeros(pivots.shape[0], dtype=np.float64)
+                local_counts.append(counts)
+            global_counts = comm.allreduce(local_counts, SimComm.SUM, words=float(pivots.shape[0]))[0]
+            global_counts = np.asarray(global_counts, dtype=np.float64).astype(np.int64)
+            stats.collective_calls += 1
+            stats.recursion_depth += 1
+
+            # A pivot inside the band finishes the selection.
+            in_band = np.flatnonzero((global_counts >= target_lo) & (global_counts <= target_hi))
+            if in_band.size:
+                j = int(in_band[0])
+                return SelectionResult(
+                    key=float(pivots[j]), rank=int(offset + global_counts[j]), stats=stats
+                )
+
+            # Otherwise narrow the window between the bracketing pivots.
+            below = np.flatnonzero(global_counts < target_lo)
+            above = np.flatnonzero(global_counts > target_hi)
+            j_lo = int(below[np.argmax(global_counts[below])]) if below.size else None
+            j_hi = int(above[np.argmin(global_counts[above])]) if above.size else None
+
+            new_window = window
+            if j_hi is not None:
+                new_window = int(global_counts[j_hi])
+            if j_lo is not None:
+                new_window -= int(global_counts[j_lo])
+            if new_window >= window:
+                # No progress (can only happen with heavy key duplication):
+                # fall back to gathering the remaining window.
+                stats.used_fallback = True
+                return self._finish_by_gather(keyset, lo, hi, offset, target_lo, comm, stats)
+
+            for pe in range(p):
+                if j_hi is not None:
+                    hi[pe] = lo[pe] + min(
+                        max(keyset.count_le(pe, float(pivots[j_hi])) - lo[pe], 0), hi[pe] - lo[pe]
+                    )
+                if j_lo is not None:
+                    lo[pe] = lo[pe] + min(
+                        max(keyset.count_le(pe, float(pivots[j_lo])) - lo[pe], 0), hi[pe] - lo[pe]
+                    )
+            if j_lo is not None:
+                offset += int(global_counts[j_lo])
+            window = new_window
+
+    # ------------------------------------------------------------------
+    def _normalise_rngs(self, rng: RngLike, p: int) -> List[np.random.Generator]:
+        if isinstance(rng, (list, tuple)):
+            if len(rng) != p:
+                raise ValueError(f"expected {p} per-PE generators, got {len(rng)}")
+            return list(rng)
+        generator = ensure_generator(rng)
+        return [generator] * p
+
+    def _propose_pivots(
+        self,
+        keyset: DistributedKeySet,
+        lo: List[int],
+        hi: List[int],
+        window: int,
+        target_lo: int,
+        target_hi: int,
+        from_below: bool,
+        boost: float,
+        comm: SimComm,
+        rngs: List[np.random.Generator],
+        stats: SelectionStats,
+    ) -> np.ndarray:
+        """One pivot-proposal round: Bernoulli sample + merging all-reduction."""
+        d = self.num_pivots
+        if from_below:
+            prob = min(1.0, boost * d / max(target_hi, 1))
+        else:
+            prob = min(1.0, boost * d / max(window - target_lo + 1, 1))
+        contributions: List[np.ndarray] = []
+        for pe in range(keyset.p):
+            m = hi[pe] - lo[pe]
+            if m <= 0:
+                contributions.append(np.empty(0, dtype=np.float64))
+                continue
+            count = int(rngs[pe].binomial(m, prob))
+            if count == 0:
+                contributions.append(np.empty(0, dtype=np.float64))
+                continue
+            positions = rngs[pe].choice(m, size=count, replace=False)
+            if from_below:
+                positions = np.sort(positions)[:d]
+            else:
+                positions = np.sort(positions)[-d:]
+            keys = np.array(
+                [keyset.select_local(pe, lo[pe] + int(pos) + 1) for pos in positions],
+                dtype=np.float64,
+            )
+            contributions.append(np.sort(keys))
+        op = _merge_smallest(d) if from_below else _merge_largest(d)
+        merged = comm.allreduce(contributions, op, words=float(d))[0]
+        stats.collective_calls += 1
+        pivots = np.sort(np.asarray(merged, dtype=np.float64))
+        stats.pivots_proposed += int(pivots.shape[0])
+        return pivots
+
+    def _finish_by_gather(
+        self,
+        keyset: DistributedKeySet,
+        lo: List[int],
+        hi: List[int],
+        offset: int,
+        target: int,
+        comm: SimComm,
+        stats: SelectionStats,
+    ) -> SelectionResult:
+        """Gather the remaining window at a root PE and finish sequentially."""
+        p = keyset.p
+        arrays = [keyset.keys_in_rank_range(pe, lo[pe], hi[pe]) for pe in range(p)]
+        gathered = comm.gather(arrays, root=0, words_per_pe=[float(a.shape[0]) for a in arrays])
+        stats.collective_calls += 1
+        window_keys = np.sort(np.concatenate([np.asarray(a, dtype=np.float64) for a in gathered]))
+        if window_keys.shape[0] == 0:
+            raise SelectionError("selection window is empty")
+        target = min(max(target, 1), window_keys.shape[0])
+        key = float(window_keys[target - 1])
+        rank = offset + int(np.searchsorted(window_keys, key, side="right"))
+        stats.final_gather_items += int(window_keys.shape[0])
+        broadcast = comm.broadcast([key] * p, root=0, words=1.0)
+        stats.collective_calls += 1
+        return SelectionResult(key=float(broadcast[0]), rank=rank, stats=stats)

@@ -1,0 +1,94 @@
+"""Sequential selection used by the centralized baseline (paper Section 4.5).
+
+The centralized gathering algorithm's root PE uses "a standard sequential
+selection algorithm (e.g., quickselect)" to keep the ``k`` smallest keys of
+the gathered candidates.  This module provides
+
+* :func:`quickselect_nth` — an in-place iterative quickselect with
+  median-of-three pivoting and an insertion-sort cutoff, and
+* :func:`smallest_k` / :func:`nth_smallest_numpy` — numpy-partition based
+  helpers used where raw speed matters more than algorithmic fidelity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quickselect_nth", "nth_smallest_numpy", "smallest_k"]
+
+_SMALL_CUTOFF = 16
+
+
+def _median_of_three(values: np.ndarray, lo: int, hi: int) -> float:
+    mid = (lo + hi) // 2
+    a, b, c = values[lo], values[mid], values[hi]
+    if a > b:
+        a, b = b, a
+    if b > c:
+        b = c if a <= c else a
+    return float(b)
+
+
+def quickselect_nth(values: np.ndarray, k: int) -> float:
+    """Return the ``k``-th smallest element of ``values`` (1-based).
+
+    The input array is copied; the original order is preserved for the
+    caller.  Runs in expected linear time.
+    """
+    values = np.array(values, dtype=np.float64, copy=True)
+    n = values.shape[0]
+    if not 1 <= k <= n:
+        raise IndexError(f"rank {k} out of range for array of length {n}")
+    lo, hi = 0, n - 1
+    target = k - 1
+    while True:
+        if hi - lo < _SMALL_CUTOFF:
+            segment = np.sort(values[lo : hi + 1])
+            return float(segment[target - lo])
+        pivot = _median_of_three(values, lo, hi)
+        # three-way partition of values[lo..hi] around pivot
+        i, j, eq = lo, hi, lo
+        # Dutch national flag partitioning
+        while eq <= j:
+            v = values[eq]
+            if v < pivot:
+                values[i], values[eq] = values[eq], values[i]
+                i += 1
+                eq += 1
+            elif v > pivot:
+                values[eq], values[j] = values[j], values[eq]
+                j -= 1
+            else:
+                eq += 1
+        # values[lo..i-1] < pivot, values[i..j] == pivot, values[j+1..hi] > pivot
+        if target < i:
+            hi = i - 1
+        elif target <= j:
+            return float(pivot)
+        else:
+            lo = j + 1
+
+
+def nth_smallest_numpy(values: np.ndarray, k: int) -> float:
+    """The ``k``-th smallest element (1-based) via :func:`numpy.partition`."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if not 1 <= k <= n:
+        raise IndexError(f"rank {k} out of range for array of length {n}")
+    return float(np.partition(values, k - 1)[k - 1])
+
+
+def smallest_k(values: np.ndarray, k: int, *, sort: bool = False) -> np.ndarray:
+    """Return the ``k`` smallest elements of ``values``.
+
+    If ``k`` is at least the array length, a copy of the full array is
+    returned.  With ``sort=True`` the result is sorted ascending.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if k <= 0:
+        return np.empty(0, dtype=np.float64)
+    if k >= values.shape[0]:
+        out = values.copy()
+    else:
+        out = np.partition(values, k - 1)[:k].copy()
+    return np.sort(out) if sort else out

@@ -1,0 +1,127 @@
+"""Unsorted selection fallback (paper Section 3.3.4).
+
+This algorithm does not require the local key sets to support logarithmic
+rank/select queries: it works on plain (conceptually unsorted) local key
+arrays and repeatedly partitions them around a uniformly random pivot drawn
+from the remaining candidates.  Expected ``O(log N)`` rounds of latency, but
+linear local work and higher communication volume than the sorted
+algorithms — exactly the trade-off the paper describes for the case where
+``O(log^2(kp))`` latency is undesirable.
+
+A uniformly random global pivot is chosen without a coordinator: every PE
+nominates one of its remaining keys uniformly at random together with an
+exponential "clock" with rate equal to its candidate count; the nomination
+with the smallest clock wins the all-reduction, which selects each PE with
+probability proportional to its number of candidates and therefore every
+remaining key with equal probability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.network.communicator import ReduceOp, SimComm
+from repro.selection.base import (
+    DistributedKeySet,
+    SelectionAlgorithm,
+    SelectionError,
+    SelectionResult,
+    SelectionStats,
+)
+from repro.utils.rng import ensure_generator
+
+__all__ = ["UnsortedSelection"]
+
+RngLike = Union[np.random.Generator, Sequence[np.random.Generator], int, None]
+
+_MIN_PAIR = ReduceOp("min_pair", lambda a, b: a if a[0] <= b[0] else b)
+
+
+class UnsortedSelection(SelectionAlgorithm):
+    """Random-pivot selection over unsorted local key arrays."""
+
+    name = "unsorted-select"
+
+    def __init__(self, *, gather_cutoff: int = 16, max_rounds: int = 400) -> None:
+        self.gather_cutoff = int(gather_cutoff)
+        self.max_rounds = int(max_rounds)
+
+    def _normalise_rngs(self, rng: RngLike, p: int) -> List[np.random.Generator]:
+        if isinstance(rng, (list, tuple)):
+            if len(rng) != p:
+                raise ValueError(f"expected {p} per-PE generators, got {len(rng)}")
+            return list(rng)
+        generator = ensure_generator(rng)
+        return [generator] * p
+
+    def select(self, keyset: DistributedKeySet, k: int, comm: SimComm, rng: RngLike = None) -> SelectionResult:
+        p = keyset.p
+        if comm.p != p:
+            raise ValueError(f"communicator has {comm.p} PEs but key set has {p}")
+        rngs = self._normalise_rngs(rng, p)
+        stats = SelectionStats()
+
+        # Working copies of the local candidate keys (unsorted model).
+        candidates: List[np.ndarray] = [np.asarray(keyset.local_keys(pe), dtype=np.float64) for pe in range(p)]
+        total = int(comm.allreduce([float(c.shape[0]) for c in candidates], SimComm.SUM)[0])
+        stats.collective_calls += 1
+        if total == 0:
+            raise SelectionError("cannot select from an empty key set")
+        if not 1 <= k <= total:
+            raise SelectionError(f"rank {k} out of range 1..{total}")
+
+        target = k
+        remaining = total
+        while True:
+            if remaining <= max(self.gather_cutoff, 1) or stats.recursion_depth >= self.max_rounds:
+                stats.used_fallback = stats.recursion_depth >= self.max_rounds
+                gathered = comm.gather(
+                    candidates, root=0, words_per_pe=[float(c.shape[0]) for c in candidates]
+                )
+                stats.collective_calls += 1
+                window = np.sort(np.concatenate(gathered))
+                stats.final_gather_items += int(window.shape[0])
+                key = float(window[target - 1])
+                key = comm.broadcast([key] * p, root=0, words=1.0)[0]
+                stats.collective_calls += 1
+                return SelectionResult(key=float(key), rank=k, stats=stats)
+
+            # 1. Nominate a uniformly random global pivot.
+            nominations = []
+            for pe in range(p):
+                m = candidates[pe].shape[0]
+                if m == 0:
+                    nominations.append((np.inf, np.nan))
+                else:
+                    clock = rngs[pe].exponential(1.0 / m)
+                    pick = float(candidates[pe][int(rngs[pe].integers(0, m))])
+                    nominations.append((clock, pick))
+            winner = comm.allreduce(nominations, _MIN_PAIR, words=2.0)[0]
+            stats.collective_calls += 1
+            pivot = float(winner[1])
+            stats.pivots_proposed += 1
+
+            # 2. Count candidates <= pivot.
+            counts = [float(np.count_nonzero(c <= pivot)) for c in candidates]
+            below = int(comm.allreduce(counts, SimComm.SUM)[0])
+            stats.collective_calls += 1
+            stats.recursion_depth += 1
+
+            if below == target:
+                key = comm.broadcast([pivot] * p, root=0, words=1.0)[0]
+                stats.collective_calls += 1
+                return SelectionResult(key=float(key), rank=k, stats=stats)
+            if below > target:
+                candidates = [c[c <= pivot] for c in candidates]
+                new_remaining = below
+            else:
+                candidates = [c[c > pivot] for c in candidates]
+                new_remaining = remaining - below
+                target -= below
+            if new_remaining >= remaining:  # pragma: no cover - heavy duplication guard
+                stats.used_fallback = True
+                remaining = self.gather_cutoff  # force the gather branch next round
+            else:
+                remaining = new_remaining

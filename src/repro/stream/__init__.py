@@ -1,0 +1,43 @@
+"""Mini-batch stream model (paper Section 3, "Mini-Batch Model").
+
+Items arrive at the PEs as a series of mini-batches; only the current batch
+is available in memory.  This package provides
+
+* :class:`~repro.stream.items.ItemBatch` — a struct-of-arrays batch of
+  (item id, weight) pairs,
+* weight generators matching the paper's inputs (uniform weights in
+  ``0..100``, the skewed drifting-normal weights of the preliminary
+  experiments) plus further distributions for the examples,
+* :class:`~repro.stream.minibatch.MiniBatchStream` — the distributed stream
+  source yielding one batch per PE per round, and
+* partitioning helpers for splitting a globally arriving batch across PEs.
+"""
+
+from repro.stream.generators import (
+    ExponentialWeightGenerator,
+    NormalDriftWeightGenerator,
+    UniformWeightGenerator,
+    UnitWeightGenerator,
+    WeightGenerator,
+    ZipfWeightGenerator,
+)
+from repro.stream.items import ItemBatch
+from repro.stream.minibatch import BatchSizeSchedule, DistributedMiniBatch, MiniBatchStream, RecordingStream
+from repro.stream.partition import partition_even, partition_random, partition_weighted_shares
+
+__all__ = [
+    "ItemBatch",
+    "WeightGenerator",
+    "UniformWeightGenerator",
+    "UnitWeightGenerator",
+    "NormalDriftWeightGenerator",
+    "ExponentialWeightGenerator",
+    "ZipfWeightGenerator",
+    "MiniBatchStream",
+    "RecordingStream",
+    "DistributedMiniBatch",
+    "BatchSizeSchedule",
+    "partition_even",
+    "partition_random",
+    "partition_weighted_shares",
+]

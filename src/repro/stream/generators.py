@@ -1,0 +1,146 @@
+"""Weight generators for synthetic mini-batch streams.
+
+The paper's experiments use *uniformly random floating point weights from
+the range 0..100* as the main input and, in preliminary experiments,
+*normally distributed weights with the mean increasing based on the
+iteration and the PE's rank* (Section 6.1).  Both are provided here, plus a
+few further distributions (Zipf/heavy-tailed, exponential, unit weights)
+used by the examples and by the statistical tests.
+
+Each generator is a small stateless object; the stream passes in the PE
+index, the round index and the PE's random generator so that runs are fully
+reproducible and independent across PEs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "WeightGenerator",
+    "UniformWeightGenerator",
+    "UnitWeightGenerator",
+    "NormalDriftWeightGenerator",
+    "ExponentialWeightGenerator",
+    "ZipfWeightGenerator",
+]
+
+_MIN_WEIGHT = 1e-12
+
+
+class WeightGenerator(abc.ABC):
+    """Produces the weights of one local mini-batch."""
+
+    @abc.abstractmethod
+    def generate(
+        self, size: int, rng: np.random.Generator, *, pe: int = 0, round_index: int = 0
+    ) -> np.ndarray:
+        """Return ``size`` strictly positive weights for PE ``pe`` in the given round."""
+
+    def __call__(
+        self, size: int, rng: np.random.Generator, *, pe: int = 0, round_index: int = 0
+    ) -> np.ndarray:
+        weights = self.generate(size, rng, pe=pe, round_index=round_index)
+        return np.maximum(np.asarray(weights, dtype=np.float64), _MIN_WEIGHT)
+
+
+class UniformWeightGenerator(WeightGenerator):
+    """Uniform weights from ``(low, high]`` — the paper's main input (0..100)."""
+
+    def __init__(self, low: float = 0.0, high: float = 100.0) -> None:
+        if high <= low:
+            raise ValueError("high must exceed low")
+        if low < 0:
+            raise ValueError("low must be non-negative (weights are positive)")
+        self.low = float(low)
+        self.high = float(high)
+
+    def generate(self, size, rng, *, pe=0, round_index=0):
+        # Map the half-open [0, 1) deviate to (low, high] so a weight of
+        # exactly ``low`` (possibly zero) never occurs.
+        u = 1.0 - rng.random(size)
+        return self.low + u * (self.high - self.low)
+
+    def __repr__(self) -> str:
+        return f"UniformWeightGenerator(low={self.low}, high={self.high})"
+
+
+class UnitWeightGenerator(WeightGenerator):
+    """All weights equal to one; used for uniform (unweighted) sampling."""
+
+    def generate(self, size, rng, *, pe=0, round_index=0):
+        return np.ones(size, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return "UnitWeightGenerator()"
+
+
+class NormalDriftWeightGenerator(WeightGenerator):
+    """Normally distributed weights whose mean drifts with round and PE rank.
+
+    Mirrors the skewed input of the paper's preliminary experiments: the
+    mean increases based on the iteration (round) and the PE's rank, so
+    later rounds and higher-ranked PEs produce heavier items.
+    """
+
+    def __init__(
+        self,
+        base_mean: float = 50.0,
+        std: float = 10.0,
+        round_drift: float = 1.0,
+        pe_drift: float = 0.5,
+    ) -> None:
+        self.base_mean = check_positive(base_mean, "base_mean")
+        self.std = check_positive(std, "std")
+        self.round_drift = float(round_drift)
+        self.pe_drift = float(pe_drift)
+
+    def generate(self, size, rng, *, pe=0, round_index=0):
+        mean = self.base_mean + self.round_drift * round_index + self.pe_drift * pe
+        return rng.normal(loc=mean, scale=self.std, size=size)
+
+    def __repr__(self) -> str:
+        return (
+            f"NormalDriftWeightGenerator(base_mean={self.base_mean}, std={self.std}, "
+            f"round_drift={self.round_drift}, pe_drift={self.pe_drift})"
+        )
+
+
+class ExponentialWeightGenerator(WeightGenerator):
+    """Exponentially distributed weights (moderately heavy upper tail)."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        self.scale = check_positive(scale, "scale")
+
+    def generate(self, size, rng, *, pe=0, round_index=0):
+        return rng.exponential(scale=self.scale, size=size)
+
+    def __repr__(self) -> str:
+        return f"ExponentialWeightGenerator(scale={self.scale})"
+
+
+class ZipfWeightGenerator(WeightGenerator):
+    """Heavy-tailed (Pareto/Zipf-like) weights.
+
+    Useful for the heavy-hitter style example applications: a small number
+    of items carry a large share of the total weight.
+    """
+
+    def __init__(self, exponent: float = 1.5, scale: float = 1.0) -> None:
+        if exponent <= 1.0:
+            raise ValueError("exponent must exceed 1 for a finite mean")
+        self.exponent = float(exponent)
+        self.scale = check_positive(scale, "scale")
+
+    def generate(self, size, rng, *, pe=0, round_index=0):
+        # Inverse-CDF sampling of a Pareto distribution with shape a-1.
+        u = 1.0 - rng.random(size)
+        return self.scale * u ** (-1.0 / (self.exponent - 1.0))
+
+    def __repr__(self) -> str:
+        return f"ZipfWeightGenerator(exponent={self.exponent}, scale={self.scale})"

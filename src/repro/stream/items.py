@@ -1,0 +1,114 @@
+"""Batches of weighted items in struct-of-arrays layout.
+
+A batch holds item identifiers and weights in parallel numpy arrays rather
+than per-item objects; this is what keeps the pure-Python simulation able to
+process millions of items (the per-item loop of the paper's Algorithm 1 is
+replaced by vectorised kernels over these arrays, see
+:mod:`repro.core.keys`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_weights
+
+__all__ = ["ItemBatch"]
+
+
+@dataclass(frozen=True)
+class ItemBatch:
+    """A batch of weighted items.
+
+    Attributes
+    ----------
+    ids:
+        ``int64`` array of globally unique item identifiers.
+    weights:
+        ``float64`` array of strictly positive item weights, aligned with
+        ``ids``.  For uniform (unweighted) sampling use weight 1 for every
+        item; the samplers never rely on the weights being distinct.
+    """
+
+    ids: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.ids, dtype=np.int64)
+        weights = check_weights(self.weights)
+        if ids.ndim != 1:
+            raise ValueError(f"ids must be one-dimensional, got shape {ids.shape}")
+        if ids.shape[0] != weights.shape[0]:
+            raise ValueError(
+                f"ids and weights must have equal length, got {ids.shape[0]} and {weights.shape[0]}"
+            )
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "weights", weights)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "ItemBatch":
+        """An empty batch."""
+        return cls(ids=np.empty(0, dtype=np.int64), weights=np.empty(0, dtype=np.float64))
+
+    @classmethod
+    def from_weights(cls, weights: Sequence[float], start_id: int = 0) -> "ItemBatch":
+        """Build a batch with consecutive ids starting at ``start_id``."""
+        weights = np.asarray(weights, dtype=np.float64)
+        ids = np.arange(start_id, start_id + weights.shape[0], dtype=np.int64)
+        return cls(ids=ids, weights=weights)
+
+    @classmethod
+    def uniform_items(cls, count: int, start_id: int = 0) -> "ItemBatch":
+        """A batch of ``count`` unit-weight items (for uniform sampling)."""
+        return cls(
+            ids=np.arange(start_id, start_id + count, dtype=np.int64),
+            weights=np.ones(count, dtype=np.float64),
+        )
+
+    @classmethod
+    def concat(cls, batches: Iterable["ItemBatch"]) -> "ItemBatch":
+        """Concatenate several batches into one."""
+        batches = [b for b in batches if len(b) > 0]
+        if not batches:
+            return cls.empty()
+        return cls(
+            ids=np.concatenate([b.ids for b in batches]),
+            weights=np.concatenate([b.weights for b in batches]),
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of items in the batch."""
+        return len(self)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all item weights in the batch."""
+        return float(self.weights.sum()) if len(self) else 0.0
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return zip(self.ids.tolist(), self.weights.tolist())
+
+    def take(self, indices: np.ndarray) -> "ItemBatch":
+        """Sub-batch with the items at ``indices`` (in that order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ItemBatch(ids=self.ids[indices], weights=self.weights[indices])
+
+    def split(self, parts: int) -> List["ItemBatch"]:
+        """Split into ``parts`` contiguous, nearly equal-sized sub-batches."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        id_chunks = np.array_split(self.ids, parts)
+        weight_chunks = np.array_split(self.weights, parts)
+        return [ItemBatch(ids=i, weights=w) for i, w in zip(id_chunks, weight_chunks)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ItemBatch(size={len(self)}, total_weight={self.total_weight:.3f})"

@@ -1,0 +1,196 @@
+"""Distributed mini-batch stream sources.
+
+A :class:`MiniBatchStream` produces, for every round, one
+:class:`~repro.stream.items.ItemBatch` per PE with globally unique item
+identifiers.  Batch sizes may differ across PEs and rounds (the paper's
+model explicitly allows this); :class:`BatchSizeSchedule` captures the
+common cases.
+
+:class:`RecordingStream` wraps any stream and remembers every emitted item;
+the test-suite uses it to compare the distributed samplers against ground
+truth computed over the full replayed input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.stream.generators import UniformWeightGenerator, WeightGenerator
+from repro.stream.items import ItemBatch
+from repro.utils.rng import spawn_generators
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BatchSizeSchedule", "DistributedMiniBatch", "MiniBatchStream", "RecordingStream"]
+
+
+SizeLike = Union[int, Sequence[int], Callable[[int, int], int]]
+
+
+@dataclass(frozen=True)
+class BatchSizeSchedule:
+    """Number of items each PE receives in each round.
+
+    ``base`` may be
+
+    * an ``int`` — every PE gets the same number of items each round,
+    * a sequence of ``p`` ints — per-PE sizes, constant over rounds, or
+    * a callable ``(pe, round_index) -> int`` for full control.
+
+    ``jitter`` optionally adds uniform random variation of ``+- jitter``
+    items (clamped at zero) so batch sizes differ between PEs and rounds, as
+    the mini-batch model allows.
+    """
+
+    base: SizeLike
+    jitter: int = 0
+
+    def size_for(self, pe: int, round_index: int, rng: Optional[np.random.Generator] = None) -> int:
+        if callable(self.base):
+            size = int(self.base(pe, round_index))
+        elif isinstance(self.base, (list, tuple, np.ndarray)):
+            size = int(self.base[pe])
+        else:
+            size = int(self.base)
+        if self.jitter and rng is not None:
+            size += int(rng.integers(-self.jitter, self.jitter + 1))
+        return max(size, 0)
+
+
+@dataclass(frozen=True)
+class DistributedMiniBatch:
+    """The per-PE batches of one round."""
+
+    round_index: int
+    batches: List[ItemBatch]
+
+    @property
+    def p(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_items(self) -> int:
+        """Total number of items across all PEs in this round (``B`` in the paper)."""
+        return sum(len(b) for b in self.batches)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(b.total_weight for b in self.batches)
+
+    def batch_for(self, pe: int) -> ItemBatch:
+        return self.batches[pe]
+
+
+class MiniBatchStream:
+    """Synthetic distributed mini-batch source.
+
+    Parameters
+    ----------
+    p:
+        Number of PEs.
+    batch_size:
+        Items per PE per round; an int, per-PE sequence, callable or
+        :class:`BatchSizeSchedule`.
+    weights:
+        Weight generator; defaults to the paper's uniform 0..100 weights.
+    seed:
+        Seed for the per-PE random streams.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        batch_size: Union[SizeLike, BatchSizeSchedule],
+        weights: Optional[WeightGenerator] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.p = check_positive_int(p, "p")
+        self.schedule = (
+            batch_size if isinstance(batch_size, BatchSizeSchedule) else BatchSizeSchedule(batch_size)
+        )
+        self.weights = weights if weights is not None else UniformWeightGenerator()
+        self._rngs = spawn_generators(seed, self.p)
+        self._round = 0
+        self._next_id = 0
+        self._items_emitted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        """Index of the next round to be produced."""
+        return self._round
+
+    @property
+    def items_emitted(self) -> int:
+        """Total number of items emitted so far across all PEs."""
+        return self._items_emitted
+
+    def next_round(self) -> DistributedMiniBatch:
+        """Produce the batches of the next round."""
+        batches: List[ItemBatch] = []
+        for pe in range(self.p):
+            rng = self._rngs[pe]
+            size = self.schedule.size_for(pe, self._round, rng)
+            weights = self.weights(size, rng, pe=pe, round_index=self._round)
+            ids = np.arange(self._next_id, self._next_id + size, dtype=np.int64)
+            self._next_id += size
+            batches.append(ItemBatch(ids=ids, weights=weights))
+        self._items_emitted += sum(len(b) for b in batches)
+        result = DistributedMiniBatch(round_index=self._round, batches=batches)
+        self._round += 1
+        return result
+
+    def rounds(self, count: int) -> Iterator[DistributedMiniBatch]:
+        """Iterate over the next ``count`` rounds."""
+        for _ in range(check_positive_int(count, "count", allow_zero=True)):
+            yield self.next_round()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MiniBatchStream(p={self.p}, round={self._round}, emitted={self._items_emitted})"
+
+
+class RecordingStream:
+    """Wrap a stream and remember every emitted item.
+
+    Provides the ground truth (all ids and weights seen so far) that the
+    integration tests and statistical checks compare the samplers against.
+    Only suitable for small test inputs — recording defeats the purpose of
+    streaming for real workloads.
+    """
+
+    def __init__(self, inner: MiniBatchStream) -> None:
+        self.inner = inner
+        self._ids: List[np.ndarray] = []
+        self._weights: List[np.ndarray] = []
+
+    @property
+    def p(self) -> int:
+        return self.inner.p
+
+    @property
+    def round_index(self) -> int:
+        return self.inner.round_index
+
+    @property
+    def items_emitted(self) -> int:
+        return self.inner.items_emitted
+
+    def next_round(self) -> DistributedMiniBatch:
+        round_batches = self.inner.next_round()
+        for batch in round_batches.batches:
+            if len(batch):
+                self._ids.append(batch.ids)
+                self._weights.append(batch.weights)
+        return round_batches
+
+    def rounds(self, count: int) -> Iterator[DistributedMiniBatch]:
+        for _ in range(count):
+            yield self.next_round()
+
+    def all_items(self) -> ItemBatch:
+        """All items emitted so far, as one batch."""
+        if not self._ids:
+            return ItemBatch.empty()
+        return ItemBatch(ids=np.concatenate(self._ids), weights=np.concatenate(self._weights))

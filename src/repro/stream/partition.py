@@ -1,0 +1,58 @@
+"""Partitioning a globally arriving batch across PEs.
+
+Some applications (see ``examples/``) receive one global stream that must be
+spread over the PEs, rather than per-PE streams.  These helpers implement
+the common placement policies; all of them return one
+:class:`~repro.stream.items.ItemBatch` per PE whose union is exactly the
+input batch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.stream.items import ItemBatch
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["partition_even", "partition_random", "partition_weighted_shares"]
+
+
+def partition_even(batch: ItemBatch, p: int) -> List[ItemBatch]:
+    """Deal the items into ``p`` contiguous, nearly equal-sized parts."""
+    check_positive_int(p, "p")
+    return batch.split(p)
+
+
+def partition_random(batch: ItemBatch, p: int, rng=None) -> List[ItemBatch]:
+    """Assign every item to a uniformly random PE (multinomial placement)."""
+    check_positive_int(p, "p")
+    rng = ensure_generator(rng)
+    if len(batch) == 0:
+        return [ItemBatch.empty() for _ in range(p)]
+    assignment = rng.integers(0, p, size=len(batch))
+    return [batch.take(np.flatnonzero(assignment == pe)) for pe in range(p)]
+
+
+def partition_weighted_shares(
+    batch: ItemBatch, shares: Sequence[float], rng=None
+) -> List[ItemBatch]:
+    """Assign items to PEs with probabilities proportional to ``shares``.
+
+    Models skewed arrival rates: PEs with larger shares receive more items
+    in expectation.
+    """
+    shares = np.asarray(shares, dtype=np.float64)
+    if shares.ndim != 1 or len(shares) == 0:
+        raise ValueError("shares must be a non-empty one-dimensional sequence")
+    if np.any(shares < 0) or shares.sum() <= 0:
+        raise ValueError("shares must be non-negative and not all zero")
+    rng = ensure_generator(rng)
+    p = len(shares)
+    if len(batch) == 0:
+        return [ItemBatch.empty() for _ in range(p)]
+    probabilities = shares / shares.sum()
+    assignment = rng.choice(p, size=len(batch), p=probabilities)
+    return [batch.take(np.flatnonzero(assignment == pe)) for pe in range(p)]

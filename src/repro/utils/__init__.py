@@ -1,0 +1,25 @@
+"""Shared utilities: random-number management and argument validation."""
+
+from repro.utils.rng import (
+    derive_generator,
+    ensure_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_weights,
+)
+
+__all__ = [
+    "derive_generator",
+    "ensure_generator",
+    "spawn_generators",
+    "spawn_seed_sequences",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_weights",
+]

@@ -1,0 +1,84 @@
+"""Random number generator management.
+
+The distributed algorithms in this package are simulated SPMD programs: the
+same logical program runs on ``p`` processing elements (PEs).  Each PE must
+own an *independent* random stream so that simulated runs are reproducible
+and statistically sound regardless of the interleaving in which the
+simulator executes the PEs.  We derive per-PE generators from a single seed
+using :class:`numpy.random.SeedSequence` spawning, which guarantees
+independence between the spawned streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
+
+__all__ = [
+    "ensure_generator",
+    "derive_generator",
+    "spawn_seed_sequences",
+    "spawn_generators",
+]
+
+
+def ensure_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, a sequence of
+    integers, a :class:`~numpy.random.SeedSequence` or an existing
+    generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_seed_sequences(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent seed sequences derived from ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a fresh SeedSequence from the generator's bit stream so that
+        # repeated calls yield different, but still reproducible, spawns.
+        entropy = int(seed.integers(0, 2**63 - 1))
+        root = np.random.SeedSequence(entropy)
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return list(root.spawn(count))
+
+
+def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators derived from ``seed``.
+
+    This is the canonical way to obtain one generator per simulated PE.
+    """
+    return [np.random.default_rng(ss) for ss in spawn_seed_sequences(seed, count)]
+
+
+def derive_generator(seed: SeedLike, *keys: int) -> np.random.Generator:
+    """Derive a generator from ``seed`` and a tuple of integer ``keys``.
+
+    Useful for obtaining per-(PE, round) streams without storing every
+    generator explicitly: ``derive_generator(seed, pe, round)``.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise TypeError("derive_generator requires a seed, not a Generator")
+    if isinstance(seed, np.random.SeedSequence):
+        base_entropy = seed.entropy
+    else:
+        base_entropy = seed
+    if base_entropy is None:
+        base_entropy = 0
+    if isinstance(base_entropy, (list, tuple)):
+        combined = list(base_entropy) + [int(key) for key in keys]
+    else:
+        combined = [int(base_entropy)] + [int(key) for key in keys]
+    return np.random.default_rng(np.random.SeedSequence(combined))

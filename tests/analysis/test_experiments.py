@@ -1,0 +1,155 @@
+"""Tests for the scaling-experiment engine (the harness behind Figures 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    ScalingConfig,
+    run_configuration,
+    run_strong_scaling,
+    run_time_composition,
+    run_weak_scaling,
+    steady_state_preload,
+)
+from repro.core import DistributedReservoirSampler
+from repro.network import SimComm
+
+
+TINY = ScalingConfig.smoke().with_scale(
+    node_counts=(1, 2),
+    sample_sizes=(16,),
+    weak_batch_sizes=(64,),
+    strong_total_batches=(512,),
+    rounds=2,
+    warmup_rounds=0,
+    steady_state_batches=20,
+)
+
+
+class TestScalingConfig:
+    def test_presets_exist(self):
+        assert ScalingConfig.scaled_default().machine is not None
+        assert ScalingConfig.smoke().rounds <= ScalingConfig.scaled_default().rounds
+        paper = ScalingConfig.paper_full()
+        assert paper.pes_per_node == 20
+        assert max(paper.sample_sizes) == 100_000
+
+    def test_pe_count(self):
+        assert ScalingConfig(pes_per_node=4).pe_count(16) == 64
+
+    def test_cell_seed_deterministic_and_distinct(self):
+        cfg = ScalingConfig()
+        a = cfg.cell_seed("ours", 10, 100, 4)
+        b = cfg.cell_seed("ours", 10, 100, 4)
+        c = cfg.cell_seed("gather", 10, 100, 4)
+        assert a == b
+        assert a != c
+
+    def test_with_scale_replaces_fields(self):
+        cfg = ScalingConfig().with_scale(rounds=9)
+        assert cfg.rounds == 9
+
+
+class TestSteadyStatePreload:
+    def test_preload_installs_k_items_and_threshold(self):
+        sampler = DistributedReservoirSampler(32, SimComm(4), seed=0)
+        steady_state_preload(sampler, k=32, items_seen=10_000, seed=1)
+        assert sampler.sample_size() == 32
+        assert sampler.items_seen == 10_000
+        assert sampler.threshold is not None
+        keys = np.sort(np.concatenate([r.keys_array() for r in sampler.reservoirs]))
+        assert sampler.threshold == pytest.approx(keys[-1])
+
+    def test_preloaded_ids_are_negative(self):
+        sampler = DistributedReservoirSampler(8, SimComm(2), seed=0)
+        steady_state_preload(sampler, k=8, items_seen=1000, seed=2)
+        assert np.all(sampler.sample_ids() < 0)
+
+    def test_requires_items_seen_much_larger_than_k(self):
+        sampler = DistributedReservoirSampler(100, SimComm(2), seed=0)
+        with pytest.raises(ValueError):
+            steady_state_preload(sampler, k=100, items_seen=500, seed=0)
+
+    def test_uniform_keys_stay_below_one(self):
+        sampler = DistributedReservoirSampler(16, SimComm(2), weighted=False, seed=0)
+        steady_state_preload(sampler, k=16, items_seen=100_000, weighted=False, seed=3)
+        assert sampler.threshold <= 1.0
+
+
+class TestRunConfiguration:
+    def test_returns_metrics_with_requested_rounds(self):
+        metrics = run_configuration(
+            "ours", p=4, k=8, batch_per_pe=32, rounds=3, machine=TINY.machine_spec(), seed=1
+        )
+        assert metrics.num_rounds == 3
+        assert metrics.total_items == 3 * 4 * 32
+        assert metrics.simulated_time > 0
+
+    def test_prewarm_changes_insertion_profile(self):
+        cold = run_configuration(
+            "ours", p=2, k=16, batch_per_pe=64, rounds=2, machine=TINY.machine_spec(), seed=2
+        )
+        warm = run_configuration(
+            "ours", p=2, k=16, batch_per_pe=64, rounds=2, prewarm_items=100_000,
+            machine=TINY.machine_spec(), seed=2,
+        )
+        assert warm.total_insertions < cold.total_insertions
+
+    def test_all_algorithm_names_run(self):
+        for algorithm in ("ours", "ours-8", "gather", "ours-variable"):
+            metrics = run_configuration(
+                algorithm, p=2, k=8, batch_per_pe=16, rounds=1, machine=TINY.machine_spec(), seed=3
+            )
+            assert metrics.num_rounds == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            run_configuration("ours", p=0, k=1, batch_per_pe=1, rounds=1)
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def weak_result(self):
+        return run_weak_scaling(TINY)
+
+    def test_weak_scaling_covers_all_cells(self, weak_result):
+        cells = len(TINY.algorithms) * len(TINY.sample_sizes) * len(TINY.weak_batch_sizes) * len(TINY.node_counts)
+        assert len(weak_result.runs) == cells
+        assert weak_result.kind == "weak"
+
+    def test_speedups_reference_is_one(self, weak_result):
+        speedups = weak_result.speedups("ours", 16, 64)
+        assert speedups[1] == pytest.approx(1.0)
+        assert set(speedups) == {1, 2}
+
+    def test_throughputs_positive(self, weak_result):
+        throughputs = weak_result.throughputs_per_pe("gather", 16, 64)
+        assert all(v > 0 for v in throughputs.values())
+
+    def test_phase_fractions_sum_to_one(self, weak_result):
+        fractions = weak_result.phase_fractions("ours", 16, 64, 2)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_strong_scaling_divides_total_batch(self):
+        result = run_strong_scaling(TINY)
+        m1 = result.get("ours", 16, 512, 1)
+        m2 = result.get("ours", 16, 512, 2)
+        # total items per round constant => per-round items equal across node counts
+        assert m1.total_items == m2.total_items
+
+    def test_time_composition_modes(self):
+        strong = run_time_composition(TINY, mode="strong")
+        weak = run_time_composition(TINY, mode="weak")
+        assert strong.kind == "strong"
+        assert weak.kind == "weak"
+        with pytest.raises(ValueError):
+            run_time_composition(TINY, mode="diagonal")
+
+    def test_selection_depth_accessor(self, weak_result):
+        depth = weak_result.selection_depth("ours", 16, 64, 2)
+        assert depth >= 0.0
+
+    def test_missing_cell_raises(self, weak_result):
+        with pytest.raises(KeyError):
+            weak_result.get("ours", 999, 64, 1)

@@ -1,0 +1,92 @@
+"""Tests for speedup/throughput series and table rendering."""
+
+import pytest
+
+from repro.analysis import ScalingSeries, format_fraction_table, format_series_table, format_table, speedup_series, throughput_series
+from repro.runtime import PhaseTimes, RoundMetrics, RunMetrics
+
+
+def make_run(p, time_per_round, items_per_round, rounds=2):
+    run = RunMetrics(p=p, k=10, algorithm="ours")
+    for i in range(rounds):
+        run.add_round(
+            RoundMetrics(
+                round_index=i,
+                batch_items=items_per_round,
+                items_seen_total=(i + 1) * items_per_round,
+                sample_size=10,
+                threshold=0.1,
+                phase_times={"insert": PhaseTimes(local=time_per_round, comm=0.0)},
+                insertions_per_pe=[1] * p,
+            )
+        )
+    return run
+
+
+class TestScalingSeries:
+    def test_add_and_lookup(self):
+        series = ScalingSeries(algorithm="ours", k=10)
+        series.add(1, 1.0)
+        series.add(4, 3.5)
+        assert series.as_dict() == {1: 1.0, 4: 3.5}
+        assert series.value_at(4) == 3.5
+        assert series.value_at(16) is None
+
+
+class TestSpeedupSeries:
+    def test_ideal_scaling_gives_linear_speedup(self):
+        baseline = make_run(p=4, time_per_round=8.0, items_per_round=100)
+        runs = {
+            1: baseline,
+            4: make_run(p=16, time_per_round=8.0, items_per_round=400),
+            16: make_run(p=64, time_per_round=8.0, items_per_round=1600),
+        }
+        series = speedup_series(runs, baseline)
+        assert series.as_dict()[1] == pytest.approx(1.0)
+        assert series.as_dict()[4] == pytest.approx(4.0)
+        assert series.as_dict()[16] == pytest.approx(16.0)
+
+    def test_slower_run_gives_sub_one_speedup(self):
+        baseline = make_run(p=4, time_per_round=1.0, items_per_round=100)
+        slow = make_run(p=4, time_per_round=2.0, items_per_round=100)
+        series = speedup_series({1: slow}, baseline)
+        assert series.as_dict()[1] == pytest.approx(0.5)
+
+    def test_empty_run_rejected(self):
+        baseline = make_run(p=1, time_per_round=1.0, items_per_round=10)
+        empty = RunMetrics(p=1, k=1, algorithm="x")
+        with pytest.raises(ValueError):
+            speedup_series({1: empty}, baseline)
+
+
+class TestThroughputSeries:
+    def test_per_pe_and_total(self):
+        runs = {1: make_run(p=4, time_per_round=2.0, items_per_round=100)}
+        per_pe = throughput_series(runs, per_pe=True).as_dict()[1]
+        total = throughput_series(runs, per_pe=False).as_dict()[1]
+        assert total == pytest.approx(200 / 4.0)
+        assert per_pe == pytest.approx(total / 4)
+
+
+class TestTables:
+    def test_format_table_alignment_and_content(self):
+        text = format_table(["a", "metric"], [[1, 2.5], [10, 0.000123]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "metric" in lines[0]
+        assert "1.23e-04" in text or "0.000123" in text
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series_table_merges_x_values(self):
+        text = format_series_table({"ours": {1: 1.0, 4: 3.9}, "gather": {1: 1.1}})
+        assert "nodes" in text
+        assert "ours" in text and "gather" in text
+        assert "-" in text.splitlines()[-1]  # missing value rendered as dash
+
+    def test_format_fraction_table_includes_phases(self):
+        text = format_fraction_table({"ours-8 @ 16": {"insert": 0.5, "select": 0.5}})
+        assert "insert" in text and "gather" in text
+        assert "ours-8 @ 16" in text

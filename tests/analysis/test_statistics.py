@@ -1,0 +1,105 @@
+"""Tests for the statistical-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chi_square_statistic,
+    empirical_inclusion_frequencies,
+    inclusion_counts,
+    single_draw_reference_probabilities,
+    total_variation_distance,
+    weighted_inclusion_reference,
+)
+
+
+class TestInclusionCounts:
+    def test_counts_over_samples(self):
+        samples = [np.array([0, 2]), np.array([2, 3]), np.array([], dtype=np.int64)]
+        counts = inclusion_counts(samples, 5)
+        assert counts.tolist() == [1, 0, 2, 1, 0]
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ValueError):
+            inclusion_counts([np.array([5])], 5)
+        with pytest.raises(ValueError):
+            inclusion_counts([np.array([-1])], 5)
+
+    def test_frequencies(self):
+        samples = [np.array([0]), np.array([0, 1])]
+        freq = empirical_inclusion_frequencies(samples, 3)
+        assert freq.tolist() == [1.0, 0.5, 0.0]
+
+    def test_frequencies_require_samples(self):
+        with pytest.raises(ValueError):
+            empirical_inclusion_frequencies([], 3)
+
+
+class TestReferenceProbabilities:
+    def test_single_draw_is_normalised_weights(self):
+        probs = single_draw_reference_probabilities([1.0, 3.0])
+        assert probs.tolist() == [0.25, 0.75]
+
+    def test_single_draw_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            single_draw_reference_probabilities([1.0, 0.0])
+
+    def test_weighted_reference_sums_to_k(self, rng):
+        weights = rng.uniform(1, 5, size=10)
+        freq = weighted_inclusion_reference(weights, k=3, trials=500, rng=rng)
+        assert freq.sum() == pytest.approx(3.0)
+        assert np.all((freq >= 0) & (freq <= 1))
+
+    def test_weighted_reference_monotone_in_weight(self, rng):
+        weights = np.array([1.0, 1.0, 1.0, 20.0])
+        freq = weighted_inclusion_reference(weights, k=2, trials=2000, rng=rng)
+        assert freq[3] > freq[:3].max()
+
+    def test_weighted_reference_validates_arguments(self, rng):
+        with pytest.raises(ValueError):
+            weighted_inclusion_reference([1.0], k=0, trials=10, rng=rng)
+        with pytest.raises(ValueError):
+            weighted_inclusion_reference([1.0], k=1, trials=0, rng=rng)
+
+
+class TestChiSquare:
+    def test_perfect_fit_gives_zero(self):
+        observed = np.array([50, 50])
+        statistic, dof = chi_square_statistic(observed, np.array([0.5, 0.5]), trials=100)
+        assert statistic == pytest.approx(0.0)
+        assert dof == 1
+
+    def test_bad_fit_gives_large_statistic(self):
+        observed = np.array([100, 0])
+        statistic, _ = chi_square_statistic(observed, np.array([0.5, 0.5]), trials=100)
+        assert statistic > 50
+
+    def test_zero_expectation_cells_ignored(self):
+        observed = np.array([10, 0])
+        statistic, dof = chi_square_statistic(observed, np.array([1.0, 0.0]), trials=10)
+        assert np.isfinite(statistic)
+        assert dof >= 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.array([1, 2]), np.array([0.5]), trials=10)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        assert total_variation_distance(np.array([0.5, 0.5]), np.array([0.5, 0.5])) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_normalisation_applied(self):
+        # inclusion-frequency vectors summing to k are fine
+        a = np.array([2.0, 2.0])
+        b = np.array([1.0, 1.0])
+        assert total_variation_distance(a, b) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([0.0]), np.array([1.0]))

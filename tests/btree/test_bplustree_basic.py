@@ -1,0 +1,179 @@
+"""Basic B+ tree operations: construction, insertion, lookup, deletion."""
+
+import numpy as np
+import pytest
+
+from repro.btree import BPlusTree
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.height == 0
+        tree.check_invariants()
+
+    def test_order_must_be_at_least_four(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+    def test_from_sorted_items(self):
+        items = [(float(i), i) for i in range(100)]
+        tree = BPlusTree.from_sorted_items(items, order=8)
+        assert len(tree) == 100
+        assert list(tree.items()) == items
+        tree.check_invariants()
+
+    def test_from_sorted_items_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BPlusTree.from_sorted_items([(2.0, 0), (1.0, 1)])
+
+    def test_from_items_sorts(self):
+        tree = BPlusTree.from_items([(3.0, "c"), (1.0, "a"), (2.0, "b")])
+        assert [k for k, _ in tree.items()] == [1.0, 2.0, 3.0]
+
+    def test_bulk_load_various_sizes(self):
+        for n in [0, 1, 2, 7, 8, 15, 16, 17, 64, 257, 1000]:
+            tree = BPlusTree.from_sorted_items([(float(i), i) for i in range(n)], order=8)
+            assert len(tree) == n
+            tree.check_invariants()
+
+
+class TestInsert:
+    def test_single_insert(self):
+        tree = BPlusTree()
+        tree.insert(1.5, "a")
+        assert len(tree) == 1
+        assert tree.min_item() == (1.5, "a")
+        assert tree.max_item() == (1.5, "a")
+
+    def test_many_inserts_sorted_order(self, rng):
+        tree = BPlusTree(order=6)
+        keys = rng.random(500)
+        for i, key in enumerate(keys):
+            tree.insert(float(key), i)
+        assert len(tree) == 500
+        stored = [k for k, _ in tree.items()]
+        assert stored == sorted(keys.tolist())
+        tree.check_invariants()
+
+    def test_duplicate_keys_allowed(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(1.0, i)
+        assert len(tree) == 50
+        assert tree.count_le(1.0) == 50
+        tree.check_invariants()
+
+    def test_update_inserts_pairs(self):
+        tree = BPlusTree()
+        tree.update([(2.0, "b"), (1.0, "a")])
+        assert len(tree) == 2
+
+    def test_contains_and_get(self):
+        tree = BPlusTree()
+        tree.insert(3.0, "payload")
+        assert 3.0 in tree
+        assert 4.0 not in tree
+        assert tree.get(3.0) == "payload"
+        assert tree.get(4.0, default="missing") == "missing"
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for i in range(1000):
+            tree.insert(float(i), i)
+        # order-4 tree: height is O(log_2 n); 1000 items should stay shallow
+        assert tree.height <= 12
+
+
+class TestMinMax:
+    def test_min_max_track_extremes(self, rng):
+        tree = BPlusTree(order=5)
+        keys = rng.normal(size=200)
+        for i, key in enumerate(keys):
+            tree.insert(float(key), i)
+        assert tree.min_key() == pytest.approx(keys.min())
+        assert tree.max_key() == pytest.approx(keys.max())
+
+    def test_min_max_on_empty_raises(self):
+        tree = BPlusTree()
+        with pytest.raises(IndexError):
+            tree.min_item()
+        with pytest.raises(IndexError):
+            tree.max_item()
+
+
+class TestErase:
+    def test_erase_at_returns_item(self):
+        tree = BPlusTree.from_sorted_items([(float(i), i) for i in range(10)])
+        key, value = tree.erase_at(3)
+        assert (key, value) == (3.0, 3)
+        assert len(tree) == 9
+
+    def test_erase_at_out_of_range(self):
+        tree = BPlusTree.from_sorted_items([(1.0, 1)])
+        with pytest.raises(IndexError):
+            tree.erase_at(1)
+        with pytest.raises(IndexError):
+            tree.erase_at(-1)
+
+    def test_erase_by_key(self):
+        tree = BPlusTree.from_sorted_items([(float(i), i * 10) for i in range(20)])
+        assert tree.erase(5.0) == 50
+        assert 5.0 not in tree
+        tree.check_invariants()
+
+    def test_erase_missing_key_raises(self):
+        tree = BPlusTree.from_sorted_items([(1.0, 1)])
+        with pytest.raises(KeyError):
+            tree.erase(2.0)
+
+    def test_erase_all_items(self, rng):
+        tree = BPlusTree(order=4)
+        keys = rng.random(100)
+        for i, key in enumerate(keys):
+            tree.insert(float(key), i)
+        for _ in range(100):
+            tree.erase_at(int(rng.integers(0, len(tree))))
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_pop_max_and_min(self):
+        tree = BPlusTree.from_sorted_items([(float(i), i) for i in range(32)], order=4)
+        assert tree.pop_max() == (31.0, 31)
+        assert tree.pop_min() == (0.0, 0)
+        assert len(tree) == 30
+        tree.check_invariants()
+
+    def test_pop_on_empty_raises(self):
+        tree = BPlusTree()
+        with pytest.raises(IndexError):
+            tree.pop_max()
+        with pytest.raises(IndexError):
+            tree.pop_min()
+
+    def test_interleaved_insert_erase_keeps_invariants(self, rng):
+        tree = BPlusTree(order=4)
+        reference = []
+        for step in range(600):
+            if rng.random() < 0.6 or not reference:
+                key = float(rng.integers(0, 40))
+                tree.insert(key, step)
+                reference.append(key)
+                reference.sort()
+            else:
+                idx = int(rng.integers(0, len(reference)))
+                key, _ = tree.erase_at(idx)
+                assert key == reference.pop(idx)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == reference
+
+
+class TestClear:
+    def test_clear_empties_tree(self):
+        tree = BPlusTree.from_sorted_items([(float(i), i) for i in range(50)])
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        tree.check_invariants()

@@ -1,0 +1,140 @@
+"""Property-based tests: the B+ tree behaves like a sorted multiset."""
+
+import bisect
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.btree import BPlusTree
+
+KEYS = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+SMALL_KEYS = st.integers(min_value=0, max_value=20).map(float)  # forces duplicates
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=st.lists(KEYS, max_size=300), order=st.integers(min_value=4, max_value=24))
+def test_insert_matches_sorted_reference(keys, order):
+    tree = BPlusTree(order=order)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=st.lists(SMALL_KEYS, min_size=1, max_size=200), queries=st.lists(SMALL_KEYS, max_size=20))
+def test_counts_match_reference_with_duplicates(keys, queries):
+    tree = BPlusTree(order=4)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    ordered = sorted(keys)
+    for query in queries + keys[:5]:
+        assert tree.count_le(query) == bisect.bisect_right(ordered, query)
+        assert tree.count_less(query) == bisect.bisect_left(ordered, query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(KEYS, min_size=1, max_size=200),
+    order=st.integers(min_value=4, max_value=16),
+    data=st.data(),
+)
+def test_select_matches_reference(keys, order, data):
+    tree = BPlusTree(order=order)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    ordered = sorted(keys)
+    rank = data.draw(st.integers(min_value=0, max_value=len(keys) - 1))
+    assert tree.select(rank)[0] == ordered[rank]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(KEYS, min_size=1, max_size=200),
+    order=st.integers(min_value=4, max_value=16),
+    data=st.data(),
+)
+def test_truncate_matches_reference(keys, order, data):
+    tree = BPlusTree(order=order)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    keep = data.draw(st.integers(min_value=0, max_value=len(keys)))
+    removed = tree.truncate_to_rank(keep)
+    tree.check_invariants()
+    assert removed == len(keys) - keep
+    assert list(tree.keys()) == sorted(keys)[:keep]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(KEYS, min_size=1, max_size=150),
+    order=st.integers(min_value=4, max_value=12),
+    data=st.data(),
+)
+def test_split_then_join_is_identity(keys, order, data):
+    tree = BPlusTree(order=order)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    cut = data.draw(st.integers(min_value=0, max_value=len(keys)))
+    suffix = tree.split_at_rank(cut)
+    tree.check_invariants()
+    suffix.check_invariants()
+    assert len(tree) == cut
+    assert len(suffix) == len(keys) - cut
+    tree.join(suffix)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(keys)
+
+
+class BPlusTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison of the B+ tree against a sorted list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = None
+        self.model = []
+
+    @initialize(order=st.integers(min_value=4, max_value=10))
+    def setup(self, order):
+        self.tree = BPlusTree(order=order)
+        self.model = []
+
+    @rule(key=SMALL_KEYS)
+    def insert(self, key):
+        self.tree.insert(key, len(self.model))
+        bisect.insort_right(self.model, key)
+
+    @rule(data=st.data())
+    def erase_at(self, data):
+        if not self.model:
+            return
+        rank = data.draw(st.integers(min_value=0, max_value=len(self.model) - 1))
+        key, _ = self.tree.erase_at(rank)
+        assert key == self.model.pop(rank)
+
+    @rule(data=st.data())
+    def truncate(self, data):
+        keep = data.draw(st.integers(min_value=0, max_value=len(self.model)))
+        removed = self.tree.truncate_to_rank(keep)
+        assert removed == len(self.model) - keep
+        del self.model[keep:]
+
+    @rule(query=SMALL_KEYS)
+    def count(self, query):
+        assert self.tree.count_le(query) == bisect.bisect_right(self.model, query)
+        assert self.tree.count_less(query) == bisect.bisect_left(self.model, query)
+
+    @invariant()
+    def contents_match(self):
+        if self.tree is None:
+            return
+        self.tree.check_invariants()
+        assert list(self.tree.keys()) == self.model
+
+
+TestBPlusTreeStateMachine = BPlusTreeMachine.TestCase
+TestBPlusTreeStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)

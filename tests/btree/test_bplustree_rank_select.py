@@ -1,0 +1,112 @@
+"""Rank/select queries and ordered iteration of the B+ tree."""
+
+import numpy as np
+import pytest
+
+from repro.btree import BPlusTree
+
+
+@pytest.fixture
+def random_tree(rng):
+    keys = np.sort(rng.random(300))
+    tree = BPlusTree.from_sorted_items([(float(k), i) for i, k in enumerate(keys)], order=8)
+    return tree, keys
+
+
+class TestSelect:
+    def test_select_matches_sorted_order(self, random_tree):
+        tree, keys = random_tree
+        for rank in [0, 1, 10, 150, 298, 299]:
+            assert tree.select(rank)[0] == pytest.approx(keys[rank])
+
+    def test_select_out_of_range(self, random_tree):
+        tree, _ = random_tree
+        with pytest.raises(IndexError):
+            tree.select(300)
+        with pytest.raises(IndexError):
+            tree.select(-1)
+
+    def test_select_on_single_item(self):
+        tree = BPlusTree()
+        tree.insert(7.0, "x")
+        assert tree.select(0) == (7.0, "x")
+
+
+class TestCounts:
+    def test_count_le_and_less_on_random_keys(self, random_tree, rng):
+        tree, keys = random_tree
+        for query in rng.random(50):
+            assert tree.count_le(query) == int(np.sum(keys <= query))
+            assert tree.count_less(query) == int(np.sum(keys < query))
+
+    def test_count_on_empty_tree(self):
+        tree = BPlusTree()
+        assert tree.count_le(1.0) == 0
+        assert tree.count_less(1.0) == 0
+
+    def test_count_with_duplicates(self):
+        tree = BPlusTree(order=4)
+        for i in range(10):
+            tree.insert(2.0, i)
+        tree.insert(1.0, "low")
+        tree.insert(3.0, "high")
+        assert tree.count_less(2.0) == 1
+        assert tree.count_le(2.0) == 11
+        assert tree.rank_of_key(2.0) == 1
+
+    def test_count_below_min_and_above_max(self, random_tree):
+        tree, keys = random_tree
+        assert tree.count_le(keys[0] - 1.0) == 0
+        assert tree.count_le(keys[-1] + 1.0) == len(keys)
+
+
+class TestRankSelectConsistency:
+    def test_rank_of_selected_key(self, random_tree):
+        tree, _ = random_tree
+        for rank in range(0, 300, 17):
+            key, _ = tree.select(rank)
+            assert tree.count_less(key) <= rank < tree.count_le(key)
+
+    def test_select_after_mutations(self, rng):
+        tree = BPlusTree(order=4)
+        reference = []
+        for i in range(400):
+            key = float(rng.random())
+            tree.insert(key, i)
+            reference.append(key)
+        reference.sort()
+        tree.truncate_to_rank(200)
+        del reference[200:]
+        for rank in range(0, 200, 13):
+            assert tree.select(rank)[0] == pytest.approx(reference[rank])
+
+
+class TestIteration:
+    def test_items_sorted(self, random_tree):
+        tree, keys = random_tree
+        iterated = [k for k, _ in tree.items()]
+        assert iterated == sorted(iterated)
+        assert len(iterated) == len(keys)
+
+    def test_keys_and_values_aligned(self):
+        tree = BPlusTree.from_sorted_items([(float(i), f"v{i}") for i in range(20)])
+        assert list(tree.keys()) == [float(i) for i in range(20)]
+        assert list(tree.values()) == [f"v{i}" for i in range(20)]
+
+    def test_keys_array_dtype_and_content(self, random_tree):
+        tree, keys = random_tree
+        arr = tree.keys_array()
+        assert arr.dtype == np.float64
+        np.testing.assert_allclose(arr, np.sort(keys))
+
+    def test_items_in_rank_range(self, random_tree):
+        tree, keys = random_tree
+        segment = tree.items_in_rank_range(10, 25)
+        assert [k for k, _ in segment] == pytest.approx(list(keys[10:25]))
+
+    def test_items_in_rank_range_clamps(self, random_tree):
+        tree, keys = random_tree
+        assert tree.items_in_rank_range(-5, 3) == tree.items_in_rank_range(0, 3)
+        assert len(tree.items_in_rank_range(290, 1000)) == 10
+        assert tree.items_in_rank_range(50, 50) == []
+        assert tree.items_in_rank_range(60, 40) == []

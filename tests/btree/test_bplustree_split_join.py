@@ -1,0 +1,157 @@
+"""Suffix truncation, splitting and joining of B+ trees (Algorithm 1's splitAt)."""
+
+import numpy as np
+import pytest
+
+from repro.btree import BPlusTree
+
+
+def build_tree(n, order=8):
+    return BPlusTree.from_sorted_items([(float(i), i) for i in range(n)], order=order)
+
+
+class TestTruncate:
+    def test_truncate_keeps_smallest(self):
+        tree = build_tree(100)
+        removed = tree.truncate_to_rank(40)
+        assert removed == 60
+        assert len(tree) == 40
+        assert [k for k, _ in tree.items()] == [float(i) for i in range(40)]
+        tree.check_invariants()
+
+    def test_truncate_to_zero_clears(self):
+        tree = build_tree(50)
+        assert tree.truncate_to_rank(0) == 50
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_truncate_beyond_size_is_noop(self):
+        tree = build_tree(10)
+        assert tree.truncate_to_rank(10) == 0
+        assert tree.truncate_to_rank(100) == 0
+        assert len(tree) == 10
+
+    def test_truncate_negative_rejected(self):
+        tree = build_tree(5)
+        with pytest.raises(ValueError):
+            tree.truncate_to_rank(-1)
+
+    @pytest.mark.parametrize("order", [4, 5, 8, 16, 33])
+    @pytest.mark.parametrize("n", [1, 2, 17, 100, 513])
+    def test_truncate_every_possible_cut(self, order, n, rng):
+        # one representative cut per (order, n); the property test sweeps more
+        keep = int(rng.integers(0, n + 1))
+        tree = build_tree(n, order=order)
+        removed = tree.truncate_to_rank(keep)
+        assert removed == n - keep
+        assert len(tree) == keep
+        assert [k for k, _ in tree.items()] == [float(i) for i in range(keep)]
+        tree.check_invariants()
+
+    def test_repeated_truncation(self, rng):
+        keys = np.sort(rng.random(500))
+        tree = BPlusTree.from_sorted_items([(float(k), i) for i, k in enumerate(keys)], order=6)
+        expected = list(keys)
+        while len(tree) > 0:
+            keep = max(0, len(tree) - int(rng.integers(1, 60)))
+            tree.truncate_to_rank(keep)
+            expected = expected[:keep]
+            assert [k for k, _ in tree.items()] == pytest.approx(expected)
+            tree.check_invariants()
+
+    def test_truncate_after_random_inserts(self, rng):
+        tree = BPlusTree(order=4)
+        keys = []
+        for i, key in enumerate(rng.random(300)):
+            tree.insert(float(key), i)
+            keys.append(float(key))
+        keys.sort()
+        tree.truncate_to_rank(123)
+        assert tree.keys_array() == pytest.approx(keys[:123])
+        tree.check_invariants()
+
+
+class TestSplitAtRank:
+    def test_split_returns_suffix(self):
+        tree = build_tree(60, order=5)
+        suffix = tree.split_at_rank(25)
+        assert len(tree) == 25
+        assert len(suffix) == 35
+        assert [k for k, _ in suffix.items()] == [float(i) for i in range(25, 60)]
+        tree.check_invariants()
+        suffix.check_invariants()
+
+    def test_split_at_zero_moves_everything(self):
+        tree = build_tree(20)
+        suffix = tree.split_at_rank(0)
+        assert len(tree) == 0
+        assert len(suffix) == 20
+
+    def test_split_at_size_moves_nothing(self):
+        tree = build_tree(20)
+        suffix = tree.split_at_rank(20)
+        assert len(tree) == 20
+        assert len(suffix) == 0
+
+
+class TestSplitAtKey:
+    def test_split_at_key_inclusive(self):
+        tree = build_tree(30)
+        suffix = tree.split_at_key(10.0, inclusive=True)
+        assert tree.max_key() == 10.0
+        assert suffix.min_key() == 11.0
+
+    def test_split_at_key_exclusive(self):
+        tree = build_tree(30)
+        suffix = tree.split_at_key(10.0, inclusive=False)
+        assert tree.max_key() == 9.0
+        assert suffix.min_key() == 10.0
+
+    def test_split_at_key_below_min(self):
+        tree = build_tree(10)
+        suffix = tree.split_at_key(-5.0)
+        assert len(tree) == 0
+        assert len(suffix) == 10
+
+
+class TestJoin:
+    def test_join_disjoint_ranges(self):
+        left = build_tree(40, order=6)
+        right = BPlusTree.from_sorted_items([(float(i), i) for i in range(40, 90)], order=6)
+        left.join(right)
+        assert len(left) == 90
+        assert len(right) == 0
+        assert [k for k, _ in left.items()] == [float(i) for i in range(90)]
+        left.check_invariants()
+
+    def test_join_with_empty_other(self):
+        left = build_tree(10)
+        left.join(BPlusTree())
+        assert len(left) == 10
+
+    def test_join_into_empty_self(self):
+        left = BPlusTree()
+        right = build_tree(15)
+        left.join(right)
+        assert len(left) == 15
+        assert len(right) == 0
+
+    def test_join_rejects_overlap(self):
+        left = build_tree(10)
+        right = build_tree(5)
+        with pytest.raises(ValueError):
+            left.join(right)
+
+    def test_join_allows_touching_boundary(self):
+        left = build_tree(10)
+        right = BPlusTree.from_sorted_items([(9.0, "dup"), (12.0, "x")])
+        left.join(right)  # equal boundary keys are allowed
+        assert len(left) == 12
+
+    def test_split_then_join_roundtrip(self, rng):
+        keys = np.sort(rng.random(200))
+        tree = BPlusTree.from_sorted_items([(float(k), i) for i, k in enumerate(keys)], order=7)
+        suffix = tree.split_at_rank(77)
+        tree.join(suffix)
+        assert tree.keys_array() == pytest.approx(list(keys))
+        tree.check_invariants()

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network import SimComm
+from repro.network.cost_model import CostParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def fast_cost() -> CostParameters:
+    """Cost parameters with easy-to-check round numbers."""
+    return CostParameters(alpha=1.0, beta=0.001)
+
+
+def make_comm(p: int, **kwargs) -> SimComm:
+    """Convenience constructor used across test modules."""
+    return SimComm(p, **kwargs)

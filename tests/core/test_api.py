@@ -1,0 +1,154 @@
+"""Tests for the high-level convenience API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import DistributedSamplingRun, ReservoirSampler, make_distributed_sampler
+from repro.core import (
+    CentralizedGatherSampler,
+    DistributedReservoirSampler,
+    VariableSizeReservoirSampler,
+)
+from repro.network import SimComm
+from repro.selection import MultiPivotSelection, SinglePivotSelection
+from repro.stream import MiniBatchStream
+
+
+class TestReservoirSamplerFacade:
+    def test_weighted_feed_and_sample(self, rng):
+        sampler = ReservoirSampler(k=10, weighted=True, seed=1)
+        sampler.feed(np.arange(100), rng.uniform(1, 5, size=100))
+        assert sampler.items_seen == 100
+        assert len(sampler.sample_ids()) == 10
+        assert sampler.threshold is not None
+
+    def test_uniform_mode(self):
+        sampler = ReservoirSampler(k=5, weighted=False, seed=2)
+        sampler.feed(np.arange(50))
+        assert len(sampler.sample_ids()) == 5
+
+    def test_add_single_items(self):
+        sampler = ReservoirSampler(k=3, seed=3)
+        assert sampler.add(1, 2.0)
+        assert sampler.size == 1
+
+    def test_feed_defaults_to_unit_weights(self):
+        sampler = ReservoirSampler(k=4, seed=4)
+        sampler.feed([1, 2, 3, 4, 5])
+        assert sampler.items_seen == 5
+
+    def test_feed_batch(self):
+        from repro.stream import ItemBatch
+
+        sampler = ReservoirSampler(k=2, seed=5)
+        sampler.feed_batch(ItemBatch.from_weights([1.0, 2.0, 3.0]))
+        assert sampler.items_seen == 3
+
+    def test_sample_with_keys(self):
+        sampler = ReservoirSampler(k=2, seed=6)
+        sampler.feed([1, 2, 3], [1.0, 1.0, 1.0])
+        triples = sampler.sample_with_keys()
+        assert len(triples) == 2
+        assert all(len(t) == 3 for t in triples)
+
+
+class TestFactory:
+    def test_ours(self):
+        sampler = make_distributed_sampler("ours", 10, SimComm(4))
+        assert isinstance(sampler, DistributedReservoirSampler)
+        assert isinstance(sampler.selection, SinglePivotSelection)
+
+    def test_ours_with_pivot_count(self):
+        sampler = make_distributed_sampler("ours-8", 10, SimComm(4))
+        assert isinstance(sampler.selection, MultiPivotSelection)
+        assert sampler.selection.num_pivots == 8
+        sampler = make_distributed_sampler("ours-1", 10, SimComm(4))
+        assert isinstance(sampler.selection, SinglePivotSelection)
+
+    def test_gather(self):
+        sampler = make_distributed_sampler("gather", 10, SimComm(4))
+        assert isinstance(sampler, CentralizedGatherSampler)
+
+    def test_variable(self):
+        sampler = make_distributed_sampler("ours-variable", 10, SimComm(4), k_hi=25)
+        assert isinstance(sampler, VariableSizeReservoirSampler)
+        assert sampler.k_lo == 10 and sampler.k_hi == 25
+
+    def test_variable_default_upper_bound(self):
+        sampler = make_distributed_sampler("variable", 10, SimComm(4))
+        assert sampler.k_hi == 20
+
+    def test_case_insensitive(self):
+        assert isinstance(make_distributed_sampler("OURS", 5, SimComm(2)), DistributedReservoirSampler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_distributed_sampler("coordinator", 10, SimComm(4))
+
+    def test_uniform_flag_passed_through(self):
+        sampler = make_distributed_sampler("ours", 10, SimComm(2), weighted=False)
+        assert sampler.weighted is False
+
+
+class TestDistributedSamplingRun:
+    def test_run_by_name(self):
+        run = DistributedSamplingRun("ours-8", k=20, p=4, batch_size=50, seed=1)
+        metrics = run.run(rounds=3)
+        assert metrics.num_rounds == 3
+        assert metrics.total_items == 600
+        assert len(run.sample_ids()) == 20
+        assert metrics.simulated_time > 0
+
+    def test_run_with_sampler_object(self):
+        sampler = DistributedReservoirSampler(10, SimComm(2), seed=2)
+        run = DistributedSamplingRun(sampler, stream=MiniBatchStream(2, 30, seed=3))
+        run.run(rounds=2)
+        assert run.sampler is sampler
+        assert run.metrics.algorithm == "ours"
+
+    def test_mismatched_stream_rejected(self):
+        sampler = DistributedReservoirSampler(10, SimComm(2), seed=4)
+        with pytest.raises(ValueError):
+            DistributedSamplingRun(sampler, stream=MiniBatchStream(3, 10, seed=5))
+
+    def test_communication_summary(self):
+        run = DistributedSamplingRun("gather", k=10, p=4, batch_size=20, seed=6)
+        run.run(rounds=2)
+        summary = run.communication_summary()
+        assert summary["messages"] > 0
+
+    def test_zero_rounds(self):
+        run = DistributedSamplingRun("ours", k=5, p=2, batch_size=10, seed=7)
+        metrics = run.run(rounds=0)
+        assert metrics.num_rounds == 0
+
+    def test_sample_items_pairs(self):
+        run = DistributedSamplingRun("ours", k=5, p=2, batch_size=20, seed=8)
+        run.run(rounds=2)
+        items = run.sample_items()
+        assert len(items) == 5
+        assert all(isinstance(item_id, int) and key > 0 for item_id, key in items)
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_main_classes_exported(self):
+        for name in [
+            "ReservoirSampler",
+            "DistributedReservoirSampler",
+            "CentralizedGatherSampler",
+            "VariableSizeReservoirSampler",
+            "SinglePivotSelection",
+            "MultiPivotSelection",
+            "SimComm",
+            "MachineSpec",
+            "MiniBatchStream",
+        ]:
+            assert hasattr(repro, name), name
+
+    def test_all_list_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

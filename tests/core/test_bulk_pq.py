@@ -1,0 +1,86 @@
+"""Tests for the distributed bulk priority-queue view."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedBulkPriorityQueue, LocalReservoir
+from repro.network import SimComm
+
+
+@pytest.fixture
+def queue(rng):
+    p = 4
+    reservoirs = [LocalReservoir() for _ in range(p)]
+    keys = []
+    for pe, reservoir in enumerate(reservoirs):
+        local = rng.random(25)
+        reservoir.insert_many(local, np.arange(pe * 100, pe * 100 + 25))
+        keys.extend(local.tolist())
+    comm = SimComm(p)
+    return DistributedBulkPriorityQueue(reservoirs, comm, seed=0), np.sort(np.array(keys))
+
+
+class TestQueries:
+    def test_global_size(self, queue):
+        q, keys = queue
+        assert q.global_size() == len(keys)
+
+    def test_global_min_max(self, queue):
+        q, keys = queue
+        assert q.global_min() == pytest.approx(keys[0])
+        assert q.global_max() == pytest.approx(keys[-1])
+
+    def test_global_rank(self, queue, rng):
+        q, keys = queue
+        for query in rng.random(10):
+            assert q.global_rank(query) == int(np.sum(keys <= query))
+
+    def test_global_select(self, queue):
+        q, keys = queue
+        result = q.global_select(17)
+        assert result.key == pytest.approx(keys[16])
+
+    def test_top_k_items_sorted_by_key(self, queue):
+        q, keys = queue
+        top = q.top_k_items(10)
+        assert len(top) == 10
+        top_keys = [key for _, key in top]
+        assert top_keys == sorted(top_keys)
+        np.testing.assert_allclose(top_keys, keys[:10])
+
+    def test_top_k_larger_than_size_returns_all(self, queue):
+        q, keys = queue
+        assert len(q.top_k_items(10_000)) == len(keys)
+
+    def test_top_k_zero(self, queue):
+        q, _ = queue
+        assert q.top_k_items(0) == []
+
+    def test_communication_is_charged(self, queue):
+        q, _ = queue
+        q.global_size()
+        assert q.comm.ledger.total_time > 0
+
+
+class TestPrune:
+    def test_prune_to_top_k(self, queue):
+        q, keys = queue
+        threshold, removed = q.prune_to_top_k(30)
+        assert removed == len(keys) - 30
+        assert q.global_size() == 30
+        assert threshold == pytest.approx(keys[29])
+
+    def test_prune_noop_when_small(self, queue):
+        q, keys = queue
+        threshold, removed = q.prune_to_top_k(len(keys) + 5)
+        assert removed == 0
+        assert threshold is None
+
+    def test_mismatched_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DistributedBulkPriorityQueue([LocalReservoir()], SimComm(2))
+
+    def test_empty_queue(self):
+        q = DistributedBulkPriorityQueue([LocalReservoir(), LocalReservoir()], SimComm(2))
+        assert q.global_size() == 0
+        assert q.top_k_items(5) == []

@@ -1,0 +1,140 @@
+"""Tests for the centralized gathering baseline (Section 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CentralizedGatherSampler
+from repro.network import SimComm
+from repro.stream import ItemBatch, MiniBatchStream, UnitWeightGenerator
+
+
+def make_sampler(p=4, k=20, **kwargs):
+    return CentralizedGatherSampler(k, SimComm(p), seed=1, **kwargs)
+
+
+def run_rounds(sampler, stream, rounds):
+    out = []
+    for _ in range(rounds):
+        out.append(sampler.process_round(stream.next_round().batches))
+    return out
+
+
+class TestInvariants:
+    def test_sample_size_is_min_k_n(self):
+        sampler = make_sampler(p=4, k=30)
+        stream = MiniBatchStream(4, 5, seed=2)
+        for round_index in range(5):
+            sampler.process_round(stream.next_round().batches)
+            assert sampler.sample_size() == min(30, 20 * (round_index + 1))
+
+    def test_sample_ids_unique_and_valid(self):
+        sampler = make_sampler(p=4, k=25)
+        stream = MiniBatchStream(4, 40, seed=3)
+        run_rounds(sampler, stream, 4)
+        ids = sampler.sample_ids()
+        assert len(ids) == 25
+        assert len(set(ids.tolist())) == 25
+        assert ids.max() < 640
+
+    def test_threshold_is_largest_reservoir_key(self):
+        sampler = make_sampler(p=4, k=10)
+        stream = MiniBatchStream(4, 20, seed=4)
+        run_rounds(sampler, stream, 3)
+        keys = [key for _, key in sampler.sample_items()]
+        assert sampler.threshold == pytest.approx(max(keys))
+
+    def test_threshold_decreases_over_rounds(self):
+        sampler = make_sampler(p=2, k=10)
+        stream = MiniBatchStream(2, 30, seed=5)
+        thresholds = []
+        for _ in range(6):
+            sampler.process_round(stream.next_round().batches)
+            if sampler.threshold is not None:
+                thresholds.append(sampler.threshold)
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_first_batch_keeps_only_k_per_pe(self):
+        sampler = make_sampler(p=2, k=5)
+        stream = MiniBatchStream(2, 1000, seed=6)
+        metrics = sampler.process_round(stream.next_round().batches)
+        # each PE contributes at most k candidates in the very first batch
+        assert metrics.candidates_gathered <= 2 * 5
+        assert sampler.sample_size() == 5
+
+    def test_empty_round(self):
+        sampler = make_sampler(p=3, k=5)
+        metrics = sampler.process_round([ItemBatch.empty()] * 3)
+        assert metrics.batch_items == 0
+        assert sampler.sample_size() == 0
+
+    def test_wrong_batch_count(self):
+        sampler = make_sampler(p=3)
+        with pytest.raises(ValueError):
+            sampler.process_round([ItemBatch.empty()] * 4)
+
+    def test_uniform_mode(self):
+        sampler = make_sampler(p=4, k=10, weighted=False)
+        stream = MiniBatchStream(4, 25, weights=UnitWeightGenerator(), seed=7)
+        run_rounds(sampler, stream, 3)
+        assert sampler.sample_size() == 10
+        assert 0.0 < sampler.threshold <= 1.0
+
+    def test_non_default_root(self):
+        sampler = CentralizedGatherSampler(10, SimComm(4), root=2, seed=8)
+        stream = MiniBatchStream(4, 20, seed=9)
+        run_rounds(sampler, stream, 2)
+        assert sampler.sample_size() == 10
+
+
+class TestPhases:
+    def test_gather_phase_present(self):
+        sampler = make_sampler(p=4, k=10)
+        stream = MiniBatchStream(4, 30, seed=10)
+        metrics = run_rounds(sampler, stream, 2)[-1]
+        assert "gather" in metrics.phase_times
+        assert metrics.phase_times["gather"].comm > 0
+        assert "select" in metrics.phase_times
+        assert metrics.phase_times["select"].local > 0
+        assert "threshold" in metrics.phase_times
+
+    def test_steady_state_gathers_few_candidates(self):
+        sampler = make_sampler(p=4, k=10)
+        stream = MiniBatchStream(4, 100, seed=11)
+        metrics = run_rounds(sampler, stream, 8)
+        assert metrics[-1].candidates_gathered <= 15
+
+    def test_communication_in_gather_phase(self):
+        sampler = make_sampler(p=8, k=10)
+        stream = MiniBatchStream(8, 20, seed=12)
+        run_rounds(sampler, stream, 2)
+        by_phase = sampler.comm.ledger.time_by_phase()
+        assert by_phase.get("gather", 0) > 0
+        assert by_phase.get("threshold", 0) > 0
+
+
+class TestAgreementWithDistributed:
+    def test_same_sample_size_and_overlapping_behaviour(self):
+        from repro.core import DistributedReservoirSampler
+
+        k, p = 20, 4
+        stream_a = MiniBatchStream(p, 50, seed=13)
+        stream_b = MiniBatchStream(p, 50, seed=13)
+        ours = DistributedReservoirSampler(k, SimComm(p), seed=14)
+        gather = CentralizedGatherSampler(k, SimComm(p), seed=14)
+        for _ in range(4):
+            ours.process_round(stream_a.next_round().batches)
+            gather.process_round(stream_b.next_round().batches)
+        assert ours.sample_size() == gather.sample_size() == k
+
+    def test_preload(self):
+        sampler = make_sampler(p=2, k=3)
+        sampler.preload(
+            [[(0.01, -1)], [(0.02, -2), (0.03, -3)]],
+            items_seen=1000,
+            total_weight=5e4,
+            threshold=0.03,
+        )
+        assert sampler.sample_size() == 3
+        assert sampler.threshold == pytest.approx(0.03)
+        with pytest.raises(RuntimeError):
+            sampler.preload([[], []], items_seen=1, total_weight=1.0, threshold=0.5)

@@ -1,0 +1,248 @@
+"""Tests for the fully distributed reservoir sampler (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedReservoirSampler, DistributedUniformReservoirSampler
+from repro.core.distributed import ReservoirKeySet
+from repro.core.local_reservoir import LocalReservoir
+from repro.network import SimComm
+from repro.selection import MultiPivotSelection, SinglePivotSelection
+from repro.stream import ItemBatch, MiniBatchStream, UnitWeightGenerator
+
+
+def make_sampler(p=4, k=20, **kwargs):
+    comm = SimComm(p)
+    return DistributedReservoirSampler(k, comm, seed=1, **kwargs)
+
+
+def run_rounds(sampler, stream, rounds):
+    metrics = []
+    for _ in range(rounds):
+        mb = stream.next_round()
+        metrics.append(sampler.process_round(mb.batches))
+    return metrics
+
+
+class TestReservoirKeySet:
+    def test_adapts_local_reservoirs(self, rng):
+        reservoirs = [LocalReservoir() for _ in range(3)]
+        for i, reservoir in enumerate(reservoirs):
+            reservoir.insert_many(rng.random(10 * (i + 1)), np.arange(10 * (i + 1)))
+        keyset = ReservoirKeySet(reservoirs)
+        assert keyset.p == 3
+        assert keyset.local_size(2) == 30
+        assert keyset.total_size() == 60
+        key = reservoirs[0].kth_key(3)
+        assert keyset.select_local(0, 3) == key
+        assert keyset.count_le(0, key) >= 3
+
+    def test_requires_reservoirs(self):
+        with pytest.raises(ValueError):
+            ReservoirKeySet([])
+
+
+class TestInvariants:
+    def test_sample_size_is_min_k_n(self):
+        sampler = make_sampler(p=4, k=30)
+        stream = MiniBatchStream(4, 5, seed=2)
+        for round_index in range(6):
+            sampler.process_round(stream.next_round().batches)
+            expected = min(30, 4 * 5 * (round_index + 1))
+            assert sampler.sample_size() == expected
+
+    def test_sample_ids_unique_and_from_stream(self):
+        sampler = make_sampler(p=4, k=25)
+        stream = MiniBatchStream(4, 50, seed=3)
+        run_rounds(sampler, stream, 5)
+        ids = sampler.sample_ids()
+        assert len(ids) == 25
+        assert len(set(ids.tolist())) == 25
+        assert ids.min() >= 0 and ids.max() < 1000
+
+    def test_threshold_is_kth_smallest_key_globally(self):
+        sampler = make_sampler(p=4, k=15)
+        stream = MiniBatchStream(4, 30, seed=4)
+        run_rounds(sampler, stream, 4)
+        keys = np.sort(np.concatenate([r.keys_array() for r in sampler.reservoirs]))
+        assert len(keys) == 15
+        assert sampler.threshold == pytest.approx(keys[-1])
+
+    def test_no_local_key_exceeds_threshold(self):
+        sampler = make_sampler(p=8, k=40)
+        stream = MiniBatchStream(8, 25, seed=5)
+        run_rounds(sampler, stream, 5)
+        for reservoir in sampler.reservoirs:
+            if len(reservoir):
+                assert reservoir.max_key() <= sampler.threshold + 1e-15
+
+    def test_threshold_monotonically_decreases(self):
+        sampler = make_sampler(p=4, k=20)
+        stream = MiniBatchStream(4, 40, seed=6)
+        thresholds = []
+        for _ in range(6):
+            sampler.process_round(stream.next_round().batches)
+            if sampler.threshold is not None:
+                thresholds.append(sampler.threshold)
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_items_seen_and_weight_accumulate(self):
+        sampler = make_sampler(p=2, k=5)
+        stream = MiniBatchStream(2, 10, weights=UnitWeightGenerator(), seed=7)
+        run_rounds(sampler, stream, 3)
+        assert sampler.items_seen == 60
+        assert sampler.total_weight == pytest.approx(60.0)
+        assert sampler.rounds_processed == 3
+
+    def test_empty_batches_are_fine(self):
+        sampler = make_sampler(p=3, k=5)
+        empty = [ItemBatch.empty() for _ in range(3)]
+        metrics = sampler.process_round(empty)
+        assert metrics.batch_items == 0
+        assert sampler.sample_size() == 0
+        # an empty round after data must not disturb the sample
+        stream = MiniBatchStream(3, 10, seed=8)
+        sampler.process_round(stream.next_round().batches)
+        before = sorted(sampler.sample_ids().tolist())
+        sampler.process_round(empty)
+        assert sorted(sampler.sample_ids().tolist()) == before
+
+    def test_wrong_batch_count_rejected(self):
+        sampler = make_sampler(p=3)
+        with pytest.raises(ValueError):
+            sampler.process_round([ItemBatch.empty()] * 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            make_sampler(k=0)
+
+
+class TestBackendsAndSelections:
+    @pytest.mark.parametrize("backend", ["btree", "sorted_array"])
+    def test_backends_agree_on_sample_size(self, backend):
+        sampler = make_sampler(p=4, k=20, backend=backend)
+        stream = MiniBatchStream(4, 30, seed=9)
+        run_rounds(sampler, stream, 4)
+        assert sampler.sample_size() == 20
+
+    @pytest.mark.parametrize(
+        "selection", [SinglePivotSelection(), MultiPivotSelection(4), MultiPivotSelection(8)],
+        ids=["single", "multi4", "multi8"],
+    )
+    def test_selection_algorithms_give_exact_sample_size(self, selection):
+        comm = SimComm(6)
+        sampler = DistributedReservoirSampler(33, comm, selection=selection, seed=10)
+        stream = MiniBatchStream(6, 20, seed=11)
+        run_rounds(sampler, stream, 4)
+        assert sampler.sample_size() == 33
+        keys = np.sort(np.concatenate([r.keys_array() for r in sampler.reservoirs]))
+        assert sampler.threshold == pytest.approx(keys[-1])
+
+    def test_local_thresholding_limits_first_batch_insertions(self):
+        k = 10
+        p = 2
+        big_batch = 3000  # far above max(1.5k, k+500) = 510
+        with_policy = DistributedReservoirSampler(k, SimComm(p), seed=12, local_thresholding=True)
+        without_policy = DistributedReservoirSampler(k, SimComm(p), seed=12, local_thresholding=False)
+        stream_a = MiniBatchStream(p, big_batch, seed=13)
+        stream_b = MiniBatchStream(p, big_batch, seed=13)
+        metrics_a = with_policy.process_round(stream_a.next_round().batches)
+        metrics_b = without_policy.process_round(stream_b.next_round().batches)
+        assert metrics_b.max_insertions == big_batch
+        assert metrics_a.max_insertions < big_batch
+        # both end with a correct sample
+        assert with_policy.sample_size() == k
+        assert without_policy.sample_size() == k
+
+    def test_uniform_sampler_uses_uniform_keys(self):
+        comm = SimComm(4)
+        sampler = DistributedUniformReservoirSampler(10, comm, seed=14)
+        stream = MiniBatchStream(4, 20, weights=UnitWeightGenerator(), seed=15)
+        run_rounds(sampler, stream, 4)
+        assert sampler.sample_size() == 10
+        assert 0.0 < sampler.threshold <= 1.0
+        for reservoir in sampler.reservoirs:
+            for key, _ in reservoir.items():
+                assert 0.0 < key <= 1.0
+
+
+class TestRoundMetrics:
+    def test_phase_times_present_and_positive(self):
+        sampler = make_sampler(p=4, k=10)
+        stream = MiniBatchStream(4, 50, seed=16)
+        metrics = run_rounds(sampler, stream, 3)
+        last = metrics[-1]
+        assert "insert" in last.phase_times
+        assert "select" in last.phase_times
+        assert "threshold" in last.phase_times
+        assert last.simulated_time > 0
+        assert last.phase_times["insert"].local > 0
+        assert last.phase_times["select"].comm > 0
+
+    def test_selection_stats_recorded_once_over_k(self):
+        sampler = make_sampler(p=4, k=10)
+        stream = MiniBatchStream(4, 50, seed=17)
+        metrics = run_rounds(sampler, stream, 2)
+        assert metrics[0].selection_ran
+        assert metrics[0].selection_stats is not None
+        assert metrics[0].selection_stats.recursion_depth >= 0
+
+    def test_no_selection_before_k_items(self):
+        sampler = make_sampler(p=2, k=100)
+        stream = MiniBatchStream(2, 10, seed=18)
+        metrics = sampler.process_round(stream.next_round().batches)
+        assert not metrics.selection_ran
+        assert sampler.threshold is None
+
+    def test_insertions_per_pe_recorded(self):
+        sampler = make_sampler(p=3, k=12)
+        stream = MiniBatchStream(3, 20, seed=19)
+        metrics = sampler.process_round(stream.next_round().batches)
+        assert len(metrics.insertions_per_pe) == 3
+        assert sum(metrics.insertions_per_pe) == 60  # first batch inserts everything
+
+    def test_steady_state_insertions_are_few(self):
+        sampler = make_sampler(p=4, k=20)
+        stream = MiniBatchStream(4, 100, seed=20)
+        metrics = run_rounds(sampler, stream, 10)
+        # by round 10, n = 4000 >> k = 20, so per-round insertions ~ k/round
+        assert metrics[-1].total_insertions <= 20
+
+    def test_communication_charged_to_ledger(self):
+        sampler = make_sampler(p=8, k=10)
+        stream = MiniBatchStream(8, 20, seed=21)
+        run_rounds(sampler, stream, 2)
+        summary = sampler.comm.ledger.summary()
+        assert summary["messages"] > 0
+        assert set(summary["time_by_phase"]) >= {"select", "threshold"}
+
+
+class TestPreload:
+    def test_preload_installs_state(self):
+        sampler = make_sampler(p=2, k=4)
+        per_pe = [[(0.001, -1), (0.002, -2)], [(0.003, -3), (0.004, -4)]]
+        sampler.preload(per_pe, items_seen=10_000, total_weight=5e5, threshold=0.004)
+        assert sampler.sample_size() == 4
+        assert sampler.items_seen == 10_000
+        assert sampler.threshold == pytest.approx(0.004)
+
+    def test_preload_requires_fresh_sampler(self):
+        sampler = make_sampler(p=2, k=4)
+        stream = MiniBatchStream(2, 5, seed=0)
+        sampler.process_round(stream.next_round().batches)
+        with pytest.raises(RuntimeError):
+            sampler.preload([[], []], items_seen=1, total_weight=1.0, threshold=0.5)
+
+    def test_preload_wrong_pe_count(self):
+        sampler = make_sampler(p=2, k=4)
+        with pytest.raises(ValueError):
+            sampler.preload([[]], items_seen=1, total_weight=1.0, threshold=0.5)
+
+    def test_sampling_continues_correctly_after_preload(self):
+        sampler = make_sampler(p=2, k=4)
+        per_pe = [[(0.001, -1), (0.002, -2)], [(0.003, -3), (0.004, -4)]]
+        sampler.preload(per_pe, items_seen=100_000, total_weight=5e6, threshold=0.004)
+        stream = MiniBatchStream(2, 50, seed=22)
+        run_rounds(sampler, stream, 3)
+        assert sampler.sample_size() == 4
+        assert sampler.threshold <= 0.004

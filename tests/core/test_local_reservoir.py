@@ -1,0 +1,209 @@
+"""Tests for local reservoirs (B+ tree / sorted-array backends) and the §5 policy."""
+
+import numpy as np
+import pytest
+
+from repro.core import LocalReservoir, LocalThresholdPolicy, SortedArrayStore
+
+BACKENDS = ["btree", "sorted_array"]
+
+
+class TestSortedArrayStore:
+    def test_insert_keeps_order(self, rng):
+        store = SortedArrayStore()
+        for i, key in enumerate(rng.random(100)):
+            store.insert(float(key), i)
+        keys = store.keys_array()
+        assert np.all(np.diff(keys) >= 0)
+        assert len(store) == 100
+
+    def test_insert_many(self, rng):
+        store = SortedArrayStore()
+        store.insert_many(rng.random(50), np.arange(50))
+        store.insert_many(rng.random(30), np.arange(50, 80))
+        assert len(store) == 80
+        assert np.all(np.diff(store.keys_array()) >= 0)
+
+    def test_insert_many_empty(self):
+        store = SortedArrayStore()
+        store.insert_many(np.array([]), np.array([]))
+        assert len(store) == 0
+
+    def test_counts_and_kth(self):
+        store = SortedArrayStore()
+        store.insert_many(np.array([0.1, 0.2, 0.2, 0.4]), np.arange(4))
+        assert store.count_le(0.2) == 3
+        assert store.count_less(0.2) == 1
+        assert store.kth_key(1) == pytest.approx(0.1)
+        assert store.kth_key(4) == pytest.approx(0.4)
+        assert store.max_key() == pytest.approx(0.4)
+        assert store.min_key() == pytest.approx(0.1)
+
+    def test_truncate(self):
+        store = SortedArrayStore()
+        store.insert_many(np.arange(10, dtype=float), np.arange(10))
+        assert store.truncate_to_rank(4) == 6
+        assert store.keys_array().tolist() == [0.0, 1.0, 2.0, 3.0]
+        assert store.truncate_to_rank(10) == 0
+
+    def test_empty_extremes_raise(self):
+        store = SortedArrayStore()
+        with pytest.raises(IndexError):
+            store.max_key()
+        with pytest.raises(IndexError):
+            store.min_key()
+
+    def test_items_and_ids(self):
+        store = SortedArrayStore()
+        store.insert(0.5, 7)
+        store.insert(0.1, 3)
+        assert list(store.items()) == [(0.1, 3), (0.5, 7)]
+        assert store.ids_array().tolist() == [3, 7]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestLocalReservoir:
+    def test_insert_and_queries(self, backend, rng):
+        reservoir = LocalReservoir(backend=backend)
+        keys = rng.random(200)
+        for i, key in enumerate(keys):
+            reservoir.insert(float(key), i)
+        ordered = np.sort(keys)
+        assert len(reservoir) == 200
+        assert reservoir.max_key() == pytest.approx(ordered[-1])
+        assert reservoir.min_key() == pytest.approx(ordered[0])
+        assert reservoir.kth_key(1) == pytest.approx(ordered[0])
+        assert reservoir.kth_key(57) == pytest.approx(ordered[56])
+        query = float(rng.random())
+        assert reservoir.count_le(query) == int(np.sum(keys <= query))
+        assert reservoir.count_less(query) == int(np.sum(keys < query))
+
+    def test_insert_many_matches_individual(self, backend, rng):
+        a = LocalReservoir(backend=backend)
+        b = LocalReservoir(backend=backend)
+        keys = rng.random(100)
+        ids = np.arange(100)
+        for key, item in zip(keys, ids):
+            a.insert(float(key), int(item))
+        b.insert_many(keys, ids)
+        np.testing.assert_allclose(a.keys_array(), b.keys_array())
+
+    def test_insert_many_length_mismatch(self, backend):
+        reservoir = LocalReservoir(backend=backend)
+        with pytest.raises(ValueError):
+            reservoir.insert_many([0.1, 0.2], [1])
+
+    def test_kth_key_out_of_range(self, backend):
+        reservoir = LocalReservoir(backend=backend)
+        reservoir.insert(0.5, 1)
+        with pytest.raises(IndexError):
+            reservoir.kth_key(0)
+        with pytest.raises(IndexError):
+            reservoir.kth_key(2)
+
+    def test_prune_to_rank(self, backend, rng):
+        reservoir = LocalReservoir(backend=backend)
+        keys = rng.random(60)
+        reservoir.insert_many(keys, np.arange(60))
+        removed = reservoir.prune_to_rank(25)
+        assert removed == 35
+        np.testing.assert_allclose(reservoir.keys_array(), np.sort(keys)[:25])
+
+    def test_prune_above_key_inclusive_and_exclusive(self, backend):
+        reservoir = LocalReservoir(backend=backend)
+        reservoir.insert_many(np.array([0.1, 0.2, 0.3, 0.4]), np.arange(4))
+        copy = LocalReservoir(backend=backend)
+        copy.insert_many(np.array([0.1, 0.2, 0.3, 0.4]), np.arange(4))
+        assert reservoir.prune_above_key(0.2, inclusive=True) == 2
+        assert reservoir.keys_array().tolist() == [0.1, 0.2]
+        assert copy.prune_above_key(0.2, inclusive=False) == 3
+        assert copy.keys_array().tolist() == [0.1]
+
+    def test_keys_in_rank_range(self, backend, rng):
+        reservoir = LocalReservoir(backend=backend)
+        keys = rng.random(40)
+        reservoir.insert_many(keys, np.arange(40))
+        np.testing.assert_allclose(reservoir.keys_in_rank_range(5, 12), np.sort(keys)[5:12])
+
+    def test_items_and_ids(self, backend):
+        reservoir = LocalReservoir(backend=backend)
+        reservoir.insert(0.7, 42)
+        reservoir.insert(0.2, 13)
+        assert reservoir.items() == [(0.2, 13), (0.7, 42)]
+        assert reservoir.item_ids().tolist() == [13, 42]
+
+    def test_sample_keys_probability_extremes(self, backend, rng):
+        reservoir = LocalReservoir(backend=backend)
+        reservoir.insert_many(rng.random(50), np.arange(50))
+        assert reservoir.sample_keys(0.0, rng).shape == (0,)
+        all_keys = reservoir.sample_keys(1.0, rng)
+        assert all_keys.shape == (50,)
+        limited = reservoir.sample_keys(1.0, rng, limit=5)
+        assert limited.shape == (5,)
+        np.testing.assert_allclose(limited, reservoir.keys_array()[:5])
+
+    def test_sample_keys_on_empty(self, backend, rng):
+        reservoir = LocalReservoir(backend=backend)
+        assert reservoir.sample_keys(0.5, rng).shape == (0,)
+
+
+class TestLocalReservoirConstruction:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            LocalReservoir(backend="skiplist")
+
+
+class TestLocalThresholdPolicy:
+    def test_activation_and_refresh_sizes_match_paper(self):
+        policy = LocalThresholdPolicy(k=1000)
+        assert policy.activation_size == 1500  # max(1.5k, k+500)
+        assert policy.refresh_size == 1250  # max(1.1k, k+250)
+        small = LocalThresholdPolicy(k=100)
+        assert small.activation_size == 600  # k+500 dominates
+        assert small.refresh_size == 350  # k+250 dominates
+
+    def test_applies_to_batch(self):
+        policy = LocalThresholdPolicy(k=100)
+        assert not policy.applies_to_batch(500)
+        assert policy.applies_to_batch(600)
+
+    def test_refresh_prunes_to_k(self, rng):
+        policy = LocalThresholdPolicy(k=50)
+        reservoir = LocalReservoir()
+        reservoir.insert_many(rng.random(400), np.arange(400))
+        threshold, removed = policy.refresh_if_needed(reservoir)
+        assert removed == 350
+        assert len(reservoir) == 50
+        assert threshold == pytest.approx(reservoir.max_key())
+
+    def test_no_refresh_below_limit(self, rng):
+        policy = LocalThresholdPolicy(k=50)
+        reservoir = LocalReservoir()
+        reservoir.insert_many(rng.random(200), np.arange(200))  # below refresh size 300
+        threshold, removed = policy.refresh_if_needed(reservoir)
+        assert removed == 0
+        assert len(reservoir) == 200
+        assert threshold == pytest.approx(reservoir.kth_key(50))
+
+    def test_returns_none_threshold_while_underfull(self, rng):
+        policy = LocalThresholdPolicy(k=50)
+        reservoir = LocalReservoir()
+        reservoir.insert_many(rng.random(10), np.arange(10))
+        threshold, removed = policy.refresh_if_needed(reservoir)
+        assert threshold is None and removed == 0
+
+    def test_never_prunes_below_k(self, rng):
+        # correctness requirement from Section 5
+        policy = LocalThresholdPolicy(k=20)
+        reservoir = LocalReservoir()
+        reservoir.insert_many(rng.random(1000), np.arange(1000))
+        policy.refresh_if_needed(reservoir)
+        assert len(reservoir) >= 20
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LocalThresholdPolicy(k=0)
+        with pytest.raises(ValueError):
+            LocalThresholdPolicy(k=10, hard_factor=0.5)
+        with pytest.raises(ValueError):
+            LocalThresholdPolicy(k=10, refresh_factor=0.9)

@@ -1,0 +1,177 @@
+"""Tests for the sequential reservoir samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core import SequentialUniformReservoir, SequentialWeightedReservoir
+from repro.core.sequential import dense_uniform_sample, dense_weighted_sample
+from repro.stream import ItemBatch
+
+
+class TestWeightedReservoirBasics:
+    def test_sample_size_is_min_k_n(self, rng):
+        sampler = SequentialWeightedReservoir(k=10, seed=1)
+        for i in range(5):
+            sampler.insert(i, 1.0)
+        assert sampler.size == 5
+        assert sampler.threshold is None
+        for i in range(5, 50):
+            sampler.insert(i, 1.0)
+        assert sampler.size == 10
+        assert sampler.threshold is not None
+
+    def test_sample_ids_are_unique_and_seen(self):
+        sampler = SequentialWeightedReservoir(k=20, seed=2)
+        for i in range(200):
+            sampler.insert(i, float(i % 7 + 1))
+        ids = sampler.sample_ids()
+        assert len(ids) == 20
+        assert len(set(ids.tolist())) == 20
+        assert set(ids.tolist()) <= set(range(200))
+
+    def test_threshold_is_max_key(self):
+        sampler = SequentialWeightedReservoir(k=5, seed=3)
+        for i in range(100):
+            sampler.insert(i, 1.0)
+        keys = [key for key, _, _ in sampler.sample_with_keys()]
+        assert sampler.threshold == pytest.approx(max(keys))
+
+    def test_threshold_decreases_over_time(self):
+        sampler = SequentialWeightedReservoir(k=10, seed=4)
+        thresholds = []
+        for i in range(2000):
+            sampler.insert(i, 1.0)
+            if sampler.threshold is not None and i % 200 == 0:
+                thresholds.append(sampler.threshold)
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_counters(self):
+        sampler = SequentialWeightedReservoir(k=5, seed=5)
+        batch = ItemBatch.from_weights(np.ones(50))
+        inserted = sampler.process(batch)
+        assert sampler.items_seen == 50
+        assert sampler.total_weight == pytest.approx(50.0)
+        assert inserted == sampler.insertions
+        assert inserted >= 5
+
+    def test_insertions_grow_logarithmically(self):
+        # Efraimidis-Spirakis: expected insertions ~ k * ln(n / k)
+        k, n = 20, 20_000
+        sampler = SequentialWeightedReservoir(k=k, seed=6)
+        for i in range(n):
+            sampler.insert(i, 1.0)
+        expected = k * (1 + np.log(n / k))
+        assert sampler.insertions < 4 * expected
+        assert sampler.insertions >= k
+
+    def test_rejects_non_positive_weight(self):
+        sampler = SequentialWeightedReservoir(k=2, seed=0)
+        with pytest.raises(ValueError):
+            sampler.insert(1, 0.0)
+        with pytest.raises(ValueError):
+            sampler.insert(1, -1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SequentialWeightedReservoir(k=0)
+
+    def test_extend_interface(self):
+        sampler = SequentialWeightedReservoir(k=3, seed=1)
+        sampler.extend((i, 1.0) for i in range(10))
+        assert sampler.items_seen == 10
+
+    def test_sample_returns_id_weight_pairs(self):
+        sampler = SequentialWeightedReservoir(k=3, seed=1)
+        sampler.insert(7, 2.5)
+        assert sampler.sample() == [(7, 2.5)]
+
+
+class TestUniformReservoirBasics:
+    def test_sample_size(self):
+        sampler = SequentialUniformReservoir(k=10, seed=1)
+        for i in range(100):
+            sampler.insert(i)
+        assert sampler.size == 10
+        assert sampler.items_seen == 100
+
+    def test_filling_phase(self):
+        sampler = SequentialUniformReservoir(k=10, seed=1)
+        for i in range(7):
+            assert sampler.insert(i)
+        assert sampler.sample_ids().tolist() != []
+        assert sampler.threshold is None
+
+    def test_process_batch_ignores_weights(self):
+        sampler = SequentialUniformReservoir(k=5, seed=2)
+        sampler.process(ItemBatch.from_weights([10.0, 0.1, 5.0, 1.0, 2.0, 3.0]))
+        assert sampler.items_seen == 6
+
+    def test_skips_keep_items_seen_accurate(self):
+        sampler = SequentialUniformReservoir(k=5, seed=3)
+        for i in range(10_000):
+            sampler.insert(i)
+        assert sampler.items_seen == 10_000
+        # in steady state only a tiny fraction is inserted
+        assert sampler.insertions < 300
+
+    def test_extend_ids(self):
+        sampler = SequentialUniformReservoir(k=4, seed=4)
+        sampler.extend_ids(range(20))
+        assert sampler.items_seen == 20
+
+
+class TestDenseReferenceSamplers:
+    def test_dense_weighted_size(self, rng):
+        ids = np.arange(100)
+        sample = dense_weighted_sample(ids, np.ones(100), 10, rng)
+        assert len(sample) == 10
+        assert len(set(sample.tolist())) == 10
+
+    def test_dense_weighted_k_larger_than_n(self, rng):
+        sample = dense_weighted_sample(np.arange(5), np.ones(5), 10, rng)
+        assert sorted(sample.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_dense_weighted_k_zero(self, rng):
+        assert dense_weighted_sample(np.arange(5), np.ones(5), 0, rng).shape == (0,)
+
+    def test_dense_uniform_size(self, rng):
+        sample = dense_uniform_sample(np.arange(50), 7, rng)
+        assert len(sample) == 7
+
+    def test_dense_weighted_prefers_heavy_items(self, rng):
+        # one item with overwhelming weight is almost always sampled
+        weights = np.ones(100)
+        weights[3] = 10_000.0
+        hits = 0
+        for seed in range(200):
+            sample = dense_weighted_sample(np.arange(100), weights, 5, np.random.default_rng(seed))
+            hits += 3 in sample
+        assert hits > 190
+
+
+class TestAgreementWithDenseSampler:
+    def test_single_draw_probabilities_match_weights(self):
+        # k=1: inclusion probability is exactly w_i / W for the reservoir
+        # sampler as well; compare empirical frequencies
+        weights = np.array([1.0, 2.0, 4.0, 8.0])
+        counts = np.zeros(4)
+        trials = 4000
+        for seed in range(trials):
+            sampler = SequentialWeightedReservoir(k=1, seed=seed)
+            for i, w in enumerate(weights):
+                sampler.insert(i, float(w))
+            counts[sampler.sample_ids()[0]] += 1
+        freq = counts / trials
+        expected = weights / weights.sum()
+        np.testing.assert_allclose(freq, expected, atol=0.03)
+
+    def test_uniform_inclusion_probability_is_k_over_n(self):
+        n, k, trials = 40, 8, 1500
+        counts = np.zeros(n)
+        for seed in range(trials):
+            sampler = SequentialUniformReservoir(k=k, seed=seed)
+            for i in range(n):
+                sampler.insert(i)
+            counts[sampler.sample_ids()] += 1
+        freq = counts / trials
+        np.testing.assert_allclose(freq, np.full(n, k / n), atol=0.05)

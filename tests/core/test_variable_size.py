@@ -1,0 +1,88 @@
+"""Tests for the variable-reservoir-size sampler (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VariableSizeReservoirSampler
+from repro.network import SimComm
+from repro.stream import MiniBatchStream
+
+
+def make_sampler(p=4, k_lo=20, k_hi=40, **kwargs):
+    return VariableSizeReservoirSampler(k_lo, k_hi, SimComm(p), seed=1, **kwargs)
+
+
+class TestSizeBand:
+    def test_sample_size_stays_in_band(self):
+        sampler = make_sampler(p=4, k_lo=20, k_hi=40)
+        stream = MiniBatchStream(4, 15, seed=2)
+        for round_index in range(8):
+            sampler.process_round(stream.next_round().batches)
+            n = 60 * (round_index + 1)
+            size = sampler.sample_size()
+            if n <= 40:
+                assert size == n
+            else:
+                assert 20 <= size <= 40
+
+    def test_small_stream_keeps_everything(self):
+        sampler = make_sampler(p=2, k_lo=50, k_hi=100)
+        stream = MiniBatchStream(2, 10, seed=3)
+        for _ in range(3):
+            sampler.process_round(stream.next_round().batches)
+        assert sampler.sample_size() == 60  # below k_hi: nothing discarded
+        assert sampler.threshold is None
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            VariableSizeReservoirSampler(10, 5, SimComm(2))
+        with pytest.raises(ValueError):
+            VariableSizeReservoirSampler(0, 5, SimComm(2))
+
+    def test_degenerate_band_equals_fixed_k(self):
+        sampler = make_sampler(p=2, k_lo=10, k_hi=10)
+        stream = MiniBatchStream(2, 20, seed=4)
+        for _ in range(4):
+            sampler.process_round(stream.next_round().batches)
+        assert sampler.sample_size() == 10
+
+
+class TestSelectionFrequency:
+    def test_selection_skipped_while_inside_band(self):
+        sampler = make_sampler(p=4, k_lo=50, k_hi=200)
+        stream = MiniBatchStream(4, 10, seed=5)
+        for _ in range(3):  # 120 items total, below k_hi
+            sampler.process_round(stream.next_round().batches)
+        assert sampler.selections_run == 0
+        assert sampler.rounds_without_selection == 3
+
+    def test_selection_runs_once_band_exceeded(self):
+        sampler = make_sampler(p=4, k_lo=10, k_hi=30)
+        stream = MiniBatchStream(4, 20, seed=6)
+        sampler.process_round(stream.next_round().batches)  # 80 items > 30
+        assert sampler.selections_run == 1
+        assert 10 <= sampler.sample_size() <= 30
+
+    def test_variable_needs_fewer_selections_than_fixed(self):
+        from repro.core import DistributedReservoirSampler
+
+        p, rounds = 4, 12
+        stream_a = MiniBatchStream(p, 10, seed=7)
+        stream_b = MiniBatchStream(p, 10, seed=7)
+        fixed = DistributedReservoirSampler(30, SimComm(p), seed=8)
+        variable = VariableSizeReservoirSampler(30, 90, SimComm(p), seed=8)
+        fixed_selections = 0
+        for _ in range(rounds):
+            metrics = fixed.process_round(stream_a.next_round().batches)
+            fixed_selections += int(metrics.selection_ran)
+            variable.process_round(stream_b.next_round().batches)
+        assert variable.selections_run < fixed_selections
+
+    def test_sample_is_subset_of_stream_ids(self):
+        sampler = make_sampler(p=4, k_lo=15, k_hi=25)
+        stream = MiniBatchStream(4, 30, seed=9)
+        for _ in range(4):
+            sampler.process_round(stream.next_round().batches)
+        ids = sampler.sample_ids()
+        assert len(set(ids.tolist())) == len(ids)
+        assert ids.max() < 480

@@ -1,0 +1,182 @@
+"""End-to-end integration tests across all samplers and configurations.
+
+These tests exercise the whole stack — stream generation, per-PE key
+generation and jump kernels, local reservoirs, distributed selection,
+threshold establishment and pruning, cost accounting — and check the
+global invariants that Algorithm 1 guarantees after every round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import make_distributed_sampler
+from repro.network import SimComm
+from repro.runtime import MachineSpec
+from repro.selection import MultiPivotSelection
+from repro.stream import (
+    BatchSizeSchedule,
+    MiniBatchStream,
+    NormalDriftWeightGenerator,
+    RecordingStream,
+    ZipfWeightGenerator,
+)
+
+ALGORITHMS = ["ours", "ours-8", "gather", "ours-variable"]
+
+
+def check_sample_validity(sampler, recorded, k, algorithm):
+    """Common invariant checks after a run."""
+    all_items = recorded.all_items()
+    n = len(all_items)
+    ids = sampler.sample_ids()
+    # no duplicates, only ids that actually appeared in the stream
+    assert len(set(ids.tolist())) == len(ids)
+    assert set(ids.tolist()) <= set(all_items.ids.tolist())
+    if algorithm == "ours-variable":
+        assert min(k, n) <= len(ids) <= sampler.k_hi
+    else:
+        assert len(ids) == min(k, n)
+
+
+class TestAllAlgorithmsOnVariousStreams:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_uniform_weights_stream(self, algorithm, p):
+        k = 17
+        comm = SimComm(p)
+        sampler = make_distributed_sampler(algorithm, k, comm, seed=5)
+        stream = RecordingStream(MiniBatchStream(p, 23, seed=6))
+        for _ in range(5):
+            sampler.process_round(stream.next_round().batches)
+        check_sample_validity(sampler, stream, k, algorithm)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_skewed_drifting_weights(self, algorithm):
+        # the paper's preliminary skewed input: drifting normal weights
+        p, k = 4, 12
+        sampler = make_distributed_sampler(algorithm, k, SimComm(p), seed=7)
+        stream = RecordingStream(
+            MiniBatchStream(p, 30, weights=NormalDriftWeightGenerator(round_drift=5.0, pe_drift=2.0), seed=8)
+        )
+        for _ in range(4):
+            sampler.process_round(stream.next_round().batches)
+        check_sample_validity(sampler, stream, k, algorithm)
+
+    @pytest.mark.parametrize("algorithm", ["ours", "gather"])
+    def test_heavy_tailed_weights(self, algorithm):
+        p, k = 4, 10
+        sampler = make_distributed_sampler(algorithm, k, SimComm(p), seed=9)
+        stream = RecordingStream(MiniBatchStream(p, 40, weights=ZipfWeightGenerator(1.5), seed=10))
+        for _ in range(4):
+            sampler.process_round(stream.next_round().batches)
+        check_sample_validity(sampler, stream, k, algorithm)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_variable_batch_sizes_across_pes_and_rounds(self, algorithm):
+        p, k = 5, 15
+        sampler = make_distributed_sampler(algorithm, k, SimComm(p), seed=11)
+        schedule = BatchSizeSchedule([5, 0, 40, 12, 3], jitter=2)
+        stream = RecordingStream(MiniBatchStream(p, schedule, seed=12))
+        for _ in range(6):
+            sampler.process_round(stream.next_round().batches)
+        check_sample_validity(sampler, stream, k, algorithm)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_uniform_sampling_mode(self, algorithm):
+        p, k = 4, 9
+        sampler = make_distributed_sampler(algorithm, k, SimComm(p), weighted=False, seed=13)
+        stream = RecordingStream(MiniBatchStream(p, 25, seed=14))
+        for _ in range(4):
+            sampler.process_round(stream.next_round().batches)
+        check_sample_validity(sampler, stream, k, algorithm)
+
+
+class TestThresholdSemantics:
+    def test_ours_sample_equals_keys_below_threshold(self):
+        p, k = 4, 20
+        sampler = make_distributed_sampler("ours", k, SimComm(p), seed=15)
+        stream = MiniBatchStream(p, 50, seed=16)
+        for _ in range(5):
+            sampler.process_round(stream.next_round().batches)
+        threshold = sampler.threshold
+        keys = np.concatenate([r.keys_array() for r in sampler.reservoirs])
+        assert len(keys) == k
+        assert np.all(keys <= threshold + 1e-15)
+
+    def test_gather_and_ours_thresholds_are_comparable(self):
+        # both algorithms estimate the k-th smallest key of the same key
+        # distribution, so after the same number of items their thresholds
+        # must be of the same order of magnitude
+        p, k, rounds, batch = 4, 50, 6, 100
+        ours = make_distributed_sampler("ours", k, SimComm(p), seed=17)
+        gather = make_distributed_sampler("gather", k, SimComm(p), seed=18)
+        stream_a = MiniBatchStream(p, batch, seed=19)
+        stream_b = MiniBatchStream(p, batch, seed=19)
+        for _ in range(rounds):
+            ours.process_round(stream_a.next_round().batches)
+            gather.process_round(stream_b.next_round().batches)
+        ratio = ours.threshold / gather.threshold
+        assert 0.2 < ratio < 5.0
+
+
+class TestCostAccountingIntegration:
+    def test_communication_volume_scales_with_p(self):
+        def total_comm_time(p):
+            machine = MachineSpec.forhlr_like()
+            comm = SimComm(p, cost=machine.comm)
+            sampler = make_distributed_sampler("ours", 20, comm, machine=machine, seed=20)
+            stream = MiniBatchStream(p, 50, seed=21)
+            for _ in range(3):
+                sampler.process_round(stream.next_round().batches)
+            return comm.ledger.total_time
+
+        assert total_comm_time(16) > total_comm_time(2)
+        assert total_comm_time(1) == 0.0
+
+    def test_gather_moves_more_volume_than_ours_for_large_k(self):
+        p, k, batch, rounds = 8, 200, 100, 4
+        machine = MachineSpec.forhlr_like()
+        ours_comm = SimComm(p, cost=machine.comm)
+        gather_comm = SimComm(p, cost=machine.comm)
+        ours = make_distributed_sampler("ours", k, ours_comm, machine=machine, seed=22)
+        gather = make_distributed_sampler("gather", k, gather_comm, machine=machine, seed=22)
+        stream_a = MiniBatchStream(p, batch, seed=23)
+        stream_b = MiniBatchStream(p, batch, seed=23)
+        for _ in range(rounds):
+            ours.process_round(stream_a.next_round().batches)
+            gather.process_round(stream_b.next_round().batches)
+        # the centralized algorithm ships candidate items (2 words each),
+        # our algorithm only ships counts and pivots
+        assert gather_comm.ledger.total_words > ours_comm.ledger.total_words
+
+    def test_multi_pivot_uses_fewer_selection_rounds_than_single(self):
+        p, k, batch, rounds = 8, 300, 200, 5
+        single = make_distributed_sampler("ours", k, SimComm(p), seed=24)
+        multi = make_distributed_sampler("ours-8", k, SimComm(p), seed=24)
+        stream_a = MiniBatchStream(p, batch, seed=25)
+        stream_b = MiniBatchStream(p, batch, seed=25)
+        single_depth = multi_depth = 0
+        for _ in range(rounds):
+            m1 = single.process_round(stream_a.next_round().batches)
+            m2 = multi.process_round(stream_b.next_round().batches)
+            if m1.selection_ran:
+                single_depth += m1.selection_stats.recursion_depth
+            if m2.selection_ran:
+                multi_depth += m2.selection_stats.recursion_depth
+        assert multi_depth < single_depth
+
+
+class TestLongRunStability:
+    def test_many_rounds_keep_invariants(self):
+        p, k = 4, 25
+        sampler = make_distributed_sampler("ours", k, SimComm(p), seed=26)
+        stream = RecordingStream(MiniBatchStream(p, 30, seed=27))
+        thresholds = []
+        for _ in range(25):
+            sampler.process_round(stream.next_round().batches)
+            if sampler.threshold is not None:
+                thresholds.append(sampler.threshold)
+            assert sampler.sample_size() == min(k, stream.items_emitted)
+        # threshold is non-increasing over the whole run
+        assert all(a >= b - 1e-18 for a, b in zip(thresholds, thresholds[1:]))
+        check_sample_validity(sampler, stream, k, "ours")

@@ -1,0 +1,174 @@
+"""Tests for the tree-based collective algorithms (routing layer)."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.collectives import (
+    binomial_broadcast,
+    binomial_gather,
+    binomial_reduce,
+    butterfly_allgather,
+    butterfly_allreduce,
+    hypercube_scan,
+    payload_words,
+)
+from repro.network.message import MessageTrace
+from repro.network.topology import Topology
+
+PS = [1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 17, 32]
+
+
+class TestPayloadWords:
+    def test_none_is_zero(self):
+        assert payload_words(None) == 0.0
+
+    def test_scalar_is_one(self):
+        assert payload_words(3.5) == 1.0
+
+    def test_numpy_array_size(self):
+        assert payload_words(np.zeros(17)) == 17.0
+
+    def test_list_length(self):
+        assert payload_words([1, 2, 3]) == 3.0
+
+    def test_empty_list(self):
+        assert payload_words([]) == 0.0
+
+    def test_string_counts_as_scalar(self):
+        assert payload_words("hello") == 1.0
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("p", PS)
+    def test_every_pe_receives_root_value(self, p):
+        topo = Topology(p)
+        values = [i * 10 for i in range(p)]
+        root = p // 2
+        result, rounds = binomial_broadcast(values, root, topo)
+        assert result == [values[root]] * p
+        assert rounds == topo.rounds
+
+    @pytest.mark.parametrize("p", PS)
+    def test_message_count_is_p_minus_one(self, p):
+        topo = Topology(p)
+        trace = MessageTrace()
+        binomial_broadcast(list(range(p)), 0, topo, on_message=trace.add)
+        assert len(trace) == p - 1
+
+    def test_single_ported_per_round(self):
+        topo = Topology(32)
+        trace = MessageTrace()
+        binomial_broadcast(list(range(32)), 0, topo, on_message=trace.add)
+        assert trace.max_messages_per_rank_per_round() <= 1
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", PS)
+    def test_sum_reduction(self, p):
+        topo = Topology(p)
+        values = [float(i + 1) for i in range(p)]
+        result, _ = binomial_reduce(values, operator.add, 0, topo)
+        assert result == pytest.approx(sum(values))
+
+    @pytest.mark.parametrize("p", PS)
+    def test_max_reduction_nonzero_root(self, p):
+        topo = Topology(p)
+        values = [float((i * 7) % p) for i in range(p)]
+        result, _ = binomial_reduce(values, max, p - 1, topo)
+        assert result == max(values)
+
+    @pytest.mark.parametrize("p", PS)
+    def test_message_count(self, p):
+        topo = Topology(p)
+        trace = MessageTrace()
+        binomial_reduce([1] * p, operator.add, 0, topo, on_message=trace.add)
+        assert len(trace) == p - 1
+
+    def test_non_commutative_associative_op(self):
+        # string concatenation is associative but not commutative; the
+        # reduction must combine values in rank order within the tree
+        topo = Topology(8)
+        values = [chr(ord("a") + i) for i in range(8)]
+        result, _ = binomial_reduce(values, operator.add, 0, topo)
+        assert result == "abcdefgh"
+
+
+class TestGather:
+    @pytest.mark.parametrize("p", PS)
+    def test_gather_preserves_rank_order(self, p):
+        topo = Topology(p)
+        values = [f"pe{i}" for i in range(p)]
+        result, _ = binomial_gather(values, 0, topo)
+        assert result == values
+
+    @pytest.mark.parametrize("root", [0, 2, 6])
+    def test_gather_any_root(self, root):
+        topo = Topology(7)
+        values = list(range(7))
+        result, _ = binomial_gather(values, root, topo)
+        assert result == values
+
+    def test_gather_message_volume_grows_towards_root(self):
+        topo = Topology(8)
+        trace = MessageTrace()
+        binomial_gather([np.zeros(2) for _ in range(8)], 0, topo, on_message=trace.add)
+        # total forwarded volume exceeds the raw volume because messages are
+        # aggregated along the tree
+        assert trace.words_for_op("gather") >= 2 * 7
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", PS)
+    def test_sum_available_everywhere(self, p):
+        topo = Topology(p)
+        values = [float(i) for i in range(p)]
+        result, _ = butterfly_allreduce(values, operator.add, topo)
+        assert result == pytest.approx([sum(values)] * p)
+
+    @pytest.mark.parametrize("p", PS)
+    def test_elementwise_numpy_sum(self, p):
+        topo = Topology(p)
+        values = [np.array([i, 2 * i], dtype=float) for i in range(p)]
+        result, _ = butterfly_allreduce(values, operator.add, topo)
+        expected = np.array([sum(range(p)), 2 * sum(range(p))], dtype=float)
+        for row in result:
+            np.testing.assert_allclose(row, expected)
+
+    def test_rounds_power_of_two(self):
+        topo = Topology(16)
+        _, rounds = butterfly_allreduce(list(range(16)), operator.add, topo)
+        assert rounds == 4
+
+    def test_rounds_non_power_of_two_includes_fold(self):
+        topo = Topology(10)
+        _, rounds = butterfly_allreduce(list(range(10)), operator.add, topo)
+        assert rounds == 3 + 2  # fold-in + butterfly(8) + fold-out
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("p", PS)
+    def test_every_pe_gets_all_values(self, p):
+        topo = Topology(p)
+        values = [i * 3 for i in range(p)]
+        result, _ = butterfly_allgather(values, topo)
+        assert all(row == values for row in result)
+
+
+class TestScan:
+    @pytest.mark.parametrize("p", PS)
+    def test_inclusive_prefix_sum(self, p):
+        topo = Topology(p)
+        values = [float(i + 1) for i in range(p)]
+        result, _ = hypercube_scan(values, operator.add, topo)
+        assert result == pytest.approx(list(np.cumsum(values)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=24))
+    def test_prefix_sum_property(self, values):
+        topo = Topology(len(values))
+        result, _ = hypercube_scan(values, operator.add, topo)
+        assert result == list(np.cumsum(values))

@@ -1,0 +1,140 @@
+"""Tests for the SPMD communicator facade and its cost accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network import CostLedger, CostParameters, SimComm
+
+
+class TestCollectiveResults:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8, 16, 20])
+    def test_all_collectives_agree_with_numpy(self, p):
+        comm = SimComm(p)
+        values = [float(i + 1) for i in range(p)]
+        assert comm.broadcast(values, root=p - 1) == [float(p)] * p
+        assert comm.reduce(values, SimComm.SUM) == pytest.approx(sum(values))
+        assert comm.allreduce(values, SimComm.MIN) == [1.0] * p
+        assert comm.gather(values) == values
+        assert all(row == values for row in comm.allgather(values))
+        assert comm.scan(values, SimComm.SUM) == pytest.approx(list(np.cumsum(values)))
+
+    def test_value_count_mismatch_rejected(self):
+        comm = SimComm(4)
+        with pytest.raises(ValueError):
+            comm.broadcast([1, 2, 3])
+
+    def test_reduce_ops_on_arrays(self):
+        comm = SimComm(3)
+        values = [np.array([i, -i], dtype=float) for i in range(3)]
+        out = comm.allreduce(values, SimComm.MAX)
+        np.testing.assert_allclose(out[0], [2.0, 0.0])
+        out = comm.allreduce(values, SimComm.MIN)
+        np.testing.assert_allclose(out[0], [0.0, -2.0])
+
+    def test_send_returns_value_and_charges(self):
+        comm = SimComm(4)
+        value = comm.send(1, 2, {"x": 1}, words=3)
+        assert value == {"x": 1}
+        assert comm.ledger.total_messages == 1
+        assert comm.ledger.total_time == pytest.approx(comm.cost.message_time(3))
+
+    def test_send_to_self_is_free(self):
+        comm = SimComm(4)
+        comm.send(1, 1, "x")
+        assert comm.ledger.total_messages == 0
+
+
+class TestCostAccounting:
+    def test_broadcast_time_matches_model(self, fast_cost):
+        comm = SimComm(8, cost=fast_cost)
+        comm.broadcast([np.zeros(10)] * 8)
+        expected = fast_cost.collective_time(8, 10)
+        assert comm.ledger.total_time == pytest.approx(expected)
+
+    def test_gather_time_matches_model(self, fast_cost):
+        comm = SimComm(4, cost=fast_cost)
+        comm.gather([np.zeros(5)] * 4)
+        expected = fast_cost.gather_time(4, 5)
+        assert comm.ledger.total_time == pytest.approx(expected)
+
+    def test_single_pe_communication_is_free(self):
+        comm = SimComm(1)
+        comm.allreduce([1.0], SimComm.SUM)
+        comm.broadcast([1.0])
+        comm.gather([1.0])
+        assert comm.ledger.total_time == 0.0
+
+    def test_phase_attribution(self):
+        comm = SimComm(4)
+        with comm.phase("select"):
+            comm.allreduce([1.0] * 4, SimComm.SUM)
+            with comm.phase("threshold"):
+                comm.broadcast([1.0] * 4)
+        comm.barrier()
+        by_phase = comm.ledger.time_by_phase()
+        assert set(by_phase) == {"select", "threshold", "other"}
+        assert all(t > 0 for t in by_phase.values())
+
+    def test_phase_restored_after_exception(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeError):
+            with comm.phase("select"):
+                raise RuntimeError("boom")
+        assert comm.current_phase == "other"
+
+    def test_explicit_words_override(self, fast_cost):
+        comm = SimComm(4, cost=fast_cost)
+        comm.allreduce([np.zeros(100)] * 4, SimComm.SUM, words=1)
+        assert comm.ledger.total_time == pytest.approx(fast_cost.collective_time(4, 1))
+
+    def test_shared_ledger(self):
+        ledger = CostLedger()
+        comm = SimComm(4, ledger=ledger)
+        comm.barrier()
+        assert ledger.total_time > 0
+
+    def test_message_counts_recorded(self):
+        comm = SimComm(8)
+        comm.broadcast([0.0] * 8)
+        assert comm.ledger.total_messages == 7
+        comm.gather([0.0] * 8)
+        assert comm.ledger.total_messages == 14
+
+
+class TestTrace:
+    def test_trace_disabled_by_default(self):
+        comm = SimComm(4)
+        assert comm.trace is None
+
+    def test_trace_records_messages(self):
+        comm = SimComm(8, trace_messages=True)
+        comm.broadcast([1.0] * 8)
+        assert comm.trace.count_for_op("broadcast") == 7
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 12, 16])
+    def test_single_ported_property_per_collective(self, p):
+        values = [float(i) for i in range(p)]
+        for op_name in ("broadcast", "reduce", "allreduce", "gather", "allgather", "scan"):
+            comm = SimComm(p, trace_messages=True)
+            if op_name == "broadcast":
+                comm.broadcast(values)
+            elif op_name == "reduce":
+                comm.reduce(values, SimComm.SUM)
+            elif op_name == "allreduce":
+                comm.allreduce(values, SimComm.SUM)
+            elif op_name == "gather":
+                comm.gather(values)
+            elif op_name == "allgather":
+                comm.allgather(values)
+            else:
+                comm.scan(values, SimComm.SUM)
+            assert comm.trace.max_messages_per_rank_per_round() <= 1, op_name
+
+    def test_sends_and_receives_per_rank(self):
+        comm = SimComm(4, trace_messages=True)
+        comm.broadcast([1.0] * 4, root=0)
+        receives = comm.trace.receives_per_rank()
+        assert receives.get(0, 0) == 0  # the root never receives in a broadcast
+        assert sum(receives.values()) == 3

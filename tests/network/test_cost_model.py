@@ -1,0 +1,121 @@
+"""Tests for the alpha/beta cost model and the accounting ledger."""
+
+import math
+
+import pytest
+
+from repro.network.cost_model import CommEvent, CostLedger, CostParameters
+
+
+class TestCostParameters:
+    def test_defaults_are_positive(self):
+        cost = CostParameters()
+        assert cost.alpha > 0 and cost.beta > 0 and cost.word_bytes > 0
+
+    def test_message_time_formula(self):
+        cost = CostParameters(alpha=2.0, beta=0.5)
+        assert cost.message_time(10) == pytest.approx(2.0 + 5.0)
+
+    def test_collective_time_formula(self):
+        cost = CostParameters(alpha=1.0, beta=0.25)
+        assert cost.collective_time(8, 4) == pytest.approx(1.0 * 3 + 0.25 * 4)
+
+    def test_collective_time_rounds_up_log(self):
+        cost = CostParameters(alpha=1.0, beta=0.0 + 1e-12)
+        assert cost.collective_time(5, 0) == pytest.approx(3.0, rel=1e-6)
+
+    def test_collective_time_single_pe_is_free(self):
+        assert CostParameters().collective_time(1, 100) == 0.0
+
+    def test_gather_time_scales_with_p(self):
+        cost = CostParameters(alpha=1.0, beta=1.0)
+        assert cost.gather_time(4, 3) == pytest.approx(1.0 * 2 + 1.0 * 3 * 4)
+
+    def test_gather_time_single_pe_is_free(self):
+        assert CostParameters().gather_time(1, 5) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostParameters(alpha=0.0)
+        with pytest.raises(ValueError):
+            CostParameters(beta=-1.0)
+        with pytest.raises(ValueError):
+            CostParameters(word_bytes=0)
+
+    def test_scaled_copy(self):
+        cost = CostParameters(alpha=2.0, beta=4.0)
+        scaled = cost.scaled(alpha_factor=0.5, beta_factor=2.0)
+        assert scaled.alpha == pytest.approx(1.0)
+        assert scaled.beta == pytest.approx(8.0)
+        # original untouched (frozen dataclass)
+        assert cost.alpha == 2.0
+
+
+class TestCostLedger:
+    def test_record_accumulates_totals(self):
+        ledger = CostLedger()
+        ledger.record("broadcast", phase="select", p=4, messages=3, words=12, rounds=2, time=1.5)
+        ledger.record("reduce", phase="insert", p=4, messages=3, words=3, rounds=2, time=0.5)
+        assert ledger.total_time == pytest.approx(2.0)
+        assert ledger.total_messages == 6
+        assert ledger.total_words == pytest.approx(15)
+        assert ledger.total_rounds == 4
+
+    def test_time_by_phase_and_op(self):
+        ledger = CostLedger()
+        ledger.record("broadcast", phase="a", p=2, messages=1, words=1, rounds=1, time=1.0)
+        ledger.record("broadcast", phase="b", p=2, messages=1, words=1, rounds=1, time=2.0)
+        ledger.record("gather", phase="b", p=2, messages=1, words=1, rounds=1, time=4.0)
+        assert ledger.time_by_phase() == {"a": 1.0, "b": 6.0}
+        assert ledger.time_by_op() == {"broadcast": 3.0, "gather": 4.0}
+
+    def test_events_for_phase(self):
+        ledger = CostLedger()
+        ledger.record("x", phase="p1", p=2, messages=1, words=1, rounds=1, time=1.0)
+        ledger.record("y", phase="p2", p=2, messages=1, words=1, rounds=1, time=1.0)
+        assert [e.op for e in ledger.events_for_phase("p1")] == ["x"]
+
+    def test_reset_clears_everything(self):
+        ledger = CostLedger()
+        ledger.record("x", phase="p", p=2, messages=1, words=1, rounds=1, time=1.0)
+        ledger.reset()
+        assert ledger.total_time == 0.0
+        assert ledger.total_messages == 0
+        assert ledger.events == []
+        assert ledger.time_by_phase() == {}
+
+    def test_merge_with_events(self):
+        a = CostLedger()
+        b = CostLedger()
+        a.record("x", phase="p", p=2, messages=1, words=2, rounds=1, time=1.0)
+        b.record("y", phase="q", p=2, messages=2, words=4, rounds=1, time=3.0)
+        a.merge(b)
+        assert a.total_time == pytest.approx(4.0)
+        assert a.total_messages == 3
+        assert len(a.events) == 2
+
+    def test_merge_aggregate_only(self):
+        a = CostLedger()
+        b = CostLedger(keep_events=False)
+        b.record("y", phase="q", p=2, messages=2, words=4, rounds=1, time=3.0)
+        assert b.events == []
+        a.merge(b)
+        assert a.total_time == pytest.approx(3.0)
+        assert a.time_by_phase() == {"q": 3.0}
+
+    def test_keep_events_false_drops_event_list(self):
+        ledger = CostLedger(keep_events=False)
+        ledger.record("x", phase="p", p=2, messages=1, words=1, rounds=1, time=1.0)
+        assert ledger.events == []
+        assert ledger.total_time == pytest.approx(1.0)
+
+    def test_summary_structure(self):
+        ledger = CostLedger()
+        ledger.record("x", phase="p", p=2, messages=1, words=1, rounds=1, time=1.0)
+        summary = ledger.summary()
+        assert set(summary) == {"time", "messages", "words", "rounds", "time_by_phase", "time_by_op"}
+
+    def test_event_as_dict(self):
+        event = CommEvent(op="x", phase="p", p=2, messages=1, words=1.0, rounds=1, time=0.5)
+        assert event.as_dict()["op"] == "x"
+        assert event.as_dict()["time"] == 0.5

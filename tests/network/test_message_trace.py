@@ -1,0 +1,62 @@
+"""Tests for message records and traces."""
+
+import pytest
+
+from repro.network.message import Message, MessageTrace
+
+
+class TestMessage:
+    def test_basic_fields(self):
+        msg = Message(src=0, dst=1, words=4.0, op="broadcast", round_index=2)
+        assert msg.src == 0 and msg.dst == 1 and msg.words == 4.0
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src=3, dst=3, words=1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src=0, dst=1, words=-1.0)
+
+    def test_messages_are_hashable_and_frozen(self):
+        msg = Message(src=0, dst=1, words=1.0)
+        assert hash(msg) == hash(Message(src=0, dst=1, words=1.0))
+        with pytest.raises(AttributeError):
+            msg.words = 2.0
+
+
+class TestMessageTrace:
+    def make_trace(self):
+        trace = MessageTrace()
+        trace.add(Message(src=0, dst=1, words=2.0, op="a", round_index=0))
+        trace.add(Message(src=1, dst=2, words=3.0, op="a", round_index=1))
+        trace.add(Message(src=2, dst=0, words=5.0, op="b", round_index=0))
+        return trace
+
+    def test_len_and_iter(self):
+        trace = self.make_trace()
+        assert len(trace) == 3
+        assert len(list(trace)) == 3
+
+    def test_count_and_words_for_op(self):
+        trace = self.make_trace()
+        assert trace.count_for_op("a") == 2
+        assert trace.words_for_op("a") == pytest.approx(5.0)
+        assert trace.count_for_op("missing") == 0
+
+    def test_sends_and_receives_per_rank(self):
+        trace = self.make_trace()
+        assert trace.sends_per_rank() == {0: 1, 1: 1, 2: 1}
+        assert trace.receives_per_rank() == {1: 1, 2: 1, 0: 1}
+
+    def test_max_messages_per_rank_per_round(self):
+        trace = self.make_trace()
+        assert trace.max_messages_per_rank_per_round() == 1
+        trace.add(Message(src=0, dst=2, words=1.0, op="a", round_index=0))
+        assert trace.max_messages_per_rank_per_round() == 2
+
+    def test_clear(self):
+        trace = self.make_trace()
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.max_messages_per_rank_per_round() == 0

@@ -1,0 +1,94 @@
+"""Tests for the binomial-tree / butterfly topology helpers."""
+
+import math
+
+import pytest
+
+from repro.network.topology import Topology
+
+
+class TestBasics:
+    def test_rounds_is_ceil_log2(self):
+        assert Topology(1).rounds == 0
+        assert Topology(2).rounds == 1
+        assert Topology(3).rounds == 2
+        assert Topology(8).rounds == 3
+        assert Topology(9).rounds == 4
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0)
+
+    def test_validate_rank(self):
+        topo = Topology(4)
+        assert topo.validate_rank(3) == 3
+        with pytest.raises(ValueError):
+            topo.validate_rank(4)
+        with pytest.raises(ValueError):
+            topo.validate_rank(-1)
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_tree_is_spanning(self, p, root):
+        if root >= p:
+            pytest.skip("root outside machine")
+        topo = Topology(p)
+        # Every non-root rank has a parent, and following parents reaches the root.
+        for rank in range(p):
+            seen = set()
+            current = rank
+            while current != root:
+                assert current not in seen, "cycle in binomial tree"
+                seen.add(current)
+                current = topo.binomial_parent(current, root)
+            assert len(seen) <= topo.rounds + 1 or p == 1
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 16, 21])
+    def test_children_parent_consistency(self, p):
+        topo = Topology(p)
+        root = 0
+        for rank in range(p):
+            for child in topo.binomial_children(rank, root):
+                assert topo.binomial_parent(child, root) == rank
+
+    def test_root_is_own_parent(self):
+        topo = Topology(8)
+        assert topo.binomial_parent(3, root=3) == 3
+
+    def test_children_count_bounded_by_rounds(self):
+        topo = Topology(16)
+        assert len(topo.binomial_children(0, 0)) == 4  # log2(16)
+
+    def test_nonzero_root_relabels_tree(self):
+        topo = Topology(8)
+        children_root0 = topo.binomial_children(0, 0)
+        children_root3 = topo.binomial_children(3, 3)
+        assert [(c - 3) % 8 for c in children_root3] == children_root0
+
+
+class TestButterfly:
+    def test_partner_is_involution(self):
+        topo = Topology(16)
+        for r in range(4):
+            for rank in range(16):
+                partner = topo.butterfly_partner(rank, r)
+                assert topo.butterfly_partner(partner, r) == rank
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(4).butterfly_partner(0, -1)
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 6, 8, 12, 16])
+    def test_rounds_pair_each_rank_at_most_once(self, p):
+        topo = Topology(p)
+        for pairs in topo.butterfly_rounds():
+            flat = [rank for pair in pairs for rank in pair]
+            assert len(flat) == len(set(flat))
+
+    def test_power_of_two_schedule_is_complete(self):
+        topo = Topology(8)
+        schedule = topo.butterfly_rounds()
+        assert len(schedule) == 3
+        assert all(len(pairs) == 4 for pairs in schedule)

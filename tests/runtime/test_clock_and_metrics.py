@@ -1,0 +1,148 @@
+"""Tests for the phase clock and the round/run metric containers."""
+
+import pytest
+
+from repro.runtime import PhaseClock, PhaseTimes, RoundMetrics, RunMetrics
+from repro.runtime.metrics import PHASES
+from repro.selection.base import SelectionStats
+
+
+class TestPhaseClock:
+    def test_charge_and_max(self):
+        clock = PhaseClock(3)
+        clock.charge("insert", 0, 1.0)
+        clock.charge("insert", 1, 3.0)
+        clock.charge("insert", 1, 1.0)
+        assert clock.max_time("insert") == pytest.approx(4.0)
+        assert clock.per_pe("insert") == [1.0, 4.0, 0.0]
+
+    def test_unknown_phase_is_zero(self):
+        clock = PhaseClock(2)
+        assert clock.max_time("select") == 0.0
+        assert clock.per_pe("select") == [0.0, 0.0]
+
+    def test_total_max_time_sums_phases(self):
+        clock = PhaseClock(2)
+        clock.charge("a", 0, 1.0)
+        clock.charge("b", 1, 2.0)
+        assert clock.total_max_time() == pytest.approx(3.0)
+
+    def test_invalid_arguments(self):
+        clock = PhaseClock(2)
+        with pytest.raises(ValueError):
+            clock.charge("a", 0, -1.0)
+        with pytest.raises(IndexError):
+            clock.charge("a", 5, 1.0)
+        with pytest.raises(ValueError):
+            PhaseClock(0)
+
+    def test_snapshot_and_reset(self):
+        clock = PhaseClock(2)
+        clock.charge("a", 0, 1.0)
+        snap = clock.snapshot()
+        assert snap == {"a": [1.0, 0.0]}
+        clock.reset()
+        assert clock.total_max_time() == 0.0
+        # snapshot is a copy, unaffected by reset
+        assert snap == {"a": [1.0, 0.0]}
+
+
+class TestPhaseTimes:
+    def test_total_and_addition(self):
+        a = PhaseTimes(local=1.0, comm=2.0)
+        b = PhaseTimes(local=0.5, comm=0.25)
+        c = a + b
+        assert a.total == pytest.approx(3.0)
+        assert c.local == pytest.approx(1.5)
+        assert c.comm == pytest.approx(2.25)
+
+
+def make_round(i, *, insert=1.0, select=0.5, items=100, insertions=(3, 2)):
+    return RoundMetrics(
+        round_index=i,
+        batch_items=items,
+        items_seen_total=(i + 1) * items,
+        sample_size=10,
+        threshold=0.5,
+        phase_times={
+            "insert": PhaseTimes(local=insert, comm=0.0),
+            "select": PhaseTimes(local=0.1, comm=select),
+        },
+        insertions_per_pe=list(insertions),
+        selection_stats=SelectionStats(recursion_depth=4),
+        selection_ran=True,
+    )
+
+
+class TestRoundMetrics:
+    def test_simulated_time_sums_phases(self):
+        metrics = make_round(0)
+        assert metrics.simulated_time == pytest.approx(1.0 + 0.1 + 0.5)
+
+    def test_insertion_aggregates(self):
+        metrics = make_round(0, insertions=(5, 9, 1))
+        assert metrics.max_insertions == 9
+        assert metrics.total_insertions == 15
+
+    def test_phase_total_missing_phase(self):
+        assert make_round(0).phase_total("gather") == 0.0
+
+    def test_as_dict_round_trips_key_fields(self):
+        d = make_round(2).as_dict()
+        assert d["round"] == 2
+        assert d["batch_items"] == 100
+        assert set(d["phases"]) == {"insert", "select"}
+
+
+class TestRunMetrics:
+    def make_run(self, rounds=4):
+        run = RunMetrics(p=4, k=10, algorithm="ours")
+        for i in range(rounds):
+            run.add_round(make_round(i))
+        return run
+
+    def test_totals(self):
+        run = self.make_run(3)
+        assert run.num_rounds == 3
+        assert run.total_items == 300
+        assert run.simulated_time == pytest.approx(3 * 1.6)
+        assert run.total_insertions == 15
+        assert run.max_insertions_per_pe == 9
+
+    def test_throughput(self):
+        run = self.make_run(2)
+        assert run.throughput_total() == pytest.approx(200 / 3.2)
+        assert run.throughput_per_pe() == pytest.approx(200 / 3.2 / 4)
+
+    def test_empty_run_throughput_is_infinite(self):
+        run = RunMetrics(p=1, k=1, algorithm="x")
+        assert run.throughput_total() == float("inf")
+
+    def test_phase_times_and_fractions(self):
+        run = self.make_run(2)
+        totals = run.phase_times()
+        assert totals["insert"].local == pytest.approx(2.0)
+        fractions = run.phase_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["insert"] > fractions["select"]
+
+    def test_phase_fraction_of_empty_run(self):
+        run = RunMetrics(p=1, k=1, algorithm="x")
+        assert run.phase_fractions() == {}
+
+    def test_mean_selection_depth(self):
+        run = self.make_run(3)
+        assert run.mean_selection_depth() == pytest.approx(4.0)
+
+    def test_selection_time(self):
+        run = self.make_run(2)
+        assert run.selection_time() == pytest.approx(2 * 0.6)
+
+    def test_as_dict(self):
+        d = self.make_run(1).as_dict()
+        assert d["algorithm"] == "ours"
+        assert d["rounds"] == 1
+        assert "throughput_per_pe" in d
+
+    def test_canonical_phase_order_constant(self):
+        assert PHASES == ("insert", "select", "threshold", "gather")

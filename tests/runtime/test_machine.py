@@ -1,0 +1,85 @@
+"""Tests for the machine model (local-work cost formulas)."""
+
+import math
+
+import pytest
+
+from repro.network.cost_model import CostParameters
+from repro.runtime import MachineSpec
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        spec = MachineSpec()
+        assert spec.time_scan_item > 0
+        assert spec.cache_items > 0
+
+    def test_forhlr_like_is_default(self):
+        assert MachineSpec.forhlr_like() == MachineSpec()
+
+    def test_latency_bound_has_higher_alpha(self):
+        assert MachineSpec.latency_bound().comm.alpha > MachineSpec().comm.alpha
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MachineSpec(time_scan_item=0.0)
+        with pytest.raises(ValueError):
+            MachineSpec(cache_items=0)
+        with pytest.raises(ValueError):
+            MachineSpec(out_of_cache_factor=-1.0)
+
+    def test_with_cache_items(self):
+        spec = MachineSpec().with_cache_items(123)
+        assert spec.cache_items == 123
+        # original is frozen/unchanged
+        assert MachineSpec().cache_items != 123 or MachineSpec().cache_items == 100_000
+
+    def test_with_comm(self):
+        comm = CostParameters(alpha=1.0, beta=1.0)
+        assert MachineSpec().with_comm(comm).comm is comm
+
+
+class TestScanTime:
+    def test_linear_in_items(self):
+        spec = MachineSpec(cache_items=1000)
+        assert spec.scan_time(500) == pytest.approx(500 * spec.time_scan_item)
+
+    def test_zero_items_free(self):
+        assert MachineSpec().scan_time(0) == 0.0
+
+    def test_out_of_cache_penalty(self):
+        spec = MachineSpec(cache_items=1000, out_of_cache_factor=4.0)
+        in_cache = spec.scan_time(1000)
+        out_of_cache = spec.scan_time(2000)
+        assert out_of_cache == pytest.approx(2 * 4 * in_cache)
+
+    def test_batch_size_argument_controls_cache_residency(self):
+        spec = MachineSpec(cache_items=1000, out_of_cache_factor=4.0)
+        # scanning 10 items of a huge batch still pays the cache penalty
+        assert spec.scan_time(10, batch_size=10_000) == pytest.approx(
+            4.0 * 10 * spec.time_scan_item
+        )
+
+
+class TestOtherCosts:
+    def test_key_gen_linear(self):
+        spec = MachineSpec()
+        assert spec.key_gen_time(10) == pytest.approx(10 * spec.time_key_gen)
+        assert spec.key_gen_time(0) == 0.0
+        assert spec.key_gen_time(-5) == 0.0
+
+    def test_tree_op_logarithmic_in_size(self):
+        spec = MachineSpec()
+        small = spec.tree_op_time(1, 10)
+        large = spec.tree_op_time(1, 10_000)
+        assert large > small
+        assert large / small == pytest.approx(math.log2(10_002) / math.log2(12), rel=0.01)
+
+    def test_tree_op_zero_ops(self):
+        assert MachineSpec().tree_op_time(0, 100) == 0.0
+
+    def test_array_append_and_sequential_select(self):
+        spec = MachineSpec()
+        assert spec.array_append_time(3) == pytest.approx(3 * spec.time_array_append)
+        assert spec.sequential_select_time(7) == pytest.approx(7 * spec.time_sequential_select_item)
+        assert spec.sequential_select_time(-1) == 0.0

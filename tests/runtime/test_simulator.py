@@ -1,0 +1,86 @@
+"""Tests for the streaming simulation driver."""
+
+import pytest
+
+from repro.core import DistributedReservoirSampler
+from repro.network import SimComm
+from repro.runtime import MachineSpec, StreamingSimulation
+from repro.stream import MiniBatchStream
+
+
+def make_simulation(p=4, k=10, batch=20, warmup=0, seed=1):
+    sampler = DistributedReservoirSampler(k, SimComm(p), seed=seed)
+    stream = MiniBatchStream(p, batch, seed=seed + 1)
+    return StreamingSimulation(sampler, stream, warmup_rounds=warmup)
+
+
+class TestRunRounds:
+    def test_collects_one_metric_per_round(self):
+        sim = make_simulation()
+        metrics = sim.run_rounds(5)
+        assert metrics.num_rounds == 5
+        assert metrics.total_items == 5 * 4 * 20
+        assert metrics.simulated_time > 0
+
+    def test_zero_rounds(self):
+        sim = make_simulation()
+        assert sim.run_rounds(0).num_rounds == 0
+
+    def test_warmup_rounds_not_reported(self):
+        sim = make_simulation(warmup=3)
+        metrics = sim.run_rounds(2)
+        assert metrics.num_rounds == 2
+        # warm-up consumed stream rounds as well
+        assert sim.stream.round_index == 5
+        assert sim.sampler.items_seen == 5 * 4 * 20
+
+    def test_step_returns_round_metrics(self):
+        sim = make_simulation()
+        round_metrics = sim.step()
+        assert round_metrics.round_index == 0
+        assert sim.metrics.num_rounds == 1
+
+    def test_mismatched_stream_and_sampler(self):
+        sampler = DistributedReservoirSampler(5, SimComm(2), seed=0)
+        with pytest.raises(ValueError):
+            StreamingSimulation(sampler, MiniBatchStream(3, 10, seed=0))
+
+    def test_metrics_algorithm_name(self):
+        sim = make_simulation()
+        assert sim.metrics.algorithm == "ours"
+        assert sim.metrics.p == 4
+
+    def test_sample_ids_passthrough(self):
+        sim = make_simulation(k=7)
+        sim.run_rounds(3)
+        assert len(sim.sample_ids()) == 7
+
+    def test_communication_summary(self):
+        sim = make_simulation()
+        sim.run_rounds(2)
+        assert sim.communication_summary()["messages"] > 0
+
+
+class TestRunForSimulatedTime:
+    def test_stops_after_duration(self):
+        sim = make_simulation()
+        first = sim.step()
+        per_round = first.simulated_time
+        metrics = sim.run_for_simulated_time(per_round * 5, max_rounds=100)
+        assert metrics.simulated_time >= per_round * 5
+        assert metrics.num_rounds < 100
+
+    def test_respects_max_rounds(self):
+        sim = make_simulation()
+        metrics = sim.run_for_simulated_time(1e9, max_rounds=3)
+        assert metrics.num_rounds == 3
+
+    def test_respects_min_rounds(self):
+        sim = make_simulation()
+        metrics = sim.run_for_simulated_time(1e-30, min_rounds=2, max_rounds=10)
+        assert metrics.num_rounds >= 2
+
+    def test_invalid_duration(self):
+        sim = make_simulation()
+        with pytest.raises(ValueError):
+            sim.run_for_simulated_time(0.0)

@@ -1,0 +1,88 @@
+"""Tests for the approximate (banded) amsSelect algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.network import SimComm
+from repro.selection import AmsSelection, ArrayKeySet
+from repro.utils import spawn_generators
+
+
+def make_keyset(rng, p, per_pe):
+    arrays = [rng.random(per_pe) for _ in range(p)]
+    return ArrayKeySet(arrays), np.sort(np.concatenate(arrays))
+
+
+class TestBandedSelection:
+    @pytest.mark.parametrize("p", [1, 4, 8])
+    def test_result_rank_inside_band(self, p, rng):
+        keyset, allkeys = make_keyset(rng, p, 100)
+        n = len(allkeys)
+        for k_lo in [1, n // 4, n // 2]:
+            k_hi = min(n, k_lo + max(1, k_lo // 2))
+            comm = SimComm(p)
+            result = AmsSelection(2).select_range(keyset, k_lo, k_hi, comm, spawn_generators(k_lo, p))
+            true_rank = int(np.searchsorted(allkeys, result.key, side="right"))
+            assert k_lo <= true_rank <= k_hi
+            assert result.rank == true_rank
+
+    def test_zero_width_band_is_exact(self, rng):
+        keyset, allkeys = make_keyset(rng, 4, 50)
+        comm = SimComm(4)
+        result = AmsSelection(2).select_range(keyset, 60, 60, comm, rng)
+        assert result.key == pytest.approx(allkeys[59])
+
+    def test_select_applies_relative_slack(self, rng):
+        keyset, allkeys = make_keyset(rng, 4, 100)
+        algo = AmsSelection(2, relative_slack=0.5)
+        result = algo.select(keyset, 100, SimComm(4), rng)
+        true_rank = int(np.searchsorted(allkeys, result.key, side="right"))
+        assert 100 <= true_rank <= 150
+
+    def test_band_for_clamps_to_total(self):
+        algo = AmsSelection(2, relative_slack=0.5)
+        assert algo.band_for(10, total=12) == (10, 12)
+        assert algo.band_for(10, total=1000) == (10, 15)
+
+    def test_band_wider_than_input_returns_everything_ok(self, rng):
+        keyset, allkeys = make_keyset(rng, 2, 10)
+        result = AmsSelection(2).select_range(keyset, 1, 20, SimComm(2), rng)
+        rank = int(np.searchsorted(allkeys, result.key, side="right"))
+        assert 1 <= rank <= 20
+
+    def test_invalid_slack_rejected(self):
+        with pytest.raises(ValueError):
+            AmsSelection(2, relative_slack=-0.1)
+
+    def test_name(self):
+        assert AmsSelection(4).name == "ams-select-4"
+
+
+class TestBandEfficiency:
+    def test_wide_band_needs_fewer_rounds_than_exact(self):
+        rng = np.random.default_rng(7)
+        p, per_pe = 8, 500
+        exact_depths, banded_depths = [], []
+        for trial in range(8):
+            arrays = [rng.random(per_pe) for _ in range(p)]
+            keyset = ArrayKeySet(arrays)
+            k = 1000
+            exact = AmsSelection(2).select_range(keyset, k, k, SimComm(p), spawn_generators(trial, p))
+            banded = AmsSelection(2).select_range(
+                keyset, k, int(1.5 * k), SimComm(p), spawn_generators(trial + 100, p)
+            )
+            exact_depths.append(exact.stats.recursion_depth)
+            banded_depths.append(banded.stats.recursion_depth)
+        assert np.mean(banded_depths) < np.mean(exact_depths)
+
+    def test_constant_depth_for_constant_factor_band(self):
+        # Corollary 5: with a wide band the expected recursion depth is O(1)
+        rng = np.random.default_rng(11)
+        p, per_pe = 8, 400
+        depths = []
+        for trial in range(10):
+            arrays = [rng.random(per_pe) for _ in range(p)]
+            keyset = ArrayKeySet(arrays)
+            result = AmsSelection(2).select_range(keyset, 800, 1600, SimComm(p), spawn_generators(trial, p))
+            depths.append(result.stats.recursion_depth)
+        assert np.mean(depths) <= 3.0

@@ -1,0 +1,74 @@
+"""Tests for the ArrayKeySet backend of the DistributedKeySet interface."""
+
+import numpy as np
+import pytest
+
+from repro.selection import ArrayKeySet
+
+
+class TestArrayKeySet:
+    def test_basic_queries(self, rng):
+        arrays = [np.sort(rng.random(20)), np.sort(rng.random(5)), np.array([])]
+        ks = ArrayKeySet(arrays, assume_sorted=True)
+        assert ks.p == 3
+        assert ks.local_size(0) == 20
+        assert ks.local_size(2) == 0
+        assert ks.total_size() == 25
+
+    def test_sorting_applied_when_needed(self):
+        ks = ArrayKeySet([np.array([3.0, 1.0, 2.0])])
+        assert ks.local_keys(0).tolist() == [1.0, 2.0, 3.0]
+
+    def test_count_le_and_less(self):
+        ks = ArrayKeySet([np.array([1.0, 2.0, 2.0, 3.0])], assume_sorted=True)
+        assert ks.count_le(0, 2.0) == 3
+        assert ks.count_less(0, 2.0) == 1
+        assert ks.count_le(0, 0.5) == 0
+        assert ks.count_le(0, 10.0) == 4
+
+    def test_select_local_is_one_based(self):
+        ks = ArrayKeySet([np.array([1.0, 2.0, 3.0])], assume_sorted=True)
+        assert ks.select_local(0, 1) == 1.0
+        assert ks.select_local(0, 3) == 3.0
+        with pytest.raises(IndexError):
+            ks.select_local(0, 0)
+        with pytest.raises(IndexError):
+            ks.select_local(0, 4)
+
+    def test_local_min_max_with_empty_pe(self):
+        ks = ArrayKeySet([np.array([2.0, 5.0]), np.array([])], assume_sorted=True)
+        assert ks.local_min(0) == 2.0
+        assert ks.local_max(0) == 5.0
+        assert ks.local_min(1) == np.inf
+        assert ks.local_max(1) == -np.inf
+
+    def test_keys_in_rank_range_clamps(self):
+        ks = ArrayKeySet([np.arange(10, dtype=float)], assume_sorted=True)
+        assert ks.keys_in_rank_range(0, 2, 5).tolist() == [2.0, 3.0, 4.0]
+        assert ks.keys_in_rank_range(0, -3, 2).tolist() == [0.0, 1.0]
+        assert ks.keys_in_rank_range(0, 8, 100).tolist() == [8.0, 9.0]
+        assert ks.keys_in_rank_range(0, 5, 5).tolist() == []
+
+    def test_from_global_round_robin(self):
+        keys = np.arange(10, dtype=float)
+        ks = ArrayKeySet.from_global(keys, 3)
+        assert ks.total_size() == 10
+        assert np.sort(np.concatenate([ks.local_keys(pe) for pe in range(3)])).tolist() == keys.tolist()
+
+    def test_from_global_random(self, rng):
+        keys = rng.random(100)
+        ks = ArrayKeySet.from_global(keys, 4, rng)
+        assert ks.total_size() == 100
+
+    def test_all_keys_sorted(self, rng):
+        arrays = [rng.random(10), rng.random(20)]
+        ks = ArrayKeySet(arrays)
+        np.testing.assert_allclose(ks.all_keys(), np.sort(np.concatenate(arrays)))
+
+    def test_requires_at_least_one_pe(self):
+        with pytest.raises(ValueError):
+            ArrayKeySet([])
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            ArrayKeySet([np.zeros((2, 2))])

@@ -1,0 +1,166 @@
+"""Tests for the single-/multi-pivot distributed selection algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.network import SimComm
+from repro.selection import (
+    ArrayKeySet,
+    MultiPivotSelection,
+    PivotSelection,
+    SelectionError,
+    SinglePivotSelection,
+)
+from repro.utils import spawn_generators
+
+
+def make_keyset(rng, p, sizes=None, max_size=50):
+    if sizes is None:
+        sizes = rng.integers(0, max_size, size=p)
+        if sizes.sum() == 0:
+            sizes[0] = 5
+    arrays = [rng.random(int(s)) for s in sizes]
+    return ArrayKeySet(arrays), np.sort(np.concatenate(arrays))
+
+
+class TestExactSelection:
+    @pytest.mark.parametrize("algo", [SinglePivotSelection(), MultiPivotSelection(4), MultiPivotSelection(8)],
+                             ids=["single", "multi4", "multi8"])
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 16])
+    def test_selects_exact_kth_smallest(self, algo, p, rng):
+        keyset, allkeys = make_keyset(rng, p)
+        n = len(allkeys)
+        for k in {1, n // 3 + 1, n // 2 + 1, n}:
+            comm = SimComm(p)
+            result = algo.select(keyset, k, comm, spawn_generators(k, p))
+            assert result.key == pytest.approx(allkeys[k - 1])
+            assert result.rank == k
+
+    def test_rank_one_and_rank_n(self, rng):
+        keyset, allkeys = make_keyset(rng, 4)
+        comm = SimComm(4)
+        algo = SinglePivotSelection()
+        assert algo.select(keyset, 1, comm, rng).key == pytest.approx(allkeys[0])
+        comm = SimComm(4)
+        assert algo.select(keyset, len(allkeys), comm, rng).key == pytest.approx(allkeys[-1])
+
+    def test_single_pe(self, rng):
+        keyset = ArrayKeySet([np.sort(rng.random(100))], assume_sorted=True)
+        comm = SimComm(1)
+        result = SinglePivotSelection().select(keyset, 42, comm, rng)
+        assert result.key == pytest.approx(keyset.local_keys(0)[41])
+
+    def test_empty_pes_are_tolerated(self, rng):
+        keyset = ArrayKeySet([np.array([]), np.sort(rng.random(30)), np.array([])])
+        comm = SimComm(3)
+        result = SinglePivotSelection().select(keyset, 10, comm, rng)
+        assert result.key == pytest.approx(np.sort(keyset.local_keys(1))[9])
+
+    def test_duplicate_keys_terminate(self):
+        arrays = [np.full(20, 1.0), np.full(20, 1.0), np.array([0.5, 2.0])]
+        keyset = ArrayKeySet(arrays)
+        comm = SimComm(3)
+        result = SinglePivotSelection().select(keyset, 21, comm, np.random.default_rng(0))
+        assert result.key == pytest.approx(1.0)
+
+    def test_errors_on_empty_keyset(self, rng):
+        keyset = ArrayKeySet([np.array([]), np.array([])])
+        with pytest.raises(SelectionError):
+            SinglePivotSelection().select(keyset, 1, SimComm(2), rng)
+
+    def test_errors_on_rank_out_of_range(self, rng):
+        keyset, allkeys = make_keyset(rng, 3)
+        with pytest.raises(SelectionError):
+            SinglePivotSelection().select(keyset, len(allkeys) + 1, SimComm(3), rng)
+
+    def test_errors_on_invalid_band(self, rng):
+        keyset, _ = make_keyset(rng, 3)
+        with pytest.raises(ValueError):
+            SinglePivotSelection().select_range(keyset, 5, 4, SimComm(3), rng)
+        with pytest.raises(ValueError):
+            SinglePivotSelection().select(keyset, 0, SimComm(3), rng)
+
+    def test_mismatched_comm_size_rejected(self, rng):
+        keyset, _ = make_keyset(rng, 3)
+        with pytest.raises(ValueError):
+            SinglePivotSelection().select(keyset, 1, SimComm(4), rng)
+
+    def test_per_pe_generators_accepted(self, rng):
+        keyset, allkeys = make_keyset(rng, 4)
+        rngs = spawn_generators(7, 4)
+        result = SinglePivotSelection().select(keyset, 5, SimComm(4), rngs)
+        assert result.key == pytest.approx(allkeys[4])
+
+    def test_wrong_number_of_generators_rejected(self, rng):
+        keyset, _ = make_keyset(rng, 4)
+        with pytest.raises(ValueError):
+            SinglePivotSelection().select(keyset, 1, SimComm(4), spawn_generators(0, 3))
+
+
+class TestStatsAndCosts:
+    def test_stats_populated(self, rng):
+        keyset, allkeys = make_keyset(rng, 8, sizes=[200] * 8)
+        comm = SimComm(8)
+        result = SinglePivotSelection(gather_cutoff=4).select(keyset, 800, comm, rng)
+        assert result.stats.recursion_depth >= 1
+        assert result.stats.collective_calls >= 2
+        assert result.stats.pivots_proposed >= result.stats.recursion_depth
+
+    def test_communication_is_charged(self, rng):
+        keyset, _ = make_keyset(rng, 8, sizes=[100] * 8)
+        comm = SimComm(8)
+        SinglePivotSelection().select(keyset, 100, comm, rng)
+        assert comm.ledger.total_time > 0
+        assert comm.ledger.total_messages > 0
+
+    def test_no_communication_charged_for_single_pe(self, rng):
+        keyset = ArrayKeySet([np.sort(rng.random(50))], assume_sorted=True)
+        comm = SimComm(1)
+        SinglePivotSelection().select(keyset, 10, comm, rng)
+        assert comm.ledger.total_time == 0.0
+
+    def test_multi_pivot_reduces_recursion_depth(self):
+        # averaged over repetitions, 8 pivots need fewer rounds than 1 pivot
+        rng = np.random.default_rng(123)
+        p, per_pe, k = 16, 400, 3000
+        depths = {1: [], 8: []}
+        for trial in range(10):
+            arrays = [rng.random(per_pe) for _ in range(p)]
+            keyset = ArrayKeySet(arrays)
+            for pivots in (1, 8):
+                algo = PivotSelection(pivots, gather_cutoff=4)
+                result = algo.select(keyset, k, SimComm(p), spawn_generators(trial * 10 + pivots, p))
+                depths[pivots].append(result.stats.recursion_depth)
+        assert np.mean(depths[8]) < np.mean(depths[1])
+
+    def test_gather_cutoff_zero_still_terminates(self, rng):
+        keyset, allkeys = make_keyset(rng, 4, sizes=[50] * 4)
+        algo = PivotSelection(1, gather_cutoff=0, max_rounds=500)
+        result = algo.select(keyset, 77, SimComm(4), rng)
+        assert result.key == pytest.approx(allkeys[76])
+
+    def test_max_rounds_fallback_flag(self):
+        # force the fallback by allowing no recursion rounds at all
+        rng = np.random.default_rng(5)
+        keyset, allkeys = make_keyset(rng, 4, sizes=[60] * 4)
+        algo = PivotSelection(1, gather_cutoff=1, max_rounds=1)
+        result = algo.select(keyset, 120, SimComm(4), rng)
+        assert result.key == pytest.approx(allkeys[119])
+
+    def test_name_property(self):
+        assert SinglePivotSelection().name == "single-pivot"
+        assert MultiPivotSelection(8).name == "multi-pivot-8"
+
+
+class TestParameterValidation:
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            PivotSelection(0)
+        with pytest.raises(ValueError):
+            PivotSelection(1, gather_cutoff=-1)
+        with pytest.raises(ValueError):
+            PivotSelection(1, max_rounds=0)
+
+    def test_multi_pivot_requires_at_least_two(self):
+        with pytest.raises(ValueError):
+            MultiPivotSelection(1)

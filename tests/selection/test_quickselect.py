@@ -1,0 +1,83 @@
+"""Tests for the sequential selection helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection import nth_smallest_numpy, quickselect_nth, smallest_k
+
+
+class TestQuickselectNth:
+    def test_known_small_array(self):
+        values = np.array([5.0, 1.0, 4.0, 2.0, 3.0])
+        assert quickselect_nth(values, 1) == 1.0
+        assert quickselect_nth(values, 3) == 3.0
+        assert quickselect_nth(values, 5) == 5.0
+
+    def test_matches_sort_on_random_inputs(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(1, 500))
+            values = rng.normal(size=n)
+            k = int(rng.integers(1, n + 1))
+            assert quickselect_nth(values, k) == np.sort(values)[k - 1]
+
+    def test_duplicates(self):
+        values = np.array([2.0, 2.0, 2.0, 1.0, 3.0])
+        assert quickselect_nth(values, 2) == 2.0
+        assert quickselect_nth(values, 4) == 2.0
+
+    def test_does_not_modify_input(self):
+        values = np.array([3.0, 1.0, 2.0])
+        copy = values.copy()
+        quickselect_nth(values, 2)
+        np.testing.assert_array_equal(values, copy)
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(IndexError):
+            quickselect_nth(np.array([1.0]), 0)
+        with pytest.raises(IndexError):
+            quickselect_nth(np.array([1.0]), 2)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+        ),
+        data=st.data(),
+    )
+    def test_property_matches_sorted(self, values, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(values)))
+        assert quickselect_nth(np.array(values), k) == sorted(values)[k - 1]
+
+
+class TestNthSmallestNumpy:
+    def test_agrees_with_quickselect(self, rng):
+        values = rng.random(1000)
+        for k in [1, 10, 500, 1000]:
+            assert nth_smallest_numpy(values, k) == quickselect_nth(values, k)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            nth_smallest_numpy(np.array([1.0, 2.0]), 3)
+
+
+class TestSmallestK:
+    def test_returns_k_smallest(self, rng):
+        values = rng.random(100)
+        out = smallest_k(values, 10, sort=True)
+        np.testing.assert_allclose(out, np.sort(values)[:10])
+
+    def test_k_larger_than_input(self):
+        values = np.array([3.0, 1.0])
+        out = smallest_k(values, 10, sort=True)
+        np.testing.assert_allclose(out, [1.0, 3.0])
+
+    def test_k_zero_or_negative(self):
+        assert smallest_k(np.array([1.0]), 0).shape == (0,)
+        assert smallest_k(np.array([1.0]), -3).shape == (0,)
+
+    def test_unsorted_output_contains_same_elements(self, rng):
+        values = rng.random(50)
+        out = smallest_k(values, 20, sort=False)
+        np.testing.assert_allclose(np.sort(out), np.sort(values)[:20])

@@ -1,0 +1,107 @@
+"""Tests for the sampled-selection (§3.3.1) and unsorted-fallback (§3.3.4) algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.network import SimComm
+from repro.selection import ArrayKeySet, SampledSelection, SelectionError, UnsortedSelection
+from repro.utils import spawn_generators
+
+
+def make_keyset(rng, p, per_pe):
+    arrays = [rng.random(per_pe) for _ in range(p)]
+    return ArrayKeySet(arrays), np.sort(np.concatenate(arrays))
+
+
+class TestSampledSelection:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_exact_result_on_random_input(self, p, rng):
+        keyset, allkeys = make_keyset(rng, p, 64)
+        n = len(allkeys)
+        for k in [1, n // 2, n]:
+            comm = SimComm(p)
+            result = SampledSelection().select(keyset, k, comm, spawn_generators(k, p))
+            assert result.key == pytest.approx(allkeys[k - 1])
+
+    def test_uneven_pe_sizes(self, rng):
+        arrays = [rng.random(200), rng.random(3), np.array([]), rng.random(47)]
+        keyset = ArrayKeySet(arrays)
+        allkeys = np.sort(np.concatenate(arrays))
+        comm = SimComm(4)
+        result = SampledSelection().select(keyset, 125, comm, rng)
+        assert result.key == pytest.approx(allkeys[124])
+
+    def test_middle_gather_is_small_fraction(self, rng):
+        keyset, allkeys = make_keyset(rng, 8, 500)
+        comm = SimComm(8)
+        result = SampledSelection().select(keyset, 2000, comm, rng)
+        # the bracketed middle window should be far smaller than the input
+        assert result.stats.final_gather_items < len(allkeys) / 3
+
+    def test_errors(self, rng):
+        keyset, allkeys = make_keyset(rng, 2, 10)
+        with pytest.raises(SelectionError):
+            SampledSelection().select(keyset, 0, SimComm(2), rng)
+        with pytest.raises(SelectionError):
+            SampledSelection().select(keyset, len(allkeys) + 1, SimComm(2), rng)
+        empty = ArrayKeySet([np.array([]), np.array([])])
+        with pytest.raises(SelectionError):
+            SampledSelection().select(empty, 1, SimComm(2), rng)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SampledSelection(oversampling=0.0)
+        with pytest.raises(ValueError):
+            SampledSelection(safety=0.0)
+
+    def test_comm_mismatch(self, rng):
+        keyset, _ = make_keyset(rng, 2, 10)
+        with pytest.raises(ValueError):
+            SampledSelection().select(keyset, 1, SimComm(3), rng)
+
+    def test_communication_charged(self, rng):
+        keyset, _ = make_keyset(rng, 8, 100)
+        comm = SimComm(8)
+        SampledSelection().select(keyset, 50, comm, rng)
+        assert comm.ledger.total_time > 0
+
+
+class TestUnsortedSelection:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_exact_result(self, p, rng):
+        keyset, allkeys = make_keyset(rng, p, 40)
+        n = len(allkeys)
+        for k in [1, n // 3, n]:
+            comm = SimComm(p)
+            result = UnsortedSelection().select(keyset, k, comm, spawn_generators(k + p, p))
+            assert result.key == pytest.approx(allkeys[k - 1])
+
+    def test_duplicate_heavy_input_terminates(self):
+        arrays = [np.full(30, 2.0), np.full(30, 2.0), np.array([1.0, 3.0])]
+        keyset = ArrayKeySet(arrays)
+        result = UnsortedSelection().select(keyset, 31, SimComm(3), np.random.default_rng(0))
+        assert result.key == pytest.approx(2.0)
+
+    def test_expected_logarithmic_rounds(self, rng):
+        keyset, allkeys = make_keyset(rng, 8, 250)
+        result = UnsortedSelection(gather_cutoff=1).select(keyset, 1000, SimComm(8), rng)
+        # ~2000 candidates: random-pivot partitioning needs O(log N) rounds
+        assert result.stats.recursion_depth <= 40
+
+    def test_errors(self, rng):
+        empty = ArrayKeySet([np.array([])])
+        with pytest.raises(SelectionError):
+            UnsortedSelection().select(empty, 1, SimComm(1), rng)
+        keyset, allkeys = make_keyset(rng, 2, 5)
+        with pytest.raises(SelectionError):
+            UnsortedSelection().select(keyset, 11, SimComm(2), rng)
+
+    def test_comm_mismatch(self, rng):
+        keyset, _ = make_keyset(rng, 2, 5)
+        with pytest.raises(ValueError):
+            UnsortedSelection().select(keyset, 1, SimComm(4), rng)
+
+    def test_wrong_generator_count(self, rng):
+        keyset, _ = make_keyset(rng, 4, 5)
+        with pytest.raises(ValueError):
+            UnsortedSelection().select(keyset, 1, SimComm(4), spawn_generators(0, 2))

@@ -1,0 +1,75 @@
+"""Property-based tests: every selection algorithm agrees with numpy sorting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import SimComm
+from repro.selection import (
+    AmsSelection,
+    ArrayKeySet,
+    MultiPivotSelection,
+    SampledSelection,
+    SinglePivotSelection,
+    UnsortedSelection,
+)
+from repro.utils import spawn_generators
+
+ALGORITHMS = {
+    "single-pivot": SinglePivotSelection(),
+    "multi-pivot-4": MultiPivotSelection(4),
+    "sampled": SampledSelection(),
+    "unsorted": UnsortedSelection(),
+}
+
+
+@st.composite
+def distributed_keys(draw):
+    p = draw(st.integers(min_value=1, max_value=8))
+    sizes = draw(st.lists(st.integers(min_value=0, max_value=40), min_size=p, max_size=p))
+    if sum(sizes) == 0:
+        sizes[0] = 1
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    arrays = [rng.random(s) for s in sizes]
+    k = draw(st.integers(min_value=1, max_value=sum(sizes)))
+    return arrays, k, seed
+
+
+@settings(max_examples=40, deadline=None)
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+@given(case=distributed_keys())
+def test_selection_matches_numpy(name, case):
+    arrays, k, seed = case
+    algo = ALGORITHMS[name]
+    keyset = ArrayKeySet(arrays)
+    allkeys = np.sort(np.concatenate(arrays))
+    comm = SimComm(len(arrays))
+    result = algo.select(keyset, k, comm, spawn_generators(seed, len(arrays)))
+    assert result.key == pytest.approx(allkeys[k - 1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=distributed_keys(), slack=st.floats(min_value=0.0, max_value=1.0))
+def test_banded_selection_rank_is_in_band(case, slack):
+    arrays, k, seed = case
+    keyset = ArrayKeySet(arrays)
+    allkeys = np.sort(np.concatenate(arrays))
+    n = len(allkeys)
+    k_hi = min(n, int(np.ceil(k * (1.0 + slack))))
+    comm = SimComm(len(arrays))
+    result = AmsSelection(2).select_range(keyset, k, k_hi, comm, spawn_generators(seed, len(arrays)))
+    rank = int(np.searchsorted(allkeys, result.key, side="right"))
+    assert k <= rank <= k_hi
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=distributed_keys())
+def test_selection_key_is_an_existing_key(case):
+    arrays, k, seed = case
+    keyset = ArrayKeySet(arrays)
+    allkeys = np.concatenate(arrays)
+    comm = SimComm(len(arrays))
+    result = SinglePivotSelection().select(keyset, k, comm, spawn_generators(seed, len(arrays)))
+    assert np.any(np.isclose(allkeys, result.key))

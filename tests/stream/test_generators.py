@@ -1,0 +1,118 @@
+"""Tests for the synthetic weight generators."""
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    ExponentialWeightGenerator,
+    NormalDriftWeightGenerator,
+    UniformWeightGenerator,
+    UnitWeightGenerator,
+    ZipfWeightGenerator,
+)
+
+
+ALL_GENERATORS = [
+    UniformWeightGenerator(),
+    UnitWeightGenerator(),
+    NormalDriftWeightGenerator(),
+    ExponentialWeightGenerator(),
+    ZipfWeightGenerator(),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS, ids=lambda g: type(g).__name__)
+    def test_weights_are_positive_and_finite(self, gen, rng):
+        weights = gen(1000, rng, pe=2, round_index=3)
+        assert weights.shape == (1000,)
+        assert np.all(weights > 0)
+        assert np.all(np.isfinite(weights))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS, ids=lambda g: type(g).__name__)
+    def test_zero_size_batch(self, gen, rng):
+        assert gen(0, rng).shape == (0,)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS, ids=lambda g: type(g).__name__)
+    def test_reproducible_with_same_seed(self, gen):
+        a = gen(50, np.random.default_rng(1))
+        b = gen(50, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS, ids=lambda g: type(g).__name__)
+    def test_repr_is_informative(self, gen):
+        assert type(gen).__name__ in repr(gen)
+
+
+class TestUniform:
+    def test_range_is_respected(self, rng):
+        gen = UniformWeightGenerator(low=0.0, high=100.0)
+        weights = gen(10_000, rng)
+        assert weights.max() <= 100.0
+        assert weights.min() > 0.0
+
+    def test_mean_is_roughly_midpoint(self, rng):
+        weights = UniformWeightGenerator(0.0, 100.0)(50_000, rng)
+        assert weights.mean() == pytest.approx(50.0, rel=0.05)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            UniformWeightGenerator(low=5.0, high=5.0)
+        with pytest.raises(ValueError):
+            UniformWeightGenerator(low=-1.0, high=1.0)
+
+
+class TestUnit:
+    def test_all_ones(self, rng):
+        assert UnitWeightGenerator()(7, rng).tolist() == [1.0] * 7
+
+
+class TestNormalDrift:
+    def test_mean_increases_with_round(self, rng):
+        gen = NormalDriftWeightGenerator(base_mean=50.0, std=1.0, round_drift=10.0, pe_drift=0.0)
+        early = gen(5000, rng, round_index=0).mean()
+        late = gen(5000, rng, round_index=10).mean()
+        assert late > early + 50.0
+
+    def test_mean_increases_with_pe(self, rng):
+        gen = NormalDriftWeightGenerator(base_mean=50.0, std=1.0, round_drift=0.0, pe_drift=5.0)
+        low = gen(5000, rng, pe=0).mean()
+        high = gen(5000, rng, pe=20).mean()
+        assert high > low + 50.0
+
+    def test_weights_clamped_positive(self, rng):
+        # extreme std forces negative draws; the clamp keeps them positive
+        gen = NormalDriftWeightGenerator(base_mean=1.0, std=100.0)
+        assert np.all(gen(1000, rng) > 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NormalDriftWeightGenerator(base_mean=-1.0)
+        with pytest.raises(ValueError):
+            NormalDriftWeightGenerator(std=0.0)
+
+
+class TestExponential:
+    def test_mean_close_to_scale(self, rng):
+        weights = ExponentialWeightGenerator(scale=4.0)(50_000, rng)
+        assert weights.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExponentialWeightGenerator(scale=0.0)
+
+
+class TestZipf:
+    def test_heavy_tail_exists(self, rng):
+        weights = ZipfWeightGenerator(exponent=1.5)(20_000, rng)
+        # heavy-tailed: the max dwarfs the median
+        assert weights.max() > 50 * np.median(weights)
+
+    def test_larger_exponent_lighter_tail(self, rng):
+        heavy = ZipfWeightGenerator(exponent=1.2)(20_000, np.random.default_rng(0))
+        light = ZipfWeightGenerator(exponent=3.0)(20_000, np.random.default_rng(0))
+        assert heavy.max() > light.max()
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfWeightGenerator(exponent=1.0)

@@ -1,0 +1,82 @@
+"""Tests for the ItemBatch struct-of-arrays container."""
+
+import numpy as np
+import pytest
+
+from repro.stream import ItemBatch
+
+
+class TestConstruction:
+    def test_from_weights_assigns_consecutive_ids(self):
+        batch = ItemBatch.from_weights([1.0, 2.0, 3.0], start_id=10)
+        assert batch.ids.tolist() == [10, 11, 12]
+        assert batch.weights.tolist() == [1.0, 2.0, 3.0]
+
+    def test_empty(self):
+        batch = ItemBatch.empty()
+        assert len(batch) == 0
+        assert batch.total_weight == 0.0
+
+    def test_uniform_items_have_unit_weights(self):
+        batch = ItemBatch.uniform_items(5, start_id=3)
+        assert batch.weights.tolist() == [1.0] * 5
+        assert batch.ids.tolist() == [3, 4, 5, 6, 7]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ItemBatch(ids=np.arange(3), weights=np.ones(2))
+
+    def test_non_positive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ItemBatch(ids=np.arange(2), weights=np.array([1.0, 0.0]))
+
+    def test_two_dimensional_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ItemBatch(ids=np.zeros((2, 2), dtype=np.int64), weights=np.ones(4))
+
+    def test_dtype_coercion(self):
+        batch = ItemBatch(ids=[1, 2], weights=[1, 2])
+        assert batch.ids.dtype == np.int64
+        assert batch.weights.dtype == np.float64
+
+
+class TestOperations:
+    def test_total_weight(self):
+        batch = ItemBatch.from_weights([0.5, 1.5, 2.0])
+        assert batch.total_weight == pytest.approx(4.0)
+
+    def test_iteration_yields_pairs(self):
+        batch = ItemBatch.from_weights([1.0, 2.0], start_id=5)
+        assert list(batch) == [(5, 1.0), (6, 2.0)]
+
+    def test_take_subset(self):
+        batch = ItemBatch.from_weights([1.0, 2.0, 3.0, 4.0])
+        sub = batch.take(np.array([2, 0]))
+        assert sub.ids.tolist() == [2, 0]
+        assert sub.weights.tolist() == [3.0, 1.0]
+
+    def test_concat(self):
+        a = ItemBatch.from_weights([1.0], start_id=0)
+        b = ItemBatch.from_weights([2.0, 3.0], start_id=1)
+        merged = ItemBatch.concat([a, ItemBatch.empty(), b])
+        assert merged.ids.tolist() == [0, 1, 2]
+        assert len(merged) == 3
+
+    def test_concat_of_nothing_is_empty(self):
+        assert len(ItemBatch.concat([])) == 0
+
+    def test_split_covers_all_items(self):
+        batch = ItemBatch.from_weights(np.arange(1, 11, dtype=float))
+        parts = batch.split(3)
+        assert sum(len(p) for p in parts) == 10
+        assert np.concatenate([p.ids for p in parts]).tolist() == batch.ids.tolist()
+
+    def test_split_more_parts_than_items(self):
+        batch = ItemBatch.from_weights([1.0, 2.0])
+        parts = batch.split(5)
+        assert len(parts) == 5
+        assert sum(len(p) for p in parts) == 2
+
+    def test_split_invalid_parts(self):
+        with pytest.raises(ValueError):
+            ItemBatch.empty().split(0)

@@ -1,0 +1,114 @@
+"""Tests for the distributed mini-batch stream sources."""
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    BatchSizeSchedule,
+    ItemBatch,
+    MiniBatchStream,
+    RecordingStream,
+    UnitWeightGenerator,
+)
+
+
+class TestBatchSizeSchedule:
+    def test_constant_size(self):
+        schedule = BatchSizeSchedule(100)
+        assert schedule.size_for(0, 0) == 100
+        assert schedule.size_for(3, 7) == 100
+
+    def test_per_pe_sizes(self):
+        schedule = BatchSizeSchedule([10, 20, 30])
+        assert [schedule.size_for(pe, 0) for pe in range(3)] == [10, 20, 30]
+
+    def test_callable_size(self):
+        schedule = BatchSizeSchedule(lambda pe, r: pe * 10 + r)
+        assert schedule.size_for(2, 3) == 23
+
+    def test_jitter_stays_non_negative(self, rng):
+        schedule = BatchSizeSchedule(2, jitter=5)
+        for _ in range(50):
+            assert schedule.size_for(0, 0, rng) >= 0
+
+    def test_jitter_varies_sizes(self, rng):
+        schedule = BatchSizeSchedule(100, jitter=10)
+        sizes = {schedule.size_for(0, 0, rng) for _ in range(50)}
+        assert len(sizes) > 1
+
+
+class TestMiniBatchStream:
+    def test_round_structure(self):
+        stream = MiniBatchStream(p=4, batch_size=25, seed=1)
+        batch_round = stream.next_round()
+        assert batch_round.p == 4
+        assert batch_round.round_index == 0
+        assert batch_round.total_items == 100
+        assert all(len(b) == 25 for b in batch_round.batches)
+
+    def test_ids_are_globally_unique_and_dense(self):
+        stream = MiniBatchStream(p=3, batch_size=10, seed=2)
+        ids = []
+        for _ in range(5):
+            mb = stream.next_round()
+            for batch in mb.batches:
+                ids.extend(batch.ids.tolist())
+        assert sorted(ids) == list(range(150))
+
+    def test_items_emitted_counter(self):
+        stream = MiniBatchStream(p=2, batch_size=7, seed=3)
+        list(stream.rounds(4))
+        assert stream.items_emitted == 56
+        assert stream.round_index == 4
+
+    def test_reproducibility(self):
+        a = MiniBatchStream(p=2, batch_size=5, seed=9).next_round()
+        b = MiniBatchStream(p=2, batch_size=5, seed=9).next_round()
+        for batch_a, batch_b in zip(a.batches, b.batches):
+            np.testing.assert_array_equal(batch_a.weights, batch_b.weights)
+
+    def test_different_pes_get_different_weights(self):
+        mb = MiniBatchStream(p=2, batch_size=50, seed=4).next_round()
+        assert not np.array_equal(mb.batches[0].weights, mb.batches[1].weights)
+
+    def test_unit_weight_stream(self):
+        stream = MiniBatchStream(p=2, batch_size=5, weights=UnitWeightGenerator(), seed=0)
+        mb = stream.next_round()
+        assert all(np.all(b.weights == 1.0) for b in mb.batches)
+
+    def test_total_weight(self):
+        mb = MiniBatchStream(p=2, batch_size=50, weights=UnitWeightGenerator(), seed=0).next_round()
+        assert mb.total_weight == pytest.approx(100.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            MiniBatchStream(p=0, batch_size=1)
+
+    def test_rounds_iterator_count(self):
+        stream = MiniBatchStream(p=2, batch_size=3, seed=0)
+        assert len(list(stream.rounds(7))) == 7
+
+    def test_batch_for_accessor(self):
+        mb = MiniBatchStream(p=3, batch_size=4, seed=0).next_round()
+        assert mb.batch_for(2) is mb.batches[2]
+
+
+class TestRecordingStream:
+    def test_records_everything(self):
+        inner = MiniBatchStream(p=3, batch_size=10, seed=5)
+        stream = RecordingStream(inner)
+        list(stream.rounds(4))
+        recorded = stream.all_items()
+        assert len(recorded) == 120
+        assert sorted(recorded.ids.tolist()) == list(range(120))
+
+    def test_empty_recording(self):
+        stream = RecordingStream(MiniBatchStream(p=2, batch_size=4, seed=0))
+        assert len(stream.all_items()) == 0
+
+    def test_delegates_properties(self):
+        stream = RecordingStream(MiniBatchStream(p=2, batch_size=4, seed=0))
+        stream.next_round()
+        assert stream.p == 2
+        assert stream.round_index == 1
+        assert stream.items_emitted == 8

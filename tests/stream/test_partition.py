@@ -1,0 +1,80 @@
+"""Tests for partitioning a global batch across PEs."""
+
+import numpy as np
+import pytest
+
+from repro.stream import ItemBatch, partition_even, partition_random, partition_weighted_shares
+
+
+@pytest.fixture
+def batch():
+    return ItemBatch.from_weights(np.linspace(1.0, 10.0, 100))
+
+
+def union_ids(parts):
+    return sorted(np.concatenate([p.ids for p in parts]).tolist())
+
+
+class TestPartitionEven:
+    def test_union_is_input(self, batch):
+        parts = partition_even(batch, 7)
+        assert len(parts) == 7
+        assert union_ids(parts) == batch.ids.tolist()
+
+    def test_sizes_nearly_equal(self, batch):
+        parts = partition_even(batch, 6)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_p(self, batch):
+        with pytest.raises(ValueError):
+            partition_even(batch, 0)
+
+
+class TestPartitionRandom:
+    def test_union_is_input(self, batch, rng):
+        parts = partition_random(batch, 5, rng)
+        assert union_ids(parts) == batch.ids.tolist()
+
+    def test_empty_batch(self, rng):
+        parts = partition_random(ItemBatch.empty(), 3, rng)
+        assert all(len(p) == 0 for p in parts)
+
+    def test_roughly_balanced(self, rng):
+        big = ItemBatch.uniform_items(10_000)
+        parts = partition_random(big, 4, rng)
+        sizes = np.array([len(p) for p in parts])
+        assert np.all(np.abs(sizes - 2500) < 300)
+
+    def test_reproducible_with_seed(self, batch):
+        a = partition_random(batch, 4, np.random.default_rng(3))
+        b = partition_random(batch, 4, np.random.default_rng(3))
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.ids, pb.ids)
+
+
+class TestPartitionWeightedShares:
+    def test_union_is_input(self, batch, rng):
+        parts = partition_weighted_shares(batch, [1, 2, 3], rng)
+        assert union_ids(parts) == batch.ids.tolist()
+
+    def test_shares_bias_sizes(self, rng):
+        big = ItemBatch.uniform_items(20_000)
+        parts = partition_weighted_shares(big, [1.0, 9.0], rng)
+        assert len(parts[1]) > 5 * len(parts[0])
+
+    def test_zero_share_pe_gets_nothing(self, rng):
+        parts = partition_weighted_shares(ItemBatch.uniform_items(500), [0.0, 1.0], rng)
+        assert len(parts[0]) == 0
+
+    def test_invalid_shares(self, batch, rng):
+        with pytest.raises(ValueError):
+            partition_weighted_shares(batch, [], rng)
+        with pytest.raises(ValueError):
+            partition_weighted_shares(batch, [-1.0, 2.0], rng)
+        with pytest.raises(ValueError):
+            partition_weighted_shares(batch, [0.0, 0.0], rng)
+
+    def test_empty_batch(self, rng):
+        parts = partition_weighted_shares(ItemBatch.empty(), [1, 1], rng)
+        assert all(len(p) == 0 for p in parts)

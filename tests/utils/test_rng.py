@@ -1,0 +1,73 @@
+"""Tests for random-generator management helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_generator, ensure_generator, spawn_generators, spawn_seed_sequences
+
+
+class TestEnsureGenerator:
+    def test_from_int_seed_is_deterministic(self):
+        a = ensure_generator(42)
+        b = ensure_generator(42)
+        assert a.random() == b.random()
+
+    def test_passthrough_of_existing_generator(self):
+        gen = np.random.default_rng(1)
+        assert ensure_generator(gen) is gen
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        gen = ensure_generator(ss)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count_and_type(self):
+        gens = spawn_generators(3, 5)
+        assert len(gens) == 5
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_streams_are_distinct(self):
+        gens = spawn_generators(0, 4)
+        draws = [g.random() for g in gens]
+        assert len(set(draws)) == 4
+
+    def test_reproducible_across_calls(self):
+        first = [g.random() for g in spawn_generators(9, 3)]
+        second = [g.random() for g in spawn_generators(9, 3)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(1, -1)
+
+    def test_spawn_from_generator_source(self):
+        gens = spawn_generators(np.random.default_rng(5), 3)
+        assert len(gens) == 3
+
+
+class TestDeriveGenerator:
+    def test_same_keys_same_stream(self):
+        a = derive_generator(10, 2, 3)
+        b = derive_generator(10, 2, 3)
+        assert a.random() == b.random()
+
+    def test_different_keys_different_stream(self):
+        a = derive_generator(10, 2, 3)
+        b = derive_generator(10, 2, 4)
+        assert a.random() != b.random()
+
+    def test_rejects_generator_seed(self):
+        with pytest.raises(TypeError):
+            derive_generator(np.random.default_rng(0), 1)
+
+    def test_none_seed_allowed(self):
+        gen = derive_generator(None, 1, 2)
+        assert isinstance(gen, np.random.Generator)
