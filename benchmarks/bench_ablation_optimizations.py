@@ -6,8 +6,8 @@ configuration:
 1. **Section-5 local thresholding** — how many first-batch insertions (and
    how much simulated time) does the local-threshold policy save when the
    first mini-batch is much larger than ``k``?
-2. **Local reservoir backend** — B+ tree (paper) vs. plain sorted array:
-   identical samples, different constant factors.
+2. **Local reservoir store backend** — B+ tree (paper) vs. the vectorized
+   sorted-array merge store: identical samples, different constant factors.
 3. **Number of selection pivots** — selection depth and simulated selection
    time for d in {1, 2, 4, 8, 16} (the paper settles on d = 8).
 """
@@ -71,12 +71,12 @@ def test_ablation_local_thresholding(benchmark, scale):
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_reservoir_backend(benchmark, scale):
-    """B+ tree vs. sorted-array local reservoirs (wall clock + same sample)."""
+    """B+ tree vs. merge-store local reservoirs (wall clock + same sample)."""
     p, k, batch, rounds = 8, 500, 2_000, 5
 
-    def run(backend: str):
+    def run(store: str):
         comm = SimComm(p)
-        sampler = DistributedReservoirSampler(k, comm, seed=5, backend=backend)
+        sampler = DistributedReservoirSampler(k, comm, seed=5, store=store)
         stream = MiniBatchStream(p, batch, seed=6)
         for _ in range(rounds):
             sampler.process_round(stream.next_round().batches)
@@ -86,21 +86,21 @@ def test_ablation_reservoir_backend(benchmark, scale):
 
     samplers = {}
     wall = {}
-    for backend in ("btree", "sorted_array"):
+    for store in ("btree", "merge"):
         start = time.perf_counter()
-        samplers[backend] = run(backend)
-        wall[backend] = time.perf_counter() - start
+        samplers[store] = run(store)
+        wall[store] = time.perf_counter() - start
     benchmark.pedantic(run, args=("btree",), rounds=1, iterations=1)
 
-    rows = [[backend, wall[backend] * 1e3, samplers[backend].sample_size()] for backend in samplers]
+    rows = [[store, wall[store] * 1e3, samplers[store].sample_size()] for store in samplers]
     write_result(
         "ablation_reservoir_backend.txt",
-        f"Local reservoir backend, p = {p}, k = {k}, {rounds} rounds of {batch} items/PE\n"
-        + format_table(["backend", "wall clock (ms)", "sample size"], rows),
+        f"Local reservoir store, p = {p}, k = {k}, {rounds} rounds of {batch} items/PE\n"
+        + format_table(["store", "wall clock (ms)", "sample size"], rows),
     )
-    # identical random streams => identical samples regardless of backend
+    # identical random streams => identical samples regardless of store
     a = sorted(samplers["btree"].sample_ids().tolist())
-    b = sorted(samplers["sorted_array"].sample_ids().tolist())
+    b = sorted(samplers["merge"].sample_ids().tolist())
     assert a == b
 
 

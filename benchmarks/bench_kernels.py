@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.btree import BPlusTree
-from repro.core import DistributedReservoirSampler, keys as keymod
+from repro.core import keys as keymod, make_store
 from repro.core.local_reservoir import LocalReservoir
 from repro.network import SimComm
 from repro.selection import ArrayKeySet, MultiPivotSelection, SinglePivotSelection
@@ -25,6 +25,7 @@ from repro.utils import spawn_generators
 RNG = np.random.default_rng(12345)
 BATCH = 50_000
 RESERVOIR = 10_000
+STORE_BATCH = 4_096
 
 
 @pytest.mark.benchmark(group="kernels-keys")
@@ -79,6 +80,47 @@ def test_sorted_array_bulk_insert_throughput(benchmark):
 
     reservoir = benchmark(build)
     assert len(reservoir) == RESERVOIR
+
+
+@pytest.mark.benchmark(group="kernels-store")
+@pytest.mark.parametrize("backend", ["btree", "merge"])
+def test_store_batch_insert_throughput(benchmark, backend):
+    """The tentpole fast path: whole-batch ingestion into a reservoir store.
+
+    The merge store ingests each 4096-item batch with one mask + sort +
+    merge pass; the B+ tree descends once per item.  The acceptance bar of
+    the batch-kernel work is merge >= 5x btree at this batch size.
+    """
+    n_batches = 4
+    key_batches = [RNG.random(STORE_BATCH) for _ in range(n_batches)]
+    id_batches = [np.arange(i * STORE_BATCH, (i + 1) * STORE_BATCH) for i in range(n_batches)]
+
+    def build():
+        store = make_store(backend)
+        for keys, ids in zip(key_batches, id_batches):
+            store.insert_batch(keys, ids, capacity=RESERVOIR)
+        return store
+
+    store = benchmark(build)
+    assert len(store) == RESERVOIR
+
+
+@pytest.mark.benchmark(group="kernels-store")
+@pytest.mark.parametrize("backend", ["btree", "merge"])
+def test_store_rank_query_throughput(benchmark, backend):
+    """Vectorized kth_keys / count_le queries on a full store."""
+    store = make_store(backend)
+    store.insert_batch(RNG.random(RESERVOIR), np.arange(RESERVOIR))
+    ranks = RNG.integers(1, RESERVOIR + 1, size=256)
+    probes = RNG.random(256)
+
+    def run_queries():
+        keys = store.kth_keys(ranks)
+        total = sum(store.count_le(float(q)) for q in probes)
+        return keys, total
+
+    keys, total = benchmark(run_queries)
+    assert keys.shape == (256,) and total > 0
 
 
 @pytest.mark.benchmark(group="kernels-reservoir")

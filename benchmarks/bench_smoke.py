@@ -1,0 +1,188 @@
+"""CI benchmark smoke: tiny-scale kernel throughputs with a regression gate.
+
+Runs the building-block kernels of ``bench_kernels.py`` at a scale that
+finishes in a few seconds, writes the measured throughputs to a JSON file
+(uploaded as a CI artifact) and fails when any kernel regressed by more
+than ``--max-regression`` (default 2x) against the checked-in baseline in
+``benchmarks/baselines/bench_kernels_baseline.json``.
+
+The baseline numbers are deliberately conservative (about half of what a
+2024 laptop core measures) so that slower CI runners do not false-fail;
+the 2x regression budget is on top of that.  Machine-independent gates —
+the merge-store vs. B+ tree speedup ratio — are asserted exactly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --output BENCH_kernels.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py --update-baseline
+
+Exit status 0 = no regression, 1 = regression or speedup gate missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import keys as keymod
+from repro.core import make_distributed_sampler, make_store
+from repro.network import SimComm
+from repro.stream import MiniBatchStream
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_kernels_baseline.json"
+
+BATCH = 4_096
+CAPACITY = 2_048
+#: acceptance gate: merge-store batch insertion must beat the B+ tree by
+#: at least this factor at batch size >= 4096 (machine-independent ratio)
+MIN_MERGE_SPEEDUP = 5.0
+
+
+def _best_of(fn, *, repeats: int = 5) -> float:
+    """Best (smallest) wall-clock seconds of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_key_generation() -> float:
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(0.1, 100.0, size=BATCH)
+    key_rng = np.random.default_rng(1)
+    return BATCH / _best_of(lambda: keymod.exponential_keys(weights, key_rng))
+
+
+def bench_weighted_jump_kernel() -> float:
+    rng = np.random.default_rng(2)
+    weights = rng.uniform(0.1, 100.0, size=BATCH)
+    jump_rng = np.random.default_rng(3)
+    return BATCH / _best_of(lambda: keymod.weighted_jump_positions(weights, 1e-6, jump_rng))
+
+
+def _store_insert_seconds(backend: str, *, n_batches: int) -> float:
+    rng = np.random.default_rng(4)
+    batches = [
+        (rng.random(BATCH), np.arange(i * BATCH, (i + 1) * BATCH)) for i in range(n_batches)
+    ]
+
+    def build():
+        store = make_store(backend)
+        for keys, ids in batches:
+            store.insert_batch(keys, ids, capacity=CAPACITY)
+
+    return _best_of(build, repeats=3) / n_batches
+
+
+def bench_store_inserts() -> dict:
+    seconds = {backend: _store_insert_seconds(backend, n_batches=2) for backend in ("btree", "merge")}
+    return {
+        "btree_store_insert_items_per_s": BATCH / seconds["btree"],
+        "merge_store_insert_items_per_s": BATCH / seconds["merge"],
+        "merge_vs_btree_speedup": seconds["btree"] / seconds["merge"],
+    }
+
+
+def bench_full_round() -> float:
+    """Steady-state mini-batch round of the full simulator (items/s)."""
+    p, k, batch = 4, 256, 1_024
+    sampler = make_distributed_sampler("ours", k, SimComm(p), seed=7)
+    stream = MiniBatchStream(p, batch, seed=8)
+    for _ in range(3):  # warm into the steady state
+        sampler.process_round(stream.next_round().batches)
+    rounds = [stream.next_round().batches for _ in range(5)]
+
+    def run():
+        for batches in rounds:
+            sampler.process_round(batches)
+
+    return len(rounds) * p * batch / _best_of(run, repeats=3)
+
+
+def run_suite() -> dict:
+    results = {
+        "key_generation_items_per_s": bench_key_generation(),
+        "weighted_jump_kernel_items_per_s": bench_weighted_jump_kernel(),
+        "full_round_items_per_s": bench_full_round(),
+    }
+    results.update(bench_store_inserts())
+    return results
+
+
+def compare(results: dict, baseline: dict, max_regression: float) -> list:
+    """Regression messages (empty = pass)."""
+    failures = []
+    for name, reference in baseline.items():
+        if name == "merge_vs_btree_speedup":
+            continue  # gated exactly below, not via the regression budget
+        measured = results.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from results")
+        elif measured < reference / max_regression:
+            failures.append(
+                f"{name}: {measured:,.0f} items/s is a >{max_regression:g}x regression "
+                f"vs. baseline {reference:,.0f} items/s"
+            )
+    speedup = results.get("merge_vs_btree_speedup", 0.0)
+    if speedup < MIN_MERGE_SPEEDUP:
+        failures.append(
+            f"merge_vs_btree_speedup: {speedup:.1f}x is below the required "
+            f"{MIN_MERGE_SPEEDUP:g}x at batch size {BATCH}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_kernels.json"))
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured numbers (halved, to stay conservative) as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    for name, value in sorted(results.items()):
+        unit = "x" if name.endswith("speedup") else " items/s"
+        print(f"  {name:40s} {value:>14,.1f}{unit}")
+
+    if args.update_baseline:
+        conservative = {
+            name: (value if name.endswith("speedup") else value / 2.0)
+            for name, value in results.items()
+        }
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(conservative, indent=2, sort_keys=True) + "\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update-baseline to create one")
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    failures = compare(results, baseline, args.max_regression)
+    if failures:
+        print("\nBENCHMARK REGRESSION:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("\nno regression (budget {:g}x, merge speedup {:.1f}x >= {:g}x)".format(
+        args.max_regression, results["merge_vs_btree_speedup"], MIN_MERGE_SPEEDUP
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,6 @@ def sequential_quickstart() -> None:
     print("1. Sequential weighted reservoir sampling")
     print("=" * 72)
 
-    rng = np.random.default_rng(42)
     n_items = 100_000
     # a stream where item i has weight proportional to (i % 100) + 1
     weights = (np.arange(n_items) % 100 + 1).astype(float)

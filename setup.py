@@ -1,9 +1,9 @@
-"""Setuptools entry point.
+"""Setuptools entry point (thin shim; metadata lives in ``pyproject.toml``).
 
-The environment this reproduction targets has no network access and an older
-setuptools without the ``wheel`` package, so PEP 517 editable builds are not
-available; this classic ``setup.py`` keeps ``pip install -e .`` working there.
-Metadata lives in ``pyproject.toml``.
+On machines with a recent pip (e.g. CI) use ``pip install -e .`` directly.
+The offline environment this reproduction targets ships an older setuptools
+without the ``wheel`` package, so PEP 517 editable builds are not available
+there; ``python setup.py develop`` is the working fallback.
 """
 
 from setuptools import setup

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +83,8 @@ class ScalingConfig:
     machine: Optional[MachineSpec] = None
     #: weighted (True) or uniform (False) sampling
     weighted: bool = True
+    #: reservoir store backend ("merge" vectorized default, "btree" paper)
+    store: str = "merge"
     #: base seed; every cell derives its own deterministic seed from it
     seed: int = 0
 
@@ -292,6 +294,7 @@ def run_configuration(
     machine: Optional[MachineSpec] = None,
     weighted: bool = True,
     weights: Optional[WeightGenerator] = None,
+    store: str = "merge",
     seed: int = 0,
 ) -> RunMetrics:
     """Run one (algorithm, p, k, batch size) cell and return its metrics."""
@@ -301,7 +304,7 @@ def run_configuration(
     machine = machine if machine is not None else MachineSpec.forhlr_like()
     comm = SimComm(p, cost=machine.comm)
     sampler = make_distributed_sampler(
-        algorithm, k, comm, machine=machine, weighted=weighted, seed=seed
+        algorithm, k, comm, machine=machine, weighted=weighted, store=store, seed=seed
     )
     weight_gen = weights if weights is not None else UniformWeightGenerator(0.0, 100.0)
     if prewarm_items and prewarm_items > 10 * k:
@@ -351,6 +354,7 @@ def run_weak_scaling(
                         prewarm_items=config.steady_state_batches * p * batch,
                         machine=config.machine_spec(),
                         weighted=config.weighted,
+                        store=config.store,
                         seed=config.cell_seed(algorithm, k, batch, nodes),
                     )
                     result.add(algorithm, k, batch, nodes, metrics)
@@ -386,6 +390,7 @@ def run_strong_scaling(
                         prewarm_items=config.steady_state_batches * p * batch_per_pe,
                         machine=config.machine_spec(),
                         weighted=config.weighted,
+                        store=config.store,
                         seed=config.cell_seed(algorithm, k, total, nodes),
                     )
                     result.add(algorithm, k, total, nodes, metrics)

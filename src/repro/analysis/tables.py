@@ -8,7 +8,7 @@ benchmark output is self-contained and diff-able.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 __all__ = ["format_table", "format_series_table", "format_fraction_table"]
 

@@ -7,8 +7,10 @@ is compared against:
   geometric jumps (skip values),
 * :mod:`~repro.core.sequential` — sequential weighted/uniform reservoir
   samplers (building blocks and baselines),
-* :mod:`~repro.core.local_reservoir` — per-PE reservoirs (B+ tree or sorted
-  array backend) and the Section-5 local-thresholding policy,
+* :mod:`~repro.core.store` — the pluggable :class:`ReservoirStore` backends
+  (vectorized numpy merge store and the paper's B+ tree),
+* :mod:`~repro.core.local_reservoir` — per-PE reservoirs over a pluggable
+  store backend and the Section-5 local-thresholding policy,
 * :mod:`~repro.core.distributed` — the fully distributed mini-batch
   reservoir sampler (Algorithm 1), weighted and uniform,
 * :mod:`~repro.core.variable_size` — the variable-reservoir-size variant
@@ -31,6 +33,13 @@ from repro.core.distributed import (
     ReservoirKeySet,
 )
 from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy, SortedArrayStore
+from repro.core.store import (
+    STORE_BACKENDS,
+    BTreeStore,
+    MergeStore,
+    ReservoirStore,
+    make_store,
+)
 from repro.core.sequential import (
     SequentialUniformReservoir,
     SequentialWeightedReservoir,
@@ -53,6 +62,11 @@ __all__ = [
     "LocalReservoir",
     "LocalThresholdPolicy",
     "SortedArrayStore",
+    "ReservoirStore",
+    "MergeStore",
+    "BTreeStore",
+    "STORE_BACKENDS",
+    "make_store",
     "SequentialWeightedReservoir",
     "SequentialUniformReservoir",
     "dense_weighted_sample",

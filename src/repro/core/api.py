@@ -21,12 +21,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.centralized import CentralizedGatherSampler
-from repro.core.distributed import (
-    DistributedReservoirSampler,
-    DistributedUniformReservoirSampler,
-    DistributedWeightedReservoirSampler,
-)
+from repro.core.distributed import DistributedReservoirSampler
 from repro.core.sequential import SequentialUniformReservoir, SequentialWeightedReservoir
+from repro.core.store import normalize_store_name
 from repro.core.variable_size import VariableSizeReservoirSampler
 from repro.network.communicator import SimComm
 from repro.runtime.machine import MachineSpec
@@ -51,13 +48,22 @@ class ReservoirSampler:
         sampler = ReservoirSampler(k=100, weighted=True, seed=1)
         sampler.feed(ids, weights)
         sample = sampler.sample_ids()
+
+    ``store`` selects the reservoir storage: ``None`` (default) keeps the
+    classic per-item jump algorithm; ``"merge"`` or ``"btree"`` switch to
+    the vectorized mini-batch path over a pluggable reservoir store.
     """
 
-    def __init__(self, k: int, *, weighted: bool = True, seed=None) -> None:
+    def __init__(
+        self, k: int, *, weighted: bool = True, seed=None, store: Optional[str] = None
+    ) -> None:
         self.k = check_positive_int(k, "k")
         self.weighted = bool(weighted)
+        self.store = normalize_store_name(store) if store is not None else None
         self._impl = (
-            SequentialWeightedReservoir(k, seed) if weighted else SequentialUniformReservoir(k, seed)
+            SequentialWeightedReservoir(k, seed, store=store)
+            if weighted
+            else SequentialUniformReservoir(k, seed, store=store)
         )
 
     @property
@@ -105,7 +111,8 @@ def make_distributed_sampler(
     weighted: bool = True,
     seed: Optional[int] = 0,
     k_hi: Optional[int] = None,
-    backend: str = "btree",
+    store: str = "merge",
+    backend: Optional[str] = None,
     local_thresholding: bool = True,
 ) -> Union[DistributedReservoirSampler, CentralizedGatherSampler]:
     """Create a distributed sampler by its paper name.
@@ -116,17 +123,22 @@ def make_distributed_sampler(
     * ``"ours-<d>"`` (e.g. ``"ours-8"``) — Algorithm 1 with ``d``-pivot selection,
     * ``"ours-variable"`` — variable reservoir size in ``[k, k_hi]`` (Section 4.4),
     * ``"gather"`` — the centralized gathering baseline (Section 4.5).
+
+    ``store`` picks the reservoir store backend (``"merge"``, the
+    vectorized default, or ``"btree"``, the paper's data structure);
+    ``backend`` is its deprecated alias.
     """
     name = algorithm.strip().lower()
+    store = backend if backend is not None else store
     common = dict(machine=machine, weighted=weighted, seed=seed)
     if name == "gather":
-        return CentralizedGatherSampler(k, comm, **common)
+        return CentralizedGatherSampler(k, comm, store=store, **common)
     if name == "ours":
         return DistributedReservoirSampler(
             k,
             comm,
             selection=SinglePivotSelection(),
-            backend=backend,
+            store=store,
             local_thresholding=local_thresholding,
             **common,
         )
@@ -137,7 +149,7 @@ def make_distributed_sampler(
             upper,
             comm,
             selection=AmsSelection(num_pivots=2),
-            backend=backend,
+            store=store,
             local_thresholding=local_thresholding,
             **common,
         )
@@ -149,7 +161,7 @@ def make_distributed_sampler(
             k,
             comm,
             selection=selection,
-            backend=backend,
+            store=store,
             local_thresholding=local_thresholding,
             **common,
         )
@@ -185,13 +197,14 @@ class DistributedSamplingRun:
         batch_size: int = 1000,
         machine: Optional[MachineSpec] = None,
         weighted: bool = True,
+        store: str = "merge",
         seed: Optional[int] = 0,
     ) -> None:
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         if isinstance(algorithm, str):
             comm = SimComm(p, cost=self.machine.comm)
             self.sampler = make_distributed_sampler(
-                algorithm, k, comm, machine=self.machine, weighted=weighted, seed=seed
+                algorithm, k, comm, machine=self.machine, weighted=weighted, store=store, seed=seed
             )
             self.algorithm = algorithm
         else:
@@ -204,7 +217,12 @@ class DistributedSamplingRun:
             raise ValueError(
                 f"stream has {self.stream.p} PEs but the sampler has {self.sampler.p}"
             )
-        self.metrics = RunMetrics(p=self.sampler.p, k=getattr(self.sampler, "k", k), algorithm=self.algorithm)
+        self.metrics = RunMetrics(
+            p=self.sampler.p,
+            k=getattr(self.sampler, "k", k),
+            algorithm=self.algorithm,
+            store=getattr(self.sampler, "store", ""),
+        )
 
     # ------------------------------------------------------------------
     @property

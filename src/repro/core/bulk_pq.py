@@ -98,9 +98,10 @@ class DistributedBulkPriorityQueue:
         result = self.global_select(k)
         out = []
         for reservoir in self.reservoirs:
-            for key, item_id in reservoir.items():
-                if key <= result.key:
-                    out.append((item_id, key))
+            keys = reservoir.keys_array()
+            ids = reservoir.item_ids()
+            cut = int(np.searchsorted(keys, result.key, side="right"))
+            out.extend(zip(ids[:cut].tolist(), keys[:cut].tolist()))
         out.sort(key=lambda pair: pair[1])
         return out[:k]
 

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import keys as keymod
+from repro.core.store import ReservoirStore, make_store, normalize_store_name
 from repro.network.communicator import SimComm
 from repro.runtime.clock import PhaseClock
 from repro.runtime.machine import MachineSpec
@@ -51,6 +52,7 @@ class CentralizedGatherSampler:
         machine: Optional[MachineSpec] = None,
         weighted: bool = True,
         root: int = 0,
+        store: str = "merge",
         seed: Optional[int] = 0,
     ) -> None:
         self.k = check_positive_int(k, "k")
@@ -58,10 +60,11 @@ class CentralizedGatherSampler:
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         self.weighted = bool(weighted)
         self.root = comm.topology.validate_rank(root)
+        self.store = normalize_store_name(store)
         self._rngs = spawn_generators(seed, comm.p)
-        # Reservoir at the root: sorted arrays of keys and item ids.
-        self._keys = np.empty(0, dtype=np.float64)
-        self._ids = np.empty(0, dtype=np.int64)
+        # Reservoir at the root, behind the pluggable store protocol (the
+        # merge store reproduces the historic plain-sorted-array behaviour).
+        self._reservoir: ReservoirStore = make_store(self.store)
         self.threshold: Optional[float] = None
         self._items_seen = 0
         self._total_weight = 0.0
@@ -85,15 +88,15 @@ class CentralizedGatherSampler:
         return self._round
 
     def sample_size(self) -> int:
-        return int(self._keys.shape[0])
+        return len(self._reservoir)
 
     def sample_ids(self) -> np.ndarray:
         """Item ids of the current sample (held at the root)."""
-        return self._ids.copy()
+        return self._reservoir.ids_array()
 
     def sample_items(self) -> List[Tuple[int, float]]:
         """The current sample as ``(item id, key)`` pairs."""
-        return list(zip(self._ids.tolist(), self._keys.tolist()))
+        return [(item_id, key) for key, item_id in self._reservoir.items()]
 
     def preload(
         self,
@@ -117,9 +120,9 @@ class CentralizedGatherSampler:
             for key, item_id in items:
                 keys.append(float(key))
                 ids.append(int(item_id))
-        order = np.argsort(np.asarray(keys, dtype=np.float64))
-        self._keys = np.asarray(keys, dtype=np.float64)[order]
-        self._ids = np.asarray(ids, dtype=np.int64)[order]
+        self._reservoir.insert_batch(
+            np.asarray(keys, dtype=np.float64), np.asarray(ids, dtype=np.int64)
+        )
         self._items_seen = int(items_seen)
         self._total_weight = float(total_weight)
         self.threshold = float(threshold) if threshold is not None else None
@@ -194,24 +197,16 @@ class CentralizedGatherSampler:
         candidates_gathered = int(sum(candidate_keys[pe].shape[0] for pe in range(self.p)))
 
         # ---------------- select (sequential, at the root) ----------------
-        all_keys = np.concatenate([self._keys] + [np.asarray(g[:, 0]) for g in gathered])
-        all_ids = np.concatenate(
-            [self._ids] + [np.asarray(g[:, 1]).astype(np.int64) for g in gathered]
-        )
-        merged = int(all_keys.shape[0])
-        if merged > self.k:
-            order = np.argpartition(all_keys, self.k - 1)[: self.k]
-        else:
-            order = np.arange(merged)
-        sort_order = order[np.argsort(all_keys[order], kind="stable")]
-        self._keys = all_keys[sort_order]
-        self._ids = all_ids[sort_order]
+        new_keys = np.concatenate([np.asarray(g[:, 0]) for g in gathered])
+        new_ids = np.concatenate([np.asarray(g[:, 1]).astype(np.int64) for g in gathered])
+        merged = len(self._reservoir) + int(new_keys.shape[0])
+        self._reservoir.insert_batch(new_keys, new_ids, capacity=self.k)
         clock.charge("select", self.root, self.machine.sequential_select_time(merged))
 
         # ---------------- threshold (broadcast) ----------------
         new_threshold: Optional[float] = None
-        if self._keys.shape[0] >= self.k:
-            new_threshold = float(self._keys[-1])
+        if len(self._reservoir) >= self.k:
+            new_threshold = self._reservoir.max_key()
         with self.comm.phase("threshold"):
             broadcast = self.comm.broadcast([new_threshold] * self.p, root=self.root, words=1.0)
         self.threshold = broadcast[0]
@@ -236,5 +231,5 @@ class CentralizedGatherSampler:
             insertions_per_pe=insertions,
             candidates_gathered=candidates_gathered,
             selection_stats=None,
-            selection_ran=self._keys.shape[0] >= self.k,
+            selection_ran=len(self._reservoir) >= self.k,
         )

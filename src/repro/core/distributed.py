@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core import keys as keymod
 from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy
+from repro.core.store import normalize_store_name
 from repro.network.communicator import SimComm
 from repro.runtime.clock import PhaseClock
 from repro.runtime.machine import MachineSpec
@@ -75,6 +76,9 @@ class ReservoirKeySet(DistributedKeySet):
     def select_local(self, pe: int, rank: int) -> float:
         return self._reservoirs[pe].kth_key(rank)
 
+    def select_local_many(self, pe: int, ranks: np.ndarray) -> np.ndarray:
+        return self._reservoirs[pe].kth_keys(ranks)
+
     def keys_in_rank_range(self, pe: int, lo: int, hi: int) -> np.ndarray:
         return self._reservoirs[pe].keys_in_rank_range(lo, hi)
 
@@ -96,8 +100,12 @@ class DistributedReservoirSampler:
     weighted:
         ``True`` for weighted sampling (exponential keys/jumps), ``False``
         for uniform sampling (uniform keys, geometric jumps).
+    store:
+        Local reservoir store backend, ``"merge"`` (vectorized sorted-array
+        merge store, default) or ``"btree"`` (paper's data structure).
     backend:
-        Local reservoir backend, ``"btree"`` (paper) or ``"sorted_array"``.
+        Deprecated alias of ``store`` (kept for backwards compatibility;
+        takes precedence when given).
     local_thresholding:
         Enable the Section-5 first-batch local-thresholding optimisation.
     seed:
@@ -114,7 +122,8 @@ class DistributedReservoirSampler:
         selection: Optional[SelectionAlgorithm] = None,
         machine: Optional[MachineSpec] = None,
         weighted: bool = True,
-        backend: str = "btree",
+        store: str = "merge",
+        backend: Optional[str] = None,
         order: int = 16,
         local_thresholding: bool = True,
         seed: Optional[int] = 0,
@@ -124,10 +133,11 @@ class DistributedReservoirSampler:
         self.selection = selection if selection is not None else SinglePivotSelection()
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         self.weighted = bool(weighted)
-        self.backend = backend
+        self.store = normalize_store_name(backend if backend is not None else store)
+        self.backend = self.store  # deprecated alias
         self.local_thresholding = bool(local_thresholding)
         self.reservoirs: List[LocalReservoir] = [
-            LocalReservoir(backend=backend, order=order) for _ in range(comm.p)
+            LocalReservoir(backend=self.store, order=order) for _ in range(comm.p)
         ]
         self._rngs = spawn_generators(seed, comm.p)
         self._policy = LocalThresholdPolicy(self.k)
@@ -289,7 +299,7 @@ class DistributedReservoirSampler:
         use_policy = self.local_thresholding and self._policy.applies_to_batch(b + len(reservoir))
         if not use_policy:
             keys = self._generate_keys(batch, rng)
-            inserted = reservoir.insert_many(keys, batch.ids)
+            inserted = reservoir.insert_batch(keys, batch.ids)
         else:
             chunk = max(self._policy.refresh_size - self.k, 64)
             local_threshold: Optional[float] = None
@@ -299,13 +309,7 @@ class DistributedReservoirSampler:
                 stop = min(start + chunk, b)
                 sub = ItemBatch(ids=batch.ids[start:stop], weights=batch.weights[start:stop])
                 keys = self._generate_keys(sub, rng)
-                if local_threshold is not None:
-                    mask = keys < local_threshold
-                    keys = keys[mask]
-                    ids = sub.ids[mask]
-                else:
-                    ids = sub.ids
-                inserted += reservoir.insert_many(keys, ids)
+                inserted += reservoir.insert_batch(keys, sub.ids, threshold=local_threshold)
                 local_threshold, removed = self._policy.refresh_if_needed(reservoir)
                 pruned += removed
         clock.charge(
@@ -330,7 +334,7 @@ class DistributedReservoirSampler:
             # Skipping items is O(1) per accepted item for uniform sampling
             # (Corollary 4): only the accepted items cost local work.
             scan_time = self.machine.scan_time(len(idx), batch_size=b)
-        inserted = reservoir.insert_many(keys, batch.ids[idx])
+        inserted = reservoir.insert_batch(keys, batch.ids[idx])
         clock.charge(
             "insert",
             pe,

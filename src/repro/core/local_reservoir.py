@@ -3,18 +3,18 @@
 Each PE of the distributed sampler keeps the candidate items it has seen in
 a *local reservoir*: an ordered map from key to item id that supports
 
-* insertion of a new candidate,
+* insertion of new candidates (one item or a whole mini-batch at once),
 * ``count_le`` / ``kth_key`` (rank and select) queries — what the
   distributed selection needs,
 * pruning of all items whose keys exceed the new global threshold
   (Algorithm 1's ``splitAt``), and
 * a Bernoulli sample of the stored keys (pivot proposals).
 
-Two backends are provided: the paper's augmented **B+ tree**
-(:class:`repro.btree.BPlusTree`) and a numpy **sorted array**
-(:class:`SortedArrayStore`).  The sorted array has ``O(n)`` insertion but a
-tiny constant, and is used for the ablation study comparing the two (the
-paper briefly notes the gathering algorithm benefits from array storage).
+The storage itself is a pluggable :class:`~repro.core.store.ReservoirStore`
+backend: the paper's augmented **B+ tree** (``backend="btree"``) or the
+vectorized numpy **sorted-array merge store** (``backend="merge"``, the
+default; ``"sorted_array"`` is the historic alias).  See
+:mod:`repro.core.store` for the trade-offs and the ablation rationale.
 
 :class:`LocalThresholdPolicy` implements the first optimisation of
 Section 5: while no *global* threshold exists yet (fewer than ``k`` items
@@ -28,109 +28,51 @@ so the union of the local reservoirs always remains a valid sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.btree import BPlusTree
+from repro.core.store import MergeStore, ReservoirStore, make_store, normalize_store_name
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SortedArrayStore", "LocalReservoir", "LocalThresholdPolicy"]
 
 
-class SortedArrayStore:
-    """Keys and item ids kept in sorted numpy arrays.
+class SortedArrayStore(MergeStore):
+    """Backwards-compatible alias of :class:`repro.core.store.MergeStore`.
 
-    Single insertions are ``O(n)`` (array shift) but bulk insertions of
-    ``m`` items cost ``O(n + m log m)``, which in the mini-batch setting is
-    often the better trade-off; the distributed sampler inserts per batch.
+    Early versions of this library exposed the sorted-array backend under
+    this name; it is now exactly the merge store.
     """
 
-    def __init__(self) -> None:
-        self._keys = np.empty(0, dtype=np.float64)
-        self._ids = np.empty(0, dtype=np.int64)
-
-    def __len__(self) -> int:
-        return int(self._keys.shape[0])
-
-    def insert(self, key: float, item_id: int) -> None:
-        pos = int(np.searchsorted(self._keys, key, side="right"))
-        self._keys = np.insert(self._keys, pos, key)
-        self._ids = np.insert(self._ids, pos, item_id)
-
-    def insert_many(self, keys: np.ndarray, ids: np.ndarray) -> None:
-        if len(keys) == 0:
-            return
-        keys = np.asarray(keys, dtype=np.float64)
-        ids = np.asarray(ids, dtype=np.int64)
-        order = np.argsort(keys, kind="stable")
-        keys, ids = keys[order], ids[order]
-        merged_keys = np.concatenate([self._keys, keys])
-        merged_ids = np.concatenate([self._ids, ids])
-        order = np.argsort(merged_keys, kind="stable")
-        self._keys = merged_keys[order]
-        self._ids = merged_ids[order]
-
-    def count_le(self, key: float) -> int:
-        return int(np.searchsorted(self._keys, key, side="right"))
-
-    def count_less(self, key: float) -> int:
-        return int(np.searchsorted(self._keys, key, side="left"))
-
-    def kth_key(self, rank: int) -> float:
-        return float(self._keys[rank - 1])
-
-    def max_key(self) -> float:
-        if not len(self):
-            raise IndexError("empty store has no max key")
-        return float(self._keys[-1])
-
-    def min_key(self) -> float:
-        if not len(self):
-            raise IndexError("empty store has no min key")
-        return float(self._keys[0])
-
-    def truncate_to_rank(self, keep: int) -> int:
-        removed = max(0, len(self) - keep)
-        if removed:
-            self._keys = self._keys[:keep].copy()
-            self._ids = self._ids[:keep].copy()
-        return removed
-
-    def keys_array(self) -> np.ndarray:
-        return self._keys.copy()
-
-    def keys_in_rank_range(self, lo: int, hi: int) -> np.ndarray:
-        return self._keys[lo:hi].copy()
-
-    def items(self) -> Iterable[Tuple[float, int]]:
-        return zip(self._keys.tolist(), self._ids.tolist())
-
-    def ids_array(self) -> np.ndarray:
-        return self._ids.copy()
+    name = "sorted_array"
 
 
 class LocalReservoir:
-    """A PE's local reservoir with a pluggable ordered-map backend.
+    """A PE's local reservoir with a pluggable ordered-map store backend.
 
     Parameters
     ----------
     backend:
-        ``"btree"`` (paper's data structure) or ``"sorted_array"``.
+        ``"merge"`` (vectorized numpy sorted-array merge store, default),
+        ``"btree"`` (paper's data structure) or ``"sorted_array"`` (alias
+        of ``"merge"``).
     order:
-        Fan-out of the B+ tree backend.
+        Fan-out of the B+ tree backend (ignored by the merge store).
     """
 
-    def __init__(self, backend: str = "btree", *, order: int = 16) -> None:
-        if backend not in ("btree", "sorted_array"):
-            raise ValueError(f"unknown backend {backend!r}; use 'btree' or 'sorted_array'")
-        self.backend = backend
-        self._tree: Optional[BPlusTree] = BPlusTree(order=order) if backend == "btree" else None
-        self._array: Optional[SortedArrayStore] = SortedArrayStore() if backend == "sorted_array" else None
+    def __init__(self, backend: str = "merge", *, order: int = 16) -> None:
+        self.backend = normalize_store_name(backend)
+        self._store: ReservoirStore = make_store(self.backend, order=order)
 
     # ------------------------------------------------------------------
+    @property
+    def store(self) -> ReservoirStore:
+        """The underlying store backend."""
+        return self._store
+
     def __len__(self) -> int:
-        return len(self._tree) if self._tree is not None else len(self._array)
+        return len(self._store)
 
     @property
     def size(self) -> int:
@@ -138,10 +80,7 @@ class LocalReservoir:
 
     def insert(self, key: float, item_id: int) -> None:
         """Insert one candidate item."""
-        if self._tree is not None:
-            self._tree.insert(float(key), int(item_id))
-        else:
-            self._array.insert(float(key), int(item_id))
+        self._store.insert(float(key), int(item_id))
 
     def insert_many(self, keys: Sequence[float], ids: Sequence[int]) -> int:
         """Insert several candidates; returns how many were inserted."""
@@ -149,68 +88,69 @@ class LocalReservoir:
         ids = np.asarray(ids, dtype=np.int64)
         if keys.shape[0] != ids.shape[0]:
             raise ValueError("keys and ids must have equal length")
-        if self._tree is not None:
-            for key, item_id in zip(keys.tolist(), ids.tolist()):
-                self._tree.insert(key, item_id)
-        else:
-            self._array.insert_many(keys, ids)
-        return int(keys.shape[0])
+        return self._store.insert_batch(keys, ids)
+
+    def insert_batch(
+        self,
+        keys: np.ndarray,
+        ids: np.ndarray,
+        *,
+        threshold: Optional[float] = None,
+        capacity: Optional[int] = None,
+    ) -> int:
+        """Batch ingestion with optional threshold prefilter and capacity.
+
+        The hot path of the distributed sampler: keys at or above
+        ``threshold`` are dropped before any insertion work happens, the
+        survivors are merged in one pass (for the merge store), and the
+        reservoir is truncated to its ``capacity`` smallest items.
+        Returns the number of items inserted (post-filter, pre-truncate).
+        """
+        return self._store.insert_batch(keys, ids, threshold=threshold, capacity=capacity)
 
     # -- queries -----------------------------------------------------------
     def count_le(self, key: float) -> int:
-        return self._tree.count_le(key) if self._tree is not None else self._array.count_le(key)
+        return self._store.count_le(key)
 
     def count_less(self, key: float) -> int:
-        return self._tree.count_less(key) if self._tree is not None else self._array.count_less(key)
+        return self._store.count_less(key)
 
     def kth_key(self, rank: int) -> float:
         """The ``rank``-th smallest key (1-based)."""
         if not 1 <= rank <= len(self):
             raise IndexError(f"rank {rank} out of range for reservoir of size {len(self)}")
-        if self._tree is not None:
-            return float(self._tree.select(rank - 1)[0])
-        return self._array.kth_key(rank)
+        return self._store.kth_key(rank)
+
+    def kth_keys(self, ranks: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`kth_key`: keys for an array of 1-based ranks."""
+        return self._store.kth_keys(np.asarray(ranks, dtype=np.int64))
 
     def max_key(self) -> float:
-        if self._tree is not None:
-            return float(self._tree.max_key())
-        return self._array.max_key()
+        return self._store.max_key()
 
     def min_key(self) -> float:
-        if self._tree is not None:
-            return float(self._tree.min_key())
-        return self._array.min_key()
+        return self._store.min_key()
 
     def keys_array(self) -> np.ndarray:
         """All keys in increasing order."""
-        if self._tree is not None:
-            return self._tree.keys_array()
-        return self._array.keys_array()
+        return self._store.keys_array()
 
     def keys_in_rank_range(self, lo: int, hi: int) -> np.ndarray:
         """Keys with 0-based local ranks in ``[lo, hi)``."""
-        if self._tree is not None:
-            return np.array([k for k, _ in self._tree.items_in_rank_range(lo, hi)], dtype=np.float64)
-        return self._array.keys_in_rank_range(lo, hi)
+        return self._store.keys_in_rank_range(lo, hi)
 
     def items(self) -> List[Tuple[float, int]]:
         """(key, item id) pairs in increasing key order."""
-        if self._tree is not None:
-            return list(self._tree.items())
-        return list(self._array.items())
+        return list(self._store.items())
 
     def item_ids(self) -> np.ndarray:
         """Item ids currently stored (in increasing key order)."""
-        if self._tree is not None:
-            return np.fromiter(self._tree.values(), dtype=np.int64, count=len(self._tree))
-        return self._array.ids_array()
+        return self._store.ids_array()
 
     # -- pruning -------------------------------------------------------------
     def prune_to_rank(self, keep: int) -> int:
         """Keep only the ``keep`` smallest items; returns how many were removed."""
-        if self._tree is not None:
-            return self._tree.truncate_to_rank(keep)
-        return self._array.truncate_to_rank(keep)
+        return self._store.truncate_to_rank(keep)
 
     def prune_above_key(self, key: float, *, inclusive: bool = True) -> int:
         """Discard items with keys above ``key`` (keeping ties when inclusive)."""
@@ -229,7 +169,7 @@ class LocalReservoir:
         ranks = np.sort(rng.choice(size, size=count, replace=False))
         if limit is not None:
             ranks = ranks[:limit]
-        return np.array([self.kth_key(int(r) + 1) for r in ranks], dtype=np.float64)
+        return self._store.kth_keys(ranks + 1)
 
 
 @dataclass(frozen=True)

@@ -102,6 +102,8 @@ class RunMetrics:
     p: int
     k: int
     algorithm: str
+    #: reservoir store backend the run used ("merge", "btree", or "" when unknown)
+    store: str = ""
     rounds: List[RoundMetrics] = field(default_factory=list)
 
     def add_round(self, metrics: RoundMetrics) -> None:
@@ -174,6 +176,7 @@ class RunMetrics:
             "p": self.p,
             "k": self.k,
             "algorithm": self.algorithm,
+            "store": self.store,
             "rounds": self.num_rounds,
             "total_items": self.total_items,
             "simulated_time": self.simulated_time,

@@ -43,6 +43,7 @@ class StreamingSimulation:
             p=sampler.p,
             k=int(getattr(sampler, "k", 0)),
             algorithm=str(getattr(sampler, "algorithm_name", type(sampler).__name__)),
+            store=str(getattr(sampler, "store", "")),
         )
 
     # ------------------------------------------------------------------

@@ -61,6 +61,15 @@ class DistributedKeySet(abc.ABC):
         """Keys of PE ``pe`` with local 0-based ranks in ``[lo, hi)``, sorted."""
 
     # -- conveniences with default implementations -------------------------
+    def select_local_many(self, pe: int, ranks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`select_local` for an array of 1-based ranks.
+
+        Backends with array storage override this with a single fancy-index
+        operation; the default falls back to one query per rank.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        return np.array([self.select_local(pe, int(r)) for r in ranks], dtype=np.float64)
+
     def total_size(self) -> int:
         """Total number of keys across all PEs (computed locally by the driver)."""
         return sum(self.local_size(pe) for pe in range(self.p))

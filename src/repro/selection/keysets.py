@@ -63,6 +63,13 @@ class ArrayKeySet(DistributedKeySet):
             raise IndexError(f"local rank {rank} out of range for PE {pe} with {arr.shape[0]} keys")
         return float(arr[rank - 1])
 
+    def select_local_many(self, pe: int, ranks: np.ndarray) -> np.ndarray:
+        arr = self._arrays[pe]
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size and (ranks.min() < 1 or ranks.max() > arr.shape[0]):
+            raise IndexError(f"local ranks out of range for PE {pe} with {arr.shape[0]} keys")
+        return arr[ranks - 1].copy()
+
     def keys_in_rank_range(self, pe: int, lo: int, hi: int) -> np.ndarray:
         arr = self._arrays[pe]
         lo = max(0, int(lo))

@@ -257,10 +257,7 @@ class PivotSelection(SelectionAlgorithm):
                 positions = np.sort(positions)[:d]
             else:
                 positions = np.sort(positions)[-d:]
-            keys = np.array(
-                [keyset.select_local(pe, lo[pe] + int(pos) + 1) for pos in positions],
-                dtype=np.float64,
-            )
+            keys = keyset.select_local_many(pe, lo[pe] + positions.astype(np.int64) + 1)
             contributions.append(np.sort(keys))
         op = _merge_smallest(d) if from_below else _merge_largest(d)
         merged = comm.allreduce(contributions, op, words=float(d))[0]

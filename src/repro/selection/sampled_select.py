@@ -110,9 +110,7 @@ class SampledSelection(SelectionAlgorithm):
                     contributions.append(np.empty(0, dtype=np.float64))
                     continue
                 positions = np.sort(rngs[pe].choice(m, size=count, replace=False))
-                keys = np.array(
-                    [keyset.select_local(pe, int(pos) + 1) for pos in positions], dtype=np.float64
-                )
+                keys = keyset.select_local_many(pe, positions.astype(np.int64) + 1)
                 contributions.append(keys)
             gathered = comm.gather(
                 contributions, root=0, words_per_pe=[float(c.shape[0]) for c in contributions]

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.experiments import (
-    ExperimentResult,
     ScalingConfig,
     run_configuration,
     run_strong_scaling,

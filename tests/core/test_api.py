@@ -152,3 +152,36 @@ class TestTopLevelExports:
     def test_all_list_is_importable(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+
+class TestStoreThreading:
+    """The store backend choice must reach every layer from the facades."""
+
+    def test_reservoir_sampler_store_param(self):
+        from repro.core import ReservoirSampler
+
+        sampler = ReservoirSampler(k=10, weighted=True, seed=0, store="merge")
+        sampler.feed(np.arange(100), np.ones(100))
+        assert len(sampler.sample_ids()) == 10
+        uniform = ReservoirSampler(k=5, weighted=False, seed=0, store="btree")
+        uniform.feed(np.arange(50))
+        assert len(uniform.sample_ids()) == 5
+
+    def test_make_distributed_sampler_store(self):
+        from repro.core import make_distributed_sampler
+        from repro.network import SimComm
+
+        for algorithm in ("ours", "ours-8", "ours-variable", "gather"):
+            for store in ("btree", "merge"):
+                sampler = make_distributed_sampler(algorithm, 8, SimComm(2), store=store)
+                assert sampler.store == store, (algorithm, store)
+        legacy = make_distributed_sampler("ours", 8, SimComm(2), backend="sorted_array")
+        assert legacy.store == "merge"
+
+    def test_run_metrics_record_store(self):
+        from repro.core import DistributedSamplingRun
+
+        run = DistributedSamplingRun("ours", k=10, p=2, batch_size=30, store="btree", seed=3)
+        run.run(2)
+        assert run.metrics.store == "btree"
+        assert run.metrics.as_dict()["store"] == "btree"

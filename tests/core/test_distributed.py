@@ -118,12 +118,21 @@ class TestInvariants:
 
 
 class TestBackendsAndSelections:
-    @pytest.mark.parametrize("backend", ["btree", "sorted_array"])
+    @pytest.mark.parametrize("backend", ["btree", "merge", "sorted_array"])
     def test_backends_agree_on_sample_size(self, backend):
         sampler = make_sampler(p=4, k=20, backend=backend)
         stream = MiniBatchStream(4, 30, seed=9)
         run_rounds(sampler, stream, 4)
         assert sampler.sample_size() == 20
+
+    def test_store_kwarg_and_backend_alias(self):
+        assert make_sampler(store="btree").store == "btree"
+        assert make_sampler(store="merge").store == "merge"
+        # deprecated alias still works and takes precedence
+        assert make_sampler(backend="sorted_array").store == "merge"
+        assert make_sampler().store == "merge"
+        with pytest.raises(ValueError):
+            make_sampler(store="skiplist")
 
     @pytest.mark.parametrize(
         "selection", [SinglePivotSelection(), MultiPivotSelection(4), MultiPivotSelection(8)],

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import LocalReservoir, LocalThresholdPolicy, SortedArrayStore
 
-BACKENDS = ["btree", "sorted_array"]
+BACKENDS = ["btree", "merge", "sorted_array"]
 
 
 class TestSortedArrayStore:
@@ -145,6 +145,25 @@ class TestLocalReservoir:
     def test_sample_keys_on_empty(self, backend, rng):
         reservoir = LocalReservoir(backend=backend)
         assert reservoir.sample_keys(0.5, rng).shape == (0,)
+
+    def test_kth_keys_vectorized_matches_loop(self, backend, rng):
+        """Regression: the vectorized rank query must agree with the old
+        element-by-element kth_key loop."""
+        reservoir = LocalReservoir(backend=backend)
+        reservoir.insert_many(rng.random(64), np.arange(64))
+        ranks = np.array([1, 2, 13, 40, 64])
+        expected = np.array([reservoir.kth_key(int(r)) for r in ranks])
+        np.testing.assert_allclose(reservoir.kth_keys(ranks), expected)
+
+    def test_insert_batch_threshold_and_capacity(self, backend, rng):
+        reservoir = LocalReservoir(backend=backend)
+        keys = rng.random(200)
+        inserted = reservoir.insert_batch(keys, np.arange(200), threshold=0.5, capacity=30)
+        assert inserted == int(np.sum(keys < 0.5))
+        assert len(reservoir) == min(30, inserted)
+        np.testing.assert_allclose(
+            reservoir.keys_array(), np.sort(keys[keys < 0.5])[:30]
+        )
 
 
 class TestLocalReservoirConstruction:

@@ -175,3 +175,79 @@ class TestAgreementWithDenseSampler:
             counts[sampler.sample_ids()] += 1
         freq = counts / trials
         np.testing.assert_allclose(freq, np.full(n, k / n), atol=0.05)
+
+
+class TestStoreBackedSequentialSamplers:
+    """The vectorized store-backed batch path must stay a correct sampler."""
+
+    def test_weighted_store_single_draw_matches_weights(self):
+        from repro.stream import ItemBatch
+
+        weights = np.array([1.0, 2.0, 4.0, 8.0])
+        counts = np.zeros(4)
+        trials = 3000
+        for seed in range(trials):
+            sampler = SequentialWeightedReservoir(k=1, seed=seed, store="merge")
+            sampler.process(ItemBatch(ids=np.arange(4), weights=weights))
+            counts[sampler.sample_ids()[0]] += 1
+        freq = counts / trials
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.03)
+
+    def test_weighted_store_invariants(self):
+        from repro.stream import ItemBatch
+
+        rng = np.random.default_rng(5)
+        sampler = SequentialWeightedReservoir(k=20, seed=9, store="merge")
+        for start in range(0, 300, 60):
+            ids = np.arange(start, start + 60)
+            sampler.process(ItemBatch(ids=ids, weights=rng.uniform(0.5, 3.0, 60)))
+        assert sampler.size == 20
+        assert sampler.items_seen == 300
+        assert sampler.threshold is not None
+        sample = sampler.sample()
+        assert len(sample) == 20
+        assert all(w > 0 for _, w in sample)
+        triples = sampler.sample_with_keys()
+        keys = [key for key, _, _ in triples]
+        assert keys == sorted(keys)
+        assert max(keys) == pytest.approx(sampler.threshold)
+
+    def test_uniform_store_inclusion_probability(self):
+        from repro.stream import ItemBatch
+
+        n, k, trials = 30, 6, 1200
+        counts = np.zeros(n)
+        for seed in range(trials):
+            sampler = SequentialUniformReservoir(k=k, seed=seed, store="merge")
+            sampler.process(ItemBatch(ids=np.arange(n), weights=np.ones(n)))
+            counts[sampler.sample_ids()] += 1
+        np.testing.assert_allclose(counts / trials, np.full(n, k / n), atol=0.06)
+
+    def test_store_backed_single_insert(self):
+        sampler = SequentialUniformReservoir(k=3, seed=1, store="btree")
+        for i in range(10):
+            sampler.insert(i)
+        assert sampler.size == 3
+        assert sampler.items_seen == 10
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialWeightedReservoir(k=5, store="skiplist")
+
+    def test_insertion_count_matches_reservoir_entries(self):
+        """Regression: the store path must count items that actually entered
+        the reservoir, not every item that merely passed the prefilter."""
+        from repro.stream import ItemBatch
+
+        rng = np.random.default_rng(11)
+        sampler = SequentialWeightedReservoir(k=20, seed=2, store="merge")
+        first = sampler.process(
+            ItemBatch(ids=np.arange(10_000), weights=rng.uniform(0.5, 2.0, 10_000))
+        )
+        assert first <= 20  # NOT 10_000: only k items can enter a k-reservoir
+        assert sampler.insertions == first
+        later = sampler.process(
+            ItemBatch(ids=np.arange(10_000, 11_000), weights=rng.uniform(0.5, 2.0, 1_000))
+        )
+        assert 0 <= later <= 20
+        assert sampler.insertions == first + later

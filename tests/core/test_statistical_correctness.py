@@ -9,7 +9,10 @@ algorithm produces genuine weighted/uniform samples without replacement:
 * uniform samplers: inclusion probability ``k / n`` for every item,
 * agreement between the jump kernels and the dense kernels.
 
-All tests use fixed seeds and generous tolerances so they are deterministic.
+All tests use fixed seeds and generous tolerances so they are deterministic,
+and every distributed trial is exercised under both reservoir store
+backends ("btree" and "merge") via the module-level ``store`` fixture —
+the sampling distribution must not depend on the storage data structure.
 """
 
 import numpy as np
@@ -18,7 +21,6 @@ from scipy import stats
 
 from repro.analysis.statistics import (
     chi_square_statistic,
-    inclusion_counts,
     total_variation_distance,
     weighted_inclusion_reference,
 )
@@ -52,6 +54,12 @@ ROUNDS = 3
 TRIALS = 400
 
 
+@pytest.fixture(params=["btree", "merge"], ids=["store-btree", "store-merge"])
+def store(request):
+    """Reservoir store backend each distributed trial runs under."""
+    return request.param
+
+
 @pytest.fixture(scope="module")
 def weighted_setup():
     rng = np.random.default_rng(7)
@@ -63,12 +71,12 @@ def weighted_setup():
 class TestSingleDrawExactness:
     """k = 1: the inclusion probability of item i is exactly w_i / W."""
 
-    def test_distributed_weighted_single_draw(self, weighted_setup):
+    def test_distributed_weighted_single_draw(self, weighted_setup, store):
         ids, weights = weighted_setup
         counts = np.zeros(N_ITEMS)
         for seed in range(TRIALS):
             sample = run_distributed_trial(
-                lambda s: DistributedReservoirSampler(1, SimComm(P), seed=s),
+                lambda s: DistributedReservoirSampler(1, SimComm(P), seed=s, store=store),
                 ids, weights, P, ROUNDS, seed,
             )
             counts[sample] += 1
@@ -78,12 +86,12 @@ class TestSingleDrawExactness:
         assert statistic < stats.chi2.ppf(0.9999, dof), (statistic, dof)
         assert total_variation_distance(counts, expected) < 0.12
 
-    def test_centralized_weighted_single_draw(self, weighted_setup):
+    def test_centralized_weighted_single_draw(self, weighted_setup, store):
         ids, weights = weighted_setup
         counts = np.zeros(N_ITEMS)
         for seed in range(TRIALS):
             sample = run_distributed_trial(
-                lambda s: CentralizedGatherSampler(1, SimComm(P), seed=s),
+                lambda s: CentralizedGatherSampler(1, SimComm(P), seed=s, store=store),
                 ids, weights, P, ROUNDS, seed,
             )
             counts[sample] += 1
@@ -95,13 +103,13 @@ class TestSingleDrawExactness:
 class TestInclusionFrequenciesAgainstReference:
     """k > 1: compare against the dense reference sampler's frequencies."""
 
-    def test_distributed_matches_dense_reference(self, weighted_setup):
+    def test_distributed_matches_dense_reference(self, weighted_setup, store):
         ids, weights = weighted_setup
         k = 6
         counts = np.zeros(N_ITEMS)
         for seed in range(TRIALS):
             sample = run_distributed_trial(
-                lambda s: DistributedReservoirSampler(k, SimComm(P), seed=s),
+                lambda s: DistributedReservoirSampler(k, SimComm(P), seed=s, store=store),
                 ids, weights, P, ROUNDS, seed,
             )
             counts[sample] += 1
@@ -113,13 +121,13 @@ class TestInclusionFrequenciesAgainstReference:
         heavy, light = np.argmax(weights), np.argmin(weights)
         assert observed[heavy] > observed[light]
 
-    def test_gather_matches_dense_reference(self, weighted_setup):
+    def test_gather_matches_dense_reference(self, weighted_setup, store):
         ids, weights = weighted_setup
         k = 6
         counts = np.zeros(N_ITEMS)
         for seed in range(TRIALS):
             sample = run_distributed_trial(
-                lambda s: CentralizedGatherSampler(k, SimComm(P), seed=s),
+                lambda s: CentralizedGatherSampler(k, SimComm(P), seed=s, store=store),
                 ids, weights, P, ROUNDS, seed,
             )
             counts[sample] += 1
@@ -147,14 +155,14 @@ class TestInclusionFrequenciesAgainstReference:
 
 
 class TestUniformSampling:
-    def test_uniform_inclusion_probability_is_k_over_n(self):
+    def test_uniform_inclusion_probability_is_k_over_n(self, store):
         ids = np.arange(N_ITEMS)
         weights = np.ones(N_ITEMS)
         k = 6
         counts = np.zeros(N_ITEMS)
         for seed in range(TRIALS):
             sample = run_distributed_trial(
-                lambda s: DistributedUniformReservoirSampler(k, SimComm(P), seed=s),
+                lambda s: DistributedUniformReservoirSampler(k, SimComm(P), seed=s, store=store),
                 ids, weights, P, ROUNDS, seed,
             )
             counts[sample] += 1

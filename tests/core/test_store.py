@@ -1,0 +1,129 @@
+"""Unit tests for the pluggable reservoir store backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import BTreeStore, MergeStore, make_store
+from repro.core.store import STORE_BACKENDS, normalize_store_name
+
+BACKENDS = ["btree", "merge"]
+
+
+class TestFactory:
+    def test_make_store_by_name(self):
+        assert isinstance(make_store("merge"), MergeStore)
+        assert isinstance(make_store("btree"), BTreeStore)
+        # historic alias resolves to the merge store
+        assert isinstance(make_store("sorted_array"), MergeStore)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_store("skiplist")
+        with pytest.raises(ValueError):
+            normalize_store_name("")
+
+    def test_normalize_folds_alias(self):
+        assert normalize_store_name("sorted_array") == "merge"
+        assert normalize_store_name("BTREE") == "btree"
+        assert set(STORE_BACKENDS) == {"btree", "merge", "sorted_array"}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStoreBasics:
+    def test_insert_and_rank_queries(self, backend, rng):
+        store = make_store(backend)
+        keys = rng.random(150)
+        for i, key in enumerate(keys):
+            store.insert(float(key), i)
+        ordered = np.sort(keys)
+        assert len(store) == 150
+        assert store.min_key() == pytest.approx(ordered[0])
+        assert store.max_key() == pytest.approx(ordered[-1])
+        assert store.kth_key(40) == pytest.approx(ordered[39])
+        query = float(rng.random())
+        assert store.count_le(query) == int(np.sum(keys <= query))
+        assert store.count_less(query) == int(np.sum(keys < query))
+
+    def test_insert_batch_threshold_prefilter(self, backend, rng):
+        store = make_store(backend)
+        keys = rng.random(500)
+        inserted = store.insert_batch(keys, np.arange(500), threshold=0.25)
+        assert inserted == int(np.sum(keys < 0.25))
+        assert len(store) == inserted
+        if inserted:
+            assert store.max_key() < 0.25
+
+    def test_insert_batch_capacity_truncates(self, backend, rng):
+        store = make_store(backend)
+        keys = rng.random(300)
+        store.insert_batch(keys, np.arange(300), capacity=64)
+        assert len(store) == 64
+        np.testing.assert_allclose(store.keys_array(), np.sort(keys)[:64])
+
+    def test_insert_batch_empty_and_mismatch(self, backend):
+        store = make_store(backend)
+        assert store.insert_batch(np.empty(0), np.empty(0, dtype=np.int64)) == 0
+        with pytest.raises(ValueError):
+            store.insert_batch(np.array([0.1, 0.2]), np.array([1]))
+
+    def test_kth_keys_matches_scalar_queries(self, backend, rng):
+        """Regression for the element-by-element rank-query loop: the
+        vectorized kth_keys must agree with repeated kth_key calls."""
+        store = make_store(backend)
+        store.insert_batch(rng.random(80), np.arange(80))
+        ranks = np.array([1, 5, 17, 42, 80])
+        expected = np.array([store.kth_key(int(r)) for r in ranks])
+        np.testing.assert_allclose(store.kth_keys(ranks), expected)
+
+    def test_kth_keys_out_of_range(self, backend, rng):
+        store = make_store(backend)
+        store.insert_batch(rng.random(10), np.arange(10))
+        with pytest.raises(IndexError):
+            store.kth_keys(np.array([0]))
+        with pytest.raises(IndexError):
+            store.kth_keys(np.array([11]))
+        assert store.kth_keys(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_extraction_and_truncate(self, backend, rng):
+        store = make_store(backend)
+        keys = rng.random(50)
+        store.insert_batch(keys, np.arange(50))
+        np.testing.assert_allclose(store.keys_array(), np.sort(keys))
+        assert store.ids_array().tolist() == np.argsort(keys, kind="stable").tolist()
+        np.testing.assert_allclose(
+            store.keys_in_rank_range(10, 20), np.sort(keys)[10:20]
+        )
+        removed = store.truncate_to_rank(30)
+        assert removed == 20 and len(store) == 30
+
+    def test_empty_extremes_raise(self, backend):
+        store = make_store(backend)
+        with pytest.raises(IndexError):
+            store.max_key()
+        with pytest.raises(IndexError):
+            store.min_key()
+
+    def test_items_in_key_order(self, backend):
+        store = make_store(backend)
+        store.insert(0.5, 7)
+        store.insert(0.1, 3)
+        assert list(store.items()) == [(0.1, 3), (0.5, 7)]
+
+
+class TestTieOrdering:
+    """Equal keys must keep existing entries before newly inserted ones in
+    BOTH backends, otherwise the backends drift apart on tied keys."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_existing_before_new_on_ties(self, backend):
+        store = make_store(backend)
+        store.insert_batch(np.array([0.5, 0.5]), np.array([1, 2]))
+        store.insert_batch(np.array([0.5]), np.array([3]))
+        assert store.ids_array().tolist() == [1, 2, 3]
+
+    def test_backends_agree_on_ties(self):
+        a, b = make_store("btree"), make_store("merge")
+        for store in (a, b):
+            store.insert_batch(np.array([0.3, 0.3, 0.1]), np.array([10, 11, 12]))
+            store.insert_batch(np.array([0.3, 0.1]), np.array([13, 14]))
+        assert a.ids_array().tolist() == b.ids_array().tolist()

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.network import CostLedger, CostParameters, SimComm
+from repro.network import CostLedger, SimComm
 
 
 class TestCollectiveResults:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import DistributedReservoirSampler
 from repro.network import SimComm
-from repro.runtime import MachineSpec, StreamingSimulation
+from repro.runtime import StreamingSimulation
 from repro.stream import MiniBatchStream
 
 

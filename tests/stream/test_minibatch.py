@@ -5,7 +5,6 @@ import pytest
 
 from repro.stream import (
     BatchSizeSchedule,
-    ItemBatch,
     MiniBatchStream,
     RecordingStream,
     UnitWeightGenerator,
