@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Check that relative markdown links and file references resolve.
+
+Scans README.md, ROADMAP.md, CHANGES.md and every page under docs/ for
+
+* markdown links ``[text](target)`` pointing at local files/anchors, and
+* backtick-quoted repo paths like ``benchmarks/bench_smoke.py``
+
+and fails when a referenced file does not exist.  External (http/https/
+mailto) links are not fetched — this is a repository-consistency check,
+not a crawler.  Used by the CI ``docs`` job; pure standard library.
+
+    python docs/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: files scanned for links (docs/ pages are discovered automatically)
+TOP_LEVEL = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"]
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: backtick path like `benchmarks/bench_smoke.py` or `docs/api` — requires
+#: a slash and an alphanumeric start so code spans don't false-positive
+TICK_PATH = re.compile(r"`([A-Za-z0-9_.\-]+/[A-Za-z0-9_./\-]+?)/?`")
+
+
+def iter_files():
+    for name in TOP_LEVEL:
+        path = REPO_ROOT / name
+        if path.exists():
+            yield path
+    yield from sorted((REPO_ROOT / "docs").rglob("*.md"))
+
+
+def check_md_link(source: Path, target: str) -> str | None:
+    if target.startswith(("http://", "https://", "mailto:")):
+        return None
+    target = target.split("#", 1)[0]
+    if not target:  # pure anchor
+        return None
+    resolved = (source.parent / target).resolve()
+    if not resolved.exists():
+        return f"{source.relative_to(REPO_ROOT)}: broken link -> {target}"
+    return None
+
+
+def check_tick_path(source: Path, target: str) -> str | None:
+    # Only treat it as a repo path if the first segment exists as a
+    # top-level directory; `repro.core.store.ReservoirStore`-style dotted
+    # names and shell fragments fall through.
+    first = target.split("/", 1)[0]
+    if not (REPO_ROOT / first).is_dir():
+        return None
+    if any(ch in target for ch in "*{}$<>"):
+        return None  # glob or placeholder, not a literal path
+    if not (REPO_ROOT / target).exists():
+        return f"{source.relative_to(REPO_ROOT)}: missing path -> {target}"
+    return None
+
+
+def main() -> int:
+    failures: list[str] = []
+    for path in iter_files():
+        text = path.read_text()
+        for match in MD_LINK.finditer(text):
+            failure = check_md_link(path, match.group(1))
+            if failure:
+                failures.append(failure)
+        for match in TICK_PATH.finditer(text):
+            failure = check_tick_path(path, match.group(1))
+            if failure:
+                failures.append(failure)
+    if failures:
+        print("BROKEN CROSS-REFERENCES:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("all cross-references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Generate the markdown API reference from the package docstrings.
+
+Walks every ``repro`` sub-package, documents all public symbols (package
+``__all__`` plus each module's ``__all__``) with their signatures and
+docstrings, and writes one markdown page per sub-package into
+``docs/api/``.  Pure standard library — no sphinx/mkdocs plugins needed —
+so the reference can be regenerated anywhere the package imports:
+
+    PYTHONPATH=src python docs/gen_api_reference.py
+
+The CI ``docs`` job regenerates the reference and fails when the committed
+pages are stale; ``tests/docs/test_docs_tooling.py`` asserts that every
+public symbol of ``repro.core`` and ``repro.network`` is covered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+#: sub-packages documented, in navigation order
+PACKAGES = [
+    "repro.core",
+    "repro.network",
+    "repro.runtime",
+    "repro.selection",
+    "repro.stream",
+    "repro.btree",
+    "repro.analysis",
+    "repro.utils",
+]
+
+
+def clean_doc(obj) -> str:
+    doc = inspect.getdoc(obj)
+    return doc.strip() if doc else "*Undocumented.*"
+
+
+def first_line(obj) -> str:
+    return clean_doc(obj).splitlines()[0]
+
+
+def format_signature(name: str, obj) -> str:
+    try:
+        sig = inspect.signature(obj)
+    except (ValueError, TypeError):
+        return name
+    # Drop annotations: they render noisily and their repr is less stable
+    # across Python versions than names and defaults.
+    params = [p.replace(annotation=inspect.Parameter.empty) for p in sig.parameters.values()]
+    sig = sig.replace(parameters=params, return_annotation=inspect.Signature.empty)
+    return f"{name}{sig}"
+
+
+def document_class(name: str, cls) -> list:
+    lines = [f"### `{name}`", ""]
+    bases = [b.__name__ for b in cls.__bases__ if b is not object]
+    if bases:
+        lines.append(f"*Class* — inherits from {', '.join(f'`{b}`' for b in bases)}.")
+    else:
+        lines.append("*Class.*")
+    lines += ["", clean_doc(cls), ""]
+    members = []
+    for attr_name, attr in sorted(vars(cls).items()):
+        if attr_name.startswith("_"):
+            continue
+        if isinstance(attr, property):
+            members.append((attr_name, f"`{attr_name}` *(property)* — {first_line(attr)}"))
+        elif inspect.isfunction(attr):
+            members.append(
+                (attr_name, f"`{format_signature(attr_name, attr)}` — {first_line(attr)}")
+            )
+        elif isinstance(attr, (classmethod, staticmethod)):
+            inner = attr.__func__
+            members.append(
+                (attr_name, f"`{format_signature(attr_name, inner)}` — {first_line(inner)}")
+            )
+    if members:
+        lines.append("**Members:**")
+        lines.append("")
+        for _, rendered in members:
+            lines.append(f"- {rendered}")
+        lines.append("")
+    return lines
+
+
+def document_symbol(name: str, obj) -> list:
+    if inspect.isclass(obj):
+        return document_class(name, obj)
+    if inspect.isfunction(obj):
+        return [f"### `{format_signature(name, obj)}`", "", "*Function.*", "", clean_doc(obj), ""]
+    rendered = repr(obj)
+    if len(rendered) > 120:
+        rendered = rendered[:117] + "..."
+    return [f"### `{name}`", "", f"*Constant* — `{rendered}`", ""]
+
+
+def iter_submodules(package):
+    yield package.__name__, package
+    for info in sorted(pkgutil.iter_modules(package.__path__), key=lambda i: i.name):
+        if info.name.startswith("_"):
+            continue
+        yield f"{package.__name__}.{info.name}", importlib.import_module(
+            f"{package.__name__}.{info.name}"
+        )
+
+
+def document_package(package_name: str) -> str:
+    package = importlib.import_module(package_name)
+    exported = list(getattr(package, "__all__", []))
+    lines = [f"# `{package_name}`", "", clean_doc(package), ""]
+    if exported:
+        lines += ["## Package exports", ""]
+        lines += [f"- `{name}`" for name in exported]
+        lines.append("")
+
+    documented = set()
+    for module_name, module in iter_submodules(package):
+        if module is package:
+            symbols = []  # package docstring already shown; symbols live in modules
+        else:
+            symbols = [s for s in getattr(module, "__all__", []) if s not in documented]
+            lines += [f"## Module `{module_name}`", "", first_line(module), ""]
+        for symbol in symbols:
+            obj = getattr(module, symbol)
+            lines += document_symbol(symbol, obj)
+            documented.add(symbol)
+
+    # package-level exports re-exported from elsewhere (e.g. repro.core.api
+    # symbols) that no submodule __all__ covered
+    missing = [name for name in exported if name not in documented]
+    if missing:
+        lines += ["## Re-exported symbols", ""]
+        for symbol in missing:
+            lines += document_symbol(symbol, getattr(package, symbol))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def generate(output_dir: Path) -> list:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for package_name in PACKAGES:
+        page = document_package(package_name)
+        path = output_dir / f"{package_name.replace('.', '_')}.md"
+        path.write_text(page)
+        written.append(path)
+    index = [
+        "# API reference",
+        "",
+        "Generated from the package docstrings by `docs/gen_api_reference.py`",
+        "(`PYTHONPATH=src python docs/gen_api_reference.py`).  Do not edit the",
+        "pages in this directory by hand.",
+        "",
+    ]
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        index.append(
+            f"- [`{package_name}`]({package_name.replace('.', '_')}.md) — {first_line(package)}"
+        )
+    index_path = output_dir / "index.md"
+    index_path.write_text("\n".join(index) + "\n")
+    written.append(index_path)
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=Path(__file__).parent / "api",
+        help="directory the markdown pages are written to (default: docs/api)",
+    )
+    args = parser.parse_args(argv)
+    written = generate(args.output)
+    print(f"wrote {len(written)} pages to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,16 @@
 """B+ tree substrate (paper Section 3.2).
 
-The local reservoirs of the distributed sampler are maintained as augmented
-B+ trees: search trees whose leaves hold the (key, item) pairs and whose
-inner nodes store separator keys plus subtree sizes, so that ``rank`` and
-``select`` queries run in logarithmic time.  Leaves are linked, which gives
-ordered iteration and next/previous access in constant time per step.
+The paper maintains each PE's local reservoir as an augmented B+ tree: a
+search tree whose leaves hold the (key, item) pairs and whose inner nodes
+store separator keys plus subtree sizes, so that ``rank`` and ``select``
+queries run in logarithmic time.  Leaves are linked, which gives ordered
+iteration and next/previous access in constant time per step.
+
+In this reproduction the tree backs the ``store="btree"`` reservoir
+backend (:class:`repro.core.store.BTreeStore`) — the paper-faithful data
+structure, kept for the ablation study — while the default ``"merge"``
+backend ingests whole mini-batches with vectorized numpy merges; see
+:mod:`repro.core.store` for the trade-offs.
 """
 
 from repro.btree.bplustree import BPlusTree

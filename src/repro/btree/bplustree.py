@@ -1,7 +1,7 @@
 """An augmented B+ tree with rank/select and suffix-split support.
 
-This is the search-tree substrate of the paper (Section 3.2): the local
-reservoirs of the distributed sampler are kept in B+ trees so that
+This is the search-tree substrate of the paper (Section 3.2), in which the
+local reservoirs of the distributed sampler are kept in B+ trees so that
 
 * inserting a new candidate item costs ``O(log n)``,
 * ``rank`` (how many stored keys are below a value) and ``select`` (the item

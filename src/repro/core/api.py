@@ -25,7 +25,7 @@ from repro.core.distributed import DistributedReservoirSampler
 from repro.core.sequential import SequentialUniformReservoir, SequentialWeightedReservoir
 from repro.core.store import normalize_store_name
 from repro.core.variable_size import VariableSizeReservoirSampler
-from repro.network.communicator import SimComm
+from repro.network.base import Communicator, make_communicator
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import RunMetrics
 from repro.selection.ams_select import AmsSelection
@@ -36,6 +36,32 @@ from repro.stream.minibatch import MiniBatchStream
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ReservoirSampler", "make_distributed_sampler", "DistributedSamplingRun"]
+
+CommLike = Union[str, Communicator]
+
+_SIM_ALIASES = ("sim", "simulated", "simcomm")
+
+
+def _resolve_comm(
+    comm: CommLike, p: Optional[int], machine: Optional[MachineSpec] = None
+) -> Communicator:
+    """Accept either a constructed communicator or a backend name + ``p``.
+
+    When the *simulated* backend is requested by name and a machine model
+    is given, its network constants (``machine.comm``) parameterise the
+    cost simulator, so local-work and communication times come from the
+    same machine description.
+    """
+    if isinstance(comm, Communicator):
+        return comm
+    if p is None:
+        raise ValueError(
+            f"comm={comm!r} names a backend, so the number of PEs must be given via p="
+        )
+    kwargs = {}
+    if machine is not None and comm.strip().lower() in _SIM_ALIASES:
+        kwargs["cost"] = machine.comm
+    return make_communicator(comm, p, **kwargs)
 
 
 class ReservoirSampler:
@@ -105,8 +131,9 @@ class ReservoirSampler:
 def make_distributed_sampler(
     algorithm: str,
     k: int,
-    comm: SimComm,
+    comm: CommLike,
     *,
+    p: Optional[int] = None,
     machine: Optional[MachineSpec] = None,
     weighted: bool = True,
     seed: Optional[int] = 0,
@@ -124,10 +151,18 @@ def make_distributed_sampler(
     * ``"ours-variable"`` — variable reservoir size in ``[k, k_hi]`` (Section 4.4),
     * ``"gather"`` — the centralized gathering baseline (Section 4.5).
 
+    ``comm`` selects the execution backend: an already constructed
+    :class:`~repro.network.base.Communicator`, or a backend name —
+    ``"sim"`` for the single-process cost simulator or ``"process"`` for
+    real ``multiprocessing`` workers — combined with the PE count ``p``
+    (e.g. ``make_distributed_sampler("ours", 100, "process", p=4)``).
+    The same seed produces byte-identical samples under either backend.
+
     ``store`` picks the reservoir store backend (``"merge"``, the
     vectorized default, or ``"btree"``, the paper's data structure);
     ``backend`` is its deprecated alias.
     """
+    comm = _resolve_comm(comm, p, machine)
     name = algorithm.strip().lower()
     store = backend if backend is not None else store
     common = dict(machine=machine, weighted=weighted, seed=seed)
@@ -185,6 +220,13 @@ class DistributedSamplingRun:
     stream:
         The mini-batch stream to consume; one is built from ``batch_size``
         if not given.
+    comm:
+        Execution backend when ``algorithm`` is a name: ``"sim"`` (default,
+        the cost simulator) or ``"process"`` (real multiprocess workers),
+        or an already constructed communicator.  For wall-clock
+        measurements of the process backend prefer
+        :class:`~repro.runtime.parallel.ParallelStreamingRun`, which also
+        generates the stream inside the workers.
     """
 
     def __init__(
@@ -199,10 +241,14 @@ class DistributedSamplingRun:
         weighted: bool = True,
         store: str = "merge",
         seed: Optional[int] = 0,
+        comm: CommLike = "sim",
     ) -> None:
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
+        self._owns_comm = False
         if isinstance(algorithm, str):
-            comm = SimComm(p, cost=self.machine.comm)
+            if not isinstance(comm, Communicator):
+                comm = _resolve_comm(comm, p, self.machine)
+                self._owns_comm = True
             self.sampler = make_distributed_sampler(
                 algorithm, k, comm, machine=self.machine, weighted=weighted, store=store, seed=seed
             )
@@ -222,11 +268,12 @@ class DistributedSamplingRun:
             k=getattr(self.sampler, "k", k),
             algorithm=self.algorithm,
             store=getattr(self.sampler, "store", ""),
+            comm_backend=getattr(self.sampler.comm, "kind", ""),
         )
 
     # ------------------------------------------------------------------
     @property
-    def comm(self) -> SimComm:
+    def comm(self) -> Communicator:
         return self.sampler.comm
 
     def run(self, rounds: int) -> RunMetrics:
@@ -246,3 +293,19 @@ class DistributedSamplingRun:
     def communication_summary(self) -> dict:
         """Summary of all communication charged during the run."""
         return self.comm.ledger.summary()
+
+    def close(self) -> None:
+        """Shut down the communicator **if this run created it**.
+
+        A communicator passed in by the caller (directly or via a
+        pre-built sampler) is left running — the caller owns its
+        lifecycle.
+        """
+        if self._owns_comm:
+            self.comm.shutdown()
+
+    def __enter__(self) -> "DistributedSamplingRun":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

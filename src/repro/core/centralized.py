@@ -18,6 +18,13 @@ The reservoir lives solely at the root, whose gather volume and sequential
 selection work grow with ``k`` and ``p`` — which is exactly why this
 algorithm stops scaling for large sample sizes (Figures 3, 4 and 6 of the
 paper).
+
+Like the distributed sampler, the per-PE local filtering runs through the
+communicator's PE-state layer (kernels from
+:mod:`repro.core.pe_kernels`), so the same code executes inline under
+:class:`~repro.network.communicator.SimComm` and in real worker processes
+under :class:`~repro.network.process_comm.ProcessComm`.  The root reservoir
+is kept coordinator-side, which models the root PE's memory.
 """
 
 from __future__ import annotations
@@ -26,14 +33,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core import keys as keymod
+from repro.core import pe_kernels
 from repro.core.store import ReservoirStore, make_store, normalize_store_name
-from repro.network.communicator import SimComm
+from repro.network.base import Communicator
 from repro.runtime.clock import PhaseClock
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import PhaseTimes, RoundMetrics
 from repro.stream.items import ItemBatch
-from repro.utils.rng import spawn_generators
+from repro.stream.shard import StreamShardSpec
+from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
 
 __all__ = ["CentralizedGatherSampler"]
@@ -47,7 +55,7 @@ class CentralizedGatherSampler:
     def __init__(
         self,
         k: int,
-        comm: SimComm,
+        comm: Communicator,
         *,
         machine: Optional[MachineSpec] = None,
         weighted: bool = True,
@@ -61,7 +69,11 @@ class CentralizedGatherSampler:
         self.weighted = bool(weighted)
         self.root = comm.topology.validate_rank(root)
         self.store = normalize_store_name(store)
-        self._rngs = spawn_generators(seed, comm.p)
+        seed_seqs = spawn_seed_sequences(seed, comm.p)
+        self._handle = comm.create_pe_state(
+            pe_kernels.make_centralized_state, per_pe_args=[(ss,) for ss in seed_seqs]
+        )
+        self._has_worker_stream = False
         # Reservoir at the root, behind the pluggable store protocol (the
         # merge store reproduces the historic plain-sorted-array behaviour).
         self._reservoir: ReservoirStore = make_store(self.store)
@@ -127,29 +139,27 @@ class CentralizedGatherSampler:
         self._total_weight = float(total_weight)
         self.threshold = float(threshold) if threshold is not None else None
 
-    # ------------------------------------------------------------------
-    def _candidates_for_batch(
-        self, pe: int, batch: ItemBatch
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Filter a local batch to the candidates below the current threshold."""
-        rng = self._rngs[pe]
-        b = len(batch)
-        if self.threshold is None:
-            if self.weighted:
-                keys = keymod.exponential_keys(batch.weights, rng)
-            else:
-                keys = keymod.uniform_keys(b, rng)
-            ids = batch.ids
-            if b > self.k:
-                order = np.argpartition(keys, self.k - 1)[: self.k]
-                keys, ids = keys[order], ids[order]
-            return keys, ids
-        if self.weighted:
-            idx, keys = keymod.weighted_jump_positions(batch.weights, self.threshold, rng)
-        else:
-            idx, keys = keymod.uniform_jump_positions(b, self.threshold, rng)
-        return keys, batch.ids[idx]
+    def attach_worker_stream(
+        self, batch_size: int, *, seed: Optional[int] = 0, weights=None
+    ) -> None:
+        """Install a worker-local stream shard on every PE.
 
+        See
+        :meth:`repro.core.distributed.DistributedReservoirSampler.attach_worker_stream`.
+        """
+        check_positive_int(batch_size, "batch_size")
+        specs = [
+            StreamShardSpec(p=self.p, pe=pe, batch_size=batch_size, seed=seed, **(
+                {"weights": weights} if weights is not None else {}
+            ))
+            for pe in range(self.p)
+        ]
+        self.comm.run_per_pe(
+            self._handle, pe_kernels.install_stream_kernel, [(spec,) for spec in specs]
+        )
+        self._has_worker_stream = True
+
+    # ------------------------------------------------------------------
     def process_round(self, batches: Sequence[ItemBatch]) -> RoundMetrics:
         """Process one mini-batch round (one batch per PE)."""
         if len(batches) != self.p:
@@ -157,18 +167,63 @@ class CentralizedGatherSampler:
         clock = PhaseClock(self.p)
         phase_comm_before = self.comm.ledger.time_by_phase()
 
-        # ---------------- insert (local filtering) ----------------
+        # ---------------- insert (local filtering, in the workers) --------
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(
+                self._handle,
+                pe_kernels.centralized_candidates_kernel,
+                [
+                    (batch.ids, batch.weights, self.threshold, self.weighted, self.k)
+                    for batch in batches
+                ],
+            )
+        batch_sizes = [len(batch) for batch in batches]
+        candidate_keys, candidate_ids = self._charge_insert_work(clock, results, batch_sizes)
+        batch_items = sum(batch_sizes)
+        self._items_seen += batch_items
+        self._total_weight += sum(batch.total_weight for batch in batches)
+        return self._finish_round(
+            clock, phase_comm_before, batch_items, candidate_keys, candidate_ids
+        )
+
+    def process_stream_round(self) -> RoundMetrics:
+        """Process one round whose batches are generated worker-locally."""
+        if not self._has_worker_stream:
+            raise RuntimeError("no worker stream attached; call attach_worker_stream() first")
+        clock = PhaseClock(self.p)
+        phase_comm_before = self.comm.ledger.time_by_phase()
+
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(
+                self._handle,
+                pe_kernels.centralized_stream_candidates_kernel,
+                [(self.threshold, self.weighted, self.k)] * self.p,
+            )
+        batch_sizes = [r[2] for r in results]
+        candidate_keys, candidate_ids = self._charge_insert_work(
+            clock, [r[:2] for r in results], batch_sizes
+        )
+        batch_items = sum(batch_sizes)
+        self._items_seen += batch_items
+        self._total_weight += sum(r[3] for r in results)
+        return self._finish_round(
+            clock, phase_comm_before, batch_items, candidate_keys, candidate_ids
+        )
+
+    # ------------------------------------------------------------------
+    def _charge_insert_work(
+        self,
+        clock: PhaseClock,
+        results: Sequence[Tuple[np.ndarray, np.ndarray]],
+        batch_sizes: Sequence[int],
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
         candidate_keys: List[np.ndarray] = []
         candidate_ids: List[np.ndarray] = []
-        for pe, batch in enumerate(batches):
-            b = len(batch)
-            if b == 0:
-                candidate_keys.append(np.empty(0, dtype=np.float64))
-                candidate_ids.append(np.empty(0, dtype=np.int64))
-                continue
-            keys, ids = self._candidates_for_batch(pe, batch)
+        for pe, ((keys, ids), b) in enumerate(zip(results, batch_sizes)):
             candidate_keys.append(np.asarray(keys, dtype=np.float64))
             candidate_ids.append(np.asarray(ids, dtype=np.int64))
+            if b == 0:
+                continue
             if self.weighted:
                 scan = self.machine.scan_time(b, batch_size=b)
             else:
@@ -179,10 +234,16 @@ class CentralizedGatherSampler:
                 pe,
                 scan + self.machine.key_gen_time(key_gens) + self.machine.array_append_time(len(keys)),
             )
-        batch_items = sum(len(batch) for batch in batches)
-        self._items_seen += batch_items
-        self._total_weight += sum(batch.total_weight for batch in batches)
+        return candidate_keys, candidate_ids
 
+    def _finish_round(
+        self,
+        clock: PhaseClock,
+        phase_comm_before: Dict[str, float],
+        batch_items: int,
+        candidate_keys: List[np.ndarray],
+        candidate_ids: List[np.ndarray],
+    ) -> RoundMetrics:
         # ---------------- gather ----------------
         payloads = [
             np.stack([candidate_keys[pe], candidate_ids[pe].astype(np.float64)], axis=1)

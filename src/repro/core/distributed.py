@@ -18,34 +18,42 @@ The union of the local reservoirs is then a weighted (or uniform) sample
 without replacement of size ``min(k, n)`` of everything seen so far.  No PE
 plays a special role.
 
-The implementation is SPMD-style: one process simulates all ``p`` PEs, all
-communication goes through :class:`~repro.network.communicator.SimComm`
-(and is therefore cost-accounted), and local work is charged to a
-:class:`~repro.runtime.clock.PhaseClock` using the
-:class:`~repro.runtime.machine.MachineSpec` operation costs.
+The implementation is SPMD-style against the
+:class:`~repro.network.base.Communicator` protocol: per-PE state (local
+reservoir + random generator) lives behind the communicator's PE-state
+layer and all local work runs as kernels from
+:mod:`repro.core.pe_kernels`.  Under
+:class:`~repro.network.communicator.SimComm` the kernels run inline and
+communication is cost-accounted under the paper's machine model; under
+:class:`~repro.network.process_comm.ProcessComm` each PE is a real worker
+process, kernels run in parallel, and the same seed yields byte-identical
+samples (the equivalence tests enforce this).
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core import keys as keymod
+from repro.core import pe_kernels
 from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy
 from repro.core.store import normalize_store_name
-from repro.network.communicator import SimComm
+from repro.network.base import Communicator, PEStateHandle
 from repro.runtime.clock import PhaseClock
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import PhaseTimes, RoundMetrics
 from repro.selection.base import DistributedKeySet, SelectionAlgorithm, SelectionResult
 from repro.selection.bernoulli_pivot import SinglePivotSelection
 from repro.stream.items import ItemBatch
-from repro.utils.rng import spawn_generators
+from repro.stream.shard import StreamShardSpec
+from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
 
 __all__ = [
     "ReservoirKeySet",
+    "CommBackedKeySet",
     "DistributedReservoirSampler",
     "DistributedWeightedReservoirSampler",
     "DistributedUniformReservoirSampler",
@@ -53,7 +61,13 @@ __all__ = [
 
 
 class ReservoirKeySet(DistributedKeySet):
-    """Adapter exposing a list of local reservoirs as a distributed key set."""
+    """Adapter exposing a list of local reservoirs as a distributed key set.
+
+    Used by callers that hold the reservoir objects directly (e.g. the bulk
+    priority queue and the selection tests).  The sampler itself uses
+    :class:`CommBackedKeySet`, which reaches the reservoirs through the
+    communicator so the same code works when they live in worker processes.
+    """
 
     def __init__(self, reservoirs: Sequence[LocalReservoir]) -> None:
         if not reservoirs:
@@ -83,6 +97,87 @@ class ReservoirKeySet(DistributedKeySet):
         return self._reservoirs[pe].keys_in_rank_range(lo, hi)
 
 
+class CommBackedKeySet(DistributedKeySet):
+    """Key-set view over reservoirs held behind a communicator's PE states.
+
+    The per-PE point queries dispatch to a single PE; the batched all-PE
+    operations dispatch one kernel to every PE at once, so a selection
+    round costs a constant number of coordinator↔worker round trips under
+    the multiprocess backend.  The pivot proposals consume the *worker*
+    random generators (the ``rngs`` argument is ignored), which keeps the
+    random stream identical across execution backends.
+    """
+
+    def __init__(self, comm: Communicator, handle: PEStateHandle) -> None:
+        self._comm = comm
+        self._handle = handle
+
+    @property
+    def p(self) -> int:
+        return self._comm.p
+
+    # -- per-PE point queries ------------------------------------------------
+    def local_size(self, pe: int) -> int:
+        return self._comm.run_on_pe(self._handle, pe, pe_kernels.local_size_kernel)
+
+    def count_le(self, pe: int, key: float) -> int:
+        return self._comm.run_on_pe(self._handle, pe, pe_kernels.count_le_kernel, float(key))
+
+    def count_less(self, pe: int, key: float) -> int:
+        return self._comm.run_on_pe(self._handle, pe, pe_kernels.count_less_kernel, float(key))
+
+    def select_local(self, pe: int, rank: int) -> float:
+        return self._comm.run_on_pe(self._handle, pe, pe_kernels.kth_key_kernel, int(rank))
+
+    def select_local_many(self, pe: int, ranks: np.ndarray) -> np.ndarray:
+        return self._comm.run_on_pe(
+            self._handle, pe, pe_kernels.kth_keys_kernel, np.asarray(ranks, dtype=np.int64)
+        )
+
+    def keys_in_rank_range(self, pe: int, lo: int, hi: int) -> np.ndarray:
+        return self._comm.run_on_pe(self._handle, pe, pe_kernels.range_keys_kernel, int(lo), int(hi))
+
+    # -- batched all-PE operations ------------------------------------------
+    def local_sizes(self) -> List[int]:
+        return self._comm.run_per_pe(self._handle, pe_kernels.local_size_kernel)
+
+    def window_counts_all(
+        self, pivots: np.ndarray, lo: Sequence[int], hi: Sequence[int]
+    ) -> List[np.ndarray]:
+        pivots = np.asarray(pivots, dtype=np.float64)
+        return self._comm.run_per_pe(
+            self._handle,
+            pe_kernels.window_counts_kernel,
+            [(pivots, int(lo[pe]), int(hi[pe])) for pe in range(self.p)],
+        )
+
+    def propose_all(
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        prob: float,
+        d: int,
+        from_below: bool,
+        rngs: Sequence[np.random.Generator],
+    ) -> List[np.ndarray]:
+        del rngs  # the worker-held per-PE generators are used instead
+        return self._comm.run_per_pe(
+            self._handle,
+            pe_kernels.propose_pivots_kernel,
+            [
+                (int(lo[pe]), int(hi[pe]), float(prob), int(d), bool(from_below))
+                for pe in range(self.p)
+            ],
+        )
+
+    def window_keys_all(self, lo: Sequence[int], hi: Sequence[int]) -> List[np.ndarray]:
+        return self._comm.run_per_pe(
+            self._handle,
+            pe_kernels.range_keys_kernel,
+            [(int(lo[pe]), int(hi[pe])) for pe in range(self.p)],
+        )
+
+
 class DistributedReservoirSampler:
     """Algorithm 1: distributed weighted/uniform reservoir sampling.
 
@@ -91,7 +186,10 @@ class DistributedReservoirSampler:
     k:
         Sample size.
     comm:
-        Simulated communicator over the ``p`` PEs.
+        Communicator over the ``p`` PEs — the simulated backend
+        (:class:`~repro.network.communicator.SimComm`) or the real
+        multiprocess backend
+        (:class:`~repro.network.process_comm.ProcessComm`).
     selection:
         Distributed selection algorithm used to re-establish the threshold;
         defaults to the single-pivot general-case algorithm ("ours").
@@ -117,7 +215,7 @@ class DistributedReservoirSampler:
     def __init__(
         self,
         k: int,
-        comm: SimComm,
+        comm: Communicator,
         *,
         selection: Optional[SelectionAlgorithm] = None,
         machine: Optional[MachineSpec] = None,
@@ -136,11 +234,13 @@ class DistributedReservoirSampler:
         self.store = normalize_store_name(backend if backend is not None else store)
         self.backend = self.store  # deprecated alias
         self.local_thresholding = bool(local_thresholding)
-        self.reservoirs: List[LocalReservoir] = [
-            LocalReservoir(backend=self.store, order=order) for _ in range(comm.p)
-        ]
-        self._rngs = spawn_generators(seed, comm.p)
         self._policy = LocalThresholdPolicy(self.k)
+        seed_seqs = spawn_seed_sequences(seed, comm.p)
+        self._handle = comm.create_pe_state(
+            functools.partial(pe_kernels.make_pe_state, k=self.k, store=self.store, order=order),
+            per_pe_args=[(ss,) for ss in seed_seqs],
+        )
+        self._has_worker_stream = False
         self.threshold: Optional[float] = None
         self._items_seen = 0
         self._total_weight = 0.0
@@ -166,25 +266,37 @@ class DistributedReservoirSampler:
     def rounds_processed(self) -> int:
         return self._round
 
+    @property
+    def reservoirs(self) -> List[LocalReservoir]:
+        """The local reservoir objects (simulated backend only).
+
+        Under the multiprocess backend the reservoirs live inside the
+        worker processes; use :meth:`sample_items` / :meth:`keyset` to
+        inspect them instead.
+        """
+        return [
+            self.comm.local_pe_state(self._handle, pe)["reservoir"] for pe in range(self.p)
+        ]
+
     def sample_size(self) -> int:
         """Current size of the distributed sample (union of local reservoirs)."""
-        return sum(len(r) for r in self.reservoirs)
+        return sum(self.comm.run_per_pe(self._handle, pe_kernels.local_size_kernel))
 
     def sample_items(self) -> List[Tuple[int, float]]:
         """The current sample as ``(item id, key)`` pairs (all PEs, unordered)."""
         out: List[Tuple[int, float]] = []
-        for reservoir in self.reservoirs:
-            out.extend((item_id, key) for key, item_id in reservoir.items())
+        for items in self.comm.run_per_pe(self._handle, pe_kernels.items_kernel):
+            out.extend((item_id, key) for key, item_id in items)
         return out
 
     def sample_ids(self) -> np.ndarray:
         """The item ids of the current sample."""
-        ids = [reservoir.item_ids() for reservoir in self.reservoirs]
+        ids = self.comm.run_per_pe(self._handle, pe_kernels.item_ids_kernel)
         return np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
 
-    def keyset(self) -> ReservoirKeySet:
+    def keyset(self) -> CommBackedKeySet:
         """A selection view over the current local reservoirs."""
-        return ReservoirKeySet(self.reservoirs)
+        return CommBackedKeySet(self.comm, self._handle)
 
     def preload(
         self,
@@ -208,12 +320,41 @@ class DistributedReservoirSampler:
             raise ValueError(f"expected {self.p} per-PE item lists, got {len(per_pe_items)}")
         if self._items_seen:
             raise RuntimeError("preload is only valid on a fresh sampler")
-        for pe, items in enumerate(per_pe_items):
-            for key, item_id in items:
-                self.reservoirs[pe].insert(float(key), int(item_id))
+        self.comm.run_per_pe(
+            self._handle,
+            pe_kernels.preload_kernel,
+            [([(float(key), int(item_id)) for key, item_id in items],) for items in per_pe_items],
+        )
         self._items_seen = int(items_seen)
         self._total_weight = float(total_weight)
         self.threshold = float(threshold) if threshold is not None else None
+
+    def attach_worker_stream(
+        self,
+        batch_size: int,
+        *,
+        seed: Optional[int] = 0,
+        weights=None,
+    ) -> None:
+        """Install a worker-local stream shard on every PE.
+
+        Subsequent :meth:`process_stream_round` calls generate each PE's
+        batch *inside* that PE (in the worker process under the
+        multiprocess backend) instead of shipping coordinator-built
+        batches.  The shards replicate a constant-batch-size
+        :class:`~repro.stream.minibatch.MiniBatchStream` exactly.
+        """
+        check_positive_int(batch_size, "batch_size")
+        specs = [
+            StreamShardSpec(p=self.p, pe=pe, batch_size=batch_size, seed=seed, **(
+                {"weights": weights} if weights is not None else {}
+            ))
+            for pe in range(self.p)
+        ]
+        self.comm.run_per_pe(
+            self._handle, pe_kernels.install_stream_kernel, [(spec,) for spec in specs]
+        )
+        self._has_worker_stream = True
 
     # ------------------------------------------------------------------
     def process_round(self, batches: Sequence[ItemBatch]) -> RoundMetrics:
@@ -222,127 +363,147 @@ class DistributedReservoirSampler:
             raise ValueError(f"expected {self.p} batches (one per PE), got {len(batches)}")
         clock = PhaseClock(self.p)
         phase_comm_before = self.comm.ledger.time_by_phase()
+        threshold_was_set = self.threshold is not None
 
-        # ---------------- insert phase ----------------
-        insertions = [0] * self.p
-        for pe, batch in enumerate(batches):
-            if len(batch) == 0:
-                continue
-            if self.threshold is None:
-                insertions[pe] = self._insert_without_threshold(pe, batch, clock)
-            else:
-                insertions[pe] = self._insert_with_threshold(pe, batch, clock)
-        batch_items = sum(len(batch) for batch in batches)
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(
+                self._handle,
+                pe_kernels.insert_batch_kernel,
+                [
+                    (batch.ids, batch.weights, self.threshold, self.weighted, self.local_thresholding)
+                    for batch in batches
+                ],
+            )
+        batch_sizes = [len(batch) for batch in batches]
+        insertions, sizes = self._charge_insert_work(clock, results, batch_sizes, threshold_was_set)
+        batch_items = sum(batch_sizes)
         self._items_seen += batch_items
         self._total_weight += sum(batch.total_weight for batch in batches)
+        return self._finish_round(clock, phase_comm_before, batch_items, insertions, sizes)
 
-        # ---------------- select phase ----------------
+    def process_stream_round(self) -> RoundMetrics:
+        """Process one round whose batches are generated worker-locally.
+
+        Requires :meth:`attach_worker_stream`.  Under the multiprocess
+        backend both the batch generation and the ingestion run in
+        parallel in the workers; this is the hot path of
+        :class:`~repro.runtime.parallel.ParallelStreamingRun`.
+        """
+        if not self._has_worker_stream:
+            raise RuntimeError("no worker stream attached; call attach_worker_stream() first")
+        clock = PhaseClock(self.p)
+        phase_comm_before = self.comm.ledger.time_by_phase()
+        threshold_was_set = self.threshold is not None
+
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(
+                self._handle,
+                pe_kernels.stream_insert_kernel,
+                [(self.threshold, self.weighted, self.local_thresholding)] * self.p,
+            )
+        batch_sizes = [r[3] for r in results]
+        insert_results = [r[:3] for r in results]
+        insertions, sizes = self._charge_insert_work(
+            clock, insert_results, batch_sizes, threshold_was_set
+        )
+        batch_items = sum(batch_sizes)
+        self._items_seen += batch_items
+        self._total_weight += sum(r[4] for r in results)
+        return self._finish_round(clock, phase_comm_before, batch_items, insertions, sizes)
+
+    # ------------------------------------------------------------------
+    # round phases
+    # ------------------------------------------------------------------
+    def _charge_insert_work(
+        self,
+        clock: PhaseClock,
+        results: Sequence[Tuple[int, int, int]],
+        batch_sizes: Sequence[int],
+        threshold_was_set: bool,
+    ) -> Tuple[List[int], List[int]]:
+        """Charge the insert phase from the kernel results.
+
+        Returns ``(insertions, sizes)``: per-PE insertion counts and
+        post-insert reservoir sizes.
+        """
+        insertions: List[int] = []
+        sizes: List[int] = []
+        for pe, ((inserted, pruned, size), b) in enumerate(zip(results, batch_sizes)):
+            insertions.append(int(inserted))
+            sizes.append(int(size))
+            if b == 0:
+                continue
+            if not threshold_was_set:
+                time = (
+                    self.machine.scan_time(b, batch_size=b)
+                    + self.machine.key_gen_time(b)
+                    + self.machine.tree_op_time(inserted + pruned, max(size, 1))
+                )
+            else:
+                if self.weighted:
+                    scan_time = self.machine.scan_time(b, batch_size=b)
+                else:
+                    # Skipping items is O(1) per accepted item for uniform
+                    # sampling (Corollary 4): only accepted items cost work.
+                    scan_time = self.machine.scan_time(inserted, batch_size=b)
+                time = (
+                    scan_time
+                    + self.machine.key_gen_time(2 * inserted + 1)
+                    + self.machine.tree_op_time(inserted, max(size, 1))
+                )
+            clock.charge("insert", pe, time)
+        return insertions, sizes
+
+    def _finish_round(
+        self,
+        clock: PhaseClock,
+        phase_comm_before: Dict[str, float],
+        batch_items: int,
+        insertions: List[int],
+        sizes: List[int],
+    ) -> RoundMetrics:
+        """Select + threshold phases and metric assembly (shared by both
+        round entry points)."""
         selection_result: Optional[SelectionResult] = None
         selection_ran = False
-        sizes = [float(len(r)) for r in self.reservoirs]
         with self.comm.phase("select"):
-            total_candidates = int(self.comm.allreduce(sizes, SimComm.SUM)[0])
+            total_candidates = int(
+                self.comm.allreduce([float(s) for s in sizes], Communicator.SUM)[0]
+            )
         if self._needs_selection(total_candidates):
-            keyset = ReservoirKeySet(self.reservoirs)
+            keyset = self.keyset()
             with self.comm.phase("select"):
                 selection_result = self._run_selection(keyset)
             selection_ran = True
-            self._charge_selection_work(clock, selection_result)
-            new_threshold = float(selection_result.key)
+            self._charge_selection_work(clock, selection_result, sizes)
+            new_threshold: Optional[float] = float(selection_result.key)
         else:
             new_threshold = self._tighten_without_selection(total_candidates)
 
-        # ---------------- threshold phase ----------------
         if selection_ran:
             with self.comm.phase("threshold"):
-                agreed = self.comm.allreduce([new_threshold] * self.p, SimComm.MAX)
+                agreed = self.comm.allreduce([new_threshold] * self.p, Communicator.MAX)
             new_threshold = float(agreed[0])
         if new_threshold is not None:
             self.threshold = new_threshold
-            for pe, reservoir in enumerate(self.reservoirs):
-                size_before = len(reservoir)
-                keep = reservoir.count_le(self.threshold)
-                reservoir.prune_to_rank(keep)
+            with self.comm.phase("threshold"):
+                prune_results = self.comm.run_per_pe(
+                    self._handle, pe_kernels.prune_kernel, [(self.threshold,)] * self.p
+                )
+            for pe, (size_before, size_after) in enumerate(prune_results):
                 clock.charge("threshold", pe, self.machine.tree_op_time(2, size_before))
+            sizes = [int(size_after) for _, size_after in prune_results]
 
         self._round += 1
-        metrics = self._build_metrics(
+        return self._build_metrics(
             clock,
             phase_comm_before,
             batch_items=batch_items,
             insertions=insertions,
+            sample_size=sum(sizes),
             selection_result=selection_result,
             selection_ran=selection_ran,
         )
-        return metrics
-
-    # ------------------------------------------------------------------
-    # insert-phase kernels
-    # ------------------------------------------------------------------
-    def _generate_keys(self, batch: ItemBatch, rng: np.random.Generator) -> np.ndarray:
-        if self.weighted:
-            return keymod.exponential_keys(batch.weights, rng)
-        return keymod.uniform_keys(len(batch), rng)
-
-    def _insert_without_threshold(self, pe: int, batch: ItemBatch, clock: PhaseClock) -> int:
-        """First-phase processing: no global threshold exists yet.
-
-        Every item is a candidate and receives a key.  If the batch is large
-        compared to ``k`` and local thresholding is enabled, the Section-5
-        policy keeps the reservoir close to ``k`` items.
-        """
-        reservoir = self.reservoirs[pe]
-        rng = self._rngs[pe]
-        b = len(batch)
-        inserted = 0
-        pruned = 0
-        use_policy = self.local_thresholding and self._policy.applies_to_batch(b + len(reservoir))
-        if not use_policy:
-            keys = self._generate_keys(batch, rng)
-            inserted = reservoir.insert_batch(keys, batch.ids)
-        else:
-            chunk = max(self._policy.refresh_size - self.k, 64)
-            local_threshold: Optional[float] = None
-            if len(reservoir) >= self.k:
-                local_threshold = reservoir.kth_key(self.k)
-            for start in range(0, b, chunk):
-                stop = min(start + chunk, b)
-                sub = ItemBatch(ids=batch.ids[start:stop], weights=batch.weights[start:stop])
-                keys = self._generate_keys(sub, rng)
-                inserted += reservoir.insert_batch(keys, sub.ids, threshold=local_threshold)
-                local_threshold, removed = self._policy.refresh_if_needed(reservoir)
-                pruned += removed
-        clock.charge(
-            "insert",
-            pe,
-            self.machine.scan_time(b, batch_size=b)
-            + self.machine.key_gen_time(b)
-            + self.machine.tree_op_time(inserted + pruned, max(len(reservoir), 1)),
-        )
-        return inserted
-
-    def _insert_with_threshold(self, pe: int, batch: ItemBatch, clock: PhaseClock) -> int:
-        """Steady-state processing under the fixed global threshold."""
-        reservoir = self.reservoirs[pe]
-        rng = self._rngs[pe]
-        b = len(batch)
-        if self.weighted:
-            idx, keys = keymod.weighted_jump_positions(batch.weights, self.threshold, rng)
-            scan_time = self.machine.scan_time(b, batch_size=b)
-        else:
-            idx, keys = keymod.uniform_jump_positions(b, self.threshold, rng)
-            # Skipping items is O(1) per accepted item for uniform sampling
-            # (Corollary 4): only the accepted items cost local work.
-            scan_time = self.machine.scan_time(len(idx), batch_size=b)
-        inserted = reservoir.insert_batch(keys, batch.ids[idx])
-        clock.charge(
-            "insert",
-            pe,
-            scan_time
-            + self.machine.key_gen_time(2 * inserted + 1)
-            + self.machine.tree_op_time(inserted, max(len(reservoir), 1)),
-        )
-        return inserted
 
     # ------------------------------------------------------------------
     # selection helpers (overridden by the variable-size sampler)
@@ -361,22 +522,23 @@ class DistributedReservoirSampler:
         """
         if total_candidates != self.k:
             return None
-        local_max = [
-            self.reservoirs[pe].max_key() if len(self.reservoirs[pe]) else -np.inf
-            for pe in range(self.p)
-        ]
         with self.comm.phase("threshold"):
-            return float(self.comm.allreduce(local_max, SimComm.MAX)[0])
+            local_max = self.comm.run_per_pe(self._handle, pe_kernels.max_key_kernel)
+            return float(self.comm.allreduce(local_max, Communicator.MAX)[0])
 
-    def _run_selection(self, keyset: ReservoirKeySet) -> SelectionResult:
-        return self.selection.select(keyset, self.k, self.comm, self._rngs)
+    def _run_selection(self, keyset: DistributedKeySet) -> SelectionResult:
+        # The comm-backed key set draws pivot proposals from the worker-held
+        # per-PE generators, so no driver-side generators are passed.
+        return self.selection.select(keyset, self.k, self.comm, None)
 
-    def _charge_selection_work(self, clock: PhaseClock, result: SelectionResult) -> None:
+    def _charge_selection_work(
+        self, clock: PhaseClock, result: SelectionResult, sizes: Sequence[int]
+    ) -> None:
         """Charge the local part of the distributed selection."""
         stats = result.stats
         pivots = max(int(getattr(self.selection, "num_pivots", 1)), 1)
-        for pe, reservoir in enumerate(self.reservoirs):
-            size = max(len(reservoir), 1)
+        for pe in range(self.p):
+            size = max(int(sizes[pe]), 1)
             # per pivot round: one Bernoulli sample draw plus `pivots` rank
             # queries and `pivots` select queries on the local reservoir
             ops = stats.recursion_depth * (2 * pivots + 1)
@@ -394,6 +556,7 @@ class DistributedReservoirSampler:
         *,
         batch_items: int,
         insertions: List[int],
+        sample_size: int,
         selection_result: Optional[SelectionResult],
         selection_ran: bool,
     ) -> RoundMetrics:
@@ -409,7 +572,7 @@ class DistributedReservoirSampler:
             round_index=self._round - 1,
             batch_items=batch_items,
             items_seen_total=self._items_seen,
-            sample_size=self.sample_size(),
+            sample_size=sample_size,
             threshold=self.threshold,
             phase_times=phase_times,
             insertions_per_pe=list(insertions),
@@ -423,7 +586,7 @@ class DistributedWeightedReservoirSampler(DistributedReservoirSampler):
 
     algorithm_name = "ours"
 
-    def __init__(self, k: int, comm: SimComm, **kwargs) -> None:
+    def __init__(self, k: int, comm: Communicator, **kwargs) -> None:
         kwargs.setdefault("weighted", True)
         super().__init__(k, comm, **kwargs)
 
@@ -433,6 +596,6 @@ class DistributedUniformReservoirSampler(DistributedReservoirSampler):
 
     algorithm_name = "ours-uniform"
 
-    def __init__(self, k: int, comm: SimComm, **kwargs) -> None:
+    def __init__(self, k: int, comm: Communicator, **kwargs) -> None:
         kwargs.setdefault("weighted", False)
         super().__init__(k, comm, **kwargs)

@@ -1,0 +1,365 @@
+"""Per-PE kernel functions shared by the execution backends.
+
+These module-level functions are the *local work* of the distributed
+samplers: key generation, exponential-jump batch ingestion, rank/select
+queries, pruning, pivot proposals.  They operate on a **PE state** — a
+plain dict holding the PE's local reservoir, its random generator and
+(optionally) its stream shard — created by :func:`make_pe_state` through
+:meth:`repro.network.base.Communicator.create_pe_state`.
+
+Both backends execute the *same* functions against states seeded the same
+way: :class:`~repro.network.communicator.SimComm` runs them inline in the
+driver process, :class:`~repro.network.process_comm.ProcessComm` pickles
+them (by reference — everything here is module-level) to its worker
+processes.  This is what guarantees byte-identical samples across
+backends.
+
+Every kernel takes the state dict as its first argument and only
+picklable values otherwise, and returns only picklable values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import keys as keymod
+from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy
+from repro.stream.shard import StreamShardSpec, WorkerStreamShard
+
+__all__ = [
+    "make_pe_state",
+    "make_centralized_state",
+    "install_stream_kernel",
+    "insert_batch_kernel",
+    "stream_insert_kernel",
+    "local_size_kernel",
+    "max_key_kernel",
+    "prune_kernel",
+    "items_kernel",
+    "item_ids_kernel",
+    "keys_array_kernel",
+    "preload_kernel",
+    "count_le_kernel",
+    "count_less_kernel",
+    "kth_key_kernel",
+    "kth_keys_kernel",
+    "range_keys_kernel",
+    "window_counts_kernel",
+    "propose_pivots_kernel",
+    "propose_window_positions",
+    "centralized_candidates_kernel",
+    "centralized_stream_candidates_kernel",
+]
+
+
+# ---------------------------------------------------------------------------
+# state factories
+# ---------------------------------------------------------------------------
+def make_pe_state(
+    pe: int,
+    seed_seq: np.random.SeedSequence,
+    *,
+    k: int,
+    store: str = "merge",
+    order: int = 16,
+) -> Dict[str, object]:
+    """PE state of the distributed sampler: local reservoir + random stream.
+
+    ``seed_seq`` must come from ``spawn_seed_sequences(seed, p)[pe]`` so the
+    per-PE random streams are identical across backends.
+    """
+    return {
+        "pe": int(pe),
+        "rng": np.random.default_rng(seed_seq),
+        "reservoir": LocalReservoir(backend=store, order=order),
+        "k": int(k),
+        "policy": LocalThresholdPolicy(int(k)),
+        "stream": None,
+    }
+
+
+def make_centralized_state(pe: int, seed_seq: np.random.SeedSequence) -> Dict[str, object]:
+    """PE state of the centralized baseline: only the random stream.
+
+    The reservoir of the centralized algorithm lives at the root
+    (coordinator side); the PEs only filter their local batches.
+    """
+    return {"pe": int(pe), "rng": np.random.default_rng(seed_seq), "stream": None}
+
+
+def install_stream_kernel(state: Dict[str, object], spec: StreamShardSpec) -> None:
+    """Attach a worker-local stream shard to the PE state."""
+    state["stream"] = WorkerStreamShard(spec)
+
+
+# ---------------------------------------------------------------------------
+# insert-phase kernels (distributed sampler)
+# ---------------------------------------------------------------------------
+def _generate_keys(batch_weights: np.ndarray, weighted: bool, rng: np.random.Generator) -> np.ndarray:
+    if weighted:
+        return keymod.exponential_keys(batch_weights, rng)
+    return keymod.uniform_keys(batch_weights.shape[0], rng)
+
+
+def _insert_without_threshold(
+    state: Dict[str, object],
+    ids: np.ndarray,
+    weights: np.ndarray,
+    weighted: bool,
+    local_thresholding: bool,
+) -> Tuple[int, int]:
+    """First-phase ingestion: no global threshold exists yet.
+
+    Every item is a candidate and receives a key.  If the batch is large
+    compared to ``k`` and local thresholding is enabled, the Section-5
+    policy keeps the reservoir close to ``k`` items.  Returns
+    ``(inserted, pruned)``.
+    """
+    reservoir: LocalReservoir = state["reservoir"]
+    policy: LocalThresholdPolicy = state["policy"]
+    rng: np.random.Generator = state["rng"]
+    k = state["k"]
+    b = ids.shape[0]
+    inserted = 0
+    pruned = 0
+    use_policy = local_thresholding and policy.applies_to_batch(b + len(reservoir))
+    if not use_policy:
+        keys = _generate_keys(weights, weighted, rng)
+        inserted = reservoir.insert_batch(keys, ids)
+    else:
+        chunk = max(policy.refresh_size - k, 64)
+        local_threshold: Optional[float] = None
+        if len(reservoir) >= k:
+            local_threshold = reservoir.kth_key(k)
+        for start in range(0, b, chunk):
+            stop = min(start + chunk, b)
+            keys = _generate_keys(weights[start:stop], weighted, rng)
+            inserted += reservoir.insert_batch(keys, ids[start:stop], threshold=local_threshold)
+            local_threshold, removed = policy.refresh_if_needed(reservoir)
+            pruned += removed
+    return inserted, pruned
+
+
+def _insert_with_threshold(
+    state: Dict[str, object],
+    ids: np.ndarray,
+    weights: np.ndarray,
+    threshold: float,
+    weighted: bool,
+) -> Tuple[int, int]:
+    """Steady-state ingestion under the fixed global threshold."""
+    reservoir: LocalReservoir = state["reservoir"]
+    rng: np.random.Generator = state["rng"]
+    if weighted:
+        idx, keys = keymod.weighted_jump_positions(weights, threshold, rng)
+    else:
+        idx, keys = keymod.uniform_jump_positions(ids.shape[0], threshold, rng)
+    inserted = reservoir.insert_batch(keys, ids[idx])
+    return inserted, 0
+
+
+def insert_batch_kernel(
+    state: Dict[str, object],
+    ids: np.ndarray,
+    weights: np.ndarray,
+    threshold: Optional[float],
+    weighted: bool,
+    local_thresholding: bool,
+) -> Tuple[int, int, int]:
+    """Ingest one mini-batch; returns ``(inserted, pruned, reservoir_size)``."""
+    if ids.shape[0] == 0:
+        return 0, 0, len(state["reservoir"])
+    if threshold is None:
+        inserted, pruned = _insert_without_threshold(state, ids, weights, weighted, local_thresholding)
+    else:
+        inserted, pruned = _insert_with_threshold(state, ids, weights, threshold, weighted)
+    return inserted, pruned, len(state["reservoir"])
+
+
+def stream_insert_kernel(
+    state: Dict[str, object],
+    threshold: Optional[float],
+    weighted: bool,
+    local_thresholding: bool,
+) -> Tuple[int, int, int, int, float]:
+    """Generate the next batch from the worker-local stream shard and ingest it.
+
+    Returns ``(inserted, pruned, reservoir_size, batch_items, batch_weight)``.
+    """
+    stream: Optional[WorkerStreamShard] = state.get("stream")
+    if stream is None:
+        raise RuntimeError("no stream shard installed; call attach_worker_stream() first")
+    batch = stream.next_batch()
+    inserted, pruned, size = insert_batch_kernel(
+        state, batch.ids, batch.weights, threshold, weighted, local_thresholding
+    )
+    return inserted, pruned, size, len(batch), float(batch.total_weight)
+
+
+# ---------------------------------------------------------------------------
+# query / maintenance kernels (distributed sampler)
+# ---------------------------------------------------------------------------
+def local_size_kernel(state: Dict[str, object]) -> int:
+    return len(state["reservoir"])
+
+
+def max_key_kernel(state: Dict[str, object]) -> float:
+    reservoir: LocalReservoir = state["reservoir"]
+    return reservoir.max_key() if len(reservoir) else -np.inf
+
+
+def prune_kernel(state: Dict[str, object], threshold: float) -> Tuple[int, int]:
+    """Prune above the threshold; returns ``(size_before, size_after)``."""
+    reservoir: LocalReservoir = state["reservoir"]
+    size_before = len(reservoir)
+    keep = reservoir.count_le(threshold)
+    reservoir.prune_to_rank(keep)
+    return size_before, len(reservoir)
+
+
+def items_kernel(state: Dict[str, object]) -> List[Tuple[float, int]]:
+    return state["reservoir"].items()
+
+
+def item_ids_kernel(state: Dict[str, object]) -> np.ndarray:
+    return state["reservoir"].item_ids()
+
+
+def keys_array_kernel(state: Dict[str, object]) -> np.ndarray:
+    return state["reservoir"].keys_array()
+
+
+def preload_kernel(state: Dict[str, object], items: Sequence[Tuple[float, int]]) -> int:
+    """Install pre-computed (key, id) pairs; returns the reservoir size."""
+    reservoir: LocalReservoir = state["reservoir"]
+    for key, item_id in items:
+        reservoir.insert(float(key), int(item_id))
+    return len(reservoir)
+
+
+def count_le_kernel(state: Dict[str, object], key: float) -> int:
+    return state["reservoir"].count_le(key)
+
+
+def count_less_kernel(state: Dict[str, object], key: float) -> int:
+    return state["reservoir"].count_less(key)
+
+
+def kth_key_kernel(state: Dict[str, object], rank: int) -> float:
+    return state["reservoir"].kth_key(rank)
+
+
+def kth_keys_kernel(state: Dict[str, object], ranks: np.ndarray) -> np.ndarray:
+    return state["reservoir"].kth_keys(ranks)
+
+
+def range_keys_kernel(state: Dict[str, object], lo: int, hi: int) -> np.ndarray:
+    return state["reservoir"].keys_in_rank_range(lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# selection kernels
+# ---------------------------------------------------------------------------
+def window_counts_kernel(
+    state: Dict[str, object], pivots: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Per-pivot counts of active keys (local ranks in ``[lo, hi)``) at most
+    as large as each pivot, clipped to the window."""
+    reservoir: LocalReservoir = state["reservoir"]
+    if hi <= lo:
+        return np.zeros(np.asarray(pivots).shape[0], dtype=np.float64)
+    return np.array(
+        [
+            min(max(reservoir.count_le(float(piv)) - lo, 0), hi - lo)
+            for piv in np.asarray(pivots, dtype=np.float64)
+        ],
+        dtype=np.float64,
+    )
+
+
+def propose_window_positions(
+    rng: np.random.Generator, m: int, prob: float, d: int, from_below: bool
+) -> Optional[np.ndarray]:
+    """Bernoulli-sample local window positions for a pivot proposal round.
+
+    Shared by the comm-backed kernel below and the master-side default of
+    :meth:`repro.selection.base.DistributedKeySet.propose_all` so both
+    consume the random stream identically.  Returns 0-based window
+    positions (at most ``d`` of them) or ``None`` when the sample is empty.
+    """
+    count = int(rng.binomial(m, prob))
+    if count == 0:
+        return None
+    positions = rng.choice(m, size=count, replace=False)
+    if from_below:
+        return np.sort(positions)[:d]
+    return np.sort(positions)[-d:]
+
+
+def propose_pivots_kernel(
+    state: Dict[str, object], lo: int, hi: int, prob: float, d: int, from_below: bool
+) -> np.ndarray:
+    """One PE's pivot-proposal contribution (sorted candidate keys)."""
+    reservoir: LocalReservoir = state["reservoir"]
+    rng: np.random.Generator = state["rng"]
+    m = hi - lo
+    if m <= 0:
+        return np.empty(0, dtype=np.float64)
+    positions = propose_window_positions(rng, m, prob, d, from_below)
+    if positions is None:
+        return np.empty(0, dtype=np.float64)
+    keys = reservoir.kth_keys(lo + positions.astype(np.int64) + 1)
+    return np.sort(keys)
+
+
+# ---------------------------------------------------------------------------
+# centralized-baseline kernels
+# ---------------------------------------------------------------------------
+def centralized_candidates_kernel(
+    state: Dict[str, object],
+    ids: np.ndarray,
+    weights: np.ndarray,
+    threshold: Optional[float],
+    weighted: bool,
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Filter one local batch to the candidates below the current threshold.
+
+    Mirrors the insert phase of the centralized algorithm: dense keys while
+    no threshold exists (keeping only the ``k`` smallest of a large first
+    batch), exponential/geometric jumps afterwards.
+    """
+    rng: np.random.Generator = state["rng"]
+    b = ids.shape[0]
+    if b == 0:
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+    if threshold is None:
+        if weighted:
+            keys = keymod.exponential_keys(weights, rng)
+        else:
+            keys = keymod.uniform_keys(b, rng)
+        if b > k:
+            order = np.argpartition(keys, k - 1)[:k]
+            keys, ids = keys[order], ids[order]
+        return keys, ids
+    if weighted:
+        idx, keys = keymod.weighted_jump_positions(weights, threshold, rng)
+    else:
+        idx, keys = keymod.uniform_jump_positions(b, threshold, rng)
+    return keys, ids[idx]
+
+
+def centralized_stream_candidates_kernel(
+    state: Dict[str, object], threshold: Optional[float], weighted: bool, k: int
+) -> Tuple[np.ndarray, np.ndarray, int, float]:
+    """Stream-shard variant; also returns ``(batch_items, batch_weight)``."""
+    stream: Optional[WorkerStreamShard] = state.get("stream")
+    if stream is None:
+        raise RuntimeError("no stream shard installed; call attach_worker_stream() first")
+    batch = stream.next_batch()
+    keys, ids = centralized_candidates_kernel(
+        state, batch.ids, batch.weights, threshold, weighted, k
+    )
+    return keys, ids, len(batch), float(batch.total_weight)

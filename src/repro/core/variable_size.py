@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.distributed import DistributedReservoirSampler, ReservoirKeySet
-from repro.network.communicator import SimComm
+from repro.core.distributed import DistributedReservoirSampler
+from repro.network.base import Communicator
 from repro.selection.ams_select import AmsSelection
-from repro.selection.base import SelectionResult
+from repro.selection.base import DistributedKeySet, SelectionResult
 from repro.utils.validation import check_positive_int
 
 __all__ = ["VariableSizeReservoirSampler"]
@@ -50,7 +50,7 @@ class VariableSizeReservoirSampler(DistributedReservoirSampler):
         self,
         k_lo: int,
         k_hi: int,
-        comm: SimComm,
+        comm: Communicator,
         *,
         selection=None,
         **kwargs,
@@ -80,6 +80,7 @@ class VariableSizeReservoirSampler(DistributedReservoirSampler):
         """Inside the band the existing threshold remains valid; do nothing."""
         return None
 
-    def _run_selection(self, keyset: ReservoirKeySet) -> SelectionResult:
+    def _run_selection(self, keyset: DistributedKeySet) -> SelectionResult:
         self.selections_run += 1
-        return self.selection.select_range(keyset, self.k_lo, self.k_hi, self.comm, self._rngs)
+        # Pivot proposals draw from the worker-held per-PE generators.
+        return self.selection.select_range(keyset, self.k_lo, self.k_hi, self.comm, None)

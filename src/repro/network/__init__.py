@@ -15,11 +15,25 @@ This package provides:
   algorithm phase,
 * :mod:`~repro.network.collectives` — the tree-based collective algorithms
   operating on per-PE value lists, exposing the exact message pattern,
-* :class:`~repro.network.communicator.SimComm` — the SPMD-style facade the
-  sampling algorithms program against, mirroring the familiar MPI
-  collective interface while charging the cost model.
+* :class:`~repro.network.base.Communicator` — the protocol the sampling
+  algorithms program against: MPI-style collectives, phase accounting and
+  a per-PE state/execution layer,
+* :class:`~repro.network.communicator.SimComm` — the simulated backend,
+  charging the paper's cost model,
+* :class:`~repro.network.process_comm.ProcessComm` — the real multiprocess
+  backend: one worker process per PE, collectives executed between the
+  workers over queues with the same tree schedules, measured wall-clock
+  accounting.
 """
 
+from repro.network.base import (
+    Communicator,
+    PEStateHandle,
+    ReduceOp,
+    make_communicator,
+    merge_largest,
+    merge_smallest,
+)
 from repro.network.collectives import (
     binomial_broadcast,
     binomial_gather,
@@ -28,9 +42,10 @@ from repro.network.collectives import (
     butterfly_allreduce,
     hypercube_scan,
 )
-from repro.network.communicator import ReduceOp, SimComm
+from repro.network.communicator import SimComm
 from repro.network.cost_model import CommEvent, CostLedger, CostParameters
 from repro.network.message import Message, MessageTrace
+from repro.network.process_comm import ProcessComm, WorkerError
 from repro.network.topology import Topology
 
 __all__ = [
@@ -40,8 +55,15 @@ __all__ = [
     "Message",
     "MessageTrace",
     "Topology",
+    "Communicator",
+    "PEStateHandle",
     "SimComm",
+    "ProcessComm",
+    "WorkerError",
     "ReduceOp",
+    "make_communicator",
+    "merge_smallest",
+    "merge_largest",
     "binomial_broadcast",
     "binomial_reduce",
     "binomial_gather",

@@ -1,0 +1,310 @@
+"""The :class:`Communicator` protocol shared by all execution backends.
+
+The sampling algorithms in :mod:`repro.core` are SPMD programs driven from a
+coordinator: the driver calls *collective operations* with one value per PE
+and dispatches *per-PE local work* (key generation, reservoir insertions,
+rank queries) through a small execution layer.  Everything the algorithms
+need from an execution substrate is captured here:
+
+* **collectives** — ``broadcast`` / ``reduce`` / ``allreduce`` / ``gather`` /
+  ``allgather`` / ``scan`` / ``barrier`` plus point-to-point ``send``, all
+  operating on per-PE value lists (``values[i]`` is PE ``i``'s
+  contribution),
+* **phase accounting** — every operation is attributed to the phase set via
+  :meth:`Communicator.phase` (``"insert"``, ``"select"``, ...) in a
+  :class:`~repro.network.cost_model.CostLedger`, which is how the
+  running-time composition of the paper's Figure 6 is reconstructed,
+* a **PE-state execution layer** — :meth:`Communicator.create_pe_state`
+  installs one state object per PE (the local reservoir, the PE's random
+  generator, optionally a stream shard) and :meth:`Communicator.run_per_pe`
+  executes a kernel function against every PE's state.
+
+Two backends implement the protocol:
+
+* :class:`~repro.network.communicator.SimComm` keeps all ``p`` PEs inside
+  the driver process and charges a *simulated* cost model — this is the
+  paper-faithful cost simulator;
+* :class:`~repro.network.process_comm.ProcessComm` runs each PE as a real
+  ``multiprocessing`` worker; collectives are executed by the workers
+  themselves over inter-process queues using the same binomial/butterfly
+  schedules, and the ledger records *measured wall-clock* time.
+
+Because both backends execute the exact same kernel functions against
+per-PE states seeded the same way, a given seed produces **byte-identical
+samples** under either backend (enforced by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import functools
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.cost_model import CostLedger
+from repro.network.topology import Topology
+
+__all__ = [
+    "ReduceOp",
+    "Communicator",
+    "PEStateHandle",
+    "merge_smallest",
+    "merge_largest",
+    "make_communicator",
+    "COMM_BACKENDS",
+]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An associative reduction operator usable in (all-)reductions.
+
+    ``func`` must be picklable (a module-level function or a
+    :func:`functools.partial` of one) so that reductions can be shipped to
+    the worker processes of the multiprocess backend.
+    """
+
+    name: str
+    func: Callable[[object, object], object]
+
+    def __call__(self, a: object, b: object) -> object:
+        return self.func(a, b)
+
+
+def _sum(a, b):
+    return a + b
+
+
+def _max(a, b):
+    return np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b)
+
+
+def _min(a, b):
+    return np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b)
+
+
+def _merge_smallest_impl(limit: int, a, b) -> np.ndarray:
+    merged = np.concatenate((np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
+    merged.sort()
+    return merged[:limit]
+
+
+def _merge_largest_impl(limit: int, a, b) -> np.ndarray:
+    merged = np.concatenate((np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
+    merged.sort()
+    return merged[-limit:] if limit < merged.shape[0] else merged
+
+
+def merge_smallest(limit: int) -> ReduceOp:
+    """Reduction keeping the ``limit`` smallest values of the union."""
+    return ReduceOp(f"merge_smallest_{limit}", functools.partial(_merge_smallest_impl, limit))
+
+
+def merge_largest(limit: int) -> ReduceOp:
+    """Reduction keeping the ``limit`` largest values of the union."""
+    return ReduceOp(f"merge_largest_{limit}", functools.partial(_merge_largest_impl, limit))
+
+
+@dataclass(frozen=True)
+class PEStateHandle:
+    """Opaque handle to a group of per-PE states owned by a communicator."""
+
+    group: int
+
+
+class Communicator(abc.ABC):
+    """Execution backend over ``p`` PEs: collectives + per-PE local work.
+
+    Subclasses must set :attr:`topology` (a
+    :class:`~repro.network.topology.Topology`) and :attr:`ledger` (a
+    :class:`~repro.network.cost_model.CostLedger`) in ``__init__`` and
+    implement the abstract collective and execution-layer methods.
+    """
+
+    #: short backend identifier ("sim" or "process")
+    kind: str = "abstract"
+
+    SUM = ReduceOp("sum", _sum)
+    MAX = ReduceOp("max", _max)
+    MIN = ReduceOp("min", _min)
+
+    topology: Topology
+    ledger: CostLedger
+
+    def __init__(self) -> None:
+        self._phase = "other"
+
+    # ------------------------------------------------------------------
+    # structure and phase accounting
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of PEs."""
+        return self.topology.p
+
+    @property
+    def current_phase(self) -> str:
+        """Phase label new communication is attributed to."""
+        return self._phase
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all communication inside the block to phase ``name``."""
+        previous = self._phase
+        self._phase = name
+        try:
+            yield
+        finally:
+            self._phase = previous
+
+    def _check_values(self, values: Sequence[object]) -> None:
+        if len(values) != self.p:
+            raise ValueError(
+                f"expected one value per PE ({self.p}), got {len(values)}"
+            )
+
+    # ------------------------------------------------------------------
+    # collectives (per-PE value lists; values[i] belongs to PE i)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def broadcast(
+        self, values: Sequence[object], root: int = 0, *, words: Optional[float] = None
+    ) -> List[object]:
+        """Broadcast ``values[root]`` to all PEs; returns the per-PE list."""
+
+    @abc.abstractmethod
+    def reduce(
+        self,
+        values: Sequence[object],
+        op: ReduceOp,
+        root: int = 0,
+        *,
+        words: Optional[float] = None,
+    ) -> object:
+        """Reduce per-PE values with ``op``; the result is returned (logically at ``root``)."""
+
+    @abc.abstractmethod
+    def allreduce(
+        self, values: Sequence[object], op: ReduceOp, *, words: Optional[float] = None
+    ) -> List[object]:
+        """All-reduce: every PE obtains the reduction of all contributions."""
+
+    @abc.abstractmethod
+    def gather(
+        self,
+        values: Sequence[object],
+        root: int = 0,
+        *,
+        words_per_pe: Optional[Sequence[float]] = None,
+    ) -> List[object]:
+        """Gather one value from every PE; returns the rank-ordered list at ``root``."""
+
+    @abc.abstractmethod
+    def allgather(
+        self, values: Sequence[object], *, words_per_pe: Optional[Sequence[float]] = None
+    ) -> List[List[object]]:
+        """All-gather: every PE obtains the rank-ordered list of all values."""
+
+    @abc.abstractmethod
+    def scan(
+        self, values: Sequence[object], op: ReduceOp, *, words: Optional[float] = None
+    ) -> List[object]:
+        """Inclusive prefix reduction over PE ranks."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Synchronise all PEs."""
+
+    @abc.abstractmethod
+    def send(self, src: int, dst: int, value: object, *, words: Optional[float] = None) -> object:
+        """Send ``value`` from PE ``src`` to PE ``dst`` and return it."""
+
+    # ------------------------------------------------------------------
+    # PE-state execution layer
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def create_pe_state(
+        self,
+        factory: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> PEStateHandle:
+        """Create one state object per PE by calling ``factory(pe, *args)``.
+
+        ``factory`` and the argument tuples must be picklable for the
+        multiprocess backend; the canonical factory is
+        :func:`repro.core.pe_kernels.make_pe_state`.  Returns a handle to
+        pass to :meth:`run_per_pe` / :meth:`run_on_pe`.
+        """
+
+    @abc.abstractmethod
+    def run_per_pe(
+        self,
+        handle: PEStateHandle,
+        fn: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> List[object]:
+        """Run ``fn(state_pe, *per_pe_args[pe])`` on every PE, in parallel
+        where the backend allows it; returns the per-PE results in rank
+        order."""
+
+    @abc.abstractmethod
+    def run_on_pe(self, handle: PEStateHandle, pe: int, fn: Callable[..., object], *args) -> object:
+        """Run ``fn(state_pe, *args)`` on one PE and return its result."""
+
+    def local_pe_state(self, handle: PEStateHandle, pe: int) -> object:
+        """Direct access to a PE's state object.
+
+        Only the simulated backend can hand out the actual object; the
+        multiprocess backend raises because the state lives in a worker.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot expose PE-local state objects; "
+            "use run_on_pe()/run_per_pe() to operate on them"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release backend resources (worker processes, queues).  Idempotent."""
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+#: registry of communicator backend names accepted by :func:`make_communicator`
+COMM_BACKENDS = ("sim", "process")
+
+
+def make_communicator(kind: str, p: int, **kwargs) -> Communicator:
+    """Create a communicator backend by name.
+
+    Parameters
+    ----------
+    kind:
+        ``"sim"`` for the single-process cost simulator
+        (:class:`~repro.network.communicator.SimComm`) or ``"process"`` for
+        the real multiprocess backend
+        (:class:`~repro.network.process_comm.ProcessComm`).
+    p:
+        Number of PEs.
+    kwargs:
+        Forwarded to the backend constructor (e.g. ``cost=`` for the
+        simulator, ``start_method=`` for the process backend).
+    """
+    name = kind.strip().lower()
+    if name in ("sim", "simulated", "simcomm"):
+        from repro.network.communicator import SimComm
+
+        return SimComm(p, **kwargs)
+    if name in ("process", "multiprocess", "processcomm", "mp"):
+        from repro.network.process_comm import ProcessComm
+
+        return ProcessComm(p, **kwargs)
+    raise ValueError(f"unknown communicator backend {kind!r}; expected one of {COMM_BACKENDS}")

@@ -1,9 +1,10 @@
 """SPMD-style simulated communicator with cost accounting.
 
-:class:`SimComm` is the facade the sampling algorithms program against.  It
-mirrors the collective interface of MPI (broadcast, reduce, all-reduce,
-gather, all-gather, scan, barrier) but operates on *per-PE value lists*
-because all ``p`` PEs live inside one simulating process.
+:class:`SimComm` is the *simulated* backend of the
+:class:`~repro.network.base.Communicator` protocol.  It mirrors the
+collective interface of MPI (broadcast, reduce, all-reduce, gather,
+all-gather, scan, barrier) but operates on *per-PE value lists* because all
+``p`` PEs live inside one simulating process.
 
 Every call
 
@@ -17,17 +18,20 @@ Every call
 Calls are attributed to the *phase* currently set via :meth:`SimComm.phase`
 (e.g. ``"select"`` or ``"threshold"``), which is how the running-time
 composition of Figure 6 is reconstructed.
+
+The per-PE states of the execution layer (local reservoirs, per-PE random
+generators) are held in plain Python lists and kernels run inline — which
+is exactly what makes the simulated backend deterministic and fast to test
+against.  See :class:`~repro.network.process_comm.ProcessComm` for the real
+multiprocess execution backend.
 """
 
 from __future__ import annotations
 
-import contextlib
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, List, Optional, Sequence
 
 from repro.network import collectives
+from repro.network.base import Communicator, PEStateHandle, ReduceOp
 from repro.network.cost_model import CostLedger, CostParameters
 from repro.network.message import MessageTrace
 from repro.network.topology import Topology
@@ -35,30 +39,7 @@ from repro.network.topology import Topology
 __all__ = ["ReduceOp", "SimComm"]
 
 
-@dataclass(frozen=True)
-class ReduceOp:
-    """An associative reduction operator usable in (all-)reductions."""
-
-    name: str
-    func: Callable[[object, object], object]
-
-    def __call__(self, a: object, b: object) -> object:
-        return self.func(a, b)
-
-
-def _sum(a, b):
-    return a + b
-
-
-def _max(a, b):
-    return np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b)
-
-
-def _min(a, b):
-    return np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b)
-
-
-class SimComm:
+class SimComm(Communicator):
     """Simulated communicator over ``p`` PEs.
 
     Parameters
@@ -74,9 +55,7 @@ class SimComm:
         :attr:`trace` (useful in tests, off by default for speed).
     """
 
-    SUM = ReduceOp("sum", _sum)
-    MAX = ReduceOp("max", _max)
-    MIN = ReduceOp("min", _min)
+    kind = "sim"
 
     def __init__(
         self,
@@ -86,41 +65,16 @@ class SimComm:
         *,
         trace_messages: bool = False,
     ) -> None:
+        super().__init__()
         self.topology = Topology(p)
         self.cost = cost or CostParameters()
         self.ledger = ledger if ledger is not None else CostLedger()
         self.trace: Optional[MessageTrace] = MessageTrace() if trace_messages else None
-        self._phase = "other"
+        self._pe_states: List[List[object]] = []
 
     # ------------------------------------------------------------------
-    @property
-    def p(self) -> int:
-        """Number of PEs."""
-        return self.topology.p
-
-    @property
-    def current_phase(self) -> str:
-        """Phase label new communication is attributed to."""
-        return self._phase
-
-    @contextlib.contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Attribute all communication inside the block to phase ``name``."""
-        previous = self._phase
-        self._phase = name
-        try:
-            yield
-        finally:
-            self._phase = previous
-
     def _on_message(self):
         return self.trace.add if self.trace is not None else None
-
-    def _check_values(self, values: Sequence[object]) -> None:
-        if len(values) != self.p:
-            raise ValueError(
-                f"expected one value per PE ({self.p}), got {len(values)}"
-            )
 
     def _record(self, op: str, messages: int, words: float, rounds: int, time: float) -> None:
         self.ledger.record(
@@ -260,6 +214,49 @@ class SimComm:
                 self.trace.add(Message(src=src, dst=dst, words=words, op="send", round_index=0))
             self._record("send", messages=1, words=words, rounds=1, time=self.cost.message_time(words))
         return value
+
+    # ------------------------------------------------------------------
+    # PE-state execution layer (inline: all states live in this process)
+    # ------------------------------------------------------------------
+    def create_pe_state(
+        self,
+        factory: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> PEStateHandle:
+        """Create one state per PE by calling ``factory(pe, *args)`` inline."""
+        if per_pe_args is not None and len(per_pe_args) != self.p:
+            raise ValueError(f"expected {self.p} per-PE argument tuples, got {len(per_pe_args)}")
+        states = [
+            factory(pe, *(per_pe_args[pe] if per_pe_args is not None else ()))
+            for pe in range(self.p)
+        ]
+        self._pe_states.append(states)
+        return PEStateHandle(group=len(self._pe_states) - 1)
+
+    def run_per_pe(
+        self,
+        handle: PEStateHandle,
+        fn: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> List[object]:
+        """Run ``fn`` against every PE's state, sequentially in rank order."""
+        if per_pe_args is not None and len(per_pe_args) != self.p:
+            raise ValueError(f"expected {self.p} per-PE argument tuples, got {len(per_pe_args)}")
+        states = self._pe_states[handle.group]
+        return [
+            fn(states[pe], *(per_pe_args[pe] if per_pe_args is not None else ()))
+            for pe in range(self.p)
+        ]
+
+    def run_on_pe(self, handle: PEStateHandle, pe: int, fn: Callable[..., object], *args) -> object:
+        """Run ``fn`` against one PE's state."""
+        pe = self.topology.validate_rank(pe)
+        return fn(self._pe_states[handle.group][pe], *args)
+
+    def local_pe_state(self, handle: PEStateHandle, pe: int) -> object:
+        """The actual state object of PE ``pe`` (simulated backend only)."""
+        pe = self.topology.validate_rank(pe)
+        return self._pe_states[handle.group][pe]
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"SimComm(p={self.p}, phase={self._phase!r})"

@@ -1,0 +1,708 @@
+"""Real multiprocess execution backend (:class:`ProcessComm`).
+
+This is the second implementation of the
+:class:`~repro.network.base.Communicator` protocol: every PE is a real
+``multiprocessing`` worker process that owns its PE-local state (reservoir,
+random generator, stream shard) and executes the same kernel functions the
+simulated backend runs inline.
+
+Communication layout
+--------------------
+* One duplex :func:`multiprocessing.Pipe` per worker carries *commands*
+  from the coordinator (create state, run a kernel, participate in a
+  collective) and their results back.
+* One :class:`multiprocessing.Queue` per worker is its *inbox* for
+  worker-to-worker messages.  Collectives are executed **by the workers
+  themselves**: each rank follows the same binomial-tree / butterfly /
+  hypercube schedule as the simulated algorithms in
+  :mod:`repro.network.collectives` (parents/children/partners come from the
+  shared :class:`~repro.network.topology.Topology`), sending pickled numpy
+  payloads into its peers' inboxes.
+
+Because the worker-side algorithms apply the reduction operator in exactly
+the same order as their simulated counterparts, a reduction over floats
+produces bit-identical results under both backends — which is what makes
+the end-to-end sampler equivalence tests byte-exact.
+
+The ledger records **measured wall-clock seconds** per operation (instead
+of the simulated machine model), attributed to the current phase, so the
+same Figure-6-style composition reports work for real executions.
+
+Fault handling
+--------------
+Worker exceptions are caught, serialised (type + traceback text) and
+re-raised in the coordinator as :class:`WorkerError`.  Workers ignore
+``SIGINT`` so a ``KeyboardInterrupt`` unwinds in the coordinator only,
+whose ``shutdown()`` (also invoked by the context manager and ``atexit``)
+terminates and joins every worker — no orphan processes are left behind.
+Workers are daemonic as a last line of defence.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import signal
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network import collectives
+from repro.network.base import Communicator, PEStateHandle, ReduceOp
+from repro.network.cost_model import CostLedger
+from repro.network.topology import Topology
+
+__all__ = ["ProcessComm", "WorkerError", "default_start_method"]
+
+
+class WorkerError(RuntimeError):
+    """One or more worker processes raised while executing a command."""
+
+    def __init__(self, failures: Sequence[Tuple[int, str, str]]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} worker(s) failed:"]
+        for rank, exc_repr, tb in self.failures:
+            lines.append(f"  [rank {rank}] {exc_repr}")
+            if tb:
+                lines.append("    " + "\n    ".join(tb.strip().splitlines()))
+        super().__init__("\n".join(lines))
+
+
+def default_start_method() -> str:
+    """``"fork"`` where available (fast, inherits the parent's modules),
+    otherwise ``"spawn"``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+class _Mailbox:
+    """Receive-side of a worker's inbox with out-of-order stashing.
+
+    Messages are tagged ``(seq, src)``.  Within one collective (one ``seq``)
+    a rank may receive from several peers whose messages can interleave
+    arbitrarily in the queue; messages for a later collective can also
+    arrive while this rank is still draining the current one.  ``recv``
+    returns the requested message and stashes everything else.
+    """
+
+    def __init__(self, queue, timeout: float) -> None:
+        self._queue = queue
+        self._timeout = timeout
+        self._stash: Dict[Tuple[int, int], object] = {}
+
+    def recv(self, seq: int, src: int) -> object:
+        key = (seq, src)
+        if key in self._stash:
+            return self._stash.pop(key)
+        deadline = time.monotonic() + self._timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"timed out waiting for message (seq={seq}, src={src}); "
+                    "a peer worker likely died or raised"
+                )
+            msg_seq, msg_src, payload = self._queue.get(timeout=remaining)
+            if (msg_seq, msg_src) == key:
+                return payload
+            self._stash[(msg_seq, msg_src)] = payload
+
+
+class _WorkerNet:
+    """Rank-local collective algorithms over the inter-worker inboxes.
+
+    Each method mirrors the per-PE-value-list algorithm of the same name in
+    :mod:`repro.network.collectives` — same tree shapes, same reduction
+    order — executed from the perspective of one rank.
+    """
+
+    def __init__(self, rank: int, topology: Topology, inboxes, mailbox: _Mailbox) -> None:
+        self.rank = rank
+        self.topology = topology
+        self.inboxes = inboxes
+        self.mailbox = mailbox
+
+    @property
+    def p(self) -> int:
+        return self.topology.p
+
+    def _send(self, seq: int, dst: int, payload: object) -> None:
+        self.inboxes[dst].put((seq, self.rank, payload))
+
+    # -- binomial tree ----------------------------------------------------
+    def broadcast(self, seq: int, value: object, root: int) -> object:
+        if self.p == 1:
+            return value
+        topo = self.topology
+        rel = topo.relative_rank(self.rank, root)
+        if rel != 0:
+            value = self.mailbox.recv(seq, topo.binomial_parent(self.rank, root))
+        for child in topo.binomial_children(self.rank, root):
+            self._send(seq, child, value)
+        return value
+
+    def reduce(self, seq: int, value: object, op: ReduceOp, root: int) -> object:
+        if self.p == 1:
+            return value
+        topo = self.topology
+        rel = topo.relative_rank(self.rank, root)
+        partial = value
+        # Children attach at ascending bit positions; receiving in that
+        # order reproduces the simulated algorithm's reduction order.
+        for child in reversed(topo.binomial_children(self.rank, root)):
+            partial = op(partial, self.mailbox.recv(seq, child))
+        if rel != 0:
+            self._send(seq, topo.binomial_parent(self.rank, root), partial)
+            return None
+        return partial
+
+    def gather(self, seq: int, value: object, root: int) -> Optional[List[object]]:
+        if self.p == 1:
+            return [value]
+        topo = self.topology
+        rel = topo.relative_rank(self.rank, root)
+        pairs: List[Tuple[int, object]] = [(self.rank, value)]
+        for child in reversed(topo.binomial_children(self.rank, root)):
+            pairs.extend(self.mailbox.recv(seq, child))
+        if rel != 0:
+            self._send(seq, topo.binomial_parent(self.rank, root), pairs)
+            return None
+        pairs.sort(key=lambda pair: pair[0])
+        return [v for _, v in pairs]
+
+    # -- butterfly --------------------------------------------------------
+    def allreduce(self, seq: int, value: object, op: ReduceOp) -> object:
+        p, rank = self.p, self.rank
+        if p == 1:
+            return value
+        core = 1 << (p.bit_length() - 1)  # largest power of two <= p
+        extra = p - core
+        partial = value
+        # fold-in: excess ranks contribute to a partner inside the core
+        if extra and rank >= core:
+            self._send(seq, rank - core, partial)
+        elif extra and rank < extra:
+            partial = op(partial, self.mailbox.recv(seq, rank + core))
+        # butterfly among the core ranks (combine lower-rank value first,
+        # matching collectives.butterfly_allreduce)
+        if rank < core:
+            for bit in range(core.bit_length() - 1):
+                partner = rank ^ (1 << bit)
+                self._send(seq, partner, partial)
+                other = self.mailbox.recv(seq, partner)
+                partial = op(partial, other) if rank < partner else op(other, partial)
+        # fold-out: send the result back to the excess ranks
+        if extra and rank < extra:
+            self._send(seq, rank + core, partial)
+        elif extra and rank >= core:
+            partial = self.mailbox.recv(seq, rank - core)
+        return partial
+
+    def allgather(self, seq: int, value: object) -> List[object]:
+        p, rank = self.p, self.rank
+        if p == 1:
+            return [value]
+        if p & (p - 1) == 0:
+            holdings: Dict[int, object] = {rank: value}
+            for bit in range(p.bit_length() - 1):
+                partner = rank ^ (1 << bit)
+                self._send(seq, partner, holdings)
+                received = self.mailbox.recv(seq, partner)
+                merged = dict(holdings)
+                merged.update(received)
+                holdings = merged
+            return [holdings[r] for r in range(p)]
+        # non-power-of-two: binomial gather at rank 0, then broadcast
+        gathered = self.gather(seq, value, root=0)
+        return self.broadcast(seq, gathered, root=0)
+
+    def scan(self, seq: int, value: object, op: ReduceOp) -> object:
+        p, rank = self.p, self.rank
+        if p == 1:
+            return value
+        prefix = value
+        aggregate = value
+        for bit in range(self.topology.rounds):
+            partner = rank ^ (1 << bit)
+            if partner >= p:
+                continue
+            self._send(seq, partner, aggregate)
+            other = self.mailbox.recv(seq, partner)
+            combined = op(aggregate, other) if rank < partner else op(other, aggregate)
+            if partner < rank:
+                prefix = op(other, prefix)
+            aggregate = combined
+        return prefix
+
+    # -- point-to-point ---------------------------------------------------
+    def p2p(self, seq: int, src: int, dst: int, value: object) -> object:
+        if self.rank == src and src != dst:
+            self._send(seq, dst, value)
+            return value
+        if self.rank == dst and src != dst:
+            return self.mailbox.recv(seq, src)
+        return value
+
+
+def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> None:
+    """Command loop of one worker process."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main-thread start
+        pass
+    topology = Topology(p)
+    mailbox = _Mailbox(inboxes[rank], mailbox_timeout)
+    net = _WorkerNet(rank, topology, inboxes, mailbox)
+    states: Dict[int, object] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = msg[0]
+        if kind == "exit":
+            break
+        try:
+            if kind == "init_state":
+                _, group, factory, args = msg
+                states[group] = factory(rank, *args)
+                conn.send(("ok", None))
+            elif kind == "run":
+                _, group, fn, args = msg
+                conn.send(("ok", fn(states[group], *args)))
+            elif kind == "coll":
+                _, seq, op_name, payload, extra = msg
+                if op_name == "broadcast":
+                    result = net.broadcast(seq, payload, extra["root"])
+                elif op_name == "reduce":
+                    result = net.reduce(seq, payload, extra["op"], extra["root"])
+                elif op_name == "allreduce":
+                    result = net.allreduce(seq, payload, extra["op"])
+                elif op_name == "gather":
+                    result = net.gather(seq, payload, extra["root"])
+                elif op_name == "allgather":
+                    result = net.allgather(seq, payload)
+                elif op_name == "scan":
+                    result = net.scan(seq, payload, extra["op"])
+                elif op_name == "barrier":
+                    net.allreduce(seq, 0.0, Communicator.SUM)
+                    result = None
+                elif op_name == "p2p":
+                    result = net.p2p(seq, extra["src"], extra["dst"], payload)
+                else:
+                    raise ValueError(f"unknown collective {op_name!r}")
+                conn.send(("ok", result))
+            else:
+                conn.send(("err", f"ValueError('unknown command {kind!r}')", ""))
+        except BaseException as exc:  # propagate everything to the coordinator
+            try:
+                conn.send(("err", repr(exc), traceback.format_exc()))
+            except (OSError, ValueError):  # pragma: no cover - pipe gone
+                break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+class ProcessComm(Communicator):
+    """Communicator running each PE as a real ``multiprocessing`` worker.
+
+    Parameters
+    ----------
+    p:
+        Number of worker processes (PEs).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available, ``"spawn"`` otherwise.
+    reply_timeout:
+        Seconds the coordinator waits for a worker's reply to any single
+        command before declaring it dead.
+    mailbox_timeout:
+        Seconds a worker waits for a peer's message inside a collective.
+        Kept below ``reply_timeout`` so that a dead peer surfaces as a
+        :class:`WorkerError` instead of a coordinator timeout.
+    ledger:
+        Ledger recording *measured* wall-clock time per operation; a fresh
+        one is created if not given.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        p: int,
+        *,
+        start_method: Optional[str] = None,
+        reply_timeout: float = 120.0,
+        mailbox_timeout: float = 30.0,
+        ledger: Optional[CostLedger] = None,
+    ) -> None:
+        super().__init__()
+        self.topology = Topology(p)
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.trace = None  # message tracing is a simulator-only feature
+        self.reply_timeout = float(reply_timeout)
+        self._ctx = mp.get_context(start_method or default_start_method())
+        self._seq = 0
+        self._groups = 0
+        self._closed = False
+        self._inboxes = [self._ctx.Queue() for _ in range(p)]
+        self._conns = []
+        self._procs = []
+        for rank in range(p):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(rank, p, child_conn, self._inboxes, float(mailbox_timeout)),
+                name=f"repro-pe-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._atexit = atexit.register(self.shutdown)
+
+    # ------------------------------------------------------------------
+    # command plumbing
+    # ------------------------------------------------------------------
+    @property
+    def workers_alive(self) -> List[bool]:
+        """Liveness of each worker process (diagnostics/tests)."""
+        return [proc.is_alive() for proc in self._procs]
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ProcessComm has been shut down")
+
+    def _recv_reply(self, rank: int) -> Tuple[str, object, str]:
+        conn = self._conns[rank]
+        if not conn.poll(self.reply_timeout):
+            raise WorkerError([(rank, f"no reply within {self.reply_timeout}s", "")])
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError([(rank, f"worker pipe closed ({exc!r})", "")]) from exc
+        if reply[0] == "ok":
+            return ("ok", reply[1], "")
+        return ("err", reply[1], reply[2])
+
+    def _collect(self, ranks: Sequence[int]) -> List[object]:
+        """Collect one reply from each given rank; raise if any failed.
+
+        All replies are drained before raising so the pipes stay in sync
+        for subsequent commands.
+        """
+        results: List[object] = []
+        failures: List[Tuple[int, str, str]] = []
+        for rank in ranks:
+            try:
+                status, value, tb = self._recv_reply(rank)
+            except WorkerError as exc:
+                failures.extend(exc.failures)
+                results.append(None)
+                continue
+            if status == "ok":
+                results.append(value)
+            else:
+                failures.append((rank, str(value), tb))
+                results.append(None)
+        if failures:
+            raise WorkerError(failures)
+        return results
+
+    def _command_all(self, messages: Sequence[object]) -> List[object]:
+        self._ensure_open()
+        for rank, message in enumerate(messages):
+            self._conns[rank].send(message)
+        return self._collect(range(self.p))
+
+    def _record(self, op: str, messages: int, words: float, rounds: int, elapsed: float) -> None:
+        self.ledger.record(
+            op,
+            phase=self._phase,
+            p=self.p,
+            messages=messages,
+            words=words,
+            rounds=rounds,
+            time=elapsed,
+        )
+
+    def _collective(self, op_name: str, payloads: Sequence[object], extra: dict) -> List[object]:
+        seq = self._seq
+        self._seq += 1
+        return self._command_all(
+            [("coll", seq, op_name, payloads[rank], extra) for rank in range(self.p)]
+        )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def broadcast(self, values: Sequence[object], root: int = 0, *, words: Optional[float] = None) -> List[object]:
+        """Broadcast ``values[root]`` to all PEs along a real binomial tree."""
+        self._check_values(values)
+        root = self.topology.validate_rank(root)
+        if words is None:
+            words = collectives.payload_words(values[root])
+        start = time.perf_counter()
+        result = self._collective("broadcast", values, {"root": root})
+        self._record(
+            "broadcast",
+            messages=self.p - 1,
+            words=words * (self.p - 1),
+            rounds=self.topology.rounds,
+            elapsed=time.perf_counter() - start,
+        )
+        return result
+
+    def reduce(
+        self,
+        values: Sequence[object],
+        op: ReduceOp,
+        root: int = 0,
+        *,
+        words: Optional[float] = None,
+    ) -> object:
+        """Reduce per-PE values with ``op``; result is computed at ``root``."""
+        self._check_values(values)
+        root = self.topology.validate_rank(root)
+        if words is None:
+            words = max(collectives.payload_words(v) for v in values)
+        start = time.perf_counter()
+        results = self._collective("reduce", values, {"op": op, "root": root})
+        self._record(
+            f"reduce[{op.name}]",
+            messages=self.p - 1,
+            words=words * (self.p - 1),
+            rounds=self.topology.rounds,
+            elapsed=time.perf_counter() - start,
+        )
+        return results[root]
+
+    def allreduce(
+        self, values: Sequence[object], op: ReduceOp, *, words: Optional[float] = None
+    ) -> List[object]:
+        """All-reduce via a real butterfly exchange between the workers."""
+        self._check_values(values)
+        if words is None:
+            words = max(collectives.payload_words(v) for v in values)
+        messages = max(0, 2 * (self.p - 1))
+        start = time.perf_counter()
+        result = self._collective("allreduce", values, {"op": op})
+        self._record(
+            f"allreduce[{op.name}]",
+            messages=messages,
+            words=words * messages,
+            rounds=self.topology.rounds,
+            elapsed=time.perf_counter() - start,
+        )
+        return result
+
+    def gather(
+        self,
+        values: Sequence[object],
+        root: int = 0,
+        *,
+        words_per_pe: Optional[Sequence[float]] = None,
+    ) -> List[object]:
+        """Gather one value per PE at ``root`` along a real binomial tree."""
+        self._check_values(values)
+        root = self.topology.validate_rank(root)
+        if words_per_pe is None:
+            words_per_pe = [collectives.payload_words(v) for v in values]
+        start = time.perf_counter()
+        results = self._collective("gather", values, {"root": root})
+        self._record(
+            "gather",
+            messages=self.p - 1,
+            words=float(sum(words_per_pe)),
+            rounds=self.topology.rounds,
+            elapsed=time.perf_counter() - start,
+        )
+        return results[root]
+
+    def allgather(
+        self, values: Sequence[object], *, words_per_pe: Optional[Sequence[float]] = None
+    ) -> List[List[object]]:
+        """All-gather via recursive doubling (or gather+broadcast) between workers."""
+        self._check_values(values)
+        if words_per_pe is None:
+            words_per_pe = [collectives.payload_words(v) for v in values]
+        start = time.perf_counter()
+        result = self._collective("allgather", values, {})
+        self._record(
+            "allgather",
+            messages=2 * (self.p - 1),
+            words=float(sum(words_per_pe)),
+            rounds=self.topology.rounds,
+            elapsed=time.perf_counter() - start,
+        )
+        return [list(v) for v in result]
+
+    def scan(self, values: Sequence[object], op: ReduceOp, *, words: Optional[float] = None) -> List[object]:
+        """Inclusive prefix reduction via a real hypercube exchange."""
+        self._check_values(values)
+        if words is None:
+            words = max(collectives.payload_words(v) for v in values)
+        start = time.perf_counter()
+        result = self._collective("scan", values, {"op": op})
+        self._record(
+            f"scan[{op.name}]",
+            messages=max(0, 2 * (self.p - 1)),
+            words=words * (self.p - 1),
+            rounds=self.topology.rounds,
+            elapsed=time.perf_counter() - start,
+        )
+        return result
+
+    def barrier(self) -> None:
+        """Synchronise all workers (empty all-reduction)."""
+        start = time.perf_counter()
+        self._collective("barrier", [0.0] * self.p, {})
+        self._record(
+            "barrier",
+            messages=max(0, 2 * (self.p - 1)),
+            words=0.0,
+            rounds=self.topology.rounds,
+            elapsed=time.perf_counter() - start,
+        )
+
+    def send(self, src: int, dst: int, value: object, *, words: Optional[float] = None) -> object:
+        """Send ``value`` from worker ``src`` to worker ``dst``; returns it."""
+        src = self.topology.validate_rank(src)
+        dst = self.topology.validate_rank(dst)
+        if words is None:
+            words = collectives.payload_words(value)
+        if src == dst:
+            return value
+        self._ensure_open()
+        seq = self._seq
+        self._seq += 1
+        start = time.perf_counter()
+        extra = {"src": src, "dst": dst}
+        self._conns[src].send(("coll", seq, "p2p", value, extra))
+        self._conns[dst].send(("coll", seq, "p2p", None, extra))
+        results = self._collect([src, dst])
+        self._record("send", messages=1, words=words, rounds=1, elapsed=time.perf_counter() - start)
+        return results[1]
+
+    # ------------------------------------------------------------------
+    # PE-state execution layer (states live inside the workers)
+    # ------------------------------------------------------------------
+    def create_pe_state(
+        self,
+        factory: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> PEStateHandle:
+        """Install ``factory(rank, *args)`` as a state object in every worker."""
+        if per_pe_args is not None and len(per_pe_args) != self.p:
+            raise ValueError(f"expected {self.p} per-PE argument tuples, got {len(per_pe_args)}")
+        group = self._groups
+        self._groups += 1
+        self._command_all(
+            [
+                (
+                    "init_state",
+                    group,
+                    factory,
+                    tuple(per_pe_args[rank]) if per_pe_args is not None else (),
+                )
+                for rank in range(self.p)
+            ]
+        )
+        return PEStateHandle(group=group)
+
+    def run_per_pe(
+        self,
+        handle: PEStateHandle,
+        fn: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> List[object]:
+        """Dispatch ``fn`` to all workers at once; local work runs in parallel."""
+        if per_pe_args is not None and len(per_pe_args) != self.p:
+            raise ValueError(f"expected {self.p} per-PE argument tuples, got {len(per_pe_args)}")
+        start = time.perf_counter()
+        results = self._command_all(
+            [
+                (
+                    "run",
+                    handle.group,
+                    fn,
+                    tuple(per_pe_args[rank]) if per_pe_args is not None else (),
+                )
+                for rank in range(self.p)
+            ]
+        )
+        self._record(
+            "run_per_pe",
+            messages=2 * self.p,
+            words=0.0,
+            rounds=1,
+            elapsed=time.perf_counter() - start,
+        )
+        return results
+
+    def run_on_pe(self, handle: PEStateHandle, pe: int, fn: Callable[..., object], *args) -> object:
+        """Dispatch ``fn`` to a single worker."""
+        pe = self.topology.validate_rank(pe)
+        self._ensure_open()
+        self._conns[pe].send(("run", handle.group, fn, tuple(args)))
+        return self._collect([pe])[0]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Terminate all workers and release IPC resources.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(timeout=1.0)
+        for queue in self._inboxes:
+            try:
+                queue.cancel_join_thread()
+                queue.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            atexit.unregister(self._atexit)
+        except Exception:  # pragma: no cover
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - defensive
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "closed" if self._closed else "open"
+        return f"ProcessComm(p={self.p}, pid={os.getpid()}, {status})"

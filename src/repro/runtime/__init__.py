@@ -15,11 +15,17 @@ a mini-batch stream for a number of rounds and aggregates
 :class:`~repro.runtime.metrics.RoundMetrics` into a
 :class:`~repro.runtime.metrics.RunMetrics` record, from which the scaling
 benchmarks read speedups, throughput and the running-time composition.
+
+:class:`~repro.runtime.parallel.ParallelStreamingRun` is its wall-clock
+counterpart for the *real* multiprocess execution backend: the same round
+loop, but the stream is generated inside the worker processes and the
+metrics carry measured time.
 """
 
 from repro.runtime.clock import PhaseClock
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import PhaseTimes, RoundMetrics, RunMetrics
+from repro.runtime.parallel import ParallelStreamingRun
 from repro.runtime.simulator import StreamingSimulation
 
 __all__ = [
@@ -29,4 +35,5 @@ __all__ = [
     "RoundMetrics",
     "RunMetrics",
     "StreamingSimulation",
+    "ParallelStreamingRun",
 ]

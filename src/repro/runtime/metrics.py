@@ -1,4 +1,10 @@
-"""Per-round and per-run metrics of a simulated sampling execution.
+"""Per-round and per-run metrics of a sampling execution.
+
+Runs under the simulated backend report *simulated* time derived from the
+machine model; runs under the real multiprocess backend additionally carry
+*measured wall-clock* time (:attr:`RunMetrics.wall_time`, filled in by
+:class:`~repro.runtime.parallel.ParallelStreamingRun`) from which measured
+throughput and speedup are derived.
 
 The phase names follow Figure 6 of the paper:
 
@@ -104,6 +110,10 @@ class RunMetrics:
     algorithm: str
     #: reservoir store backend the run used ("merge", "btree", or "" when unknown)
     store: str = ""
+    #: communicator backend the run used ("sim", "process", or "" when unknown)
+    comm_backend: str = ""
+    #: measured wall-clock seconds of the run (0 when only simulated time exists)
+    wall_time: float = 0.0
     rounds: List[RoundMetrics] = field(default_factory=list)
 
     def add_round(self, metrics: RoundMetrics) -> None:
@@ -142,6 +152,14 @@ class RunMetrics:
         """Processed items per PE per second of simulated time (Figure 5)."""
         return self.throughput_total() / self.p
 
+    def wall_throughput_total(self) -> float:
+        """Processed items per second of *measured* wall-clock time."""
+        return self.total_items / self.wall_time if self.wall_time > 0 else float("inf")
+
+    def wall_throughput_per_pe(self) -> float:
+        """Measured per-PE throughput (compare against ``p=1`` for speedup)."""
+        return self.wall_throughput_total() / self.p
+
     def phase_times(self) -> Dict[str, PhaseTimes]:
         """Per-phase times summed over rounds."""
         totals: Dict[str, PhaseTimes] = {}
@@ -177,10 +195,13 @@ class RunMetrics:
             "k": self.k,
             "algorithm": self.algorithm,
             "store": self.store,
+            "comm_backend": self.comm_backend,
             "rounds": self.num_rounds,
             "total_items": self.total_items,
             "simulated_time": self.simulated_time,
+            "wall_time": self.wall_time,
             "throughput_per_pe": self.throughput_per_pe(),
+            "wall_throughput_total": (self.wall_throughput_total() if self.wall_time > 0 else 0.0),
             "phase_fractions": self.phase_fractions(),
             "mean_selection_depth": self.mean_selection_depth(),
         }

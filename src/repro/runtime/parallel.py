@@ -1,0 +1,172 @@
+"""Wall-clock driver for real (and simulated) parallel executions.
+
+:class:`ParallelStreamingRun` mirrors
+:class:`~repro.runtime.simulator.StreamingSimulation` but reports
+**measured wall-clock** :class:`~repro.runtime.metrics.RunMetrics` instead
+of simulated time: per-PE throughput, and — when compared against a
+``p=1`` run — real speedups.  It is the driver behind
+``benchmarks/bench_parallel_scaling.py``.
+
+The stream is generated *inside* each PE via
+:class:`~repro.stream.shard.WorkerStreamShard`
+(:meth:`~repro.core.distributed.DistributedReservoirSampler.attach_worker_stream`),
+so under the multiprocess backend both batch generation and ingestion run
+in parallel in the worker processes and the coordinator only orchestrates
+the select/threshold collectives.  Because the shards replicate
+:class:`~repro.stream.minibatch.MiniBatchStream` exactly and both backends
+execute the same kernels, a run under ``comm="sim"`` and a run under
+``comm="process"`` with the same seed produce byte-identical samples —
+only the reported times differ in meaning (simulated vs measured).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.network.base import Communicator, make_communicator
+from repro.runtime.metrics import RoundMetrics, RunMetrics
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ParallelStreamingRun"]
+
+
+class ParallelStreamingRun:
+    """Run a sampler over worker-generated mini-batches, measuring wall time.
+
+    Parameters
+    ----------
+    algorithm:
+        Paper name of the algorithm (``"ours"``, ``"ours-8"``,
+        ``"ours-variable"``, ``"gather"``).
+    k:
+        Sample size.
+    p:
+        Number of PEs (ignored when ``comm`` is a constructed communicator).
+    comm:
+        ``"process"`` (default) for real multiprocess workers, ``"sim"``
+        for the inline simulator, or an already constructed
+        :class:`~repro.network.base.Communicator`.
+    batch_size:
+        Items per PE per round (constant; the stream shards require it).
+    warmup_rounds:
+        Rounds processed before measurement starts.  The steady state —
+        few insertions per batch — only establishes itself after the first
+        few batches, exactly as in
+        :class:`~repro.runtime.simulator.StreamingSimulation`.
+    weighted / store / seed / weights:
+        Forwarded to the sampler / stream shards.
+
+    Use as a context manager (or call :meth:`close`) so the process
+    backend's workers are torn down deterministically.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "ours",
+        *,
+        k: int = 1000,
+        p: int = 4,
+        comm: Union[str, Communicator] = "process",
+        batch_size: int = 4096,
+        warmup_rounds: int = 1,
+        weighted: bool = True,
+        store: str = "merge",
+        seed: Optional[int] = 0,
+        weights=None,
+        **comm_kwargs,
+    ) -> None:
+        from repro.core.api import make_distributed_sampler
+
+        if isinstance(comm, Communicator):
+            self.comm = comm
+            self._owns_comm = False
+        else:
+            self.comm = make_communicator(comm, p, **comm_kwargs)
+            self._owns_comm = True
+        self.algorithm = algorithm
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.warmup_rounds = check_positive_int(warmup_rounds, "warmup_rounds", allow_zero=True)
+        self._warmed_up = False
+        self.sampler = make_distributed_sampler(
+            algorithm, k, self.comm, weighted=weighted, store=store, seed=seed
+        )
+        self.sampler.attach_worker_stream(batch_size, seed=seed, weights=weights)
+        self.metrics = RunMetrics(
+            p=self.comm.p,
+            k=int(getattr(self.sampler, "k", k)),
+            algorithm=algorithm,
+            store=str(getattr(self.sampler, "store", "")),
+            comm_backend=self.comm.kind,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        return self.comm.p
+
+    def _ensure_warmup(self) -> None:
+        if self._warmed_up:
+            return
+        for _ in range(self.warmup_rounds):
+            self.sampler.process_stream_round()
+        self._warmed_up = True
+
+    def step(self) -> RoundMetrics:
+        """Process one measured round and record its metrics."""
+        self._ensure_warmup()
+        start = time.perf_counter()
+        round_metrics = self.sampler.process_stream_round()
+        self.metrics.wall_time += time.perf_counter() - start
+        self.metrics.add_round(round_metrics)
+        return round_metrics
+
+    def run_rounds(self, rounds: int) -> RunMetrics:
+        """Process a fixed number of measured rounds (after warm-up)."""
+        for _ in range(check_positive_int(rounds, "rounds", allow_zero=True)):
+            self.step()
+        return self.metrics
+
+    def run_for_wall_time(
+        self, duration: float, *, max_rounds: int = 10_000, min_rounds: int = 1
+    ) -> RunMetrics:
+        """Process rounds until ``duration`` seconds of wall time elapsed.
+
+        Mirrors the paper's fixed-duration runs (30 s per configuration):
+        faster configurations complete more mini-batches.  At least
+        ``min_rounds`` and at most ``max_rounds`` rounds are processed.
+        """
+        check_positive(duration, "duration")
+        check_positive_int(max_rounds, "max_rounds")
+        rounds_done = 0
+        while rounds_done < max_rounds and (
+            rounds_done < min_rounds or self.metrics.wall_time < duration
+        ):
+            self.step()
+            rounds_done += 1
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def sample_ids(self) -> np.ndarray:
+        return self.sampler.sample_ids()
+
+    def communication_summary(self) -> dict:
+        """Summary of all communication recorded during the run.
+
+        Under the process backend the times are measured wall-clock
+        seconds; under the simulator they are simulated seconds.
+        """
+        return self.comm.ledger.summary()
+
+    def close(self) -> None:
+        """Shut down the communicator if this run created it."""
+        if self._owns_comm:
+            self.comm.shutdown()
+
+    def __enter__(self) -> "ParallelStreamingRun":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

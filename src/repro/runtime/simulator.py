@@ -44,6 +44,7 @@ class StreamingSimulation:
             k=int(getattr(sampler, "k", 0)),
             algorithm=str(getattr(sampler, "algorithm_name", type(sampler).__name__)),
             store=str(getattr(sampler, "store", "")),
+            comm_backend=str(getattr(getattr(sampler, "comm", None), "kind", "")),
         )
 
     # ------------------------------------------------------------------

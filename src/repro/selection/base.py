@@ -4,8 +4,18 @@ The selection algorithms find the item with a given global rank (or with a
 rank inside a given band) over the union of ``p`` *sorted* local key sets —
 in Algorithm 1 these are the local reservoirs.  They only interact with the
 data through the :class:`DistributedKeySet` interface, so the same
-implementations serve the B+-tree reservoirs of the distributed sampler,
-plain sorted arrays in tests, and any future backend.
+implementations serve the store-backed reservoirs of the distributed
+sampler (merge store or B+ tree), plain sorted arrays in tests, and any
+future backend.
+
+Besides the per-PE point queries, the interface offers *batched all-PE*
+operations (:meth:`DistributedKeySet.local_sizes`,
+:meth:`~DistributedKeySet.window_counts_all`,
+:meth:`~DistributedKeySet.propose_all`,
+:meth:`~DistributedKeySet.window_keys_all`).  The defaults loop over the
+point queries; the communicator-backed key set of the samplers overrides
+them with a single dispatch to all PEs so that, under the multiprocess
+backend, one selection round costs one round trip instead of ``p``.
 
 Rank convention: ranks are **1-based** ("the k-th smallest key"), matching
 the paper's ``select(R, k)``.
@@ -15,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Sequence
 
 import numpy as np
 
@@ -86,6 +96,74 @@ class DistributedKeySet(abc.ABC):
     def local_keys(self, pe: int) -> np.ndarray:
         """All keys of PE ``pe`` as a sorted array."""
         return self.keys_in_rank_range(pe, 0, self.local_size(pe))
+
+    # -- batched all-PE operations ------------------------------------------
+    def local_sizes(self) -> List[int]:
+        """Per-PE key counts, in rank order."""
+        return [self.local_size(pe) for pe in range(self.p)]
+
+    def window_counts_all(
+        self, pivots: np.ndarray, lo: Sequence[int], hi: Sequence[int]
+    ) -> List[np.ndarray]:
+        """Per-PE, per-pivot counts of active keys at most as large as each pivot.
+
+        The active window of PE ``pe`` holds the keys with local 0-based
+        ranks in ``[lo[pe], hi[pe])``; counts are clipped to that window.
+        """
+        pivots = np.asarray(pivots, dtype=np.float64)
+        counts: List[np.ndarray] = []
+        for pe in range(self.p):
+            if hi[pe] > lo[pe]:
+                counts.append(
+                    np.array(
+                        [
+                            min(max(self.count_le(pe, float(piv)) - lo[pe], 0), hi[pe] - lo[pe])
+                            for piv in pivots
+                        ],
+                        dtype=np.float64,
+                    )
+                )
+            else:
+                counts.append(np.zeros(pivots.shape[0], dtype=np.float64))
+        return counts
+
+    def propose_all(
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        prob: float,
+        d: int,
+        from_below: bool,
+        rngs: Sequence[np.random.Generator],
+    ) -> List[np.ndarray]:
+        """Per-PE pivot-proposal contributions (sorted key arrays).
+
+        Each PE Bernoulli-samples its active window with probability
+        ``prob`` and contributes the ``d`` smallest (or largest) sampled
+        keys.  The default runs driver-side using the supplied per-PE
+        generators; the communicator-backed key set instead executes the
+        identical kernel against the worker-held generators (and ignores
+        ``rngs``).
+        """
+        from repro.core.pe_kernels import propose_window_positions
+
+        contributions: List[np.ndarray] = []
+        for pe in range(self.p):
+            m = hi[pe] - lo[pe]
+            if m <= 0:
+                contributions.append(np.empty(0, dtype=np.float64))
+                continue
+            positions = propose_window_positions(rngs[pe], m, prob, d, from_below)
+            if positions is None:
+                contributions.append(np.empty(0, dtype=np.float64))
+                continue
+            keys = self.select_local_many(pe, lo[pe] + positions.astype(np.int64) + 1)
+            contributions.append(np.sort(keys))
+        return contributions
+
+    def window_keys_all(self, lo: Sequence[int], hi: Sequence[int]) -> List[np.ndarray]:
+        """Per-PE sorted key arrays of the active windows ``[lo[pe], hi[pe])``."""
+        return [self.keys_in_rank_range(pe, lo[pe], hi[pe]) for pe in range(self.p)]
 
 
 @dataclass

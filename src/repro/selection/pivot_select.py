@@ -33,7 +33,7 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
-from repro.network.communicator import ReduceOp, SimComm
+from repro.network.base import Communicator, merge_largest, merge_smallest
 from repro.selection.base import (
     DistributedKeySet,
     SelectionAlgorithm,
@@ -47,24 +47,6 @@ from repro.utils.validation import check_positive_int
 __all__ = ["PivotSelection"]
 
 RngLike = Union[np.random.Generator, Sequence[np.random.Generator], int, None]
-
-
-def _merge_smallest(limit: int) -> ReduceOp:
-    def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        merged = np.concatenate((np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
-        merged.sort()
-        return merged[:limit]
-
-    return ReduceOp(f"merge_smallest_{limit}", merge)
-
-
-def _merge_largest(limit: int) -> ReduceOp:
-    def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        merged = np.concatenate((np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
-        merged.sort()
-        return merged[-limit:] if limit < merged.shape[0] else merged
-
-    return ReduceOp(f"merge_largest_{limit}", merge)
 
 
 class PivotSelection(SelectionAlgorithm):
@@ -95,7 +77,7 @@ class PivotSelection(SelectionAlgorithm):
         return "single-pivot" if self.num_pivots == 1 else f"multi-pivot-{self.num_pivots}"
 
     # ------------------------------------------------------------------
-    def select(self, keyset: DistributedKeySet, k: int, comm: SimComm, rng: RngLike = None) -> SelectionResult:
+    def select(self, keyset: DistributedKeySet, k: int, comm: Communicator, rng: RngLike = None) -> SelectionResult:
         return self.select_range(keyset, k, k, comm, rng)
 
     def select_range(
@@ -103,7 +85,7 @@ class PivotSelection(SelectionAlgorithm):
         keyset: DistributedKeySet,
         k_lo: int,
         k_hi: int,
-        comm: SimComm,
+        comm: Communicator,
         rng: RngLike = None,
     ) -> SelectionResult:
         p = keyset.p
@@ -115,11 +97,11 @@ class PivotSelection(SelectionAlgorithm):
         stats = SelectionStats()
 
         lo = [0] * p
-        hi = [keyset.local_size(pe) for pe in range(p)]
+        hi = list(keyset.local_sizes())
         # One all-reduction establishes the total number of candidates; the
         # loop afterwards tracks the active-window size without extra
         # communication because every rank count is learned globally.
-        total = int(comm.allreduce([float(h) for h in hi], SimComm.SUM)[0])
+        total = int(comm.allreduce([float(h) for h in hi], Communicator.SUM)[0])
         stats.collective_calls += 1
         if total == 0:
             raise SelectionError("cannot select from an empty key set")
@@ -156,21 +138,10 @@ class PivotSelection(SelectionAlgorithm):
                 continue
             boost = 1.0
 
-            # Count, for every pivot, the number of active keys <= pivot.
-            local_counts = []
-            for pe in range(p):
-                if hi[pe] > lo[pe]:
-                    counts = np.array(
-                        [
-                            min(max(keyset.count_le(pe, float(piv)) - lo[pe], 0), hi[pe] - lo[pe])
-                            for piv in pivots
-                        ],
-                        dtype=np.float64,
-                    )
-                else:
-                    counts = np.zeros(pivots.shape[0], dtype=np.float64)
-                local_counts.append(counts)
-            global_counts = comm.allreduce(local_counts, SimComm.SUM, words=float(pivots.shape[0]))[0]
+            # Count, for every pivot, the number of active keys <= pivot
+            # (one batched dispatch to all PEs, then one all-reduction).
+            local_counts = keyset.window_counts_all(pivots, lo, hi)
+            global_counts = comm.allreduce(local_counts, Communicator.SUM, words=float(pivots.shape[0]))[0]
             global_counts = np.asarray(global_counts, dtype=np.float64).astype(np.int64)
             stats.collective_calls += 1
             stats.recursion_depth += 1
@@ -200,15 +171,13 @@ class PivotSelection(SelectionAlgorithm):
                 stats.used_fallback = True
                 return self._finish_by_gather(keyset, lo, hi, offset, target_lo, comm, stats)
 
+            # The clipped per-PE window counts already computed above are
+            # exactly the new window bounds — no further rank queries needed.
             for pe in range(p):
                 if j_hi is not None:
-                    hi[pe] = lo[pe] + min(
-                        max(keyset.count_le(pe, float(pivots[j_hi])) - lo[pe], 0), hi[pe] - lo[pe]
-                    )
+                    hi[pe] = lo[pe] + int(local_counts[pe][j_hi])
                 if j_lo is not None:
-                    lo[pe] = lo[pe] + min(
-                        max(keyset.count_le(pe, float(pivots[j_lo])) - lo[pe], 0), hi[pe] - lo[pe]
-                    )
+                    lo[pe] = lo[pe] + int(local_counts[pe][j_lo])
             if j_lo is not None:
                 offset += int(global_counts[j_lo])
             window = new_window
@@ -232,7 +201,7 @@ class PivotSelection(SelectionAlgorithm):
         target_hi: int,
         from_below: bool,
         boost: float,
-        comm: SimComm,
+        comm: Communicator,
         rngs: List[np.random.Generator],
         stats: SelectionStats,
     ) -> np.ndarray:
@@ -242,24 +211,8 @@ class PivotSelection(SelectionAlgorithm):
             prob = min(1.0, boost * d / max(target_hi, 1))
         else:
             prob = min(1.0, boost * d / max(window - target_lo + 1, 1))
-        contributions: List[np.ndarray] = []
-        for pe in range(keyset.p):
-            m = hi[pe] - lo[pe]
-            if m <= 0:
-                contributions.append(np.empty(0, dtype=np.float64))
-                continue
-            count = int(rngs[pe].binomial(m, prob))
-            if count == 0:
-                contributions.append(np.empty(0, dtype=np.float64))
-                continue
-            positions = rngs[pe].choice(m, size=count, replace=False)
-            if from_below:
-                positions = np.sort(positions)[:d]
-            else:
-                positions = np.sort(positions)[-d:]
-            keys = keyset.select_local_many(pe, lo[pe] + positions.astype(np.int64) + 1)
-            contributions.append(np.sort(keys))
-        op = _merge_smallest(d) if from_below else _merge_largest(d)
+        contributions = keyset.propose_all(lo, hi, prob, d, from_below, rngs)
+        op = merge_smallest(d) if from_below else merge_largest(d)
         merged = comm.allreduce(contributions, op, words=float(d))[0]
         stats.collective_calls += 1
         pivots = np.sort(np.asarray(merged, dtype=np.float64))
@@ -273,12 +226,12 @@ class PivotSelection(SelectionAlgorithm):
         hi: List[int],
         offset: int,
         target: int,
-        comm: SimComm,
+        comm: Communicator,
         stats: SelectionStats,
     ) -> SelectionResult:
         """Gather the remaining window at a root PE and finish sequentially."""
         p = keyset.p
-        arrays = [keyset.keys_in_rank_range(pe, lo[pe], hi[pe]) for pe in range(p)]
+        arrays = keyset.window_keys_all(lo, hi)
         gathered = comm.gather(arrays, root=0, words_per_pe=[float(a.shape[0]) for a in arrays])
         stats.collective_calls += 1
         window_keys = np.sort(np.concatenate([np.asarray(a, dtype=np.float64) for a in gathered]))

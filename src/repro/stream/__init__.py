@@ -9,7 +9,10 @@ is available in memory.  This package provides
   ``0..100``, the skewed drifting-normal weights of the preliminary
   experiments) plus further distributions for the examples,
 * :class:`~repro.stream.minibatch.MiniBatchStream` — the distributed stream
-  source yielding one batch per PE per round, and
+  source yielding one batch per PE per round,
+* :class:`~repro.stream.shard.WorkerStreamShard` — one PE's share of such a
+  stream, generated locally inside a worker process of the real execution
+  backend, and
 * partitioning helpers for splitting a globally arriving batch across PEs.
 """
 
@@ -23,6 +26,7 @@ from repro.stream.generators import (
 )
 from repro.stream.items import ItemBatch
 from repro.stream.minibatch import BatchSizeSchedule, DistributedMiniBatch, MiniBatchStream, RecordingStream
+from repro.stream.shard import StreamShardSpec, WorkerStreamShard
 from repro.stream.partition import partition_even, partition_random, partition_weighted_shares
 
 __all__ = [
@@ -37,6 +41,8 @@ __all__ = [
     "RecordingStream",
     "DistributedMiniBatch",
     "BatchSizeSchedule",
+    "StreamShardSpec",
+    "WorkerStreamShard",
     "partition_even",
     "partition_random",
     "partition_weighted_shares",

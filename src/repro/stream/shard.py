@@ -1,0 +1,89 @@
+"""Worker-local stream shards for the real execution backend.
+
+When the mini-batch stream is generated *inside* each worker process
+(:meth:`~repro.core.distributed.DistributedReservoirSampler.attach_worker_stream`),
+the coordinator no longer has to materialise and ship every batch over a
+pipe — stream generation and ingestion both run in parallel on the
+workers, which is what makes the multiprocess backend scale.
+
+:class:`WorkerStreamShard` reproduces exactly the per-PE sub-stream a
+:class:`~repro.stream.minibatch.MiniBatchStream` with a *constant* batch
+size (no jitter) would deliver to one PE: the same
+``SeedSequence``-spawned random stream, the same weight generator call
+pattern, and the same globally unique contiguous item ids.  The shard
+equivalence test asserts this batch-for-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.stream.generators import UniformWeightGenerator, WeightGenerator
+from repro.stream.items import ItemBatch
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.validation import check_positive_int
+
+__all__ = ["StreamShardSpec", "WorkerStreamShard"]
+
+
+@dataclass(frozen=True)
+class StreamShardSpec:
+    """Picklable description of one PE's share of a synthetic stream.
+
+    Attributes
+    ----------
+    p:
+        Total number of PEs of the stream (needed for globally unique ids
+        and for spawning the same per-PE seed sequences as
+        :class:`~repro.stream.minibatch.MiniBatchStream`).
+    pe:
+        The PE this shard belongs to.
+    batch_size:
+        Items per round for this PE (constant across rounds).
+    seed:
+        Stream seed; must be the same on every PE.
+    weights:
+        Weight generator; defaults to the paper's uniform 0..100 weights.
+    """
+
+    p: int
+    pe: int
+    batch_size: int
+    seed: Optional[int] = 0
+    weights: WeightGenerator = field(default_factory=UniformWeightGenerator)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.p, "p")
+        check_positive_int(self.batch_size, "batch_size")
+        if not 0 <= self.pe < self.p:
+            raise ValueError(f"pe {self.pe} out of range 0..{self.p - 1}")
+
+
+class WorkerStreamShard:
+    """Generates one PE's mini-batches locally, round by round."""
+
+    def __init__(self, spec: StreamShardSpec) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(spawn_seed_sequences(spec.seed, spec.p)[spec.pe])
+        self._round = 0
+
+    @property
+    def round_index(self) -> int:
+        """Index of the next round to be produced."""
+        return self._round
+
+    def next_batch(self) -> ItemBatch:
+        """The PE's batch of the next round (ids match ``MiniBatchStream``)."""
+        spec = self.spec
+        size = spec.batch_size
+        weights = spec.weights(size, self._rng, pe=spec.pe, round_index=self._round)
+        start = (self._round * spec.p + spec.pe) * size
+        ids = np.arange(start, start + size, dtype=np.int64)
+        self._round += 1
+        return ItemBatch(ids=ids, weights=weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"WorkerStreamShard(pe={self.spec.pe}/{self.spec.p}, round={self._round})"

@@ -1,0 +1,182 @@
+"""Tests for the real multiprocess communicator backend.
+
+Covers
+
+* equivalence of every collective against the simulated backend for
+  power-of-two and non-power-of-two PE counts (the worker-side tree
+  algorithms must mirror the simulated combine order exactly),
+* the PE-state execution layer (state persistence, per-PE dispatch),
+* fault handling: worker exceptions surface as :class:`WorkerError`
+  without orphaning processes, shutdown is idempotent, and a
+  ``KeyboardInterrupt`` unwinding through the context manager leaves no
+  children behind.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    Communicator,
+    ProcessComm,
+    SimComm,
+    WorkerError,
+    make_communicator,
+    merge_largest,
+    merge_smallest,
+)
+from repro.network.process_comm import default_start_method
+
+
+@pytest.fixture
+def proc2():
+    comm = ProcessComm(2)
+    yield comm
+    comm.shutdown()
+
+
+def _no_orphans(comm: ProcessComm) -> bool:
+    return not any(comm.workers_alive)
+
+
+# ---------------------------------------------------------------------------
+# module-level kernels/factories (must be picklable for the workers)
+# ---------------------------------------------------------------------------
+def counter_state(pe, offset):
+    return {"pe": pe, "count": offset}
+
+
+def bump(state, amount):
+    state["count"] += amount
+    return (state["pe"], state["count"])
+
+
+def fail_on_pe_one(state):
+    if state["pe"] == 1:
+        raise ValueError("injected failure")
+    return state["pe"]
+
+
+class TestCollectiveEquivalence:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+    def test_all_collectives_match_simulated_backend(self, p):
+        sim = SimComm(p)
+        values = [float((i * 7) % 5 + 1) for i in range(p)]
+        arrays = [np.sort(np.random.default_rng(i).random(4)) for i in range(p)]
+        with ProcessComm(p) as proc:
+            assert proc.broadcast(values, root=p - 1) == sim.broadcast(values, root=p - 1)
+            assert proc.reduce(values, Communicator.SUM) == sim.reduce(values, Communicator.SUM)
+            assert proc.allreduce(values, Communicator.MIN) == sim.allreduce(values, Communicator.MIN)
+            assert proc.allreduce(values, Communicator.MAX) == sim.allreduce(values, Communicator.MAX)
+            assert proc.gather(values, root=0) == sim.gather(values, root=0)
+            assert proc.allgather(values) == sim.allgather(values)
+            assert proc.scan(values, Communicator.SUM) == sim.scan(values, Communicator.SUM)
+            for op in (merge_smallest(2), merge_largest(2)):
+                got = proc.allreduce(arrays, op)
+                expected = sim.allreduce(arrays, op)
+                for a, b in zip(got, expected):
+                    np.testing.assert_array_equal(a, b)
+
+    def test_send_routes_between_workers(self):
+        with ProcessComm(3) as proc:
+            payload = {"keys": np.arange(5)}
+            result = proc.send(0, 2, payload)
+            np.testing.assert_array_equal(result["keys"], payload["keys"])
+
+    def test_barrier_and_phase_accounting(self, proc2):
+        with proc2.phase("select"):
+            proc2.barrier()
+            proc2.allreduce([1.0, 2.0], Communicator.SUM)
+        by_phase = proc2.ledger.time_by_phase()
+        assert by_phase.get("select", 0.0) > 0.0
+
+    def test_wrong_value_count_rejected(self, proc2):
+        with pytest.raises(ValueError):
+            proc2.allreduce([1.0], Communicator.SUM)
+
+
+class TestStateLayer:
+    def test_states_persist_across_calls(self, proc2):
+        handle = proc2.create_pe_state(counter_state, per_pe_args=[(10,), (20,)])
+        assert proc2.run_per_pe(handle, bump, [(1,), (2,)]) == [(0, 11), (1, 22)]
+        assert proc2.run_per_pe(handle, bump, [(1,), (2,)]) == [(0, 12), (1, 24)]
+        assert proc2.run_on_pe(handle, 1, bump, 100) == (1, 124)
+
+    def test_multiple_state_groups_are_independent(self, proc2):
+        first = proc2.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+        second = proc2.create_pe_state(counter_state, per_pe_args=[(5,), (5,)])
+        proc2.run_per_pe(first, bump, [(1,), (1,)])
+        assert proc2.run_per_pe(second, bump, [(0,), (0,)]) == [(0, 5), (1, 5)]
+
+    def test_local_state_access_is_refused(self, proc2):
+        handle = proc2.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+        with pytest.raises(NotImplementedError):
+            proc2.local_pe_state(handle, 0)
+
+    def test_mismatched_args_rejected(self, proc2):
+        handle = proc2.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+        with pytest.raises(ValueError):
+            proc2.run_per_pe(handle, bump, [(1,)])
+
+
+class TestFaultHandling:
+    def test_worker_exception_raises_worker_error(self, proc2):
+        handle = proc2.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+        with pytest.raises(WorkerError, match="injected failure"):
+            proc2.run_per_pe(handle, fail_on_pe_one)
+        # the failure names the failing rank and the backend stays usable
+        assert proc2.run_per_pe(handle, bump, [(1,), (1,)]) == [(0, 1), (1, 1)]
+        assert all(proc2.workers_alive)
+
+    def test_shutdown_leaves_no_orphans_after_exception(self):
+        comm = ProcessComm(2)
+        handle = comm.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+        with pytest.raises(WorkerError):
+            comm.run_per_pe(handle, fail_on_pe_one)
+        comm.shutdown()
+        assert _no_orphans(comm)
+        assert not mp.active_children()
+
+    def test_shutdown_is_idempotent_and_blocks_further_use(self):
+        comm = ProcessComm(2)
+        comm.shutdown()
+        comm.shutdown()
+        assert _no_orphans(comm)
+        with pytest.raises(RuntimeError):
+            comm.allreduce([1.0, 2.0], Communicator.SUM)
+
+    def test_keyboard_interrupt_unwinds_cleanly(self):
+        with pytest.raises(KeyboardInterrupt):
+            with ProcessComm(2) as comm:
+                raise KeyboardInterrupt
+        assert _no_orphans(comm)
+        assert not mp.active_children()
+
+    def test_context_manager_tears_down(self):
+        with ProcessComm(2) as comm:
+            comm.barrier()
+        assert _no_orphans(comm)
+
+
+class TestFactory:
+    def test_make_communicator_dispatch(self):
+        assert isinstance(make_communicator("sim", 3), SimComm)
+        with make_communicator("process", 2) as comm:
+            assert isinstance(comm, ProcessComm)
+            assert comm.p == 2
+
+    def test_make_communicator_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown communicator backend"):
+            make_communicator("carrier-pigeon", 2)
+
+    def test_default_start_method_is_supported(self):
+        assert default_start_method() in mp.get_all_start_methods()
+
+    def test_spawn_start_method_works_when_available(self):
+        if "spawn" not in mp.get_all_start_methods():
+            pytest.skip("spawn not available")
+        with ProcessComm(2, start_method="spawn") as comm:
+            assert comm.allreduce([1.0, 2.0], Communicator.SUM) == [3.0, 3.0]
+            handle = comm.create_pe_state(counter_state, per_pe_args=[(1,), (2,)])
+            assert comm.run_per_pe(handle, bump, [(1,), (1,)]) == [(0, 2), (1, 3)]

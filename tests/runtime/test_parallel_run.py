@@ -1,0 +1,76 @@
+"""Tests for the wall-clock parallel run driver."""
+
+import pytest
+
+from repro.core import DistributedReservoirSampler
+from repro.network import SimComm
+from repro.runtime import ParallelStreamingRun, RunMetrics
+
+
+class TestParallelStreamingRun:
+    def test_sim_backend_round_loop(self):
+        with ParallelStreamingRun(
+            "ours", k=20, p=2, comm="sim", batch_size=100, warmup_rounds=1, seed=5
+        ) as run:
+            metrics = run.run_rounds(3)
+        assert metrics.num_rounds == 3
+        assert metrics.total_items == 3 * 2 * 100  # warm-up rounds are not reported
+        assert metrics.wall_time > 0.0
+        assert metrics.comm_backend == "sim"
+        assert run.sampler.items_seen == 4 * 2 * 100  # warm-up consumed the stream too
+
+    def test_process_backend_round_loop(self):
+        with ParallelStreamingRun(
+            "ours", k=15, p=2, comm="process", batch_size=80, warmup_rounds=0, seed=6
+        ) as run:
+            metrics = run.run_rounds(2)
+            ids = run.sample_ids()
+        assert metrics.num_rounds == 2
+        assert metrics.wall_throughput_total() > 0.0
+        assert len(ids) == 15
+
+    def test_run_for_wall_time_bounds(self):
+        with ParallelStreamingRun(
+            "ours", k=10, p=2, comm="sim", batch_size=50, warmup_rounds=0, seed=7
+        ) as run:
+            metrics = run.run_for_wall_time(1e-9, min_rounds=2, max_rounds=4)
+        assert 2 <= metrics.num_rounds <= 4
+
+    def test_run_for_wall_time_respects_max_rounds(self):
+        with ParallelStreamingRun(
+            "ours", k=10, p=2, comm="sim", batch_size=50, warmup_rounds=0, seed=7
+        ) as run:
+            metrics = run.run_for_wall_time(1e9, max_rounds=3)
+        assert metrics.num_rounds == 3
+
+    def test_communication_summary_nonempty(self):
+        with ParallelStreamingRun(
+            "ours", k=10, p=2, comm="sim", batch_size=50, warmup_rounds=0, seed=8
+        ) as run:
+            run.run_rounds(2)
+            assert run.communication_summary()["messages"] > 0
+
+    def test_stream_round_requires_attached_stream(self):
+        sampler = DistributedReservoirSampler(5, SimComm(2), seed=0)
+        with pytest.raises(RuntimeError, match="attach_worker_stream"):
+            sampler.process_stream_round()
+
+    def test_externally_owned_comm_is_not_shut_down(self):
+        comm = SimComm(2)
+        with ParallelStreamingRun("ours", k=5, comm=comm, batch_size=20, warmup_rounds=0) as run:
+            run.run_rounds(1)
+        # SimComm.shutdown is a no-op anyway; assert ownership bookkeeping
+        assert run._owns_comm is False
+
+
+class TestWallClockMetrics:
+    def test_wall_throughput_without_wall_time_is_infinite(self):
+        metrics = RunMetrics(p=2, k=5, algorithm="ours")
+        assert metrics.wall_throughput_total() == float("inf")
+
+    def test_as_dict_contains_wall_fields(self):
+        metrics = RunMetrics(p=2, k=5, algorithm="ours", comm_backend="process", wall_time=2.0)
+        payload = metrics.as_dict()
+        assert payload["wall_time"] == 2.0
+        assert payload["comm_backend"] == "process"
+        assert "wall_throughput_total" in payload

@@ -84,3 +84,68 @@ class TestRunForSimulatedTime:
         sim = make_simulation()
         with pytest.raises(ValueError):
             sim.run_for_simulated_time(0.0)
+
+
+class TestWarmupEdgeCases:
+    def test_negative_warmup_rejected(self):
+        sampler = DistributedReservoirSampler(5, SimComm(2), seed=0)
+        with pytest.raises(ValueError):
+            StreamingSimulation(sampler, MiniBatchStream(2, 10, seed=0), warmup_rounds=-1)
+
+    def test_warmup_runs_exactly_once(self):
+        sim = make_simulation(warmup=2)
+        sim.step()
+        sim.step()
+        # 2 warm-up + 2 measured; a third step must not re-warm
+        sim.step()
+        assert sim.stream.round_index == 5
+        assert sim.metrics.num_rounds == 3
+
+    def test_warmup_without_steps_consumes_nothing(self):
+        sim = make_simulation(warmup=3)
+        # warm-up is lazy: no stream rounds consumed until the first step
+        assert sim.stream.round_index == 0
+        assert sim.run_rounds(0).num_rounds == 0
+        assert sim.stream.round_index == 0
+
+    def test_warmup_only_run_then_measure_matches_fresh_state(self):
+        # metrics of the first measured round reflect the warmed-up sampler
+        sim = make_simulation(warmup=1, k=10, batch=50)
+        first = sim.step()
+        assert first.items_seen_total == 2 * 4 * 50  # warm-up items included
+        assert first.round_index == 1  # sampler-side round counter kept running
+
+    def test_zero_warmup_equals_default(self):
+        explicit = make_simulation(warmup=0)
+        default = make_simulation()
+        assert explicit.run_rounds(2).total_items == default.run_rounds(2).total_items
+
+
+class TestRoundLimitEdgeCases:
+    def test_max_rounds_zero_rejected(self):
+        sim = make_simulation()
+        with pytest.raises(ValueError):
+            sim.run_for_simulated_time(1.0, max_rounds=0)
+
+    def test_min_rounds_zero_still_runs_until_duration(self):
+        sim = make_simulation()
+        per_round = sim.step().simulated_time
+        metrics = sim.run_for_simulated_time(per_round * 2, min_rounds=0, max_rounds=50)
+        assert metrics.simulated_time >= per_round * 2
+
+    def test_min_rounds_wins_over_tiny_duration(self):
+        sim = make_simulation()
+        metrics = sim.run_for_simulated_time(1e-30, min_rounds=5, max_rounds=10)
+        assert metrics.num_rounds == 5
+
+    def test_max_rounds_wins_over_min_rounds(self):
+        sim = make_simulation()
+        metrics = sim.run_for_simulated_time(1e-30, min_rounds=8, max_rounds=3)
+        assert metrics.num_rounds == 3
+
+    def test_duration_reached_mid_run_keeps_metrics_consistent(self):
+        sim = make_simulation()
+        per_round = sim.step().simulated_time
+        metrics = sim.run_for_simulated_time(per_round * 3.5, max_rounds=100)
+        assert metrics.num_rounds == len(metrics.rounds)
+        assert metrics.total_items == sum(r.batch_items for r in metrics.rounds)

@@ -1,0 +1,63 @@
+"""Tests for the worker-local stream shards."""
+
+import numpy as np
+import pytest
+
+from repro.stream import MiniBatchStream
+from repro.stream.generators import UnitWeightGenerator
+from repro.stream.shard import StreamShardSpec, WorkerStreamShard
+
+
+class TestShardEquivalence:
+    def test_matches_minibatch_stream_exactly(self):
+        p, batch, seed = 3, 64, 9
+        stream = MiniBatchStream(p, batch, seed=seed)
+        shards = [
+            WorkerStreamShard(StreamShardSpec(p=p, pe=pe, batch_size=batch, seed=seed))
+            for pe in range(p)
+        ]
+        for _ in range(5):
+            round_batches = stream.next_round()
+            for pe in range(p):
+                local = shards[pe].next_batch()
+                np.testing.assert_array_equal(local.ids, round_batches.batches[pe].ids)
+                np.testing.assert_array_equal(local.weights, round_batches.batches[pe].weights)
+
+    def test_custom_weight_generator(self):
+        shard = WorkerStreamShard(
+            StreamShardSpec(p=2, pe=0, batch_size=8, seed=1, weights=UnitWeightGenerator())
+        )
+        batch = shard.next_batch()
+        np.testing.assert_array_equal(batch.weights, np.ones(8))
+
+    def test_ids_are_globally_unique_and_contiguous_per_round(self):
+        p, batch = 2, 10
+        shards = [
+            WorkerStreamShard(StreamShardSpec(p=p, pe=pe, batch_size=batch, seed=0))
+            for pe in range(p)
+        ]
+        seen = set()
+        for round_index in range(3):
+            for pe in range(p):
+                ids = shards[pe].next_batch().ids
+                assert ids[0] == (round_index * p + pe) * batch
+                assert not seen.intersection(ids.tolist())
+                seen.update(ids.tolist())
+
+    def test_round_index_advances(self):
+        shard = WorkerStreamShard(StreamShardSpec(p=1, pe=0, batch_size=4, seed=0))
+        assert shard.round_index == 0
+        shard.next_batch()
+        assert shard.round_index == 1
+
+
+class TestSpecValidation:
+    def test_rejects_out_of_range_pe(self):
+        with pytest.raises(ValueError):
+            StreamShardSpec(p=2, pe=2, batch_size=4)
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            StreamShardSpec(p=0, pe=0, batch_size=4)
+        with pytest.raises(ValueError):
+            StreamShardSpec(p=1, pe=0, batch_size=0)
