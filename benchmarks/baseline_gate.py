@@ -1,0 +1,83 @@
+"""Shared baseline machinery for the benchmark regression gates.
+
+Three benchmark entry points (``bench_smoke.py``, ``bench_window.py``,
+``bench_parallel_scaling.py``) gate measured throughputs against a
+checked-in JSON baseline with the same convention: baselines are recorded
+*conservatively* (half of the measured value, so slower CI runners do not
+false-fail) and a run fails when a measurement drops below
+``baseline / max_regression``.  This module is the single implementation
+of that convention.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List
+
+__all__ = ["best_of", "write_conservative_baseline", "load_baseline", "compare_to_baseline"]
+
+#: fraction of the measured value recorded as the baseline
+CONSERVATIVE_FACTOR = 0.5
+
+
+def best_of(fn: Callable[[], object], *, repeats: int = 5) -> float:
+    """Best (smallest) wall-clock seconds of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def write_conservative_baseline(
+    path: Path, results: Dict[str, float], *, keep_exact: Iterable[str] = ()
+) -> Dict[str, float]:
+    """Record ``results`` as the new baseline, halved to stay conservative.
+
+    Metric names in ``keep_exact`` (machine-independent ratios such as
+    store speedups) are written unchanged.  Returns the written mapping.
+    """
+    keep_exact = set(keep_exact)
+    conservative = {
+        name: (value if name in keep_exact else value * CONSERVATIVE_FACTOR)
+        for name, value in results.items()
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(conservative, indent=2, sort_keys=True) + "\n")
+    return conservative
+
+
+def load_baseline(path: Path) -> Dict[str, float]:
+    return json.loads(path.read_text())
+
+
+def compare_to_baseline(
+    results: Dict[str, float],
+    baseline: Dict[str, float],
+    max_regression: float,
+    *,
+    skip: Iterable[str] = (),
+) -> List[str]:
+    """Regression messages (empty = pass).
+
+    Every metric in ``baseline`` (except the names in ``skip``, which the
+    caller gates separately) must be present in ``results`` and must not
+    fall below ``baseline / max_regression``.
+    """
+    skip = set(skip)
+    failures = []
+    for name, reference in baseline.items():
+        if name in skip:
+            continue
+        measured = results.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from results")
+        elif measured < reference / max_regression:
+            failures.append(
+                f"{name}: {measured:,.0f} is a >{max_regression:g}x regression "
+                f"vs. baseline {reference:,.0f}"
+            )
+    return failures

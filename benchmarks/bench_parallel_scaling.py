@@ -11,15 +11,27 @@ of ``bench_fig3/4``.  Results go to ``BENCH_parallel.json``:
 * a simulated-backend reference point at the same workload,
 * a sample-equality check between the two backends (byte-identical ids).
 
-Gate: with at least 4 usable CPU cores, the ``p=4`` configuration must
-achieve a speedup of at least ``MIN_SPEEDUP_AT_4`` (1.5x) over ``p=1``.
-On machines with fewer cores (e.g. single-core CI sandboxes) real speedup
-is physically impossible, so the gate is recorded as skipped instead of
-failing; pass ``--require-speedup`` to enforce it regardless.
+Gates:
+
+* **speedup** — with at least 4 usable CPU cores, the ``p=4``
+  configuration must achieve a speedup of at least ``MIN_SPEEDUP_AT_4``
+  (1.5x) over ``p=1``.  On machines with fewer cores (e.g. single-core CI
+  sandboxes) real speedup is physically impossible, so this gate is
+  recorded as skipped instead of failing; pass ``--require-speedup`` to
+  enforce it regardless.
+* **single-core throughput** — the measured ``p=1`` wall-clock throughput
+  must not regress by more than ``--max-regression`` (default 2x) against
+  the checked-in baseline in
+  ``benchmarks/baselines/bench_parallel_baseline.json``.  This gate runs
+  on *every* machine, so the benchmark job exercises a real acceptance
+  check even on single-core runners where the speedup gate skips.  The
+  baseline is recorded conservatively (half of the measured throughput);
+  refresh it after an intentional perf change with ``--update-baseline``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --output BENCH_parallel.json
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --update-baseline
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
 
 from repro.runtime import ParallelStreamingRun
 
@@ -46,6 +59,8 @@ WARMUP_ROUNDS = 2
 PE_COUNTS = (1, 2, 4)
 #: acceptance gate (enforced when enough cores are available)
 MIN_SPEEDUP_AT_4 = 1.5
+#: conservative single-core wall-throughput baseline (gated on every machine)
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_parallel_baseline.json"
 
 
 def usable_cpus() -> int:
@@ -124,7 +139,9 @@ def run_suite() -> dict:
     return results
 
 
-def evaluate_gate(results: dict, *, require_speedup: bool) -> list:
+def evaluate_gate(
+    results: dict, *, require_speedup: bool, baseline: Path, max_regression: float
+) -> list:
     """Failure messages (empty = pass)."""
     failures = []
     if not results["samples_identical"]:
@@ -143,6 +160,25 @@ def evaluate_gate(results: dict, *, require_speedup: bool) -> list:
             f"skipped: only {cpus} usable core(s); needs >= 4 for a meaningful speedup gate"
         )
         print(f"  speedup gate {results['speedup_gate']}")
+
+    # single-core wall-throughput regression gate (runs on every machine)
+    measured_p1 = by_p.get(1, {}).get("wall_throughput_items_per_s", 0.0)
+    if not baseline.exists():
+        failures.append(
+            f"no single-core baseline at {baseline}; record one with --update-baseline"
+        )
+    else:
+        reference = load_baseline(baseline)
+        results["p1_throughput_baseline"] = reference["p1_wall_throughput_items_per_s"]
+        p1_failures = compare_to_baseline(
+            {"p1_wall_throughput_items_per_s": measured_p1}, reference, max_regression
+        )
+        failures.extend(p1_failures)
+        if not p1_failures:
+            print(
+                f"  p=1 throughput gate: {measured_p1:,.0f} items/s >= "
+                f"{results['p1_throughput_baseline']:,.0f} / {max_regression:g} items/s baseline"
+            )
     return failures
 
 
@@ -154,11 +190,32 @@ def main(argv=None) -> int:
         action="store_true",
         help="enforce the p=4 speedup gate even on machines with fewer than 4 cores",
     )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured p=1 throughput (halved, conservative) as the new baseline",
+    )
     args = parser.parse_args(argv)
 
     print(f"parallel scaling: {ALGORITHM}, k={K}, batch={BATCH_SIZE}, rounds={ROUNDS}")
     results = run_suite()
-    failures = evaluate_gate(results, require_speedup=args.require_speedup)
+    if args.update_baseline:
+        by_p = {entry["p"]: entry for entry in results["process"]}
+        write_conservative_baseline(
+            args.baseline,
+            {"p1_wall_throughput_items_per_s": by_p[1]["wall_throughput_items_per_s"]},
+        )
+        print(f"updated baseline {args.baseline}")
+        args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        return 0
+    failures = evaluate_gate(
+        results,
+        require_speedup=args.require_speedup,
+        baseline=args.baseline,
+        max_regression=args.max_regression,
+    )
     by_p = {entry["p"]: entry for entry in results["process"]}
     for p in PE_COUNTS:
         print(f"  speedup p={p}: {by_p[p]['speedup_vs_p1']:.2f}x")

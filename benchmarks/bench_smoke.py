@@ -24,10 +24,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
+from baseline_gate import (
+    best_of,
+    compare_to_baseline,
+    load_baseline,
+    write_conservative_baseline,
+)
 
 from repro.core import keys as keymod
 from repro.core import make_distributed_sampler, make_store
@@ -43,28 +48,18 @@ CAPACITY = 2_048
 MIN_MERGE_SPEEDUP = 5.0
 
 
-def _best_of(fn, *, repeats: int = 5) -> float:
-    """Best (smallest) wall-clock seconds of ``repeats`` runs of ``fn``."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def bench_key_generation() -> float:
     rng = np.random.default_rng(0)
     weights = rng.uniform(0.1, 100.0, size=BATCH)
     key_rng = np.random.default_rng(1)
-    return BATCH / _best_of(lambda: keymod.exponential_keys(weights, key_rng))
+    return BATCH / best_of(lambda: keymod.exponential_keys(weights, key_rng))
 
 
 def bench_weighted_jump_kernel() -> float:
     rng = np.random.default_rng(2)
     weights = rng.uniform(0.1, 100.0, size=BATCH)
     jump_rng = np.random.default_rng(3)
-    return BATCH / _best_of(lambda: keymod.weighted_jump_positions(weights, 1e-6, jump_rng))
+    return BATCH / best_of(lambda: keymod.weighted_jump_positions(weights, 1e-6, jump_rng))
 
 
 def _store_insert_seconds(backend: str, *, n_batches: int) -> float:
@@ -78,7 +73,7 @@ def _store_insert_seconds(backend: str, *, n_batches: int) -> float:
         for keys, ids in batches:
             store.insert_batch(keys, ids, capacity=CAPACITY)
 
-    return _best_of(build, repeats=3) / n_batches
+    return best_of(build, repeats=3) / n_batches
 
 
 def bench_store_inserts() -> dict:
@@ -103,7 +98,7 @@ def bench_full_round() -> float:
         for batches in rounds:
             sampler.process_round(batches)
 
-    return len(rounds) * p * batch / _best_of(run, repeats=3)
+    return len(rounds) * p * batch / best_of(run, repeats=3)
 
 
 def run_suite() -> dict:
@@ -118,18 +113,11 @@ def run_suite() -> dict:
 
 def compare(results: dict, baseline: dict, max_regression: float) -> list:
     """Regression messages (empty = pass)."""
-    failures = []
-    for name, reference in baseline.items():
-        if name == "merge_vs_btree_speedup":
-            continue  # gated exactly below, not via the regression budget
-        measured = results.get(name)
-        if measured is None:
-            failures.append(f"{name}: missing from results")
-        elif measured < reference / max_regression:
-            failures.append(
-                f"{name}: {measured:,.0f} items/s is a >{max_regression:g}x regression "
-                f"vs. baseline {reference:,.0f} items/s"
-            )
+    # the speedup ratio is machine-independent and gated exactly below,
+    # not via the regression budget
+    failures = compare_to_baseline(
+        results, baseline, max_regression, skip=("merge_vs_btree_speedup",)
+    )
     speedup = results.get("merge_vs_btree_speedup", 0.0)
     if speedup < MIN_MERGE_SPEEDUP:
         failures.append(
@@ -159,20 +147,16 @@ def main(argv=None) -> int:
         print(f"  {name:40s} {value:>14,.1f}{unit}")
 
     if args.update_baseline:
-        conservative = {
-            name: (value if name.endswith("speedup") else value / 2.0)
-            for name, value in results.items()
-        }
-        args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(json.dumps(conservative, indent=2, sort_keys=True) + "\n")
+        write_conservative_baseline(
+            args.baseline, results, keep_exact=[n for n in results if n.endswith("speedup")]
+        )
         print(f"updated baseline {args.baseline}")
         return 0
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; run with --update-baseline to create one")
         return 1
-    baseline = json.loads(args.baseline.read_text())
-    failures = compare(results, baseline, args.max_regression)
+    failures = compare(results, load_baseline(args.baseline), args.max_regression)
     if failures:
         print("\nBENCHMARK REGRESSION:")
         for failure in failures:

@@ -47,7 +47,14 @@ from repro.selection import (
     SinglePivotSelection,
     UnsortedSelection,
 )
-from repro.stream import ItemBatch, MiniBatchStream, UniformWeightGenerator
+from repro.stream import (
+    ItemBatch,
+    MiniBatchStream,
+    TimestampedItemBatch,
+    TimestampedMiniBatchStream,
+    UniformWeightGenerator,
+)
+from repro.window import DecayedReservoir, DistributedWindowSampler, SlidingWindowReservoir
 
 __version__ = "1.0.0"
 
@@ -66,6 +73,10 @@ __all__ = [
     "LocalReservoir",
     "make_distributed_sampler",
     "DistributedSamplingRun",
+    # windowed / decayed samplers
+    "SlidingWindowReservoir",
+    "DecayedReservoir",
+    "DistributedWindowSampler",
     # selection
     "SinglePivotSelection",
     "MultiPivotSelection",
@@ -81,6 +92,8 @@ __all__ = [
     "RunMetrics",
     # stream
     "ItemBatch",
+    "TimestampedItemBatch",
     "MiniBatchStream",
+    "TimestampedMiniBatchStream",
     "UniformWeightGenerator",
 ]

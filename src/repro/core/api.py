@@ -33,13 +33,32 @@ from repro.selection.bernoulli_pivot import SinglePivotSelection
 from repro.selection.multi_pivot import MultiPivotSelection
 from repro.stream.items import ItemBatch
 from repro.stream.minibatch import MiniBatchStream
+from repro.stream.stamped import TimestampedMiniBatchStream
 from repro.utils.validation import check_positive_int
+from repro.window.decayed import DecayedReservoir
+from repro.window.distributed import DistributedWindowSampler
+from repro.window.sliding import SlidingWindowReservoir
 
 __all__ = ["ReservoirSampler", "make_distributed_sampler", "DistributedSamplingRun"]
 
 CommLike = Union[str, Communicator]
 
 _SIM_ALIASES = ("sim", "simulated", "simcomm")
+
+
+def _pivot_selection_for(name: str) -> Optional[Union[SinglePivotSelection, MultiPivotSelection]]:
+    """Selection algorithm for an ``"ours"`` / ``"ours-<d>"`` algorithm name.
+
+    Returns ``None`` when ``name`` is not in the 'ours' pivot family (the
+    caller decides whether that is an error).
+    """
+    if name == "ours":
+        return SinglePivotSelection()
+    match = re.fullmatch(r"ours-(\d+)", name)
+    if match:
+        d = int(match.group(1))
+        return MultiPivotSelection(d) if d > 1 else SinglePivotSelection()
+    return None
 
 
 def _resolve_comm(
@@ -78,19 +97,51 @@ class ReservoirSampler:
     ``store`` selects the reservoir storage: ``None`` (default) keeps the
     classic per-item jump algorithm; ``"merge"`` or ``"btree"`` switch to
     the vectorized mini-batch path over a pluggable reservoir store.
+
+    ``window`` and ``decay`` switch to the recency-weighted samplers of
+    :mod:`repro.window` (mutually exclusive):
+
+    * ``window=W`` samples from the **last W items** only
+      (:class:`~repro.window.sliding.SlidingWindowReservoir`; ``store``
+      does not apply — the window keeps its own candidate buffer),
+    * ``decay=lam`` weights item ``i`` by ``w_i * lam**age_i``
+      (:class:`~repro.window.decayed.DecayedReservoir`; ``lam = 1``
+      reproduces the unbounded sampler exactly).
     """
 
     def __init__(
-        self, k: int, *, weighted: bool = True, seed=None, store: Optional[str] = None
+        self,
+        k: int,
+        *,
+        weighted: bool = True,
+        seed=None,
+        store: Optional[str] = None,
+        window: Optional[int] = None,
+        decay: Optional[float] = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.weighted = bool(weighted)
-        self.store = normalize_store_name(store) if store is not None else None
-        self._impl = (
-            SequentialWeightedReservoir(k, seed, store=store)
-            if weighted
-            else SequentialUniformReservoir(k, seed, store=store)
-        )
+        self.window = window
+        self.decay = decay
+        if window is not None and decay is not None:
+            raise ValueError("window= and decay= are mutually exclusive")
+        if window is not None:
+            if store is not None:
+                raise ValueError("store= does not apply to sliding-window sampling")
+            self.store = None
+            self._impl = SlidingWindowReservoir(k, window, weighted=weighted, seed=seed)
+        elif decay is not None:
+            self.store = normalize_store_name(store) if store is not None else "merge"
+            self._impl = DecayedReservoir(
+                k, decay, weighted=weighted, seed=seed, store=self.store
+            )
+        else:
+            self.store = normalize_store_name(store) if store is not None else None
+            self._impl = (
+                SequentialWeightedReservoir(k, seed, store=store)
+                if weighted
+                else SequentialUniformReservoir(k, seed, store=store)
+            )
 
     @property
     def items_seen(self) -> int:
@@ -104,8 +155,23 @@ class ReservoirSampler:
     def threshold(self) -> Optional[float]:
         return self._impl.threshold
 
+    @property
+    def buffer_size(self) -> Optional[int]:
+        """Buffered window candidates (``None`` outside window mode)."""
+        return self._impl.buffer_size if self.window is not None else None
+
     def add(self, item_id: int, weight: float = 1.0) -> bool:
-        """Feed one item; returns whether it entered the reservoir."""
+        """Feed one item; returns whether it entered the reservoir.
+
+        In window mode the return value means "entered the *candidate
+        buffer*" — the item may sit above the current sample boundary and
+        only enter the sample once older items expire; check
+        :meth:`sample_ids` for membership.  Per-item feeding of a windowed
+        sampler costs a vectorized pass over the candidate buffer per
+        item; prefer :meth:`feed` with batches on hot paths.
+        """
+        if self.window is not None or self.decay is not None:
+            return self._impl.insert(item_id, weight if self.weighted else 1.0)
         if self.weighted:
             return self._impl.insert(item_id, weight)
         return self._impl.insert(item_id)
@@ -141,7 +207,9 @@ def make_distributed_sampler(
     store: str = "merge",
     backend: Optional[str] = None,
     local_thresholding: bool = True,
-) -> Union[DistributedReservoirSampler, CentralizedGatherSampler]:
+    window: Optional[int] = None,
+    decay: Optional[float] = None,
+) -> Union[DistributedReservoirSampler, CentralizedGatherSampler, DistributedWindowSampler]:
     """Create a distributed sampler by its paper name.
 
     ``algorithm`` is one of
@@ -161,22 +229,58 @@ def make_distributed_sampler(
     ``store`` picks the reservoir store backend (``"merge"``, the
     vectorized default, or ``"btree"``, the paper's data structure);
     ``backend`` is its deprecated alias.
+
+    ``window=W`` switches to the **distributed sliding-window sampler**
+    (:class:`~repro.window.distributed.DistributedWindowSampler`): the
+    sample covers only the last ``W`` stamp units, the selection algorithm
+    named by ``algorithm`` (``"ours"`` / ``"ours-<d>"``) re-establishes
+    the sample boundary each round, and ``store`` does not apply — each PE
+    keeps a window candidate buffer instead of a pruned reservoir.
+    ``decay`` is not supported for distributed samplers yet.
     """
-    comm = _resolve_comm(comm, p, machine)
     name = algorithm.strip().lower()
     store = backend if backend is not None else store
+    # validate the windowed-mode argument combinations *before* resolving
+    # the communicator, so an invalid call never spawns (and then leaks)
+    # multiprocess workers
+    if decay is not None:
+        raise ValueError("decay= is not supported for distributed samplers yet")
+    if window is not None:
+        check_positive_int(window, "window")
+        if name == "gather" or name in ("ours-variable", "variable"):
+            raise ValueError(
+                f"window= is only supported for the 'ours' family, not {algorithm!r}"
+            )
+        if normalize_store_name(store) != "merge":
+            raise ValueError(
+                "store= does not apply to sliding-window sampling (each PE keeps a "
+                "window candidate buffer instead of a pruned reservoir store)"
+            )
+        if k_hi is not None:
+            raise ValueError("k_hi= is only meaningful for 'ours-variable', not with window=")
+        if local_thresholding is not True:
+            raise ValueError(
+                "local_thresholding= does not apply to sliding-window sampling "
+                "(windows admit no insertion threshold)"
+            )
+        selection = _pivot_selection_for(name)
+        if selection is None:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected 'ours' or 'ours-<d>' with window="
+            )
+        return DistributedWindowSampler(
+            k,
+            window,
+            _resolve_comm(comm, p, machine),
+            selection=selection,
+            machine=machine,
+            weighted=weighted,
+            seed=seed,
+        )
+    comm = _resolve_comm(comm, p, machine)
     common = dict(machine=machine, weighted=weighted, seed=seed)
     if name == "gather":
         return CentralizedGatherSampler(k, comm, store=store, **common)
-    if name == "ours":
-        return DistributedReservoirSampler(
-            k,
-            comm,
-            selection=SinglePivotSelection(),
-            store=store,
-            local_thresholding=local_thresholding,
-            **common,
-        )
     if name in ("ours-variable", "variable"):
         upper = k_hi if k_hi is not None else 2 * k
         return VariableSizeReservoirSampler(
@@ -188,10 +292,8 @@ def make_distributed_sampler(
             local_thresholding=local_thresholding,
             **common,
         )
-    match = re.fullmatch(r"ours-(\d+)", name)
-    if match:
-        d = int(match.group(1))
-        selection = MultiPivotSelection(d) if d > 1 else SinglePivotSelection()
+    selection = _pivot_selection_for(name)
+    if selection is not None:
         return DistributedReservoirSampler(
             k,
             comm,
@@ -227,11 +329,18 @@ class DistributedSamplingRun:
         measurements of the process backend prefer
         :class:`~repro.runtime.parallel.ParallelStreamingRun`, which also
         generates the stream inside the workers.
+    window:
+        When given, run the distributed *sliding-window* sampler over the
+        last ``window`` items; the default stream becomes a
+        :class:`~repro.stream.stamped.TimestampedMiniBatchStream` so every
+        item carries its global arrival index.
     """
 
     def __init__(
         self,
-        algorithm: Union[str, DistributedReservoirSampler, CentralizedGatherSampler] = "ours",
+        algorithm: Union[
+            str, DistributedReservoirSampler, CentralizedGatherSampler, DistributedWindowSampler
+        ] = "ours",
         *,
         k: int = 1000,
         p: int = 4,
@@ -242,23 +351,42 @@ class DistributedSamplingRun:
         store: str = "merge",
         seed: Optional[int] = 0,
         comm: CommLike = "sim",
+        window: Optional[int] = None,
     ) -> None:
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         self._owns_comm = False
+        self.window = window
         if isinstance(algorithm, str):
             if not isinstance(comm, Communicator):
                 comm = _resolve_comm(comm, p, self.machine)
                 self._owns_comm = True
-            self.sampler = make_distributed_sampler(
-                algorithm, k, comm, machine=self.machine, weighted=weighted, store=store, seed=seed
-            )
+            try:
+                self.sampler = make_distributed_sampler(
+                    algorithm,
+                    k,
+                    comm,
+                    machine=self.machine,
+                    weighted=weighted,
+                    store=store,
+                    seed=seed,
+                    window=window,
+                )
+            except BaseException:
+                # don't leak the workers we just spawned on invalid arguments
+                if self._owns_comm:
+                    comm.shutdown()
+                raise
             self.algorithm = algorithm
         else:
             self.sampler = algorithm
             self.algorithm = getattr(algorithm, "algorithm_name", type(algorithm).__name__)
-        self.stream = stream if stream is not None else MiniBatchStream(
-            self.sampler.p, batch_size, seed=seed
-        )
+        if stream is not None:
+            self.stream = stream
+        elif window is not None:
+            # stamped stream so the window is defined in global arrival order
+            self.stream = TimestampedMiniBatchStream(self.sampler.p, batch_size, seed=seed)
+        else:
+            self.stream = MiniBatchStream(self.sampler.p, batch_size, seed=seed)
         if self.stream.p != self.sampler.p:
             raise ValueError(
                 f"stream has {self.stream.p} PEs but the sampler has {self.sampler.p}"

@@ -60,6 +60,45 @@ __all__ = [
 ]
 
 
+def charge_selection_work(
+    clock: PhaseClock,
+    machine: MachineSpec,
+    selection: SelectionAlgorithm,
+    result: SelectionResult,
+    sizes: Sequence[int],
+) -> None:
+    """Charge the local part of a distributed selection to the clock.
+
+    Per pivot round: one Bernoulli sample draw plus ``pivots`` rank
+    queries and ``pivots`` select queries on the local reservoir.  Shared
+    by the unbounded and the sliding-window samplers so the cost model
+    stays comparable across workloads.
+    """
+    stats = result.stats
+    pivots = max(int(getattr(selection, "num_pivots", 1)), 1)
+    for pe, size in enumerate(sizes):
+        ops = stats.recursion_depth * (2 * pivots + 1)
+        clock.charge("select", pe, machine.tree_op_time(ops, max(int(size), 1)))
+    if stats.final_gather_items:
+        clock.charge("select", 0, machine.sequential_select_time(stats.final_gather_items))
+
+
+def collect_phase_times(
+    clock: PhaseClock,
+    phase_comm_before: Dict[str, float],
+    phase_comm_after: Dict[str, float],
+) -> Dict[str, PhaseTimes]:
+    """Assemble per-phase local/comm times from the clock and ledger deltas."""
+    phases = set(phase_comm_after) | set(clock.phases()) | set(phase_comm_before)
+    phase_times: Dict[str, PhaseTimes] = {}
+    for phase in phases:
+        comm_delta = phase_comm_after.get(phase, 0.0) - phase_comm_before.get(phase, 0.0)
+        local = clock.max_time(phase)
+        if comm_delta > 0.0 or local > 0.0:
+            phase_times[phase] = PhaseTimes(local=local, comm=comm_delta)
+    return phase_times
+
+
 class ReservoirKeySet(DistributedKeySet):
     """Adapter exposing a list of local reservoirs as a distributed key set.
 
@@ -534,19 +573,7 @@ class DistributedReservoirSampler:
     def _charge_selection_work(
         self, clock: PhaseClock, result: SelectionResult, sizes: Sequence[int]
     ) -> None:
-        """Charge the local part of the distributed selection."""
-        stats = result.stats
-        pivots = max(int(getattr(self.selection, "num_pivots", 1)), 1)
-        for pe in range(self.p):
-            size = max(int(sizes[pe]), 1)
-            # per pivot round: one Bernoulli sample draw plus `pivots` rank
-            # queries and `pivots` select queries on the local reservoir
-            ops = stats.recursion_depth * (2 * pivots + 1)
-            clock.charge("select", pe, self.machine.tree_op_time(ops, size))
-        if stats.final_gather_items:
-            clock.charge(
-                "select", 0, self.machine.sequential_select_time(stats.final_gather_items)
-            )
+        charge_selection_work(clock, self.machine, self.selection, result, sizes)
 
     # ------------------------------------------------------------------
     def _build_metrics(
@@ -560,14 +587,9 @@ class DistributedReservoirSampler:
         selection_result: Optional[SelectionResult],
         selection_ran: bool,
     ) -> RoundMetrics:
-        phase_comm_after = self.comm.ledger.time_by_phase()
-        phases = set(phase_comm_after) | set(clock.phases()) | set(phase_comm_before)
-        phase_times: Dict[str, PhaseTimes] = {}
-        for phase in phases:
-            comm_delta = phase_comm_after.get(phase, 0.0) - phase_comm_before.get(phase, 0.0)
-            local = clock.max_time(phase)
-            if comm_delta > 0.0 or local > 0.0:
-                phase_times[phase] = PhaseTimes(local=local, comm=comm_delta)
+        phase_times = collect_phase_times(
+            clock, phase_comm_before, self.comm.ledger.time_by_phase()
+        )
         return RoundMetrics(
             round_index=self._round - 1,
             batch_items=batch_items,

@@ -31,6 +31,7 @@ from repro.stream.shard import StreamShardSpec, WorkerStreamShard
 __all__ = [
     "make_pe_state",
     "make_centralized_state",
+    "make_window_pe_state",
     "install_stream_kernel",
     "insert_batch_kernel",
     "stream_insert_kernel",
@@ -49,6 +50,10 @@ __all__ = [
     "window_counts_kernel",
     "propose_pivots_kernel",
     "propose_window_positions",
+    "window_insert_kernel",
+    "window_evict_kernel",
+    "window_sample_ids_kernel",
+    "window_sample_items_kernel",
     "centralized_candidates_kernel",
     "centralized_stream_candidates_kernel",
 ]
@@ -87,6 +92,29 @@ def make_centralized_state(pe: int, seed_seq: np.random.SeedSequence) -> Dict[st
     (coordinator side); the PEs only filter their local batches.
     """
     return {"pe": int(pe), "rng": np.random.default_rng(seed_seq), "stream": None}
+
+
+def make_window_pe_state(pe: int, seed_seq: np.random.SeedSequence, *, k: int) -> Dict[str, object]:
+    """PE state of the distributed sliding-window sampler.
+
+    The ``"reservoir"`` slot holds a
+    :class:`~repro.window.buffer.SlidingWindowBuffer`, which answers the
+    same rank/select queries as a :class:`LocalReservoir` — so the generic
+    query and pivot-proposal kernels above (and through them the whole
+    selection stack) operate on windowed state unchanged.
+    """
+    # Imported here, not at module top: repro.window itself imports this
+    # module (for the distributed sampler), and the state factory only runs
+    # at sampler construction time — long after both packages initialised.
+    from repro.window.buffer import SlidingWindowBuffer
+
+    return {
+        "pe": int(pe),
+        "rng": np.random.default_rng(seed_seq),
+        "reservoir": SlidingWindowBuffer(int(k)),
+        "k": int(k),
+        "stream": None,
+    }
 
 
 def install_stream_kernel(state: Dict[str, object], spec: StreamShardSpec) -> None:
@@ -312,6 +340,60 @@ def propose_pivots_kernel(
         return np.empty(0, dtype=np.float64)
     keys = reservoir.kth_keys(lo + positions.astype(np.int64) + 1)
     return np.sort(keys)
+
+
+# ---------------------------------------------------------------------------
+# sliding-window kernels (distributed windowed sampler)
+# ---------------------------------------------------------------------------
+def window_insert_kernel(
+    state: Dict[str, object],
+    ids: np.ndarray,
+    weights: np.ndarray,
+    stamps: np.ndarray,
+    weighted: bool,
+) -> Tuple[int, int]:
+    """Ingest one timestamped mini-batch into the window candidate buffer.
+
+    Every item receives a dense key — sliding windows admit no insertion
+    threshold, since an item above today's sample boundary may enter the
+    sample once smaller keys expire.  Pruning instead happens inside the
+    buffer via the suffix-top-k invariant.  Returns
+    ``(kept, buffer_size)``.
+    """
+    buffer = state["reservoir"]
+    if ids.shape[0] == 0:
+        return 0, len(buffer)
+    rng: np.random.Generator = state["rng"]
+    keys = _generate_keys(weights, weighted, rng)
+    kept = buffer.append(stamps, keys, ids)
+    return kept, len(buffer)
+
+
+def window_evict_kernel(state: Dict[str, object], cutoff: int) -> Tuple[int, int]:
+    """Expire buffered items with ``stamp <= cutoff``; returns
+    ``(evicted, live_size)``."""
+    buffer = state["reservoir"]
+    evicted = buffer.evict_older_than(int(cutoff))
+    return evicted, len(buffer)
+
+
+def window_sample_ids_kernel(state: Dict[str, object], threshold: float) -> np.ndarray:
+    """Ids of the buffered items whose keys are at most the sample boundary.
+
+    Unlike :func:`prune_kernel` this does **not** remove the items above
+    the boundary — they stay buffered to backfill the sample after future
+    expiry."""
+    return state["reservoir"].ids_at_most(float(threshold))
+
+
+def window_sample_items_kernel(
+    state: Dict[str, object], threshold: float
+) -> List[Tuple[float, int]]:
+    """(key, id) pairs at most the sample boundary, in key order.
+
+    Filtering PE-side keeps the above-boundary backfill candidates out of
+    the coordinator transfer (they can be several times the sample size)."""
+    return state["reservoir"].items_at_most(float(threshold))
 
 
 # ---------------------------------------------------------------------------

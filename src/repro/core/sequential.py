@@ -39,6 +39,48 @@ __all__ = [
 ]
 
 
+def ingest_keyed_batch(
+    store: ReservoirStore,
+    keys: np.ndarray,
+    ids: np.ndarray,
+    k: int,
+    *,
+    threshold: Optional[float] = None,
+    weights: Optional[np.ndarray] = None,
+    weights_by_id: Optional[dict] = None,
+) -> int:
+    """Shared store-backed batch ingestion: prefilter, merge, truncate.
+
+    Keys at or above ``threshold`` are dropped, the survivors are merged
+    into ``store`` truncated to ``k`` items, and the returned count is the
+    number of batch items that ended up *in* the reservoir (matching the
+    per-item path's notion of "entered the reservoir", not merely "passed
+    the prefilter").  When ``weights_by_id`` is given, the surviving
+    weights are recorded and the mapping is pruned to the stored ids once
+    it grows past ``4 * k + 64`` entries.  Shared by the sequential
+    samplers and :class:`repro.window.decayed.DecayedReservoir`, whose
+    batch paths differ only in how the keys are generated.
+    """
+    if threshold is not None:
+        mask = keys < threshold
+        keys, ids = keys[mask], ids[mask]
+        if weights is not None:
+            weights = weights[mask]
+    inserted = store.insert_batch(keys, ids, capacity=k)
+    if inserted and len(store) >= k:
+        inserted = int(np.count_nonzero(keys <= store.max_key()))
+    if weights_by_id is not None:
+        if weights is None:
+            raise ValueError("weights_by_id bookkeeping requires the weight array")
+        for item_id, weight in zip(ids.tolist(), weights.tolist()):
+            weights_by_id[int(item_id)] = float(weight)
+        if len(weights_by_id) > 4 * k + 64:
+            kept = set(store.ids_array().tolist())
+            for item_id in [i for i in weights_by_id if i not in kept]:
+                del weights_by_id[item_id]
+    return inserted
+
+
 class _ReservoirHeap:
     """A max-heap of (key, item id, weight) capped at ``k`` entries."""
 
@@ -146,20 +188,15 @@ class SequentialWeightedReservoir:
         threshold prefilter").
         """
         keys = keymod.exponential_keys(weights, self._rng)
-        threshold = self.threshold
-        if threshold is not None:
-            mask = keys < threshold
-            keys, ids, weights = keys[mask], ids[mask], weights[mask]
-        inserted = self._store.insert_batch(keys, ids, capacity=self.k)
-        if inserted and len(self._store) >= self.k:
-            inserted = int(np.count_nonzero(keys <= self._store.max_key()))
-        for item_id, weight in zip(ids.tolist(), weights.tolist()):
-            self._weights_by_id[int(item_id)] = float(weight)
-        if len(self._weights_by_id) > 4 * self.k + 64:
-            kept = set(self._store.ids_array().tolist())
-            self._weights_by_id = {
-                i: w for i, w in self._weights_by_id.items() if i in kept
-            }
+        inserted = ingest_keyed_batch(
+            self._store,
+            keys,
+            ids,
+            self.k,
+            threshold=self.threshold,
+            weights=weights,
+            weights_by_id=self._weights_by_id,
+        )
         self._insertions += inserted
         return inserted
 
@@ -283,13 +320,7 @@ class SequentialUniformReservoir:
         that ended up in the reservoir after the capacity truncation.
         """
         keys = keymod.uniform_keys(ids.shape[0], self._rng)
-        threshold = self.threshold
-        if threshold is not None:
-            mask = keys < threshold
-            keys, ids = keys[mask], ids[mask]
-        inserted = self._store.insert_batch(keys, ids, capacity=self.k)
-        if inserted and len(self._store) >= self.k:
-            inserted = int(np.count_nonzero(keys <= self._store.max_key()))
+        inserted = ingest_keyed_batch(self._store, keys, ids, self.k, threshold=self.threshold)
         self._insertions += inserted
         return inserted
 

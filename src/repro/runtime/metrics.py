@@ -16,7 +16,9 @@ The phase names follow Figure 6 of the paper:
 * ``"threshold"`` — the all-reduction that publishes the new threshold plus
   pruning the local reservoirs,
 * ``"gather"``  — only used by the centralized algorithm: shipping the
-  candidate items to the root.
+  candidate items to the root,
+* ``"expire"`` — only used by the windowed samplers: agreeing on the
+  newest timestamp and evicting expired candidates from the buffers.
 
 Every phase time is split into a *local* component (bottleneck local work,
 i.e. the maximum over PEs) and a *communication* component (from the cost
@@ -34,7 +36,7 @@ from repro.selection.base import SelectionStats
 __all__ = ["PHASES", "PhaseTimes", "RoundMetrics", "RunMetrics"]
 
 #: canonical phase order used in reports
-PHASES = ("insert", "select", "threshold", "gather")
+PHASES = ("insert", "expire", "select", "threshold", "gather")
 
 
 @dataclass
@@ -66,6 +68,10 @@ class RoundMetrics:
     candidates_gathered: int = 0
     selection_stats: Optional[SelectionStats] = None
     selection_ran: bool = False
+    #: windowed samplers: candidates expired out of the buffers this round
+    evicted_items: int = 0
+    #: windowed samplers: total buffered candidates (over-sample) after expiry
+    window_buffer_items: int = 0
 
     @property
     def simulated_time(self) -> float:
@@ -98,6 +104,8 @@ class RoundMetrics:
             "max_insertions": self.max_insertions,
             "candidates_gathered": self.candidates_gathered,
             "selection_ran": self.selection_ran,
+            "evicted_items": self.evicted_items,
+            "window_buffer_items": self.window_buffer_items,
         }
 
 
@@ -137,6 +145,11 @@ class RunMetrics:
     @property
     def total_insertions(self) -> int:
         return sum(r.total_insertions for r in self.rounds)
+
+    @property
+    def total_evicted(self) -> int:
+        """Total candidates expired across all rounds (windowed runs)."""
+        return sum(r.evicted_items for r in self.rounds)
 
     @property
     def max_insertions_per_pe(self) -> int:
@@ -204,4 +217,5 @@ class RunMetrics:
             "wall_throughput_total": (self.wall_throughput_total() if self.wall_time > 0 else 0.0),
             "phase_fractions": self.phase_fractions(),
             "mean_selection_depth": self.mean_selection_depth(),
+            "total_evicted": self.total_evicted,
         }

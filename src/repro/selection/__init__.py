@@ -37,6 +37,7 @@ from repro.selection.pivot_select import PivotSelection
 from repro.selection.quickselect import nth_smallest_numpy, quickselect_nth, smallest_k
 from repro.selection.sampled_select import SampledSelection
 from repro.selection.unsorted_select import UnsortedSelection
+from repro.selection.windowed import recompute_window_threshold
 
 __all__ = [
     "DistributedKeySet",
@@ -54,4 +55,5 @@ __all__ = [
     "quickselect_nth",
     "nth_smallest_numpy",
     "smallest_k",
+    "recompute_window_threshold",
 ]

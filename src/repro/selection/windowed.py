@@ -1,0 +1,63 @@
+"""Threshold recomputation over surviving keysets after window expiry.
+
+Under a sliding window the global threshold of the distributed sampler
+cannot be maintained incrementally: eviction removes keys *below* the old
+threshold, so after every round of expiry the key with global rank ``k``
+over the union of the surviving per-PE keysets must be re-selected from
+scratch.  :func:`recompute_window_threshold` is that entry point — it runs
+any :class:`~repro.selection.base.SelectionAlgorithm` over a
+:class:`~repro.selection.base.DistributedKeySet` view of the post-eviction
+buffers (the windowed sampler passes the communicator-backed keyset, so
+the batched all-PE operations are reused unchanged) and returns ``None``
+when the union is small enough that no selection is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.selection.base import DistributedKeySet, SelectionAlgorithm, SelectionResult
+
+__all__ = ["recompute_window_threshold"]
+
+
+def recompute_window_threshold(
+    keyset: DistributedKeySet,
+    k: int,
+    comm,
+    selection: SelectionAlgorithm,
+    *,
+    total: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[SelectionResult]:
+    """Re-establish the global rank-``k`` threshold over surviving keysets.
+
+    Parameters
+    ----------
+    keyset:
+        View over the per-PE candidate buffers *after* expired items have
+        been evicted.
+    k:
+        Sample size; the returned key has global rank ``k``.
+    comm:
+        Communicator the selection's collectives run (and are charged) on.
+    selection:
+        The selection algorithm to run (single-/multi-pivot, AMS, …).
+    total:
+        Total surviving key count, if the caller already agreed on it via
+        an all-reduction; computed from the keyset otherwise.
+    rng:
+        Driver-side generator for pivot proposals; leave ``None`` for
+        communicator-backed keysets, whose proposals consume the
+        worker-held per-PE generators.
+
+    Returns ``None`` when the union holds at most ``k`` keys (everything
+    is in the sample; no threshold separates candidates).
+    """
+    if total is None:
+        total = keyset.total_size()
+    if total <= k:
+        return None
+    return selection.select(keyset, k, comm, rng)

@@ -17,6 +17,7 @@ is available in memory.  This package provides
 """
 
 from repro.stream.generators import (
+    BurstyWeightGenerator,
     ExponentialWeightGenerator,
     NormalDriftWeightGenerator,
     UniformWeightGenerator,
@@ -27,17 +28,21 @@ from repro.stream.generators import (
 from repro.stream.items import ItemBatch
 from repro.stream.minibatch import BatchSizeSchedule, DistributedMiniBatch, MiniBatchStream, RecordingStream
 from repro.stream.shard import StreamShardSpec, WorkerStreamShard
+from repro.stream.stamped import TimestampedItemBatch, TimestampedMiniBatchStream
 from repro.stream.partition import partition_even, partition_random, partition_weighted_shares
 
 __all__ = [
     "ItemBatch",
+    "TimestampedItemBatch",
     "WeightGenerator",
     "UniformWeightGenerator",
     "UnitWeightGenerator",
     "NormalDriftWeightGenerator",
     "ExponentialWeightGenerator",
     "ZipfWeightGenerator",
+    "BurstyWeightGenerator",
     "MiniBatchStream",
+    "TimestampedMiniBatchStream",
     "RecordingStream",
     "DistributedMiniBatch",
     "BatchSizeSchedule",

@@ -28,6 +28,7 @@ __all__ = [
     "NormalDriftWeightGenerator",
     "ExponentialWeightGenerator",
     "ZipfWeightGenerator",
+    "BurstyWeightGenerator",
 ]
 
 _MIN_WEIGHT = 1e-12
@@ -144,3 +145,42 @@ class ZipfWeightGenerator(WeightGenerator):
 
     def __repr__(self) -> str:
         return f"ZipfWeightGenerator(exponent={self.exponent}, scale={self.scale})"
+
+
+class BurstyWeightGenerator(WeightGenerator):
+    """Periodic bursts of heavy items — a recency-sensitive workload.
+
+    Every ``period`` rounds, the first ``burst_rounds`` rounds draw
+    weights uniformly from ``(0, burst_high]`` while the remaining rounds
+    draw from ``(0, base_high]``.  Under unbounded sampling old bursts
+    dominate the sample forever; a sliding window or decayed sampler
+    tracks the current regime — which is what the windowed examples and
+    benchmarks demonstrate.
+    """
+
+    def __init__(
+        self,
+        base_high: float = 1.0,
+        burst_high: float = 100.0,
+        period: int = 8,
+        burst_rounds: int = 2,
+    ) -> None:
+        self.base_high = check_positive(base_high, "base_high")
+        self.burst_high = check_positive(burst_high, "burst_high")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < burst_rounds <= period:
+            raise ValueError("burst_rounds must lie in 1..period")
+        self.period = int(period)
+        self.burst_rounds = int(burst_rounds)
+
+    def generate(self, size, rng, *, pe=0, round_index=0):
+        high = self.burst_high if (round_index % self.period) < self.burst_rounds else self.base_high
+        u = 1.0 - rng.random(size)
+        return u * high
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyWeightGenerator(base_high={self.base_high}, burst_high={self.burst_high}, "
+            f"period={self.period}, burst_rounds={self.burst_rounds})"
+        )

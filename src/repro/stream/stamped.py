@@ -1,0 +1,132 @@
+"""Timestamped item batches and streams for the windowed samplers.
+
+The sliding-window samplers need every item to carry an arrival timestamp
+so that expiry ("is this item still inside the last ``W`` stamp units?")
+is well defined independently of the item id.
+:class:`TimestampedItemBatch` extends the struct-of-arrays
+:class:`~repro.stream.items.ItemBatch` with an ``int64`` stamp array, and
+:class:`TimestampedMiniBatchStream` wraps the synthetic
+:class:`~repro.stream.minibatch.MiniBatchStream` to stamp every emitted
+item with its global arrival index (counted in PE order within a round) —
+the convention under which ``window=W`` means "the last ``W`` items
+across all PEs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.stream.items import ItemBatch
+from repro.stream.minibatch import DistributedMiniBatch, MiniBatchStream
+
+__all__ = ["TimestampedItemBatch", "TimestampedMiniBatchStream"]
+
+
+@dataclass(frozen=True)
+class TimestampedItemBatch(ItemBatch):
+    """An :class:`~repro.stream.items.ItemBatch` whose items carry timestamps.
+
+    Attributes
+    ----------
+    stamps:
+        ``int64`` array of arrival timestamps aligned with ``ids``.
+        Stamps must be non-decreasing in array order (array order *is*
+        arrival order) and any unit works — arrival indices, epoch
+        milliseconds — as long as the window length uses the same unit.
+    """
+
+    stamps: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.stamps is None:
+            raise ValueError("a TimestampedItemBatch requires a stamps array")
+        stamps = np.asarray(self.stamps, dtype=np.int64)
+        if stamps.shape != self.ids.shape:
+            raise ValueError(
+                f"stamps must align with ids, got shapes {stamps.shape} and {self.ids.shape}"
+            )
+        if stamps.shape[0] > 1 and np.any(np.diff(stamps) < 0):
+            raise ValueError("stamps must be non-decreasing in arrival order")
+        object.__setattr__(self, "stamps", stamps)
+
+    @classmethod
+    def empty(cls) -> "TimestampedItemBatch":
+        """An empty timestamped batch."""
+        return cls(
+            ids=np.empty(0, dtype=np.int64),
+            weights=np.empty(0, dtype=np.float64),
+            stamps=np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def with_arrival_stamps(cls, batch: ItemBatch, start: int = 0) -> "TimestampedItemBatch":
+        """Stamp a plain batch with consecutive arrival indices from ``start``."""
+        return cls(
+            ids=batch.ids,
+            weights=batch.weights,
+            stamps=np.arange(start, start + len(batch), dtype=np.int64),
+        )
+
+    def take(self, indices: np.ndarray) -> "TimestampedItemBatch":
+        """Sub-batch with the items at ``indices``.
+
+        Unlike the plain :meth:`ItemBatch.take`, the indices must be in
+        increasing order: array order is arrival order, so a reordering
+        that makes the stamps decrease is rejected by validation.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        return TimestampedItemBatch(
+            ids=self.ids[indices], weights=self.weights[indices], stamps=self.stamps[indices]
+        )
+
+    def split(self, parts: int) -> List["TimestampedItemBatch"]:
+        """Split into ``parts`` contiguous sub-batches, stamps included."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        return [
+            TimestampedItemBatch(ids=i, weights=w, stamps=s)
+            for i, w, s in zip(
+                np.array_split(self.ids, parts),
+                np.array_split(self.weights, parts),
+                np.array_split(self.stamps, parts),
+            )
+        ]
+
+    @classmethod
+    def concat(cls, batches: Iterable["TimestampedItemBatch"]) -> "TimestampedItemBatch":
+        """Concatenate several timestamped batches into one."""
+        batches = [b for b in batches if len(b) > 0]
+        if not batches:
+            return cls.empty()
+        return cls(
+            ids=np.concatenate([b.ids for b in batches]),
+            weights=np.concatenate([b.weights for b in batches]),
+            stamps=np.concatenate([b.stamps for b in batches]),
+        )
+
+
+class TimestampedMiniBatchStream(MiniBatchStream):
+    """A :class:`MiniBatchStream` that stamps items with arrival indices.
+
+    Within a round the PE batches are stamped in PE order (PE 0's items
+    first), matching the id-assignment order of the base stream and the
+    stamping convention of
+    :class:`~repro.window.distributed.DistributedWindowSampler` for
+    un-stamped batches — so explicit and implicit stamping agree.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._next_stamp = 0
+
+    def next_round(self) -> DistributedMiniBatch:
+        plain = super().next_round()
+        batches: List[TimestampedItemBatch] = []
+        for batch in plain.batches:
+            batches.append(TimestampedItemBatch.with_arrival_stamps(batch, self._next_stamp))
+            self._next_stamp += len(batch)
+        return DistributedMiniBatch(round_index=plain.round_index, batches=batches)

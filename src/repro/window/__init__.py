@@ -1,0 +1,39 @@
+"""Sliding-window and time-decayed reservoir sampling.
+
+The unbounded samplers of :mod:`repro.core` answer "sample from everything
+seen so far"; this package answers the recency-weighted variants that
+production stream systems ask for, behind the same key-based machinery:
+
+* :class:`~repro.window.sliding.SlidingWindowReservoir` — sequential
+  sampling over the **last W items**, with priority-ordered expiry and a
+  bounded over-sample buffer (:mod:`repro.window.buffer`) that backfills
+  the sample as items expire,
+* :class:`~repro.window.decayed.DecayedReservoir` — **exponential
+  time-decay** sampling: the decay factor is folded into the key
+  generation in log-space, so old keys decay in place and the classic
+  threshold machinery applies unchanged,
+* :class:`~repro.window.distributed.DistributedWindowSampler` — the
+  **distributed** sliding window: each PE evicts expired candidates from
+  its buffer by timestamp and the distributed selection re-runs over the
+  surviving keysets to re-establish the global sample boundary, on either
+  execution backend.
+
+All three are reachable from the high-level API via
+``ReservoirSampler(k, window=...)`` / ``ReservoirSampler(k, decay=...)``
+and ``make_distributed_sampler(..., window=...)``.
+"""
+
+from repro.window.buffer import SlidingWindowBuffer, suffix_topk_mask, suffix_topk_scan
+from repro.window.decayed import DecayedReservoir, decayed_log_keys
+from repro.window.distributed import DistributedWindowSampler
+from repro.window.sliding import SlidingWindowReservoir
+
+__all__ = [
+    "SlidingWindowBuffer",
+    "suffix_topk_mask",
+    "suffix_topk_scan",
+    "SlidingWindowReservoir",
+    "DecayedReservoir",
+    "decayed_log_keys",
+    "DistributedWindowSampler",
+]

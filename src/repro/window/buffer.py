@@ -1,0 +1,322 @@
+"""The sliding-window candidate buffer (priority-ordered expiry).
+
+A reservoir under a sliding window cannot simply keep the ``k`` smallest
+keys: when an item expires, its slot must be *backfilled* by an item that
+was previously outside the top ``k`` — so a windowed sampler has to retain
+a bounded over-sample of candidates.  The classic rule (Babcock, Datar and
+Motwani's priority sampling) is the **suffix-top-k invariant**:
+
+    keep an item if and only if fewer than ``k`` later-arriving items
+    have a smaller key.
+
+Dropping an item under this rule is *permanently* safe: its ``k``
+dominators all arrived later, hence expire later, so the item could never
+re-enter the sample while any window still contains it.  Conversely every
+item of the current top ``k`` of the live window satisfies the invariant,
+so the buffer always contains the exact ``k`` smallest live keys.  For a
+window of ``W`` items the buffer holds ``k + k * ln(W / k)`` items in
+expectation — logarithmic over-sampling, not ``W``.
+
+:func:`suffix_topk_scan` evaluates the invariant for a whole
+arrival-ordered key array with a chunked rear scan: a sorted array tracks
+the ``k`` smallest keys of the suffix, and each chunk is vector-prefiltered
+against its current bound (the bound only tightens towards the front, so
+the prefilter is conservative), which keeps the interpreter-level work
+proportional to the number of *surviving* candidates instead of the batch
+size.  The scan also records each survivor's exact **dominator count**
+(later items with a key at most its own), which is what makes appends
+incremental: a later batch only has to *increment* the stored counts of
+the buffered items — one vectorized ``searchsorted`` against the batch's
+survivors — instead of rescanning the whole buffer.  (Counting only the
+batch's survivors is exact for every item that remains kept: if a dropped
+batch item had a key at most some buffered key, its own ``k`` dominators
+chain down to ``k`` *surviving* dominators of that buffered item, which
+is therefore dropped — so undercounts only ever happen to items that are
+evicted anyway.)
+
+:class:`SlidingWindowBuffer` packages the invariant with vectorized
+expiry and the rank/select queries the distributed selection algorithms
+need, so the same object serves the sequential sliding-window sampler and
+the per-PE state of the distributed one.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["suffix_topk_scan", "suffix_topk_mask", "SlidingWindowBuffer"]
+
+
+def suffix_topk_scan(
+    keys: np.ndarray, k: int, *, chunk: int = 4096
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate the suffix-top-k invariant over an arrival-ordered key array.
+
+    Returns ``(keep, doms)``: ``keep[i]`` is ``True`` iff fewer than ``k``
+    items after position ``i`` have a key at most ``keys[i]`` — i.e.
+    ``keys[i]`` is among the ``k`` smallest keys of ``keys[i:]`` — and for
+    every kept item ``doms[i]`` is the exact number of such dominators
+    (dropped items only carry a lower bound).  Ties are resolved in favour
+    of the later arrival (the one that expires last); with continuous
+    random keys ties have measure zero, so this only matters for
+    adversarial inputs.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    check_positive_int(k, "k")
+    n = keys.shape[0]
+    keep = np.zeros(n, dtype=bool)
+    doms = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return keep, doms
+    # ascending list of the k smallest keys of the scanned suffix; every
+    # later item with a key below its bound is inside it, so the bisect
+    # position is the exact dominator count (a plain list keeps the
+    # per-candidate insert a C-level memmove)
+    struct: List[float] = []
+    keys_list = keys.tolist()
+    pos = n
+    while pos > 0:
+        lo = max(0, pos - chunk)
+        if len(struct) < k:
+            candidates = np.arange(lo, pos, dtype=np.int64)
+        else:
+            # The bound only tightens while scanning towards the front, so
+            # filtering against the bound at chunk entry never discards a
+            # true survivor.
+            candidates = lo + np.flatnonzero(keys[lo:pos] < struct[-1])
+        for i in candidates[::-1].tolist():
+            key = keys_list[i]
+            if len(struct) < k or key < struct[-1]:
+                j = bisect.bisect_right(struct, key)
+                doms[i] = j
+                keep[i] = True
+                struct.insert(j, key)
+                if len(struct) > k:
+                    struct.pop()
+        pos = lo
+    return keep, doms
+
+
+def suffix_topk_mask(keys: np.ndarray, k: int, *, chunk: int = 4096) -> np.ndarray:
+    """Boolean keep-mask of :func:`suffix_topk_scan` (dominator counts dropped)."""
+    return suffix_topk_scan(keys, k, chunk=chunk)[0]
+
+
+class SlidingWindowBuffer:
+    """Arrival-ordered candidate buffer maintaining the suffix-top-k invariant.
+
+    The buffer stores ``(stamp, key, id[, weight])`` quadruples in arrival
+    order.  :meth:`append` ingests a batch (re-establishing the invariant
+    over the whole buffer), :meth:`evict_older_than` expires items by
+    timestamp with a single vectorized mask, and the rank/select interface
+    (``count_le``, ``kth_keys``, ``keys_in_rank_range``, …) exposes the
+    *live* keys as a sorted multiset — the exact shape the distributed
+    selection algorithms consume, so a buffer can stand in for a
+    :class:`~repro.core.local_reservoir.LocalReservoir` behind the
+    selection keysets.
+    """
+
+    def __init__(self, k: int, *, track_weights: bool = False, chunk: int = 4096) -> None:
+        self.k = check_positive_int(k, "k")
+        self.chunk = check_positive_int(chunk, "chunk")
+        self._stamps = np.empty(0, dtype=np.int64)
+        self._keys = np.empty(0, dtype=np.float64)
+        self._ids = np.empty(0, dtype=np.int64)
+        #: exact per-item dominator counts (later arrivals with key <= own)
+        self._doms = np.empty(0, dtype=np.int64)
+        self._weights: Optional[np.ndarray] = (
+            np.empty(0, dtype=np.float64) if track_weights else None
+        )
+        # key-order cache: argsort of the keys plus the gathered sorted keys
+        # (both invalidated together by append/evict)
+        self._order: Optional[np.ndarray] = None
+        self._sorted: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._keys.shape[0])
+
+    @property
+    def track_weights(self) -> bool:
+        return self._weights is not None
+
+    def stamps_array(self) -> np.ndarray:
+        """Timestamps in arrival order."""
+        return self._stamps.copy()
+
+    # ------------------------------------------------------------------
+    # ingestion and expiry
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        stamps: np.ndarray,
+        keys: np.ndarray,
+        ids: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> int:
+        """Append a batch (in arrival order) and re-establish the invariant.
+
+        The batch must arrive after everything already buffered; within the
+        batch, array order is arrival order.  Only the *batch* is scanned:
+        buffered items are updated by incrementing their stored dominator
+        counts with one vectorized ``searchsorted`` against the batch's
+        survivors (exact for every item that stays — see the module
+        docstring), so a single-item append costs ``O(buffer)`` numpy work
+        with no interpreter-level loop.  Returns the number of *new* items
+        that survived the scan.
+        """
+        stamps = np.asarray(stamps, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if not stamps.shape[0] == keys.shape[0] == ids.shape[0]:
+            raise ValueError("stamps, keys and ids must have equal length")
+        if self._weights is not None:
+            if weights is None:
+                raise ValueError("buffer tracks weights; pass the weight array")
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != keys.shape[0]:
+                raise ValueError("weights must align with keys")
+        if stamps.shape[0] == 0:
+            return 0
+        if self._stamps.shape[0] and int(stamps[0]) < int(self._stamps[-1]):
+            raise ValueError(
+                f"batch stamps start at {int(stamps[0])}, before the newest buffered "
+                f"stamp {int(self._stamps[-1])}; batches must arrive in stamp order"
+            )
+        new_keep, new_doms = suffix_topk_scan(keys, self.k, chunk=self.chunk)
+        keys, stamps, ids = keys[new_keep], stamps[new_keep], ids[new_keep]
+        new_doms = new_doms[new_keep]
+        if self._weights is not None:
+            weights = weights[new_keep]
+        kept_new = int(keys.shape[0])
+        if self._keys.shape[0]:
+            # every batch survivor arrived later than every buffered item
+            self._doms += np.searchsorted(np.sort(keys), self._keys, side="right")
+            old_keep = self._doms < self.k
+            if not old_keep.all():
+                self._stamps = self._stamps[old_keep]
+                self._keys = self._keys[old_keep]
+                self._ids = self._ids[old_keep]
+                self._doms = self._doms[old_keep]
+                if self._weights is not None:
+                    self._weights = self._weights[old_keep]
+        self._stamps = np.concatenate([self._stamps, stamps])
+        self._keys = np.concatenate([self._keys, keys])
+        self._ids = np.concatenate([self._ids, ids])
+        self._doms = np.concatenate([self._doms, new_doms])
+        if self._weights is not None:
+            self._weights = np.concatenate([self._weights, weights])
+        self._order = None
+        self._sorted = None
+        return kept_new
+
+    def evict_older_than(self, cutoff: int) -> int:
+        """Drop every item with ``stamp <= cutoff``; returns how many.
+
+        Expired items are the oldest, so they are never dominators of the
+        remaining items — the stored counts stay exact.
+        """
+        if not len(self):
+            return 0
+        live = self._stamps > cutoff
+        evicted = int(live.shape[0] - np.count_nonzero(live))
+        if evicted:
+            self._stamps = self._stamps[live]
+            self._keys = self._keys[live]
+            self._ids = self._ids[live]
+            self._doms = self._doms[live]
+            if self._weights is not None:
+                self._weights = self._weights[live]
+            self._order = None
+            self._sorted = None
+        return evicted
+
+    # ------------------------------------------------------------------
+    # sorted-by-key view (selection interface)
+    # ------------------------------------------------------------------
+    def _key_order(self) -> np.ndarray:
+        if self._order is None:
+            self._order = np.argsort(self._keys, kind="stable")
+            self._sorted = self._keys[self._order]
+        return self._order
+
+    def _sorted_keys(self) -> np.ndarray:
+        self._key_order()
+        return self._sorted
+
+    def count_le(self, key: float) -> int:
+        return int(np.searchsorted(self._sorted_keys(), key, side="right"))
+
+    def count_less(self, key: float) -> int:
+        return int(np.searchsorted(self._sorted_keys(), key, side="left"))
+
+    def kth_key(self, rank: int) -> float:
+        """The ``rank``-th smallest live key (1-based)."""
+        if not 1 <= rank <= len(self):
+            raise IndexError(f"rank {rank} out of range for buffer of size {len(self)}")
+        return float(self._sorted_keys()[rank - 1])
+
+    def kth_keys(self, ranks: np.ndarray) -> np.ndarray:
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size and (ranks.min() < 1 or ranks.max() > len(self)):
+            raise IndexError(f"ranks out of range 1..{len(self)}")
+        return self._sorted_keys()[ranks - 1].copy()
+
+    def keys_in_rank_range(self, lo: int, hi: int) -> np.ndarray:
+        return self._sorted_keys()[lo:hi].copy()
+
+    def max_key(self) -> float:
+        if not len(self):
+            raise IndexError("empty buffer has no max key")
+        return float(self._sorted_keys()[-1])
+
+    def min_key(self) -> float:
+        if not len(self):
+            raise IndexError("empty buffer has no min key")
+        return float(self._sorted_keys()[0])
+
+    def keys_array(self) -> np.ndarray:
+        """All live keys, sorted ascending."""
+        return self._sorted_keys().copy()
+
+    def item_ids(self) -> np.ndarray:
+        """All live item ids, in increasing key order."""
+        return self._ids[self._key_order()].copy()
+
+    def items(self) -> List[Tuple[float, int]]:
+        """(key, item id) pairs of the live buffer in increasing key order."""
+        order = self._key_order()
+        return list(zip(self._keys[order].tolist(), self._ids[order].tolist()))
+
+    # ------------------------------------------------------------------
+    # sample extraction
+    # ------------------------------------------------------------------
+    def smallest(self, count: int) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """``(keys, ids, weights)`` of the ``count`` smallest keys (key order).
+
+        ``weights`` is ``None`` unless the buffer tracks weights.  By the
+        invariant these are exactly the ``count`` smallest keys of the live
+        window whenever ``count <= k``.
+        """
+        count = min(int(count), len(self))
+        order = self._key_order()[:count]
+        weights = self._weights[order].copy() if self._weights is not None else None
+        return self._keys[order].copy(), self._ids[order].copy(), weights
+
+    def ids_at_most(self, threshold: float) -> np.ndarray:
+        """Ids of the live items with ``key <= threshold``, in key order."""
+        order = self._key_order()[: self.count_le(threshold)]
+        return self._ids[order].copy()
+
+    def items_at_most(self, threshold: float) -> List[Tuple[float, int]]:
+        """(key, id) pairs with ``key <= threshold``, in key order."""
+        order = self._key_order()[: self.count_le(threshold)]
+        return list(zip(self._keys[order].tolist(), self._ids[order].tolist()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SlidingWindowBuffer(k={self.k}, size={len(self)})"

@@ -1,0 +1,184 @@
+"""Exponential time-decay weighted reservoir sampling.
+
+Instead of a hard window, every item's weight decays by a factor
+``lambda`` per arrival step: at time ``t`` an item that arrived at ``t_i``
+with weight ``w_i`` has effective weight ``w_i * lambda^(t - t_i)``.  Its
+exponential key would be ``-ln(U) / (w_i * lambda^(t - t_i))``, which
+appears to require rescanning all stored keys as ``t`` advances.  It does
+not: factoring out ``lambda^(-t)`` (a positive constant shared by every
+item at query time ``t``) leaves the *static* quantity
+
+    ``s_i = (-ln(U) / w_i) * lambda^(t_i)``
+
+whose order is time-invariant — the ``k`` smallest ``s_i`` are the ``k``
+smallest decayed keys at **every** point in time.  Because ``lambda < 1``
+makes ``lambda^(t_i)`` underflow for large arrival indices, the sampler
+stores the key in log-space:
+
+    ``L_i = ln(-ln(U)) - ln(w_i) + t_i * ln(lambda)``
+
+New arrivals get ever-smaller log-keys, so old keys "decay in place"
+relative to them without ever being touched, and the usual
+threshold-prune-truncate machinery of the unbounded samplers applies
+unchanged (pruning by the ``k``-th smallest ``L`` is sound because the
+``L_i`` never change).  With ``lambda = 1`` the log-key is a monotone
+transform of the plain exponential key, so the sampler degenerates to
+exact classic weighted reservoir sampling — the equivalence tests rely on
+this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import keys as keymod
+from repro.core.sequential import ingest_keyed_batch
+from repro.core.store import ReservoirStore, make_store, normalize_store_name
+from repro.stream.items import ItemBatch
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["decayed_log_keys", "DecayedReservoir"]
+
+
+def decayed_log_keys(
+    weights: np.ndarray, stamps: np.ndarray, log_decay: float, rng=None
+) -> np.ndarray:
+    """Log-space decayed keys ``ln(-ln U) - ln w + stamp * ln(lambda)``.
+
+    Consumes the random stream exactly like
+    :func:`repro.core.keys.exponential_keys` (one uniform deviate per item),
+    so for ``log_decay == 0`` the produced order matches the classic
+    exponential keys draw-for-draw.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    stamps = np.asarray(stamps, dtype=np.int64)
+    if weights.shape[0] != stamps.shape[0]:
+        raise ValueError("weights and stamps must have equal length")
+    base = keymod.exponential_keys(weights, rng)
+    with np.errstate(divide="ignore"):  # -ln(U) == 0 only for U == 1 exactly
+        return np.log(base) + stamps.astype(np.float64) * log_decay
+
+
+class DecayedReservoir:
+    """Weighted reservoir sample under exponential time decay.
+
+    At any time the reservoir is a weighted sample without replacement of
+    size ``min(k, n)`` where item ``i`` carries the effective weight
+    ``w_i * decay^(age_i)`` (age measured in arrival steps).  Uniform mode
+    (``weighted=False``) uses ``w_i = 1``, i.e. pure recency weighting.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    decay:
+        Per-item decay factor ``lambda`` in ``(0, 1]``; ``1`` disables
+        decay and reproduces the classic weighted sampler exactly.
+    weighted:
+        Whether supplied item weights are used (``True``) or every item
+        counts with weight one (``False``).
+    seed:
+        Seed or generator for the random key stream.
+    store:
+        Reservoir store backend (``"merge"`` default, or ``"btree"``).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        decay: float,
+        *,
+        weighted: bool = True,
+        seed=None,
+        store: str = "merge",
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {decay}")
+        self.decay = float(decay)
+        self.weighted = bool(weighted)
+        self.store = normalize_store_name(store)
+        self._log_decay = math.log(self.decay)
+        self._rng = ensure_generator(seed)
+        self._store: ReservoirStore = make_store(self.store)
+        self._weights_by_id = {}
+        self._items_seen = 0
+        self._total_weight = 0.0
+        self._insertions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def items_seen(self) -> int:
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def size(self) -> int:
+        return len(self._store)
+
+    @property
+    def insertions(self) -> int:
+        return self._insertions
+
+    @property
+    def threshold(self) -> Optional[float]:
+        """Current insertion threshold in **log-key space** (``None`` while
+        filling).  Static keys make threshold pruning sound under decay."""
+        if len(self._store) < self.k:
+            return None
+        return self._store.max_key()
+
+    # ------------------------------------------------------------------
+    def process(self, batch: ItemBatch) -> int:
+        """Feed a batch; returns how many items entered the reservoir."""
+        b = len(batch)
+        if b == 0:
+            return 0
+        weights = batch.weights if self.weighted else np.ones(b, dtype=np.float64)
+        stamps = np.arange(self._items_seen, self._items_seen + b, dtype=np.int64)
+        keys = decayed_log_keys(weights, stamps, self._log_decay, self._rng)
+        self._items_seen += b
+        self._total_weight += batch.total_weight
+        inserted = ingest_keyed_batch(
+            self._store,
+            keys,
+            batch.ids,
+            self.k,
+            threshold=self.threshold,
+            weights=weights,
+            weights_by_id=self._weights_by_id,
+        )
+        self._insertions += inserted
+        return inserted
+
+    def insert(self, item_id: int, weight: float = 1.0) -> bool:
+        """Feed one item; returns whether it entered the reservoir."""
+        weight = check_positive(weight, "weight")
+        batch = ItemBatch(
+            ids=np.array([item_id], dtype=np.int64),
+            weights=np.array([weight], dtype=np.float64),
+        )
+        return self.process(batch) > 0
+
+    # ------------------------------------------------------------------
+    def sample_ids(self) -> np.ndarray:
+        """Item ids of the current sample (in increasing log-key order)."""
+        return self._store.ids_array()
+
+    def sample(self) -> List[Tuple[int, float]]:
+        """The current sample as ``(item id, weight)`` pairs."""
+        return [(int(i), self._weights_by_id[int(i)]) for i in self._store.ids_array()]
+
+    def sample_with_keys(self) -> List[Tuple[float, int, float]]:
+        """The current sample as ``(log key, id, weight)`` triples."""
+        return [
+            (key, int(item_id), self._weights_by_id[int(item_id)])
+            for key, item_id in self._store.items()
+        ]

@@ -1,0 +1,330 @@
+"""The distributed sliding-window reservoir sampler.
+
+Extends the paper's Algorithm 1 to the sliding-window workload: the union
+of the per-PE candidate buffers is, at every round boundary, a weighted
+(or uniform) sample without replacement of size ``min(k, |window|)`` of
+the **live window** — the items whose timestamps lie within the last
+``window`` stamp units.
+
+The round structure differs from the unbounded sampler in two essential
+ways:
+
+1. **No insertion threshold.**  Pruning arrivals below the global rank-k
+   key is unsound under expiry: a discarded item's smaller-key dominators
+   may all be *older* and expire first, after which the item should have
+   entered the sample.  Each PE instead prunes with the suffix-top-k
+   invariant (see :mod:`repro.window.buffer`), whose dominators are by
+   construction *younger* — dropping is permanently safe and the per-PE
+   buffer stays at ``O(k log W)`` expected items.
+2. **The threshold is recomputed every round.**  After each PE evicts its
+   expired candidates (one vectorized mask over the stamp array), the
+   distributed selection re-runs over the surviving keysets
+   (:func:`repro.selection.windowed.recompute_window_threshold`) to
+   re-establish the key with global rank ``k``.  That key is the *sample
+   boundary* used to extract ``sample_ids()`` — the buffers are **not**
+   pruned against it.
+
+The selection reuses the exact machinery of the unbounded sampler: the
+communicator-backed keyset dispatches the generic rank/select and
+pivot-proposal kernels of :mod:`repro.core.pe_kernels` against the per-PE
+buffers, so the same code runs on :class:`~repro.network.communicator.SimComm`
+and :class:`~repro.network.process_comm.ProcessComm` and the same seed
+yields byte-identical samples on both (enforced by
+``tests/window/test_distributed_window.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import pe_kernels
+from repro.core.distributed import (
+    CommBackedKeySet,
+    charge_selection_work,
+    collect_phase_times,
+)
+from repro.network.base import Communicator
+from repro.runtime.clock import PhaseClock
+from repro.runtime.machine import MachineSpec
+from repro.runtime.metrics import RoundMetrics
+from repro.selection.base import SelectionAlgorithm, SelectionResult
+from repro.selection.bernoulli_pivot import SinglePivotSelection
+from repro.selection.windowed import recompute_window_threshold
+from repro.stream.items import ItemBatch
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.validation import check_positive_int
+
+__all__ = ["DistributedWindowSampler"]
+
+
+class DistributedWindowSampler:
+    """Distributed sliding-window reservoir sampling over timestamped batches.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    window:
+        Window length ``W`` in stamp units: an item is live while its
+        stamp exceeds ``newest_stamp - W``.  With the default arrival-index
+        stamps this is "the last ``W`` items across all PEs".
+    comm:
+        Communicator over the ``p`` PEs (simulated or multiprocess).
+    selection:
+        Distributed selection algorithm used to re-establish the sample
+        boundary each round; defaults to single-pivot selection.
+    machine:
+        Machine model used to charge simulated local-work time.
+    weighted:
+        ``True`` for weighted sampling (exponential keys), ``False`` for
+        uniform sampling.
+    seed:
+        Seed from which the per-PE random streams are derived.
+
+    Batches passed to :meth:`process_round` may be
+    :class:`~repro.stream.stamped.TimestampedItemBatch` (explicit stamps)
+    or plain :class:`~repro.stream.items.ItemBatch`, in which case stamps
+    are assigned from a global arrival counter in PE order — matching
+    :class:`~repro.stream.stamped.TimestampedMiniBatchStream`.
+    """
+
+    algorithm_name = "ours-window"
+    #: reservoir storage marker reported in run metrics
+    store = "window"
+
+    def __init__(
+        self,
+        k: int,
+        window: int,
+        comm: Communicator,
+        *,
+        selection: Optional[SelectionAlgorithm] = None,
+        machine: Optional[MachineSpec] = None,
+        weighted: bool = True,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        self.window = check_positive_int(window, "window")
+        self.comm = comm
+        self.selection = selection if selection is not None else SinglePivotSelection()
+        self.machine = machine if machine is not None else MachineSpec.forhlr_like()
+        self.weighted = bool(weighted)
+        seed_seqs = spawn_seed_sequences(seed, comm.p)
+        self._handle = comm.create_pe_state(
+            functools.partial(pe_kernels.make_window_pe_state, k=self.k),
+            per_pe_args=[(ss,) for ss in seed_seqs],
+        )
+        #: sample boundary: key with global rank ``min(k, live)`` (``None``
+        #: while the whole live window fits into the sample)
+        self.threshold: Optional[float] = None
+        self._items_seen = 0
+        self._total_weight = 0.0
+        self._round = 0
+        self._next_stamp = 0
+        self._max_stamp = -1
+        self._evicted_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of PEs."""
+        return self.comm.p
+
+    @property
+    def items_seen(self) -> int:
+        """Total number of items processed so far (all PEs)."""
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def rounds_processed(self) -> int:
+        return self._round
+
+    @property
+    def evicted_items(self) -> int:
+        """Total number of buffered candidates expired so far (all PEs)."""
+        return self._evicted_total
+
+    def keyset(self) -> CommBackedKeySet:
+        """A selection view over the current per-PE candidate buffers."""
+        return CommBackedKeySet(self.comm, self._handle)
+
+    def buffer_size(self) -> int:
+        """Total number of buffered candidates (the distributed over-sample)."""
+        return sum(self.comm.run_per_pe(self._handle, pe_kernels.local_size_kernel))
+
+    # ------------------------------------------------------------------
+    def _round_stamps(self, batches: Sequence[ItemBatch]) -> List[np.ndarray]:
+        """Per-batch stamp arrays (explicit, or assigned in PE order)."""
+        stamps_list: List[np.ndarray] = []
+        for batch in batches:
+            stamps = getattr(batch, "stamps", None)
+            if stamps is None:
+                stamps = np.arange(
+                    self._next_stamp, self._next_stamp + len(batch), dtype=np.int64
+                )
+                self._next_stamp += len(batch)
+            else:
+                stamps = np.asarray(stamps, dtype=np.int64)
+                if stamps.shape[0]:
+                    self._next_stamp = max(self._next_stamp, int(stamps[-1]) + 1)
+            stamps_list.append(stamps)
+        return stamps_list
+
+    def process_round(self, batches: Sequence[ItemBatch]) -> RoundMetrics:
+        """Process one timestamped mini-batch round (one batch per PE)."""
+        if len(batches) != self.p:
+            raise ValueError(f"expected {self.p} batches (one per PE), got {len(batches)}")
+        stamps_list = self._round_stamps(batches)
+        clock = PhaseClock(self.p)
+        phase_comm_before = self.comm.ledger.time_by_phase()
+
+        # 1. insert: dense keys + suffix-top-k pruning inside each buffer
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(
+                self._handle,
+                pe_kernels.window_insert_kernel,
+                [
+                    (batch.ids, batch.weights, stamps, self.weighted)
+                    for batch, stamps in zip(batches, stamps_list)
+                ],
+            )
+        for pe, ((kept, size), batch) in enumerate(zip(results, batches)):
+            b = len(batch)
+            if b:
+                clock.charge(
+                    "insert",
+                    pe,
+                    self.machine.scan_time(b, batch_size=b)
+                    + self.machine.key_gen_time(b)
+                    + self.machine.tree_op_time(int(kept) + 1, max(int(size), 1)),
+                )
+        batch_items = sum(len(batch) for batch in batches)
+        self._items_seen += batch_items
+        self._total_weight += sum(batch.total_weight for batch in batches)
+        for stamps in stamps_list:
+            if stamps.shape[0]:
+                self._max_stamp = max(self._max_stamp, int(stamps[-1]))
+        insertions = [int(kept) for kept, _ in results]
+
+        # 2. expire: agree on the newest stamp, evict below the cutoff
+        # (reduced in the integer domain — float64 would quantize stamps
+        # beyond 2**53, e.g. epoch nanoseconds, and shift the cutoff)
+        with self.comm.phase("expire"):
+            now = self.comm.allreduce([int(self._max_stamp)] * self.p, Communicator.MAX)
+            cutoff = int(now[0]) - self.window
+            evict_results = self.comm.run_per_pe(
+                self._handle, pe_kernels.window_evict_kernel, [(cutoff,)] * self.p
+            )
+        sizes = []
+        evicted_round = 0
+        for pe, (evicted, live) in enumerate(evict_results):
+            sizes.append(int(live))
+            evicted_round += int(evicted)
+            clock.charge(
+                "expire", pe, self.machine.tree_op_time(int(evicted) + 1, max(int(live), 1))
+            )
+        self._evicted_total += evicted_round
+
+        # 3. select + threshold: re-establish the sample boundary over the
+        #    surviving keysets (the buffers are never pruned against it)
+        selection_result: Optional[SelectionResult] = None
+        selection_ran = False
+        with self.comm.phase("select"):
+            total_live = int(
+                self.comm.allreduce([float(s) for s in sizes], Communicator.SUM)[0]
+            )
+        if total_live > self.k:
+            keyset = self.keyset()
+            with self.comm.phase("select"):
+                selection_result = recompute_window_threshold(
+                    keyset, self.k, self.comm, self.selection, total=total_live
+                )
+            selection_ran = True
+            charge_selection_work(clock, self.machine, self.selection, selection_result, sizes)
+            with self.comm.phase("threshold"):
+                agreed = self.comm.allreduce(
+                    [float(selection_result.key)] * self.p, Communicator.MAX
+                )
+            self.threshold = float(agreed[0])
+        elif total_live == self.k and total_live > 0:
+            with self.comm.phase("threshold"):
+                local_max = self.comm.run_per_pe(self._handle, pe_kernels.max_key_kernel)
+                self.threshold = float(self.comm.allreduce(local_max, Communicator.MAX)[0])
+        else:
+            self.threshold = None
+
+        self._round += 1
+        return self._build_metrics(
+            clock,
+            phase_comm_before,
+            batch_items=batch_items,
+            insertions=insertions,
+            buffer_items=total_live,
+            evicted=evicted_round,
+            selection_result=selection_result,
+            selection_ran=selection_ran,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_metrics(
+        self,
+        clock: PhaseClock,
+        phase_comm_before: Dict[str, float],
+        *,
+        batch_items: int,
+        insertions: List[int],
+        buffer_items: int,
+        evicted: int,
+        selection_result: Optional[SelectionResult],
+        selection_ran: bool,
+    ) -> RoundMetrics:
+        phase_times = collect_phase_times(
+            clock, phase_comm_before, self.comm.ledger.time_by_phase()
+        )
+        return RoundMetrics(
+            round_index=self._round - 1,
+            batch_items=batch_items,
+            items_seen_total=self._items_seen,
+            sample_size=min(self.k, buffer_items),
+            threshold=self.threshold,
+            phase_times=phase_times,
+            insertions_per_pe=list(insertions),
+            selection_stats=selection_result.stats if selection_result is not None else None,
+            selection_ran=selection_ran,
+            evicted_items=evicted,
+            window_buffer_items=buffer_items,
+        )
+
+    # ------------------------------------------------------------------
+    def sample_ids(self) -> np.ndarray:
+        """Item ids of the current window sample (``min(k, live)`` ids)."""
+        if self.threshold is None:
+            parts = self.comm.run_per_pe(self._handle, pe_kernels.item_ids_kernel)
+        else:
+            parts = self.comm.run_per_pe(
+                self._handle, pe_kernels.window_sample_ids_kernel, [(self.threshold,)] * self.p
+            )
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    def sample_items(self) -> List[Tuple[int, float]]:
+        """The current sample as ``(item id, key)`` pairs (all PEs)."""
+        if self.threshold is None:
+            parts = self.comm.run_per_pe(self._handle, pe_kernels.items_kernel)
+        else:
+            parts = self.comm.run_per_pe(
+                self._handle,
+                pe_kernels.window_sample_items_kernel,
+                [(self.threshold,)] * self.p,
+            )
+        return [(item_id, key) for items in parts for key, item_id in items]
+
+    def sample_size(self) -> int:
+        """Current size of the window sample."""
+        return int(self.sample_ids().shape[0])

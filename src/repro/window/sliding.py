@@ -1,0 +1,145 @@
+"""Sequential sliding-window reservoir sampling.
+
+A :class:`SlidingWindowReservoir` maintains a weighted (or uniform) sample
+without replacement of size ``min(k, |window|)`` over the **last W items**
+of the stream.  Every item receives the usual random key (exponential
+``-ln(U)/w`` for weighted, uniform for unweighted sampling — see
+:mod:`repro.core.keys`) and an arrival index; the candidate set lives in a
+:class:`~repro.window.buffer.SlidingWindowBuffer`, which keeps the bounded
+over-sample required for backfilling: when old items expire, the next
+smallest live keys are already buffered, so the sample never has to look
+back into the (discarded) stream.
+
+Unlike the unbounded samplers there is no insertion threshold to skip
+items under — an item that is currently uninteresting may become part of
+the sample once everything smaller than it has expired.  The pruning rule
+is instead the suffix-top-k invariant evaluated by the buffer, which keeps
+the memory at ``O(k log W)`` in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import keys as keymod
+from repro.stream.items import ItemBatch
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_positive, check_positive_int
+from repro.window.buffer import SlidingWindowBuffer
+
+__all__ = ["SlidingWindowReservoir"]
+
+
+class SlidingWindowReservoir:
+    """Weighted/uniform reservoir sample over the last ``window`` items.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    window:
+        Window length ``W`` in items: the sample covers the ``W`` most
+        recently fed items.
+    weighted:
+        ``True`` (default) for weighted sampling with exponential keys,
+        ``False`` for uniform sampling.
+    seed:
+        Seed or generator for the random key stream.
+    """
+
+    def __init__(self, k: int, window: int, *, weighted: bool = True, seed=None) -> None:
+        self.k = check_positive_int(k, "k")
+        self.window = check_positive_int(window, "window")
+        self.weighted = bool(weighted)
+        self._rng = ensure_generator(seed)
+        self._buffer = SlidingWindowBuffer(self.k, track_weights=True)
+        self._items_seen = 0
+        self._total_weight = 0.0
+        self._evicted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def items_seen(self) -> int:
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def size(self) -> int:
+        """Current sample size (``min(k, live window items)``)."""
+        return min(self.k, len(self._buffer))
+
+    @property
+    def live_items(self) -> int:
+        """Number of stream items currently inside the window."""
+        return min(self._items_seen, self.window)
+
+    @property
+    def buffer_size(self) -> int:
+        """Number of buffered candidates (the over-sample, ``O(k log W)``)."""
+        return len(self._buffer)
+
+    @property
+    def evicted_items(self) -> int:
+        """Total number of candidates expired out of the buffer so far."""
+        return self._evicted
+
+    @property
+    def threshold(self) -> Optional[float]:
+        """Key of the ``k``-th smallest live item (``None`` while filling).
+
+        This is the *sample boundary*, not an insertion threshold: items
+        above it must still be buffered for backfilling after expiry.
+        """
+        if len(self._buffer) < self.k:
+            return None
+        return self._buffer.kth_key(self.k)
+
+    # ------------------------------------------------------------------
+    def process(self, batch: ItemBatch) -> int:
+        """Feed a batch; returns how many of its items entered the buffer."""
+        b = len(batch)
+        if b == 0:
+            return 0
+        if self.weighted:
+            keys = keymod.exponential_keys(batch.weights, self._rng)
+            weights = batch.weights
+        else:
+            keys = keymod.uniform_keys(b, self._rng)
+            weights = np.ones(b, dtype=np.float64)  # uniform samples report unit weight
+        stamps = np.arange(self._items_seen, self._items_seen + b, dtype=np.int64)
+        kept = self._buffer.append(stamps, keys, batch.ids, weights)
+        self._items_seen += b
+        self._total_weight += batch.total_weight
+        # live stamps are (now - W, now]; now == items_seen - 1
+        self._evicted += self._buffer.evict_older_than(self._items_seen - 1 - self.window)
+        return kept
+
+    def insert(self, item_id: int, weight: float = 1.0) -> bool:
+        """Feed one item; returns whether it entered the candidate buffer."""
+        weight = check_positive(weight, "weight")
+        batch = ItemBatch(
+            ids=np.array([item_id], dtype=np.int64),
+            weights=np.array([weight], dtype=np.float64),
+        )
+        return self.process(batch) > 0
+
+    # ------------------------------------------------------------------
+    def sample_ids(self) -> np.ndarray:
+        """Item ids of the current window sample (in increasing key order)."""
+        _, ids, _ = self._buffer.smallest(self.k)
+        return ids
+
+    def sample(self) -> List[Tuple[int, float]]:
+        """The current sample as ``(item id, weight)`` pairs."""
+        _, ids, weights = self._buffer.smallest(self.k)
+        return list(zip(ids.tolist(), weights.tolist()))
+
+    def sample_with_keys(self) -> List[Tuple[float, int, float]]:
+        """The current sample as ``(key, id, weight)`` triples."""
+        keys, ids, weights = self._buffer.smallest(self.k)
+        return list(zip(keys.tolist(), ids.tolist(), weights.tolist()))

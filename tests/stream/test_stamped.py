@@ -1,0 +1,108 @@
+"""Timestamped batches/streams and the bursty (recency-sensitive) generator."""
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    BurstyWeightGenerator,
+    ItemBatch,
+    MiniBatchStream,
+    TimestampedItemBatch,
+    TimestampedMiniBatchStream,
+)
+
+
+class TestTimestampedItemBatch:
+    def test_requires_aligned_stamps(self):
+        with pytest.raises(ValueError, match="requires a stamps"):
+            TimestampedItemBatch(ids=np.arange(3), weights=np.ones(3))
+        with pytest.raises(ValueError, match="align"):
+            TimestampedItemBatch(ids=np.arange(3), weights=np.ones(3), stamps=np.arange(2))
+
+    def test_rejects_decreasing_stamps(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TimestampedItemBatch(
+                ids=np.arange(3), weights=np.ones(3), stamps=np.array([2, 1, 3])
+            )
+
+    def test_take_preserves_stamps(self):
+        batch = TimestampedItemBatch(
+            ids=np.arange(10, 15), weights=np.ones(5), stamps=np.arange(100, 105)
+        )
+        sub = batch.take(np.array([0, 2]))
+        assert isinstance(sub, TimestampedItemBatch)
+        np.testing.assert_array_equal(sub.stamps, [100, 102])
+        np.testing.assert_array_equal(sub.ids, [10, 12])
+
+    def test_concat_and_empty(self):
+        a = TimestampedItemBatch(ids=np.arange(2), weights=np.ones(2), stamps=np.arange(2))
+        b = TimestampedItemBatch(
+            ids=np.arange(2, 4), weights=np.ones(2), stamps=np.arange(2, 4)
+        )
+        merged = TimestampedItemBatch.concat([a, b])
+        np.testing.assert_array_equal(merged.stamps, np.arange(4))
+        assert len(TimestampedItemBatch.empty()) == 0
+
+    def test_split_preserves_stamps(self):
+        batch = TimestampedItemBatch(
+            ids=np.arange(7), weights=np.ones(7), stamps=np.arange(100, 107)
+        )
+        parts = batch.split(3)
+        assert all(isinstance(part, TimestampedItemBatch) for part in parts)
+        np.testing.assert_array_equal(
+            np.concatenate([part.stamps for part in parts]), batch.stamps
+        )
+        with pytest.raises(ValueError):
+            batch.split(0)
+
+    def test_with_arrival_stamps(self):
+        plain = ItemBatch(ids=np.array([7, 8]), weights=np.ones(2))
+        stamped = TimestampedItemBatch.with_arrival_stamps(plain, start=40)
+        np.testing.assert_array_equal(stamped.stamps, [40, 41])
+
+
+class TestTimestampedMiniBatchStream:
+    def test_items_match_plain_stream_and_carry_arrival_stamps(self):
+        p, batch = 3, 17
+        stamped = TimestampedMiniBatchStream(p, batch, seed=5)
+        plain = MiniBatchStream(p, batch, seed=5)
+        next_stamp = 0
+        for _ in range(4):
+            s_round = stamped.next_round()
+            p_round = plain.next_round()
+            for s_batch, p_batch in zip(s_round.batches, p_round.batches):
+                np.testing.assert_array_equal(s_batch.ids, p_batch.ids)
+                np.testing.assert_array_equal(s_batch.weights, p_batch.weights)
+                np.testing.assert_array_equal(
+                    s_batch.stamps, np.arange(next_stamp, next_stamp + len(s_batch))
+                )
+                next_stamp += len(s_batch)
+
+    def test_stamps_are_globally_unique_and_increasing(self):
+        stream = TimestampedMiniBatchStream(2, 10, seed=0)
+        stamps = np.concatenate(
+            [b.stamps for _ in range(3) for b in stream.next_round().batches]
+        )
+        np.testing.assert_array_equal(stamps, np.arange(60))
+
+
+class TestBurstyWeightGenerator:
+    def test_burst_rounds_are_heavier(self):
+        gen = BurstyWeightGenerator(base_high=1.0, burst_high=100.0, period=4, burst_rounds=1)
+        rng = np.random.default_rng(0)
+        burst = gen(2_000, rng, round_index=0)
+        quiet = gen(2_000, rng, round_index=1)
+        assert burst.mean() > 10 * quiet.mean()
+        assert (burst > 0).all() and (quiet > 0).all()
+        assert gen(10, rng, round_index=4).max() > 1.0  # period wraps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyWeightGenerator(period=0)
+        with pytest.raises(ValueError):
+            BurstyWeightGenerator(period=4, burst_rounds=5)
+        with pytest.raises(ValueError):
+            BurstyWeightGenerator(base_high=-1.0)
+
+    def test_repr(self):
+        assert "BurstyWeightGenerator" in repr(BurstyWeightGenerator())

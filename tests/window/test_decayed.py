@@ -1,0 +1,144 @@
+"""Exponential time-decay sampling: exactness, statistics, store backends.
+
+The central correctness lever is that the log-space decayed key is a
+*static* quantity whose order equals the decayed-key order at every query
+time.  With ``decay = 1`` it is a monotone transform of the classic
+exponential key consuming the identical random stream, so the decayed
+sampler must reproduce the unbounded merge-store sampler **byte for
+byte** — that pins the whole key-generation path.  The statistical tests
+then compare inclusion frequencies against the dense reference sampler
+run on the *effective* (decayed) weights.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro import ReservoirSampler
+from repro.analysis.statistics import chi_square_statistic, inclusion_counts
+from repro.core.sequential import SequentialWeightedReservoir
+from repro.stream import ItemBatch
+from repro.window import DecayedReservoir, decayed_log_keys
+
+
+class TestDecayedLogKeys:
+    def test_zero_log_decay_is_log_of_exponential_keys(self):
+        weights = np.random.default_rng(0).uniform(0.5, 4.0, 100)
+        stamps = np.arange(100)
+        a = decayed_log_keys(weights, stamps, 0.0, np.random.default_rng(5))
+        from repro.core.keys import exponential_keys
+
+        b = np.log(exponential_keys(weights, np.random.default_rng(5)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_decay_shifts_later_keys_down(self):
+        weights = np.ones(50)
+        stamps = np.arange(50)
+        log_decay = np.log(0.5)
+        keys = decayed_log_keys(weights, stamps, log_decay, np.random.default_rng(1))
+        base = decayed_log_keys(weights, stamps, 0.0, np.random.default_rng(1))
+        np.testing.assert_allclose(keys - base, stamps * log_decay)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            decayed_log_keys(np.ones(3), np.arange(2), 0.0)
+
+
+class TestDecayOneEquivalence:
+    @pytest.mark.parametrize("store", ["merge", "btree"])
+    def test_decay_one_matches_unbounded_weighted_sampler(self, store):
+        rng = np.random.default_rng(11)
+        ids = np.arange(4000)
+        weights = rng.uniform(0.1, 9.0, 4000)
+        decayed = DecayedReservoir(64, 1.0, seed=21, store=store)
+        classic = SequentialWeightedReservoir(64, seed=21, store=store)
+        for start in range(0, 4000, 333):
+            batch = ItemBatch(ids=ids[start : start + 333], weights=weights[start : start + 333])
+            decayed.process(batch)
+            classic.process(batch)
+        np.testing.assert_array_equal(
+            np.sort(decayed.sample_ids()), np.sort(classic.sample_ids())
+        )
+
+    def test_store_backends_byte_identical(self):
+        streams = []
+        for store in ("merge", "btree"):
+            sampler = DecayedReservoir(32, 0.97, seed=5, store=store)
+            rng = np.random.default_rng(6)
+            for start in range(0, 2000, 250):
+                sampler.process(
+                    ItemBatch(
+                        ids=np.arange(start, start + 250),
+                        weights=rng.uniform(0.2, 3.0, 250),
+                    )
+                )
+            streams.append(sampler.sample_ids())
+        np.testing.assert_array_equal(streams[0], streams[1])
+
+
+class TestDecayedBehaviour:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayedReservoir(4, 0.0)
+        with pytest.raises(ValueError):
+            DecayedReservoir(4, 1.5)
+        with pytest.raises(ValueError):
+            DecayedReservoir(4, -0.1)
+
+    def test_strong_decay_keeps_only_recent_items(self):
+        sampler = DecayedReservoir(20, 0.5, weighted=False, seed=3)
+        sampler.process(ItemBatch.uniform_items(5000))
+        # with lambda = 0.5 anything older than ~60 steps is negligible
+        assert sampler.sample_ids().min() >= 5000 - 200
+
+    def test_sample_accessors(self):
+        sampler = DecayedReservoir(5, 0.9, seed=2)
+        sampler.process(ItemBatch(ids=np.arange(50), weights=np.full(50, 3.0)))
+        assert sampler.size == 5
+        assert sampler.items_seen == 50
+        assert sampler.threshold is not None
+        assert all(weight == 3.0 for _, weight in sampler.sample())
+        keys = [key for key, _, _ in sampler.sample_with_keys()]
+        assert keys == sorted(keys)
+
+    def test_insert_single_items(self):
+        sampler = DecayedReservoir(3, 0.99, seed=1)
+        entered = [sampler.insert(i, 1.0) for i in range(10)]
+        assert all(entered[:3])
+        assert sampler.size == 3
+
+    def test_decayed_inclusion_matches_effective_weight_reference(self):
+        """Chi-squared: inclusion counts follow w_i * lambda^age_i."""
+        n, k, lam, trials = 40, 3, 0.9, 600
+        rng = np.random.default_rng(8)
+        weights = rng.uniform(0.5, 4.0, n)
+        ages = n - 1 - np.arange(n)
+        effective = weights * lam**ages
+        from repro.analysis.statistics import weighted_inclusion_reference
+
+        reference = weighted_inclusion_reference(
+            effective, k, trials=4000, rng=np.random.default_rng(9)
+        )
+        counts = np.zeros(n)
+        for seed in range(trials):
+            sampler = DecayedReservoir(k, lam, seed=seed)
+            sampler.process(ItemBatch(ids=np.arange(n), weights=weights))
+            counts += inclusion_counts([sampler.sample_ids()], n)
+        statistic, dof = chi_square_statistic(counts, reference, trials)
+        p_value = float(stats.chi2.sf(statistic, df=dof))
+        assert p_value > 1e-3, f"decayed inclusion off: chi2={statistic:.1f}, p={p_value:.2g}"
+
+
+class TestFacadeRouting:
+    def test_decay_facade(self):
+        sampler = ReservoirSampler(k=10, seed=4, decay=0.95)
+        sampler.feed(np.arange(500), np.ones(500))
+        assert sampler.decay == 0.95
+        assert len(sampler.sample_ids()) == 10
+        assert sampler.add(500, 2.0) in (True, False)
+
+    def test_decay_accepts_store(self):
+        sampler = ReservoirSampler(k=5, seed=0, decay=0.9, store="btree")
+        sampler.feed(np.arange(100), np.ones(100))
+        assert sampler.store == "btree"
+        assert len(sampler.sample_ids()) == 5

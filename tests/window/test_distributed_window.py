@@ -1,0 +1,219 @@
+"""Distributed sliding-window sampling: backend equivalence and statistics.
+
+Acceptance criteria of the windowed subsystem:
+
+* the same seed yields **byte-identical** windowed samples (ids, keys and
+  threshold trajectory) under ``comm="sim"`` and ``comm="process"``,
+* expired ids never appear in the sample, the sample has exactly
+  ``min(k, live)`` items, and the sample is uniform over the live window
+  (chi-squared over many seeds),
+* explicit stamps (:class:`TimestampedMiniBatchStream`) and driver-assigned
+  arrival stamps agree, and
+* the per-round metrics expose the window accounting (``expire`` phase,
+  eviction and buffer counters).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.statistics import inclusion_counts
+from repro.core import DistributedSamplingRun, make_distributed_sampler
+from repro.network import ProcessComm, SimComm
+from repro.stream import MiniBatchStream, TimestampedMiniBatchStream, UnitWeightGenerator
+from repro.window import DistributedWindowSampler
+
+ROUNDS = 6
+BATCH = 120
+SEED = 13
+WINDOW = 500
+
+
+def _run_sampler(comm, algorithm, k, p, *, weighted=True, window=WINDOW):
+    sampler = make_distributed_sampler(
+        algorithm, k, comm, seed=SEED, weighted=weighted, window=window
+    )
+    stream = TimestampedMiniBatchStream(p, BATCH, seed=SEED + 1)
+    thresholds = []
+    for _ in range(ROUNDS):
+        metrics = sampler.process_round(stream.next_round().batches)
+        thresholds.append(metrics.threshold)
+    return np.sort(sampler.sample_ids()), thresholds, sorted(sampler.sample_items())
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("algorithm,k", [("ours", 40), ("ours-4", 40), ("ours-8", 25)])
+    def test_windowed_samples_byte_identical_across_backends(self, algorithm, k):
+        p = 2
+        sim_ids, sim_thresholds, sim_items = _run_sampler(SimComm(p), algorithm, k, p)
+        with ProcessComm(p) as proc:
+            proc_ids, proc_thresholds, proc_items = _run_sampler(proc, algorithm, k, p)
+        np.testing.assert_array_equal(sim_ids, proc_ids)
+        assert sim_thresholds == proc_thresholds
+        assert sim_items == proc_items  # keys too, not just ids
+
+    def test_equivalence_for_uniform_window_sampling(self):
+        p = 3
+        sim_ids, _, sim_items = _run_sampler(SimComm(p), "ours", 35, p, weighted=False)
+        with ProcessComm(p) as proc:
+            proc_ids, _, proc_items = _run_sampler(proc, "ours", 35, p, weighted=False)
+        np.testing.assert_array_equal(sim_ids, proc_ids)
+        assert sim_items == proc_items
+
+    def test_window_via_api_string_backend(self):
+        sampler = make_distributed_sampler("ours", 20, "process", p=2, seed=3, window=300)
+        try:
+            stream = TimestampedMiniBatchStream(2, 100, seed=4)
+            for _ in range(4):
+                sampler.process_round(stream.next_round().batches)
+            assert len(sampler.sample_ids()) == 20
+        finally:
+            sampler.comm.shutdown()
+
+
+class TestWindowSemantics:
+    def test_expired_ids_never_appear_across_rounds(self):
+        p, k, window = 4, 30, 300
+        sampler = make_distributed_sampler("ours", k, SimComm(p), seed=1, window=window)
+        stream = TimestampedMiniBatchStream(p, 50, seed=2)
+        emitted = 0
+        for _ in range(12):
+            sampler.process_round(stream.next_round().batches)
+            emitted += p * 50
+            sample = np.sort(sampler.sample_ids())
+            assert sample.shape[0] == min(k, min(emitted, window))
+            assert len(np.unique(sample)) == sample.shape[0]
+            # the synthetic stream's ids equal the arrival stamps
+            assert sample.min() > emitted - 1 - window, "expired id in the sample"
+
+    def test_plain_batches_get_arrival_stamps(self):
+        """Un-stamped batches behave exactly like the stamped stream."""
+        p, k = 2, 25
+        stamped = make_distributed_sampler("ours", k, SimComm(p), seed=7, window=200)
+        plain = make_distributed_sampler("ours", k, SimComm(p), seed=7, window=200)
+        stamped_stream = TimestampedMiniBatchStream(p, 80, seed=8)
+        plain_stream = MiniBatchStream(p, 80, seed=8)
+        for _ in range(5):
+            stamped.process_round(stamped_stream.next_round().batches)
+            plain.process_round(plain_stream.next_round().batches)
+        np.testing.assert_array_equal(
+            np.sort(stamped.sample_ids()), np.sort(plain.sample_ids())
+        )
+        assert stamped.threshold == plain.threshold
+
+    def test_round_metrics_expose_window_accounting(self):
+        p = 2
+        run = DistributedSamplingRun("ours", k=20, p=p, batch_size=100, seed=5, window=250)
+        metrics = run.run(6)
+        assert metrics.store == "window"
+        assert metrics.total_evicted > 0
+        last = metrics.rounds[-1]
+        assert last.evicted_items > 0
+        assert last.window_buffer_items >= 20
+        assert "expire" in last.phase_times
+        assert last.phase_times["insert"].total > 0.0
+        assert metrics.as_dict()["total_evicted"] == metrics.total_evicted
+
+    def test_buffer_is_bounded_oversample(self):
+        p, k, window = 2, 10, 1_000
+        sampler = make_distributed_sampler("ours", k, SimComm(p), seed=3, window=window)
+        stream = TimestampedMiniBatchStream(p, 250, seed=4)
+        for _ in range(10):
+            sampler.process_round(stream.next_round().batches)
+        # expected ~ p * k * (1 + ln(W/k)) ~= 112; generous slack
+        assert k <= sampler.buffer_size() < 400
+        assert sampler.evicted_items > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="only supported"):
+            make_distributed_sampler("gather", 10, SimComm(2), window=50)
+        with pytest.raises(ValueError, match="only supported"):
+            make_distributed_sampler("ours-variable", 10, SimComm(2), window=50)
+        with pytest.raises(ValueError, match="decay"):
+            make_distributed_sampler("ours", 10, SimComm(2), decay=0.9)
+        with pytest.raises(ValueError, match="store"):
+            make_distributed_sampler("ours", 10, SimComm(2), window=50, store="btree")
+        with pytest.raises(ValueError, match="k_hi"):
+            make_distributed_sampler("ours", 10, SimComm(2), window=50, k_hi=20)
+        with pytest.raises(ValueError, match="local_thresholding"):
+            make_distributed_sampler(
+                "ours", 10, SimComm(2), window=50, local_thresholding=False
+            )
+        with pytest.raises(ValueError):
+            DistributedWindowSampler(10, 0, SimComm(2))
+
+    def test_invalid_window_args_do_not_leak_process_workers(self):
+        import multiprocessing
+
+        with pytest.raises(ValueError, match="only supported"):
+            DistributedSamplingRun("gather", k=10, p=2, comm="process", window=50)
+        for child in multiprocessing.active_children():
+            child.join(timeout=5)
+        assert not multiprocessing.active_children(), "worker processes leaked"
+
+    def test_huge_stamps_keep_exact_cutoff(self):
+        """Epoch-nanosecond-scale stamps (> 2**53) must not shift the cutoff."""
+        from repro.stream import TimestampedItemBatch
+
+        p, k, window = 2, 4, 10
+        base = 2**60  # far beyond float64's integer range
+        sampler = DistributedWindowSampler(k, window, SimComm(p), seed=0)
+
+        def stamped(lo, hi, start):
+            ids = np.arange(lo, hi, dtype=np.int64)
+            return TimestampedItemBatch(
+                ids=ids, weights=np.ones(len(ids)),
+                stamps=np.arange(start, start + len(ids), dtype=np.int64),
+            )
+
+        sampler.process_round([stamped(0, 8, base), stamped(8, 16, base + 8)])
+        # newest stamp is base + 15; live iff stamp > base + 5 -> ids 6..15
+        sample = np.sort(sampler.sample_ids())
+        assert sample.shape[0] == k
+        assert sample.min() >= 6, "float64 quantization shifted the eviction cutoff"
+
+    def test_sample_before_any_round_is_empty(self):
+        sampler = DistributedWindowSampler(5, 100, SimComm(2), seed=0)
+        assert sampler.sample_ids().shape == (0,)
+        assert sampler.sample_size() == 0
+
+
+class TestWindowedStatisticalCorrectness:
+    def test_uniform_over_live_window_chi_squared(self):
+        """The distributed window sample is uniform over the live window."""
+        p, k, window, batch, rounds, trials = 2, 4, 60, 25, 4, 300
+        n = p * batch * rounds  # 200 emitted, last 60 live
+        counts = np.zeros(window)
+        for seed in range(trials):
+            sampler = make_distributed_sampler(
+                "ours", k, SimComm(p), seed=seed, weighted=False, window=window
+            )
+            stream = TimestampedMiniBatchStream(
+                p, batch, weights=UnitWeightGenerator(), seed=seed + 10_000
+            )
+            for _ in range(rounds):
+                sampler.process_round(stream.next_round().batches)
+            counts += inclusion_counts([sampler.sample_ids() - (n - window)], window)
+        expected = np.full(window, trials * k / window)
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        p_value = float(stats.chi2.sf(chi2, df=window - 1))
+        assert p_value > 1e-3, f"windowed sample not uniform: chi2={chi2:.1f}, p={p_value:.2g}"
+
+    def test_weighted_window_prefers_heavy_live_items(self):
+        """Heavier live items appear more often; expired heavy items never."""
+        p, k, window = 2, 5, 40
+        trials = 200
+        heavy_live = 0
+        for seed in range(trials):
+            sampler = make_distributed_sampler(
+                "ours", k, SimComm(p), seed=seed, weighted=True, window=window
+            )
+            stream = TimestampedMiniBatchStream(p, 20, seed=seed + 5_000)
+            for _ in range(4):  # 160 items; live window = last 40 (ids 120..159)
+                sampler.process_round(stream.next_round().batches)
+            sample = sampler.sample_ids()
+            assert sample.min() >= 120
+            heavy_live += np.count_nonzero(sample >= 140)
+        # uniform weights 0..100 -> top half of the window holds about half
+        # of the live weight; sampling k=5 of 40 should include it often
+        assert heavy_live / (trials * k) > 0.3

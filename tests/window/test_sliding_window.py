@@ -1,0 +1,263 @@
+"""Sequential sliding-window sampling: invariants and statistics.
+
+* :func:`repro.window.buffer.suffix_topk_mask` agrees with the brute-force
+  definition of the invariant for every chunk size,
+* the candidate buffer stays a valid over-sample (it always contains the
+  ``k`` smallest live keys) and expired ids never appear in the sample
+  (hypothesis property over random feed patterns),
+* the window sample is **uniform over the live window** (chi-squared over
+  many seeds) and **weighted** sampling matches the dense reference
+  sampler restricted to the live window (total-variation check),
+* the :class:`repro.ReservoirSampler` facade routes ``window=`` correctly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro import ReservoirSampler
+from repro.analysis.statistics import (
+    inclusion_counts,
+    total_variation_distance,
+    weighted_inclusion_reference,
+)
+from repro.stream import ItemBatch
+from repro.window import (
+    SlidingWindowBuffer,
+    SlidingWindowReservoir,
+    suffix_topk_mask,
+    suffix_topk_scan,
+)
+
+
+def brute_mask(keys, k):
+    return np.array(
+        [np.count_nonzero(keys[i + 1 :] <= keys[i]) < k for i in range(len(keys))],
+        dtype=bool,
+    )
+
+
+class TestSuffixTopkMask:
+    @pytest.mark.parametrize("k", [1, 2, 5, 17])
+    @pytest.mark.parametrize("chunk", [1, 3, 64, 4096])
+    def test_matches_brute_force(self, k, chunk):
+        rng = np.random.default_rng(k * 1000 + chunk)
+        keys = rng.random(257)
+        mask = suffix_topk_mask(keys, k, chunk=chunk)
+        np.testing.assert_array_equal(mask, brute_mask(keys, k))
+
+    def test_empty_and_tiny(self):
+        assert suffix_topk_mask(np.empty(0), 3).shape == (0,)
+        np.testing.assert_array_equal(suffix_topk_mask(np.array([0.5]), 1), [True])
+
+    def test_ties_resolve_to_later_arrival(self):
+        # the earlier of two equal keys is dominated (it expires first)
+        np.testing.assert_array_equal(
+            suffix_topk_mask(np.array([0.5, 0.5]), 1), [False, True]
+        )
+
+    def test_sorted_descending_keeps_everything_up_to_k_suffix(self):
+        keys = np.arange(10, 0, -1).astype(float)  # each suffix is all smaller
+        mask = suffix_topk_mask(keys, 3)
+        # item i has (9 - i) later items, all smaller: kept iff 9 - i < 3
+        np.testing.assert_array_equal(mask, np.arange(10) >= 7)
+
+    def test_sorted_ascending_keeps_everything(self):
+        keys = np.arange(1, 11).astype(float)  # no later item is smaller
+        assert suffix_topk_mask(keys, 1).all()
+
+    @pytest.mark.parametrize("k", [1, 4, 9])
+    def test_scan_dominator_counts_exact_for_kept_items(self, k):
+        rng = np.random.default_rng(k)
+        keys = rng.random(180)
+        keep, doms = suffix_topk_scan(keys, k, chunk=32)
+        for i in np.flatnonzero(keep):
+            assert doms[i] == np.count_nonzero(keys[i + 1 :] <= keys[i])
+
+
+class TestSlidingWindowBuffer:
+    def test_buffer_contains_k_smallest_live(self):
+        rng = np.random.default_rng(3)
+        k, window, n = 8, 120, 600
+        buf = SlidingWindowBuffer(k)
+        keys = rng.random(n)
+        for start in range(0, n, 53):
+            stop = min(start + 53, n)
+            buf.append(np.arange(start, stop), keys[start:stop], np.arange(start, stop))
+            buf.evict_older_than(stop - 1 - window)
+            live_lo = max(0, stop - window)
+            live_keys = keys[live_lo:stop]
+            expected = np.sort(live_keys)[: min(k, live_keys.shape[0])]
+            got, ids, _ = buf.smallest(k)
+            np.testing.assert_allclose(got, expected)
+            np.testing.assert_array_equal(keys[ids], got)  # ids align with keys
+
+    def test_rank_select_interface_matches_sorted_arrays(self):
+        rng = np.random.default_rng(4)
+        buf = SlidingWindowBuffer(5)
+        keys = rng.random(40)
+        buf.append(np.arange(40), keys, np.arange(40))
+        live = np.sort(keys[np.asarray(brute_mask(keys, 5))])
+        assert len(buf) == live.shape[0]
+        np.testing.assert_allclose(buf.keys_array(), live)
+        assert buf.count_le(live[2]) == 3
+        assert buf.count_less(live[2]) == 2
+        assert buf.kth_key(1) == live[0]
+        np.testing.assert_allclose(buf.kth_keys(np.array([1, len(buf)])), live[[0, -1]])
+        np.testing.assert_allclose(buf.keys_in_rank_range(1, 3), live[1:3])
+        assert buf.max_key() == live[-1]
+        assert buf.min_key() == live[0]
+        assert len(buf.items()) == len(buf)
+
+    def test_weight_tracking_and_validation(self):
+        buf = SlidingWindowBuffer(2, track_weights=True)
+        with pytest.raises(ValueError):
+            buf.append(np.arange(3), np.random.rand(3), np.arange(3))  # no weights
+        buf.append(np.arange(3), np.array([0.3, 0.1, 0.2]), np.arange(3), np.array([1.0, 2.0, 3.0]))
+        _, ids, weights = buf.smallest(2)
+        np.testing.assert_array_equal(ids, [1, 2])
+        np.testing.assert_array_equal(weights, [2.0, 3.0])
+
+    def test_mismatched_lengths_rejected(self):
+        buf = SlidingWindowBuffer(2)
+        with pytest.raises(ValueError):
+            buf.append(np.arange(2), np.random.rand(3), np.arange(3))
+
+    @pytest.mark.parametrize("splits", [[200], [1] * 60, [7, 1, 30, 1, 1, 25], [50, 50, 50, 50]])
+    def test_incremental_appends_match_single_full_scan(self, splits):
+        """Appending in any batch granularity yields the one true keep-set."""
+        rng = np.random.default_rng(sum(splits))
+        n = sum(splits)
+        keys = rng.random(n)
+        buf = SlidingWindowBuffer(4)
+        start = 0
+        for size in splits:
+            buf.append(np.arange(start, start + size), keys[start : start + size],
+                       np.arange(start, start + size))
+            start += size
+        expected = np.flatnonzero(suffix_topk_mask(keys, 4))
+        got = np.sort(buf.item_ids())
+        np.testing.assert_array_equal(got, expected)
+
+    def test_sorted_view_survives_zero_eviction_and_empty_append(self):
+        """Cache invalidation: no-op evictions/appends must keep the sorted
+        view consistent (regression: a zero-eviction call used to clear half
+        of the cache and crash the next rank query)."""
+        rng = np.random.default_rng(5)
+        buf = SlidingWindowBuffer(3)
+        buf.append(np.arange(20), rng.random(20), np.arange(20))
+        before = buf.count_le(0.5)  # populate the sort cache
+        assert buf.evict_older_than(-1) == 0  # expires nothing
+        assert buf.count_le(0.5) == before
+        buf.append(np.empty(0, np.int64), np.empty(0), np.empty(0, np.int64))
+        assert buf.count_le(0.5) == before
+        np.testing.assert_array_equal(buf.keys_array(), np.sort(buf.keys_array()))
+
+    def test_out_of_order_batches_rejected(self):
+        buf = SlidingWindowBuffer(2)
+        buf.append(np.arange(10, 13), np.random.rand(3), np.arange(3))
+        with pytest.raises(ValueError, match="stamp order"):
+            buf.append(np.arange(5, 8), np.random.rand(3), np.arange(3))
+
+
+class TestSlidingWindowReservoir:
+    def test_sample_size_tracks_window_fill(self):
+        sampler = SlidingWindowReservoir(10, 50, weighted=False, seed=0)
+        for i in range(7):
+            sampler.insert(i)
+        assert sampler.size == 7
+        assert sampler.threshold is None
+        for i in range(7, 200):
+            sampler.insert(i)
+        assert sampler.size == 10
+        assert sampler.live_items == 50
+        assert sampler.threshold is not None
+        assert sampler.evicted_items > 0
+
+    @given(
+        k=st.integers(1, 8),
+        window=st.integers(2, 60),
+        chunks=st.lists(st.integers(1, 40), min_size=1, max_size=12),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expired_ids_never_appear(self, k, window, chunks, seed):
+        sampler = SlidingWindowReservoir(k, window, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        fed = 0
+        for size in chunks:
+            ids = np.arange(fed, fed + size)
+            sampler.process(ItemBatch(ids=ids, weights=rng.uniform(0.1, 5.0, size)))
+            fed += size
+            sample = sampler.sample_ids()
+            assert sample.shape[0] == min(k, min(fed, window))
+            assert len(np.unique(sample)) == sample.shape[0]
+            if fed > window:
+                assert sample.min() >= fed - window, "expired id in the sample"
+
+    def test_buffer_stays_logarithmic(self):
+        sampler = SlidingWindowReservoir(5, 2_000, weighted=False, seed=9)
+        for start in range(0, 20_000, 500):
+            sampler.process(ItemBatch.uniform_items(500, start_id=start))
+        # expected candidate count ~ k * (1 + ln(W / k)) ~= 35; allow slack
+        assert sampler.buffer_size < 150
+
+    def test_uniform_over_live_window_chi_squared(self):
+        """Inclusion counts over window positions are uniform (many seeds)."""
+        k, window, n, trials = 4, 30, 75, 400
+        counts = np.zeros(window)
+        for seed in range(trials):
+            sampler = SlidingWindowReservoir(k, window, weighted=False, seed=seed)
+            sampler.process(ItemBatch.uniform_items(n))
+            sample = sampler.sample_ids()
+            counts += inclusion_counts([sample - (n - window)], window)
+        expected = np.full(window, trials * k / window)
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        p_value = float(stats.chi2.sf(chi2, df=window - 1))
+        assert p_value > 1e-3, f"window sample not uniform: chi2={chi2:.1f}, p={p_value:.2g}"
+
+    def test_weighted_matches_dense_reference_on_live_window(self):
+        """Windowed inclusion frequencies match dense sampling of the window."""
+        k, window, n, trials = 3, 20, 50, 500
+        rng = np.random.default_rng(42)
+        weights = rng.uniform(0.5, 6.0, size=n)
+        live_ids = np.arange(n - window, n)
+        live_weights = weights[n - window :]
+        counts = np.zeros(window)
+        for seed in range(trials):
+            sampler = SlidingWindowReservoir(k, window, weighted=True, seed=seed)
+            sampler.process(ItemBatch(ids=np.arange(n), weights=weights))
+            counts += inclusion_counts([sampler.sample_ids() - (n - window)], window)
+        reference = weighted_inclusion_reference(
+            live_weights, k, trials=trials, rng=np.random.default_rng(7)
+        )
+        tv = total_variation_distance(counts / (trials * k), reference / reference.sum())
+        assert tv < 0.08, f"total variation vs dense reference too large: {tv:.3f}"
+
+    def test_sample_with_keys_and_pairs(self):
+        sampler = SlidingWindowReservoir(3, 10, seed=1)
+        sampler.process(ItemBatch(ids=np.arange(25), weights=np.full(25, 2.0)))
+        triples = sampler.sample_with_keys()
+        assert len(triples) == 3
+        assert all(weight == 2.0 for _, _, weight in triples)
+        assert [i for i, _ in sampler.sample()] == [i for _, i, _ in triples]
+
+
+class TestFacadeRouting:
+    def test_window_facade(self):
+        sampler = ReservoirSampler(k=5, weighted=False, seed=0, window=20)
+        sampler.feed(np.arange(100))
+        assert sampler.window == 20
+        assert sampler.sample_ids().min() >= 80
+        assert sampler.add(100) in (True, False)
+        assert sampler.items_seen == 101
+
+    def test_window_and_decay_are_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ReservoirSampler(k=5, window=10, decay=0.9)
+
+    def test_window_rejects_store(self):
+        with pytest.raises(ValueError, match="store"):
+            ReservoirSampler(k=5, window=10, store="merge")
