@@ -27,6 +27,7 @@ from pathlib import Path
 PACKAGES = [
     "repro.core",
     "repro.window",
+    "repro.pipeline",
     "repro.network",
     "repro.runtime",
     "repro.selection",

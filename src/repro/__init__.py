@@ -39,6 +39,7 @@ from repro.core import (
     make_distributed_sampler,
 )
 from repro.network import CostLedger, CostParameters, SimComm
+from repro.pipeline import BatchSizeAutotuner, PipelinedSamplingRun
 from repro.runtime import MachineSpec, RunMetrics, StreamingSimulation
 from repro.selection import (
     AmsSelection,
@@ -77,6 +78,9 @@ __all__ = [
     "SlidingWindowReservoir",
     "DecayedReservoir",
     "DistributedWindowSampler",
+    # asynchronous double-buffered ingestion
+    "PipelinedSamplingRun",
+    "BatchSizeAutotuner",
     # selection
     "SinglePivotSelection",
     "MultiPivotSelection",

@@ -334,6 +334,16 @@ class DistributedSamplingRun:
         last ``window`` items; the default stream becomes a
         :class:`~repro.stream.stamped.TimestampedMiniBatchStream` so every
         item carries its global arrival index.
+    pipeline:
+        ``"off"`` (default) runs lock-step rounds over the coordinator
+        stream.  ``"strict"`` / ``"relaxed"`` switch to the asynchronous
+        double-buffered rounds of :mod:`repro.pipeline`: batches are
+        generated worker-locally (so ``stream=`` cannot be combined with
+        it) and the next round's preparation overlaps the current round's
+        selection — genuinely on the multiprocess backend, as a modeled
+        ``max(prepare, select)`` round cost on the simulator.  Both the
+        unbounded and the windowed samplers support it; the centralized
+        ``"gather"`` baseline does not.
     """
 
     def __init__(
@@ -352,10 +362,22 @@ class DistributedSamplingRun:
         seed: Optional[int] = 0,
         comm: CommLike = "sim",
         window: Optional[int] = None,
+        pipeline: str = "off",
     ) -> None:
+        # imported lazily: repro.pipeline itself imports from repro.core
+        from repro.pipeline.engine import make_pipeline_engine, normalize_pipeline_mode
+
+        pipeline = normalize_pipeline_mode(pipeline)
+        if pipeline != "off" and stream is not None:
+            raise ValueError(
+                "pipeline= generates the stream inside the workers; a custom "
+                "stream= cannot be combined with it"
+            )
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         self._owns_comm = False
         self.window = window
+        self.pipeline = pipeline
+        self.engine = None
         if isinstance(algorithm, str):
             if not isinstance(comm, Communicator):
                 comm = _resolve_comm(comm, p, self.machine)
@@ -380,14 +402,25 @@ class DistributedSamplingRun:
         else:
             self.sampler = algorithm
             self.algorithm = getattr(algorithm, "algorithm_name", type(algorithm).__name__)
-        if stream is not None:
+        if pipeline != "off":
+            # worker-local shards replicate the default streams exactly;
+            # make_pipeline_engine rejects samplers that cannot pipeline
+            self.stream = None
+            try:
+                self.sampler.attach_worker_stream(batch_size, seed=seed)
+                self.engine = make_pipeline_engine(self.sampler, pipeline)
+            except BaseException:
+                if self._owns_comm:
+                    self.sampler.comm.shutdown()
+                raise
+        elif stream is not None:
             self.stream = stream
         elif window is not None:
             # stamped stream so the window is defined in global arrival order
             self.stream = TimestampedMiniBatchStream(self.sampler.p, batch_size, seed=seed)
         else:
             self.stream = MiniBatchStream(self.sampler.p, batch_size, seed=seed)
-        if self.stream.p != self.sampler.p:
+        if self.stream is not None and self.stream.p != self.sampler.p:
             raise ValueError(
                 f"stream has {self.stream.p} PEs but the sampler has {self.sampler.p}"
             )
@@ -407,8 +440,11 @@ class DistributedSamplingRun:
     def run(self, rounds: int) -> RunMetrics:
         """Process ``rounds`` mini-batch rounds and return the run metrics."""
         for _ in range(check_positive_int(rounds, "rounds", allow_zero=True)):
-            round_batches = self.stream.next_round()
-            round_metrics = self.sampler.process_round(round_batches.batches)
+            if self.engine is not None:
+                round_metrics = self.engine.step()
+            else:
+                round_batches = self.stream.next_round()
+                round_metrics = self.sampler.process_round(round_batches.batches)
             self.metrics.add_round(round_metrics)
         return self.metrics
 
@@ -429,6 +465,8 @@ class DistributedSamplingRun:
         pre-built sampler) is left running — the caller owns its
         lifecycle.
         """
+        if self.engine is not None:
+            self.engine.finish()
         if self._owns_comm:
             self.comm.shutdown()
 

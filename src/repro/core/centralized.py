@@ -40,7 +40,7 @@ from repro.runtime.clock import PhaseClock
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import PhaseTimes, RoundMetrics
 from repro.stream.items import ItemBatch
-from repro.stream.shard import StreamShardSpec
+from repro.stream.shard import make_shard_specs
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
 
@@ -140,20 +140,22 @@ class CentralizedGatherSampler:
         self.threshold = float(threshold) if threshold is not None else None
 
     def attach_worker_stream(
-        self, batch_size: int, *, seed: Optional[int] = 0, weights=None
+        self,
+        batch_size: int,
+        *,
+        seed: Optional[int] = 0,
+        weights=None,
+        variable: bool = False,
+        stamped: bool = False,
     ) -> None:
         """Install a worker-local stream shard on every PE.
 
         See
         :meth:`repro.core.distributed.DistributedReservoirSampler.attach_worker_stream`.
         """
-        check_positive_int(batch_size, "batch_size")
-        specs = [
-            StreamShardSpec(p=self.p, pe=pe, batch_size=batch_size, seed=seed, **(
-                {"weights": weights} if weights is not None else {}
-            ))
-            for pe in range(self.p)
-        ]
+        specs = make_shard_specs(
+            self.p, batch_size, seed=seed, weights=weights, variable=variable, stamped=stamped
+        )
         self.comm.run_per_pe(
             self._handle, pe_kernels.install_stream_kernel, [(spec,) for spec in specs]
         )

@@ -47,7 +47,7 @@ from repro.runtime.metrics import PhaseTimes, RoundMetrics
 from repro.selection.base import DistributedKeySet, SelectionAlgorithm, SelectionResult
 from repro.selection.bernoulli_pivot import SinglePivotSelection
 from repro.stream.items import ItemBatch
-from repro.stream.shard import StreamShardSpec
+from repro.stream.shard import make_shard_specs
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
 
@@ -374,6 +374,8 @@ class DistributedReservoirSampler:
         *,
         seed: Optional[int] = 0,
         weights=None,
+        variable: bool = False,
+        stamped: bool = False,
     ) -> None:
         """Install a worker-local stream shard on every PE.
 
@@ -382,14 +384,15 @@ class DistributedReservoirSampler:
         multiprocess backend) instead of shipping coordinator-built
         batches.  The shards replicate a constant-batch-size
         :class:`~repro.stream.minibatch.MiniBatchStream` exactly.
+
+        ``variable=True`` allows the shards to be resized between rounds
+        (adaptive mini-batch sizing; switches to interleaved item ids) and
+        ``stamped=True`` makes them emit timestamped batches — both are
+        used by the pipelined drivers of :mod:`repro.pipeline`.
         """
-        check_positive_int(batch_size, "batch_size")
-        specs = [
-            StreamShardSpec(p=self.p, pe=pe, batch_size=batch_size, seed=seed, **(
-                {"weights": weights} if weights is not None else {}
-            ))
-            for pe in range(self.p)
-        ]
+        specs = make_shard_specs(
+            self.p, batch_size, seed=seed, weights=weights, variable=variable, stamped=stamped
+        )
         self.comm.run_per_pe(
             self._handle, pe_kernels.install_stream_kernel, [(spec,) for spec in specs]
         )

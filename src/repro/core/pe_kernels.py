@@ -20,6 +20,7 @@ picklable values otherwise, and returns only picklable values.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,8 +34,14 @@ __all__ = [
     "make_centralized_state",
     "make_window_pe_state",
     "install_stream_kernel",
+    "set_batch_size_kernel",
+    "prefetch_stream_kernel",
     "insert_batch_kernel",
     "stream_insert_kernel",
+    "prepare_batch_kernel",
+    "ingest_prepared_kernel",
+    "window_prepare_kernel",
+    "window_ingest_prepared_kernel",
     "local_size_kernel",
     "max_key_kernel",
     "prune_kernel",
@@ -74,14 +81,22 @@ def make_pe_state(
 
     ``seed_seq`` must come from ``spawn_seed_sequences(seed, p)[pe]`` so the
     per-PE random streams are identical across backends.
+
+    ``"gen_rng"`` is a second generator spawned from the same sequence: the
+    relaxed pipeline mode draws next-round keys from it in a background
+    thread, so the draws neither race with nor reorder the main ``"rng"``
+    stream that the selection pivot proposals consume.  (Spawning a child
+    does not perturb the parent-derived ``"rng"`` stream.)
     """
     return {
         "pe": int(pe),
         "rng": np.random.default_rng(seed_seq),
+        "gen_rng": np.random.default_rng(seed_seq.spawn(1)[0]),
         "reservoir": LocalReservoir(backend=store, order=order),
         "k": int(k),
         "policy": LocalThresholdPolicy(int(k)),
         "stream": None,
+        "prepared": None,
     }
 
 
@@ -111,15 +126,45 @@ def make_window_pe_state(pe: int, seed_seq: np.random.SeedSequence, *, k: int) -
     return {
         "pe": int(pe),
         "rng": np.random.default_rng(seed_seq),
+        "gen_rng": np.random.default_rng(seed_seq.spawn(1)[0]),
         "reservoir": SlidingWindowBuffer(int(k)),
         "k": int(k),
         "stream": None,
+        "prepared": None,
     }
 
 
 def install_stream_kernel(state: Dict[str, object], spec: StreamShardSpec) -> None:
     """Attach a worker-local stream shard to the PE state."""
     state["stream"] = WorkerStreamShard(spec)
+
+
+def set_batch_size_kernel(state: Dict[str, object], batch_size: int) -> int:
+    """Resize the stream shard's per-round batch (variable shards only)."""
+    stream = _require_stream(state)
+    stream.set_batch_size(int(batch_size))
+    return stream.batch_size
+
+
+def prefetch_stream_kernel(state: Dict[str, object]) -> Tuple[int, float]:
+    """Materialise the shard's next batch ahead of time.
+
+    Safe to dispatch via ``run_per_pe_async``: only the shard is touched,
+    so the prefetch can run in a background thread while the PE
+    participates in selection collectives.  Returns ``(items, seconds)``
+    — the batch length and the kernel's own busy time (the
+    measured-overlap numerator of the strict pipeline mode).
+    """
+    start = time.perf_counter()
+    items = _require_stream(state).prefetch()
+    return items, time.perf_counter() - start
+
+
+def _require_stream(state: Dict[str, object]) -> WorkerStreamShard:
+    stream: Optional[WorkerStreamShard] = state.get("stream")
+    if stream is None:
+        raise RuntimeError("no stream shard installed; call attach_worker_stream() first")
+    return stream
 
 
 # ---------------------------------------------------------------------------
@@ -216,14 +261,132 @@ def stream_insert_kernel(
 
     Returns ``(inserted, pruned, reservoir_size, batch_items, batch_weight)``.
     """
-    stream: Optional[WorkerStreamShard] = state.get("stream")
-    if stream is None:
-        raise RuntimeError("no stream shard installed; call attach_worker_stream() first")
-    batch = stream.next_batch()
+    batch = _require_stream(state).next_batch()
     inserted, pruned, size = insert_batch_kernel(
         state, batch.ids, batch.weights, threshold, weighted, local_thresholding
     )
     return inserted, pruned, size, len(batch), float(batch.total_weight)
+
+
+# ---------------------------------------------------------------------------
+# pipelined ingestion kernels (repro.pipeline)
+# ---------------------------------------------------------------------------
+def prepare_batch_kernel(
+    state: Dict[str, object],
+    threshold: Optional[float],
+    weighted: bool,
+) -> Tuple[int, int, float, float]:
+    """Generate the next shard batch and its candidate keys ahead of time.
+
+    The relaxed pipeline mode's prepare: candidates that survive the
+    (possibly stale) ``threshold`` are parked in ``state["prepared"]`` for
+    a later :func:`ingest_prepared_kernel`.  Keys come from the dedicated
+    generation RNG and nothing else in the state is touched, so the kernel
+    may run in a background thread (``run_per_pe_async``) while the PE
+    participates in the current round's selection — the background draws
+    can never race the pivot proposals on the main state RNG.  (The strict
+    mode does not use this kernel: it prefetches only the raw batch via
+    :func:`prefetch_stream_kernel` and keeps key generation inside
+    :func:`stream_insert_kernel`, which is what makes it byte-identical.)
+
+    With ``threshold=None`` every item receives a dense key (the
+    first-batch local-thresholding policy does not apply here; the
+    pipelined drivers run pre-threshold rounds through the lock-step path
+    instead).  Returns ``(candidates, batch_items, batch_weight, seconds)``
+    where ``seconds`` is the kernel's own busy time — the measured-overlap
+    numerator.
+    """
+    start = time.perf_counter()
+    batch = _require_stream(state).next_batch()
+    rng: np.random.Generator = state["gen_rng"]
+    if threshold is None:
+        keys = _generate_keys(batch.weights, weighted, rng)
+        ids = batch.ids
+    elif weighted:
+        idx, keys = keymod.weighted_jump_positions(batch.weights, threshold, rng)
+        ids = batch.ids[idx]
+    else:
+        idx, keys = keymod.uniform_jump_positions(batch.ids.shape[0], threshold, rng)
+        ids = batch.ids[idx]
+    state["prepared"] = {
+        "keys": keys,
+        "ids": ids,
+        "threshold": threshold,
+        "batch_items": len(batch),
+        "batch_weight": float(batch.total_weight),
+    }
+    return keys.shape[0], len(batch), float(batch.total_weight), time.perf_counter() - start
+
+
+def ingest_prepared_kernel(
+    state: Dict[str, object], threshold: Optional[float]
+) -> Tuple[int, int, int]:
+    """Insert the parked candidates, reconciling a stale prepare threshold.
+
+    Candidates were filtered against the threshold in effect when
+    :func:`prepare_batch_kernel` ran; if the global threshold has tightened
+    since (relaxed mode: it is stale by one round), the extra candidates
+    are pruned here before insertion — the *reconciliation prune*.  Because
+    exponential/uniform keys conditioned below the stale threshold and
+    re-truncated to the fresh one follow exactly the distribution of keys
+    drawn below the fresh threshold, the surviving insertions match the
+    lock-step run statistically.
+
+    Returns ``(inserted, stale_extra, reservoir_size)``.
+    """
+    prepared = state.get("prepared")
+    if prepared is None:
+        raise RuntimeError("no prepared batch; dispatch prepare_batch_kernel first")
+    state["prepared"] = None
+    keys: np.ndarray = prepared["keys"]
+    ids: np.ndarray = prepared["ids"]
+    stale_extra = 0
+    stale = prepared["threshold"]
+    if threshold is not None and (stale is None or stale > threshold):
+        mask = keys <= threshold
+        stale_extra = int(keys.shape[0] - int(mask.sum()))
+        keys, ids = keys[mask], ids[mask]
+    reservoir: LocalReservoir = state["reservoir"]
+    inserted = reservoir.insert_batch(keys, ids)
+    return int(inserted), stale_extra, len(reservoir)
+
+
+def window_prepare_kernel(
+    state: Dict[str, object], weighted: bool
+) -> Tuple[int, float, int, float]:
+    """Pipelined prepare for the sliding-window sampler: stamped batch + keys.
+
+    Sliding windows admit no insertion threshold, so the prepared keys are
+    dense and never stale — windowed pipelining is exact by construction.
+    Keys always come from the dedicated generation RNG, since the kernel
+    is designed to overlap the selection's pivot proposals.  Returns
+    ``(batch_items, batch_weight, max_stamp, seconds)``.
+    """
+    start = time.perf_counter()
+    batch = _require_stream(state).next_batch()
+    stamps = getattr(batch, "stamps", None)
+    if stamps is None:
+        raise RuntimeError("window_prepare_kernel needs a stamped stream shard")
+    keys = _generate_keys(batch.weights, weighted, state["gen_rng"])
+    state["prepared"] = {"keys": keys, "ids": batch.ids, "stamps": stamps}
+    max_stamp = int(stamps[-1]) if stamps.shape[0] else -1
+    return len(batch), float(batch.total_weight), max_stamp, time.perf_counter() - start
+
+
+def window_ingest_prepared_kernel(state: Dict[str, object]) -> Tuple[int, int]:
+    """Append the parked stamped candidates to the window buffer.
+
+    Returns ``(kept, buffer_size)`` like :func:`window_insert_kernel`.
+    """
+    prepared = state.get("prepared")
+    if prepared is None:
+        raise RuntimeError("no prepared batch; dispatch window_prepare_kernel first")
+    state["prepared"] = None
+    buffer = state["reservoir"]
+    if prepared["ids"].shape[0] == 0:
+        return 0, len(buffer)
+    kept = buffer.append(prepared["stamps"], prepared["keys"], prepared["ids"])
+    return int(kept), len(buffer)
 
 
 # ---------------------------------------------------------------------------
@@ -437,10 +600,7 @@ def centralized_stream_candidates_kernel(
     state: Dict[str, object], threshold: Optional[float], weighted: bool, k: int
 ) -> Tuple[np.ndarray, np.ndarray, int, float]:
     """Stream-shard variant; also returns ``(batch_items, batch_weight)``."""
-    stream: Optional[WorkerStreamShard] = state.get("stream")
-    if stream is None:
-        raise RuntimeError("no stream shard installed; call attach_worker_stream() first")
-    batch = stream.next_batch()
+    batch = _require_stream(state).next_batch()
     keys, ids = centralized_candidates_kernel(
         state, batch.ids, batch.weights, threshold, weighted, k
     )

@@ -51,6 +51,7 @@ __all__ = [
     "ReduceOp",
     "Communicator",
     "PEStateHandle",
+    "PerPEFuture",
     "merge_smallest",
     "merge_largest",
     "make_communicator",
@@ -113,6 +114,39 @@ class PEStateHandle:
     """Opaque handle to a group of per-PE states owned by a communicator."""
 
     group: int
+
+
+class PerPEFuture:
+    """Future-like handle to a per-PE kernel dispatched asynchronously.
+
+    Returned by :meth:`Communicator.run_per_pe_async`.  :meth:`wait` blocks
+    until every PE finished the kernel and returns the rank-ordered result
+    list; calling it again returns the cached results.  :attr:`asynchronous`
+    tells callers whether the kernel genuinely ran in the background
+    (multiprocess backend) or was executed eagerly at dispatch time
+    (simulated backend) — the pipelined drivers use this to decide between
+    *measured* and *modeled* overlap accounting.
+    """
+
+    #: whether the kernel truly runs concurrently with the caller
+    asynchronous: bool = False
+    #: measured seconds the caller blocked in ``wait()`` (stays 0 for
+    #: eagerly executed futures)
+    wait_time: float = 0.0
+
+    def __init__(self, results: Optional[List[object]] = None) -> None:
+        self._results = results
+
+    @property
+    def done(self) -> bool:
+        """Whether the results are already available without blocking."""
+        return self._results is not None
+
+    def wait(self) -> List[object]:
+        """Block until all PEs finished; returns the per-PE results."""
+        if self._results is None:
+            raise RuntimeError("no results available; subclass must override wait()")
+        return self._results
 
 
 class Communicator(abc.ABC):
@@ -249,6 +283,27 @@ class Communicator(abc.ABC):
         """Run ``fn(state_pe, *per_pe_args[pe])`` on every PE, in parallel
         where the backend allows it; returns the per-PE results in rank
         order."""
+
+    def run_per_pe_async(
+        self,
+        handle: PEStateHandle,
+        fn: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> PerPEFuture:
+        """Dispatch ``fn`` to every PE without waiting for the results.
+
+        Returns a :class:`PerPEFuture`; ``wait()`` yields the same per-PE
+        result list :meth:`run_per_pe` would have returned.  The default
+        implementation executes the kernel eagerly and returns an
+        already-completed future (``asynchronous = False``) — backends with
+        real concurrency (the multiprocess backend) override this to run
+        the kernel in the background while the caller keeps issuing
+        collectives against the *same* PEs.  Kernels dispatched this way
+        must not touch state slots that concurrently running kernels or
+        collectives read (the pipelined prepare kernels only use the
+        stream shard and the dedicated generation RNG for this reason).
+        """
+        return PerPEFuture(self.run_per_pe(handle, fn, per_pe_args))
 
     @abc.abstractmethod
     def run_on_pe(self, handle: PEStateHandle, pe: int, fn: Callable[..., object], *args) -> object:

@@ -44,12 +44,13 @@ import atexit
 import multiprocessing as mp
 import os
 import signal
+import threading
 import time
 import traceback
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.network import collectives
-from repro.network.base import Communicator, PEStateHandle, ReduceOp
+from repro.network.base import Communicator, PEStateHandle, PerPEFuture, ReduceOp
 from repro.network.cost_model import CostLedger
 from repro.network.topology import Topology
 
@@ -257,6 +258,7 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
     mailbox = _Mailbox(inboxes[rank], mailbox_timeout)
     net = _WorkerNet(rank, topology, inboxes, mailbox)
     states: Dict[int, object] = {}
+    async_jobs: Dict[int, Tuple[threading.Thread, dict]] = {}
     while True:
         try:
             msg = conn.recv()
@@ -273,6 +275,34 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
             elif kind == "run":
                 _, group, fn, args = msg
                 conn.send(("ok", fn(states[group], *args)))
+            elif kind == "run_async":
+                # Execute the kernel in a background thread so this loop can
+                # keep serving collectives and other kernels against the
+                # same state group.  The acknowledgement goes out as soon as
+                # the thread is running; the result travels with the
+                # matching "join_async" command.
+                _, group, tag, fn, args = msg
+                box: dict = {}
+                state = states[group]
+
+                def _async_body(fn=fn, state=state, args=args, box=box):
+                    try:
+                        box["reply"] = ("ok", fn(state, *args))
+                    except BaseException as exc:
+                        box["reply"] = ("err", repr(exc), traceback.format_exc())
+
+                thread = threading.Thread(
+                    target=_async_body, name=f"repro-pe-{rank}-async-{tag}", daemon=True
+                )
+                thread.start()
+                async_jobs[tag] = (thread, box)
+                conn.send(("ok", None))
+            elif kind == "join_async":
+                _, tag = msg
+                thread, box = async_jobs.pop(tag)
+                thread.join()
+                reply = box.get("reply", ("err", "RuntimeError('async kernel vanished')", ""))
+                conn.send(reply)
             elif kind == "coll":
                 _, seq, op_name, payload, extra = msg
                 if op_name == "broadcast":
@@ -311,6 +341,51 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
 # ---------------------------------------------------------------------------
 # coordinator side
 # ---------------------------------------------------------------------------
+class _ProcessPerPEFuture(PerPEFuture):
+    """Handle to a kernel running in background threads inside the workers."""
+
+    asynchronous = True
+
+    def __init__(self, comm: "ProcessComm", tag: int) -> None:
+        super().__init__(results=None)
+        self._comm = comm
+        self._tag = tag
+        self._wait_time = 0.0
+        self._failure: Optional[WorkerError] = None
+
+    @property
+    def wait_time(self) -> float:
+        """Measured seconds ``wait()`` blocked for (0 until joined)."""
+        return self._wait_time
+
+    def wait(self) -> List[object]:
+        if self._results is not None:
+            return self._results
+        if self._failure is not None:
+            # the workers already popped this tag at the first join; re-raise
+            # the original failure instead of re-sending the join command
+            raise self._failure
+        comm = self._comm
+        comm._ensure_open()
+        start = time.perf_counter()
+        for conn in comm._conns:
+            conn.send(("join_async", self._tag))
+        try:
+            self._results = comm._collect(range(comm.p))
+        except WorkerError as exc:
+            self._failure = exc
+            raise
+        self._wait_time = time.perf_counter() - start
+        comm._record(
+            "join_per_pe_async",
+            messages=2 * comm.p,
+            words=0.0,
+            rounds=1,
+            elapsed=self._wait_time,
+        )
+        return self._results
+
+
 class ProcessComm(Communicator):
     """Communicator running each PE as a real ``multiprocessing`` worker.
 
@@ -351,6 +426,7 @@ class ProcessComm(Communicator):
         self.reply_timeout = float(reply_timeout)
         self._ctx = mp.get_context(start_method or default_start_method())
         self._seq = 0
+        self._async_tags = 0
         self._groups = 0
         self._closed = False
         self._inboxes = [self._ctx.Queue() for _ in range(p)]
@@ -648,6 +724,46 @@ class ProcessComm(Communicator):
             elapsed=time.perf_counter() - start,
         )
         return results
+
+    def run_per_pe_async(
+        self,
+        handle: PEStateHandle,
+        fn: Callable[..., object],
+        per_pe_args: Optional[Sequence[Sequence[object]]] = None,
+    ) -> PerPEFuture:
+        """Dispatch ``fn`` to a background thread inside every worker.
+
+        The workers keep serving collectives and other kernels while the
+        dispatched kernel runs, which is what lets the pipelined drivers
+        overlap next-round key generation with the current round's
+        selection.  The returned future's ``wait()`` joins the worker
+        threads and returns (or raises) their results.
+        """
+        if per_pe_args is not None and len(per_pe_args) != self.p:
+            raise ValueError(f"expected {self.p} per-PE argument tuples, got {len(per_pe_args)}")
+        tag = self._async_tags
+        self._async_tags += 1
+        start = time.perf_counter()
+        self._command_all(
+            [
+                (
+                    "run_async",
+                    handle.group,
+                    tag,
+                    fn,
+                    tuple(per_pe_args[rank]) if per_pe_args is not None else (),
+                )
+                for rank in range(self.p)
+            ]
+        )
+        self._record(
+            "run_per_pe_async",
+            messages=2 * self.p,
+            words=0.0,
+            rounds=1,
+            elapsed=time.perf_counter() - start,
+        )
+        return _ProcessPerPEFuture(self, tag)
 
     def run_on_pe(self, handle: PEStateHandle, pe: int, fn: Callable[..., object], *args) -> object:
         """Dispatch ``fn`` to a single worker."""

@@ -1,0 +1,132 @@
+"""Adaptive mini-batch sizing from the measured round-latency ledger.
+
+The wall-clock drivers process one mini-batch per PE per round; the batch
+size trades throughput (large batches amortise the per-round collectives)
+against latency and staleness (a relaxed-pipeline threshold is stale for
+one round, i.e. for one batch per PE).  The benchmarks hand-pick a size
+per machine; :class:`BatchSizeAutotuner` picks it from feedback instead:
+a multiplicative-increase / multiplicative-decrease controller steering
+the measured round latency toward a target.
+
+Rounds faster than the target band grow the batch by ``grow`` (default
+2x), rounds slower than the band shrink it by ``shrink`` (default 0.5x),
+rounds inside the band leave it alone — the classic MIMD scheme, robust
+to the noisy latencies of shared machines.  The drivers expose it as
+``batch_size="auto"``; the underlying stream shards must be created
+resizable (``variable=True``), which the drivers do automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["BatchSizeAutotuner", "DEFAULT_TARGET_ROUND_TIME", "DEFAULT_INITIAL_BATCH"]
+
+#: default per-round latency target (seconds); large enough that the
+#: collectives amortise, small enough that the sample stays fresh
+DEFAULT_TARGET_ROUND_TIME = 0.05
+
+#: batch size "auto" starts from (per PE per round)
+DEFAULT_INITIAL_BATCH = 4096
+
+
+class BatchSizeAutotuner:
+    """MIMD controller steering the per-round batch size to a latency target.
+
+    Parameters
+    ----------
+    initial:
+        Batch size of the first rounds.
+    target_round_time:
+        Desired wall-clock seconds per round.
+    band:
+        Dead-band fraction: a round inside
+        ``[(1 - band) * target, (1 + band) * target]`` triggers no change.
+    grow / shrink:
+        Multiplicative factors applied below / above the band.
+    min_size / max_size:
+        Clamp of the proposed sizes.
+    """
+
+    def __init__(
+        self,
+        initial: int = DEFAULT_INITIAL_BATCH,
+        *,
+        target_round_time: float = DEFAULT_TARGET_ROUND_TIME,
+        band: float = 0.3,
+        grow: float = 2.0,
+        shrink: float = 0.5,
+        min_size: int = 256,
+        max_size: int = 1 << 22,
+    ) -> None:
+        self.size = check_positive_int(initial, "initial")
+        self.target_round_time = check_positive(target_round_time, "target_round_time")
+        if not 0.0 <= band < 1.0:
+            raise ValueError(f"band must lie in [0, 1), got {band}")
+        if grow <= 1.0 or not 0.0 < shrink < 1.0:
+            raise ValueError("grow must exceed 1 and shrink must lie in (0, 1)")
+        self.band = float(band)
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+        self.min_size = check_positive_int(min_size, "min_size")
+        self.max_size = check_positive_int(max_size, "max_size")
+        if self.max_size < self.min_size:
+            raise ValueError("max_size must be at least min_size")
+        self.size = min(max(self.size, self.min_size), self.max_size)
+        #: number of size changes proposed so far
+        self.adjustments = 0
+
+    @classmethod
+    def from_arg(
+        cls, batch_size: Union[int, str], target_round_time: Optional[float] = None
+    ) -> Tuple[Optional["BatchSizeAutotuner"], int]:
+        """Resolve a driver's ``batch_size`` argument.
+
+        Returns ``(autotuner, initial_batch_size)``: a fresh tuner when
+        ``batch_size`` is the string ``"auto"`` (``None`` otherwise) plus
+        the size the stream shards should start with.  Shared by the
+        wall-clock drivers so the accepted spelling and defaults cannot
+        drift apart.
+        """
+        if isinstance(batch_size, str):
+            if batch_size.strip().lower() != "auto":
+                raise ValueError(
+                    f"batch_size must be a positive int or 'auto', got {batch_size!r}"
+                )
+            tuner = cls(
+                DEFAULT_INITIAL_BATCH,
+                target_round_time=(
+                    target_round_time if target_round_time is not None else DEFAULT_TARGET_ROUND_TIME
+                ),
+            )
+            return tuner, tuner.size
+        return None, check_positive_int(batch_size, "batch_size")
+
+    def update(self, round_time: float) -> Optional[int]:
+        """Feed one measured round latency; returns the new size or ``None``.
+
+        ``None`` means the latency sat inside the dead band (or the clamp
+        absorbed the change) and the current size stays in effect.
+        """
+        if round_time <= 0.0:
+            return None
+        if round_time < (1.0 - self.band) * self.target_round_time:
+            proposed = int(self.size * self.grow)
+        elif round_time > (1.0 + self.band) * self.target_round_time:
+            proposed = int(self.size * self.shrink)
+        else:
+            return None
+        proposed = min(max(proposed, self.min_size), self.max_size)
+        if proposed == self.size:
+            return None
+        self.size = proposed
+        self.adjustments += 1
+        return proposed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"BatchSizeAutotuner(size={self.size}, "
+            f"target={self.target_round_time}s, adjustments={self.adjustments})"
+        )

@@ -1,0 +1,217 @@
+"""Wall-clock driver for asynchronous double-buffered ingestion.
+
+:class:`PipelinedSamplingRun` mirrors
+:class:`~repro.runtime.parallel.ParallelStreamingRun` — same constructor
+shape, same ``step`` / ``run_rounds`` / ``run_for_wall_time`` loop, same
+worker-generated stream shards — but each round runs through a
+double-buffered engine (:mod:`repro.pipeline.engine`) that overlaps the
+*next* round's batch/key preparation with the *current* round's selection
+collectives:
+
+* ``pipeline="strict"`` — overlap only the threshold-independent batch
+  materialisation; byte-identical samples to ``ParallelStreamingRun`` for
+  the same seed (both backends).
+* ``pipeline="relaxed"`` — overlap batch *and* key generation under a
+  one-round-stale threshold; a bounded number of extra candidates is
+  pruned again at ingest (``stale_extra_candidates``) in exchange for
+  hiding the whole prepare behind the selection.
+
+Per-round overlap efficiency lands in the run metrics
+(``overlap_saved_time``, the ``"prepare"``/``"overlap"`` phases,
+:meth:`~repro.runtime.metrics.RunMetrics.overlap_efficiency`).
+
+``batch_size="auto"`` enables adaptive mini-batch sizing: a
+:class:`~repro.pipeline.autotune.BatchSizeAutotuner` resizes the stream
+shards between rounds to steer the measured round latency toward
+``target_round_time``.
+
+Use as a context manager (or call :meth:`close`) so the process backend's
+workers are torn down deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.network.base import Communicator, make_communicator
+from repro.pipeline.autotune import DEFAULT_TARGET_ROUND_TIME, BatchSizeAutotuner
+from repro.pipeline.engine import make_pipeline_engine, normalize_pipeline_mode
+from repro.runtime.metrics import RoundMetrics, RunMetrics
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["PipelinedSamplingRun"]
+
+
+class PipelinedSamplingRun:
+    """Run a sampler with double-buffered rounds, measuring wall time.
+
+    Parameters
+    ----------
+    algorithm:
+        Paper name of the algorithm (``"ours"``, ``"ours-<d>"``,
+        ``"ours-variable"``; the centralized ``"gather"`` baseline cannot
+        be pipelined).
+    k:
+        Sample size.
+    p:
+        Number of PEs (ignored when ``comm`` is a constructed communicator).
+    comm:
+        ``"process"`` (default) for real multiprocess workers — overlap is
+        measured — or ``"sim"`` for the inline simulator, where overlap is
+        modeled (a round costs ``insert + max(prepare, select+threshold)``
+        instead of the lock-step sum).  An already constructed
+        :class:`~repro.network.base.Communicator` is accepted too.
+    pipeline:
+        ``"strict"`` or ``"relaxed"`` (see module docstring); ``"off"``
+        is rejected — use ``ParallelStreamingRun`` for lock-step runs.
+    batch_size:
+        Items per PE per round, or ``"auto"`` for adaptive sizing.
+    warmup_rounds:
+        Rounds processed before measurement starts (also the rounds that
+        establish the first threshold, after which the pipeline engages).
+    window:
+        When given, drive the distributed *sliding-window* sampler over
+        the last ``window`` stamp units instead of the unbounded one.
+    target_round_time:
+        Latency target of the ``"auto"`` batch sizing (seconds/round).
+    weighted / store / seed / weights:
+        Forwarded to the sampler / stream shards.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "ours",
+        *,
+        k: int = 1000,
+        p: int = 4,
+        comm: Union[str, Communicator] = "process",
+        pipeline: str = "relaxed",
+        batch_size: Union[int, str] = 4096,
+        warmup_rounds: int = 1,
+        weighted: bool = True,
+        store: str = "merge",
+        seed: Optional[int] = 0,
+        weights=None,
+        window: Optional[int] = None,
+        target_round_time: float = DEFAULT_TARGET_ROUND_TIME,
+        **comm_kwargs,
+    ) -> None:
+        from repro.core.api import make_distributed_sampler
+
+        mode = normalize_pipeline_mode(pipeline)
+        if mode == "off":
+            raise ValueError(
+                "pipeline='off' is the lock-step schedule; use "
+                "repro.runtime.ParallelStreamingRun for that"
+            )
+        if isinstance(comm, Communicator):
+            self.comm = comm
+            self._owns_comm = False
+        else:
+            self.comm = make_communicator(comm, p, **comm_kwargs)
+            self._owns_comm = True
+        self.algorithm = algorithm
+        self.pipeline = mode
+        self.warmup_rounds = check_positive_int(warmup_rounds, "warmup_rounds", allow_zero=True)
+        self._warmed_up = False
+        self.autotuner, initial_batch = BatchSizeAutotuner.from_arg(
+            batch_size, check_positive(target_round_time, "target_round_time")
+        )
+        self.batch_size = initial_batch
+        try:
+            self.sampler = make_distributed_sampler(
+                algorithm,
+                k,
+                self.comm,
+                weighted=weighted,
+                store=store,
+                seed=seed,
+                window=window,
+            )
+            attach_kwargs = dict(seed=seed, variable=self.autotuner is not None)
+            if weights is not None:
+                attach_kwargs["weights"] = weights
+            self.sampler.attach_worker_stream(initial_batch, **attach_kwargs)
+            self.engine = make_pipeline_engine(self.sampler, mode)
+        except BaseException:
+            # don't leak the workers we just spawned on invalid arguments
+            if self._owns_comm:
+                self.comm.shutdown()
+            raise
+        self.metrics = RunMetrics(
+            p=self.comm.p,
+            k=int(getattr(self.sampler, "k", k)),
+            algorithm=algorithm,
+            store=str(getattr(self.sampler, "store", "")),
+            comm_backend=self.comm.kind,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        return self.comm.p
+
+    def _ensure_warmup(self) -> None:
+        if self._warmed_up:
+            return
+        for _ in range(self.warmup_rounds):
+            self.engine.step()
+        self._warmed_up = True
+
+    def step(self) -> RoundMetrics:
+        """Process one measured round and record its metrics."""
+        self._ensure_warmup()
+        start = time.perf_counter()
+        round_metrics = self.engine.step()
+        elapsed = time.perf_counter() - start
+        self.metrics.wall_time += elapsed
+        self.metrics.add_round(round_metrics)
+        if self.autotuner is not None:
+            resized = self.autotuner.update(elapsed)
+            if resized is not None:
+                self.batch_size = resized
+                self.engine.request_batch_size(resized)
+        return round_metrics
+
+    def run_rounds(self, rounds: int) -> RunMetrics:
+        """Process a fixed number of measured rounds (after warm-up)."""
+        for _ in range(check_positive_int(rounds, "rounds", allow_zero=True)):
+            self.step()
+        return self.metrics
+
+    def run_for_wall_time(
+        self, duration: float, *, max_rounds: int = 10_000, min_rounds: int = 1
+    ) -> RunMetrics:
+        """Process rounds until ``duration`` seconds of wall time elapsed."""
+        check_positive(duration, "duration")
+        check_positive_int(max_rounds, "max_rounds")
+        rounds_done = 0
+        while rounds_done < max_rounds and (
+            rounds_done < min_rounds or self.metrics.wall_time < duration
+        ):
+            self.step()
+            rounds_done += 1
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def sample_ids(self) -> np.ndarray:
+        return self.sampler.sample_ids()
+
+    def communication_summary(self) -> dict:
+        """Summary of all communication recorded during the run."""
+        return self.comm.ledger.summary()
+
+    def close(self) -> None:
+        """Join any in-flight prepare and shut down an owned communicator."""
+        self.engine.finish()
+        if self._owns_comm:
+            self.comm.shutdown()
+
+    def __enter__(self) -> "PipelinedSamplingRun":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -50,7 +50,12 @@ class ParallelStreamingRun:
         for the inline simulator, or an already constructed
         :class:`~repro.network.base.Communicator`.
     batch_size:
-        Items per PE per round (constant; the stream shards require it).
+        Items per PE per round, or ``"auto"`` to let a
+        :class:`~repro.pipeline.autotune.BatchSizeAutotuner` resize the
+        shards between rounds toward ``target_round_time`` seconds per
+        round (adaptive mini-batch sizing).
+    target_round_time:
+        Latency target of the ``"auto"`` batch sizing (seconds/round).
     warmup_rounds:
         Rounds processed before measurement starts.  The steady state —
         few insertions per batch — only establishes itself after the first
@@ -70,15 +75,17 @@ class ParallelStreamingRun:
         k: int = 1000,
         p: int = 4,
         comm: Union[str, Communicator] = "process",
-        batch_size: int = 4096,
+        batch_size: Union[int, str] = 4096,
         warmup_rounds: int = 1,
         weighted: bool = True,
         store: str = "merge",
         seed: Optional[int] = 0,
         weights=None,
+        target_round_time: Optional[float] = None,
         **comm_kwargs,
     ) -> None:
         from repro.core.api import make_distributed_sampler
+        from repro.pipeline.autotune import BatchSizeAutotuner
 
         if isinstance(comm, Communicator):
             self.comm = comm
@@ -87,13 +94,23 @@ class ParallelStreamingRun:
             self.comm = make_communicator(comm, p, **comm_kwargs)
             self._owns_comm = True
         self.algorithm = algorithm
-        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.autotuner, self.batch_size = BatchSizeAutotuner.from_arg(
+            batch_size, target_round_time
+        )
         self.warmup_rounds = check_positive_int(warmup_rounds, "warmup_rounds", allow_zero=True)
         self._warmed_up = False
-        self.sampler = make_distributed_sampler(
-            algorithm, k, self.comm, weighted=weighted, store=store, seed=seed
-        )
-        self.sampler.attach_worker_stream(batch_size, seed=seed, weights=weights)
+        try:
+            self.sampler = make_distributed_sampler(
+                algorithm, k, self.comm, weighted=weighted, store=store, seed=seed
+            )
+            self.sampler.attach_worker_stream(
+                self.batch_size, seed=seed, weights=weights, variable=self.autotuner is not None
+            )
+        except BaseException:
+            # don't leak the workers we just spawned on invalid arguments
+            if self._owns_comm:
+                self.comm.shutdown()
+            raise
         self.metrics = RunMetrics(
             p=self.comm.p,
             k=int(getattr(self.sampler, "k", k)),
@@ -119,8 +136,20 @@ class ParallelStreamingRun:
         self._ensure_warmup()
         start = time.perf_counter()
         round_metrics = self.sampler.process_stream_round()
-        self.metrics.wall_time += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.metrics.wall_time += elapsed
         self.metrics.add_round(round_metrics)
+        if self.autotuner is not None:
+            resized = self.autotuner.update(elapsed)
+            if resized is not None:
+                from repro.core import pe_kernels
+
+                self.batch_size = resized
+                self.comm.run_per_pe(
+                    self.sampler._handle,
+                    pe_kernels.set_batch_size_kernel,
+                    [(resized,)] * self.p,
+                )
         return round_metrics
 
     def run_rounds(self, rounds: int) -> RunMetrics:

@@ -12,6 +12,25 @@ size (no jitter) would deliver to one PE: the same
 ``SeedSequence``-spawned random stream, the same weight generator call
 pattern, and the same globally unique contiguous item ids.  The shard
 equivalence test asserts this batch-for-batch.
+
+Two extensions serve the asynchronous ingestion pipeline
+(:mod:`repro.pipeline`):
+
+* :meth:`WorkerStreamShard.prefetch` materialises the next batch ahead of
+  time (the strict pipeline mode calls it from a background thread while
+  the coordinator finishes the previous round's selection) — the values
+  delivered by the following :meth:`next_batch` are unchanged, only the
+  moment they are computed moves;
+* ``variable=True`` shards accept :meth:`set_batch_size` between rounds
+  (adaptive mini-batch sizing).  Variable shards switch to PE-interleaved
+  item ids (``id = index * p + pe``), which stay globally unique for any
+  sequence of batch sizes; the contiguous-id replica guarantee only holds
+  for fixed-size shards.
+
+``stamped=True`` shards emit :class:`~repro.stream.stamped.TimestampedItemBatch`
+batches whose stamps equal the global arrival index — for a constant batch
+size this reproduces :class:`~repro.stream.stamped.TimestampedMiniBatchStream`
+exactly (there, too, the stamp of every item equals its id).
 """
 
 from __future__ import annotations
@@ -23,10 +42,11 @@ import numpy as np
 
 from repro.stream.generators import UniformWeightGenerator, WeightGenerator
 from repro.stream.items import ItemBatch
+from repro.stream.stamped import TimestampedItemBatch
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
 
-__all__ = ["StreamShardSpec", "WorkerStreamShard"]
+__all__ = ["StreamShardSpec", "WorkerStreamShard", "make_shard_specs"]
 
 
 @dataclass(frozen=True)
@@ -42,11 +62,19 @@ class StreamShardSpec:
     pe:
         The PE this shard belongs to.
     batch_size:
-        Items per round for this PE (constant across rounds).
+        Items per round for this PE (the initial size for variable shards,
+        constant across rounds otherwise).
     seed:
         Stream seed; must be the same on every PE.
     weights:
         Weight generator; defaults to the paper's uniform 0..100 weights.
+    stamped:
+        Emit timestamped batches whose stamps are the items' global
+        arrival indices (equal to the ids for this synthetic stream).
+    variable:
+        Allow :meth:`WorkerStreamShard.set_batch_size` between rounds;
+        switches the id layout to PE-interleaved (collision-free for any
+        size sequence) instead of the fixed-size contiguous layout.
     """
 
     p: int
@@ -54,12 +82,43 @@ class StreamShardSpec:
     batch_size: int
     seed: Optional[int] = 0
     weights: WeightGenerator = field(default_factory=UniformWeightGenerator)
+    stamped: bool = False
+    variable: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int(self.p, "p")
         check_positive_int(self.batch_size, "batch_size")
         if not 0 <= self.pe < self.p:
             raise ValueError(f"pe {self.pe} out of range 0..{self.p - 1}")
+
+
+def make_shard_specs(
+    p: int,
+    batch_size: int,
+    *,
+    seed: Optional[int] = 0,
+    weights: Optional[WeightGenerator] = None,
+    variable: bool = False,
+    stamped: bool = False,
+) -> list:
+    """One :class:`StreamShardSpec` per PE for the same synthetic stream.
+
+    Shared by every sampler's ``attach_worker_stream`` so the shard
+    parameters cannot drift between the sampler families.
+    """
+    check_positive_int(batch_size, "batch_size")
+    return [
+        StreamShardSpec(
+            p=p,
+            pe=pe,
+            batch_size=batch_size,
+            seed=seed,
+            variable=variable,
+            stamped=stamped,
+            **({"weights": weights} if weights is not None else {}),
+        )
+        for pe in range(p)
+    ]
 
 
 class WorkerStreamShard:
@@ -69,21 +128,81 @@ class WorkerStreamShard:
         self.spec = spec
         self._rng = np.random.default_rng(spawn_seed_sequences(spec.seed, spec.p)[spec.pe])
         self._round = 0
+        self._batch_size = spec.batch_size
+        self._emitted = 0  # items produced so far (drives interleaved ids)
+        self._prefetched: Optional[ItemBatch] = None
 
     @property
     def round_index(self) -> int:
-        """Index of the next round to be produced."""
-        return self._round
+        """Index of the next round to be *delivered* by :meth:`next_batch`.
+
+        A prefetched-but-unconsumed batch still counts as undelivered, so
+        prefetching never shows up as a phantom extra round.
+        """
+        return self._round - (1 if self._prefetched is not None else 0)
+
+    @property
+    def batch_size(self) -> int:
+        """Items per round currently in effect."""
+        return self._batch_size
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Change the per-round batch size (variable shards only).
+
+        Takes effect from the next generated batch; an already prefetched
+        batch keeps the size it was generated with.
+        """
+        check_positive_int(batch_size, "batch_size")
+        if not self.spec.variable:
+            raise ValueError(
+                "shard batch size is fixed; create the shard with variable=True "
+                "(e.g. batch_size='auto' on the run drivers) to resize it"
+            )
+        self._batch_size = batch_size
+
+    def _ids_for_round(self, size: int) -> np.ndarray:
+        spec = self.spec
+        if spec.variable:
+            # PE-interleaved ids stay globally unique for any size sequence.
+            start = self._emitted * spec.p + spec.pe
+            return np.arange(start, start + size * spec.p, spec.p, dtype=np.int64)
+        return np.arange(
+            (self._round * spec.p + spec.pe) * size,
+            (self._round * spec.p + spec.pe) * size + size,
+            dtype=np.int64,
+        )
+
+    def _generate(self) -> ItemBatch:
+        spec = self.spec
+        size = self._batch_size
+        weights = spec.weights(size, self._rng, pe=spec.pe, round_index=self._round)
+        ids = self._ids_for_round(size)
+        self._round += 1
+        self._emitted += size
+        if spec.stamped:
+            # For this synthetic stream the global arrival index IS the id
+            # (items arrive in id order across PEs within a round), matching
+            # TimestampedMiniBatchStream's stamping convention.
+            return TimestampedItemBatch(ids=ids, weights=weights, stamps=ids.copy())
+        return ItemBatch(ids=ids, weights=weights)
+
+    def prefetch(self) -> int:
+        """Materialise the next batch ahead of time; returns its length.
+
+        Idempotent until the batch is consumed by :meth:`next_batch`.  Only
+        the shard's own random stream is touched, so a prefetch may run in
+        a background thread while the PE participates in collectives.
+        """
+        if self._prefetched is None:
+            self._prefetched = self._generate()
+        return len(self._prefetched)
 
     def next_batch(self) -> ItemBatch:
         """The PE's batch of the next round (ids match ``MiniBatchStream``)."""
-        spec = self.spec
-        size = spec.batch_size
-        weights = spec.weights(size, self._rng, pe=spec.pe, round_index=self._round)
-        start = (self._round * spec.p + spec.pe) * size
-        ids = np.arange(start, start + size, dtype=np.int64)
-        self._round += 1
-        return ItemBatch(ids=ids, weights=weights)
+        if self._prefetched is not None:
+            batch, self._prefetched = self._prefetched, None
+            return batch
+        return self._generate()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"WorkerStreamShard(pe={self.spec.pe}/{self.spec.p}, round={self._round})"
+        return f"WorkerStreamShard(pe={self.spec.pe}/{self.spec.p}, round={self.round_index})"

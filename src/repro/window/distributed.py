@@ -83,6 +83,14 @@ class DistributedWindowSampler:
         uniform sampling.
     seed:
         Seed from which the per-PE random streams are derived.
+    amortise_selection:
+        Skip the per-round threshold re-selection when a single counting
+        all-reduction proves the old boundary still separates exactly
+        ``k`` live keys (neither eviction nor insertion touched the
+        sample), in which case re-selecting could only confirm the same
+        sample.  Skipped rounds are flagged in
+        :attr:`~repro.runtime.metrics.RoundMetrics.selection_skipped` and
+        counted in :attr:`selection_skips`.
 
     Batches passed to :meth:`process_round` may be
     :class:`~repro.stream.stamped.TimestampedItemBatch` (explicit stamps)
@@ -105,6 +113,7 @@ class DistributedWindowSampler:
         machine: Optional[MachineSpec] = None,
         weighted: bool = True,
         seed: Optional[int] = 0,
+        amortise_selection: bool = True,
     ) -> None:
         self.k = check_positive_int(k, "k")
         self.window = check_positive_int(window, "window")
@@ -112,11 +121,14 @@ class DistributedWindowSampler:
         self.selection = selection if selection is not None else SinglePivotSelection()
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         self.weighted = bool(weighted)
+        self.amortise_selection = bool(amortise_selection)
+        self._seed = seed
         seed_seqs = spawn_seed_sequences(seed, comm.p)
         self._handle = comm.create_pe_state(
             functools.partial(pe_kernels.make_window_pe_state, k=self.k),
             per_pe_args=[(ss,) for ss in seed_seqs],
         )
+        self._has_worker_stream = False
         #: sample boundary: key with global rank ``min(k, live)`` (``None``
         #: while the whole live window fits into the sample)
         self.threshold: Optional[float] = None
@@ -126,6 +138,7 @@ class DistributedWindowSampler:
         self._next_stamp = 0
         self._max_stamp = -1
         self._evicted_total = 0
+        self._selection_skips = 0
 
     # ------------------------------------------------------------------
     @property
@@ -150,6 +163,37 @@ class DistributedWindowSampler:
     def evicted_items(self) -> int:
         """Total number of buffered candidates expired so far (all PEs)."""
         return self._evicted_total
+
+    @property
+    def selection_skips(self) -> int:
+        """Rounds whose re-selection the amortised boundary check skipped."""
+        return self._selection_skips
+
+    def attach_worker_stream(
+        self,
+        batch_size: int,
+        *,
+        seed: Optional[int] = 0,
+        weights=None,
+        variable: bool = False,
+    ) -> None:
+        """Install a worker-local *stamped* stream shard on every PE.
+
+        Used by the pipelined drivers (:mod:`repro.pipeline`): each PE
+        generates its own timestamped batches, replicating a
+        constant-batch-size
+        :class:`~repro.stream.stamped.TimestampedMiniBatchStream` exactly
+        (for fixed-size shards).
+        """
+        from repro.stream.shard import make_shard_specs
+
+        specs = make_shard_specs(
+            self.p, batch_size, seed=seed, weights=weights, variable=variable, stamped=True
+        )
+        self.comm.run_per_pe(
+            self._handle, pe_kernels.install_stream_kernel, [(spec,) for spec in specs]
+        )
+        self._has_worker_stream = True
 
     def keyset(self) -> CommBackedKeySet:
         """A selection view over the current per-PE candidate buffers."""
@@ -212,7 +256,22 @@ class DistributedWindowSampler:
             if stamps.shape[0]:
                 self._max_stamp = max(self._max_stamp, int(stamps[-1]))
         insertions = [int(kept) for kept, _ in results]
+        return self._expire_select_finish(clock, phase_comm_before, batch_items, insertions)
 
+    def _expire_select_finish(
+        self,
+        clock: PhaseClock,
+        phase_comm_before: Dict[str, float],
+        batch_items: int,
+        insertions: List[int],
+    ) -> RoundMetrics:
+        """Expire + re-select + metric assembly, after this round's insert.
+
+        Shared by :meth:`process_round` and the pipelined engine of
+        :mod:`repro.pipeline`, whose insert phase ingests worker-prepared
+        batches instead of coordinator-shipped ones.  ``self._max_stamp``
+        must already reflect the inserted batches.
+        """
         # 2. expire: agree on the newest stamp, evict below the cutoff
         # (reduced in the integer domain — float64 would quantize stamps
         # beyond 2**53, e.g. epoch nanoseconds, and shift the cutoff)
@@ -236,23 +295,30 @@ class DistributedWindowSampler:
         #    surviving keysets (the buffers are never pruned against it)
         selection_result: Optional[SelectionResult] = None
         selection_ran = False
+        selection_skipped = False
         with self.comm.phase("select"):
             total_live = int(
                 self.comm.allreduce([float(s) for s in sizes], Communicator.SUM)[0]
             )
         if total_live > self.k:
-            keyset = self.keyset()
-            with self.comm.phase("select"):
-                selection_result = recompute_window_threshold(
-                    keyset, self.k, self.comm, self.selection, total=total_live
+            if self._boundary_still_exact(clock, sizes):
+                selection_skipped = True
+                self._selection_skips += 1
+            else:
+                keyset = self.keyset()
+                with self.comm.phase("select"):
+                    selection_result = recompute_window_threshold(
+                        keyset, self.k, self.comm, self.selection, total=total_live
+                    )
+                selection_ran = True
+                charge_selection_work(
+                    clock, self.machine, self.selection, selection_result, sizes
                 )
-            selection_ran = True
-            charge_selection_work(clock, self.machine, self.selection, selection_result, sizes)
-            with self.comm.phase("threshold"):
-                agreed = self.comm.allreduce(
-                    [float(selection_result.key)] * self.p, Communicator.MAX
-                )
-            self.threshold = float(agreed[0])
+                with self.comm.phase("threshold"):
+                    agreed = self.comm.allreduce(
+                        [float(selection_result.key)] * self.p, Communicator.MAX
+                    )
+                self.threshold = float(agreed[0])
         elif total_live == self.k and total_live > 0:
             with self.comm.phase("threshold"):
                 local_max = self.comm.run_per_pe(self._handle, pe_kernels.max_key_kernel)
@@ -270,7 +336,34 @@ class DistributedWindowSampler:
             evicted=evicted_round,
             selection_result=selection_result,
             selection_ran=selection_ran,
+            selection_skipped=selection_skipped,
         )
+
+    def _boundary_still_exact(self, clock: PhaseClock, sizes: Sequence[int]) -> bool:
+        """Amortised selection check: does the old boundary still cut at ``k``?
+
+        One counting all-reduction of ``count_le(threshold)`` over the live
+        buffers.  When the global count equals ``k`` exactly, this round's
+        eviction and insertion did not touch the sample — the ``k`` keys at
+        or below the old boundary are still the ``k`` globally smallest —
+        so a re-selection could only re-confirm the same sample and is
+        skipped.  (The kept boundary may sit slightly above the true
+        rank-``k`` key, which is harmless: extraction is by
+        ``count_le``-style filtering and still yields those ``k`` items,
+        and the buffers are never pruned against the boundary.)
+        """
+        if not self.amortise_selection or self.threshold is None:
+            return False
+        with self.comm.phase("select"):
+            counts = self.comm.run_per_pe(
+                self._handle, pe_kernels.count_le_kernel, [(float(self.threshold),)] * self.p
+            )
+            at_or_below = int(
+                self.comm.allreduce([float(c) for c in counts], Communicator.SUM)[0]
+            )
+        for pe, size in enumerate(sizes):
+            clock.charge("select", pe, self.machine.tree_op_time(1, max(int(size), 1)))
+        return at_or_below == self.k
 
     # ------------------------------------------------------------------
     def _build_metrics(
@@ -284,6 +377,7 @@ class DistributedWindowSampler:
         evicted: int,
         selection_result: Optional[SelectionResult],
         selection_ran: bool,
+        selection_skipped: bool = False,
     ) -> RoundMetrics:
         phase_times = collect_phase_times(
             clock, phase_comm_before, self.comm.ledger.time_by_phase()
@@ -298,6 +392,7 @@ class DistributedWindowSampler:
             insertions_per_pe=list(insertions),
             selection_stats=selection_result.stats if selection_result is not None else None,
             selection_ran=selection_ran,
+            selection_skipped=selection_skipped,
             evicted_items=evicted,
             window_buffer_items=buffer_items,
         )

@@ -1,0 +1,139 @@
+"""The non-blocking per-PE execution layer (``run_per_pe_async``).
+
+The base :class:`~repro.network.base.Communicator` executes asynchronous
+dispatches eagerly (completed future); :class:`~repro.network.ProcessComm`
+runs them in worker background threads so the workers keep serving
+collectives — including error propagation at join time and interleaving
+with other kernels on the same state group.
+"""
+
+import time
+
+import pytest
+
+from repro.core import pe_kernels
+from repro.network import ProcessComm, SimComm
+from repro.network.base import Communicator, PerPEFuture
+from repro.network.process_comm import WorkerError
+from repro.utils.rng import spawn_seed_sequences
+
+
+def _reservoir_states(comm, k=8, seed=0):
+    import functools
+
+    seqs = spawn_seed_sequences(seed, comm.p)
+    return comm.create_pe_state(
+        functools.partial(pe_kernels.make_pe_state, k=k),
+        per_pe_args=[(ss,) for ss in seqs],
+    )
+
+
+def _attach_shards(comm, handle, batch=64, seed=1):
+    from repro.stream.shard import StreamShardSpec
+
+    specs = [
+        (StreamShardSpec(p=comm.p, pe=pe, batch_size=batch, seed=seed),)
+        for pe in range(comm.p)
+    ]
+    comm.run_per_pe(handle, pe_kernels.install_stream_kernel, specs)
+
+
+def _sleepy_kernel(state, seconds):
+    time.sleep(seconds)
+    return state["pe"]
+
+
+def _failing_kernel(state):
+    raise ValueError(f"boom on pe {state['pe']}")
+
+
+class TestEagerDefault:
+    def test_sim_comm_returns_completed_future(self):
+        comm = SimComm(2)
+        handle = _reservoir_states(comm)
+        future = comm.run_per_pe(handle, pe_kernels.local_size_kernel)
+        assert future == [0, 0]
+        async_future = comm.run_per_pe_async(handle, pe_kernels.local_size_kernel)
+        assert isinstance(async_future, PerPEFuture)
+        assert async_future.asynchronous is False
+        assert async_future.done
+        assert async_future.wait() == [0, 0]
+        assert async_future.wait() == [0, 0]  # idempotent
+        assert async_future.wait_time == 0.0
+
+    def test_base_future_without_results_raises(self):
+        with pytest.raises(RuntimeError, match="no results"):
+            PerPEFuture().wait()
+
+
+class TestProcessAsync:
+    def test_results_arrive_in_rank_order(self):
+        with ProcessComm(3) as comm:
+            handle = _reservoir_states(comm)
+            future = comm.run_per_pe_async(handle, _sleepy_kernel, [(0.01,)] * 3)
+            assert future.asynchronous is True
+            assert future.wait() == [0, 1, 2]
+            assert future.wait() == [0, 1, 2]  # cached after the join
+
+    def test_collectives_proceed_while_kernel_runs(self):
+        """The whole point: workers keep serving collectives during an
+        asynchronously dispatched kernel."""
+        with ProcessComm(2) as comm:
+            handle = _reservoir_states(comm)
+            future = comm.run_per_pe_async(handle, _sleepy_kernel, [(0.3,)] * 2)
+            start = time.perf_counter()
+            result = comm.allreduce([1.0, 2.0], Communicator.SUM)
+            elapsed = time.perf_counter() - start
+            assert result == [3.0, 3.0]
+            # the allreduce must not have waited for the 0.3 s kernel
+            assert elapsed < 0.25
+            future.wait()
+
+    def test_wait_time_is_measured(self):
+        with ProcessComm(2) as comm:
+            handle = _reservoir_states(comm)
+            future = comm.run_per_pe_async(handle, _sleepy_kernel, [(0.1,)] * 2)
+            future.wait()
+            assert future.wait_time > 0.05
+
+    def test_errors_surface_at_join(self):
+        with ProcessComm(2) as comm:
+            handle = _reservoir_states(comm)
+            future = comm.run_per_pe_async(handle, _failing_kernel)
+            with pytest.raises(WorkerError, match="boom on pe"):
+                future.wait()
+            # re-waiting re-raises the original failure instead of
+            # re-sending the join for an already-popped tag
+            with pytest.raises(WorkerError, match="boom on pe"):
+                future.wait()
+            # the workers survive a failed async kernel
+            assert comm.run_per_pe(handle, pe_kernels.local_size_kernel) == [0, 0]
+
+    def test_async_prepare_interleaves_with_sync_kernels(self):
+        """Prepare in the background, query the reservoir in the
+        foreground, then ingest — states stay consistent."""
+        with ProcessComm(2) as comm:
+            handle = _reservoir_states(comm)
+            _attach_shards(comm, handle)
+            future = comm.run_per_pe_async(
+                handle, pe_kernels.prepare_batch_kernel, [(None, True)] * 2
+            )
+            sizes = comm.run_per_pe(handle, pe_kernels.local_size_kernel)
+            assert sizes == [0, 0]
+            prep = future.wait()
+            assert [r[1] for r in prep] == [64, 64]
+            ingest = comm.run_per_pe(handle, pe_kernels.ingest_prepared_kernel, [(None,)] * 2)
+            assert [size for _, _, size in ingest] == [64, 64]
+
+    def test_ingest_without_prepare_raises(self):
+        with ProcessComm(2) as comm:
+            handle = _reservoir_states(comm)
+            with pytest.raises(WorkerError, match="no prepared batch"):
+                comm.run_per_pe(handle, pe_kernels.ingest_prepared_kernel, [(None,)] * 2)
+
+    def test_shutdown_with_pending_async_kernel_is_clean(self):
+        comm = ProcessComm(2)
+        handle = _reservoir_states(comm)
+        comm.run_per_pe_async(handle, _sleepy_kernel, [(0.2,)] * 2)
+        comm.shutdown()  # never joined; must not hang or leak
+        assert not any(comm.workers_alive)

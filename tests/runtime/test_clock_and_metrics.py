@@ -145,4 +145,12 @@ class TestRunMetrics:
         assert "throughput_per_pe" in d
 
     def test_canonical_phase_order_constant(self):
-        assert PHASES == ("insert", "expire", "select", "threshold", "gather")
+        assert PHASES == (
+            "prepare",
+            "insert",
+            "expire",
+            "select",
+            "threshold",
+            "gather",
+            "overlap",
+        )

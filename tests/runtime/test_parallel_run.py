@@ -62,6 +62,23 @@ class TestParallelStreamingRun:
         # SimComm.shutdown is a no-op anyway; assert ownership bookkeeping
         assert run._owns_comm is False
 
+    def test_gather_baseline_runs_with_and_without_auto_batching(self):
+        for batch_size in (50, "auto"):
+            with ParallelStreamingRun(
+                "gather", k=10, p=2, comm="sim", batch_size=batch_size,
+                warmup_rounds=0, seed=4,
+            ) as run:
+                metrics = run.run_rounds(2)
+            assert metrics.num_rounds == 2
+            assert len(run.sample_ids()) == 10
+
+    def test_invalid_arguments_do_not_leak_workers(self):
+        import multiprocessing as mp
+
+        with pytest.raises(ValueError):
+            ParallelStreamingRun("no-such-algorithm", k=5, p=2, comm="process", batch_size=20)
+        assert not mp.active_children()
+
 
 class TestWallClockMetrics:
     def test_wall_throughput_without_wall_time_is_infinite(self):
