@@ -46,7 +46,7 @@ def write_conservative_baseline(
         for name, value in results.items()
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(conservative, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(conservative, indent=2, sort_keys=True, allow_nan=False) + "\n")
     return conservative
 
 

@@ -1,0 +1,203 @@
+"""Gather-heavy microbenchmark: shared-memory vs. pickled payloads.
+
+The centralized baseline ("gather", paper Section 4.5) ships every PE's
+surviving candidates to the root each round — the communication pattern
+the paper's distributed algorithm exists to avoid, and the one that
+benefits most from the :class:`~repro.network.process_comm.ProcessComm`
+shared-memory payload transport.  This benchmark drives the centralized
+sampler through ``process_round(batches)`` (so the coordinator-to-worker
+batch shipping exercises the shm path too) under both transports and
+compares the measured **gather phase** time from the wall-clock ledger.
+Results go to ``BENCH_gather.json``.
+
+Gates:
+
+* **sample identity** — both transports must produce byte-identical
+  samples (the transport must never change values); enforced always.
+* **shm gather speedup** — with at least 4 usable CPU cores the shm
+  transport's gather phase must be at least ``MIN_GATHER_SPEEDUP`` (1.3x)
+  faster than the pickle transport at ``p=4``.  On fewer cores the gate is
+  recorded as skipped (pass ``--require-speedup`` to enforce regardless);
+  in practice the win is serialization-bound and shows on single-core
+  machines too.
+* **shm gather throughput** — the measured gather-phase item rate under
+  the shm transport must not regress by more than ``--max-regression``
+  (default 2x) against the conservative committed baseline in
+  ``benchmarks/baselines/bench_gather_baseline.json``.  This gate runs on
+  every machine, following the ``baseline_gate.py`` convention; refresh
+  with ``--update-baseline`` after an intentional perf change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gather.py --output BENCH_gather.json
+    PYTHONPATH=src python benchmarks/bench_gather.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+from bench_parallel_scaling import usable_cpus
+
+from repro.core.centralized import CentralizedGatherSampler
+from repro.network import ProcessComm
+from repro.stream import MiniBatchStream
+
+#: large sample size => large per-round candidate payloads at the root
+#: (the regime where the centralized baseline stops scaling, Figures 3/4)
+K = 50_000
+P = 4
+BATCH_SIZE = 100_000
+ROUNDS = 4
+SEED = 11
+#: required shm-vs-pickle speedup of the gather phase (enforced with >= 4 cores)
+MIN_GATHER_SPEEDUP = 1.3
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_gather_baseline.json"
+
+
+def run_transport(transport: str) -> dict:
+    """Run the centralized sampler under one payload transport."""
+    with ProcessComm(P, payload_transport=transport) as comm:
+        sampler = CentralizedGatherSampler(K, comm, seed=SEED)
+        stream = MiniBatchStream(P, BATCH_SIZE, seed=SEED + 1)
+        candidates = 0
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            metrics = sampler.process_round(stream.next_round().batches)
+            candidates += metrics.candidates_gathered
+        wall = time.perf_counter() - start
+        by_phase = comm.ledger.time_by_phase()
+        sample = np.sort(sampler.sample_ids())
+    gather_time = by_phase.get("gather", 0.0)
+    return {
+        "transport": transport,
+        "p": P,
+        "k": K,
+        "rounds": ROUNDS,
+        "batch_size": BATCH_SIZE,
+        "candidates_gathered": candidates,
+        "gather_phase_s": gather_time,
+        "insert_phase_s": by_phase.get("insert", 0.0),
+        "wall_time_s": wall,
+        "gather_candidates_per_s": candidates / gather_time if gather_time > 0 else 0.0,
+        "_sample": sample,
+    }
+
+
+def run_suite() -> dict:
+    results = {"k": K, "p": P, "batch_size": BATCH_SIZE, "rounds": ROUNDS, "usable_cpus": usable_cpus()}
+    runs = {}
+    for transport in ("pickle", "shm"):
+        measured = run_transport(transport)
+        runs[transport] = measured
+        results[transport] = {k: v for k, v in measured.items() if not k.startswith("_")}
+        print(
+            f"  {transport:>6}: gather {measured['gather_phase_s'] * 1e3:8.1f} ms "
+            f"({measured['gather_candidates_per_s']:>12,.0f} candidates/s), "
+            f"wall {measured['wall_time_s']:.2f} s"
+        )
+    results["samples_identical"] = bool(
+        np.array_equal(runs["pickle"]["_sample"], runs["shm"]["_sample"])
+    )
+    shm_gather = runs["shm"]["gather_phase_s"]
+    results["gather_speedup_shm_vs_pickle"] = (
+        runs["pickle"]["gather_phase_s"] / shm_gather if shm_gather > 0 else 0.0
+    )
+    print(f"  samples identical across transports: {results['samples_identical']}")
+    print(f"  gather-phase speedup (shm vs pickle): {results['gather_speedup_shm_vs_pickle']:.2f}x")
+    return results
+
+
+def evaluate_gate(
+    results: dict, *, require_speedup: bool, baseline: Path, max_regression: float
+) -> list:
+    """Failure messages (empty = pass)."""
+    failures = []
+    if not results["samples_identical"]:
+        failures.append("pickle and shm transports produced different samples for the same seed")
+
+    speedup = results["gather_speedup_shm_vs_pickle"]
+    cpus = results["usable_cpus"]
+    if cpus >= 4 or require_speedup:
+        if speedup < MIN_GATHER_SPEEDUP:
+            failures.append(
+                f"shm gather-phase speedup is {speedup:.2f}x, below the required "
+                f"{MIN_GATHER_SPEEDUP:g}x ({cpus} usable cores)"
+            )
+    else:
+        results["speedup_gate"] = (
+            f"skipped: only {cpus} usable core(s); needs >= 4 for the contended-gather gate"
+        )
+        print(f"  speedup gate {results['speedup_gate']}")
+
+    # shm gather throughput gate (runs on every machine)
+    measured = results["shm"]["gather_candidates_per_s"]
+    if not baseline.exists():
+        failures.append(f"no gather baseline at {baseline}; record one with --update-baseline")
+    else:
+        reference = load_baseline(baseline)
+        results["shm_gather_baseline"] = reference["shm_gather_candidates_per_s"]
+        gate_failures = compare_to_baseline(
+            {"shm_gather_candidates_per_s": measured}, reference, max_regression
+        )
+        failures.extend(gate_failures)
+        if not gate_failures:
+            print(
+                f"  shm gather throughput gate: {measured:,.0f} candidates/s >= "
+                f"{results['shm_gather_baseline']:,.0f} / {max_regression:g} baseline"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_gather.json"))
+    parser.add_argument(
+        "--require-speedup",
+        action="store_true",
+        help="enforce the shm gather speedup gate even on machines with fewer than 4 cores",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured shm gather throughput (halved, conservative) as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"centralized gather: k={K}, p={P}, batch={BATCH_SIZE}, rounds={ROUNDS}")
+    results = run_suite()
+    if args.update_baseline:
+        write_conservative_baseline(
+            args.baseline,
+            {"shm_gather_candidates_per_s": results["shm"]["gather_candidates_per_s"]},
+        )
+        print(f"updated baseline {args.baseline}")
+        args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
+        return 0
+    failures = evaluate_gate(
+        results,
+        require_speedup=args.require_speedup,
+        baseline=args.baseline,
+        max_regression=args.max_regression,
+    )
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nGATHER TRANSPORT GATE FAILED:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

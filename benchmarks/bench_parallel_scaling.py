@@ -70,7 +70,9 @@ def usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def run_backend(comm: str, p: int, *, rounds: int = ROUNDS, seed: int = 7) -> dict:
+def run_backend(
+    comm: str, p: int, *, rounds: int = ROUNDS, seed: int = 7, **comm_kwargs
+) -> dict:
     """One measured configuration; returns throughput plus the sample ids."""
     start = time.perf_counter()
     with ParallelStreamingRun(
@@ -81,6 +83,7 @@ def run_backend(comm: str, p: int, *, rounds: int = ROUNDS, seed: int = 7) -> di
         batch_size=BATCH_SIZE,
         warmup_rounds=WARMUP_ROUNDS,
         seed=seed,
+        **comm_kwargs,
     ) as run:
         metrics = run.run_rounds(rounds)
         sample = np.sort(run.sample_ids())
@@ -136,6 +139,19 @@ def run_suite() -> dict:
     )
     print(f"  sim reference p={p_ref}: {sim['wall_throughput_items_per_s']:>12,.0f} items/s")
     print(f"  samples identical across backends: {results['samples_identical']}")
+
+    # shared-memory transport reference at the largest p (informational —
+    # this workload's select-phase payloads are small, so the win lives in
+    # bench_gather.py — but the samples must stay byte-identical and the
+    # number is recorded to track the transport's overhead here)
+    shm = run_backend("process", p_ref, payload_transport="shm")
+    results["shm_reference"] = {k: v for k, v in shm.items() if not k.startswith("_")}
+    results["shm_reference"]["payload_transport"] = "shm"
+    results["samples_identical_shm"] = bool(
+        np.array_equal(shm["_sample"], process_runs[p_ref]["_sample"])
+    )
+    print(f"  shm transport p={p_ref}: {shm['wall_throughput_items_per_s']:>12,.0f} items/s")
+    print(f"  samples identical across transports: {results['samples_identical_shm']}")
     return results
 
 
@@ -146,6 +162,8 @@ def evaluate_gate(
     failures = []
     if not results["samples_identical"]:
         failures.append("sim and process backends produced different samples for the same seed")
+    if not results.get("samples_identical_shm", True):
+        failures.append("shm payload transport changed the samples (transport must be value-neutral)")
     by_p = {entry["p"]: entry for entry in results["process"]}
     speedup = by_p.get(4, {}).get("speedup_vs_p1", 0.0)
     cpus = results["usable_cpus"]
@@ -208,7 +226,7 @@ def main(argv=None) -> int:
             {"p1_wall_throughput_items_per_s": by_p[1]["wall_throughput_items_per_s"]},
         )
         print(f"updated baseline {args.baseline}")
-        args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
         return 0
     failures = evaluate_gate(
         results,
@@ -220,7 +238,7 @@ def main(argv=None) -> int:
     for p in PE_COUNTS:
         print(f"  speedup p={p}: {by_p[p]['speedup_vs_p1']:.2f}x")
 
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
     print(f"wrote {args.output}")
 
     if failures:

@@ -168,7 +168,7 @@ def main(argv=None) -> int:
         "enforced_min_ratio": min_ratio,
         "multi_core_gate_skipped": not enough_cores,
     }
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
     print(f"wrote {args.output}")
 
     failures = []

@@ -133,7 +133,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = run_suite()
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
     print(f"wrote {args.output}")
     for name, value in sorted(results.items()):
         if name.endswith("items_per_s"):

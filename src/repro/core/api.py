@@ -62,22 +62,30 @@ def _pivot_selection_for(name: str) -> Optional[Union[SinglePivotSelection, Mult
 
 
 def _resolve_comm(
-    comm: CommLike, p: Optional[int], machine: Optional[MachineSpec] = None
+    comm: CommLike, p: Optional[int], machine: Optional[MachineSpec] = None, **comm_kwargs
 ) -> Communicator:
     """Accept either a constructed communicator or a backend name + ``p``.
 
     When the *simulated* backend is requested by name and a machine model
     is given, its network constants (``machine.comm``) parameterise the
     cost simulator, so local-work and communication times come from the
-    same machine description.
+    same machine description.  Extra ``comm_kwargs`` (e.g.
+    ``payload_transport="shm"`` for the process backend) are forwarded to
+    the backend constructor; passing them alongside an already constructed
+    communicator is an error.
     """
     if isinstance(comm, Communicator):
+        if comm_kwargs:
+            raise ValueError(
+                f"comm is an already constructed communicator; backend options "
+                f"{sorted(comm_kwargs)} must be passed to its constructor instead"
+            )
         return comm
     if p is None:
         raise ValueError(
             f"comm={comm!r} names a backend, so the number of PEs must be given via p="
         )
-    kwargs = {}
+    kwargs = dict(comm_kwargs)
     if machine is not None and comm.strip().lower() in _SIM_ALIASES:
         kwargs["cost"] = machine.comm
     return make_communicator(comm, p, **kwargs)
@@ -344,6 +352,10 @@ class DistributedSamplingRun:
         ``max(prepare, select)`` round cost on the simulator.  Both the
         unbounded and the windowed samplers support it; the centralized
         ``"gather"`` baseline does not.
+    comm_kwargs:
+        Extra keyword arguments forwarded to the backend constructor when
+        ``comm`` is a name — e.g. ``payload_transport="shm"`` /
+        ``shm_min_bytes=`` or ``start_method=`` for the process backend.
     """
 
     def __init__(
@@ -363,6 +375,7 @@ class DistributedSamplingRun:
         comm: CommLike = "sim",
         window: Optional[int] = None,
         pipeline: str = "off",
+        **comm_kwargs,
     ) -> None:
         # imported lazily: repro.pipeline itself imports from repro.core
         from repro.pipeline.engine import make_pipeline_engine, normalize_pipeline_mode
@@ -379,9 +392,10 @@ class DistributedSamplingRun:
         self.pipeline = pipeline
         self.engine = None
         if isinstance(algorithm, str):
-            if not isinstance(comm, Communicator):
-                comm = _resolve_comm(comm, p, self.machine)
-                self._owns_comm = True
+            self._owns_comm = not isinstance(comm, Communicator)
+            # _resolve_comm passes a constructed communicator through and
+            # rejects stray comm_kwargs alongside one
+            comm = _resolve_comm(comm, p, self.machine, **comm_kwargs)
             try:
                 self.sampler = make_distributed_sampler(
                     algorithm,
@@ -400,6 +414,11 @@ class DistributedSamplingRun:
                 raise
             self.algorithm = algorithm
         else:
+            if comm_kwargs:
+                raise ValueError(
+                    f"algorithm is an already constructed sampler; backend options "
+                    f"{sorted(comm_kwargs)} must be passed to its communicator's constructor"
+                )
             self.sampler = algorithm
             self.algorithm = getattr(algorithm, "algorithm_name", type(algorithm).__name__)
         if pipeline != "off":

@@ -27,12 +27,14 @@ This package provides:
 """
 
 from repro.network.base import (
+    PAYLOAD_TRANSPORTS,
     Communicator,
     PEStateHandle,
     ReduceOp,
     make_communicator,
     merge_largest,
     merge_smallest,
+    normalize_payload_transport,
 )
 from repro.network.collectives import (
     binomial_broadcast,
@@ -46,6 +48,12 @@ from repro.network.communicator import SimComm
 from repro.network.cost_model import CommEvent, CostLedger, CostParameters
 from repro.network.message import Message, MessageTrace
 from repro.network.process_comm import ProcessComm, WorkerError
+from repro.network.shm_ring import (
+    DEFAULT_SHM_MIN_BYTES,
+    ShmAttachmentCache,
+    ShmDescriptor,
+    ShmRing,
+)
 from repro.network.topology import Topology
 
 __all__ = [
@@ -64,6 +72,12 @@ __all__ = [
     "make_communicator",
     "merge_smallest",
     "merge_largest",
+    "PAYLOAD_TRANSPORTS",
+    "normalize_payload_transport",
+    "DEFAULT_SHM_MIN_BYTES",
+    "ShmDescriptor",
+    "ShmRing",
+    "ShmAttachmentCache",
     "binomial_broadcast",
     "binomial_reduce",
     "binomial_gather",

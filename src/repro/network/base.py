@@ -56,6 +56,8 @@ __all__ = [
     "merge_largest",
     "make_communicator",
     "COMM_BACKENDS",
+    "PAYLOAD_TRANSPORTS",
+    "normalize_payload_transport",
 ]
 
 
@@ -336,6 +338,24 @@ class Communicator(abc.ABC):
 #: registry of communicator backend names accepted by :func:`make_communicator`
 COMM_BACKENDS = ("sim", "process")
 
+#: payload transports of the multiprocess backend: ``"pickle"`` serialises
+#: every payload through the queues/pipes; ``"shm"`` routes large numpy
+#: arrays through reusable :mod:`multiprocessing.shared_memory` segments
+#: (descriptor-passed, see :mod:`repro.network.shm_ring`) and keeps small
+#: payloads on the pickle path (auto-selected per payload by a size
+#: threshold, ``shm_min_bytes``)
+PAYLOAD_TRANSPORTS = ("pickle", "shm")
+
+
+def normalize_payload_transport(transport: str) -> str:
+    """Validate and canonicalise a ``payload_transport=`` argument."""
+    name = str(transport).strip().lower()
+    if name not in PAYLOAD_TRANSPORTS:
+        raise ValueError(
+            f"unknown payload transport {transport!r}; expected one of {PAYLOAD_TRANSPORTS}"
+        )
+    return name
+
 
 def make_communicator(kind: str, p: int, **kwargs) -> Communicator:
     """Create a communicator backend by name.
@@ -351,7 +371,8 @@ def make_communicator(kind: str, p: int, **kwargs) -> Communicator:
         Number of PEs.
     kwargs:
         Forwarded to the backend constructor (e.g. ``cost=`` for the
-        simulator, ``start_method=`` for the process backend).
+        simulator; ``start_method=``, ``payload_transport="pickle"|"shm"``
+        and ``shm_min_bytes=`` for the process backend).
     """
     name = kind.strip().lower()
     if name in ("sim", "simulated", "simcomm"):

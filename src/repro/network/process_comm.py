@@ -28,6 +28,20 @@ The ledger records **measured wall-clock seconds** per operation (instead
 of the simulated machine model), attributed to the current phase, so the
 same Figure-6-style composition reports work for real executions.
 
+Payload transports
+------------------
+``payload_transport="pickle"`` (default) serialises every payload through
+the queues and pipes.  ``payload_transport="shm"`` routes large numpy
+arrays through reusable shared-memory segments instead: every endpoint
+(coordinator and workers) owns a :class:`~repro.network.shm_ring.ShmRing`,
+arrays of at least ``shm_min_bytes`` travel as tiny
+:class:`~repro.network.shm_ring.ShmDescriptor` control tuples, and the
+receiver copies them out of the segment directly — no pickling, no pipe
+buffering.  This cuts the gather cost of the centralized baseline and the
+batch shipping of ``process_round(batches)``; samples are byte-identical
+under both transports because only the transport changes, never the
+values.
+
 Fault handling
 --------------
 Worker exceptions are caught, serialised (type + traceback text) and
@@ -43,6 +57,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+import queue as queue_module
 import signal
 import threading
 import time
@@ -50,8 +65,21 @@ import traceback
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.network import collectives
-from repro.network.base import Communicator, PEStateHandle, PerPEFuture, ReduceOp
+from repro.network.base import (
+    Communicator,
+    PEStateHandle,
+    PerPEFuture,
+    ReduceOp,
+    normalize_payload_transport,
+)
 from repro.network.cost_model import CostLedger
+from repro.network.shm_ring import (
+    DEFAULT_SHM_MIN_BYTES,
+    ShmAttachmentCache,
+    ShmRing,
+    decode_payload,
+    encode_payload,
+)
 from repro.network.topology import Topology
 
 __all__ = ["ProcessComm", "WorkerError", "default_start_method"]
@@ -77,6 +105,55 @@ def default_start_method() -> str:
 
 
 # ---------------------------------------------------------------------------
+# payload transport
+# ---------------------------------------------------------------------------
+class _PayloadCodec:
+    """Per-endpoint payload encoder/decoder for one transport.
+
+    With the ``"pickle"`` transport both directions are the identity.  With
+    ``"shm"`` the endpoint owns a send-side :class:`ShmRing` (created
+    lazily) and a receive-side :class:`ShmAttachmentCache`; ``encode``
+    replaces large arrays with descriptors into the ring and ``decode``
+    resolves descriptors received from any peer.
+    """
+
+    def __init__(self, transport: str, min_bytes: int) -> None:
+        self.transport = transport
+        self.min_bytes = int(min_bytes)
+        self._ring = ShmRing() if transport == "shm" else None
+        self._cache = ShmAttachmentCache() if transport == "shm" else None
+
+    @property
+    def ring(self) -> Optional[ShmRing]:
+        return self._ring
+
+    def encode(self, value: object) -> object:
+        if self._ring is None:
+            return value
+        return encode_payload(value, self._ring, self.min_bytes)
+
+    def decode(self, value: object) -> object:
+        if self._cache is None:
+            return value
+        return decode_payload(value, self._cache)
+
+    def close(self, *, unlink_attached: bool = False) -> None:
+        """Drop attachments and unlink this endpoint's segments.  Idempotent.
+
+        ``unlink_attached=True`` additionally best-effort-unlinks the
+        *attached* (peer-owned) segments — the coordinator uses it when a
+        worker had to be terminated and cannot run its own teardown.
+        """
+        if self._cache is not None:
+            if unlink_attached:
+                self._cache.unlink_all()
+            else:
+                self._cache.close()
+        if self._ring is not None:
+            self._ring.destroy()
+
+
+# ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
 class _Mailbox:
@@ -87,11 +164,17 @@ class _Mailbox:
     arbitrarily in the queue; messages for a later collective can also
     arrive while this rank is still draining the current one.  ``recv``
     returns the requested message and stashes everything else.
+
+    Payloads are decoded (shared-memory descriptors resolved) the moment
+    they leave the queue — *before* any stashing — so the sender's ring
+    slots are released promptly no matter how far out of order the
+    messages arrived.
     """
 
-    def __init__(self, queue, timeout: float) -> None:
+    def __init__(self, queue, timeout: float, codec: _PayloadCodec) -> None:
         self._queue = queue
         self._timeout = timeout
+        self._codec = codec
         self._stash: Dict[Tuple[int, int], object] = {}
 
     def recv(self, seq: int, src: int) -> object:
@@ -106,7 +189,14 @@ class _Mailbox:
                     f"timed out waiting for message (seq={seq}, src={src}); "
                     "a peer worker likely died or raised"
                 )
-            msg_seq, msg_src, payload = self._queue.get(timeout=remaining)
+            try:
+                msg_seq, msg_src, payload = self._queue.get(timeout=remaining)
+            except queue_module.Empty:
+                # loop back so the deadline check raises the descriptive
+                # TimeoutError instead of a bare queue.Empty killing the
+                # worker without a diagnosis
+                continue
+            payload = self._codec.decode(payload)
             if (msg_seq, msg_src) == key:
                 return payload
             self._stash[(msg_seq, msg_src)] = payload
@@ -120,18 +210,26 @@ class _WorkerNet:
     order — executed from the perspective of one rank.
     """
 
-    def __init__(self, rank: int, topology: Topology, inboxes, mailbox: _Mailbox) -> None:
+    def __init__(
+        self,
+        rank: int,
+        topology: Topology,
+        inboxes,
+        mailbox: _Mailbox,
+        codec: _PayloadCodec,
+    ) -> None:
         self.rank = rank
         self.topology = topology
         self.inboxes = inboxes
         self.mailbox = mailbox
+        self.codec = codec
 
     @property
     def p(self) -> int:
         return self.topology.p
 
     def _send(self, seq: int, dst: int, payload: object) -> None:
-        self.inboxes[dst].put((seq, self.rank, payload))
+        self.inboxes[dst].put((seq, self.rank, self.codec.encode(payload)))
 
     # -- binomial tree ----------------------------------------------------
     def broadcast(self, seq: int, value: object, root: int) -> object:
@@ -248,15 +346,24 @@ class _WorkerNet:
         return value
 
 
-def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> None:
+def _worker_main(
+    rank: int,
+    p: int,
+    conn,
+    inboxes,
+    mailbox_timeout: float,
+    payload_transport: str = "pickle",
+    shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+) -> None:
     """Command loop of one worker process."""
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main-thread start
         pass
     topology = Topology(p)
-    mailbox = _Mailbox(inboxes[rank], mailbox_timeout)
-    net = _WorkerNet(rank, topology, inboxes, mailbox)
+    codec = _PayloadCodec(payload_transport, shm_min_bytes)
+    mailbox = _Mailbox(inboxes[rank], mailbox_timeout, codec)
+    net = _WorkerNet(rank, topology, inboxes, mailbox, codec)
     states: Dict[int, object] = {}
     async_jobs: Dict[int, Tuple[threading.Thread, dict]] = {}
     while True:
@@ -270,11 +377,11 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
         try:
             if kind == "init_state":
                 _, group, factory, args = msg
-                states[group] = factory(rank, *args)
+                states[group] = factory(rank, *codec.decode(args))
                 conn.send(("ok", None))
             elif kind == "run":
                 _, group, fn, args = msg
-                conn.send(("ok", fn(states[group], *args)))
+                conn.send(("ok", codec.encode(fn(states[group], *codec.decode(args)))))
             elif kind == "run_async":
                 # Execute the kernel in a background thread so this loop can
                 # keep serving collectives and other kernels against the
@@ -282,6 +389,7 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
                 # the thread is running; the result travels with the
                 # matching "join_async" command.
                 _, group, tag, fn, args = msg
+                args = codec.decode(args)
                 box: dict = {}
                 state = states[group]
 
@@ -302,9 +410,13 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
                 thread, box = async_jobs.pop(tag)
                 thread.join()
                 reply = box.get("reply", ("err", "RuntimeError('async kernel vanished')", ""))
+                if reply[0] == "ok":
+                    # encode on the main thread: the ring is not thread-safe
+                    reply = ("ok", codec.encode(reply[1]))
                 conn.send(reply)
             elif kind == "coll":
                 _, seq, op_name, payload, extra = msg
+                payload = codec.decode(payload)
                 if op_name == "broadcast":
                     result = net.broadcast(seq, payload, extra["root"])
                 elif op_name == "reduce":
@@ -324,7 +436,7 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
                     result = net.p2p(seq, extra["src"], extra["dst"], payload)
                 else:
                     raise ValueError(f"unknown collective {op_name!r}")
-                conn.send(("ok", result))
+                conn.send(("ok", codec.encode(result)))
             else:
                 conn.send(("err", f"ValueError('unknown command {kind!r}')", ""))
         except BaseException as exc:  # propagate everything to the coordinator
@@ -332,6 +444,9 @@ def _worker_main(rank: int, p: int, conn, inboxes, mailbox_timeout: float) -> No
                 conn.send(("err", repr(exc), traceback.format_exc()))
             except (OSError, ValueError):  # pragma: no cover - pipe gone
                 break
+    for thread, _box in async_jobs.values():  # pragma: no cover - defensive
+        thread.join(timeout=1.0)
+    codec.close()
     try:
         conn.close()
     except OSError:  # pragma: no cover
@@ -403,6 +518,14 @@ class ProcessComm(Communicator):
         Seconds a worker waits for a peer's message inside a collective.
         Kept below ``reply_timeout`` so that a dead peer surfaces as a
         :class:`WorkerError` instead of a coordinator timeout.
+    payload_transport:
+        ``"pickle"`` (default) serialises every payload through the
+        queues/pipes; ``"shm"`` routes numpy arrays of at least
+        ``shm_min_bytes`` through reusable shared-memory segments
+        (descriptor-passed, see :mod:`repro.network.shm_ring`).
+    shm_min_bytes:
+        Size threshold (bytes) above which an array takes the
+        shared-memory path; ignored under the pickle transport.
     ledger:
         Ledger recording *measured* wall-clock time per operation; a fresh
         one is created if not given.
@@ -417,6 +540,8 @@ class ProcessComm(Communicator):
         start_method: Optional[str] = None,
         reply_timeout: float = 120.0,
         mailbox_timeout: float = 30.0,
+        payload_transport: str = "pickle",
+        shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
         ledger: Optional[CostLedger] = None,
     ) -> None:
         super().__init__()
@@ -424,6 +549,9 @@ class ProcessComm(Communicator):
         self.ledger = ledger if ledger is not None else CostLedger()
         self.trace = None  # message tracing is a simulator-only feature
         self.reply_timeout = float(reply_timeout)
+        self.payload_transport = normalize_payload_transport(payload_transport)
+        self.shm_min_bytes = int(shm_min_bytes)
+        self._codec = _PayloadCodec(self.payload_transport, self.shm_min_bytes)
         self._ctx = mp.get_context(start_method or default_start_method())
         self._seq = 0
         self._async_tags = 0
@@ -436,7 +564,15 @@ class ProcessComm(Communicator):
             parent_conn, child_conn = self._ctx.Pipe(duplex=True)
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(rank, p, child_conn, self._inboxes, float(mailbox_timeout)),
+                args=(
+                    rank,
+                    p,
+                    child_conn,
+                    self._inboxes,
+                    float(mailbox_timeout),
+                    self.payload_transport,
+                    self.shm_min_bytes,
+                ),
                 name=f"repro-pe-{rank}",
                 daemon=True,
             )
@@ -467,7 +603,7 @@ class ProcessComm(Communicator):
         except (EOFError, OSError) as exc:
             raise WorkerError([(rank, f"worker pipe closed ({exc!r})", "")]) from exc
         if reply[0] == "ok":
-            return ("ok", reply[1], "")
+            return ("ok", self._codec.decode(reply[1]), "")
         return ("err", reply[1], reply[2])
 
     def _collect(self, ranks: Sequence[int]) -> List[object]:
@@ -515,7 +651,10 @@ class ProcessComm(Communicator):
         seq = self._seq
         self._seq += 1
         return self._command_all(
-            [("coll", seq, op_name, payloads[rank], extra) for rank in range(self.p)]
+            [
+                ("coll", seq, op_name, self._codec.encode(payloads[rank]), extra)
+                for rank in range(self.p)
+            ]
         )
 
     # ------------------------------------------------------------------
@@ -663,7 +802,7 @@ class ProcessComm(Communicator):
         self._seq += 1
         start = time.perf_counter()
         extra = {"src": src, "dst": dst}
-        self._conns[src].send(("coll", seq, "p2p", value, extra))
+        self._conns[src].send(("coll", seq, "p2p", self._codec.encode(value), extra))
         self._conns[dst].send(("coll", seq, "p2p", None, extra))
         results = self._collect([src, dst])
         self._record("send", messages=1, words=words, rounds=1, elapsed=time.perf_counter() - start)
@@ -688,7 +827,7 @@ class ProcessComm(Communicator):
                     "init_state",
                     group,
                     factory,
-                    tuple(per_pe_args[rank]) if per_pe_args is not None else (),
+                    self._codec.encode(tuple(per_pe_args[rank])) if per_pe_args is not None else (),
                 )
                 for rank in range(self.p)
             ]
@@ -711,7 +850,7 @@ class ProcessComm(Communicator):
                     "run",
                     handle.group,
                     fn,
-                    tuple(per_pe_args[rank]) if per_pe_args is not None else (),
+                    self._codec.encode(tuple(per_pe_args[rank])) if per_pe_args is not None else (),
                 )
                 for rank in range(self.p)
             ]
@@ -751,7 +890,7 @@ class ProcessComm(Communicator):
                     handle.group,
                     tag,
                     fn,
-                    tuple(per_pe_args[rank]) if per_pe_args is not None else (),
+                    self._codec.encode(tuple(per_pe_args[rank])) if per_pe_args is not None else (),
                 )
                 for rank in range(self.p)
             ]
@@ -769,7 +908,7 @@ class ProcessComm(Communicator):
         """Dispatch ``fn`` to a single worker."""
         pe = self.topology.validate_rank(pe)
         self._ensure_open()
-        self._conns[pe].send(("run", handle.group, fn, tuple(args)))
+        self._conns[pe].send(("run", handle.group, fn, self._codec.encode(tuple(args))))
         return self._collect([pe])[0]
 
     # ------------------------------------------------------------------
@@ -808,6 +947,16 @@ class ProcessComm(Communicator):
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+        # All workers are gone: unlink the coordinator's own ring (workers
+        # that exited cleanly unlinked theirs).  A worker that died hard —
+        # terminated above, or killed before shutdown (non-zero exitcode,
+        # None = unjoinable) — never ran its teardown, and ring segments
+        # are deliberately untracked, so best-effort-unlink the worker
+        # segments this side attached; any worker-to-worker segments of a
+        # hard-killed worker stay in /dev/shm (see shm_ring._untracked for
+        # the trade-off).
+        unclean = any(proc.exitcode != 0 for proc in self._procs)
+        self._codec.close(unlink_attached=unclean)
         try:
             atexit.unregister(self._atexit)
         except Exception:  # pragma: no cover

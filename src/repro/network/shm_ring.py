@@ -1,0 +1,364 @@
+"""Shared-memory payload transport for the multiprocess backend.
+
+:class:`~repro.network.process_comm.ProcessComm` moves three kinds of
+payloads between processes: coordinator commands (mini-batches shipped by
+``process_round``), worker-to-worker collective messages, and worker
+replies (gathered candidate arrays, kernel results).  With the default
+``payload_transport="pickle"`` every numpy array on those paths is pickled
+into a byte stream and squeezed through a pipe or queue — two copies plus
+syscalls bounded by the 64 KiB pipe buffer, which dominates the gather
+cost of the centralized baseline for large samples.
+
+With ``payload_transport="shm"`` large arrays instead travel through
+:mod:`multiprocessing.shared_memory`:
+
+* every endpoint (the coordinator and each worker) owns a
+  :class:`ShmRing` — a ring of reusable shared-memory *slots*, created
+  lazily, grown geometrically when a payload outgrows its slot, and
+  unlinked on shutdown;
+* a send *places* the array into a free slot (one ``memcpy``) and ships a
+  tiny picklable :class:`ShmDescriptor` — ``(segment name, dtype, shape)``
+  — through the existing queue/pipe instead of the pickled bytes;
+* the receiver *resolves* the descriptor via an :class:`ShmAttachmentCache`
+  (attachments by segment name are cached, so steady state pays one
+  ``memcpy`` out of the segment) and releases the slot back to its owner
+  by clearing the slot's in-flight flag.
+
+Only C-contiguous numpy arrays of at least ``min_bytes``
+(:data:`DEFAULT_SHM_MIN_BYTES` by default) take the shared-memory path —
+smaller payloads and non-array objects keep the pickle path, which is
+cheaper for them.  :func:`encode_payload` / :func:`decode_payload` walk
+tuples, lists and dict values so arrays nested in collective messages
+(gather pair lists, all-gather holdings) are transported too.
+
+The descriptor exposes the array's element count as ``.size``, so
+:func:`repro.network.collectives.payload_words` reports the same ledger
+``words`` for a descriptor-passed array as for the array itself — the
+communication-volume accounting stays honest under both transports.
+
+Slot lifecycle
+--------------
+Each slot is one shared-memory segment with an 8-byte header holding an
+in-flight flag.  The sender acquires a free slot (flag ``0``), writes the
+payload, sets the flag to ``1`` and sends the descriptor; the receiver
+copies the payload out and clears the flag.  Because receivers resolve
+descriptors *immediately* when a message leaves the queue (before any
+out-of-order stashing), slots are in flight only for the queue latency,
+and a small ring suffices.  If every slot is busy the ring appends a new
+slot rather than blocking, so no send can deadlock on slot reuse.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SHM_MIN_BYTES",
+    "ShmDescriptor",
+    "ShmRing",
+    "ShmAttachmentCache",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: default minimum array size (bytes) routed through shared memory; smaller
+#: arrays stay on the pickle path where the fixed slot/attach cost would
+#: outweigh the copy savings
+DEFAULT_SHM_MIN_BYTES = 8192
+
+#: bytes reserved at the start of every segment for the in-flight flag
+_HEADER_BYTES = 8
+
+#: smallest payload capacity a freshly created slot gets
+_MIN_SLOT_BYTES = 1 << 16
+
+#: hard cap on ring growth — far above any in-flight burst the collective
+#: schedules can produce; reaching it indicates a receiver stopped draining
+_MAX_SLOTS = 256
+
+
+_TRACKER_LOCK = threading.Lock()
+
+
+@contextlib.contextmanager
+def _untracked() -> Iterator[None]:
+    """Keep ring segments out of multiprocessing's resource tracker.
+
+    The tracker registers shared-memory names on *attach* as well as on
+    create (bpo-38119), and under the fork start method some processes
+    share one tracker while others lazily start their own — so a ring
+    segment ends up registered in several caches, of which the owner's
+    ``unlink`` clears at most one.  The leftovers surface as bogus
+    "leaked shared_memory objects" warnings (or tracker ``KeyError``\\ s)
+    at interpreter shutdown.  Ring lifecycle is deterministic — every
+    endpoint unlinks its own segments on shutdown — so these segments opt
+    out of tracking entirely.  The trade-off: segments of a hard-killed
+    process (``SIGKILL``, ``terminate()`` on a hung worker) are not
+    reclaimed by the tracker; they live in ``/dev/shm`` until reboot.
+    """
+    with _TRACKER_LOCK:
+        original_register = resource_tracker.register
+        original_unregister = resource_tracker.unregister
+
+        def register(name, rtype):  # pragma: no cover - trivial filter
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        def unregister(name, rtype):  # pragma: no cover - trivial filter
+            if rtype != "shared_memory":
+                original_unregister(name, rtype)
+
+        resource_tracker.register = register
+        resource_tracker.unregister = unregister
+        try:
+            yield
+        finally:
+            resource_tracker.register = original_register
+            resource_tracker.unregister = original_unregister
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Picklable pointer to an array placed in a shared-memory slot.
+
+    Travels through the queues/pipes in place of the array itself.  The
+    receiver resolves it with :meth:`ShmAttachmentCache.resolve`, which
+    also releases the slot.
+    """
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Element count — keeps ``payload_words`` honest for descriptors."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * np.dtype(self.dtype).itemsize
+
+
+class _Slot:
+    """One reusable shared-memory segment with an in-flight flag header."""
+
+    __slots__ = ("shm", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        with _untracked():
+            self.shm = shared_memory.SharedMemory(create=True, size=_HEADER_BYTES + capacity)
+        self.shm.buf[0] = 0
+
+    @property
+    def free(self) -> bool:
+        return self.shm.buf[0] == 0
+
+    def destroy(self) -> None:
+        try:
+            self.shm.close()
+            with _untracked():
+                self.shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+
+
+class ShmRing:
+    """A sender-owned ring of reusable shared-memory slots.
+
+    Slots are created lazily on first use and grown geometrically when a
+    payload outgrows its slot (the old segment is unlinked; receivers hold
+    attachments open until they close their cache, which POSIX permits).
+    ``destroy()`` unlinks everything; the owning endpoint calls it on
+    shutdown so no segments outlive the communicator.
+    """
+
+    def __init__(self, *, reuse_timeout: float = 30.0) -> None:
+        self._slots: List[_Slot] = []
+        self._cursor = 0
+        self._reuse_timeout = float(reuse_timeout)
+        self._destroyed = False
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of the live segments (diagnostics/tests)."""
+        return [slot.shm.name for slot in self._slots]
+
+    def _acquire(self, nbytes: int) -> _Slot:
+        """A free slot with at least ``nbytes`` capacity (grown if needed)."""
+        if self._destroyed:
+            raise RuntimeError("ShmRing has been destroyed")
+        n = len(self._slots)
+        for probe in range(n):
+            index = (self._cursor + probe) % n
+            slot = self._slots[index]
+            if slot.free:
+                self._cursor = (index + 1) % n
+                if slot.capacity < nbytes:
+                    slot.destroy()
+                    slot = _Slot(max(nbytes, 2 * slot.capacity, _MIN_SLOT_BYTES))
+                    self._slots[index] = slot
+                return slot
+        if n < _MAX_SLOTS:
+            slot = _Slot(max(nbytes, _MIN_SLOT_BYTES))
+            self._slots.append(slot)
+            return slot
+        # every slot in a full-grown ring is in flight: a receiver stopped
+        # draining; wait briefly for a release instead of growing further
+        deadline = time.monotonic() + self._reuse_timeout
+        while time.monotonic() < deadline:
+            for index, slot in enumerate(self._slots):
+                if slot.free:
+                    self._cursor = (index + 1) % len(self._slots)
+                    if slot.capacity < nbytes:
+                        slot.destroy()
+                        slot = _Slot(max(nbytes, 2 * slot.capacity, _MIN_SLOT_BYTES))
+                        self._slots[index] = slot
+                    return slot
+            time.sleep(0.0005)
+        raise TimeoutError(
+            f"no shared-memory slot freed within {self._reuse_timeout}s "
+            f"({len(self._slots)} slots all in flight); a receiver likely died"
+        )
+
+    def place(self, array: np.ndarray) -> ShmDescriptor:
+        """Copy ``array`` into a free slot and return its descriptor."""
+        array = np.ascontiguousarray(array)
+        slot = self._acquire(array.nbytes)
+        if array.nbytes:
+            slot.shm.buf[_HEADER_BYTES : _HEADER_BYTES + array.nbytes] = array.data.cast("B")
+        slot.shm.buf[0] = 1
+        return ShmDescriptor(
+            segment=slot.shm.name, dtype=array.dtype.str, shape=tuple(array.shape)
+        )
+
+    def destroy(self) -> None:
+        """Unlink every segment.  Idempotent."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        for slot in self._slots:
+            slot.destroy()
+        self._slots = []
+
+
+class ShmAttachmentCache:
+    """Receiver-side cache of segment attachments, keyed by segment name.
+
+    ``resolve`` copies the array out of the slot and releases the slot by
+    clearing its in-flight flag; the attachment itself stays open so the
+    next payload through the same slot skips the attach syscall.  ``close``
+    drops all attachments (never unlinks — segments belong to the sender).
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def resolve(self, descriptor: ShmDescriptor) -> np.ndarray:
+        shm = self._segments.get(descriptor.segment)
+        if shm is None:
+            with _untracked():
+                shm = shared_memory.SharedMemory(name=descriptor.segment)
+            self._segments[descriptor.segment] = shm
+        array = (
+            np.frombuffer(
+                shm.buf,
+                dtype=np.dtype(descriptor.dtype),
+                count=descriptor.size,
+                offset=_HEADER_BYTES,
+            )
+            .reshape(descriptor.shape)
+            .copy()
+        )
+        shm.buf[0] = 0  # release the slot back to the sending ring
+        return array
+
+    def close(self) -> None:
+        """Drop all attachments.  Idempotent."""
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
+        self._segments = {}
+
+    def unlink_all(self) -> None:
+        """Best-effort unlink of every attached segment, then close.
+
+        Segments belong to their sending ring, which normally unlinks them
+        on shutdown — but a hard-killed worker (``terminate()`` after a
+        hung join) never runs its teardown, and ring segments opt out of
+        the resource tracker (see :func:`_untracked`).  The coordinator
+        calls this for the segments it attached so at least those do not
+        outlive the communicator; segments the coordinator never saw
+        (worker-to-worker traffic) remain the documented trade-off.
+        """
+        for shm in self._segments.values():
+            try:
+                with _untracked():
+                    shm.unlink()
+            except (FileNotFoundError, OSError):  # already gone / owner got it
+                pass
+        self.close()
+
+
+def _placeable(value: object, min_bytes: int) -> bool:
+    # Structured (record) dtypes are excluded: ``dtype.str`` collapses them
+    # to an opaque ``|V<n>`` that drops the field layout, so resolving the
+    # descriptor could not reconstruct the original array.  They keep the
+    # pickle path, like object arrays.
+    return (
+        isinstance(value, np.ndarray)
+        and not value.dtype.hasobject
+        and value.dtype.names is None
+        and value.nbytes >= min_bytes
+    )
+
+
+def encode_payload(value: object, ring: ShmRing, min_bytes: int) -> object:
+    """Replace large arrays in ``value`` with descriptors into ``ring``.
+
+    Walks tuples, lists and dict values (the shapes collective messages
+    take: gather pair lists, all-gather holdings); everything else passes
+    through untouched and travels pickled as before.
+    """
+    if _placeable(value, min_bytes):
+        return ring.place(value)  # type: ignore[arg-type]
+    if isinstance(value, tuple):
+        return tuple(encode_payload(item, ring, min_bytes) for item in value)
+    if isinstance(value, list):
+        return [encode_payload(item, ring, min_bytes) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_payload(item, ring, min_bytes) for key, item in value.items()}
+    return value
+
+
+def decode_payload(value: object, cache: ShmAttachmentCache) -> object:
+    """Resolve every descriptor in ``value`` back into an array (inverse of
+    :func:`encode_payload`)."""
+    if isinstance(value, ShmDescriptor):
+        return cache.resolve(value)
+    if isinstance(value, tuple):
+        return tuple(decode_payload(item, cache) for item in value)
+    if isinstance(value, list):
+        return [decode_payload(item, cache) for item in value]
+    if isinstance(value, dict):
+        return {key: decode_payload(item, cache) for key, item in value.items()}
+    return value

@@ -106,9 +106,22 @@ class _PipelineEngineBase:
         self._requested_batch_size = int(batch_size)
 
     def _apply_batch_size_change(self) -> None:
-        """Apply a deferred resize; only called while no prepare is in flight."""
+        """Apply a deferred resize; only valid while no prepare is in flight.
+
+        The in-flight guard makes the join-before-resize ordering an
+        enforced invariant rather than a convention: dispatching the resize
+        kernel while a background prefetch is still generating would race
+        the shard's ``_batch_size``/``_emitted`` bookkeeping (the shard's
+        own lock would serialise the mutation, but the round's batch size
+        would become schedule-dependent — join first, then resize).
+        """
         if self._requested_batch_size is None:
             return
+        if self._pending is not None:
+            raise RuntimeError(
+                "cannot resize stream shards while a prepare is in flight; "
+                "join the pending prepare before applying the batch size"
+            )
         self.comm.run_per_pe(
             self.sampler._handle,
             pe_kernels.set_batch_size_kernel,

@@ -214,17 +214,26 @@ class RunMetrics:
         return sum(r.max_insertions for r in self.rounds)
 
     def throughput_total(self) -> float:
-        """Processed items per second of simulated time (whole machine)."""
+        """Processed items per second of simulated time (whole machine).
+
+        A zero-round (or zero-time) run reports ``0.0`` — not ``inf``,
+        which every benchmark would serialise as the spec-invalid JSON
+        token ``Infinity``.
+        """
         t = self.simulated_time
-        return self.total_items / t if t > 0 else float("inf")
+        return self.total_items / t if t > 0 else 0.0
 
     def throughput_per_pe(self) -> float:
         """Processed items per PE per second of simulated time (Figure 5)."""
         return self.throughput_total() / self.p
 
     def wall_throughput_total(self) -> float:
-        """Processed items per second of *measured* wall-clock time."""
-        return self.total_items / self.wall_time if self.wall_time > 0 else float("inf")
+        """Processed items per second of *measured* wall-clock time.
+
+        ``0.0`` for runs without measured wall time (see
+        :meth:`throughput_total` on why not ``inf``).
+        """
+        return self.total_items / self.wall_time if self.wall_time > 0 else 0.0
 
     def wall_throughput_per_pe(self) -> float:
         """Measured per-PE throughput (compare against ``p=1`` for speedup)."""
@@ -278,7 +287,7 @@ class RunMetrics:
             "simulated_time": self.simulated_time,
             "wall_time": self.wall_time,
             "throughput_per_pe": self.throughput_per_pe(),
-            "wall_throughput_total": (self.wall_throughput_total() if self.wall_time > 0 else 0.0),
+            "wall_throughput_total": self.wall_throughput_total(),
             "phase_fractions": self.phase_fractions(),
             "mean_selection_depth": self.mean_selection_depth(),
             "total_evicted": self.total_evicted,

@@ -35,6 +35,7 @@ exactly (there, too, the stamp of every item equals its id).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -131,6 +132,11 @@ class WorkerStreamShard:
         self._batch_size = spec.batch_size
         self._emitted = 0  # items produced so far (drives interleaved ids)
         self._prefetched: Optional[ItemBatch] = None
+        # Serialises generation against resizes: a background prefetch
+        # (async pipeline dispatch) may still be generating when an autotune
+        # resize arrives on the worker's main thread, and an unguarded
+        # resize would mutate _batch_size/_emitted mid-generation.
+        self._lock = threading.RLock()
 
     @property
     def round_index(self) -> int:
@@ -150,7 +156,9 @@ class WorkerStreamShard:
         """Change the per-round batch size (variable shards only).
 
         Takes effect from the next generated batch; an already prefetched
-        batch keeps the size it was generated with.
+        batch keeps the size it was generated with.  Safe to call while a
+        background :meth:`prefetch` is in flight — the resize waits for the
+        in-progress generation rather than mutating its inputs.
         """
         check_positive_int(batch_size, "batch_size")
         if not self.spec.variable:
@@ -158,7 +166,8 @@ class WorkerStreamShard:
                 "shard batch size is fixed; create the shard with variable=True "
                 "(e.g. batch_size='auto' on the run drivers) to resize it"
             )
-        self._batch_size = batch_size
+        with self._lock:
+            self._batch_size = batch_size
 
     def _ids_for_round(self, size: int) -> np.ndarray:
         spec = self.spec
@@ -174,11 +183,12 @@ class WorkerStreamShard:
 
     def _generate(self) -> ItemBatch:
         spec = self.spec
-        size = self._batch_size
-        weights = spec.weights(size, self._rng, pe=spec.pe, round_index=self._round)
-        ids = self._ids_for_round(size)
-        self._round += 1
-        self._emitted += size
+        with self._lock:
+            size = self._batch_size
+            weights = spec.weights(size, self._rng, pe=spec.pe, round_index=self._round)
+            ids = self._ids_for_round(size)
+            self._round += 1
+            self._emitted += size
         if spec.stamped:
             # For this synthetic stream the global arrival index IS the id
             # (items arrive in id order across PEs within a round), matching
@@ -193,16 +203,21 @@ class WorkerStreamShard:
         the shard's own random stream is touched, so a prefetch may run in
         a background thread while the PE participates in collectives.
         """
-        if self._prefetched is None:
-            self._prefetched = self._generate()
-        return len(self._prefetched)
+        with self._lock:
+            if self._prefetched is None:
+                self._prefetched = self._generate()
+            return len(self._prefetched)
 
     def next_batch(self) -> ItemBatch:
         """The PE's batch of the next round (ids match ``MiniBatchStream``)."""
-        if self._prefetched is not None:
-            batch, self._prefetched = self._prefetched, None
-            return batch
-        return self._generate()
+        # The fallback _generate stays under the (re-entrant) lock: a
+        # prefetch landing between the check and the generation would
+        # otherwise orphan its batch and deliver rounds out of order.
+        with self._lock:
+            if self._prefetched is not None:
+                batch, self._prefetched = self._prefetched, None
+                return batch
+            return self._generate()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"WorkerStreamShard(pe={self.spec.pe}/{self.spec.p}, round={self.round_index})"

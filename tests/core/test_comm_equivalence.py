@@ -34,27 +34,46 @@ def _run_sampler(comm, algorithm, k, p, *, weighted=True, store="merge"):
     return np.sort(sampler.sample_ids()), thresholds, items
 
 
+@pytest.mark.parametrize("payload_transport", ["pickle", "shm"])
 @pytest.mark.parametrize(
     "algorithm,k",
     [("ours", 40), ("ours-8", 40), ("gather", 30), ("ours-variable", 25)],
 )
-def test_samples_byte_identical_across_backends(algorithm, k):
+def test_samples_byte_identical_across_backends(algorithm, k, payload_transport):
     p = 2
     sim_ids, sim_thresholds, sim_items = _run_sampler(SimComm(p), algorithm, k, p)
-    with ProcessComm(p) as proc:
+    # shm_min_bytes low enough that the per-round candidate arrays of these
+    # small test workloads genuinely take the shared-memory path
+    with ProcessComm(p, payload_transport=payload_transport, shm_min_bytes=64) as proc:
         proc_ids, proc_thresholds, proc_items = _run_sampler(proc, algorithm, k, p)
     np.testing.assert_array_equal(sim_ids, proc_ids)
     assert sim_thresholds == proc_thresholds
     assert sim_items == proc_items  # keys too, not just ids
 
 
-@pytest.mark.parametrize("p", [3, 4])
+@pytest.mark.parametrize("p", [3, 4, 5, 6])
 def test_equivalence_at_higher_pe_counts(p):
+    """Non-power-of-two counts exercise the worker allgather's
+    gather-then-broadcast fallback, which reuses one ``seq`` for two
+    sub-collectives — the mailbox stashing must keep them apart."""
     sim_ids, sim_thresholds, _ = _run_sampler(SimComm(p), "ours", 50, p)
     with ProcessComm(p) as proc:
         proc_ids, proc_thresholds, _ = _run_sampler(proc, "ours", 50, p)
     np.testing.assert_array_equal(sim_ids, proc_ids)
     assert sim_thresholds == proc_thresholds
+
+
+@pytest.mark.parametrize("p", [3, 5, 6])
+@pytest.mark.parametrize("algorithm,k", [("ours", 50), ("gather", 30)])
+def test_equivalence_non_power_of_two_under_shm_transport(p, algorithm, k):
+    """The shm transport must stay byte-identical on the non-power-of-two
+    collective paths too (descriptors through gather+broadcast reuse)."""
+    sim_ids, sim_thresholds, sim_items = _run_sampler(SimComm(p), algorithm, k, p)
+    with ProcessComm(p, payload_transport="shm", shm_min_bytes=64) as proc:
+        proc_ids, proc_thresholds, proc_items = _run_sampler(proc, algorithm, k, p)
+    np.testing.assert_array_equal(sim_ids, proc_ids)
+    assert sim_thresholds == proc_thresholds
+    assert sim_items == proc_items
 
 
 def test_equivalence_for_uniform_sampling():

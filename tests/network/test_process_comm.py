@@ -180,3 +180,139 @@ class TestFactory:
             assert comm.allreduce([1.0, 2.0], Communicator.SUM) == [3.0, 3.0]
             handle = comm.create_pe_state(counter_state, per_pe_args=[(1,), (2,)])
             assert comm.run_per_pe(handle, bump, [(1,), (1,)]) == [(0, 2), (1, 3)]
+
+
+# ---------------------------------------------------------------------------
+# shared-memory payload transport
+# ---------------------------------------------------------------------------
+def echo_array(state, array):
+    """Kernel returning a large array (reply travels worker -> coordinator)."""
+    return array * 2.0
+
+
+class TestShmPayloadTransport:
+    """The shm transport must be a pure transport change: same values, no
+    leaked segments, small payloads still pickled."""
+
+    @pytest.mark.parametrize("p", [2, 3, 5])
+    def test_collectives_match_pickle_transport(self, p):
+        arrays = [np.random.default_rng(i).random(2048) for i in range(p)]
+        with ProcessComm(p) as pickle_comm, ProcessComm(
+            p, payload_transport="shm", shm_min_bytes=256
+        ) as shm_comm:
+            for op_name in ("gather", "allgather", "broadcast"):
+                got = getattr(shm_comm, op_name)(arrays)
+                expected = getattr(pickle_comm, op_name)(arrays)
+                np.testing.assert_array_equal(np.asarray(got), np.asarray(expected))
+            got = shm_comm.allreduce(arrays, Communicator.SUM)
+            expected = pickle_comm.allreduce(arrays, Communicator.SUM)
+            for a, b in zip(got, expected):
+                np.testing.assert_array_equal(a, b)
+
+    def test_send_large_array_between_workers(self):
+        payload = np.arange(1 << 15, dtype=np.float64)
+        with ProcessComm(3, payload_transport="shm", shm_min_bytes=1024) as comm:
+            result = comm.send(0, 2, payload)
+        np.testing.assert_array_equal(result, payload)
+
+    def test_command_args_and_replies_take_the_shm_path(self):
+        array = np.arange(1 << 14, dtype=np.float64)
+        with ProcessComm(2, payload_transport="shm", shm_min_bytes=1024) as comm:
+            handle = comm.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+            results = comm.run_per_pe(handle, echo_array, [(array,), (array + 1,)])
+        np.testing.assert_array_equal(results[0], array * 2.0)
+        np.testing.assert_array_equal(results[1], (array + 1) * 2.0)
+
+    def test_nested_gather_payloads_survive(self):
+        """Lists of (rank, array) pairs — the binomial gather's message
+        shape — must round-trip through descriptors."""
+        arrays = [np.full(4096, float(r)) for r in range(4)]
+        with ProcessComm(4, payload_transport="shm", shm_min_bytes=512) as comm:
+            gathered = comm.gather(arrays, root=0)
+        for rank, got in enumerate(gathered):
+            np.testing.assert_array_equal(got, arrays[rank])
+
+    def test_shutdown_unlinks_coordinator_segments(self):
+        import os
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("segment existence check needs /dev/shm")
+        comm = ProcessComm(2, payload_transport="shm", shm_min_bytes=64)
+        try:
+            comm.gather([np.arange(1000, dtype=np.float64)] * 2, root=0)
+            ring = comm._codec.ring
+            assert ring is not None and len(ring) > 0
+            names = list(ring.segment_names)
+            assert any(os.path.exists(os.path.join("/dev/shm", n)) for n in names)
+        finally:
+            comm.shutdown()
+        assert all(not os.path.exists(os.path.join("/dev/shm", n)) for n in names)
+
+    def test_worker_error_still_propagates_under_shm(self):
+        with ProcessComm(2, payload_transport="shm") as comm:
+            handle = comm.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+            with pytest.raises(WorkerError, match="injected failure"):
+                comm.run_per_pe(handle, fail_on_pe_one)
+            assert all(comm.workers_alive)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown payload transport"):
+            ProcessComm(2, payload_transport="carrier-pigeon")
+
+    def test_pickle_transport_has_no_ring(self):
+        with ProcessComm(2) as comm:
+            assert comm.payload_transport == "pickle"
+            assert comm._codec.ring is None
+
+
+class TestMailboxTimeout:
+    def test_empty_queue_raises_descriptive_timeout(self):
+        """The mailbox must surface the diagnostic TimeoutError, not let the
+        bare ``queue.Empty`` from ``Queue.get`` escape and kill the worker
+        without naming the likely cause."""
+        import queue as queue_module
+
+        from repro.network.process_comm import _Mailbox, _PayloadCodec
+
+        mailbox = _Mailbox(queue_module.Queue(), timeout=0.05, codec=_PayloadCodec("pickle", 0))
+        with pytest.raises(TimeoutError, match="peer worker likely died") as excinfo:
+            mailbox.recv(seq=3, src=1)
+        # the diagnostic names the message being waited for
+        assert "seq=3" in str(excinfo.value)
+        assert not isinstance(excinfo.value, queue_module.Empty)
+
+    def test_stashed_message_is_returned_without_waiting(self):
+        import queue as queue_module
+
+        from repro.network.process_comm import _Mailbox, _PayloadCodec
+
+        q = queue_module.Queue()
+        q.put((7, 0, "later"))  # message for a different (seq, src)
+        q.put((3, 1, "wanted"))
+        mailbox = _Mailbox(q, timeout=0.5, codec=_PayloadCodec("pickle", 0))
+        assert mailbox.recv(seq=3, src=1) == "wanted"
+        assert mailbox.recv(seq=7, src=0) == "later"
+
+    def test_terminated_worker_segments_are_reclaimed_best_effort(self):
+        """A hard-killed worker never runs its own teardown; shutdown must
+        best-effort-unlink the worker segments the coordinator attached."""
+        import os
+        import signal
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("segment existence check needs /dev/shm")
+        comm = ProcessComm(2, payload_transport="shm", shm_min_bytes=64)
+        try:
+            # replies route big arrays through the workers' rings, so the
+            # coordinator's cache attaches their segments; in this scenario
+            # those reply slots are the killed worker's *only* segments, so
+            # the best-effort unlink leaves nothing behind at all
+            handle = comm.create_pe_state(counter_state, per_pe_args=[(0,), (0,)])
+            comm.run_per_pe(handle, echo_array, [(np.arange(4096.0),), (np.arange(4096.0),)])
+            attached = list(comm._codec._cache._segments)
+            assert attached
+            os.kill(comm._procs[1].pid, signal.SIGKILL)  # cannot clean up
+            comm._procs[1].join(timeout=5.0)
+        finally:
+            comm.shutdown()
+        assert all(not os.path.exists(os.path.join("/dev/shm", n)) for n in attached)

@@ -1,0 +1,181 @@
+"""Unit tests for the shared-memory payload transport building blocks.
+
+The ring/descriptor/cache trio is exercised in-process here (sender and
+receiver in the same interpreter — shared memory does not care); the
+cross-process behaviour is covered by the transport-parametrized
+``ProcessComm`` tests and the sim/process equivalence suite.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.network.collectives import payload_words
+from repro.network.shm_ring import (
+    DEFAULT_SHM_MIN_BYTES,
+    ShmAttachmentCache,
+    ShmDescriptor,
+    ShmRing,
+    decode_payload,
+    encode_payload,
+)
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing()
+    yield r
+    r.destroy()
+
+
+@pytest.fixture
+def cache():
+    c = ShmAttachmentCache()
+    yield c
+    c.close()
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(os.path.join("/dev/shm", name))
+
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="segment existence check needs /dev/shm"
+)
+
+
+class TestRingRoundTrip:
+    def test_place_resolve_round_trip(self, ring, cache):
+        array = np.arange(5000, dtype=np.float64).reshape(100, 50)
+        descriptor = ring.place(array)
+        out = cache.resolve(descriptor)
+        np.testing.assert_array_equal(out, array)
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+
+    def test_resolved_array_is_an_independent_copy(self, ring, cache):
+        array = np.ones(2048)
+        out = cache.resolve(ring.place(array))
+        out[:] = -1.0
+        np.testing.assert_array_equal(cache.resolve(ring.place(array)), array)
+
+    def test_dtypes_and_shapes_survive(self, ring, cache):
+        for array in (
+            np.arange(3000, dtype=np.int64),
+            np.random.default_rng(0).random((30, 40), dtype=np.float32),
+            np.arange(6000, dtype=np.uint8).reshape(2, 3, 1000),
+        ):
+            out = cache.resolve(ring.place(array))
+            np.testing.assert_array_equal(out, array)
+            assert out.dtype == array.dtype
+
+    def test_non_contiguous_input_is_handled(self, ring, cache):
+        base = np.arange(4000, dtype=np.float64).reshape(40, 100)
+        sliced = base[:, ::2]  # not C-contiguous
+        np.testing.assert_array_equal(cache.resolve(ring.place(sliced)), sliced)
+
+
+class TestSlotLifecycle:
+    def test_slot_reused_after_resolve(self, ring, cache):
+        for _ in range(20):
+            cache.resolve(ring.place(np.zeros(1024)))
+        assert len(ring) == 1  # resolve releases the slot; no growth
+
+    def test_unresolved_descriptors_occupy_distinct_slots(self, ring, cache):
+        descriptors = [ring.place(np.full(512, i, dtype=np.float64)) for i in range(6)]
+        assert len({d.segment for d in descriptors}) == 6
+        for i, descriptor in enumerate(descriptors):
+            np.testing.assert_array_equal(
+                cache.resolve(descriptor), np.full(512, i, dtype=np.float64)
+            )
+
+    @needs_dev_shm
+    def test_slot_grows_for_larger_payloads(self, ring, cache):
+        small = ring.place(np.zeros(16))
+        cache.resolve(small)
+        big_array = np.arange(1 << 17, dtype=np.float64)  # 1 MiB > initial slot
+        big = ring.place(big_array)
+        assert big.segment != small.segment  # segment was recreated larger
+        np.testing.assert_array_equal(cache.resolve(big), big_array)
+        assert not _segment_exists(small.segment)  # old segment unlinked
+
+    @needs_dev_shm
+    def test_destroy_unlinks_all_segments(self):
+        ring = ShmRing()
+        cache = ShmAttachmentCache()
+        names = [ring.place(np.zeros(256 + i)).segment for i in range(3)]
+        assert all(_segment_exists(name) for name in names)
+        ring.destroy()
+        assert all(not _segment_exists(name) for name in names)
+        ring.destroy()  # idempotent
+        cache.close()
+        cache.close()  # idempotent
+
+    def test_place_after_destroy_is_rejected(self):
+        ring = ShmRing()
+        ring.destroy()
+        with pytest.raises(RuntimeError, match="destroyed"):
+            ring.place(np.zeros(8))
+
+
+class TestEncodeDecode:
+    def test_arrays_below_threshold_stay_inline(self, ring):
+        small = np.zeros(4)
+        assert encode_payload(small, ring, min_bytes=1024) is small
+        assert len(ring) == 0
+
+    def test_default_threshold_routes_large_arrays_only(self, ring):
+        large = np.zeros(DEFAULT_SHM_MIN_BYTES // 8)
+        tiny = np.zeros(8)
+        encoded = encode_payload([large, tiny], ring, DEFAULT_SHM_MIN_BYTES)
+        assert isinstance(encoded[0], ShmDescriptor)
+        assert encoded[1] is tiny
+
+    def test_containers_are_walked(self, ring, cache):
+        payload = [
+            (0, np.arange(1000, dtype=np.float64)),
+            (1, {"keys": np.ones(1000), "count": 7}),
+            "passthrough",
+            None,
+        ]
+        encoded = encode_payload(payload, ring, min_bytes=64)
+        assert isinstance(encoded[0][1], ShmDescriptor)
+        assert isinstance(encoded[1][1]["keys"], ShmDescriptor)
+        decoded = decode_payload(encoded, cache)
+        np.testing.assert_array_equal(decoded[0][1], payload[0][1])
+        np.testing.assert_array_equal(decoded[1][1]["keys"], payload[1][1]["keys"])
+        assert decoded[1][1]["count"] == 7
+        assert decoded[2] == "passthrough"
+        assert decoded[3] is None
+
+    def test_container_types_preserved(self, ring, cache):
+        encoded = encode_payload((np.zeros(1000), [np.ones(1000)]), ring, min_bytes=64)
+        assert isinstance(encoded, tuple)
+        assert isinstance(encoded[1], list)
+        decoded = decode_payload(encoded, cache)
+        assert isinstance(decoded, tuple)
+        assert isinstance(decoded[1], list)
+
+    def test_object_arrays_stay_inline(self, ring):
+        objects = np.array([{"a": 1}, {"b": 2}] * 600, dtype=object)
+        assert encode_payload(objects, ring, min_bytes=64) is objects
+
+    def test_structured_arrays_stay_inline(self, ring):
+        """Record dtypes must keep the pickle path: ``dtype.str`` collapses
+        them to an opaque void type, so a descriptor round-trip would drop
+        the field layout and change values."""
+        records = np.zeros(2048, dtype=[("id", "<i8"), ("w", "<f8")])
+        assert records.nbytes >= 64
+        assert encode_payload(records, ring, min_bytes=64) is records
+        assert len(ring) == 0
+
+
+class TestLedgerHonesty:
+    def test_descriptor_reports_array_size_as_words(self, ring):
+        """``payload_words`` must charge the same volume for a descriptor
+        as for the array it stands in for — the ledger stays honest."""
+        array = np.arange(3000, dtype=np.float64).reshape(50, 60)
+        descriptor = ring.place(array)
+        assert payload_words(descriptor) == payload_words(array) == array.size
+        assert descriptor.nbytes == array.nbytes

@@ -1,0 +1,88 @@
+"""Stress test: shard resizes racing an in-flight background prefetch.
+
+The async pipeline dispatches :func:`~repro.core.pe_kernels.prefetch_stream_kernel`
+(and the relaxed prepare kernels) to worker background threads while the
+worker main loop keeps serving commands — including
+:func:`~repro.core.pe_kernels.set_batch_size_kernel` from the autotuner.
+An unguarded resize would mutate ``_batch_size``/``_emitted`` while
+``_generate`` is mid-flight, corrupting the interleaved id bookkeeping
+(duplicate or skipped ids).  The shard's internal lock must serialise the
+two; the pipeline engines additionally enforce join-before-resize.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.pipeline.engine import UnboundedPipelineEngine
+from repro.stream.shard import StreamShardSpec, WorkerStreamShard
+
+
+class TestShardResizeRace:
+    def _hammer(self, *, rounds=200, sizes=(1, 3, 7, 16, 64)):
+        """Generate batches in a background thread while resizing from the
+        main thread; returns all emitted ids."""
+        shard = WorkerStreamShard(StreamShardSpec(p=2, pe=1, batch_size=4, variable=True))
+        collected = []
+        errors = []
+        done = threading.Event()
+
+        def producer():
+            try:
+                for _ in range(rounds):
+                    shard.prefetch()
+                    collected.append(shard.next_batch().ids)
+            except BaseException as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        i = 0
+        while not done.is_set():
+            shard.set_batch_size(sizes[i % len(sizes)])
+            i += 1
+        thread.join()
+        assert not errors, errors
+        return np.concatenate(collected)
+
+    def test_ids_stay_unique_and_well_formed_under_racing_resizes(self):
+        ids = self._hammer()
+        assert ids.size == np.unique(ids).size, "resize race produced duplicate ids"
+        # PE-interleaved layout: every id of pe=1 in a p=2 stream is odd
+        assert np.all(ids % 2 == 1)
+        # ids are emitted in increasing order for one PE
+        assert np.all(np.diff(ids) > 0)
+
+    def test_resize_between_prefetch_and_consume_keeps_prefetched_size(self):
+        shard = WorkerStreamShard(StreamShardSpec(p=1, pe=0, batch_size=5, variable=True))
+        shard.prefetch()
+        shard.set_batch_size(11)
+        assert len(shard.next_batch()) == 5  # already-generated batch is kept
+        assert len(shard.next_batch()) == 11
+
+    def test_fixed_shard_still_rejects_resize(self):
+        shard = WorkerStreamShard(StreamShardSpec(p=1, pe=0, batch_size=5))
+        with pytest.raises(ValueError, match="variable=True"):
+            shard.set_batch_size(6)
+
+
+class TestEngineResizeInvariant:
+    def test_apply_resize_with_pending_prepare_is_refused(self):
+        """The engine half of the guard: a deferred resize must never be
+        dispatched while a prepare is in flight."""
+
+        class _Sampler:
+            _has_worker_stream = True
+            comm = None
+            _handle = None
+
+        engine = UnboundedPipelineEngine.__new__(UnboundedPipelineEngine)
+        engine.sampler = _Sampler()
+        engine._pending = object()  # simulate an in-flight prepare
+        engine._requested_batch_size = 32
+        engine._rounds = 0
+        with pytest.raises(RuntimeError, match="prepare is in flight"):
+            engine._apply_batch_size_change()

@@ -114,9 +114,13 @@ class TestRunMetrics:
         assert run.throughput_total() == pytest.approx(200 / 3.2)
         assert run.throughput_per_pe() == pytest.approx(200 / 3.2 / 4)
 
-    def test_empty_run_throughput_is_infinite(self):
+    def test_empty_run_throughput_is_zero(self):
+        # 0.0, not inf: every benchmark serialises as_dict() with
+        # json.dumps, and inf would emit the spec-invalid Infinity token
         run = RunMetrics(p=1, k=1, algorithm="x")
-        assert run.throughput_total() == float("inf")
+        assert run.throughput_total() == 0.0
+        assert run.throughput_per_pe() == 0.0
+        assert run.wall_throughput_total() == 0.0
 
     def test_phase_times_and_fractions(self):
         run = self.make_run(2)
@@ -154,3 +158,28 @@ class TestRunMetrics:
             "gather",
             "overlap",
         )
+
+
+class TestBenchmarkJsonSafety:
+    """Every benchmark writes ``as_dict()`` via ``json.dumps``; the payload
+    must stay strictly valid JSON (no ``Infinity``/``NaN`` tokens) even for
+    zero-round or zero-time runs."""
+
+    def test_empty_run_as_dict_round_trips_with_allow_nan_false(self):
+        import json
+
+        run = RunMetrics(p=4, k=10, algorithm="ours")
+        payload = run.as_dict()
+        restored = json.loads(json.dumps(payload, allow_nan=False))
+        assert restored["throughput_per_pe"] == 0.0
+        assert restored["wall_throughput_total"] == 0.0
+
+    def test_populated_run_as_dict_round_trips_with_allow_nan_false(self):
+        import json
+
+        run = RunMetrics(p=2, k=5, algorithm="ours", wall_time=1.5)
+        run.add_round(make_round(0))
+        restored = json.loads(json.dumps(run.as_dict(), allow_nan=False))
+        assert restored["rounds"] == 1
+        assert restored["throughput_per_pe"] > 0.0
+        assert restored["wall_throughput_total"] > 0.0

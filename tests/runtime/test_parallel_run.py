@@ -81,9 +81,11 @@ class TestParallelStreamingRun:
 
 
 class TestWallClockMetrics:
-    def test_wall_throughput_without_wall_time_is_infinite(self):
+    def test_wall_throughput_without_wall_time_is_zero(self):
+        # 0.0, not inf — inf would serialise as the invalid JSON token
+        # Infinity in every benchmark's as_dict() output
         metrics = RunMetrics(p=2, k=5, algorithm="ours")
-        assert metrics.wall_throughput_total() == float("inf")
+        assert metrics.wall_throughput_total() == 0.0
 
     def test_as_dict_contains_wall_fields(self):
         metrics = RunMetrics(p=2, k=5, algorithm="ours", comm_backend="process", wall_time=2.0)
