@@ -1,0 +1,296 @@
+"""Compiled-tier microbenchmark: numba kernels vs. the numpy reference tier.
+
+Measures the kernels the ``kernel_tier="jit"`` path replaces — the
+exponential-jump traversal (weighted), the geometric-jump traversal
+(uniform), the sorted-store merge ingest and the rank-select gather — under
+both tiers, asserts the outputs are **byte-identical**, and gates on the
+compiled tier's speedup.
+
+Gates (enforced only where numba is installed):
+
+* **speedup** — the geometric mean of the weighted-jump, uniform-jump and
+  merge-ingest speedups must reach ``MIN_JIT_SPEEDUP`` (3x).  The
+  workloads are sized so the interpreter overhead the compiled tier
+  eliminates dominates (hundreds of sub-threshold insertions per batch);
+  the rank-select speedup is reported informationally only — it is too
+  small a kernel to gate on reliably.
+* **identity** — every kernel pair must produce bitwise-equal outputs for
+  the same seed; any divergence fails the run regardless of speed.
+* **regression** — the compiled-tier throughputs must not drop by more
+  than ``--max-regression`` (default 2x) below the conservative baseline
+  in ``benchmarks/baselines/bench_jit_baseline.json`` (refresh with
+  ``--update-baseline`` after an intentional change).
+
+Without numba the run records a skip (``{"skipped": true, ...}`` in the
+output JSON) and exits 0, mirroring the core-count-gated skips of
+``bench_parallel_scaling.py`` — single-interpreter CI legs still produce
+an artifact documenting *why* nothing was measured.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_jit.py --output BENCH_jit.json
+    PYTHONPATH=src python benchmarks/bench_jit.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+from baseline_gate import best_of, compare_to_baseline, load_baseline, write_conservative_baseline
+
+from repro.core import jit_kernels
+from repro.core import keys as keymod
+from repro.core.store import MergeStore
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_jit_baseline.json"
+
+#: batch sizes chosen so the per-insertion interpreter overhead dominates
+#: the numpy tier: ~500 sub-threshold insertions per 50k-item batch
+BATCH = 50_000
+WEIGHTED_THRESHOLD = 0.002  # E[insertions] ~ T * total_weight ~ 500
+UNIFORM_THRESHOLD = 0.01  # E[insertions] = T * BATCH = 500
+MERGE_CAPACITY = 2_048
+MERGE_BATCH = 256
+MERGE_ROUNDS = 40
+SELECT_RESERVOIR = 10_000
+SELECT_RANKS = 256
+
+#: acceptance gate: geometric mean of the three loop-kernel speedups
+MIN_JIT_SPEEDUP = 3.0
+
+
+def _weights():
+    return np.random.default_rng(0).uniform(0.1, 10.0, size=BATCH)
+
+
+def bench_weighted_jump() -> dict:
+    weights = _weights()
+    numpy_s = best_of(
+        lambda: keymod.weighted_jump_positions(weights, WEIGHTED_THRESHOLD, np.random.default_rng(1))
+    )
+    jit_s = best_of(
+        lambda: jit_kernels.weighted_jump_positions_jit(
+            weights, WEIGHTED_THRESHOLD, np.random.default_rng(1)
+        )
+    )
+    idx_np, keys_np = keymod.weighted_jump_positions(
+        weights, WEIGHTED_THRESHOLD, np.random.default_rng(2)
+    )
+    idx_jit, keys_jit = jit_kernels.weighted_jump_positions_jit(
+        weights, WEIGHTED_THRESHOLD, np.random.default_rng(2)
+    )
+    return {
+        "numpy_weighted_jump_items_per_s": BATCH / numpy_s,
+        "jit_weighted_jump_items_per_s": BATCH / jit_s,
+        "weighted_jump_speedup": numpy_s / jit_s,
+        "_identical": bool(
+            np.array_equal(idx_np, idx_jit) and np.array_equal(keys_np, keys_jit)
+        ),
+        "_insertions": int(idx_np.shape[0]),
+    }
+
+
+def bench_uniform_jump() -> dict:
+    numpy_s = best_of(
+        lambda: keymod.uniform_jump_positions(BATCH, UNIFORM_THRESHOLD, np.random.default_rng(3))
+    )
+    jit_s = best_of(
+        lambda: jit_kernels.uniform_jump_positions_jit(
+            BATCH, UNIFORM_THRESHOLD, np.random.default_rng(3)
+        )
+    )
+    idx_np, keys_np = keymod.uniform_jump_positions(
+        BATCH, UNIFORM_THRESHOLD, np.random.default_rng(4)
+    )
+    idx_jit, keys_jit = jit_kernels.uniform_jump_positions_jit(
+        BATCH, UNIFORM_THRESHOLD, np.random.default_rng(4)
+    )
+    return {
+        "numpy_uniform_jump_items_per_s": BATCH / numpy_s,
+        "jit_uniform_jump_items_per_s": BATCH / jit_s,
+        "uniform_jump_speedup": numpy_s / jit_s,
+        "_identical": bool(
+            np.array_equal(idx_np, idx_jit) and np.array_equal(keys_np, keys_jit)
+        ),
+        "_insertions": int(idx_np.shape[0]),
+    }
+
+
+def _merge_workload():
+    rng = np.random.default_rng(5)
+    return [
+        (rng.random(MERGE_BATCH), np.arange(i * MERGE_BATCH, (i + 1) * MERGE_BATCH))
+        for i in range(MERGE_ROUNDS)
+    ]
+
+
+def _merge_run(tier: str, batches) -> MergeStore:
+    store = MergeStore(kernel_tier=tier)
+    for keys, ids in batches:
+        store.insert_batch(keys, ids, capacity=MERGE_CAPACITY)
+    return store
+
+
+def bench_merge_ingest() -> dict:
+    batches = _merge_workload()
+    total = MERGE_ROUNDS * MERGE_BATCH
+    numpy_s = best_of(lambda: _merge_run("numpy", batches), repeats=3)
+    jit_s = best_of(lambda: _merge_run("jit", batches), repeats=3)
+    ref, compiled = _merge_run("numpy", batches), _merge_run("jit", batches)
+    return {
+        "numpy_merge_ingest_items_per_s": total / numpy_s,
+        "jit_merge_ingest_items_per_s": total / jit_s,
+        "merge_ingest_speedup": numpy_s / jit_s,
+        "_identical": bool(
+            np.array_equal(ref.keys_array(), compiled.keys_array())
+            and np.array_equal(ref.ids_array(), compiled.ids_array())
+        ),
+    }
+
+
+def bench_rank_select() -> dict:
+    """Informational: the 1-based rank gather of the selection phase."""
+    keys = np.sort(np.random.default_rng(6).random(SELECT_RESERVOIR))
+    ranks = np.random.default_rng(7).integers(1, SELECT_RESERVOIR + 1, size=SELECT_RANKS)
+    numpy_s = best_of(lambda: keys[np.asarray(ranks, dtype=np.int64) - 1], repeats=7)
+    jit_s = best_of(lambda: jit_kernels.take_ranks_jit(keys, ranks), repeats=7)
+    return {
+        "rank_select_speedup": numpy_s / jit_s,
+        "_identical": bool(
+            np.array_equal(keys[ranks - 1], jit_kernels.take_ranks_jit(keys, ranks))
+        ),
+    }
+
+
+def run_suite() -> dict:
+    # trigger the one-off numba compilation outside the timed region
+    jit_kernels.weighted_jump_positions_jit(np.ones(8), 0.5, np.random.default_rng(0))
+    jit_kernels.uniform_jump_positions_jit(8, 0.5, np.random.default_rng(0))
+    jit_kernels.merge_sorted_jit(
+        np.array([0.5]), np.array([1], dtype=np.int64), np.array([0.6]), np.array([2], dtype=np.int64)
+    )
+    jit_kernels.take_ranks_jit(np.array([0.5]), np.array([1], dtype=np.int64))
+
+    results = {
+        "skipped": False,
+        "kernel_tier": "jit",
+        "batch": BATCH,
+        "weighted_threshold": WEIGHTED_THRESHOLD,
+        "uniform_threshold": UNIFORM_THRESHOLD,
+    }
+    identical = True
+    for part in (bench_weighted_jump(), bench_uniform_jump(), bench_merge_ingest(), bench_rank_select()):
+        identical = identical and part.pop("_identical")
+        part.pop("_insertions", None)
+        results.update(part)
+    results["outputs_identical_across_tiers"] = identical
+    results["gate_speedup_geomean"] = float(
+        math.exp(
+            sum(
+                math.log(results[name])
+                for name in (
+                    "weighted_jump_speedup",
+                    "uniform_jump_speedup",
+                    "merge_ingest_speedup",
+                )
+            )
+            / 3.0
+        )
+    )
+    return results
+
+
+def evaluate_gate(results: dict, *, baseline: Path, max_regression: float) -> list:
+    failures = []
+    if not results["outputs_identical_across_tiers"]:
+        failures.append("compiled kernels produced different outputs than the numpy tier")
+    geomean = results["gate_speedup_geomean"]
+    if geomean < MIN_JIT_SPEEDUP:
+        failures.append(
+            f"jit speedup geomean {geomean:.2f}x is below the required {MIN_JIT_SPEEDUP:g}x "
+            f"(weighted {results['weighted_jump_speedup']:.2f}x, "
+            f"uniform {results['uniform_jump_speedup']:.2f}x, "
+            f"merge {results['merge_ingest_speedup']:.2f}x)"
+        )
+    if not baseline.exists():
+        failures.append(f"no baseline at {baseline}; record one with --update-baseline")
+    else:
+        failures.extend(
+            compare_to_baseline(
+                results,
+                load_baseline(baseline),
+                max_regression,
+                skip=[name for name in load_baseline(baseline) if name.endswith("speedup")],
+            )
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_jit.json"))
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured jit throughputs (halved, conservative) as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if not jit_kernels.numba_available():
+        # skip-record, same convention as the core-count-gated speedup gates
+        results = {
+            "skipped": True,
+            "kernel_tier": "numpy",
+            "reason": (
+                "numba not installed — the compiled tier cannot be measured here "
+                f"(import failed with: {jit_kernels.NUMBA_IMPORT_ERROR})"
+            ),
+        }
+        args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        print(f"jit benchmark skipped: {results['reason']}")
+        print(f"wrote {args.output}")
+        return 0
+
+    results = run_suite()
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
+    print(f"wrote {args.output}")
+    for name in sorted(results):
+        if name.endswith("_items_per_s"):
+            print(f"  {name:42s} {results[name]:>14,.0f} items/s")
+        elif name.endswith("speedup") or name.endswith("geomean"):
+            print(f"  {name:42s} {results[name]:>14.2f}x")
+
+    if args.update_baseline:
+        write_conservative_baseline(
+            args.baseline,
+            {
+                name: results[name]
+                for name in results
+                if name.startswith("jit_") and name.endswith("_items_per_s")
+            },
+        )
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    failures = evaluate_gate(results, baseline=args.baseline, max_regression=args.max_regression)
+    if failures:
+        print("\nJIT KERNEL GATE FAILED:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(
+        f"\njit tier ok: speedup geomean {results['gate_speedup_geomean']:.2f}x >= "
+        f"{MIN_JIT_SPEEDUP:g}x, outputs byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

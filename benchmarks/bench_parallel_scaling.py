@@ -90,6 +90,7 @@ def run_backend(
     return {
         "comm": comm,
         "p": p,
+        "kernel_tier": metrics.kernel_tier,
         "rounds": metrics.num_rounds,
         "batch_size": BATCH_SIZE,
         "total_items": metrics.total_items,

@@ -103,6 +103,9 @@ def bench_full_round() -> float:
 
 def run_suite() -> dict:
     results = {
+        # this suite measures the reference tier; bench_jit.py measures the
+        # compiled one.  Recorded so artifacts are self-describing.
+        "kernel_tier": "numpy",
         "key_generation_items_per_s": bench_key_generation(),
         "weighted_jump_kernel_items_per_s": bench_weighted_jump_kernel(),
         "full_round_items_per_s": bench_full_round(),
@@ -143,6 +146,8 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
     print(f"wrote {args.output}")
     for name, value in sorted(results.items()):
+        if not isinstance(value, float):
+            continue
         unit = "x" if name.endswith("speedup") else " items/s"
         print(f"  {name:40s} {value:>14,.1f}{unit}")
 

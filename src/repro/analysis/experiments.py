@@ -85,6 +85,9 @@ class ScalingConfig:
     weighted: bool = True
     #: reservoir store backend ("merge" vectorized default, "btree" paper)
     store: str = "merge"
+    #: kernel tier the samplers run ("numpy", "jit" or "auto"; the tier
+    #: changes wall-clock speed only — never the sample or simulated times)
+    kernel_tier: str = "numpy"
     #: base seed; every cell derives its own deterministic seed from it
     seed: int = 0
 
@@ -295,6 +298,7 @@ def run_configuration(
     weighted: bool = True,
     weights: Optional[WeightGenerator] = None,
     store: str = "merge",
+    kernel_tier: str = "numpy",
     seed: int = 0,
 ) -> RunMetrics:
     """Run one (algorithm, p, k, batch size) cell and return its metrics."""
@@ -304,7 +308,14 @@ def run_configuration(
     machine = machine if machine is not None else MachineSpec.forhlr_like()
     comm = SimComm(p, cost=machine.comm)
     sampler = make_distributed_sampler(
-        algorithm, k, comm, machine=machine, weighted=weighted, store=store, seed=seed
+        algorithm,
+        k,
+        comm,
+        machine=machine,
+        weighted=weighted,
+        store=store,
+        seed=seed,
+        kernel_tier=kernel_tier,
     )
     weight_gen = weights if weights is not None else UniformWeightGenerator(0.0, 100.0)
     if prewarm_items and prewarm_items > 10 * k:
@@ -355,6 +366,7 @@ def run_weak_scaling(
                         machine=config.machine_spec(),
                         weighted=config.weighted,
                         store=config.store,
+                        kernel_tier=config.kernel_tier,
                         seed=config.cell_seed(algorithm, k, batch, nodes),
                     )
                     result.add(algorithm, k, batch, nodes, metrics)
@@ -391,6 +403,7 @@ def run_strong_scaling(
                         machine=config.machine_spec(),
                         weighted=config.weighted,
                         store=config.store,
+                        kernel_tier=config.kernel_tier,
                         seed=config.cell_seed(algorithm, k, total, nodes),
                     )
                     result.add(algorithm, k, total, nodes, metrics)

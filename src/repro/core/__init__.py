@@ -5,6 +5,8 @@ is compared against:
 
 * :mod:`~repro.core.keys` — exponential/uniform keys, exponential and
   geometric jumps (skip values),
+* :mod:`~repro.core.jit_kernels` — the optional numba-compiled kernel tier
+  (gated import; ``kernel_tier="numpy"|"jit"|"auto"`` across the API),
 * :mod:`~repro.core.sequential` — sequential weighted/uniform reservoir
   samplers (building blocks and baselines),
 * :mod:`~repro.core.store` — the pluggable :class:`ReservoirStore` backends
@@ -31,6 +33,12 @@ from repro.core.distributed import (
     DistributedUniformReservoirSampler,
     DistributedWeightedReservoirSampler,
     ReservoirKeySet,
+)
+from repro.core.jit_kernels import (
+    KERNEL_TIERS,
+    normalize_kernel_tier,
+    numba_available,
+    resolve_kernel_tier,
 )
 from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy, SortedArrayStore
 from repro.core.store import (
@@ -67,6 +75,10 @@ __all__ = [
     "BTreeStore",
     "STORE_BACKENDS",
     "make_store",
+    "KERNEL_TIERS",
+    "normalize_kernel_tier",
+    "resolve_kernel_tier",
+    "numba_available",
     "SequentialWeightedReservoir",
     "SequentialUniformReservoir",
     "dense_weighted_sample",

@@ -106,6 +106,10 @@ class ReservoirSampler:
     classic per-item jump algorithm; ``"merge"`` or ``"btree"`` switch to
     the vectorized mini-batch path over a pluggable reservoir store.
 
+    ``kernel_tier`` selects the hot-loop implementation (``"numpy"``,
+    ``"jit"`` or ``"auto"``, see :mod:`repro.core.jit_kernels`); it only
+    has an effect on store-backed paths and never changes the sample.
+
     ``window`` and ``decay`` switch to the recency-weighted samplers of
     :mod:`repro.window` (mutually exclusive):
 
@@ -126,11 +130,15 @@ class ReservoirSampler:
         store: Optional[str] = None,
         window: Optional[int] = None,
         decay: Optional[float] = None,
+        kernel_tier: str = "numpy",
     ) -> None:
+        from repro.core.jit_kernels import resolve_kernel_tier
+
         self.k = check_positive_int(k, "k")
         self.weighted = bool(weighted)
         self.window = window
         self.decay = decay
+        self.kernel_tier = resolve_kernel_tier(kernel_tier)
         if window is not None and decay is not None:
             raise ValueError("window= and decay= are mutually exclusive")
         if window is not None:
@@ -141,14 +149,15 @@ class ReservoirSampler:
         elif decay is not None:
             self.store = normalize_store_name(store) if store is not None else "merge"
             self._impl = DecayedReservoir(
-                k, decay, weighted=weighted, seed=seed, store=self.store
+                k, decay, weighted=weighted, seed=seed, store=self.store,
+                kernel_tier=self.kernel_tier,
             )
         else:
             self.store = normalize_store_name(store) if store is not None else None
             self._impl = (
-                SequentialWeightedReservoir(k, seed, store=store)
+                SequentialWeightedReservoir(k, seed, store=store, kernel_tier=self.kernel_tier)
                 if weighted
-                else SequentialUniformReservoir(k, seed, store=store)
+                else SequentialUniformReservoir(k, seed, store=store, kernel_tier=self.kernel_tier)
             )
 
     @property
@@ -217,6 +226,7 @@ def make_distributed_sampler(
     local_thresholding: bool = True,
     window: Optional[int] = None,
     decay: Optional[float] = None,
+    kernel_tier: str = "numpy",
 ) -> Union[DistributedReservoirSampler, CentralizedGatherSampler, DistributedWindowSampler]:
     """Create a distributed sampler by its paper name.
 
@@ -245,12 +255,19 @@ def make_distributed_sampler(
     the sample boundary each round, and ``store`` does not apply — each PE
     keeps a window candidate buffer instead of a pruned reservoir.
     ``decay`` is not supported for distributed samplers yet.
+
+    ``kernel_tier`` (``"numpy"``, ``"jit"`` or ``"auto"``) picks the
+    hot-loop implementation the PEs run — see
+    :mod:`repro.core.jit_kernels`.  The tier never changes the sample.
     """
+    from repro.core.jit_kernels import resolve_kernel_tier
+
     name = algorithm.strip().lower()
     store = backend if backend is not None else store
-    # validate the windowed-mode argument combinations *before* resolving
-    # the communicator, so an invalid call never spawns (and then leaks)
-    # multiprocess workers
+    # validate the argument combinations *before* resolving the
+    # communicator, so an invalid call (including kernel_tier="jit"
+    # without numba installed) never spawns and then leaks workers
+    kernel_tier = resolve_kernel_tier(kernel_tier)
     if decay is not None:
         raise ValueError("decay= is not supported for distributed samplers yet")
     if window is not None:
@@ -284,9 +301,10 @@ def make_distributed_sampler(
             machine=machine,
             weighted=weighted,
             seed=seed,
+            kernel_tier=kernel_tier,
         )
     comm = _resolve_comm(comm, p, machine)
-    common = dict(machine=machine, weighted=weighted, seed=seed)
+    common = dict(machine=machine, weighted=weighted, seed=seed, kernel_tier=kernel_tier)
     if name == "gather":
         return CentralizedGatherSampler(k, comm, store=store, **common)
     if name in ("ours-variable", "variable"):
@@ -352,6 +370,12 @@ class DistributedSamplingRun:
         ``max(prepare, select)`` round cost on the simulator.  Both the
         unbounded and the windowed samplers support it; the centralized
         ``"gather"`` baseline does not.
+    kernel_tier:
+        Hot-loop implementation the PEs run (``"numpy"``, ``"jit"`` or
+        ``"auto"``, see :mod:`repro.core.jit_kernels`).  The resolved tier
+        is recorded in :attr:`metrics` (``RunMetrics.kernel_tier``).
+        Ignored when a constructed sampler object is passed — the sampler
+        already carries its tier.
     comm_kwargs:
         Extra keyword arguments forwarded to the backend constructor when
         ``comm`` is a name — e.g. ``payload_transport="shm"`` /
@@ -375,6 +399,7 @@ class DistributedSamplingRun:
         comm: CommLike = "sim",
         window: Optional[int] = None,
         pipeline: str = "off",
+        kernel_tier: str = "numpy",
         **comm_kwargs,
     ) -> None:
         # imported lazily: repro.pipeline itself imports from repro.core
@@ -406,6 +431,7 @@ class DistributedSamplingRun:
                     store=store,
                     seed=seed,
                     window=window,
+                    kernel_tier=kernel_tier,
                 )
             except BaseException:
                 # don't leak the workers we just spawned on invalid arguments
@@ -449,6 +475,7 @@ class DistributedSamplingRun:
             algorithm=self.algorithm,
             store=getattr(self.sampler, "store", ""),
             comm_backend=getattr(self.sampler.comm, "kind", ""),
+            kernel_tier=str(getattr(self.sampler, "kernel_tier", "")),
         )
 
     # ------------------------------------------------------------------

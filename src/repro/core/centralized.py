@@ -62,21 +62,29 @@ class CentralizedGatherSampler:
         root: int = 0,
         store: str = "merge",
         seed: Optional[int] = 0,
+        kernel_tier: str = "numpy",
     ) -> None:
+        import functools
+
+        from repro.core.jit_kernels import resolve_kernel_tier
+
         self.k = check_positive_int(k, "k")
         self.comm = comm
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         self.weighted = bool(weighted)
         self.root = comm.topology.validate_rank(root)
         self.store = normalize_store_name(store)
+        # resolved before worker creation: "jit" without numba fails here
+        self.kernel_tier = resolve_kernel_tier(kernel_tier)
         seed_seqs = spawn_seed_sequences(seed, comm.p)
         self._handle = comm.create_pe_state(
-            pe_kernels.make_centralized_state, per_pe_args=[(ss,) for ss in seed_seqs]
+            functools.partial(pe_kernels.make_centralized_state, kernel_tier=self.kernel_tier),
+            per_pe_args=[(ss,) for ss in seed_seqs],
         )
         self._has_worker_stream = False
         # Reservoir at the root, behind the pluggable store protocol (the
         # merge store reproduces the historic plain-sorted-array behaviour).
-        self._reservoir: ReservoirStore = make_store(self.store)
+        self._reservoir: ReservoirStore = make_store(self.store, kernel_tier=self.kernel_tier)
         self.threshold: Optional[float] = None
         self._items_seen = 0
         self._total_weight = 0.0

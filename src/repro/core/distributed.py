@@ -247,6 +247,11 @@ class DistributedReservoirSampler:
         Enable the Section-5 first-batch local-thresholding optimisation.
     seed:
         Seed from which the per-PE random streams are derived.
+    kernel_tier:
+        ``"numpy"`` (default), ``"jit"`` or ``"auto"`` — which
+        implementation of the jump/merge hot loops the PEs run (see
+        :mod:`repro.core.jit_kernels`).  Resolved here, before any worker
+        process is created; samples are byte-identical across tiers.
     """
 
     algorithm_name = "ours"
@@ -264,7 +269,10 @@ class DistributedReservoirSampler:
         order: int = 16,
         local_thresholding: bool = True,
         seed: Optional[int] = 0,
+        kernel_tier: str = "numpy",
     ) -> None:
+        from repro.core.jit_kernels import resolve_kernel_tier
+
         self.k = check_positive_int(k, "k")
         self.comm = comm
         self.selection = selection if selection is not None else SinglePivotSelection()
@@ -273,10 +281,18 @@ class DistributedReservoirSampler:
         self.store = normalize_store_name(backend if backend is not None else store)
         self.backend = self.store  # deprecated alias
         self.local_thresholding = bool(local_thresholding)
+        # resolved before worker creation: "jit" without numba fails here
+        self.kernel_tier = resolve_kernel_tier(kernel_tier)
         self._policy = LocalThresholdPolicy(self.k)
         seed_seqs = spawn_seed_sequences(seed, comm.p)
         self._handle = comm.create_pe_state(
-            functools.partial(pe_kernels.make_pe_state, k=self.k, store=self.store, order=order),
+            functools.partial(
+                pe_kernels.make_pe_state,
+                k=self.k,
+                store=self.store,
+                order=order,
+                kernel_tier=self.kernel_tier,
+            ),
             per_pe_args=[(ss,) for ss in seed_seqs],
         )
         self._has_worker_stream = False

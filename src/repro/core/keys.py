@@ -45,6 +45,8 @@ __all__ = [
     "weighted_key_below_threshold",
     "geometric_skip",
     "uniform_key_below_threshold",
+    "check_jump_arguments",
+    "check_uniform_jump_arguments",
     "weighted_jump_positions",
     "uniform_jump_positions",
     "dense_weighted_candidates",
@@ -130,6 +132,27 @@ def uniform_key_below_threshold(threshold: float, rng=None) -> float:
 # ---------------------------------------------------------------------------
 # vectorised batch kernels (mini-batch processing with a fixed threshold)
 # ---------------------------------------------------------------------------
+def check_jump_arguments(weights: np.ndarray, threshold: float) -> np.ndarray:
+    """Validate (weights, threshold) of a weighted jump traversal.
+
+    Shared by the numpy reference kernel and the compiled tier
+    (:mod:`repro.core.jit_kernels`), so both reject bad input identically.
+    Returns the validated weights array.
+    """
+    weights = check_weights(weights)
+    check_positive(threshold, "threshold")
+    return weights
+
+
+def check_uniform_jump_arguments(count: int, threshold: float) -> int:
+    """Validate (count, threshold) of a uniform (geometric) jump traversal."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"uniform threshold must lie in (0, 1], got {threshold}")
+    return int(count)
+
+
 def weighted_jump_positions(
     weights: np.ndarray, threshold: float, rng=None
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -142,8 +165,7 @@ def weighted_jump_positions(
     the whole batch scan at ``O(b)`` vectorised work plus
     ``O(#insertions * log b)``.
     """
-    weights = check_weights(weights)
-    check_positive(threshold, "threshold")
+    weights = check_jump_arguments(weights, threshold)
     rng = ensure_generator(rng)
     n = weights.shape[0]
     if n == 0:
@@ -182,10 +204,7 @@ def uniform_jump_positions(
     constant-time operation per accepted item, which is why the uniform
     sampler's local time does not depend on the batch size (Corollary 4).
     """
-    if count < 0:
-        raise ValueError("count must be non-negative")
-    if not 0.0 < threshold <= 1.0:
-        raise ValueError(f"uniform threshold must lie in (0, 1], got {threshold}")
+    count = check_uniform_jump_arguments(count, threshold)
     rng = ensure_generator(rng)
     indices = []
     keys = []

@@ -59,11 +59,18 @@ class LocalReservoir:
         of ``"merge"``).
     order:
         Fan-out of the B+ tree backend (ignored by the merge store).
+    kernel_tier:
+        ``"numpy"`` (default), ``"jit"`` or ``"auto"`` — the merge store's
+        batch-merge implementation (see :mod:`repro.core.jit_kernels`).
     """
 
-    def __init__(self, backend: str = "merge", *, order: int = 16) -> None:
+    def __init__(
+        self, backend: str = "merge", *, order: int = 16, kernel_tier: str = "numpy"
+    ) -> None:
         self.backend = normalize_store_name(backend)
-        self._store: ReservoirStore = make_store(self.backend, order=order)
+        self._store: ReservoirStore = make_store(
+            self.backend, order=order, kernel_tier=kernel_tier
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -14,6 +14,13 @@ them (by reference — everything here is module-level) to its worker
 processes.  This is what guarantees byte-identical samples across
 backends.
 
+The hot kernels additionally dispatch on the state's **kernel tier**
+(``state["kernel_tier"]``, resolved to ``"numpy"`` or ``"jit"`` at sampler
+construction): the ``"jit"`` tier runs the numba-compiled jump/merge loops
+of :mod:`repro.core.jit_kernels`, which consume the per-PE random streams
+identically to the numpy reference — so samples are byte-identical across
+tiers as well, not just across backends.
+
 Every kernel takes the state dict as its first argument and only
 picklable values otherwise, and returns only picklable values.
 """
@@ -25,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import jit_kernels
 from repro.core import keys as keymod
 from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy
 from repro.stream.shard import StreamShardSpec, WorkerStreamShard
@@ -76,6 +84,7 @@ def make_pe_state(
     k: int,
     store: str = "merge",
     order: int = 16,
+    kernel_tier: str = "numpy",
 ) -> Dict[str, object]:
     """PE state of the distributed sampler: local reservoir + random stream.
 
@@ -87,29 +96,45 @@ def make_pe_state(
     thread, so the draws neither race with nor reorder the main ``"rng"``
     stream that the selection pivot proposals consume.  (Spawning a child
     does not perturb the parent-derived ``"rng"`` stream.)
+
+    ``kernel_tier`` arrives already resolved (``"numpy"`` or ``"jit"``) —
+    the sampler resolves ``"auto"`` before any worker is created, so a
+    missing numba can never fail inside a worker process.
     """
+    tier = jit_kernels.resolve_kernel_tier(kernel_tier)
     return {
         "pe": int(pe),
         "rng": np.random.default_rng(seed_seq),
         "gen_rng": np.random.default_rng(seed_seq.spawn(1)[0]),
-        "reservoir": LocalReservoir(backend=store, order=order),
+        "reservoir": LocalReservoir(backend=store, order=order, kernel_tier=tier),
         "k": int(k),
         "policy": LocalThresholdPolicy(int(k)),
+        "kernel_tier": tier,
         "stream": None,
         "prepared": None,
     }
 
 
-def make_centralized_state(pe: int, seed_seq: np.random.SeedSequence) -> Dict[str, object]:
+def make_centralized_state(
+    pe: int, seed_seq: np.random.SeedSequence, *, kernel_tier: str = "numpy"
+) -> Dict[str, object]:
     """PE state of the centralized baseline: only the random stream.
 
     The reservoir of the centralized algorithm lives at the root
-    (coordinator side); the PEs only filter their local batches.
+    (coordinator side); the PEs only filter their local batches (under the
+    resolved ``kernel_tier``'s jump kernels once a threshold exists).
     """
-    return {"pe": int(pe), "rng": np.random.default_rng(seed_seq), "stream": None}
+    return {
+        "pe": int(pe),
+        "rng": np.random.default_rng(seed_seq),
+        "kernel_tier": jit_kernels.resolve_kernel_tier(kernel_tier),
+        "stream": None,
+    }
 
 
-def make_window_pe_state(pe: int, seed_seq: np.random.SeedSequence, *, k: int) -> Dict[str, object]:
+def make_window_pe_state(
+    pe: int, seed_seq: np.random.SeedSequence, *, k: int, kernel_tier: str = "numpy"
+) -> Dict[str, object]:
     """PE state of the distributed sliding-window sampler.
 
     The ``"reservoir"`` slot holds a
@@ -117,6 +142,10 @@ def make_window_pe_state(pe: int, seed_seq: np.random.SeedSequence, *, k: int) -
     same rank/select queries as a :class:`LocalReservoir` — so the generic
     query and pivot-proposal kernels above (and through them the whole
     selection stack) operate on windowed state unchanged.
+
+    Windowed ingestion always generates dense keys (no insertion threshold
+    exists), which stay on numpy ufuncs in every tier; the resolved
+    ``kernel_tier`` is recorded for the run metrics.
     """
     # Imported here, not at module top: repro.window itself imports this
     # module (for the distributed sampler), and the state factory only runs
@@ -129,6 +158,7 @@ def make_window_pe_state(pe: int, seed_seq: np.random.SeedSequence, *, k: int) -
         "gen_rng": np.random.default_rng(seed_seq.spawn(1)[0]),
         "reservoir": SlidingWindowBuffer(int(k)),
         "k": int(k),
+        "kernel_tier": jit_kernels.resolve_kernel_tier(kernel_tier),
         "stream": None,
         "prepared": None,
     }
@@ -174,6 +204,29 @@ def _generate_keys(batch_weights: np.ndarray, weighted: bool, rng: np.random.Gen
     if weighted:
         return keymod.exponential_keys(batch_weights, rng)
     return keymod.uniform_keys(batch_weights.shape[0], rng)
+
+
+def _jump_positions(
+    state: Dict[str, object],
+    weights: np.ndarray,
+    threshold: float,
+    weighted: bool,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Below-threshold jump traversal under the state's kernel tier.
+
+    Single dispatch point of the steady-state hot path: the numpy reference
+    kernels and the compiled tier consume ``rng`` identically, so the
+    returned ``(indices, keys)`` do not depend on the tier.
+    """
+    return jit_kernels.jump_positions(
+        threshold,
+        rng,
+        weighted=weighted,
+        tier=str(state.get("kernel_tier", "numpy")),
+        weights=weights if weighted else None,
+        count=0 if weighted else weights.shape[0],
+    )
 
 
 def _insert_without_threshold(
@@ -222,13 +275,14 @@ def _insert_with_threshold(
     threshold: float,
     weighted: bool,
 ) -> Tuple[int, int]:
-    """Steady-state ingestion under the fixed global threshold."""
+    """Steady-state ingestion under the fixed global threshold.
+
+    The exponential/geometric jump traversal (per the state's kernel tier)
+    skips whole runs of non-candidate items without generating their keys.
+    """
     reservoir: LocalReservoir = state["reservoir"]
     rng: np.random.Generator = state["rng"]
-    if weighted:
-        idx, keys = keymod.weighted_jump_positions(weights, threshold, rng)
-    else:
-        idx, keys = keymod.uniform_jump_positions(ids.shape[0], threshold, rng)
+    idx, keys = _jump_positions(state, weights, threshold, weighted, rng)
     inserted = reservoir.insert_batch(keys, ids[idx])
     return inserted, 0
 
@@ -302,11 +356,8 @@ def prepare_batch_kernel(
     if threshold is None:
         keys = _generate_keys(batch.weights, weighted, rng)
         ids = batch.ids
-    elif weighted:
-        idx, keys = keymod.weighted_jump_positions(batch.weights, threshold, rng)
-        ids = batch.ids[idx]
     else:
-        idx, keys = keymod.uniform_jump_positions(batch.ids.shape[0], threshold, rng)
+        idx, keys = _jump_positions(state, batch.weights, threshold, weighted, rng)
         ids = batch.ids[idx]
     state["prepared"] = {
         "keys": keys,
@@ -589,10 +640,7 @@ def centralized_candidates_kernel(
             order = np.argpartition(keys, k - 1)[:k]
             keys, ids = keys[order], ids[order]
         return keys, ids
-    if weighted:
-        idx, keys = keymod.weighted_jump_positions(weights, threshold, rng)
-    else:
-        idx, keys = keymod.uniform_jump_positions(b, threshold, rng)
+    idx, keys = _jump_positions(state, weights, threshold, weighted, rng)
     return keys, ids[idx]
 
 

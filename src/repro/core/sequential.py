@@ -137,11 +137,15 @@ class SequentialWeightedReservoir:
     only the items that exhaust the skip, as in Section 4.1 of the paper.
     """
 
-    def __init__(self, k: int, seed=None, *, store: Optional[str] = None) -> None:
+    def __init__(
+        self, k: int, seed=None, *, store: Optional[str] = None, kernel_tier: str = "numpy"
+    ) -> None:
         self.k = check_positive_int(k, "k")
         self._rng = ensure_generator(seed)
         self.store = normalize_store_name(store) if store is not None else None
-        self._store: Optional[ReservoirStore] = make_store(store) if store is not None else None
+        self._store: Optional[ReservoirStore] = (
+            make_store(store, kernel_tier=kernel_tier) if store is not None else None
+        )
         self._weights_by_id = {} if store is not None else None
         self._reservoir = _ReservoirHeap(self.k)
         self._items_seen = 0
@@ -282,11 +286,15 @@ class SequentialUniformReservoir:
     the vectorized mini-batch path over a pluggable reservoir store.
     """
 
-    def __init__(self, k: int, seed=None, *, store: Optional[str] = None) -> None:
+    def __init__(
+        self, k: int, seed=None, *, store: Optional[str] = None, kernel_tier: str = "numpy"
+    ) -> None:
         self.k = check_positive_int(k, "k")
         self._rng = ensure_generator(seed)
         self.store = normalize_store_name(store) if store is not None else None
-        self._store: Optional[ReservoirStore] = make_store(store) if store is not None else None
+        self._store: Optional[ReservoirStore] = (
+            make_store(store, kernel_tier=kernel_tier) if store is not None else None
+        )
         self._reservoir = _ReservoirHeap(self.k)
         self._items_seen = 0
         self._items_to_skip = 0

@@ -25,6 +25,12 @@ and the ablation benchmark relies on.
 :func:`make_store` resolves a backend by name.  ``"merge"`` is the default
 throughout the library; ``"btree"`` selects the paper's structure and
 ``"sorted_array"`` is kept as a backwards-compatible alias of ``"merge"``.
+
+Both factories additionally take a ``kernel_tier`` (``"numpy"``, ``"jit"``
+or ``"auto"``, see :mod:`repro.core.jit_kernels`): under the ``"jit"`` tier
+:class:`MergeStore` replaces the ``searchsorted`` + ``np.insert`` merge
+with a single compiled two-pointer pass.  The merge is pure
+comparisons/moves, so the stored arrays are byte-identical across tiers.
 """
 
 from __future__ import annotations
@@ -154,9 +160,12 @@ class MergeStore(ReservoirStore):
 
     name = "merge"
 
-    def __init__(self) -> None:
+    def __init__(self, *, kernel_tier: str = "numpy") -> None:
+        from repro.core.jit_kernels import resolve_kernel_tier
+
         self._keys = np.empty(0, dtype=np.float64)
         self._ids = np.empty(0, dtype=np.int64)
+        self.kernel_tier = resolve_kernel_tier(kernel_tier)
 
     def __len__(self) -> int:
         return int(self._keys.shape[0])
@@ -188,6 +197,10 @@ class MergeStore(ReservoirStore):
             keys, ids = keys[order], ids[order]
             if self._keys.shape[0] == 0:
                 self._keys, self._ids = keys.copy(), ids.copy()
+            elif self.kernel_tier == "jit":
+                from repro.core.jit_kernels import merge_sorted_jit
+
+                self._keys, self._ids = merge_sorted_jit(self._keys, self._ids, keys, ids)
             else:
                 # one merge pass: equal keys keep existing entries first
                 positions = np.searchsorted(self._keys, keys, side="right")
@@ -340,10 +353,20 @@ def normalize_store_name(name: str) -> str:
     return "merge" if key == "sorted_array" else key
 
 
-def make_store(name: str = "merge", *, order: int = 16) -> ReservoirStore:
-    """Create a reservoir store backend by name (``"merge"`` or ``"btree"``)."""
+def make_store(
+    name: str = "merge", *, order: int = 16, kernel_tier: str = "numpy"
+) -> ReservoirStore:
+    """Create a reservoir store backend by name (``"merge"`` or ``"btree"``).
+
+    ``kernel_tier`` selects the merge implementation of :class:`MergeStore`
+    (see :mod:`repro.core.jit_kernels`); the B+ tree has no compiled path,
+    so for ``"btree"`` the tier is validated and otherwise ignored.
+    """
+    from repro.core.jit_kernels import resolve_kernel_tier
+
     canonical = normalize_store_name(name)
     cls = STORE_BACKENDS[canonical]
     if issubclass(cls, BTreeStore):
+        resolve_kernel_tier(kernel_tier)
         return cls(order=order)
-    return cls()
+    return cls(kernel_tier=kernel_tier)

@@ -77,7 +77,7 @@ class PipelinedSamplingRun:
         the last ``window`` stamp units instead of the unbounded one.
     target_round_time:
         Latency target of the ``"auto"`` batch sizing (seconds/round).
-    weighted / store / seed / weights:
+    weighted / store / seed / weights / kernel_tier:
         Forwarded to the sampler / stream shards.
     """
 
@@ -97,6 +97,7 @@ class PipelinedSamplingRun:
         weights=None,
         window: Optional[int] = None,
         target_round_time: float = DEFAULT_TARGET_ROUND_TIME,
+        kernel_tier: str = "numpy",
         **comm_kwargs,
     ) -> None:
         from repro.core.api import make_distributed_sampler
@@ -130,6 +131,7 @@ class PipelinedSamplingRun:
                 store=store,
                 seed=seed,
                 window=window,
+                kernel_tier=kernel_tier,
             )
             attach_kwargs = dict(seed=seed, variable=self.autotuner is not None)
             if weights is not None:
@@ -147,6 +149,7 @@ class PipelinedSamplingRun:
             algorithm=algorithm,
             store=str(getattr(self.sampler, "store", "")),
             comm_backend=self.comm.kind,
+            kernel_tier=str(getattr(self.sampler, "kernel_tier", "")),
         )
 
     # ------------------------------------------------------------------

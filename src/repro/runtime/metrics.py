@@ -153,6 +153,8 @@ class RunMetrics:
     store: str = ""
     #: communicator backend the run used ("sim", "process", or "" when unknown)
     comm_backend: str = ""
+    #: kernel tier the run used ("numpy", "jit", or "" when unknown)
+    kernel_tier: str = ""
     #: measured wall-clock seconds of the run (0 when only simulated time exists)
     wall_time: float = 0.0
     rounds: List[RoundMetrics] = field(default_factory=list)
@@ -282,6 +284,7 @@ class RunMetrics:
             "algorithm": self.algorithm,
             "store": self.store,
             "comm_backend": self.comm_backend,
+            "kernel_tier": self.kernel_tier,
             "rounds": self.num_rounds,
             "total_items": self.total_items,
             "simulated_time": self.simulated_time,

@@ -61,7 +61,7 @@ class ParallelStreamingRun:
         few insertions per batch — only establishes itself after the first
         few batches, exactly as in
         :class:`~repro.runtime.simulator.StreamingSimulation`.
-    weighted / store / seed / weights:
+    weighted / store / seed / weights / kernel_tier:
         Forwarded to the sampler / stream shards.
 
     Use as a context manager (or call :meth:`close`) so the process
@@ -82,6 +82,7 @@ class ParallelStreamingRun:
         seed: Optional[int] = 0,
         weights=None,
         target_round_time: Optional[float] = None,
+        kernel_tier: str = "numpy",
         **comm_kwargs,
     ) -> None:
         from repro.core.api import make_distributed_sampler
@@ -101,7 +102,13 @@ class ParallelStreamingRun:
         self._warmed_up = False
         try:
             self.sampler = make_distributed_sampler(
-                algorithm, k, self.comm, weighted=weighted, store=store, seed=seed
+                algorithm,
+                k,
+                self.comm,
+                weighted=weighted,
+                store=store,
+                seed=seed,
+                kernel_tier=kernel_tier,
             )
             self.sampler.attach_worker_stream(
                 self.batch_size, seed=seed, weights=weights, variable=self.autotuner is not None
@@ -117,6 +124,7 @@ class ParallelStreamingRun:
             algorithm=algorithm,
             store=str(getattr(self.sampler, "store", "")),
             comm_backend=self.comm.kind,
+            kernel_tier=str(getattr(self.sampler, "kernel_tier", "")),
         )
 
     # ------------------------------------------------------------------

@@ -45,6 +45,7 @@ class StreamingSimulation:
             algorithm=str(getattr(sampler, "algorithm_name", type(sampler).__name__)),
             store=str(getattr(sampler, "store", "")),
             comm_backend=str(getattr(getattr(sampler, "comm", None), "kind", "")),
+            kernel_tier=str(getattr(sampler, "kernel_tier", "")),
         )
 
     # ------------------------------------------------------------------

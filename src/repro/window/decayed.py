@@ -85,6 +85,10 @@ class DecayedReservoir:
         Seed or generator for the random key stream.
     store:
         Reservoir store backend (``"merge"`` default, or ``"btree"``).
+    kernel_tier:
+        Store merge implementation (``"numpy"``, ``"jit"`` or ``"auto"``,
+        see :mod:`repro.core.jit_kernels`); key generation is dense and
+        stays on numpy in every tier, so samples are tier-invariant.
     """
 
     def __init__(
@@ -95,6 +99,7 @@ class DecayedReservoir:
         weighted: bool = True,
         seed=None,
         store: str = "merge",
+        kernel_tier: str = "numpy",
     ) -> None:
         self.k = check_positive_int(k, "k")
         if not 0.0 < decay <= 1.0:
@@ -104,7 +109,7 @@ class DecayedReservoir:
         self.store = normalize_store_name(store)
         self._log_decay = math.log(self.decay)
         self._rng = ensure_generator(seed)
-        self._store: ReservoirStore = make_store(self.store)
+        self._store: ReservoirStore = make_store(self.store, kernel_tier=kernel_tier)
         self._weights_by_id = {}
         self._items_seen = 0
         self._total_weight = 0.0

@@ -114,7 +114,10 @@ class DistributedWindowSampler:
         weighted: bool = True,
         seed: Optional[int] = 0,
         amortise_selection: bool = True,
+        kernel_tier: str = "numpy",
     ) -> None:
+        from repro.core.jit_kernels import resolve_kernel_tier
+
         self.k = check_positive_int(k, "k")
         self.window = check_positive_int(window, "window")
         self.comm = comm
@@ -122,10 +125,15 @@ class DistributedWindowSampler:
         self.machine = machine if machine is not None else MachineSpec.forhlr_like()
         self.weighted = bool(weighted)
         self.amortise_selection = bool(amortise_selection)
+        # windowed ingestion is dense-key (tier-invariant by construction);
+        # resolved before worker creation and recorded for the run metrics
+        self.kernel_tier = resolve_kernel_tier(kernel_tier)
         self._seed = seed
         seed_seqs = spawn_seed_sequences(seed, comm.p)
         self._handle = comm.create_pe_state(
-            functools.partial(pe_kernels.make_window_pe_state, k=self.k),
+            functools.partial(
+                pe_kernels.make_window_pe_state, k=self.k, kernel_tier=self.kernel_tier
+            ),
             per_pe_args=[(ss,) for ss in seed_seqs],
         )
         self._has_worker_stream = False

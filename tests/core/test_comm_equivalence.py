@@ -11,7 +11,7 @@ keys — and the same threshold trajectory under both backends.
 import numpy as np
 import pytest
 
-from repro.core import make_distributed_sampler
+from repro.core import make_distributed_sampler, numba_available
 from repro.network import ProcessComm, SimComm
 from repro.runtime import ParallelStreamingRun
 from repro.stream import MiniBatchStream
@@ -20,10 +20,14 @@ ROUNDS = 5
 BATCH = 300
 SEED = 13
 
+#: kernel-tier axis — the compiled leg self-skips without numba
+TIERS = ["numpy", pytest.param("jit", marks=pytest.mark.skipif(
+    not numba_available(), reason="numba not installed"))]
 
-def _run_sampler(comm, algorithm, k, p, *, weighted=True, store="merge"):
+
+def _run_sampler(comm, algorithm, k, p, *, weighted=True, store="merge", kernel_tier="numpy"):
     sampler = make_distributed_sampler(
-        algorithm, k, comm, seed=SEED, weighted=weighted, store=store
+        algorithm, k, comm, seed=SEED, weighted=weighted, store=store, kernel_tier=kernel_tier
     )
     stream = MiniBatchStream(p, BATCH, seed=SEED + 1)
     thresholds = []
@@ -34,18 +38,23 @@ def _run_sampler(comm, algorithm, k, p, *, weighted=True, store="merge"):
     return np.sort(sampler.sample_ids()), thresholds, items
 
 
+@pytest.mark.parametrize("kernel_tier", TIERS)
 @pytest.mark.parametrize("payload_transport", ["pickle", "shm"])
 @pytest.mark.parametrize(
     "algorithm,k",
     [("ours", 40), ("ours-8", 40), ("gather", 30), ("ours-variable", 25)],
 )
-def test_samples_byte_identical_across_backends(algorithm, k, payload_transport):
+def test_samples_byte_identical_across_backends(algorithm, k, payload_transport, kernel_tier):
     p = 2
-    sim_ids, sim_thresholds, sim_items = _run_sampler(SimComm(p), algorithm, k, p)
+    sim_ids, sim_thresholds, sim_items = _run_sampler(
+        SimComm(p), algorithm, k, p, kernel_tier=kernel_tier
+    )
     # shm_min_bytes low enough that the per-round candidate arrays of these
     # small test workloads genuinely take the shared-memory path
     with ProcessComm(p, payload_transport=payload_transport, shm_min_bytes=64) as proc:
-        proc_ids, proc_thresholds, proc_items = _run_sampler(proc, algorithm, k, p)
+        proc_ids, proc_thresholds, proc_items = _run_sampler(
+            proc, algorithm, k, p, kernel_tier=kernel_tier
+        )
     np.testing.assert_array_equal(sim_ids, proc_ids)
     assert sim_thresholds == proc_thresholds
     assert sim_items == proc_items  # keys too, not just ids

@@ -1,0 +1,347 @@
+"""Kernel-tier gating, graceful degradation, and numpy/jit bit-identity.
+
+The compiled tier is an *optional* acceleration: ``"auto"`` silently falls
+back to numpy when numba is missing, ``"jit"`` raises an actionable error,
+and whichever tier runs must produce byte-identical samples.  The
+availability flag is stubbed via monkeypatch so both degradation paths are
+unit-tested regardless of whether numba is installed in this environment;
+the true compiled-path tests skip-mark themselves when it is not.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.api as apimod
+from repro.core import DistributedSamplingRun, ReservoirSampler, jit_kernels
+from repro.core import keys as keymod
+from repro.core.jit_kernels import (
+    KERNEL_TIERS,
+    jump_positions,
+    normalize_kernel_tier,
+    numba_available,
+    resolve_kernel_tier,
+)
+from repro.core.store import MergeStore, make_store
+from repro.network import SimComm
+from repro.stream import MiniBatchStream
+
+requires_numba = pytest.mark.skipif(not numba_available(), reason="numba not installed")
+
+#: tier axis for equivalence parametrization — the jit leg self-skips
+TIER_PARAMS = ["numpy", pytest.param("jit", marks=requires_numba)]
+
+
+# ---------------------------------------------------------------------------
+# tier normalization / resolution
+# ---------------------------------------------------------------------------
+class TestTierResolution:
+    def test_tier_constants(self):
+        assert KERNEL_TIERS == ("numpy", "jit", "auto")
+
+    @pytest.mark.parametrize("raw,expected", [("numpy", "numpy"), ("  NumPy ", "numpy"), ("AUTO", "auto"), ("jit", "jit")])
+    def test_normalize_accepts_known_tiers(self, raw, expected):
+        assert normalize_kernel_tier(raw) == expected
+
+    @pytest.mark.parametrize("bad", ["cython", "", "fast", None, 3])
+    def test_normalize_rejects_unknown_tier(self, bad):
+        with pytest.raises(ValueError, match="kernel_tier"):
+            normalize_kernel_tier(bad)
+
+    def test_numpy_resolves_to_itself(self):
+        assert resolve_kernel_tier("numpy") == "numpy"
+
+    def test_auto_silently_falls_back_without_numba(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        assert resolve_kernel_tier("auto") == "numpy"
+
+    def test_auto_prefers_jit_with_numba(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", True)
+        assert resolve_kernel_tier("auto") == "jit"
+
+    def test_jit_without_numba_raises_actionable_error(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        monkeypatch.setattr(jit_kernels, "NUMBA_IMPORT_ERROR", "No module named 'numba'")
+        with pytest.raises(RuntimeError) as err:
+            resolve_kernel_tier("jit")
+        message = str(err.value)
+        # actionable: names the missing dependency, how to install it, and
+        # the silent-fallback alternative
+        assert "numba" in message
+        assert "pip install" in message
+        assert "auto" in message
+        assert "No module named 'numba'" in message
+
+    def test_numba_available_reflects_flag(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", True)
+        assert jit_kernels.numba_available()
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        assert not jit_kernels.numba_available()
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation through the public API
+# ---------------------------------------------------------------------------
+class TestGracefulDegradation:
+    def test_sequential_sampler_jit_without_numba_raises(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        with pytest.raises(RuntimeError, match="numba"):
+            ReservoirSampler(10, kernel_tier="jit")
+
+    def test_sequential_sampler_auto_falls_back(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        sampler = ReservoirSampler(10, store="merge", kernel_tier="auto")
+        assert sampler.kernel_tier == "numpy"
+        for i in range(100):
+            sampler.add(i, 1.0 + (i % 7))
+        assert sampler.size == 10
+
+    def test_distributed_factory_fails_before_building_comm(self, monkeypatch):
+        """kernel_tier='jit' without numba must error out *before* the
+        communicator (and its worker processes) are created, so nothing
+        can leak."""
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        calls = []
+
+        def spy_resolve_comm(*args, **kwargs):
+            calls.append(args)
+            raise AssertionError("communicator built after the tier error")
+
+        monkeypatch.setattr(apimod, "_resolve_comm", spy_resolve_comm)
+        with pytest.raises(RuntimeError, match="numba"):
+            apimod.make_distributed_sampler("ours", 10, "process", p=2, kernel_tier="jit")
+        assert calls == []  # no spawn attempt at all
+
+    def test_run_metrics_record_resolved_tier(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        with DistributedSamplingRun(
+            "ours", k=10, p=2, batch_size=50, seed=1, comm="sim", kernel_tier="auto"
+        ) as run:
+            run.run(2)
+            assert run.metrics.kernel_tier == "numpy"
+            assert run.metrics.as_dict()["kernel_tier"] == "numpy"
+
+    def test_jit_wrappers_raise_without_numba(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "NUMBA_AVAILABLE", False)
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError, match="numba"):
+            jit_kernels.weighted_jump_positions_jit(np.ones(4), 0.5, rng)
+        with pytest.raises(RuntimeError, match="numba"):
+            jit_kernels.uniform_jump_positions_jit(4, 0.5, rng)
+        with pytest.raises(RuntimeError, match="numba"):
+            jit_kernels.merge_sorted_jit(
+                np.ones(1), np.ones(1, dtype=np.int64), np.ones(1), np.ones(1, dtype=np.int64)
+            )
+        with pytest.raises(RuntimeError, match="numba"):
+            jit_kernels.take_ranks_jit(np.ones(3), np.array([1]))
+
+    def test_dispatcher_requires_weights_for_weighted(self):
+        with pytest.raises(ValueError, match="weights"):
+            jump_positions(0.5, np.random.default_rng(0), weighted=True, tier="numpy")
+
+    def test_store_rejects_unknown_tier(self):
+        with pytest.raises(ValueError, match="kernel_tier"):
+            MergeStore(kernel_tier="fast")
+        with pytest.raises(ValueError, match="kernel_tier"):
+            make_store("btree", kernel_tier="fast")  # validated even when unused
+
+
+# ---------------------------------------------------------------------------
+# per-item reference walks: jump skipping visits exactly the items that
+# item-by-item traversal with the same random stream would have admitted
+# ---------------------------------------------------------------------------
+_TINY = float(np.finfo(np.float64).tiny)
+
+
+def _reference_weighted_walk(weights, threshold, rng):
+    """Item-by-item replay of the weighted jump traversal.
+
+    Walks the batch one item at a time (no ``searchsorted``, no resumable
+    frontier) while consuming the random stream exactly like the batch
+    kernels, so any divergence in which items the jump kernels visit — or
+    in the keys they assign — shows up as a bitwise mismatch.
+    """
+    weights = [float(w) for w in weights]
+    n = len(weights)
+    if n == 0:
+        return [], []
+    prefix_sums = []
+    running = 0.0
+    for w in weights:  # left-to-right accumulate == np.cumsum
+        running += w
+        prefix_sums.append(running)
+    total = prefix_sums[-1]
+    indices, keys = [], []
+    consumed = 0.0
+    while True:
+        skip = -math.log(1.0 - rng.random()) / threshold
+        target = consumed + skip
+        if target > total or not math.isfinite(target):
+            break
+        j = 0  # from-scratch per-item scan: first inclusive prefix >= target
+        while j < n and prefix_sums[j] < target:
+            j += 1
+        if j >= n:
+            break
+        w = weights[j]
+        lower = math.exp(-threshold * w)
+        u = max(lower + (1.0 - rng.random()) * (1.0 - lower), _TINY)
+        indices.append(j)
+        keys.append(-math.log(u) / w)
+        consumed = prefix_sums[j]
+        if j == n - 1:
+            break
+    return indices, keys
+
+
+def _reference_uniform_walk(count, threshold, rng):
+    """Item-by-item replay of the geometric jump traversal: the skip
+    budget is spent one item at a time instead of one jump."""
+    indices, keys = [], []
+    position = -1
+    while True:
+        if threshold >= 1.0:
+            skip = 0
+        else:
+            skip = int(math.floor(math.log(1.0 - rng.random()) / math.log(1.0 - threshold)))
+        position += 1
+        while skip > 0 and position < count:
+            skip -= 1
+            position += 1
+        if position >= count:
+            break
+        indices.append(position)
+        keys.append((1.0 - rng.random()) * threshold)
+    return indices, keys
+
+
+class TestJumpSkippingVisitsExactlyTheAdmittedItems:
+    @pytest.mark.parametrize("tier", TIER_PARAMS)
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=0,
+            max_size=60,
+        ),
+        threshold=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_weighted_jumps_match_per_item_walk(self, tier, weights, threshold, seed):
+        weights = np.asarray(weights, dtype=np.float64)
+        idx, keys = jump_positions(
+            threshold,
+            np.random.default_rng(seed),
+            weighted=True,
+            tier=tier,
+            weights=weights,
+        )
+        ref_idx, ref_keys = _reference_weighted_walk(
+            weights, threshold, np.random.default_rng(seed)
+        )
+        np.testing.assert_array_equal(idx, np.asarray(ref_idx, dtype=np.int64))
+        np.testing.assert_array_equal(keys, np.asarray(ref_keys, dtype=np.float64))
+        assert np.all(keys < threshold)
+        assert np.all(np.diff(idx) >= 0)  # visited in batch order
+
+    @pytest.mark.parametrize("tier", TIER_PARAMS)
+    @settings(max_examples=60, deadline=None)
+    @given(
+        count=st.integers(min_value=0, max_value=400),
+        threshold=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_uniform_jumps_match_per_item_walk(self, tier, count, threshold, seed):
+        idx, keys = jump_positions(
+            threshold, np.random.default_rng(seed), weighted=False, tier=tier, count=count
+        )
+        ref_idx, ref_keys = _reference_uniform_walk(
+            count, threshold, np.random.default_rng(seed)
+        )
+        np.testing.assert_array_equal(idx, np.asarray(ref_idx, dtype=np.int64))
+        np.testing.assert_array_equal(keys, np.asarray(ref_keys, dtype=np.float64))
+        assert np.all(np.diff(idx) > 0)  # uniform jumps never revisit an item
+
+
+# ---------------------------------------------------------------------------
+# compiled-tier bit-identity (run only where numba is installed)
+# ---------------------------------------------------------------------------
+@requires_numba
+class TestCompiledTierBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 7, 991])
+    def test_weighted_jump_kernels_identical(self, seed):
+        weights = np.random.default_rng(seed).uniform(0.05, 8.0, size=500)
+        idx_np, keys_np = keymod.weighted_jump_positions(
+            weights, 0.8, np.random.default_rng(seed + 1)
+        )
+        idx_jit, keys_jit = jit_kernels.weighted_jump_positions_jit(
+            weights, 0.8, np.random.default_rng(seed + 1)
+        )
+        np.testing.assert_array_equal(idx_np, idx_jit)
+        np.testing.assert_array_equal(keys_np, keys_jit)
+
+    @pytest.mark.parametrize("threshold", [0.01, 0.3, 1.0])
+    def test_uniform_jump_kernels_identical(self, threshold):
+        idx_np, keys_np = keymod.uniform_jump_positions(
+            2000, threshold, np.random.default_rng(5)
+        )
+        idx_jit, keys_jit = jit_kernels.uniform_jump_positions_jit(
+            2000, threshold, np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(idx_np, idx_jit)
+        np.testing.assert_array_equal(keys_np, keys_jit)
+
+    def test_merge_store_identical_under_both_tiers(self):
+        rng = np.random.default_rng(3)
+        stores = {tier: MergeStore(kernel_tier=tier) for tier in ("numpy", "jit")}
+        next_id = 0
+        for _ in range(30):
+            n = int(rng.integers(0, 40))
+            keys = rng.uniform(0.0, 1.0, size=n)
+            ids = np.arange(next_id, next_id + n, dtype=np.int64)
+            next_id += n
+            for store in stores.values():
+                store.insert_batch(keys, ids, threshold=0.7 if next_id % 2 else None)
+            if next_id % 3 == 0:
+                for store in stores.values():
+                    store.prune_to_rank(25)
+        np.testing.assert_array_equal(
+            stores["numpy"].keys_array(), stores["jit"].keys_array()
+        )
+        np.testing.assert_array_equal(stores["numpy"].ids_array(), stores["jit"].ids_array())
+
+    def test_merge_tie_semantics_old_entries_first(self):
+        """Equal keys keep existing entries before the incoming batch —
+        the compiled two-pointer merge must preserve MergeStore's
+        ``searchsorted(side="right")`` convention exactly."""
+        old_keys = np.array([0.25, 0.5, 0.5])
+        old_ids = np.array([1, 2, 3], dtype=np.int64)
+        new_keys = np.array([0.25, 0.5, 0.75])
+        new_ids = np.array([10, 11, 12], dtype=np.int64)
+        merged_keys, merged_ids = jit_kernels.merge_sorted_jit(
+            old_keys, old_ids, new_keys, new_ids
+        )
+        expected_ids = np.array([1, 10, 2, 3, 11, 12], dtype=np.int64)
+        np.testing.assert_array_equal(merged_ids, expected_ids)
+        np.testing.assert_array_equal(merged_keys, np.sort(np.concatenate([old_keys, new_keys])))
+
+    def test_take_ranks_matches_numpy_fancy_indexing(self):
+        keys = np.sort(np.random.default_rng(11).uniform(size=64))
+        ranks = np.array([1, 2, 17, 64], dtype=np.int64)
+        np.testing.assert_array_equal(jit_kernels.take_ranks_jit(keys, ranks), keys[ranks - 1])
+
+    def test_distributed_samples_identical_across_tiers(self):
+        samples = {}
+        for tier in ("numpy", "jit"):
+            sampler = apimod.make_distributed_sampler(
+                "ours", 30, SimComm(4), seed=17, kernel_tier=tier
+            )
+            stream = MiniBatchStream(4, 200, seed=18)
+            thresholds = []
+            for _ in range(4):
+                thresholds.append(sampler.process_round(stream.next_round().batches).threshold)
+            samples[tier] = (sorted(sampler.sample_items()), thresholds)
+        assert samples["numpy"] == samples["jit"]
