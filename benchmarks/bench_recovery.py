@@ -1,0 +1,176 @@
+"""Worker-death recovery latency on the real multiprocess backend.
+
+Measures the full recovery cycle — death detection via the process
+sentinel, abort-sentinel fan-out, respawn, checkpoint restore on every
+PE and replay of the interrupted round — by SIGKILLing a live worker
+between rounds and timing the next ``run()`` call, which transparently
+recovers before it can make progress.
+
+Gates:
+
+* **byte-identity** — after several injected deaths the final sample
+  must equal that of an undisturbed reference run; a recovery that
+  loses or duplicates state fails the benchmark outright, regardless
+  of speed.
+* **recovery throughput** — ``recoveries_per_s`` (1 / mean cycle
+  latency) must not regress by more than ``--max-regression`` (default
+  2x) against the conservatively committed baseline in
+  ``benchmarks/baselines/bench_recovery_baseline.json``
+  (see ``benchmarks/baseline_gate.py``; refresh with
+  ``--update-baseline``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py --output BENCH_recovery.json
+    PYTHONPATH=src python benchmarks/bench_recovery.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+
+from repro.core.api import DistributedSamplingRun
+from repro.network.process_comm import ProcessComm
+
+K = 256
+P = 3
+BATCH_SIZE = 4_096
+WARMUP_ROUNDS = 2
+KILL_CYCLES = 4
+SEED = 23
+#: small timeouts so a lost in-flight message cannot dominate the cycle
+COMM_KWARGS = dict(mailbox_timeout=5.0, reply_timeout=60.0)
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_recovery_baseline.json"
+
+TOTAL_ROUNDS = WARMUP_ROUNDS + 2 * KILL_CYCLES
+
+
+def _kill_worker(comm: ProcessComm, rank: int) -> None:
+    os.kill(comm.worker_pids[rank], signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while comm.workers_alive[rank]:
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"worker {rank} survived SIGKILL")
+        time.sleep(0.005)
+
+
+def _reference_sample() -> np.ndarray:
+    with DistributedSamplingRun(
+        "ours", k=K, p=P, batch_size=BATCH_SIZE, seed=SEED, comm="process", **COMM_KWARGS
+    ) as run:
+        run.run(TOTAL_ROUNDS)
+        return np.sort(run.sample_ids())
+
+
+def run_suite() -> dict:
+    print(f"workload: ours, k={K}, p={P}, batch={BATCH_SIZE}, kill cycles={KILL_CYCLES}")
+    reference = _reference_sample()
+
+    cycle_times = []
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        comm = ProcessComm(P, **COMM_KWARGS)
+        try:
+            run = DistributedSamplingRun(
+                "ours",
+                k=K,
+                p=P,
+                batch_size=BATCH_SIZE,
+                seed=SEED,
+                comm=comm,
+                checkpoint_dir=ckpt_dir,
+                checkpoint_every=1,
+                max_recoveries=KILL_CYCLES + 1,
+            )
+            run.run(WARMUP_ROUNDS)
+            for cycle in range(KILL_CYCLES):
+                rank = cycle % P
+                _kill_worker(comm, rank)
+                start = time.perf_counter()
+                run.run(1)  # detect, respawn, restore, replay + this round
+                elapsed = time.perf_counter() - start
+                cycle_times.append(elapsed)
+                print(f"  cycle {cycle}: killed rank {rank}, recovered in {elapsed * 1e3:.1f} ms")
+                run.run(1)  # one undisturbed round between deaths
+            recovered_sample = np.sort(run.sample_ids())
+            recoveries = run.metrics.recoveries
+            run.close()
+        finally:
+            comm.shutdown()
+
+    mean_cycle_s = sum(cycle_times) / len(cycle_times)
+    results = {
+        "k": K,
+        "p": P,
+        "batch_size": BATCH_SIZE,
+        "kill_cycles": KILL_CYCLES,
+        "cycle_times_s": cycle_times,
+        "mean_cycle_s": mean_cycle_s,
+        "recoveries_recorded": recoveries,
+        "sample_identical_to_reference": bool(np.array_equal(recovered_sample, reference)),
+        # flat key for the shared baseline gate (larger is better)
+        "recoveries_per_s": 1.0 / mean_cycle_s,
+    }
+    print(
+        f"  mean cycle {mean_cycle_s * 1e3:.1f} ms -> "
+        f"{results['recoveries_per_s']:.2f} recoveries/s, "
+        f"sample identical: {results['sample_identical_to_reference']}"
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_recovery.json"))
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured numbers (halved, to stay conservative) as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if results["recoveries_recorded"] != KILL_CYCLES:
+        failures.append(
+            f"expected {KILL_CYCLES} recorded recoveries, got {results['recoveries_recorded']}"
+        )
+    if not results["sample_identical_to_reference"]:
+        failures.append("recovered run's sample differs from the undisturbed reference")
+
+    if args.update_baseline:
+        write_conservative_baseline(args.baseline, {"recoveries_per_s": results["recoveries_per_s"]})
+        print(f"updated baseline {args.baseline}")
+    elif not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update-baseline to create one")
+        return 1
+    else:
+        failures.extend(
+            compare_to_baseline(results, load_baseline(args.baseline), args.max_regression)
+        )
+
+    if failures:
+        print("\nBENCHMARK GATE FAILED:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("\nall gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from pathlib import Path
 #: sub-packages documented, in navigation order
 PACKAGES = [
     "repro.core",
+    "repro.checkpoint",
     "repro.window",
     "repro.pipeline",
     "repro.network",

@@ -24,6 +24,7 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the mapping between the paper's figures and the benchmark harness.
 """
 
+from repro.checkpoint import CheckpointError, CheckpointManager
 from repro.core import (
     CentralizedGatherSampler,
     DistributedBulkPriorityQueue,
@@ -87,6 +88,9 @@ __all__ = [
     "AmsSelection",
     "SampledSelection",
     "UnsortedSelection",
+    # fault tolerance
+    "CheckpointError",
+    "CheckpointManager",
     # substrate
     "SimComm",
     "CostParameters",

@@ -1,0 +1,60 @@
+"""Checkpoint/restore for the distributed sampling runs.
+
+The resilience layer of the library: every sampler variant's complete
+mutable state — per-PE keysets, both random generators, stream-shard
+replay positions, window buffers, the threshold and all driver counters
+— can be serialized into a versioned, checksummed file and restored to
+continue **byte-identically** on either execution backend.
+
+* :mod:`~repro.checkpoint.format` — the on-disk envelope (magic, format
+  version, length, CRC-32) with actionable errors for truncated,
+  corrupted, foreign and future-version files; atomic writes.
+* :mod:`~repro.checkpoint.manager` — periodic numbered checkpoints in a
+  directory, latest-file discovery, pruning.
+* :mod:`~repro.checkpoint.state` — sampler/engine state capture built on
+  the per-PE export/import kernels of :mod:`repro.core.pe_kernels`.
+* :mod:`~repro.checkpoint.elastic` — resume on a *different* PE count:
+  re-deal the surviving (key, id) pairs, restart the stream on the
+  PE-interleaved variable shard layout past every emitted id.
+
+High-level entry points live on
+:class:`repro.core.api.DistributedSamplingRun` (``checkpoint_every=``,
+``checkpoint_dir=``, ``save_checkpoint()``, ``resume()``) and
+:class:`repro.core.api.ReservoirSampler` (``save()`` / ``load()``);
+worker-death recovery in
+:class:`repro.network.process_comm.ProcessComm` replays from these
+checkpoints.
+"""
+
+from repro.checkpoint.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    CheckpointError,
+    dump_envelope,
+    load_checkpoint_file,
+    load_envelope,
+    save_checkpoint_file,
+)
+from repro.checkpoint.manager import CHECKPOINT_SUFFIX, CheckpointManager
+from repro.checkpoint.state import (
+    restore_engine,
+    restore_sampler,
+    snapshot_engine,
+    snapshot_sampler,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "CHECKPOINT_SUFFIX",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "dump_envelope",
+    "load_envelope",
+    "save_checkpoint_file",
+    "load_checkpoint_file",
+    "snapshot_sampler",
+    "restore_sampler",
+    "snapshot_engine",
+    "restore_engine",
+]

@@ -1,0 +1,113 @@
+"""Elastic re-sharding: resume a checkpointed sampler on a different ``p``.
+
+Changing the PE count invalidates the byte-identity contract — the
+per-PE random streams, shard layouts and collective schedules all depend
+on ``p`` — but not *correctness*: the sampler state that matters globally
+is the multiset of surviving (key, id) pairs plus the threshold and the
+stream counters, none of which care how the pairs are distributed over
+PEs.  Re-sharding therefore
+
+1. concatenates every PE's exported reservoir contents,
+2. deals the pairs round-robin onto the new PE grid (balanced, order
+   deterministic), and installs them via the samplers' ``preload`` path,
+3. carries the threshold / items-seen / total-weight counters over, and
+4. restarts the stream as PE-interleaved **variable** shards (the
+   resizable-shard layout of the async-pipeline work) whose
+   ``id_offset`` starts past every id the old layout emitted — so the
+   phases can never collide on item ids.
+
+The statistical contract — every item's inclusion probability is
+unchanged by a mid-stream reshard — is enforced by the chi-squared test
+in ``tests/checkpoint/test_elastic.py`` across a p=4→2→6 schedule.
+
+Limits: elastic resume supports the ``"ours"`` family (weighted and
+uniform, fixed ``k``).  The windowed sampler would additionally need its
+stamp clock re-sharded, the variable-size sampler its selection-cadence
+counters re-derived, and the centralized baseline holds no distributed
+state worth re-sharding — all three raise an actionable error instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.checkpoint.format import CheckpointError
+
+__all__ = [
+    "collect_reservoir_pairs",
+    "deal_pairs",
+    "next_free_stream_id",
+    "check_reshardable",
+]
+
+#: sampler types whose checkpoints may be resumed on a different p
+RESHARDABLE_TYPES = (
+    "DistributedReservoirSampler",
+    "DistributedWeightedReservoirSampler",
+    "DistributedUniformReservoirSampler",
+)
+
+
+def check_reshardable(sampler_snapshot: Dict[str, object]) -> None:
+    """Raise :class:`CheckpointError` if the snapshot cannot be re-sharded."""
+    sampler_type = sampler_snapshot.get("sampler_type")
+    if sampler_type not in RESHARDABLE_TYPES:
+        raise CheckpointError(
+            f"elastic resume (different p) is not supported for {sampler_type}; it is "
+            "limited to the fixed-k 'ours' samplers — resume with the original p, or run "
+            "the variant to completion and start a new run"
+        )
+    if any(pe.get("prepared") is not None for pe in sampler_snapshot["per_pe"]):
+        raise CheckpointError(
+            "checkpoint holds an in-flight pipelined prepare; elastic resume needs a "
+            "between-rounds checkpoint (take one with pipeline='off' rounds or finish() first)"
+        )
+
+
+def collect_reservoir_pairs(sampler_snapshot: Dict[str, object]) -> List[Tuple[float, int]]:
+    """All surviving (key, id) pairs across the old PE grid, key-sorted.
+
+    Key order makes the deal deterministic regardless of the old ``p``;
+    ties (impossible for float64 exponential keys in practice) fall back
+    to id order.
+    """
+    keys_parts, ids_parts = [], []
+    for pe_snapshot in sampler_snapshot["per_pe"]:
+        reservoir = pe_snapshot.get("reservoir")
+        if reservoir is None:
+            continue
+        keys_parts.append(np.asarray(reservoir["keys"], dtype=np.float64))
+        ids_parts.append(np.asarray(reservoir["ids"], dtype=np.int64))
+    if not keys_parts:
+        return []
+    keys = np.concatenate(keys_parts)
+    ids = np.concatenate(ids_parts)
+    order = np.lexsort((ids, keys))
+    return [(float(k), int(i)) for k, i in zip(keys[order], ids[order])]
+
+
+def deal_pairs(pairs: List[Tuple[float, int]], new_p: int) -> List[List[Tuple[float, int]]]:
+    """Deal the pairs round-robin onto ``new_p`` PEs (balanced within 1)."""
+    if new_p < 1:
+        raise CheckpointError(f"elastic resume needs p >= 1, got {new_p}")
+    return [pairs[pe::new_p] for pe in range(new_p)]
+
+
+def next_free_stream_id(run_snapshot: Dict[str, object]) -> int:
+    """First item id the resharded stream may emit without colliding.
+
+    Worker-shard runs record each shard's exclusive id upper bound
+    (``id_high``); driver-stream runs record the stream's ``_next_id``.
+    The maximum over all sources is collision-free by construction.
+    """
+    high = 0
+    for pe_snapshot in run_snapshot["sampler"]["per_pe"]:
+        stream = pe_snapshot.get("stream")
+        if stream is not None:
+            high = max(high, int(stream["id_high"]))
+    driver_stream = run_snapshot.get("driver_stream")
+    if driver_stream is not None:
+        high = max(high, int(getattr(driver_stream, "_next_id", 0)))
+    return high

@@ -1,0 +1,152 @@
+"""Versioned on-disk checkpoint envelope.
+
+A checkpoint file is a small binary envelope around a pickled payload::
+
+    offset  size  field
+    0       8     magic  b"RPROCKPT"
+    8       4     format version (unsigned little-endian)
+    12      8     payload length in bytes (unsigned little-endian)
+    20      4     CRC-32 of the payload (unsigned little-endian)
+    24      n     pickled payload
+
+The envelope exists so that *every* failure mode of a restore is
+distinguishable and produces an actionable :class:`CheckpointError`
+instead of a confusing pickle traceback or — worse — a silently wrong
+sampler state:
+
+* wrong magic → "not a checkpoint" (someone pointed the restore at an
+  arbitrary file),
+* version above :data:`FORMAT_VERSION` → "written by a newer version"
+  (downgrade-after-upgrade; the payload schema may have changed),
+* payload shorter than the recorded length → "truncated" (crashed or
+  interrupted writer, partial copy),
+* CRC mismatch → "corrupted" (bit rot, concurrent overwrite).
+
+Writes are atomic: the envelope is written to a temporary sibling file,
+flushed and fsynced, then :func:`os.replace`-d over the destination — a
+reader never observes a half-written checkpoint under POSIX rename
+semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Union
+
+__all__ = [
+    "CheckpointError",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "dump_envelope",
+    "load_envelope",
+    "save_checkpoint_file",
+    "load_checkpoint_file",
+]
+
+#: file magic; changing it invalidates every existing checkpoint
+MAGIC = b"RPROCKPT"
+#: current envelope format version (bump on payload schema changes)
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIQI")  # magic, version, payload length, crc32
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or restored.
+
+    The message always states *what* is wrong with the file (not a
+    checkpoint / future version / truncated / corrupted) and what the
+    caller can do about it.
+    """
+
+
+def dump_envelope(payload_obj: object) -> bytes:
+    """Serialize ``payload_obj`` into a versioned, checksummed envelope."""
+    try:
+        payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # unpicklable user objects (custom streams, ...)
+        raise CheckpointError(
+            f"checkpoint payload is not picklable: {exc!r}; custom stream or weight-generator "
+            "objects attached to a run must support pickle to be checkpointable"
+        ) from exc
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+    return header + payload
+
+
+def load_envelope(data: bytes, *, source: str = "<bytes>") -> object:
+    """Validate an envelope and return the deserialized payload."""
+    if len(data) < _HEADER.size:
+        raise CheckpointError(
+            f"{source}: file is only {len(data)} bytes, shorter than the {_HEADER.size}-byte "
+            "checkpoint header — the checkpoint is truncated (interrupted write or partial copy); "
+            "restore from an earlier checkpoint"
+        )
+    magic, version, length, crc = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CheckpointError(
+            f"{source}: bad magic {magic!r} — this is not a repro checkpoint file"
+        )
+    if version > FORMAT_VERSION:
+        raise CheckpointError(
+            f"{source}: checkpoint format version {version} is newer than the supported "
+            f"version {FORMAT_VERSION} — it was written by a newer release; upgrade the "
+            "library (or re-create the checkpoint with this version)"
+        )
+    payload = data[_HEADER.size :]
+    if len(payload) < length:
+        raise CheckpointError(
+            f"{source}: payload is {len(payload)} bytes but the header records {length} — "
+            "the checkpoint is truncated (interrupted write or partial copy); restore from "
+            "an earlier checkpoint"
+        )
+    payload = payload[:length]
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise CheckpointError(
+            f"{source}: payload checksum mismatch — the checkpoint is corrupted; restore "
+            "from an earlier checkpoint"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"{source}: payload passed its checksum but failed to deserialize ({exc!r}) — "
+            "it may reference classes from a different library version"
+        ) from exc
+
+
+def save_checkpoint_file(path: Union[str, Path], payload_obj: object) -> Path:
+    """Atomically write ``payload_obj`` as a checkpoint file at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = dump_envelope(payload_obj)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint_file(path: Union[str, Path]) -> object:
+    """Read and validate a checkpoint file; returns the payload."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint file at {path}") from None
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    return load_envelope(data, source=str(path))

@@ -1,0 +1,108 @@
+"""Checkpoint directory management: periodic saves, latest-file discovery.
+
+A :class:`CheckpointManager` owns one directory of numbered checkpoint
+files (``ckpt-00000042.rpk`` = the state *after* 42 completed rounds).
+The round number lives in the file name so that discovering the newest
+restorable state needs no file reads, and pruning keeps the directory
+bounded on long runs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.checkpoint.format import CheckpointError, load_checkpoint_file, save_checkpoint_file
+
+__all__ = ["CheckpointManager", "CHECKPOINT_SUFFIX"]
+
+#: file extension of managed checkpoint files
+CHECKPOINT_SUFFIX = ".rpk"
+
+
+class CheckpointManager:
+    """Periodic checkpoints in one directory, newest-first restore.
+
+    Parameters
+    ----------
+    directory:
+        Where the checkpoint files live; created on first save.
+    every:
+        Save cadence in completed rounds (``None`` disables periodic
+        saves; explicit :meth:`save` calls still work).
+    keep:
+        How many checkpoint files to retain (oldest pruned first).
+        ``0``/``None`` keeps everything.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        every: Optional[int] = None,
+        keep: Optional[int] = 3,
+    ) -> None:
+        if every is not None and every < 1:
+            raise ValueError(f"checkpoint_every must be a positive round count, got {every}")
+        if keep is not None and keep < 0:
+            raise ValueError(f"keep must be non-negative, got {keep}")
+        self.directory = Path(directory)
+        self.every = every
+        self.keep = keep or None
+
+    # ------------------------------------------------------------------
+    def path_for_round(self, rounds_completed: int) -> Path:
+        return self.directory / f"ckpt-{rounds_completed:08d}{CHECKPOINT_SUFFIX}"
+
+    def should_checkpoint(self, rounds_completed: int) -> bool:
+        """Whether the periodic cadence asks for a save after this round."""
+        return (
+            self.every is not None
+            and rounds_completed > 0
+            and rounds_completed % self.every == 0
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, rounds_completed: int, payload: object) -> Path:
+        """Write a checkpoint for ``rounds_completed`` and prune old files."""
+        path = save_checkpoint_file(self.path_for_round(rounds_completed), payload)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        if self.keep is None:
+            return
+        existing = self.list_checkpoints()
+        for _, path in existing[: max(0, len(existing) - self.keep)]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def list_checkpoints(self) -> List[Tuple[int, Path]]:
+        """``(rounds_completed, path)`` pairs, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in self.directory.iterdir():
+            match = re.match(r"^ckpt-(\d{8})" + re.escape(CHECKPOINT_SUFFIX) + r"$", path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def latest_path(self) -> Optional[Path]:
+        """Path of the newest checkpoint, or ``None`` when there is none."""
+        checkpoints = self.list_checkpoints()
+        return checkpoints[-1][1] if checkpoints else None
+
+    def load_latest(self) -> Tuple[int, object]:
+        """Load the newest checkpoint; returns ``(rounds_completed, payload)``."""
+        checkpoints = self.list_checkpoints()
+        if not checkpoints:
+            raise CheckpointError(
+                f"no checkpoints found in {self.directory} — nothing to restore from"
+            )
+        rounds_completed, path = checkpoints[-1]
+        return rounds_completed, load_checkpoint_file(path)

@@ -16,6 +16,7 @@ Three entry points cover the common uses of the library:
 from __future__ import annotations
 
 import re
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.core.sequential import SequentialUniformReservoir, SequentialWeighted
 from repro.core.store import normalize_store_name
 from repro.core.variable_size import VariableSizeReservoirSampler
 from repro.network.base import Communicator, make_communicator
+from repro.network.process_comm import WorkerError
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import RunMetrics
 from repro.selection.ams_select import AmsSelection
@@ -210,6 +212,38 @@ class ReservoirSampler:
     def sample_with_keys(self) -> List[Tuple[float, int, float]]:
         return self._impl.sample_with_keys()
 
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Checkpoint this sampler to ``path`` (atomic, versioned envelope).
+
+        The sequential samplers hold no OS resources, so the whole object
+        pickles; the envelope adds the magic/version/CRC header of
+        :mod:`repro.checkpoint.format` so corruption and version skew are
+        detected on load.  Continuing a loaded sampler is byte-identical
+        to never having stopped.
+        """
+        from repro.checkpoint.format import save_checkpoint_file
+
+        return save_checkpoint_file(path, {"kind": "sequential_sampler", "sampler": self})
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ReservoirSampler":
+        """Restore a sampler previously written by :meth:`save`."""
+        from repro.checkpoint.format import CheckpointError, load_checkpoint_file
+
+        payload = load_checkpoint_file(path)
+        if not isinstance(payload, dict) or payload.get("kind") != "sequential_sampler":
+            raise CheckpointError(
+                f"{path} is a valid checkpoint but not a sequential-sampler one; "
+                "distributed run checkpoints are restored via DistributedSamplingRun.resume()"
+            )
+        sampler = payload["sampler"]
+        if not isinstance(sampler, cls):
+            raise CheckpointError(
+                f"{path} holds a {type(sampler).__name__}, not a {cls.__name__}"
+            )
+        return sampler
+
 
 def make_distributed_sampler(
     algorithm: str,
@@ -380,6 +414,21 @@ class DistributedSamplingRun:
         Extra keyword arguments forwarded to the backend constructor when
         ``comm`` is a name — e.g. ``payload_transport="shm"`` /
         ``shm_min_bytes=`` or ``start_method=`` for the process backend.
+    checkpoint_dir:
+        Directory for on-disk checkpoints (see :mod:`repro.checkpoint`).
+        When set, a round-0 checkpoint is written immediately so
+        worker-death recovery always has a restorable base, and
+        :meth:`run` transparently recovers from worker deaths on the
+        process backend: respawn (``ProcessComm.recover``), restore the
+        last checkpoint, replay the lost rounds.  The final sample is
+        byte-identical to an undisturbed run.
+    checkpoint_every:
+        Write a checkpoint every N completed rounds (requires
+        ``checkpoint_dir``); ``None`` keeps only the explicit saves.
+    keep_checkpoints:
+        Retention count for periodic checkpoints (oldest pruned first).
+    max_recoveries:
+        Worker-death recoveries :meth:`run` attempts before re-raising.
     """
 
     def __init__(
@@ -400,12 +449,19 @@ class DistributedSamplingRun:
         window: Optional[int] = None,
         pipeline: str = "off",
         kernel_tier: str = "numpy",
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        keep_checkpoints: int = 3,
+        max_recoveries: int = 3,
+        stream_id_offset: int = 0,
         **comm_kwargs,
     ) -> None:
         # imported lazily: repro.pipeline itself imports from repro.core
         from repro.pipeline.engine import make_pipeline_engine, normalize_pipeline_mode
 
         pipeline = normalize_pipeline_mode(pipeline)
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ValueError("checkpoint_every= requires checkpoint_dir=")
         if pipeline != "off" and stream is not None:
             raise ValueError(
                 "pipeline= generates the stream inside the workers; a custom "
@@ -452,7 +508,12 @@ class DistributedSamplingRun:
             # make_pipeline_engine rejects samplers that cannot pipeline
             self.stream = None
             try:
-                self.sampler.attach_worker_stream(batch_size, seed=seed)
+                if stream_id_offset:
+                    self.sampler.attach_worker_stream(
+                        batch_size, seed=seed, id_offset=stream_id_offset
+                    )
+                else:
+                    self.sampler.attach_worker_stream(batch_size, seed=seed)
                 self.engine = make_pipeline_engine(self.sampler, pipeline)
             except BaseException:
                 if self._owns_comm:
@@ -464,7 +525,9 @@ class DistributedSamplingRun:
             # stamped stream so the window is defined in global arrival order
             self.stream = TimestampedMiniBatchStream(self.sampler.p, batch_size, seed=seed)
         else:
-            self.stream = MiniBatchStream(self.sampler.p, batch_size, seed=seed)
+            self.stream = MiniBatchStream(
+                self.sampler.p, batch_size, seed=seed, start_id=stream_id_offset
+            )
         if self.stream is not None and self.stream.p != self.sampler.p:
             raise ValueError(
                 f"stream has {self.stream.p} PEs but the sampler has {self.sampler.p}"
@@ -477,22 +540,274 @@ class DistributedSamplingRun:
             comm_backend=getattr(self.sampler.comm, "kind", ""),
             kernel_tier=str(getattr(self.sampler, "kernel_tier", "")),
         )
+        # ---- fault tolerance / checkpointing --------------------------
+        # the config travels inside every checkpoint so resume() can
+        # rebuild an equivalent run without the caller repeating arguments
+        self._config = {
+            "algorithm": self.algorithm if isinstance(algorithm, str) else None,
+            "k": getattr(self.sampler, "k", k),
+            "p": self.sampler.p,
+            "batch_size": batch_size,
+            "weighted": weighted,
+            "store": store,
+            "seed": seed,
+            "comm": comm if isinstance(comm, str) else getattr(comm, "kind", ""),
+            "comm_kwargs": dict(comm_kwargs),
+            "window": window,
+            "pipeline": pipeline,
+            "kernel_tier": kernel_tier,
+            "machine": self.machine,
+            "checkpoint_every": checkpoint_every,
+            "keep_checkpoints": keep_checkpoints,
+            "max_recoveries": max_recoveries,
+        }
+        self.max_recoveries = int(max_recoveries)
+        self._rounds_completed = 0
+        self._pending_recovered: List[int] = []
+        self._ckpt = None
+        if checkpoint_dir is not None:
+            from repro.checkpoint.manager import CheckpointManager
+
+            self._ckpt = CheckpointManager(
+                checkpoint_dir, every=checkpoint_every, keep=keep_checkpoints
+            )
+            # round-0 base checkpoint: a worker death in the very first
+            # round must still find a restorable state on disk
+            self.save_checkpoint()
 
     # ------------------------------------------------------------------
     @property
     def comm(self) -> Communicator:
         return self.sampler.comm
 
+    @property
+    def rounds_completed(self) -> int:
+        """Rounds successfully processed (checkpoint numbering unit)."""
+        return self._rounds_completed
+
+    def _step_once(self):
+        if self.engine is not None:
+            return self.engine.step()
+        round_batches = self.stream.next_round()
+        return self.sampler.process_round(round_batches.batches)
+
     def run(self, rounds: int) -> RunMetrics:
-        """Process ``rounds`` mini-batch rounds and return the run metrics."""
-        for _ in range(check_positive_int(rounds, "rounds", allow_zero=True)):
-            if self.engine is not None:
-                round_metrics = self.engine.step()
-            else:
-                round_batches = self.stream.next_round()
-                round_metrics = self.sampler.process_round(round_batches.batches)
+        """Process ``rounds`` mini-batch rounds and return the run metrics.
+
+        With ``checkpoint_dir`` set and a communicator that supports
+        :meth:`~repro.network.process_comm.ProcessComm.recover`, a round
+        that fails because a worker died is recovered transparently: the
+        dead ranks are respawned, all PEs are restored from the newest
+        on-disk checkpoint, and the rounds since that checkpoint are
+        replayed from their recorded stream positions — the final sample
+        is byte-identical to a run that never crashed.  Recoveries are
+        counted in :attr:`RunMetrics.recoveries`, the respawned ranks in
+        the first replayed round's
+        :attr:`~repro.runtime.metrics.RoundMetrics.recovered_pes`.
+        """
+        target = self._rounds_completed + check_positive_int(rounds, "rounds", allow_zero=True)
+        while self._rounds_completed < target:
+            try:
+                round_metrics = self._step_once()
+            except WorkerError:
+                if (
+                    self._ckpt is None
+                    or not hasattr(self.comm, "recover")
+                    or self.metrics.recoveries >= self.max_recoveries
+                ):
+                    raise
+                self._recover_and_restore()
+                continue
+            if self._pending_recovered:
+                round_metrics.recovered_pes = list(self._pending_recovered)
+                self._pending_recovered = []
             self.metrics.add_round(round_metrics)
+            self._rounds_completed += 1
+            if self._ckpt is not None and self._ckpt.should_checkpoint(self._rounds_completed):
+                self.save_checkpoint()
         return self.metrics
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore / recovery
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict:
+        from repro.checkpoint.state import snapshot_engine, snapshot_sampler
+
+        # engine first: it joins any in-flight prepare and re-arms it, so
+        # the per-PE export that follows sees the parked prepared batch
+        engine_snapshot = snapshot_engine(self.engine)
+        return {
+            "config": dict(self._config),
+            "sampler": snapshot_sampler(self.sampler),
+            "engine": engine_snapshot,
+            "driver_stream": self.stream,
+            "metrics": self.metrics,
+            "rounds_completed": self._rounds_completed,
+        }
+
+    def save_checkpoint(self) -> Path:
+        """Write a checkpoint of the complete run state to ``checkpoint_dir``.
+
+        Requires the run to have been constructed with ``checkpoint_dir=``.
+        Returns the path written.
+        """
+        if self._ckpt is None:
+            raise RuntimeError(
+                "this run has no checkpoint directory; construct it with checkpoint_dir="
+            )
+        return self._ckpt.save(self._rounds_completed, self._snapshot())
+
+    def _restore(self, rounds_completed: int, payload: dict) -> None:
+        from repro.checkpoint.state import restore_engine, restore_sampler
+
+        restore_sampler(self.sampler, payload["sampler"])
+        restore_engine(self.engine, payload["engine"])
+        self.stream = payload["driver_stream"]
+        self.metrics = payload["metrics"]
+        self._rounds_completed = int(rounds_completed)
+
+    def _recover_and_restore(self) -> None:
+        recoveries = self.metrics.recoveries
+        dead = self.comm.recover()
+        rounds_completed, payload = self._ckpt.load_latest()
+        self._restore(rounds_completed, payload)
+        # the restored metrics predate this failure: count it now, and tag
+        # the first replayed round with the ranks that were respawned
+        self.metrics.recoveries = recoveries + 1
+        self._pending_recovered = sorted(set(self._pending_recovered) | set(dead))
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: Union[str, Path],
+        *,
+        p: Optional[int] = None,
+        comm: Optional[CommLike] = None,
+        seed: Optional[int] = None,
+        **overrides,
+    ) -> "DistributedSamplingRun":
+        """Rebuild a run from the newest checkpoint in ``checkpoint_dir``.
+
+        With the original PE count (default), the resumed run continues
+        **byte-identically**: same per-PE reservoirs, generator states and
+        stream positions, so ``sample_ids()`` after N more rounds equals
+        that of an uninterrupted run — on either backend (override with
+        ``comm=`` to switch, e.g. resume a simulated run on real
+        processes).
+
+        Passing a *different* ``p`` re-shards elastically (fixed-k 'ours'
+        family only): the surviving (key, id) pairs are dealt round-robin
+        onto the new PE grid, the threshold and stream counters carry
+        over, and the stream restarts past every previously emitted item
+        id — inclusion probabilities are preserved (not byte-identity;
+        see :mod:`repro.checkpoint.elastic`).  ``seed`` reseeds the
+        resharded run's generators (defaults to the checkpointed seed).
+        """
+        from repro.checkpoint.format import CheckpointError
+        from repro.checkpoint.manager import CheckpointManager
+
+        manager = CheckpointManager(checkpoint_dir)
+        rounds_completed, payload = manager.load_latest()
+        config = payload["config"]
+        if config.get("algorithm") is None:
+            raise CheckpointError(
+                "checkpoint was taken from a run built around a pre-constructed sampler "
+                "object; rebuild the sampler yourself and restore it with "
+                "repro.checkpoint.restore_sampler instead of resume()"
+            )
+        if overrides:
+            raise ValueError(
+                f"unsupported resume() overrides {sorted(overrides)}; only p=, comm= and "
+                "seed= may differ from the checkpointed configuration"
+            )
+        new_p = config["p"] if p is None else int(p)
+        if new_p != config["p"]:
+            return cls._resume_elastic(checkpoint_dir, payload, new_p, comm=comm, seed=seed)
+        run = cls(
+            config["algorithm"],
+            k=config["k"],
+            p=config["p"],
+            batch_size=config["batch_size"],
+            machine=config.get("machine"),
+            weighted=config["weighted"],
+            store=config["store"],
+            seed=config["seed"] if seed is None else seed,
+            comm=config["comm"] if comm is None else comm,
+            window=config["window"],
+            pipeline=config["pipeline"],
+            kernel_tier=config["kernel_tier"],
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=config["checkpoint_every"],
+            keep_checkpoints=config["keep_checkpoints"],
+            max_recoveries=config["max_recoveries"],
+            **(config["comm_kwargs"] if comm is None else {}),
+        )
+        run._restore(rounds_completed, payload)
+        return run
+
+    @classmethod
+    def _resume_elastic(
+        cls,
+        checkpoint_dir: Union[str, Path],
+        payload: dict,
+        new_p: int,
+        *,
+        comm: Optional[CommLike],
+        seed: Optional[int],
+    ) -> "DistributedSamplingRun":
+        from repro.checkpoint.elastic import (
+            check_reshardable,
+            collect_reservoir_pairs,
+            deal_pairs,
+            next_free_stream_id,
+        )
+        from repro.checkpoint.format import CheckpointError
+
+        config = payload["config"]
+        sampler_snapshot = payload["sampler"]
+        check_reshardable(sampler_snapshot)
+        if config["pipeline"] != "off":
+            raise CheckpointError(
+                "elastic resume supports lock-step runs (pipeline='off'); pipelined runs "
+                "park worker-local prepared state that cannot be re-sharded — resume with "
+                "the original p instead"
+            )
+        pairs = collect_reservoir_pairs(sampler_snapshot)
+        per_pe_items = deal_pairs(pairs, new_p)
+        id_offset = next_free_stream_id(payload)
+        run = cls(
+            config["algorithm"],
+            k=config["k"],
+            p=new_p,
+            batch_size=config["batch_size"],
+            machine=config.get("machine"),
+            weighted=config["weighted"],
+            store=config["store"],
+            seed=config["seed"] if seed is None else seed,
+            comm=config["comm"] if comm is None else comm,
+            window=config["window"],
+            pipeline="off",
+            kernel_tier=config["kernel_tier"],
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=config["checkpoint_every"],
+            keep_checkpoints=config["keep_checkpoints"],
+            max_recoveries=config["max_recoveries"],
+            stream_id_offset=id_offset,
+            **(config["comm_kwargs"] if comm is None else {}),
+        )
+        driver = sampler_snapshot["driver"]
+        run.sampler.preload(
+            per_pe_items,
+            items_seen=driver.get("_items_seen", 0),
+            total_weight=driver.get("_total_weight", 0.0),
+            threshold=driver.get("threshold"),
+        )
+        run._rounds_completed = int(payload["rounds_completed"])
+        run.metrics.recoveries = payload["metrics"].recoveries
+        # overwrite the directory's newest entry with the re-sharded state
+        # so a later recovery or resume restores at the new PE count
+        run.save_checkpoint()
+        return run
 
     def sample_ids(self) -> np.ndarray:
         return self.sampler.sample_ids()

@@ -392,6 +392,7 @@ class DistributedReservoirSampler:
         weights=None,
         variable: bool = False,
         stamped: bool = False,
+        id_offset: int = 0,
     ) -> None:
         """Install a worker-local stream shard on every PE.
 
@@ -405,9 +406,17 @@ class DistributedReservoirSampler:
         (adaptive mini-batch sizing; switches to interleaved item ids) and
         ``stamped=True`` makes them emit timestamped batches — both are
         used by the pipelined drivers of :mod:`repro.pipeline`.
+        ``id_offset`` shifts every emitted id (elastic re-sharding starts
+        a resharded stream past the ids the old shard layout emitted).
         """
         specs = make_shard_specs(
-            self.p, batch_size, seed=seed, weights=weights, variable=variable, stamped=stamped
+            self.p,
+            batch_size,
+            seed=seed,
+            weights=weights,
+            variable=variable,
+            stamped=stamped,
+            id_offset=id_offset,
         )
         self.comm.run_per_pe(
             self._handle, pe_kernels.install_stream_kernel, [(spec,) for spec in specs]

@@ -68,6 +68,8 @@ class LocalReservoir:
         self, backend: str = "merge", *, order: int = 16, kernel_tier: str = "numpy"
     ) -> None:
         self.backend = normalize_store_name(backend)
+        self._order = order
+        self._kernel_tier = kernel_tier
         self._store: ReservoirStore = make_store(
             self.backend, order=order, kernel_tier=kernel_tier
         )
@@ -77,6 +79,30 @@ class LocalReservoir:
     def store(self) -> ReservoirStore:
         """The underlying store backend."""
         return self._store
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Copy the reservoir contents (sorted keys + aligned ids)."""
+        return {
+            "backend": self.backend,
+            "keys": self._store.keys_array(),
+            "ids": self._store.ids_array(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the store from an :meth:`export_state` snapshot.
+
+        The exported keys are already sorted, so inserting them into a
+        fresh merge store takes its empty-store copy path and reproduces
+        the internal arrays byte-for-byte.
+        """
+        self._store = make_store(self.backend, order=self._order, kernel_tier=self._kernel_tier)
+        keys = np.asarray(state["keys"], dtype=np.float64)
+        ids = np.asarray(state["ids"], dtype=np.int64)
+        if keys.shape[0]:
+            self._store.insert_batch(keys, ids)
 
     def __len__(self) -> int:
         return len(self._store)

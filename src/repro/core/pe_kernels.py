@@ -71,6 +71,8 @@ __all__ = [
     "window_sample_items_kernel",
     "centralized_candidates_kernel",
     "centralized_stream_candidates_kernel",
+    "export_pe_state_kernel",
+    "import_pe_state_kernel",
 ]
 
 
@@ -653,3 +655,72 @@ def centralized_stream_candidates_kernel(
         state, batch.ids, batch.weights, threshold, weighted, k
     )
     return keys, ids, len(batch), float(batch.total_weight)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint kernels
+# ---------------------------------------------------------------------------
+def _copy_prepared(prepared: Optional[Dict[str, object]]) -> Optional[Dict[str, object]]:
+    if prepared is None:
+        return None
+    return {
+        key: (value.copy() if isinstance(value, np.ndarray) else value)
+        for key, value in prepared.items()
+    }
+
+
+def export_pe_state_kernel(state: Dict[str, object]) -> Dict[str, object]:
+    """Snapshot everything mutable in a PE state for a checkpoint.
+
+    The snapshot is field-wise (generators export their bit-generator
+    state, stream shards export their replay position, reservoirs export
+    their sorted contents) rather than a pickle of the live objects, so
+    it contains no locks and travels through either payload transport.
+    Works for all three state shapes (:func:`make_pe_state`,
+    :func:`make_window_pe_state`, :func:`make_centralized_state`).
+    """
+    snapshot: Dict[str, object] = {
+        "pe": int(state["pe"]),
+        "kernel_tier": state["kernel_tier"],
+        "rng": state["rng"].bit_generator.state,
+        "gen_rng": None,
+        "reservoir": None,
+        "stream": None,
+        "prepared": None,
+    }
+    gen_rng = state.get("gen_rng")
+    if gen_rng is not None:
+        snapshot["gen_rng"] = gen_rng.bit_generator.state
+    reservoir = state.get("reservoir")
+    if reservoir is not None:
+        snapshot["reservoir"] = reservoir.export_state()
+    stream = state.get("stream")
+    if stream is not None:
+        snapshot["stream"] = stream.export_state()
+    snapshot["prepared"] = _copy_prepared(state.get("prepared"))
+    return snapshot
+
+
+def import_pe_state_kernel(state: Dict[str, object], snapshot: Dict[str, object]) -> int:
+    """Overwrite a (freshly factory-created) PE state with a snapshot.
+
+    The state dict keeps its factory-built objects — reservoir, policy,
+    generators — and only their *contents* are replaced, so a respawned
+    worker first re-runs the original state factory and then imports the
+    checkpoint.  Returns the PE index as a cheap sanity echo.
+    """
+    if int(snapshot["pe"]) != int(state["pe"]):
+        raise ValueError(
+            f"checkpoint snapshot for PE {snapshot['pe']} applied to PE {state['pe']}"
+        )
+    state["rng"].bit_generator.state = snapshot["rng"]
+    if snapshot.get("gen_rng") is not None:
+        state["gen_rng"].bit_generator.state = snapshot["gen_rng"]
+    if snapshot.get("reservoir") is not None:
+        state["reservoir"].restore_state(snapshot["reservoir"])
+    stream_snapshot = snapshot.get("stream")
+    state["stream"] = (
+        WorkerStreamShard.from_state(stream_snapshot) if stream_snapshot is not None else None
+    )
+    state["prepared"] = _copy_prepared(snapshot.get("prepared"))
+    return int(state["pe"])

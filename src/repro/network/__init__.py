@@ -47,12 +47,13 @@ from repro.network.collectives import (
 from repro.network.communicator import SimComm
 from repro.network.cost_model import CommEvent, CostLedger, CostParameters
 from repro.network.message import Message, MessageTrace
-from repro.network.process_comm import ProcessComm, WorkerError
+from repro.network.process_comm import FaultSpec, PeerAbort, ProcessComm, WorkerError
 from repro.network.shm_ring import (
     DEFAULT_SHM_MIN_BYTES,
     ShmAttachmentCache,
     ShmDescriptor,
     ShmRing,
+    sweep_named_segments,
 )
 from repro.network.topology import Topology
 
@@ -68,6 +69,9 @@ __all__ = [
     "SimComm",
     "ProcessComm",
     "WorkerError",
+    "PeerAbort",
+    "FaultSpec",
+    "sweep_named_segments",
     "ReduceOp",
     "make_communicator",
     "merge_smallest",

@@ -42,22 +42,44 @@ batch shipping of ``process_round(batches)``; samples are byte-identical
 under both transports because only the transport changes, never the
 values.
 
-Fault handling
---------------
+Fault handling and recovery
+---------------------------
 Worker exceptions are caught, serialised (type + traceback text) and
 re-raised in the coordinator as :class:`WorkerError`.  Workers ignore
 ``SIGINT`` so a ``KeyboardInterrupt`` unwinds in the coordinator only,
 whose ``shutdown()`` (also invoked by the context manager and ``atexit``)
 terminates and joins every worker — no orphan processes are left behind.
 Workers are daemonic as a last line of defence.
+
+A worker that *dies* (SIGKILL, OOM, ``os._exit``) is detected through its
+process sentinel while the coordinator waits for replies — not after a
+timeout — and the coordinator immediately posts **abort sentinels** into
+every inbox so peers blocked inside a half-finished collective unwind
+with :class:`PeerAbort` in milliseconds instead of waiting out their
+mailbox timeout.  :meth:`ProcessComm.recover` then respawns the dead
+ranks, sweeps the shared-memory segments their dead incarnations leaked,
+replays every recorded ``create_pe_state`` on the fresh processes and
+bumps the communicator **epoch**: every inter-worker message carries the
+epoch it was sent under, and messages from a previous epoch are silently
+dropped, so no stale in-flight payload from before the failure can be
+confused with post-recovery traffic.  Restoring the actual sampler state
+and replaying the stream is the driver's job (see
+:mod:`repro.checkpoint`).
+
+For tests, :class:`FaultSpec` injects one deterministic failure into one
+worker: die inside a kernel, drop one inter-worker send, or delay one
+reply.
 """
 
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
 import queue as queue_module
+import secrets
 import signal
 import threading
 import time
@@ -79,10 +101,22 @@ from repro.network.shm_ring import (
     ShmRing,
     decode_payload,
     encode_payload,
+    sweep_named_segments,
 )
 from repro.network.topology import Topology
 
-__all__ = ["ProcessComm", "WorkerError", "default_start_method"]
+__all__ = ["ProcessComm", "WorkerError", "PeerAbort", "FaultSpec", "default_start_method"]
+
+#: shared-memory segment name stem; full worker prefixes are
+#: ``reprshm_<token>_r<rank>e<epoch>_<serial>`` so a recovery sweep can
+#: target exactly one communicator (token) and one rank without ever
+#: touching a live peer's segments.
+SHM_NAME_STEM = "reprshm"
+
+#: ``src`` value of an abort sentinel in a worker inbox (no real rank is
+#: negative); receiving one at the current or a newer epoch raises
+#: :class:`PeerAbort`.
+ABORT_SRC = -1
 
 
 class WorkerError(RuntimeError):
@@ -96,6 +130,55 @@ class WorkerError(RuntimeError):
             if tb:
                 lines.append("    " + "\n    ".join(tb.strip().splitlines()))
         super().__init__("\n".join(lines))
+
+
+class PeerAbort(RuntimeError):
+    """Raised inside a worker when the coordinator aborts a collective.
+
+    The coordinator posts abort sentinels after detecting a peer failure;
+    a worker blocked in ``recv`` unwinds immediately, reports the abort
+    through its command pipe like any other kernel error, and keeps
+    serving commands — it is a victim of the failure, not its cause.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic injected failure for the fault-injection tests.
+
+    Parameters
+    ----------
+    rank:
+        Worker rank the fault is installed on.
+    action:
+        ``"die_in_kernel"`` — ``os._exit(1)`` at the start of a command,
+        simulating a SIGKILL/OOM mid-round; ``"drop_send"`` — silently
+        swallow the worker's next inter-worker message, simulating a lost
+        packet (peers unwind via their mailbox timeout, no process dies);
+        ``"delay_reply"`` — sleep ``seconds`` before executing a command,
+        simulating a straggler (the run must complete without recovery).
+    after_calls:
+        How many kernel/collective commands run normally before the fault
+        fires (``0`` = the first one).  ``init_state`` and lifecycle
+        commands never count.
+    seconds:
+        Sleep duration for ``"delay_reply"``.
+    """
+
+    rank: int
+    action: str
+    after_calls: int = 0
+    seconds: float = 0.05
+
+    _ACTIONS = ("die_in_kernel", "drop_send", "delay_reply")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; expected one of {self._ACTIONS}")
+        if self.rank < 0:
+            raise ValueError(f"fault rank must be non-negative, got {self.rank}")
+        if self.after_calls < 0:
+            raise ValueError(f"after_calls must be non-negative, got {self.after_calls}")
 
 
 def default_start_method() -> str:
@@ -117,10 +200,10 @@ class _PayloadCodec:
     resolves descriptors received from any peer.
     """
 
-    def __init__(self, transport: str, min_bytes: int) -> None:
+    def __init__(self, transport: str, min_bytes: int, *, segment_prefix: Optional[str] = None) -> None:
         self.transport = transport
         self.min_bytes = int(min_bytes)
-        self._ring = ShmRing() if transport == "shm" else None
+        self._ring = ShmRing(name_prefix=segment_prefix) if transport == "shm" else None
         self._cache = ShmAttachmentCache() if transport == "shm" else None
 
     @property
@@ -136,6 +219,16 @@ class _PayloadCodec:
         if self._cache is None:
             return value
         return decode_payload(value, self._cache)
+
+    def forget_attachments(self) -> None:
+        """Drop cached attachments to peer segments (they may be gone).
+
+        Called after a recovery: the dead incarnation's segments were
+        swept, so any cached attachment to them must not be reused.  The
+        cache re-attaches on demand; correctness is unaffected.
+        """
+        if self._cache is not None:
+            self._cache.close()
 
     def close(self, *, unlink_attached: bool = False) -> None:
         """Drop attachments and unlink this endpoint's segments.  Idempotent.
@@ -159,23 +252,41 @@ class _PayloadCodec:
 class _Mailbox:
     """Receive-side of a worker's inbox with out-of-order stashing.
 
-    Messages are tagged ``(seq, src)``.  Within one collective (one ``seq``)
-    a rank may receive from several peers whose messages can interleave
-    arbitrarily in the queue; messages for a later collective can also
-    arrive while this rank is still draining the current one.  ``recv``
-    returns the requested message and stashes everything else.
+    Messages are tagged ``(seq, src, epoch)``.  Within one collective (one
+    ``seq``) a rank may receive from several peers whose messages can
+    interleave arbitrarily in the queue; messages for a later collective
+    can also arrive while this rank is still draining the current one.
+    ``recv`` returns the requested message and stashes everything else.
 
     Payloads are decoded (shared-memory descriptors resolved) the moment
     they leave the queue — *before* any stashing — so the sender's ring
     slots are released promptly no matter how far out of order the
     messages arrived.
+
+    Two failure-path rules keep recovery sound:
+
+    * a message whose epoch is **older** than the mailbox's is a leftover
+      from before a recovery — it is dropped (its payload best-effort
+      decoded only to release the sender's ring slot);
+    * an **abort sentinel** (``src == ABORT_SRC``) at the current or a
+      newer epoch raises :class:`PeerAbort`, unwinding a rank blocked in
+      a collective whose peer died.
     """
 
-    def __init__(self, queue, timeout: float, codec: _PayloadCodec) -> None:
+    def __init__(self, queue, timeout: float, codec: _PayloadCodec, *, epoch: int = 0) -> None:
         self._queue = queue
         self._timeout = timeout
         self._codec = codec
+        self.epoch = int(epoch)
         self._stash: Dict[Tuple[int, int], object] = {}
+
+    def _decode_for_release(self, payload: object) -> None:
+        # a dropped payload may reference segments of a dead worker; decode
+        # only to release live ring slots, and ignore segments that are gone
+        try:
+            self._codec.decode(payload)
+        except Exception:
+            pass
 
     def recv(self, seq: int, src: int) -> object:
         key = (seq, src)
@@ -190,16 +301,39 @@ class _Mailbox:
                     "a peer worker likely died or raised"
                 )
             try:
-                msg_seq, msg_src, payload = self._queue.get(timeout=remaining)
+                msg_seq, msg_src, msg_epoch, payload = self._queue.get(timeout=remaining)
             except queue_module.Empty:
                 # loop back so the deadline check raises the descriptive
                 # TimeoutError instead of a bare queue.Empty killing the
                 # worker without a diagnosis
                 continue
+            if msg_epoch < self.epoch:  # stale: sent before the last recovery
+                self._decode_for_release(payload)
+                continue
+            if msg_src == ABORT_SRC:
+                raise PeerAbort(
+                    f"collective aborted by the coordinator (epoch {msg_epoch}); "
+                    "a peer worker died or failed"
+                )
             payload = self._codec.decode(payload)
             if (msg_seq, msg_src) == key:
                 return payload
             self._stash[(msg_seq, msg_src)] = payload
+
+    def flush(self, new_epoch: int) -> None:
+        """Adopt ``new_epoch``: drop the stash and drain queued messages.
+
+        The epoch filter in :meth:`recv` remains the correctness backstop
+        for any message still in flight behind the queue's feeder thread.
+        """
+        self.epoch = int(new_epoch)
+        self._stash.clear()
+        while True:
+            try:
+                _seq, _src, _epoch, payload = self._queue.get_nowait()
+            except (queue_module.Empty, OSError, ValueError):
+                break
+            self._decode_for_release(payload)
 
 
 class _WorkerNet:
@@ -223,13 +357,21 @@ class _WorkerNet:
         self.inboxes = inboxes
         self.mailbox = mailbox
         self.codec = codec
+        self._drop_next_send = False
 
     @property
     def p(self) -> int:
         return self.topology.p
 
+    def drop_next_send(self) -> None:
+        """Fault injection: silently swallow the next outgoing message."""
+        self._drop_next_send = True
+
     def _send(self, seq: int, dst: int, payload: object) -> None:
-        self.inboxes[dst].put((seq, self.rank, self.codec.encode(payload)))
+        if self._drop_next_send:
+            self._drop_next_send = False
+            return
+        self.inboxes[dst].put((seq, self.rank, self.mailbox.epoch, self.codec.encode(payload)))
 
     # -- binomial tree ----------------------------------------------------
     def broadcast(self, seq: int, value: object, root: int) -> object:
@@ -354,6 +496,9 @@ def _worker_main(
     mailbox_timeout: float,
     payload_transport: str = "pickle",
     shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+    segment_prefix: Optional[str] = None,
+    epoch: int = 0,
+    fault: Optional[FaultSpec] = None,
 ) -> None:
     """Command loop of one worker process."""
     try:
@@ -361,11 +506,12 @@ def _worker_main(
     except (ValueError, OSError):  # pragma: no cover - non-main-thread start
         pass
     topology = Topology(p)
-    codec = _PayloadCodec(payload_transport, shm_min_bytes)
-    mailbox = _Mailbox(inboxes[rank], mailbox_timeout, codec)
+    codec = _PayloadCodec(payload_transport, shm_min_bytes, segment_prefix=segment_prefix)
+    mailbox = _Mailbox(inboxes[rank], mailbox_timeout, codec, epoch=epoch)
     net = _WorkerNet(rank, topology, inboxes, mailbox, codec)
     states: Dict[int, object] = {}
     async_jobs: Dict[int, Tuple[threading.Thread, dict]] = {}
+    fault_calls = 0
     while True:
         try:
             msg = conn.recv()
@@ -374,6 +520,17 @@ def _worker_main(
         kind = msg[0]
         if kind == "exit":
             break
+        if fault is not None and kind in ("run", "run_async", "coll"):
+            triggered = fault_calls == fault.after_calls
+            fault_calls += 1
+            if triggered:
+                if fault.action == "die_in_kernel":
+                    # simulate SIGKILL/OOM: no teardown, no reply, hard exit
+                    os._exit(1)
+                elif fault.action == "delay_reply":
+                    time.sleep(fault.seconds)
+                elif fault.action == "drop_send":
+                    net.drop_next_send()
         try:
             if kind == "init_state":
                 _, group, factory, args = msg
@@ -437,6 +594,18 @@ def _worker_main(
                 else:
                     raise ValueError(f"unknown collective {op_name!r}")
                 conn.send(("ok", codec.encode(result)))
+            elif kind == "flush":
+                # Recovery resync: join-and-drop outstanding async kernels
+                # (they are local-only, so the join is bounded), adopt the
+                # new epoch, drain stale inbox traffic, and drop cached
+                # attachments to segments that may have been swept.
+                _, new_epoch = msg
+                for thread, _box in async_jobs.values():
+                    thread.join()
+                async_jobs.clear()
+                mailbox.flush(new_epoch)
+                codec.forget_attachments()
+                conn.send(("ok", None))
             else:
                 conn.send(("err", f"ValueError('unknown command {kind!r}')", ""))
         except BaseException as exc:  # propagate everything to the coordinator
@@ -483,9 +652,8 @@ class _ProcessPerPEFuture(PerPEFuture):
         comm = self._comm
         comm._ensure_open()
         start = time.perf_counter()
-        for conn in comm._conns:
-            conn.send(("join_async", self._tag))
         try:
+            comm._send_commands({rank: ("join_async", self._tag) for rank in range(comm.p)})
             self._results = comm._collect(range(comm.p))
         except WorkerError as exc:
             self._failure = exc
@@ -529,6 +697,9 @@ class ProcessComm(Communicator):
     ledger:
         Ledger recording *measured* wall-clock time per operation; a fresh
         one is created if not given.
+    fault:
+        Optional :class:`FaultSpec` installed on one worker at spawn time
+        (fault-injection tests only).  Respawned workers never inherit it.
     """
 
     kind = "process"
@@ -543,12 +714,14 @@ class ProcessComm(Communicator):
         payload_transport: str = "pickle",
         shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
         ledger: Optional[CostLedger] = None,
+        fault: Optional[FaultSpec] = None,
     ) -> None:
         super().__init__()
         self.topology = Topology(p)
         self.ledger = ledger if ledger is not None else CostLedger()
         self.trace = None  # message tracing is a simulator-only feature
         self.reply_timeout = float(reply_timeout)
+        self.mailbox_timeout = float(mailbox_timeout)
         self.payload_transport = normalize_payload_transport(payload_transport)
         self.shm_min_bytes = int(shm_min_bytes)
         self._codec = _PayloadCodec(self.payload_transport, self.shm_min_bytes)
@@ -556,31 +729,53 @@ class ProcessComm(Communicator):
         self._seq = 0
         self._async_tags = 0
         self._groups = 0
+        self._epoch = 0
+        self._shm_token = secrets.token_hex(4)
+        self._state_specs: List[Tuple[int, Callable[..., object], Optional[List[tuple]]]] = []
+        self.last_swept_segments: List[str] = []
         self._closed = False
         self._inboxes = [self._ctx.Queue() for _ in range(p)]
-        self._conns = []
-        self._procs = []
+        self._conns: List[object] = [None] * p
+        self._procs: List[object] = [None] * p
         for rank in range(p):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    rank,
-                    p,
-                    child_conn,
-                    self._inboxes,
-                    float(mailbox_timeout),
-                    self.payload_transport,
-                    self.shm_min_bytes,
-                ),
-                name=f"repro-pe-{rank}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            worker_fault = fault if fault is not None and fault.rank == rank else None
+            self._spawn_worker(rank, worker_fault)
         self._atexit = atexit.register(self.shutdown)
+
+    def _segment_prefix(self, rank: int) -> Optional[str]:
+        """Deterministic shm name prefix of one worker incarnation.
+
+        Scoped by communicator token, rank and epoch: the recovery sweep
+        for a dead rank globs ``{stem}_{token}_r{rank}e`` and can match
+        only that rank's (dead) incarnations, never a live peer.
+        """
+        if self.payload_transport != "shm":
+            return None
+        return f"{SHM_NAME_STEM}_{self._shm_token}_r{rank}e{self._epoch}"
+
+    def _spawn_worker(self, rank: int, fault: Optional[FaultSpec]) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                rank,
+                self.p,
+                child_conn,
+                self._inboxes,
+                self.mailbox_timeout,
+                self.payload_transport,
+                self.shm_min_bytes,
+                self._segment_prefix(rank),
+                self._epoch,
+                fault,
+            ),
+            name=f"repro-pe-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[rank] = parent_conn
+        self._procs[rank] = proc
 
     # ------------------------------------------------------------------
     # command plumbing
@@ -590,50 +785,124 @@ class ProcessComm(Communicator):
         """Liveness of each worker process (diagnostics/tests)."""
         return [proc.is_alive() for proc in self._procs]
 
+    @property
+    def worker_pids(self) -> List[int]:
+        """PID of each worker process (the fault harness kills by pid)."""
+        return [proc.pid for proc in self._procs]
+
+    @property
+    def epoch(self) -> int:
+        """Current communicator epoch (bumped by every :meth:`recover`)."""
+        return self._epoch
+
     def _ensure_open(self) -> None:
         if self._closed:
             raise RuntimeError("ProcessComm has been shut down")
 
-    def _recv_reply(self, rank: int) -> Tuple[str, object, str]:
-        conn = self._conns[rank]
-        if not conn.poll(self.reply_timeout):
-            raise WorkerError([(rank, f"no reply within {self.reply_timeout}s", "")])
-        try:
-            reply = conn.recv()
-        except (EOFError, OSError) as exc:
-            raise WorkerError([(rank, f"worker pipe closed ({exc!r})", "")]) from exc
-        if reply[0] == "ok":
-            return ("ok", self._codec.decode(reply[1]), "")
-        return ("err", reply[1], reply[2])
+    def _abort_pending_collectives(self) -> None:
+        """Post an abort sentinel into every inbox (current epoch).
+
+        Sent the moment a worker failure is detected so peers blocked in
+        a half-finished collective unwind with :class:`PeerAbort` at once
+        instead of waiting out their mailbox timeout.  Sentinels that no
+        rank consumes become stale at the next epoch bump and are dropped
+        by the mailbox filter.
+        """
+        for inbox in self._inboxes:
+            try:
+                inbox.put((ABORT_SRC, ABORT_SRC, self._epoch, None))
+            except (OSError, ValueError):  # pragma: no cover - queue closed
+                pass
 
     def _collect(self, ranks: Sequence[int]) -> List[object]:
         """Collect one reply from each given rank; raise if any failed.
 
-        All replies are drained before raising so the pipes stay in sync
+        Waits on the command pipes *and* the worker process sentinels at
+        the same time, so a worker death is detected immediately rather
+        than after ``reply_timeout``.  On the first failure of any kind an
+        abort sentinel is posted to every inbox (see
+        :meth:`_abort_pending_collectives`); all remaining replies are
+        still drained before raising so the surviving pipes stay in sync
         for subsequent commands.
         """
-        results: List[object] = []
+        ranks = list(ranks)
+        results: Dict[int, object] = {}
         failures: List[Tuple[int, str, str]] = []
-        for rank in ranks:
-            try:
-                status, value, tb = self._recv_reply(rank)
-            except WorkerError as exc:
-                failures.extend(exc.failures)
-                results.append(None)
-                continue
-            if status == "ok":
-                results.append(value)
-            else:
-                failures.append((rank, str(value), tb))
-                results.append(None)
+        pending = set(ranks)
+        aborted = False
+
+        def _fail(rank: int, message: str, tb: str = "") -> None:
+            nonlocal aborted
+            failures.append((rank, message, tb))
+            results[rank] = None
+            pending.discard(rank)
+            if not aborted:
+                aborted = True
+                self._abort_pending_collectives()
+
+        deadline = time.monotonic() + self.reply_timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for rank in sorted(pending):
+                    failures.append((rank, f"no reply within {self.reply_timeout}s", ""))
+                    results[rank] = None
+                pending.clear()
+                break
+            waitables = []
+            for rank in pending:
+                waitables.append(self._conns[rank])
+                waitables.append(self._procs[rank].sentinel)
+            ready = mp_connection.wait(waitables, timeout=remaining)
+            for rank in sorted(pending):
+                conn = self._conns[rank]
+                proc = self._procs[rank]
+                if conn in ready or conn.poll(0):
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        _fail(rank, f"worker pipe closed ({exc!r})")
+                        continue
+                    if reply[0] == "ok":
+                        results[rank] = self._codec.decode(reply[1])
+                        pending.discard(rank)
+                    else:
+                        _fail(rank, str(reply[1]), reply[2])
+                elif proc.sentinel in ready and not proc.is_alive():
+                    _fail(rank, f"worker died (exitcode={proc.exitcode})")
         if failures:
             raise WorkerError(failures)
-        return results
+        return [results[rank] for rank in ranks]
+
+    def _send_commands(self, messages_by_rank: Dict[int, object]) -> None:
+        """Send one command per rank; on any send failure abort and raise.
+
+        A dead worker's pipe raises ``BrokenPipeError`` at *send* time.
+        The ranks that did receive the command would block inside any
+        collective it starts, so on a failed send the coordinator posts
+        abort sentinels, drains the successfully commanded ranks (their
+        results are void — the operation as a whole failed) and raises the
+        aggregated :class:`WorkerError`.
+        """
+        send_failures: List[Tuple[int, str, str]] = []
+        sent: List[int] = []
+        for rank, message in messages_by_rank.items():
+            try:
+                self._conns[rank].send(message)
+                sent.append(rank)
+            except (BrokenPipeError, OSError, ValueError) as exc:
+                send_failures.append((rank, f"could not send command ({exc!r})", ""))
+        if send_failures:
+            self._abort_pending_collectives()
+            try:
+                self._collect(sent)
+            except WorkerError as exc:
+                send_failures.extend(exc.failures)
+            raise WorkerError(send_failures)
 
     def _command_all(self, messages: Sequence[object]) -> List[object]:
         self._ensure_open()
-        for rank, message in enumerate(messages):
-            self._conns[rank].send(message)
+        self._send_commands(dict(enumerate(messages)))
         return self._collect(range(self.p))
 
     def _record(self, op: str, messages: int, words: float, rounds: int, elapsed: float) -> None:
@@ -660,7 +929,9 @@ class ProcessComm(Communicator):
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
-    def broadcast(self, values: Sequence[object], root: int = 0, *, words: Optional[float] = None) -> List[object]:
+    def broadcast(
+        self, values: Sequence[object], root: int = 0, *, words: Optional[float] = None
+    ) -> List[object]:
         """Broadcast ``values[root]`` to all PEs along a real binomial tree."""
         self._check_values(values)
         root = self.topology.validate_rank(root)
@@ -802,8 +1073,12 @@ class ProcessComm(Communicator):
         self._seq += 1
         start = time.perf_counter()
         extra = {"src": src, "dst": dst}
-        self._conns[src].send(("coll", seq, "p2p", self._codec.encode(value), extra))
-        self._conns[dst].send(("coll", seq, "p2p", None, extra))
+        self._send_commands(
+            {
+                src: ("coll", seq, "p2p", self._codec.encode(value), extra),
+                dst: ("coll", seq, "p2p", None, extra),
+            }
+        )
         results = self._collect([src, dst])
         self._record("send", messages=1, words=words, rounds=1, elapsed=time.perf_counter() - start)
         return results[1]
@@ -821,6 +1096,12 @@ class ProcessComm(Communicator):
             raise ValueError(f"expected {self.p} per-PE argument tuples, got {len(per_pe_args)}")
         group = self._groups
         self._groups += 1
+        # Remember the spec so recover() can replay it on a respawned
+        # worker: the fresh process re-runs the factory (empty state) and
+        # the driver then restores actual contents from its checkpoint.
+        self._state_specs.append(
+            (group, factory, None if per_pe_args is None else [tuple(a) for a in per_pe_args])
+        )
         self._command_all(
             [
                 (
@@ -908,8 +1189,72 @@ class ProcessComm(Communicator):
         """Dispatch ``fn`` to a single worker."""
         pe = self.topology.validate_rank(pe)
         self._ensure_open()
-        self._conns[pe].send(("run", handle.group, fn, self._codec.encode(tuple(args))))
+        self._send_commands({pe: ("run", handle.group, fn, self._codec.encode(tuple(args)))})
         return self._collect([pe])[0]
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _drain_inbox(self, rank: int) -> None:
+        inbox = self._inboxes[rank]
+        while True:
+            try:
+                inbox.get_nowait()
+            except (queue_module.Empty, OSError, ValueError):
+                break
+
+    def _flush_workers(self) -> None:
+        self._send_commands({rank: ("flush", self._epoch) for rank in range(self.p)})
+        self._collect(range(self.p))
+
+    def recover(self) -> List[int]:
+        """Respawn dead workers and resynchronise the communicator.
+
+        Called by the driver after a :class:`WorkerError`.  In order:
+
+        1. find dead ranks via ``Process.is_alive``;
+        2. bump the epoch — everything sent before this instant is stale
+           and will be dropped by the mailbox filters;
+        3. drain the dead ranks' inboxes (they cannot drain their own)
+           and sweep the shared-memory segments their dead incarnations
+           leaked (rank-scoped names — live peers are untouchable);
+        4. respawn each dead rank with a fresh pipe, the new epoch and a
+           new segment prefix, then replay every recorded
+           ``create_pe_state`` on it in creation order (fresh, *empty*
+           states — restoring contents from a checkpoint is the driver's
+           job, see :mod:`repro.checkpoint`);
+        5. flush every worker (drop async jobs, stale messages, stash and
+           attachment caches; adopt the new epoch) and drop the
+           coordinator's own attachment cache.
+
+        Also safe to call when no worker died (e.g. after a lost-message
+        timeout): steps 2 and 5 alone restore a consistent collective
+        state.  Returns the list of respawned ranks.
+        """
+        self._ensure_open()
+        dead = [rank for rank, proc in enumerate(self._procs) if not proc.is_alive()]
+        self._epoch += 1
+        swept: List[str] = []
+        for rank in dead:
+            self._drain_inbox(rank)
+            if self.payload_transport == "shm":
+                swept.extend(sweep_named_segments(f"{SHM_NAME_STEM}_{self._shm_token}_r{rank}e"))
+        for rank in dead:
+            try:
+                self._conns[rank].close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._procs[rank].join(timeout=1.0)
+            self._spawn_worker(rank, fault=None)
+        for rank in dead:
+            for group, factory, per_pe_args in self._state_specs:
+                args = () if per_pe_args is None else self._codec.encode(tuple(per_pe_args[rank]))
+                self._send_commands({rank: ("init_state", group, factory, args)})
+                self._collect([rank])
+        self._flush_workers()
+        self._codec.forget_attachments()
+        self.last_swept_segments = swept
+        return dead
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -952,11 +1297,14 @@ class ProcessComm(Communicator):
         # terminated above, or killed before shutdown (non-zero exitcode,
         # None = unjoinable) — never ran its teardown, and ring segments
         # are deliberately untracked, so best-effort-unlink the worker
-        # segments this side attached; any worker-to-worker segments of a
-        # hard-killed worker stay in /dev/shm (see shm_ring._untracked for
-        # the trade-off).
+        # segments this side attached, then sweep every remaining segment
+        # of this communicator by its token-scoped name (covers the
+        # worker-to-worker segments of hard-killed workers, which used to
+        # be a documented leak).
         unclean = any(proc.exitcode != 0 for proc in self._procs)
         self._codec.close(unlink_attached=unclean)
+        if self.payload_transport == "shm":
+            sweep_named_segments(f"{SHM_NAME_STEM}_{self._shm_token}_")
         try:
             atexit.unregister(self._atexit)
         except Exception:  # pragma: no cover

@@ -55,7 +55,8 @@ import threading
 import time
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Iterator, List, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +67,7 @@ __all__ = [
     "ShmAttachmentCache",
     "encode_payload",
     "decode_payload",
+    "sweep_named_segments",
 ]
 
 #: default minimum array size (bytes) routed through shared memory; smaller
@@ -151,14 +153,35 @@ class ShmDescriptor:
 
 
 class _Slot:
-    """One reusable shared-memory segment with an in-flight flag header."""
+    """One reusable shared-memory segment with an in-flight flag header.
+
+    With ``name=None`` the segment gets an anonymous random name (the
+    historic behaviour).  Rings owned by :class:`ProcessComm` workers pass
+    deterministic names (``reprshm_<token>_r<rank>e<epoch>_<slot>``) so
+    that the recovery supervisor can sweep exactly the segments a
+    hard-killed worker leaked — and nothing else.  A deterministic name
+    may collide with a stale segment of a previous incarnation that was
+    killed before the sweep ran; creation then unlinks the stale segment
+    and retries once.
+    """
 
     __slots__ = ("shm", "capacity")
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, name: Optional[str] = None) -> None:
         self.capacity = capacity
         with _untracked():
-            self.shm = shared_memory.SharedMemory(create=True, size=_HEADER_BYTES + capacity)
+            try:
+                self.shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=_HEADER_BYTES + capacity
+                )
+            except FileExistsError:
+                # stale segment from a killed previous incarnation
+                stale = shared_memory.SharedMemory(name=name)
+                stale.close()
+                stale.unlink()
+                self.shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=_HEADER_BYTES + capacity
+                )
         self.shm.buf[0] = 0
 
     @property
@@ -184,11 +207,20 @@ class ShmRing:
     shutdown so no segments outlive the communicator.
     """
 
-    def __init__(self, *, reuse_timeout: float = 30.0) -> None:
+    def __init__(self, *, reuse_timeout: float = 30.0, name_prefix: Optional[str] = None) -> None:
         self._slots: List[_Slot] = []
         self._cursor = 0
         self._reuse_timeout = float(reuse_timeout)
+        self._name_prefix = name_prefix
+        self._slot_serial = 0  # never reused, so regrown slots get fresh names
         self._destroyed = False
+
+    def _new_slot(self, capacity: int) -> _Slot:
+        name = None
+        if self._name_prefix is not None:
+            name = f"{self._name_prefix}_{self._slot_serial}"
+            self._slot_serial += 1
+        return _Slot(capacity, name=name)
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -210,11 +242,11 @@ class ShmRing:
                 self._cursor = (index + 1) % n
                 if slot.capacity < nbytes:
                     slot.destroy()
-                    slot = _Slot(max(nbytes, 2 * slot.capacity, _MIN_SLOT_BYTES))
+                    slot = self._new_slot(max(nbytes, 2 * slot.capacity, _MIN_SLOT_BYTES))
                     self._slots[index] = slot
                 return slot
         if n < _MAX_SLOTS:
-            slot = _Slot(max(nbytes, _MIN_SLOT_BYTES))
+            slot = self._new_slot(max(nbytes, _MIN_SLOT_BYTES))
             self._slots.append(slot)
             return slot
         # every slot in a full-grown ring is in flight: a receiver stopped
@@ -226,7 +258,7 @@ class ShmRing:
                     self._cursor = (index + 1) % len(self._slots)
                     if slot.capacity < nbytes:
                         slot.destroy()
-                        slot = _Slot(max(nbytes, 2 * slot.capacity, _MIN_SLOT_BYTES))
+                        slot = self._new_slot(max(nbytes, 2 * slot.capacity, _MIN_SLOT_BYTES))
                         self._slots[index] = slot
                     return slot
             time.sleep(0.0005)
@@ -317,6 +349,38 @@ class ShmAttachmentCache:
             except (FileNotFoundError, OSError):  # already gone / owner got it
                 pass
         self.close()
+
+
+def sweep_named_segments(prefix: str) -> List[str]:
+    """Unlink every shared-memory segment whose name starts with ``prefix``.
+
+    The recovery path of :class:`~repro.network.process_comm.ProcessComm`
+    calls this with a dead worker's rank-scoped ring prefix
+    (``reprshm_<token>_r<rank>e``): the token is unique per communicator
+    and the rank is in the prefix, so the sweep can never touch a segment
+    owned by a live peer — only the dead incarnation's leaked slots.
+
+    Segment enumeration uses ``/dev/shm`` (Linux tmpfs backing of POSIX
+    shared memory); on platforms without it the sweep is a no-op and the
+    segments remain the pre-existing documented leak.  Returns the names
+    that were unlinked.
+    """
+    if not prefix:
+        raise ValueError("refusing to sweep with an empty prefix")
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return []
+    swept = []
+    for path in shm_dir.glob(prefix + "*"):
+        try:
+            with _untracked():
+                segment = shared_memory.SharedMemory(name=path.name)
+                segment.close()
+                segment.unlink()
+            swept.append(path.name)
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced away
+            pass
+    return sorted(swept)
 
 
 def _placeable(value: object, min_bytes: int) -> bool:

@@ -138,6 +138,48 @@ class _PipelineEngineBase:
             except Exception:  # pragma: no cover - teardown best effort
                 pass
 
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Capture the engine's state for a checkpoint, draining any prepare.
+
+        If a prepare/prefetch future is pending it is joined *now* and
+        replaced, on the live engine, by an already-completed future
+        holding the same results — the prepared data itself lives in the
+        worker states and is captured by the per-PE export that follows,
+        so the continued run and a resumed run stay in lock step.  Call
+        this BEFORE exporting the per-PE sampler state.
+        """
+        pending_results = None
+        if self._pending is not None:
+            pending_results = self._pending.wait()
+            self._pending = PerPEFuture(list(pending_results))
+        return {
+            "mode": self.mode,
+            "rounds": self._rounds,
+            "requested_batch_size": self._requested_batch_size,
+            "pending_results": pending_results,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Re-arm a freshly built engine from an :meth:`export_state` capture.
+
+        The mode must match; a pending prepare captured in the state is
+        re-armed as an already-completed future, mirroring what
+        :meth:`export_state` left on the original engine.
+        """
+        if state["mode"] != self.mode:
+            raise ValueError(
+                f"engine state was captured in pipeline mode {state['mode']!r} but this "
+                f"engine runs {self.mode!r}"
+            )
+        self._rounds = int(state["rounds"])
+        requested = state.get("requested_batch_size")
+        self._requested_batch_size = None if requested is None else int(requested)
+        pending = state.get("pending_results")
+        self._pending = PerPEFuture(list(pending)) if pending is not None else None
+
     def _join_pending(self) -> Tuple[List[object], float, bool]:
         """Wait for the in-flight prepare; returns (results, wait, was_async)."""
         pending = self._pending

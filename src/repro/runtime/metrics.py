@@ -95,6 +95,8 @@ class RoundMetrics:
     #: pipelined runs (relaxed mode): prepared candidates that the fresher
     #: threshold pruned again at ingest time (the staleness overhead)
     stale_extra_candidates: int = 0
+    #: fault-tolerant runs: PEs respawned before this round was (re)played
+    recovered_pes: List[int] = field(default_factory=list)
 
     @property
     def simulated_time(self) -> float:
@@ -139,6 +141,7 @@ class RoundMetrics:
             "window_buffer_items": self.window_buffer_items,
             "overlap_saved_time": self.overlap_saved_time,
             "stale_extra_candidates": self.stale_extra_candidates,
+            "recovered_pes": list(self.recovered_pes),
         }
 
 
@@ -157,6 +160,8 @@ class RunMetrics:
     kernel_tier: str = ""
     #: measured wall-clock seconds of the run (0 when only simulated time exists)
     wall_time: float = 0.0
+    #: worker-death recoveries the run survived (process backend only)
+    recoveries: int = 0
     rounds: List[RoundMetrics] = field(default_factory=list)
 
     def add_round(self, metrics: RoundMetrics) -> None:
@@ -298,4 +303,5 @@ class RunMetrics:
             "total_stale_extra_candidates": self.total_stale_extra_candidates,
             "total_selection_skips": self.total_selection_skips,
             "overlap_efficiency": self.overlap_efficiency(),
+            "recoveries": self.recoveries,
         }

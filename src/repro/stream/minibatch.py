@@ -97,6 +97,10 @@ class MiniBatchStream:
         Weight generator; defaults to the paper's uniform 0..100 weights.
     seed:
         Seed for the per-PE random streams.
+    start_id:
+        First item id to emit (default 0).  Elastic re-sharding resumes a
+        stream on a different PE count with ``start_id`` set past every
+        previously emitted id so the phases never collide.
     """
 
     def __init__(
@@ -105,6 +109,8 @@ class MiniBatchStream:
         batch_size: Union[SizeLike, BatchSizeSchedule],
         weights: Optional[WeightGenerator] = None,
         seed: Optional[int] = 0,
+        *,
+        start_id: int = 0,
     ) -> None:
         self.p = check_positive_int(p, "p")
         self.schedule = (
@@ -113,7 +119,7 @@ class MiniBatchStream:
         self.weights = weights if weights is not None else UniformWeightGenerator()
         self._rngs = spawn_generators(seed, self.p)
         self._round = 0
-        self._next_id = 0
+        self._next_id = check_positive_int(start_id, "start_id", allow_zero=True)
         self._items_emitted = 0
 
     # ------------------------------------------------------------------

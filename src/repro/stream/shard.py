@@ -76,6 +76,12 @@ class StreamShardSpec:
         Allow :meth:`WorkerStreamShard.set_batch_size` between rounds;
         switches the id layout to PE-interleaved (collision-free for any
         size sequence) instead of the fixed-size contiguous layout.
+    id_offset:
+        Constant added to every generated item id.  Elastic re-sharding
+        (:mod:`repro.checkpoint.elastic`) uses it to start a resharded
+        stream's ids past everything the pre-reshard stream emitted; the
+        same offset must be used on every PE (distinctness across PEs is
+        preserved because the whole id grid shifts together).
     """
 
     p: int
@@ -85,12 +91,15 @@ class StreamShardSpec:
     weights: WeightGenerator = field(default_factory=UniformWeightGenerator)
     stamped: bool = False
     variable: bool = False
+    id_offset: int = 0
 
     def __post_init__(self) -> None:
         check_positive_int(self.p, "p")
         check_positive_int(self.batch_size, "batch_size")
         if not 0 <= self.pe < self.p:
             raise ValueError(f"pe {self.pe} out of range 0..{self.p - 1}")
+        if self.id_offset < 0:
+            raise ValueError(f"id_offset must be non-negative, got {self.id_offset}")
 
 
 def make_shard_specs(
@@ -101,6 +110,7 @@ def make_shard_specs(
     weights: Optional[WeightGenerator] = None,
     variable: bool = False,
     stamped: bool = False,
+    id_offset: int = 0,
 ) -> list:
     """One :class:`StreamShardSpec` per PE for the same synthetic stream.
 
@@ -116,6 +126,7 @@ def make_shard_specs(
             seed=seed,
             variable=variable,
             stamped=stamped,
+            id_offset=id_offset,
             **({"weights": weights} if weights is not None else {}),
         )
         for pe in range(p)
@@ -131,6 +142,7 @@ class WorkerStreamShard:
         self._round = 0
         self._batch_size = spec.batch_size
         self._emitted = 0  # items produced so far (drives interleaved ids)
+        self._id_high = spec.id_offset  # exclusive upper bound on emitted ids
         self._prefetched: Optional[ItemBatch] = None
         # Serialises generation against resizes: a background prefetch
         # (async pipeline dispatch) may still be generating when an autotune
@@ -173,13 +185,10 @@ class WorkerStreamShard:
         spec = self.spec
         if spec.variable:
             # PE-interleaved ids stay globally unique for any size sequence.
-            start = self._emitted * spec.p + spec.pe
+            start = spec.id_offset + self._emitted * spec.p + spec.pe
             return np.arange(start, start + size * spec.p, spec.p, dtype=np.int64)
-        return np.arange(
-            (self._round * spec.p + spec.pe) * size,
-            (self._round * spec.p + spec.pe) * size + size,
-            dtype=np.int64,
-        )
+        start = spec.id_offset + (self._round * spec.p + spec.pe) * size
+        return np.arange(start, start + size, dtype=np.int64)
 
     def _generate(self) -> ItemBatch:
         spec = self.spec
@@ -189,6 +198,8 @@ class WorkerStreamShard:
             ids = self._ids_for_round(size)
             self._round += 1
             self._emitted += size
+            if ids.size:
+                self._id_high = max(self._id_high, int(ids[-1]) + 1)
         if spec.stamped:
             # For this synthetic stream the global arrival index IS the id
             # (items arrive in id order across PEs within a round), matching
@@ -218,6 +229,61 @@ class WorkerStreamShard:
                 batch, self._prefetched = self._prefetched, None
                 return batch
             return self._generate()
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Picklable snapshot of the shard's replay position.
+
+        The snapshot is field-wise (the shard itself holds an unpicklable
+        lock): the spec, the generator's bit-generator state, the round
+        and emission counters, and any prefetched-but-unconsumed batch.
+        Restoring it with :meth:`from_state` and generating onward yields
+        exactly the batches the original shard would have produced.
+        """
+        with self._lock:
+            prefetched = self._prefetched
+            if prefetched is not None:
+                prefetched = {
+                    "ids": prefetched.ids.copy(),
+                    "weights": prefetched.weights.copy(),
+                    "stamps": (
+                        prefetched.stamps.copy()
+                        if isinstance(prefetched, TimestampedItemBatch)
+                        else None
+                    ),
+                }
+            return {
+                "spec": self.spec,
+                "rng": self._rng.bit_generator.state,
+                "round": self._round,
+                "batch_size": self._batch_size,
+                "emitted": self._emitted,
+                "id_high": self._id_high,
+                "prefetched": prefetched,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WorkerStreamShard":
+        """Rebuild a shard at the exact position of an :meth:`export_state`."""
+        shard = cls(state["spec"])
+        shard._rng.bit_generator.state = state["rng"]
+        shard._round = int(state["round"])
+        shard._batch_size = int(state["batch_size"])
+        shard._emitted = int(state["emitted"])
+        shard._id_high = int(state["id_high"])
+        prefetched = state.get("prefetched")
+        if prefetched is not None:
+            if prefetched["stamps"] is not None:
+                shard._prefetched = TimestampedItemBatch(
+                    ids=prefetched["ids"],
+                    weights=prefetched["weights"],
+                    stamps=prefetched["stamps"],
+                )
+            else:
+                shard._prefetched = ItemBatch(ids=prefetched["ids"], weights=prefetched["weights"])
+        return shard
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"WorkerStreamShard(pe={self.spec.pe}/{self.spec.p}, round={self.round_index})"

@@ -150,6 +150,41 @@ class SlidingWindowBuffer:
         return self._stamps.copy()
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Copy the full buffer contents for checkpointing.
+
+        The exact dominator counts are part of the export: they encode how
+        many *later* arrivals dominate each item, which cannot be
+        reconstructed from the surviving items alone (evicted dominators
+        are gone), so a restore must carry them verbatim to keep the
+        suffix-top-k invariant byte-exact.
+        """
+        return {
+            "k": self.k,
+            "chunk": self.chunk,
+            "stamps": self._stamps.copy(),
+            "keys": self._keys.copy(),
+            "ids": self._ids.copy(),
+            "doms": self._doms.copy(),
+            "weights": None if self._weights is None else self._weights.copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the buffer contents with a previous :meth:`export_state`."""
+        self.k = check_positive_int(int(state["k"]), "k")
+        self.chunk = check_positive_int(int(state["chunk"]), "chunk")
+        self._stamps = np.asarray(state["stamps"], dtype=np.int64).copy()
+        self._keys = np.asarray(state["keys"], dtype=np.float64).copy()
+        self._ids = np.asarray(state["ids"], dtype=np.int64).copy()
+        self._doms = np.asarray(state["doms"], dtype=np.int64).copy()
+        weights = state.get("weights")
+        self._weights = None if weights is None else np.asarray(weights, dtype=np.float64).copy()
+        self._order = None
+        self._sorted = None
+
+    # ------------------------------------------------------------------
     # ingestion and expiry
     # ------------------------------------------------------------------
     def append(

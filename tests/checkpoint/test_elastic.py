@@ -1,0 +1,156 @@
+"""Elastic re-sharding: statistical correctness and guard rails.
+
+Changing ``p`` mid-run cannot preserve byte-identity (per-PE random
+streams depend on the grid), so the contract is statistical instead:
+every item's inclusion probability is unchanged by a reshard.  The
+chi-squared test below drives a p=4 → 2 → 6 schedule through many
+independent trials and compares the per-item inclusion counts against
+the uniform ``k/n`` law.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import chi_square_statistic
+from repro.checkpoint import CheckpointError
+from repro.checkpoint.elastic import collect_reservoir_pairs, deal_pairs, next_free_stream_id
+from repro.core.api import DistributedSamplingRun
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+K = 12
+BATCH = 10  # per PE per round
+P_SCHEDULE = [(4, 2), (2, 2), (6, 2)]  # (p, rounds) phases
+N_TOTAL = BATCH * sum(p * rounds for p, rounds in P_SCHEDULE)
+
+
+def run_elastic_trial(seed: int) -> np.ndarray:
+    """Final sample ids of one p=4→2→6 run, all phases checkpoint-chained."""
+    with tempfile.TemporaryDirectory() as tmp:
+        p0, rounds0 = P_SCHEDULE[0]
+        with DistributedSamplingRun(
+            "ours", k=K, p=p0, batch_size=BATCH, weighted=False, seed=seed, checkpoint_dir=tmp
+        ) as run:
+            run.run(rounds0)
+            run.save_checkpoint()
+        for phase, (p, rounds) in enumerate(P_SCHEDULE[1:], start=1):
+            resumed = DistributedSamplingRun.resume(tmp, p=p, seed=seed + 7919 * phase)
+            try:
+                assert resumed.sampler.p == p
+                resumed.run(rounds)
+                resumed.save_checkpoint()
+                ids = resumed.sample_ids()
+            finally:
+                resumed.close()
+        return ids
+
+
+class TestInclusionProbabilities:
+    def test_chi_squared_uniform_inclusion_across_reshard(self):
+        trials = 120
+        counts = np.zeros(N_TOTAL, dtype=np.int64)
+        for trial in range(trials):
+            ids = run_elastic_trial(seed=1000 + trial)
+            assert len(ids) == K
+            assert len(np.unique(ids)) == K
+            assert ids.min() >= 0 and ids.max() < N_TOTAL
+            counts += np.bincount(ids, minlength=N_TOTAL)
+        expected = np.full(N_TOTAL, K / N_TOTAL)
+        statistic, dof = chi_square_statistic(counts, expected, trials)
+        critical = scipy_stats.chi2.ppf(0.999, dof)
+        assert statistic < critical, (
+            f"chi2={statistic:.1f} exceeds the 99.9% quantile {critical:.1f} (dof={dof}); "
+            "resharding perturbed the inclusion probabilities"
+        )
+
+
+class TestElasticMechanics:
+    def test_counters_survive_the_reshard_chain(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with DistributedSamplingRun(
+                "ours", k=K, p=4, batch_size=BATCH, weighted=False, seed=3, checkpoint_dir=tmp
+            ) as run:
+                run.run(2)
+                run.save_checkpoint()
+                seen_before = run.sampler.items_seen
+            resumed = DistributedSamplingRun.resume(tmp, p=2)
+            try:
+                assert resumed.sampler.items_seen == seen_before
+                resumed.run(2)
+                assert resumed.sampler.items_seen == seen_before + 2 * 2 * BATCH
+            finally:
+                resumed.close()
+
+    def test_resharded_checkpoint_is_rewritten_at_new_p(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with DistributedSamplingRun(
+                "ours", k=K, p=4, batch_size=BATCH, weighted=False, seed=4, checkpoint_dir=tmp
+            ) as run:
+                run.run(2)
+                run.save_checkpoint()
+            resumed = DistributedSamplingRun.resume(tmp, p=2)
+            resumed.close()
+            again = DistributedSamplingRun.resume(tmp)  # no p override
+            try:
+                assert again.sampler.p == 2
+            finally:
+                again.close()
+
+    def test_deal_is_balanced_and_deterministic(self):
+        pairs = [(float(k), k) for k in range(11)]
+        dealt = deal_pairs(pairs, 3)
+        sizes = sorted(len(d) for d in dealt)
+        assert sizes == [3, 4, 4]
+        assert sorted(p for d in dealt for p in d) == pairs
+        assert deal_pairs(pairs, 3) == dealt
+
+    def test_deal_rejects_bad_p(self):
+        with pytest.raises(CheckpointError, match="p >= 1"):
+            deal_pairs([], 0)
+
+    def test_collected_pairs_are_key_sorted(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with DistributedSamplingRun(
+                "ours", k=K, p=4, batch_size=BATCH, seed=5, checkpoint_dir=tmp
+            ) as run:
+                run.run(2)
+                snapshot = run._snapshot()
+                sample_size = len(run.sample_ids())
+        pairs = collect_reservoir_pairs(snapshot["sampler"])
+        keys = [key for key, _ in pairs]
+        assert keys == sorted(keys)
+        assert len(pairs) == sample_size
+        assert next_free_stream_id(snapshot) >= 4 * 2 * BATCH
+
+
+class TestElasticGuards:
+    def _checkpointed(self, tmp, **kwargs):
+        with DistributedSamplingRun(
+            checkpoint_dir=tmp, k=K, batch_size=BATCH, seed=6, **kwargs
+        ) as run:
+            run.run(2)
+            run.save_checkpoint()
+
+    def test_window_variant_rejected(self, tmp_path):
+        self._checkpointed(tmp_path, p=4, window=200)
+        with pytest.raises(CheckpointError, match="not supported"):
+            DistributedSamplingRun.resume(tmp_path, p=2)
+
+    def test_gather_variant_rejected(self, tmp_path):
+        self._checkpointed(tmp_path, algorithm="gather", p=4)
+        with pytest.raises(CheckpointError, match="not supported"):
+            DistributedSamplingRun.resume(tmp_path, p=2)
+
+    def test_variable_size_variant_rejected(self, tmp_path):
+        self._checkpointed(tmp_path, algorithm="ours-variable", p=4)
+        with pytest.raises(CheckpointError, match="not supported"):
+            DistributedSamplingRun.resume(tmp_path, p=2)
+
+    def test_pipelined_run_rejected(self, tmp_path):
+        self._checkpointed(tmp_path, p=4, pipeline="strict")
+        with pytest.raises(CheckpointError, match="pipeline"):
+            DistributedSamplingRun.resume(tmp_path, p=2)

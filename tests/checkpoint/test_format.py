@@ -1,0 +1,151 @@
+"""Envelope format, schema versioning and checkpoint-manager behaviour.
+
+Every failure mode of a restore must raise a :class:`CheckpointError`
+whose message tells the operator what is wrong and what to do — never a
+bare pickle/struct traceback, never silently wrong state.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    FORMAT_VERSION,
+    MAGIC,
+    CheckpointError,
+    CheckpointManager,
+    dump_envelope,
+    load_checkpoint_file,
+    load_envelope,
+    save_checkpoint_file,
+)
+from repro.core.api import ReservoirSampler
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        payload = {"keys": np.arange(5.0), "nested": {"p": 4}}
+        restored = load_envelope(dump_envelope(payload))
+        assert restored["nested"] == {"p": 4}
+        assert np.array_equal(restored["keys"], payload["keys"])
+
+    def test_wrong_magic_is_not_a_checkpoint(self):
+        data = b"GARBAGE!" + dump_envelope({})[8:]
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_envelope(data)
+
+    def test_future_version_names_both_versions(self):
+        data = bytearray(dump_envelope({"x": 1}))
+        struct.pack_into("<I", data, 8, FORMAT_VERSION + 7)
+        with pytest.raises(CheckpointError, match="newer"):
+            load_envelope(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_envelope(MAGIC[:4])
+
+    def test_truncated_payload(self):
+        data = dump_envelope({"x": list(range(100))})
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_envelope(data[:-10])
+
+    def test_corrupted_payload_fails_checksum(self):
+        data = bytearray(dump_envelope({"x": list(range(100))}))
+        data[-5] ^= 0xFF
+        with pytest.raises(CheckpointError, match="corrupted"):
+            load_envelope(bytes(data))
+
+    def test_unpicklable_payload_is_actionable(self):
+        with pytest.raises(CheckpointError, match="not picklable"):
+            dump_envelope({"fn": lambda: None})
+
+
+class TestFileIO:
+    def test_save_load_round_trip(self, tmp_path):
+        path = save_checkpoint_file(tmp_path / "a" / "b.rpk", {"v": 42})
+        assert load_checkpoint_file(path) == {"v": 42}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint file"):
+            load_checkpoint_file(tmp_path / "nope.rpk")
+
+    def test_save_is_atomic_no_tmp_leftovers(self, tmp_path):
+        save_checkpoint_file(tmp_path / "c.rpk", {"v": 1})
+        save_checkpoint_file(tmp_path / "c.rpk", {"v": 2})
+        assert sorted(os.listdir(tmp_path)) == ["c.rpk"]
+        assert load_checkpoint_file(tmp_path / "c.rpk") == {"v": 2}
+
+    def test_corrupt_file_names_the_path(self, tmp_path):
+        path = save_checkpoint_file(tmp_path / "d.rpk", {"v": 3})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="d.rpk"):
+            load_checkpoint_file(path)
+
+
+class TestManager:
+    def test_cadence(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=3)
+        asked = [r for r in range(1, 10) if manager.should_checkpoint(r)]
+        assert asked == [3, 6, 9]
+        assert not CheckpointManager(tmp_path, every=None).should_checkpoint(3)
+
+    def test_round_zero_never_triggers_cadence(self, tmp_path):
+        assert not CheckpointManager(tmp_path, every=1).should_checkpoint(0)
+
+    def test_prune_keeps_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for r in range(5):
+            manager.save(r, {"round": r})
+        rounds = [r for r, _ in manager.list_checkpoints()]
+        assert rounds == [3, 4]
+        assert manager.load_latest() == (4, {"round": 4})
+
+    def test_keep_zero_retains_everything(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=0)
+        for r in range(4):
+            manager.save(r, {"round": r})
+        assert len(manager.list_checkpoints()) == 4
+
+    def test_load_latest_empty_dir_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="nothing to restore"):
+            CheckpointManager(tmp_path).load_latest()
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, {"round": 1})
+        (tmp_path / "notes.txt").write_text("hi")
+        (tmp_path / "ckpt-bad.rpk").write_text("hi")
+        assert [r for r, _ in manager.list_checkpoints()] == [1]
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            CheckpointManager(tmp_path, every=0)
+
+
+class TestSequentialSamplerFiles:
+    def test_save_load_round_trip_continues_identically(self, tmp_path):
+        rng = np.random.default_rng(3)
+        first = rng.random(200)
+        second = rng.random(200)
+
+        reference = ReservoirSampler(k=16, seed=9)
+        reference.feed(range(200), first)
+        reference.feed(range(200, 400), second)
+
+        sampler = ReservoirSampler(k=16, seed=9)
+        sampler.feed(range(200), first)
+        path = sampler.save(tmp_path / "seq.rpk")
+        restored = ReservoirSampler.load(path)
+        restored.feed(range(200, 400), second)
+        assert np.array_equal(restored.sample_ids(), reference.sample_ids())
+
+    def test_load_rejects_run_checkpoint(self, tmp_path):
+        path = save_checkpoint_file(tmp_path / "other.rpk", {"kind": "something_else"})
+        with pytest.raises(CheckpointError, match="sequential-sampler"):
+            ReservoirSampler.load(path)

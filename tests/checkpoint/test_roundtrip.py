@@ -1,0 +1,138 @@
+"""Checkpoint → restore → continue must equal an uninterrupted run, byte for byte.
+
+The property is checked two ways:
+
+* a Hypothesis sweep over variant × checkpoint round × run length on the
+  simulated backend (cheap enough for many examples), and
+* fixed parametrized cases on the real multiprocess backend, where each
+  case costs worker spawns.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import DistributedSamplingRun
+
+#: (label, constructor kwargs) of every checkpointable variant
+VARIANTS = {
+    "ours": dict(),
+    "ours-2": dict(algorithm="ours-2"),
+    "ours-variable": dict(algorithm="ours-variable"),
+    "gather": dict(algorithm="gather"),
+    "uniform": dict(weighted=False),
+    "window": dict(window=300),
+    "pipeline-strict": dict(pipeline="strict"),
+    "pipeline-relaxed": dict(pipeline="relaxed"),
+}
+
+BASE = dict(k=16, p=2, batch_size=64, seed=13)
+
+
+def build_run(label, *, checkpoint_dir=None, checkpoint_every=None, **extra):
+    kwargs = {**BASE, **VARIANTS[label], **extra}
+    algorithm = kwargs.pop("algorithm", "ours")
+    return DistributedSamplingRun(
+        algorithm,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        **kwargs,
+    )
+
+
+def roundtrip_ids(label, ckpt_round, total_rounds, *, comm="sim", resume_comm=None, **extra):
+    """sample_ids() after save at ``ckpt_round``, resume, run to ``total_rounds``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        with build_run(label, checkpoint_dir=tmp, comm=comm, **extra) as interrupted:
+            interrupted.run(ckpt_round)
+            interrupted.save_checkpoint()
+        resumed = DistributedSamplingRun.resume(tmp, comm=resume_comm)
+        try:
+            assert resumed.rounds_completed == ckpt_round
+            resumed.run(total_rounds - ckpt_round)
+            return resumed.sample_ids()
+        finally:
+            resumed.close()
+
+
+def reference_ids(label, total_rounds, *, comm="sim", **extra):
+    with build_run(label, comm=comm, **extra) as run:
+        run.run(total_rounds)
+        return run.sample_ids()
+
+
+class TestSimRoundTripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        label=st.sampled_from(sorted(VARIANTS)),
+        ckpt_round=st.integers(min_value=0, max_value=4),
+        extra_rounds=st.integers(min_value=1, max_value=4),
+    )
+    def test_restore_continue_equals_uninterrupted(self, label, ckpt_round, extra_rounds):
+        total = ckpt_round + extra_rounds
+        resumed = roundtrip_ids(label, ckpt_round, total)
+        assert np.array_equal(resumed, reference_ids(label, total))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        ckpt_round=st.integers(min_value=1, max_value=4),
+        kernel_tier=st.sampled_from(["numpy", "auto"]),
+    )
+    def test_kernel_tier_does_not_perturb_restore(self, ckpt_round, kernel_tier):
+        resumed = roundtrip_ids("ours", ckpt_round, 6, kernel_tier=kernel_tier)
+        assert np.array_equal(resumed, reference_ids("ours", 6, kernel_tier=kernel_tier))
+
+
+class TestProcessBackendRoundTrip:
+    @pytest.mark.parametrize("label", ["ours", "pipeline-strict", "window", "uniform"])
+    def test_restore_continue_equals_uninterrupted(self, label):
+        resumed = roundtrip_ids(label, 3, 6, comm="process", resume_comm="process")
+        assert np.array_equal(resumed, reference_ids(label, 6, comm="process"))
+
+    def test_cross_backend_restore_sim_to_process(self):
+        resumed = roundtrip_ids("ours", 3, 6, comm="sim", resume_comm="process")
+        assert np.array_equal(resumed, reference_ids("ours", 6, comm="sim"))
+
+    def test_cross_backend_restore_process_to_sim(self):
+        resumed = roundtrip_ids("ours", 3, 6, comm="process", resume_comm="sim")
+        assert np.array_equal(resumed, reference_ids("ours", 6, comm="process"))
+
+
+class TestPeriodicCheckpointing:
+    def test_cadence_writes_and_prunes(self, tmp_path):
+        with build_run(
+            "ours", checkpoint_dir=tmp_path, checkpoint_every=2, keep_checkpoints=2
+        ) as run:
+            run.run(8)
+        from repro.checkpoint import CheckpointManager
+
+        rounds = [r for r, _ in CheckpointManager(tmp_path).list_checkpoints()]
+        assert rounds == [6, 8]
+
+    def test_checkpoint_every_requires_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            build_run("ours", checkpoint_every=2)
+
+    def test_save_checkpoint_without_dir_raises(self):
+        with build_run("ours") as run:
+            with pytest.raises(RuntimeError, match="checkpoint_dir"):
+                run.save_checkpoint()
+
+
+class TestResumeValidation:
+    def test_unknown_override_rejected(self, tmp_path):
+        with build_run("ours", checkpoint_dir=tmp_path) as run:
+            run.save_checkpoint()
+        with pytest.raises(ValueError, match="overrides"):
+            DistributedSamplingRun.resume(tmp_path, batch_size=999)
+
+    def test_empty_dir_raises_actionable(self, tmp_path):
+        from repro.checkpoint import CheckpointError
+
+        with pytest.raises(CheckpointError, match="nothing to restore"):
+            DistributedSamplingRun.resume(tmp_path)

@@ -1,0 +1,66 @@
+"""Fault-injection harness fixtures.
+
+The harness kills real worker processes (``SIGKILL`` by pid) and installs
+deterministic :class:`~repro.network.process_comm.FaultSpec` failures, so
+these tests exercise the genuine recovery path: sentinel-based death
+detection, abort sentinels, epoch bump, respawn, checkpoint restore and
+stream replay.  Timeouts are kept small — a lost message must surface as
+a mailbox timeout in ~1 s, not the production default of 30 s.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import time
+
+import pytest
+
+from repro.network.process_comm import ProcessComm
+
+#: small-timeout settings so injected faults surface fast on one core
+FAST_TIMEOUTS = dict(mailbox_timeout=5.0, reply_timeout=60.0)
+
+
+def shm_segment_names() -> list:
+    """Names of this library's shared-memory segments currently on disk."""
+    return sorted(os.path.basename(p) for p in glob.glob("/dev/shm/reprshm_*"))
+
+
+def kill_worker(comm: ProcessComm, rank: int) -> None:
+    """SIGKILL one worker and wait until the OS has reaped it."""
+    pid = comm.worker_pids[rank]
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while comm.workers_alive[rank]:
+        if time.monotonic() > deadline:  # pragma: no cover - diagnostics
+            raise RuntimeError(f"worker {rank} (pid {pid}) survived SIGKILL")
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def make_process_comm():
+    """Factory for fast-timeout :class:`ProcessComm` instances.
+
+    Every communicator built through the factory is shut down at test
+    end even if the test body raises, so no worker processes or IPC
+    resources leak into later tests.
+    """
+    comms = []
+
+    def factory(p: int, **kwargs) -> ProcessComm:
+        merged = {**FAST_TIMEOUTS, **kwargs}
+        comm = ProcessComm(p, **merged)
+        comms.append(comm)
+        return comm
+
+    yield factory
+    for comm in comms:
+        comm.shutdown()
+
+
+@pytest.fixture
+def checkpoint_dir(tmp_path):
+    """A fresh checkpoint directory per test."""
+    return tmp_path / "ckpt"

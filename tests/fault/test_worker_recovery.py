@@ -1,0 +1,151 @@
+"""Worker-death recovery: the acceptance tests of the fault-tolerance PR.
+
+Every test compares the recovered run's final ``sample_ids()`` against an
+*undisturbed* reference run with identical parameters — recovery must be
+invisible in the output, byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import DistributedSamplingRun
+from repro.network.process_comm import FaultSpec, WorkerError
+
+from conftest import kill_worker, shm_segment_names
+
+P = 3
+RUN_KWARGS = dict(k=24, p=P, batch_size=150, seed=5)
+
+
+def reference_ids(rounds: int, **overrides) -> np.ndarray:
+    kwargs = {**RUN_KWARGS, **overrides}
+    with DistributedSamplingRun("ours", comm="process", **kwargs) as ref:
+        ref.run(rounds)
+        return ref.sample_ids()
+
+
+class TestSigkillRecovery:
+    def test_sigkilled_worker_is_respawned_and_sample_is_byte_identical(
+        self, make_process_comm, checkpoint_dir
+    ):
+        ref = reference_ids(6)
+        comm = make_process_comm(P)
+        run = DistributedSamplingRun(
+            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=2, **RUN_KWARGS
+        )
+        run.run(3)
+        kill_worker(comm, 1)
+        run.run(3)
+
+        assert run.metrics.recoveries == 1
+        assert comm.workers_alive == [True] * P
+        recovered = [r.recovered_pes for r in run.metrics.rounds if r.recovered_pes]
+        assert recovered == [[1]]
+        assert np.array_equal(run.sample_ids(), ref)
+
+    def test_two_sequential_deaths_both_recovered(self, make_process_comm, checkpoint_dir):
+        ref = reference_ids(9)
+        comm = make_process_comm(P)
+        run = DistributedSamplingRun(
+            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=2, **RUN_KWARGS
+        )
+        run.run(3)
+        kill_worker(comm, 0)
+        run.run(3)
+        kill_worker(comm, 2)
+        run.run(3)
+
+        assert run.metrics.recoveries == 2
+        assert comm.workers_alive == [True] * P
+        assert np.array_equal(run.sample_ids(), ref)
+
+    def test_death_without_checkpoint_dir_reraises(self, make_process_comm):
+        comm = make_process_comm(P)
+        run = DistributedSamplingRun("ours", comm=comm, **RUN_KWARGS)
+        run.run(2)
+        kill_worker(comm, 1)
+        with pytest.raises(WorkerError):
+            run.run(2)
+
+    def test_epoch_is_bumped_by_recovery(self, make_process_comm, checkpoint_dir):
+        comm = make_process_comm(P)
+        run = DistributedSamplingRun(
+            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=1, **RUN_KWARGS
+        )
+        run.run(2)
+        assert comm.epoch == 0
+        kill_worker(comm, 2)
+        run.run(2)
+        assert comm.epoch == 1
+
+
+class TestInjectedFaults:
+    def test_die_in_kernel_recovers_byte_identical(self, make_process_comm, checkpoint_dir):
+        ref = reference_ids(6)
+        comm = make_process_comm(P, fault=FaultSpec(rank=2, action="die_in_kernel", after_calls=25))
+        run = DistributedSamplingRun(
+            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=2, **RUN_KWARGS
+        )
+        run.run(6)
+        assert run.metrics.recoveries == 1
+        assert comm.workers_alive == [True] * P
+        assert np.array_equal(run.sample_ids(), ref)
+
+    def test_dropped_message_recovers_without_any_death(self, make_process_comm, checkpoint_dir):
+        ref = reference_ids(6)
+        comm = make_process_comm(
+            P, mailbox_timeout=1.5, fault=FaultSpec(rank=1, action="drop_send", after_calls=10)
+        )
+        run = DistributedSamplingRun(
+            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=2, **RUN_KWARGS
+        )
+        run.run(6)
+        # the lost message surfaced as peer timeouts, not a worker death:
+        # recover() found nobody to respawn but still replayed cleanly
+        assert run.metrics.recoveries == 1
+        assert comm.workers_alive == [True] * P
+        assert all(r.recovered_pes == [] for r in run.metrics.rounds)
+        assert np.array_equal(run.sample_ids(), ref)
+
+    def test_delayed_reply_completes_without_recovery(self, make_process_comm, checkpoint_dir):
+        ref = reference_ids(6)
+        comm = make_process_comm(
+            P, fault=FaultSpec(rank=0, action="delay_reply", after_calls=5, seconds=0.2)
+        )
+        run = DistributedSamplingRun(
+            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=2, **RUN_KWARGS
+        )
+        run.run(6)
+        assert run.metrics.recoveries == 0
+        assert np.array_equal(run.sample_ids(), ref)
+
+    def test_unknown_fault_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(rank=0, action="segfault")
+
+
+class TestShmHygiene:
+    def test_no_segments_leak_after_recovered_shm_run(self, make_process_comm, checkpoint_dir):
+        before = shm_segment_names()
+        ref = reference_ids(6, batch_size=400, payload_transport="shm", shm_min_bytes=64)
+        comm = make_process_comm(
+            P,
+            payload_transport="shm",
+            shm_min_bytes=64,
+            fault=FaultSpec(rank=1, action="die_in_kernel", after_calls=25),
+        )
+        run = DistributedSamplingRun(
+            "ours",
+            comm=comm,
+            batch_size=400,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=2,
+            **{k: v for k, v in RUN_KWARGS.items() if k != "batch_size"},
+        )
+        run.run(6)
+        assert run.metrics.recoveries == 1
+        assert np.array_equal(run.sample_ids(), ref)
+        comm.shutdown()
+        assert shm_segment_names() == before

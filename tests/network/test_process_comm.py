@@ -287,8 +287,8 @@ class TestMailboxTimeout:
         from repro.network.process_comm import _Mailbox, _PayloadCodec
 
         q = queue_module.Queue()
-        q.put((7, 0, "later"))  # message for a different (seq, src)
-        q.put((3, 1, "wanted"))
+        q.put((7, 0, 0, "later"))  # message for a different (seq, src)
+        q.put((3, 1, 0, "wanted"))
         mailbox = _Mailbox(q, timeout=0.5, codec=_PayloadCodec("pickle", 0))
         assert mailbox.recv(seq=3, src=1) == "wanted"
         assert mailbox.recv(seq=7, src=0) == "later"
