@@ -43,6 +43,7 @@ from pathlib import Path
 
 import numpy as np
 from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+from harness import write_bench_json
 from bench_parallel_scaling import usable_cpus
 
 from repro.core.centralized import CentralizedGatherSampler
@@ -180,7 +181,7 @@ def main(argv=None) -> int:
             {"shm_gather_candidates_per_s": results["shm"]["gather_candidates_per_s"]},
         )
         print(f"updated baseline {args.baseline}")
-        args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
+        write_bench_json(args.output, results, bench="bench_gather")
         return 0
     failures = evaluate_gate(
         results,
@@ -188,8 +189,7 @@ def main(argv=None) -> int:
         baseline=args.baseline,
         max_regression=args.max_regression,
     )
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    print(f"wrote {args.output}")
+    write_bench_json(args.output, results, bench="bench_gather")
 
     if failures:
         print("\nGATHER TRANSPORT GATE FAILED:")

@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 from baseline_gate import best_of, compare_to_baseline, load_baseline, write_conservative_baseline
+from harness import write_bench_json
 
 from repro.core import jit_kernels
 from repro.core import keys as keymod
@@ -253,14 +254,12 @@ def main(argv=None) -> int:
                 f"(import failed with: {jit_kernels.NUMBA_IMPORT_ERROR})"
             ),
         }
-        args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
         print(f"jit benchmark skipped: {results['reason']}")
-        print(f"wrote {args.output}")
+        write_bench_json(args.output, results, bench="bench_jit")
         return 0
 
     results = run_suite()
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    print(f"wrote {args.output}")
+    write_bench_json(args.output, results, bench="bench_jit")
     for name in sorted(results):
         if name.endswith("_items_per_s"):
             print(f"  {name:42s} {results[name]:>14,.0f} items/s")

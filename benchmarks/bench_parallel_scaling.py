@@ -45,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+from harness import write_bench_json
 
 from repro.runtime import ParallelStreamingRun
 
@@ -227,7 +228,7 @@ def main(argv=None) -> int:
             {"p1_wall_throughput_items_per_s": by_p[1]["wall_throughput_items_per_s"]},
         )
         print(f"updated baseline {args.baseline}")
-        args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
+        write_bench_json(args.output, results, bench="bench_parallel_scaling")
         return 0
     failures = evaluate_gate(
         results,
@@ -239,8 +240,7 @@ def main(argv=None) -> int:
     for p in PE_COUNTS:
         print(f"  speedup p={p}: {by_p[p]['speedup_vs_p1']:.2f}x")
 
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    print(f"wrote {args.output}")
+    write_bench_json(args.output, results, bench="bench_parallel_scaling")
 
     if failures:
         print("\nPARALLEL SCALING GATE FAILED:")

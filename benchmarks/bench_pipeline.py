@@ -46,6 +46,7 @@ from pathlib import Path
 
 import numpy as np
 from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+from harness import write_bench_json
 
 from repro.pipeline import PipelinedSamplingRun
 from repro.runtime import ParallelStreamingRun
@@ -168,8 +169,7 @@ def main(argv=None) -> int:
         "enforced_min_ratio": min_ratio,
         "multi_core_gate_skipped": not enough_cores,
     }
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    print(f"wrote {args.output}")
+    write_bench_json(args.output, results, bench="bench_pipeline")
 
     failures = []
     if not results["strict_sample_identical_to_lockstep"]:

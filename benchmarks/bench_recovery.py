@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+from harness import write_bench_json
 
 from repro.core.api import DistributedSamplingRun
 from repro.network.process_comm import ProcessComm
@@ -141,8 +142,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = run_suite()
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    print(f"wrote {args.output}")
+    write_bench_json(args.output, results, bench="bench_recovery")
 
     failures = []
     if results["recoveries_recorded"] != KILL_CYCLES:

@@ -33,6 +33,7 @@ from baseline_gate import (
     load_baseline,
     write_conservative_baseline,
 )
+from harness import write_bench_json
 
 from repro.core import keys as keymod
 from repro.core import make_distributed_sampler, make_store
@@ -143,8 +144,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = run_suite()
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    print(f"wrote {args.output}")
+    write_bench_json(args.output, results, bench="bench_smoke")
     for name, value in sorted(results.items()):
         if not isinstance(value, float):
             continue

@@ -41,6 +41,7 @@ from baseline_gate import (
     load_baseline,
     write_conservative_baseline,
 )
+from harness import write_bench_json
 
 from repro.core import ReservoirSampler, make_distributed_sampler
 from repro.network import SimComm
@@ -133,8 +134,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = run_suite()
-    args.output.write_text(json.dumps(results, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    print(f"wrote {args.output}")
+    write_bench_json(args.output, results, bench="bench_window")
     for name, value in sorted(results.items()):
         if name.endswith("items_per_s"):
             print(f"  {name:44s} {value:>14,.0f} items/s")

@@ -20,13 +20,23 @@ Output
 Each figure benchmark writes the series it reproduces as a plain-text table
 to ``benchmarks/results/<figure>.txt`` (and prints it), so the numbers are
 inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
+
+The gated CI benchmarks (``bench_smoke``, ``bench_jit``, ``bench_gather``,
+…) write their measured numbers as JSON through :func:`write_bench_json`,
+which stamps one shared ``"meta"`` block — schema version, benchmark name,
+git revision, UTC timestamp, core count, kernel tier and payload transport
+— so every artifact is self-describing and comparable across machines.
 """
 
 from __future__ import annotations
 
 import functools
+import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
+from typing import Optional
 
 from repro.analysis.experiments import (
     ExperimentResult,
@@ -37,13 +47,20 @@ from repro.analysis.experiments import (
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: version of the shared benchmark-JSON ``meta`` block; bump on breaking
+#: changes to the stamped fields
+BENCH_SCHEMA_VERSION = 1
+
 __all__ = [
     "RESULTS_DIR",
+    "BENCH_SCHEMA_VERSION",
     "bench_scale",
     "scaling_config",
     "weak_scaling_result",
     "strong_scaling_result",
     "write_result",
+    "bench_metadata",
+    "write_bench_json",
 ]
 
 
@@ -82,4 +99,63 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}\n")
+    return path
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def bench_metadata(
+    bench: str,
+    *,
+    kernel_tier: Optional[str] = None,
+    payload_transport: Optional[str] = None,
+) -> dict:
+    """The shared ``meta`` block every benchmark JSON artifact carries."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "git_revision": _git_revision(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count() or 1,
+        "kernel_tier": kernel_tier or "",
+        "payload_transport": payload_transport or "",
+    }
+
+
+def write_bench_json(
+    path: Path,
+    results: dict,
+    *,
+    bench: str,
+    kernel_tier: Optional[str] = None,
+    payload_transport: Optional[str] = None,
+) -> Path:
+    """Write a benchmark's results dict as strict JSON with the shared schema.
+
+    Adds the :func:`bench_metadata` block under ``"meta"`` (kernel tier and
+    payload transport default to the results' own top-level keys when
+    present) and serialises with ``allow_nan=False``, so an accidental
+    ``inf``/``nan`` fails loudly instead of producing spec-invalid JSON.
+    """
+    payload = dict(results)
+    payload["meta"] = bench_metadata(
+        bench,
+        kernel_tier=kernel_tier or str(results.get("kernel_tier", "")),
+        payload_transport=payload_transport or str(results.get("payload_transport", "")),
+    )
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n")
+    print(f"wrote {path}")
     return path

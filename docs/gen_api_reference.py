@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.window",
     "repro.pipeline",
     "repro.network",
+    "repro.obs",
     "repro.runtime",
     "repro.selection",
     "repro.stream",

@@ -40,6 +40,7 @@ from repro.core import (
     make_distributed_sampler,
 )
 from repro.network import CostLedger, CostParameters, SimComm
+from repro.obs import MetricsRegistry, NullTracer, TraceCollector, Tracer, get_logger
 from repro.pipeline import BatchSizeAutotuner, PipelinedSamplingRun
 from repro.runtime import MachineSpec, RunMetrics, StreamingSimulation
 from repro.selection import (
@@ -91,6 +92,12 @@ __all__ = [
     # fault tolerance
     "CheckpointError",
     "CheckpointManager",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "TraceCollector",
+    "MetricsRegistry",
+    "get_logger",
     # substrate
     "SimComm",
     "CostParameters",

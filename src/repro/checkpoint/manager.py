@@ -14,11 +14,15 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from repro.checkpoint.format import CheckpointError, load_checkpoint_file, save_checkpoint_file
+from repro.obs.log import get_logger
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["CheckpointManager", "CHECKPOINT_SUFFIX"]
 
 #: file extension of managed checkpoint files
 CHECKPOINT_SUFFIX = ".rpk"
+
+_logger = get_logger("checkpoint")
 
 
 class CheckpointManager:
@@ -50,6 +54,9 @@ class CheckpointManager:
         self.directory = Path(directory)
         self.every = every
         self.keep = keep or None
+        #: tracing hook; drivers with an attached collector swap in a
+        #: real tracer so save/restore time shows up in the trace
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def path_for_round(self, rounds_completed: int) -> Path:
@@ -66,7 +73,9 @@ class CheckpointManager:
     # ------------------------------------------------------------------
     def save(self, rounds_completed: int, payload: object) -> Path:
         """Write a checkpoint for ``rounds_completed`` and prune old files."""
-        path = save_checkpoint_file(self.path_for_round(rounds_completed), payload)
+        with self.tracer.span("checkpoint.save", cat="checkpoint", round=rounds_completed):
+            path = save_checkpoint_file(self.path_for_round(rounds_completed), payload)
+        _logger.debug("saved checkpoint %s (after %d rounds)", path.name, rounds_completed)
         self._prune()
         return path
 
@@ -77,6 +86,7 @@ class CheckpointManager:
         for _, path in existing[: max(0, len(existing) - self.keep)]:
             try:
                 path.unlink()
+                _logger.debug("pruned checkpoint %s (keep=%d)", path.name, self.keep)
             except OSError:
                 pass
 
@@ -105,4 +115,7 @@ class CheckpointManager:
                 f"no checkpoints found in {self.directory} — nothing to restore from"
             )
         rounds_completed, path = checkpoints[-1]
-        return rounds_completed, load_checkpoint_file(path)
+        with self.tracer.span("checkpoint.restore", cat="checkpoint", round=rounds_completed):
+            payload = load_checkpoint_file(path)
+        _logger.debug("restored checkpoint %s (after %d rounds)", path.name, rounds_completed)
+        return rounds_completed, payload

@@ -28,6 +28,8 @@ from repro.core.store import normalize_store_name
 from repro.core.variable_size import VariableSizeReservoirSampler
 from repro.network.base import Communicator, make_communicator
 from repro.network.process_comm import WorkerError
+from repro.obs.collect import TraceCollector, resolve_trace
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import RunMetrics
 from repro.selection.ams_select import AmsSelection
@@ -112,6 +114,13 @@ class ReservoirSampler:
     ``"jit"`` or ``"auto"``, see :mod:`repro.core.jit_kernels`); it only
     has an effect on store-backed paths and never changes the sample.
 
+    ``trace`` enables span recording (see :mod:`repro.obs`): ``True`` or a
+    :class:`~repro.obs.collect.TraceCollector` records insert spans on the
+    collector (exposed as :attr:`trace`), a bare
+    :class:`~repro.obs.tracer.Tracer` records onto that tracer directly.
+    Tracing never touches the RNG — the sample is byte-identical either
+    way.
+
     ``window`` and ``decay`` switch to the recency-weighted samplers of
     :mod:`repro.window` (mutually exclusive):
 
@@ -133,9 +142,18 @@ class ReservoirSampler:
         window: Optional[int] = None,
         decay: Optional[float] = None,
         kernel_tier: str = "numpy",
+        trace=None,
     ) -> None:
         from repro.core.jit_kernels import resolve_kernel_tier
 
+        # tracing never touches the sampler's RNG, so samples are
+        # byte-identical with tracing on or off (test-enforced)
+        if isinstance(trace, Tracer):
+            self.trace = None
+            self._tracer = trace
+        else:
+            self.trace = resolve_trace(trace)
+            self._tracer = self.trace.tracer if self.trace is not None else NULL_TRACER
         self.k = check_positive_int(k, "k")
         self.weighted = bool(weighted)
         self.window = window
@@ -201,10 +219,11 @@ class ReservoirSampler:
         if weights is None:
             weights = np.ones(ids.shape[0], dtype=np.float64)
         batch = ItemBatch(ids=ids, weights=np.asarray(weights, dtype=np.float64))
-        self._impl.process(batch)
+        self.feed_batch(batch)
 
     def feed_batch(self, batch: ItemBatch) -> None:
-        self._impl.process(batch)
+        with self._tracer.span("insert", cat="kernel", items=int(batch.ids.shape[0])):
+            self._impl.process(batch)
 
     def sample_ids(self) -> np.ndarray:
         return self._impl.sample_ids()
@@ -213,6 +232,14 @@ class ReservoirSampler:
         return self._impl.sample_with_keys()
 
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # tracing is a session-scoped observer, not sampler state: a
+        # collector may hold process handles, so checkpoints drop it
+        state = dict(self.__dict__)
+        state["trace"] = None
+        state["_tracer"] = NULL_TRACER
+        return state
+
     def save(self, path: Union[str, Path]) -> Path:
         """Checkpoint this sampler to ``path`` (atomic, versioned envelope).
 
@@ -429,6 +456,14 @@ class DistributedSamplingRun:
         Retention count for periodic checkpoints (oldest pruned first).
     max_recoveries:
         Worker-death recoveries :meth:`run` attempts before re-raising.
+    trace:
+        ``True`` or a :class:`~repro.obs.collect.TraceCollector` enables
+        distributed tracing: per-PE kernel spans, coordinator phase
+        spans, clock-aligned cross-process collection and a live metrics
+        registry (see :mod:`repro.obs`).  The collector is exposed as
+        :attr:`trace`; export with ``run.trace.export("trace.json")``.
+        Tracing never touches any RNG — samples are byte-identical with
+        tracing on or off.
     """
 
     def __init__(
@@ -454,6 +489,7 @@ class DistributedSamplingRun:
         keep_checkpoints: int = 3,
         max_recoveries: int = 3,
         stream_id_offset: int = 0,
+        trace=None,
         **comm_kwargs,
     ) -> None:
         # imported lazily: repro.pipeline itself imports from repro.core
@@ -540,6 +576,15 @@ class DistributedSamplingRun:
             comm_backend=getattr(self.sampler.comm, "kind", ""),
             kernel_tier=str(getattr(self.sampler, "kernel_tier", "")),
         )
+        # ---- tracing --------------------------------------------------
+        self.trace = resolve_trace(trace)
+        if self.trace is not None:
+            try:
+                self.trace.attach(self.comm, self.sampler._handle)
+            except BaseException:
+                if self._owns_comm:
+                    self.comm.shutdown()
+                raise
         # ---- fault tolerance / checkpointing --------------------------
         # the config travels inside every checkpoint so resume() can
         # rebuild an equivalent run without the caller repeating arguments
@@ -571,6 +616,8 @@ class DistributedSamplingRun:
             self._ckpt = CheckpointManager(
                 checkpoint_dir, every=checkpoint_every, keep=keep_checkpoints
             )
+            if self.trace is not None:
+                self._ckpt.tracer = self.trace.tracer
             # round-0 base checkpoint: a worker death in the very first
             # round must still find a restorable state on disk
             self.save_checkpoint()
@@ -608,7 +655,10 @@ class DistributedSamplingRun:
         target = self._rounds_completed + check_positive_int(rounds, "rounds", allow_zero=True)
         while self._rounds_completed < target:
             try:
-                round_metrics = self._step_once()
+                # comm.tracer is the collector's tracer when tracing is
+                # attached, the shared NullTracer otherwise
+                with self.comm.tracer.span("round", cat="round", round=self._rounds_completed):
+                    round_metrics = self._step_once()
             except WorkerError:
                 if (
                     self._ckpt is None
@@ -623,6 +673,8 @@ class DistributedSamplingRun:
                 self._pending_recovered = []
             self.metrics.add_round(round_metrics)
             self._rounds_completed += 1
+            if self.trace is not None:
+                self.trace.record_round(round_metrics)
             if self._ckpt is not None and self._ckpt.should_checkpoint(self._rounds_completed):
                 self.save_checkpoint()
         return self.metrics
@@ -675,6 +727,14 @@ class DistributedSamplingRun:
         # the first replayed round with the ranks that were respawned
         self.metrics.recoveries = recoveries + 1
         self._pending_recovered = sorted(set(self._pending_recovered) | set(dead))
+        if self.trace is not None:
+            # roll the trace back with the state: events of rounds about
+            # to be replayed are dropped so nothing appears twice
+            self.trace.on_recovery(
+                epoch=getattr(self.comm, "epoch", 0),
+                dead_ranks=dead,
+                resume_round=self._rounds_completed,
+            )
 
     @classmethod
     def resume(
@@ -828,6 +888,8 @@ class DistributedSamplingRun:
         """
         if self.engine is not None:
             self.engine.finish()
+        if self.trace is not None:
+            self.trace.finish()
         if self._owns_comm:
             self.comm.shutdown()
 

@@ -43,10 +43,13 @@ store/sim/process equivalence suites enforce this):
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import Optional, Tuple
 
 import numpy as np
+
+_logger = logging.getLogger("repro.core.jit")
 
 __all__ = [
     "KERNEL_TIERS",
@@ -107,15 +110,22 @@ def normalize_kernel_tier(tier: str) -> str:
 def resolve_kernel_tier(tier: str) -> str:
     """Resolve a requested tier to the concrete one that will run.
 
-    ``"auto"`` picks ``"jit"`` when numba is importable and silently falls
-    back to ``"numpy"`` otherwise.  ``"jit"`` without numba raises a
+    ``"auto"`` picks ``"jit"`` when numba is importable and falls back to
+    ``"numpy"`` otherwise (logged at debug level on the
+    ``repro.core.jit`` logger).  ``"jit"`` without numba raises a
     :class:`RuntimeError` that names the missing dependency and how to get
     it — samplers resolve the tier at construction time, *before* any
     worker processes are spawned, so the error can never leak workers.
     """
     key = normalize_kernel_tier(tier)
     if key == "auto":
-        return "jit" if NUMBA_AVAILABLE else "numpy"
+        if NUMBA_AVAILABLE:
+            return "jit"
+        _logger.debug(
+            "kernel_tier='auto' falling back to 'numpy': numba import failed (%s)",
+            NUMBA_IMPORT_ERROR,
+        )
+        return "numpy"
     if key == "jit":
         require_numba()
     return key

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core import jit_kernels
 from repro.core import keys as keymod
 from repro.core.local_reservoir import LocalReservoir, LocalThresholdPolicy
+from repro.obs.tracer import NULL_TRACER
 from repro.stream.shard import StreamShardSpec, WorkerStreamShard
 
 __all__ = [
@@ -114,6 +115,7 @@ def make_pe_state(
         "kernel_tier": tier,
         "stream": None,
         "prepared": None,
+        "tracer": NULL_TRACER,
     }
 
 
@@ -131,6 +133,7 @@ def make_centralized_state(
         "rng": np.random.default_rng(seed_seq),
         "kernel_tier": jit_kernels.resolve_kernel_tier(kernel_tier),
         "stream": None,
+        "tracer": NULL_TRACER,
     }
 
 
@@ -163,6 +166,7 @@ def make_window_pe_state(
         "kernel_tier": jit_kernels.resolve_kernel_tier(kernel_tier),
         "stream": None,
         "prepared": None,
+        "tracer": NULL_TRACER,
     }
 
 
@@ -188,7 +192,8 @@ def prefetch_stream_kernel(state: Dict[str, object]) -> Tuple[int, float]:
     measured-overlap numerator of the strict pipeline mode).
     """
     start = time.perf_counter()
-    items = _require_stream(state).prefetch()
+    with _state_tracer(state).span("prepare", cat="kernel"):
+        items = _require_stream(state).prefetch()
     return items, time.perf_counter() - start
 
 
@@ -197,6 +202,16 @@ def _require_stream(state: Dict[str, object]) -> WorkerStreamShard:
     if stream is None:
         raise RuntimeError("no stream shard installed; call attach_worker_stream() first")
     return stream
+
+
+def _state_tracer(state: Dict[str, object]):
+    """The PE's tracer (the Null stub unless a trace collector installed one).
+
+    States always carry the ``"tracer"`` slot, but snapshots exported
+    before the obs layer existed may lack it — hence ``get``.
+    """
+    tracer = state.get("tracer")
+    return tracer if tracer is not None else NULL_TRACER
 
 
 # ---------------------------------------------------------------------------
@@ -300,10 +315,11 @@ def insert_batch_kernel(
     """Ingest one mini-batch; returns ``(inserted, pruned, reservoir_size)``."""
     if ids.shape[0] == 0:
         return 0, 0, len(state["reservoir"])
-    if threshold is None:
-        inserted, pruned = _insert_without_threshold(state, ids, weights, weighted, local_thresholding)
-    else:
-        inserted, pruned = _insert_with_threshold(state, ids, weights, threshold, weighted)
+    with _state_tracer(state).span("insert", cat="kernel", items=int(ids.shape[0])):
+        if threshold is None:
+            inserted, pruned = _insert_without_threshold(state, ids, weights, weighted, local_thresholding)
+        else:
+            inserted, pruned = _insert_with_threshold(state, ids, weights, threshold, weighted)
     return inserted, pruned, len(state["reservoir"])
 
 
@@ -353,14 +369,15 @@ def prepare_batch_kernel(
     numerator.
     """
     start = time.perf_counter()
-    batch = _require_stream(state).next_batch()
-    rng: np.random.Generator = state["gen_rng"]
-    if threshold is None:
-        keys = _generate_keys(batch.weights, weighted, rng)
-        ids = batch.ids
-    else:
-        idx, keys = _jump_positions(state, batch.weights, threshold, weighted, rng)
-        ids = batch.ids[idx]
+    with _state_tracer(state).span("prepare", cat="kernel"):
+        batch = _require_stream(state).next_batch()
+        rng: np.random.Generator = state["gen_rng"]
+        if threshold is None:
+            keys = _generate_keys(batch.weights, weighted, rng)
+            ids = batch.ids
+        else:
+            idx, keys = _jump_positions(state, batch.weights, threshold, weighted, rng)
+            ids = batch.ids[idx]
     state["prepared"] = {
         "keys": keys,
         "ids": ids,
@@ -394,13 +411,14 @@ def ingest_prepared_kernel(
     keys: np.ndarray = prepared["keys"]
     ids: np.ndarray = prepared["ids"]
     stale_extra = 0
-    stale = prepared["threshold"]
-    if threshold is not None and (stale is None or stale > threshold):
-        mask = keys <= threshold
-        stale_extra = int(keys.shape[0] - int(mask.sum()))
-        keys, ids = keys[mask], ids[mask]
-    reservoir: LocalReservoir = state["reservoir"]
-    inserted = reservoir.insert_batch(keys, ids)
+    with _state_tracer(state).span("insert", cat="kernel", items=int(keys.shape[0])):
+        stale = prepared["threshold"]
+        if threshold is not None and (stale is None or stale > threshold):
+            mask = keys <= threshold
+            stale_extra = int(keys.shape[0] - int(mask.sum()))
+            keys, ids = keys[mask], ids[mask]
+        reservoir: LocalReservoir = state["reservoir"]
+        inserted = reservoir.insert_batch(keys, ids)
     return int(inserted), stale_extra, len(reservoir)
 
 
@@ -416,12 +434,13 @@ def window_prepare_kernel(
     ``(batch_items, batch_weight, max_stamp, seconds)``.
     """
     start = time.perf_counter()
-    batch = _require_stream(state).next_batch()
-    stamps = getattr(batch, "stamps", None)
-    if stamps is None:
-        raise RuntimeError("window_prepare_kernel needs a stamped stream shard")
-    keys = _generate_keys(batch.weights, weighted, state["gen_rng"])
-    state["prepared"] = {"keys": keys, "ids": batch.ids, "stamps": stamps}
+    with _state_tracer(state).span("prepare", cat="kernel"):
+        batch = _require_stream(state).next_batch()
+        stamps = getattr(batch, "stamps", None)
+        if stamps is None:
+            raise RuntimeError("window_prepare_kernel needs a stamped stream shard")
+        keys = _generate_keys(batch.weights, weighted, state["gen_rng"])
+        state["prepared"] = {"keys": keys, "ids": batch.ids, "stamps": stamps}
     max_stamp = int(stamps[-1]) if stamps.shape[0] else -1
     return len(batch), float(batch.total_weight), max_stamp, time.perf_counter() - start
 
@@ -464,11 +483,13 @@ def prune_kernel(state: Dict[str, object], threshold: float) -> Tuple[int, int]:
 
 
 def items_kernel(state: Dict[str, object]) -> List[Tuple[float, int]]:
-    return state["reservoir"].items()
+    with _state_tracer(state).span("gather", cat="kernel"):
+        return state["reservoir"].items()
 
 
 def item_ids_kernel(state: Dict[str, object]) -> np.ndarray:
-    return state["reservoir"].item_ids()
+    with _state_tracer(state).span("gather", cat="kernel"):
+        return state["reservoir"].item_ids()
 
 
 def keys_array_kernel(state: Dict[str, object]) -> np.ndarray:
@@ -551,11 +572,12 @@ def propose_pivots_kernel(
     m = hi - lo
     if m <= 0:
         return np.empty(0, dtype=np.float64)
-    positions = propose_window_positions(rng, m, prob, d, from_below)
-    if positions is None:
-        return np.empty(0, dtype=np.float64)
-    keys = reservoir.kth_keys(lo + positions.astype(np.int64) + 1)
-    return np.sort(keys)
+    with _state_tracer(state).span("select", cat="kernel"):
+        positions = propose_window_positions(rng, m, prob, d, from_below)
+        if positions is None:
+            return np.empty(0, dtype=np.float64)
+        keys = reservoir.kth_keys(lo + positions.astype(np.int64) + 1)
+        return np.sort(keys)
 
 
 # ---------------------------------------------------------------------------
@@ -579,9 +601,10 @@ def window_insert_kernel(
     buffer = state["reservoir"]
     if ids.shape[0] == 0:
         return 0, len(buffer)
-    rng: np.random.Generator = state["rng"]
-    keys = _generate_keys(weights, weighted, rng)
-    kept = buffer.append(stamps, keys, ids)
+    with _state_tracer(state).span("insert", cat="kernel", items=int(ids.shape[0])):
+        rng: np.random.Generator = state["rng"]
+        keys = _generate_keys(weights, weighted, rng)
+        kept = buffer.append(stamps, keys, ids)
     return kept, len(buffer)
 
 
@@ -589,7 +612,8 @@ def window_evict_kernel(state: Dict[str, object], cutoff: int) -> Tuple[int, int
     """Expire buffered items with ``stamp <= cutoff``; returns
     ``(evicted, live_size)``."""
     buffer = state["reservoir"]
-    evicted = buffer.evict_older_than(int(cutoff))
+    with _state_tracer(state).span("expire", cat="kernel"):
+        evicted = buffer.evict_older_than(int(cutoff))
     return evicted, len(buffer)
 
 
@@ -633,17 +657,18 @@ def centralized_candidates_kernel(
     b = ids.shape[0]
     if b == 0:
         return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
-    if threshold is None:
-        if weighted:
-            keys = keymod.exponential_keys(weights, rng)
-        else:
-            keys = keymod.uniform_keys(b, rng)
-        if b > k:
-            order = np.argpartition(keys, k - 1)[:k]
-            keys, ids = keys[order], ids[order]
-        return keys, ids
-    idx, keys = _jump_positions(state, weights, threshold, weighted, rng)
-    return keys, ids[idx]
+    with _state_tracer(state).span("gather", cat="kernel", items=int(b)):
+        if threshold is None:
+            if weighted:
+                keys = keymod.exponential_keys(weights, rng)
+            else:
+                keys = keymod.uniform_keys(b, rng)
+            if b > k:
+                order = np.argpartition(keys, k - 1)[:k]
+                keys, ids = keys[order], ids[order]
+            return keys, ids
+        idx, keys = _jump_positions(state, weights, threshold, weighted, rng)
+        return keys, ids[idx]
 
 
 def centralized_stream_candidates_kernel(
@@ -679,26 +704,27 @@ def export_pe_state_kernel(state: Dict[str, object]) -> Dict[str, object]:
     Works for all three state shapes (:func:`make_pe_state`,
     :func:`make_window_pe_state`, :func:`make_centralized_state`).
     """
-    snapshot: Dict[str, object] = {
-        "pe": int(state["pe"]),
-        "kernel_tier": state["kernel_tier"],
-        "rng": state["rng"].bit_generator.state,
-        "gen_rng": None,
-        "reservoir": None,
-        "stream": None,
-        "prepared": None,
-    }
-    gen_rng = state.get("gen_rng")
-    if gen_rng is not None:
-        snapshot["gen_rng"] = gen_rng.bit_generator.state
-    reservoir = state.get("reservoir")
-    if reservoir is not None:
-        snapshot["reservoir"] = reservoir.export_state()
-    stream = state.get("stream")
-    if stream is not None:
-        snapshot["stream"] = stream.export_state()
-    snapshot["prepared"] = _copy_prepared(state.get("prepared"))
-    return snapshot
+    with _state_tracer(state).span("checkpoint.export", cat="checkpoint"):
+        snapshot: Dict[str, object] = {
+            "pe": int(state["pe"]),
+            "kernel_tier": state["kernel_tier"],
+            "rng": state["rng"].bit_generator.state,
+            "gen_rng": None,
+            "reservoir": None,
+            "stream": None,
+            "prepared": None,
+        }
+        gen_rng = state.get("gen_rng")
+        if gen_rng is not None:
+            snapshot["gen_rng"] = gen_rng.bit_generator.state
+        reservoir = state.get("reservoir")
+        if reservoir is not None:
+            snapshot["reservoir"] = reservoir.export_state()
+        stream = state.get("stream")
+        if stream is not None:
+            snapshot["stream"] = stream.export_state()
+        snapshot["prepared"] = _copy_prepared(state.get("prepared"))
+        return snapshot
 
 
 def import_pe_state_kernel(state: Dict[str, object], snapshot: Dict[str, object]) -> int:
@@ -713,14 +739,15 @@ def import_pe_state_kernel(state: Dict[str, object], snapshot: Dict[str, object]
         raise ValueError(
             f"checkpoint snapshot for PE {snapshot['pe']} applied to PE {state['pe']}"
         )
-    state["rng"].bit_generator.state = snapshot["rng"]
-    if snapshot.get("gen_rng") is not None:
-        state["gen_rng"].bit_generator.state = snapshot["gen_rng"]
-    if snapshot.get("reservoir") is not None:
-        state["reservoir"].restore_state(snapshot["reservoir"])
-    stream_snapshot = snapshot.get("stream")
-    state["stream"] = (
-        WorkerStreamShard.from_state(stream_snapshot) if stream_snapshot is not None else None
-    )
-    state["prepared"] = _copy_prepared(snapshot.get("prepared"))
-    return int(state["pe"])
+    with _state_tracer(state).span("checkpoint.import", cat="checkpoint"):
+        state["rng"].bit_generator.state = snapshot["rng"]
+        if snapshot.get("gen_rng") is not None:
+            state["gen_rng"].bit_generator.state = snapshot["gen_rng"]
+        if snapshot.get("reservoir") is not None:
+            state["reservoir"].restore_state(snapshot["reservoir"])
+        stream_snapshot = snapshot.get("stream")
+        state["stream"] = (
+            WorkerStreamShard.from_state(stream_snapshot) if stream_snapshot is not None else None
+        )
+        state["prepared"] = _copy_prepared(snapshot.get("prepared"))
+        return int(state["pe"])

@@ -171,7 +171,13 @@ class Communicator(abc.ABC):
     ledger: CostLedger
 
     def __init__(self) -> None:
+        from repro.obs.tracer import NULL_TRACER
+
         self._phase = "other"
+        #: tracer the coordinator-side instrumentation emits to; the Null
+        #: default makes every emission a no-op until a
+        #: :class:`~repro.obs.collect.TraceCollector` attaches
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # structure and phase accounting
@@ -188,11 +194,16 @@ class Communicator(abc.ABC):
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Attribute all communication inside the block to phase ``name``."""
+        """Attribute all communication inside the block to phase ``name``.
+
+        Doubles as the central tracing hook: every phase block becomes a
+        span on the coordinator track of an attached trace collector.
+        """
         previous = self._phase
         self._phase = name
         try:
-            yield
+            with self.tracer.span(name, cat="phase"):
+                yield
         finally:
             self._phase = previous
 

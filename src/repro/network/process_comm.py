@@ -95,6 +95,14 @@ from repro.network.base import (
     normalize_payload_transport,
 )
 from repro.network.cost_model import CostLedger
+from repro.obs.log import (
+    drain_worker_log_records,
+    get_logger,
+    install_worker_log_buffer,
+    replay_worker_records,
+    set_worker_log_epoch,
+)
+from repro.obs.tracer import NULL_TRACER, process_tracer, set_process_tracer
 from repro.network.shm_ring import (
     DEFAULT_SHM_MIN_BYTES,
     ShmAttachmentCache,
@@ -117,6 +125,8 @@ SHM_NAME_STEM = "reprshm"
 #: negative); receiving one at the current or a newer epoch raises
 #: :class:`PeerAbort`.
 ABORT_SRC = -1
+
+_logger = get_logger("network.process_comm")
 
 
 class WorkerError(RuntimeError):
@@ -292,6 +302,15 @@ class _Mailbox:
         key = (seq, src)
         if key in self._stash:
             return self._stash.pop(key)
+        tracer = process_tracer()
+        if tracer.enabled:
+            with tracer.span("mailbox.wait", cat="comm", seq=seq, src=src):
+                payload = self._recv_blocking(seq, src, key)
+            tracer.counter("mailbox.stash", len(self._stash), cat="comm")
+            return payload
+        return self._recv_blocking(seq, src, key)
+
+    def _recv_blocking(self, seq: int, src: int, key: Tuple[int, int]) -> object:
         deadline = time.monotonic() + self._timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -505,6 +524,14 @@ def _worker_main(
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main-thread start
         pass
+    # fork hygiene: a forked worker inherits the coordinator's process
+    # tracer object but must not write into it (the buffer would be lost
+    # with the child); tracing is re-enabled per-rank by the collector's
+    # install kernel.  Log records, by contrast, are always buffered so
+    # the coordinator can forward them over the command pipe.
+    set_process_tracer(NULL_TRACER)
+    install_worker_log_buffer(rank, epoch=epoch)
+    _logger.debug("worker rank %d (pid %d) online at epoch %d", rank, os.getpid(), epoch)
     topology = Topology(p)
     codec = _PayloadCodec(payload_transport, shm_min_bytes, segment_prefix=segment_prefix)
     mailbox = _Mailbox(inboxes[rank], mailbox_timeout, codec, epoch=epoch)
@@ -531,6 +558,10 @@ def _worker_main(
                     time.sleep(fault.seconds)
                 elif fault.action == "drop_send":
                     net.drop_next_send()
+        tracer = process_tracer()
+        cmd_span = tracer.span("cmd." + str(kind), cat="comm") if tracer.enabled else None
+        if cmd_span is not None:
+            cmd_span.__enter__()
         try:
             if kind == "init_state":
                 _, group, factory, args = msg
@@ -605,7 +636,13 @@ def _worker_main(
                 async_jobs.clear()
                 mailbox.flush(new_epoch)
                 codec.forget_attachments()
+                set_worker_log_epoch(new_epoch)
+                tracer.instant("epoch_bump", cat="fault", epoch=int(new_epoch))
                 conn.send(("ok", None))
+            elif kind == "logs":
+                # forward buffered log records over the command pipe; they
+                # are plain tuples, no payload codec needed
+                conn.send(("ok", drain_worker_log_records()))
             else:
                 conn.send(("err", f"ValueError('unknown command {kind!r}')", ""))
         except BaseException as exc:  # propagate everything to the coordinator
@@ -613,6 +650,9 @@ def _worker_main(
                 conn.send(("err", repr(exc), traceback.format_exc()))
             except (OSError, ValueError):  # pragma: no cover - pipe gone
                 break
+        finally:
+            if cmd_span is not None:
+                cmd_span.__exit__(None, None, None)
     for thread, _box in async_jobs.values():  # pragma: no cover - defensive
         thread.join(timeout=1.0)
     codec.close()
@@ -1207,6 +1247,30 @@ class ProcessComm(Communicator):
         self._send_commands({rank: ("flush", self._epoch) for rank in range(self.p)})
         self._collect(range(self.p))
 
+    def drain_worker_logs(self) -> int:
+        """Forward buffered worker log records to the coordinator's loggers.
+
+        Workers always buffer their ``repro.*`` log records (bounded
+        deque); this pulls them over the command pipes and replays them
+        through the coordinator's logger hierarchy, each prefixed with
+        the originating rank and epoch.  Dead or unreachable workers are
+        skipped.  Returns the number of records forwarded.
+        """
+        if self._closed:
+            return 0
+        total = 0
+        for rank, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                continue
+            try:
+                self._send_commands({rank: ("logs",)})
+                (records,) = self._collect([rank])
+            except (WorkerError, OSError, ValueError, EOFError):
+                continue
+            replay_worker_records(records)
+            total += len(records)
+        return total
+
     def recover(self) -> List[int]:
         """Respawn dead workers and resynchronise the communicator.
 
@@ -1233,7 +1297,19 @@ class ProcessComm(Communicator):
         """
         self._ensure_open()
         dead = [rank for rank, proc in enumerate(self._procs) if not proc.is_alive()]
+        # forward what the survivors logged before the failure, so the
+        # records carry their pre-recovery epoch tags
+        self.drain_worker_logs()
         self._epoch += 1
+        _logger.info(
+            "recovering communicator: epoch %d -> %d, dead ranks %s",
+            self._epoch - 1,
+            self._epoch,
+            dead,
+        )
+        self.tracer.instant(
+            "recover", cat="fault", epoch=self._epoch, dead_ranks=list(dead)
+        )
         swept: List[str] = []
         for rank in dead:
             self._drain_inbox(rank)
@@ -1263,6 +1339,10 @@ class ProcessComm(Communicator):
         """Terminate all workers and release IPC resources.  Idempotent."""
         if self._closed:
             return
+        try:
+            self.drain_worker_logs()
+        except Exception:  # pragma: no cover - teardown is best-effort
+            pass
         self._closed = True
         for conn in self._conns:
             try:

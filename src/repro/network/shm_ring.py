@@ -51,6 +51,7 @@ slot rather than blocking, so no send can deadlock on slot reuse.
 from __future__ import annotations
 
 import contextlib
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -59,6 +60,10 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from repro.obs.tracer import process_tracer
+
+_logger = logging.getLogger("repro.network.shm")
 
 __all__ = [
     "DEFAULT_SHM_MIN_BYTES",
@@ -241,16 +246,35 @@ class ShmRing:
             if slot.free:
                 self._cursor = (index + 1) % n
                 if slot.capacity < nbytes:
+                    old_capacity = slot.capacity
                     slot.destroy()
                     slot = self._new_slot(max(nbytes, 2 * slot.capacity, _MIN_SLOT_BYTES))
                     self._slots[index] = slot
+                    _logger.debug(
+                        "shm slot %d regrown %d -> %d bytes", index, old_capacity, slot.capacity
+                    )
+                    process_tracer().instant(
+                        "shm.slot_grow",
+                        cat="shm",
+                        slot=index,
+                        old_capacity=old_capacity,
+                        capacity=slot.capacity,
+                    )
                 return slot
         if n < _MAX_SLOTS:
             slot = self._new_slot(max(nbytes, _MIN_SLOT_BYTES))
             self._slots.append(slot)
+            _logger.debug(
+                "shm ring grown to %d slots (new slot %d bytes)", len(self._slots), slot.capacity
+            )
+            process_tracer().instant(
+                "shm.ring_grow", cat="shm", slots=len(self._slots), capacity=slot.capacity
+            )
             return slot
         # every slot in a full-grown ring is in flight: a receiver stopped
         # draining; wait briefly for a release instead of growing further
+        _logger.debug("shm ring saturated (%d slots in flight); waiting for a release", n)
+        process_tracer().instant("shm.ring_saturated", cat="shm", slots=n)
         deadline = time.monotonic() + self._reuse_timeout
         while time.monotonic() < deadline:
             for index, slot in enumerate(self._slots):
@@ -274,6 +298,10 @@ class ShmRing:
         if array.nbytes:
             slot.shm.buf[_HEADER_BYTES : _HEADER_BYTES + array.nbytes] = array.data.cast("B")
         slot.shm.buf[0] = 1
+        tracer = process_tracer()
+        if tracer.enabled:
+            busy = sum(1 for s in self._slots if not s.free)
+            tracer.counter("shm.slots_busy", busy, cat="shm", total=len(self._slots))
         return ShmDescriptor(
             segment=slot.shm.name, dtype=array.dtype.str, shape=tuple(array.shape)
         )
@@ -380,6 +408,9 @@ def sweep_named_segments(prefix: str) -> List[str]:
             swept.append(path.name)
         except (FileNotFoundError, OSError):  # pragma: no cover - raced away
             pass
+    if swept:
+        _logger.debug("swept %d leaked shm segment(s) with prefix %r", len(swept), prefix)
+        process_tracer().instant("shm.sweep", cat="shm", prefix=prefix, segments=len(swept))
     return sorted(swept)
 
 

@@ -1,0 +1,64 @@
+"""Observability layer: tracing, metrics, and structured logging.
+
+The paper's evaluation is a measurement story — Figures 3–6 decompose
+wall-clock time into per-phase, per-PE components — and the aggregate
+:class:`~repro.runtime.metrics.RunMetrics` ledger averages exactly the
+per-PE skew away.  This package restores the lost dimension:
+
+* :mod:`repro.obs.tracer` — span/instant/counter events behind a
+  :class:`Tracer` protocol with a zero-overhead :class:`NullTracer`
+  default (the same Null-stub convention the communicator layer uses),
+* :mod:`repro.obs.collect` — cross-process collection: worker-buffered
+  events shipped to the coordinator over the existing reply path at
+  round boundaries, with per-worker monotonic-clock offset calibration,
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto; one track per PE plus the coordinator),
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms with Prometheus-style text exposition,
+* :mod:`repro.obs.report` — ``python -m repro.obs.report trace.json``
+  prints the per-phase/per-PE skew table mirroring Figure 6,
+* :mod:`repro.obs.log` — the ``repro`` stdlib-logging hierarchy and the
+  worker→coordinator log-record forwarding used by the multiprocess
+  backend.
+
+Tracing is off by default everywhere: every instrumentation point talks
+to a :data:`NULL_TRACER` whose methods are no-ops, and the byte-identity
+guarantees of the samplers are unaffected because no tracer ever touches
+a random generator (the equivalence tests enforce this).
+"""
+
+from repro.obs.collect import TraceCollector, resolve_trace
+from repro.obs.export import (
+    chrome_trace_dict,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.log import get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    MemoryTracer,
+    NullTracer,
+    Tracer,
+    process_tracer,
+    set_process_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "MemoryTracer",
+    "NULL_TRACER",
+    "process_tracer",
+    "set_process_tracer",
+    "TraceCollector",
+    "resolve_trace",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_logger",
+]

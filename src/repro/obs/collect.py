@@ -1,0 +1,397 @@
+"""Cross-process trace collection and clock alignment.
+
+The coordinator owns a :class:`TraceCollector`; each traced PE state gets
+a per-rank :class:`~repro.obs.tracer.MemoryTracer` installed by a kernel
+dispatched over the communicator (so the same code paths work whether
+the PE lives inline under the simulated backend or in a worker process
+under the multiprocess backend).  Workers buffer events locally; the
+drivers drain them over the existing reply path at every round boundary
+(:meth:`TraceCollector.record_round`) and at teardown
+(:meth:`TraceCollector.finish`).
+
+Worker clocks are :func:`time.perf_counter` readings, which different
+processes may base on different origins.  :meth:`TraceCollector.calibrate`
+estimates each worker's offset against the coordinator clock with the
+classic symmetric-probe scheme: the coordinator reads its clock before
+(``t0``) and after (``t1``) a round trip that returns the worker's clock
+``tw``, giving ``offset = tw - (t0 + t1) / 2``; the probe with the
+smallest round-trip time wins.  Collected worker timestamps have the
+offset subtracted, so every span lands on the coordinator's timeline —
+the span-monotonicity tests and the Perfetto view both rely on this.
+
+Recovery semantics: when the driver recovers from worker deaths and
+replays rounds from a checkpoint, :meth:`TraceCollector.on_recovery`
+discards the partially-recorded rounds (both the survivors' buffered
+events and the already-collected events of rounds that will be replayed)
+and emits a ``recovery`` marker carrying the new epoch — so the final
+trace contains every round exactly once plus one marker per recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.export import chrome_trace_dict, write_chrome_trace
+from repro.obs.log import drain_worker_log_records, replay_worker_records
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, MemoryTracer, set_process_tracer
+
+__all__ = [
+    "TraceCollector",
+    "resolve_trace",
+    "install_tracer_kernel",
+    "uninstall_tracer_kernel",
+    "drain_trace_kernel",
+    "clock_probe_kernel",
+]
+
+#: probes per rank during clock calibration; the min-RTT sample wins
+_CALIBRATION_PROBES = 3
+
+
+# ---------------------------------------------------------------------------
+# kernels (module-level so the multiprocess backend can pickle them)
+# ---------------------------------------------------------------------------
+def install_tracer_kernel(state, rank: int, coordinator_pid: int) -> bool:
+    """Install a per-rank buffering tracer into ``state``.
+
+    In a worker process the tracer is also adopted as the process-wide
+    tracer, so the worker command loop, mailbox and shared-memory ring
+    instrumentation share the rank's buffer.  Under the simulated
+    backend (same pid as the coordinator) the process-wide tracer is
+    left alone — it belongs to the coordinator timeline there.
+    """
+    tier = state.get("kernel_tier", "") if isinstance(state, dict) else ""
+    tracer = MemoryTracer(track=f"pe{rank}", tags={"rank": int(rank), "kernel_tier": tier})
+    if isinstance(state, dict):
+        state["tracer"] = tracer
+    if os.getpid() != coordinator_pid:
+        set_process_tracer(tracer)
+    return True
+
+
+def uninstall_tracer_kernel(state, coordinator_pid: int) -> bool:
+    """Put the Null tracer back (teardown of a traced run)."""
+    if isinstance(state, dict):
+        state["tracer"] = NULL_TRACER
+    if os.getpid() != coordinator_pid:
+        set_process_tracer(NULL_TRACER)
+    return True
+
+
+def drain_trace_kernel(state):
+    """Return and clear this PE's buffered events and log records."""
+    tracer = state.get("tracer") if isinstance(state, dict) else None
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return ("", {}, [], drain_worker_log_records())
+    return (tracer.track, dict(tracer.tags), tracer.drain(), drain_worker_log_records())
+
+
+def clock_probe_kernel(state) -> float:
+    """The PE-local monotonic clock reading (calibration probe)."""
+    return time.perf_counter()
+
+
+# ---------------------------------------------------------------------------
+# coordinator-side collector
+# ---------------------------------------------------------------------------
+class TraceCollector:
+    """Coordinator-side owner of a traced run.
+
+    Collects events from its own coordinator tracer and from the per-PE
+    tracers behind a communicator, aligns worker timestamps onto the
+    coordinator clock, feeds the run's :class:`MetricsRegistry`, and
+    exports Chrome trace JSON.
+
+    Drivers accept ``trace=`` (``True`` or a collector instance) and call
+    :meth:`attach` once, :meth:`record_round` per round and
+    :meth:`finish` at teardown; nothing here is called on untraced runs.
+    """
+
+    def __init__(self) -> None:
+        #: the coordinator timeline; drivers and the communicator emit here
+        self.tracer = MemoryTracer(track="coordinator")
+        #: live instruments fed from the per-round metrics
+        self.registry = MetricsRegistry()
+        #: per-rank clock offsets (worker clock minus coordinator clock)
+        self.clock_offsets: Dict[int, float] = {}
+        self._events: List[Tuple] = []  # (track, ph, name, cat, ts, dur, args)
+        self._comm = None
+        self._handle = None
+        self._previous_process_tracer = None
+        self._rounds_recorded = 0
+        self._ledger_words = 0.0
+        self._finished = False
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        return self._comm is not None
+
+    def attach(self, comm, handle) -> "TraceCollector":
+        """Bind to a communicator + PE-state handle and start collecting.
+
+        Installs the per-rank tracers, points the communicator's tracer
+        attribute at the coordinator timeline, adopts the coordinator
+        timeline as this process's tracer (shared-memory ring and sweep
+        instrumentation), and calibrates the worker clocks.
+        """
+        self._comm = comm
+        self._handle = handle
+        self._finished = False
+        comm.tracer = self.tracer
+        self._previous_process_tracer = set_process_tracer(self.tracer)
+        self._ledger_words = float(getattr(comm.ledger, "total_words", 0.0))
+        self._install()
+        self.calibrate()
+        self.tracer.instant("trace.attach", cat="obs", p=comm.p)
+        return self
+
+    def _install(self) -> None:
+        comm, handle = self._comm, self._handle
+        pid = os.getpid()
+        comm.run_per_pe(
+            handle,
+            install_tracer_kernel,
+            [(rank, pid) for rank in range(comm.p)],
+        )
+
+    def calibrate(self) -> Dict[int, float]:
+        """Estimate each rank's clock offset against the coordinator."""
+        comm, handle = self._comm, self._handle
+        for rank in range(comm.p):
+            best_rtt = float("inf")
+            best_offset = 0.0
+            for _ in range(_CALIBRATION_PROBES):
+                t0 = time.perf_counter()
+                remote = comm.run_on_pe(handle, rank, clock_probe_kernel)
+                t1 = time.perf_counter()
+                rtt = t1 - t0
+                if rtt < best_rtt:
+                    best_rtt = rtt
+                    best_offset = float(remote) - (t0 + t1) / 2.0
+            self.clock_offsets[rank] = best_offset
+        return dict(self.clock_offsets)
+
+    # -- collection ------------------------------------------------------
+    def _append(self, track, events, offset, extra_tags) -> None:
+        for ph, name, cat, ts, dur, args in events:
+            merged = dict(extra_tags)
+            if args:
+                merged.update(args)
+            self._events.append((track, ph, name, cat, ts - offset, dur, merged or None))
+
+    def _drain_coordinator(self, tag_round: Optional[int]) -> None:
+        tags = {} if tag_round is None else {"round": tag_round}
+        self._append("coordinator", self.tracer.drain(), 0.0, tags)
+
+    def drain(self, tag_round: Optional[int] = None, *, discard: bool = False) -> None:
+        """Ship worker buffers to the coordinator (one reply per PE).
+
+        ``tag_round`` stamps every collected event's args with the round
+        it was shipped at; ``discard=True`` clears the buffers without
+        keeping the events (recovery rollback).  Worker log records are
+        always replayed into the coordinator's logging hierarchy, even
+        when the trace events are discarded.
+        """
+        comm, handle = self._comm, self._handle
+        epoch = int(getattr(comm, "epoch", 0))
+        results = comm.run_per_pe(handle, drain_trace_kernel)
+        log_records = []
+        for rank, (track, tags, events, logs) in enumerate(results):
+            log_records.extend(logs)
+            if discard or not events:
+                continue
+            merged = dict(tags)
+            merged["epoch"] = epoch
+            if tag_round is not None:
+                merged["round"] = tag_round
+            self._append(track or f"pe{rank}", events, self.clock_offsets.get(rank, 0.0), merged)
+        replay_worker_records(log_records)
+        if not discard:
+            self._drain_coordinator(tag_round)
+
+    # -- driver hooks ----------------------------------------------------
+    def record_round(self, metrics=None, *, wall_time: Optional[float] = None) -> None:
+        """Round-boundary hook: drain buffers and update the registry."""
+        round_index = (
+            int(metrics.round_index) if metrics is not None else self._rounds_recorded
+        )
+        self.drain(tag_round=round_index)
+        self._rounds_recorded += 1
+        registry = self.registry
+        if wall_time is not None:
+            registry.histogram(
+                "repro_round_seconds", "measured wall-clock time per round"
+            ).observe(wall_time)
+        comm = self._comm
+        if comm is not None:
+            words = float(getattr(comm.ledger, "total_words", 0.0))
+            delta = max(words - self._ledger_words, 0.0)
+            self._ledger_words = words
+            registry.counter(
+                "repro_payload_bytes_total",
+                "communication volume (8-byte words from the cost ledger)",
+            ).inc(delta * 8.0)
+        if metrics is None:
+            return
+        registry.counter("repro_rounds_total", "processed mini-batch rounds").inc()
+        registry.counter("repro_items_total", "stream items processed").inc(
+            metrics.batch_items
+        )
+        registry.counter(
+            "repro_insertions_total", "candidate insertions into local reservoirs"
+        ).inc(metrics.total_insertions)
+        if metrics.evicted_items:
+            registry.counter(
+                "repro_evictions_total", "window candidates expired out of the buffers"
+            ).inc(metrics.evicted_items)
+        if metrics.stale_extra_candidates:
+            registry.counter(
+                "repro_stale_candidates_total",
+                "relaxed-pipeline candidates re-pruned at ingest",
+            ).inc(metrics.stale_extra_candidates)
+        if metrics.selection_ran:
+            registry.counter(
+                "repro_selections_total", "rounds that ran the distributed selection"
+            ).inc()
+        if metrics.selection_skipped:
+            registry.counter(
+                "repro_selection_skips_total",
+                "rounds whose re-selection the amortised boundary check skipped",
+            ).inc()
+        registry.gauge("repro_sample_size", "current distributed sample size").set(
+            metrics.sample_size
+        )
+        if metrics.threshold is not None:
+            registry.gauge("repro_threshold", "current global insertion threshold").set(
+                metrics.threshold
+            )
+
+    def on_autotune(self, old_size: int, new_size: int) -> None:
+        """Autotune decision hook: marker event plus registry update."""
+        self.tracer.instant(
+            "autotune.resize", cat="driver", old_size=int(old_size), new_size=int(new_size)
+        )
+        self.registry.counter(
+            "repro_autotune_adjustments_total", "autotuner batch-size changes"
+        ).inc()
+        self.registry.gauge("repro_batch_size", "current per-PE mini-batch size").set(
+            new_size
+        )
+
+    def on_recovery(self, *, epoch: int, dead_ranks: Sequence[int], resume_round: int) -> None:
+        """Worker-death recovery hook (after the driver restored state).
+
+        Rolls the collected events back to the checkpoint the run resumed
+        from — the replayed rounds will be re-collected — reinstalls the
+        per-rank tracers (respawned workers start with the Null tracer),
+        recalibrates clocks, and emits the recovery/epoch-bump marker.
+        """
+        # keep the coordinator's own pre-recovery events (failed round,
+        # restore spans) untagged, then throw away the survivors' partial
+        # buffers — the replay will regenerate that work
+        self._drain_coordinator(None)
+        try:
+            self.drain(discard=True)
+        except Exception:  # pragma: no cover - recovery of the recovery
+            pass
+        self._events = [
+            event
+            for event in self._events
+            if not (
+                event[6] is not None
+                and isinstance(event[6].get("round"), int)
+                and event[6]["round"] >= resume_round
+            )
+        ]
+        self._install()
+        self.calibrate()
+        self.tracer.instant(
+            "recovery",
+            cat="fault",
+            epoch=int(epoch),
+            dead_ranks=[int(r) for r in dead_ranks],
+            resume_round=int(resume_round),
+        )
+        self.registry.counter(
+            "repro_recoveries_total", "worker-death recoveries survived"
+        ).inc()
+
+    def finish(self) -> None:
+        """Teardown hook: final drain and restore the Null defaults.
+
+        Idempotent; safe to call when the communicator is already gone
+        (the trace then simply keeps what was collected so far).
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self._previous_process_tracer is not None:
+            set_process_tracer(self._previous_process_tracer)
+            self._previous_process_tracer = None
+        if self._comm is None:
+            return
+        try:
+            self.drain(tag_round=None)
+            self._comm.run_per_pe(
+                self._handle,
+                uninstall_tracer_kernel,
+                [(os.getpid(),) for _ in range(self._comm.p)],
+            )
+        except Exception:  # workers may already be shut down
+            self._drain_coordinator(None)
+        self._comm.tracer = NULL_TRACER
+
+    # -- export ----------------------------------------------------------
+    def events(self) -> List[Tuple]:
+        """The collected events (aligned), sorted by timestamp."""
+        pending = list(self._events)
+        if self.tracer.events:
+            # include coordinator events not yet drained so export works
+            # mid-run; the buffer itself stays intact
+            pending.extend(
+                ("coordinator", ph, name, cat, ts, dur, args)
+                for ph, name, cat, ts, dur, args in self.tracer.events
+            )
+        return sorted(pending, key=lambda event: event[4])
+
+    def tracks(self) -> List[str]:
+        return sorted({event[0] for event in self.events()})
+
+    def chrome_trace(self) -> dict:
+        """The Chrome trace-event JSON object for everything collected."""
+        metadata = {
+            "clock_offsets": {str(r): o for r, o in self.clock_offsets.items()},
+            "rounds_recorded": self._rounds_recorded,
+        }
+        return chrome_trace_dict(self.events(), metadata=metadata)
+
+    def export(self, path):
+        """Write the Chrome trace JSON to ``path``."""
+        metadata = {
+            "clock_offsets": {str(r): o for r, o in self.clock_offsets.items()},
+            "rounds_recorded": self._rounds_recorded,
+        }
+        return write_chrome_trace(path, self.events(), metadata=metadata)
+
+
+def resolve_trace(trace) -> Optional[TraceCollector]:
+    """Resolve a driver's ``trace=`` argument.
+
+    ``None``/``False`` → no tracing; ``True`` → a fresh collector; a
+    :class:`TraceCollector` instance passes through (sharing one
+    collector across a run's phases).  Shared by every driver so the
+    accepted spellings cannot drift apart.
+    """
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return TraceCollector()
+    if isinstance(trace, TraceCollector):
+        return trace
+    raise TypeError(
+        f"trace must be None, a bool, or a TraceCollector, got {type(trace).__name__}"
+    )

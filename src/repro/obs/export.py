@@ -1,0 +1,167 @@
+"""Chrome trace-event JSON export and validation.
+
+The collector's aligned events render into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+JSON that ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_
+load directly.  Every timeline — the coordinator plus one per PE — is
+rendered as its own *process* (``pid``) with a ``process_name`` metadata
+record, so the UI shows one labelled track per PE.
+
+Timestamps are microseconds on the coordinator's monotonic clock; the
+collector has already subtracted each worker's calibrated offset, so
+spans from different processes align on one timeline.
+
+Everything here is plain-JSON safe: :func:`write_chrome_trace`
+serialises with ``allow_nan=False`` and coerces numpy scalars / rejects
+non-finite floats first, so an exported file never contains the
+spec-invalid ``NaN``/``Infinity`` tokens.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "COORDINATOR_PID",
+]
+
+#: pid of the coordinator track; PE ``r`` gets pid ``COORDINATOR_PID + 1 + r``
+COORDINATOR_PID = 1
+
+#: collected event tuple: (track, ph, name, cat, ts, dur, args)
+CollectedEvent = Tuple[str, str, str, Optional[str], float, float, Optional[dict]]
+
+
+def _json_safe(value):
+    """Coerce ``value`` to something JSON-serialisable without NaN/Inf."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else None
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    # numpy scalars expose item(); anything else falls back to repr
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):  # pragma: no cover - odd array-likes
+            pass
+    return repr(value)
+
+
+def track_pid(track: str, order: Sequence[str]) -> int:
+    """Stable pid for a track name given the sorted track order."""
+    return COORDINATOR_PID + list(order).index(track)
+
+
+def _track_order(events: Sequence[CollectedEvent]) -> List[str]:
+    tracks = {track for track, *_ in events}
+    tracks.add("coordinator")
+    # coordinator first, then PEs by rank (pe0, pe1, ... sorts numerically
+    # via the (len, str) key), then anything else alphabetically
+    def key(name: str):
+        if name == "coordinator":
+            return (0, 0, "")
+        if name.startswith("pe") and name[2:].isdigit():
+            return (1, int(name[2:]), "")
+        return (2, 0, name)
+
+    return sorted(tracks, key=key)
+
+
+def chrome_trace_dict(
+    events: Sequence[CollectedEvent], *, metadata: Optional[dict] = None
+) -> dict:
+    """Build the Chrome trace-event JSON object for collected events."""
+    order = _track_order(events)
+    trace_events: List[dict] = []
+    for index, track in enumerate(order):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": COORDINATOR_PID + index,
+                "tid": 0,
+                "args": {"name": track},
+            }
+        )
+    pids = {track: COORDINATOR_PID + index for index, track in enumerate(order)}
+    for track, ph, name, cat, ts, dur, args in events:
+        record: Dict[str, object] = {
+            "ph": ph,
+            "name": name,
+            "pid": pids[track],
+            "tid": 0,
+            "ts": ts * 1e6,
+        }
+        if cat:
+            record["cat"] = cat
+        if ph == "X":
+            record["dur"] = dur * 1e6
+        if args:
+            record["args"] = _json_safe(args)
+        trace_events.append(record)
+    out: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        out["metadata"] = _json_safe(metadata)
+    return out
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Sequence[CollectedEvent],
+    *,
+    metadata: Optional[dict] = None,
+) -> Path:
+    """Serialise collected events to ``path`` as Chrome trace JSON."""
+    path = Path(path)
+    payload = chrome_trace_dict(events, metadata=metadata)
+    path.write_text(json.dumps(payload, allow_nan=False, separators=(",", ":")) + "\n")
+    return path
+
+
+_VALID_PHASES = {"X", "i", "I", "C", "M", "B", "E"}
+
+
+def validate_chrome_trace(trace: dict) -> List[dict]:
+    """Check ``trace`` against the trace-event schema; returns the events.
+
+    Raises :class:`ValueError` on the first violation: a missing
+    ``traceEvents`` list, an event without the required keys, an unknown
+    phase code, a complete event without ``dur``, or a non-finite
+    timestamp.  Used by the obs tests and the ``bench_obs`` gate.
+    """
+    if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    events = trace["traceEvents"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in ("ph", "name", "pid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] missing required key {key!r}")
+        ph = event["ph"]
+        if ph not in _VALID_PHASES:
+            raise ValueError(f"traceEvents[{index}] has unknown phase code {ph!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts != ts:
+                raise ValueError(f"traceEvents[{index}] has invalid ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+                raise ValueError(f"traceEvents[{index}] complete event has invalid dur")
+    # the file (or dict) must round-trip strict JSON: no NaN/Infinity
+    json.dumps(trace, allow_nan=False)
+    return events

@@ -1,0 +1,139 @@
+"""The ``repro`` stdlib-logging hierarchy and worker log forwarding.
+
+The library logs under one root logger, ``"repro"``, with per-subsystem
+children (``repro.network``, ``repro.checkpoint``, ``repro.pipeline``,
+…).  Following library convention the root gets a ``NullHandler``, so a
+consumer that configures nothing sees nothing; enabling diagnostics is
+the usual ::
+
+    import logging
+    logging.getLogger("repro").setLevel(logging.DEBUG)
+    logging.basicConfig()
+
+Worker processes of the multiprocess backend have no terminal of their
+own: :func:`install_worker_log_buffer` attaches a bounded buffering
+handler to the worker's ``repro`` logger, records carry the worker's
+rank and current epoch, and the coordinator drains them over the
+existing command pipes (the ``"logs"`` worker command and the trace
+drain path both do) and re-emits them through its *own* ``repro``
+hierarchy via :func:`replay_worker_records` — tagged
+``[worker r<rank> e<epoch>]`` so interleaved output stays attributable.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "get_logger",
+    "install_worker_log_buffer",
+    "uninstall_worker_log_buffer",
+    "drain_worker_log_records",
+    "set_worker_log_epoch",
+    "replay_worker_records",
+    "WorkerLogBuffer",
+]
+
+#: root logger name of the library hierarchy
+ROOT_LOGGER = "repro"
+
+#: worker record: (levelno, logger name, message, rank, epoch, created)
+WorkerLogRecord = Tuple[int, str, str, int, int, float]
+
+# a consumer that configures no handlers must see no "No handlers could
+# be found" noise — standard library-logging convention
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger in the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + ".") or name == ROOT_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class WorkerLogBuffer(logging.Handler):
+    """Bounded in-memory record buffer installed in worker processes.
+
+    Records are flattened to picklable tuples at emit time (live
+    ``LogRecord`` objects can reference unpicklable args).  The deque is
+    bounded: if nobody drains, old records age out instead of growing
+    without bound.
+    """
+
+    def __init__(self, rank: int, capacity: int = 1000) -> None:
+        super().__init__(level=logging.DEBUG)
+        self.rank = int(rank)
+        self.epoch = 0
+        self.records: deque = deque(maxlen=int(capacity))
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            message = record.getMessage()
+        except Exception:  # pragma: no cover - malformed log call
+            message = str(record.msg)
+        self.records.append(
+            (record.levelno, record.name, message, self.rank, self.epoch, record.created)
+        )
+
+    def drain(self) -> List[WorkerLogRecord]:
+        records = list(self.records)
+        self.records.clear()
+        return records
+
+
+_WORKER_BUFFER: Optional[WorkerLogBuffer] = None
+
+
+def install_worker_log_buffer(rank: int, *, epoch: int = 0) -> WorkerLogBuffer:
+    """Attach the per-process worker buffer (idempotent per process)."""
+    global _WORKER_BUFFER
+    if _WORKER_BUFFER is not None:
+        uninstall_worker_log_buffer()
+    handler = WorkerLogBuffer(rank)
+    handler.epoch = int(epoch)
+    root = logging.getLogger(ROOT_LOGGER)
+    # capture everything the library emits; the coordinator's hierarchy
+    # applies the user's level/handler configuration on replay
+    root.setLevel(logging.DEBUG)
+    root.addHandler(handler)
+    _WORKER_BUFFER = handler
+    return handler
+
+
+def uninstall_worker_log_buffer() -> None:
+    global _WORKER_BUFFER
+    if _WORKER_BUFFER is not None:
+        logging.getLogger(ROOT_LOGGER).removeHandler(_WORKER_BUFFER)
+        _WORKER_BUFFER = None
+
+
+def set_worker_log_epoch(epoch: int) -> None:
+    """Stamp subsequent worker records with the communicator epoch."""
+    if _WORKER_BUFFER is not None:
+        _WORKER_BUFFER.epoch = int(epoch)
+
+
+def drain_worker_log_records() -> List[WorkerLogRecord]:
+    """Return and clear this process's buffered records ([] when none)."""
+    if _WORKER_BUFFER is None:
+        return []
+    return _WORKER_BUFFER.drain()
+
+
+def replay_worker_records(records: List[WorkerLogRecord]) -> int:
+    """Re-emit drained worker records through the coordinator's hierarchy.
+
+    Returns the number of records replayed.  Each record goes to its
+    original logger name so per-subsystem level filtering keeps working,
+    prefixed with the producing worker's rank and epoch.
+    """
+    for levelno, name, message, rank, epoch, _created in records:
+        logger = logging.getLogger(name)
+        if logger.isEnabledFor(levelno):
+            logger.log(levelno, "[worker r%d e%d] %s", rank, epoch, message)
+    return len(records)

@@ -1,0 +1,223 @@
+"""A small live metrics registry with Prometheus-style text exposition.
+
+The future multi-tenant sampling service needs scrapeable operational
+metrics; the benchmarks need the same numbers without a server.  The
+registry keeps both happy: instruments are cheap in-process objects and
+:meth:`MetricsRegistry.exposition` renders the standard text format
+(``# HELP`` / ``# TYPE`` headers, cumulative histogram buckets) that any
+Prometheus scraper — or a test's string assertion — can consume.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing total (payload bytes,
+  stale candidates, evictions, recoveries, autotune decisions),
+* :class:`Gauge` — a value that goes both ways (current batch size,
+  threshold, sample size),
+* :class:`Histogram` — cumulative-bucket distribution (round latency).
+
+Instruments are created on first use (``registry.counter(name)``), and
+re-requesting a name returns the same instrument, so producer call sites
+need no registration ceremony.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: default histogram buckets (seconds): round latencies from 100 µs to ~1 min
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r} (Prometheus name rules)")
+    return name
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc({amount}))")
+        self.value += float(amount)
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name} {_format_value(self.value)}"]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= float(amount)
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name} {_format_value(self.value)}"]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket distribution (Prometheus histogram semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def sample_lines(self) -> List[str]:
+        lines = []
+        # bucket_counts are cumulative already: observe() increments every
+        # bound >= value, which is exactly the le-bucket semantics
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}} {count}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_format_value(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {_format_value(b): c for b, c in zip(self.bounds, self.bucket_counts)},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    requesting an existing name with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if buckets is None:
+            return self._get_or_create(Histogram, name, help)
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str):
+        """The instrument registered under ``name`` or ``None``."""
+        return self._instruments.get(name)
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of every registered instrument."""
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            lines.extend(instrument.sample_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every instrument (used by the benches)."""
+        return {name: inst.as_dict() for name, inst in sorted(self._instruments.items())}

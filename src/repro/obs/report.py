@@ -1,0 +1,139 @@
+"""Per-phase/per-PE skew report over an exported Chrome trace.
+
+``python -m repro.obs.report trace.json`` prints, for every algorithm
+phase (the Figure 6 decomposition: prepare/insert/expire/select/
+threshold/gather/overlap), the time each PE spent in spans of that
+phase, plus the cross-PE mean/max and the *skew* ratio ``max / mean`` —
+1.0 means perfectly balanced PEs, larger means a straggler.  This is the
+per-PE dimension the aggregate :class:`~repro.runtime.metrics.RunMetrics`
+ledger averages away.
+
+The module doubles as the library API used by the obs tests and the
+``bench_obs`` gate: :func:`phase_track_times` and :func:`skew_table`
+work on any loaded trace-event dict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.obs.export import validate_chrome_trace
+from repro.runtime.metrics import PHASES
+
+__all__ = ["phase_track_times", "skew_table", "render_report", "main"]
+
+
+def _track_names(events: List[dict]) -> Dict[int, str]:
+    """pid → track name from the trace's process_name metadata records."""
+    names: Dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            names[event["pid"]] = str(event.get("args", {}).get("name", event["pid"]))
+    return names
+
+
+def phase_track_times(trace: dict) -> Dict[str, Dict[str, float]]:
+    """Seconds spent per (phase, track) over a trace-event dict.
+
+    A complete event contributes to phase ``p`` when its name is ``p``
+    (coordinator phase spans, per-PE kernel spans share the phase
+    vocabulary) — other spans (commands, checkpoints) are ignored.
+    """
+    events = validate_chrome_trace(trace)
+    names = _track_names(events)
+    out: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.get("ph") != "X" or event.get("name") not in PHASES:
+            continue
+        track = names.get(event["pid"], str(event["pid"]))
+        per_track = out.setdefault(event["name"], {})
+        per_track[track] = per_track.get(track, 0.0) + float(event.get("dur", 0.0)) / 1e6
+    return out
+
+
+def skew_table(trace: dict) -> List[Tuple[str, Dict[str, float], float, float, float]]:
+    """Rows ``(phase, per_track, mean, max, skew)`` in canonical phase order.
+
+    Only PE tracks enter the skew statistics — the coordinator track
+    aggregates all PEs' communication and would double-count.
+    """
+    per_phase = phase_track_times(trace)
+    rows = []
+    for phase in PHASES:
+        per_track = per_phase.get(phase)
+        if not per_track:
+            continue
+        pe_values = [t for track, t in per_track.items() if track.startswith("pe")]
+        values = pe_values if pe_values else list(per_track.values())
+        mean = sum(values) / len(values)
+        peak = max(values)
+        skew = peak / mean if mean > 0 else 1.0
+        rows.append((phase, per_track, mean, peak, skew))
+    return rows
+
+
+def render_report(trace: dict, *, per_pe: bool = True) -> str:
+    """The human-readable skew table for a loaded trace dict."""
+    rows = skew_table(trace)
+    if not rows:
+        return "no phase spans found in trace\n"
+    tracks = sorted(
+        {track for _, per_track, *_ in rows for track in per_track},
+        key=lambda name: (not name.startswith("pe"), name.replace("pe", "").zfill(8)),
+    )
+    pe_tracks = [t for t in tracks if t.startswith("pe")]
+    lines = []
+    header = ["phase".ljust(10)]
+    if per_pe and len(pe_tracks) <= 16:
+        header += [t.rjust(10) for t in pe_tracks]
+    header += [s.rjust(10) for s in ("mean_s", "max_s", "skew")]
+    lines.append("  ".join(header))
+    lines.append("-" * len(lines[0]))
+    for phase, per_track, mean, peak, skew in rows:
+        row = [phase.ljust(10)]
+        if per_pe and len(pe_tracks) <= 16:
+            row += [f"{per_track.get(t, 0.0):10.4f}" for t in pe_tracks]
+        row += [f"{mean:10.4f}", f"{peak:10.4f}", f"{skew:10.2f}"]
+        lines.append("  ".join(row))
+    recoveries = sum(
+        1 for e in trace["traceEvents"] if e.get("ph") == "i" and e.get("name") == "recovery"
+    )
+    lines.append("")
+    lines.append(
+        f"tracks: {len(pe_tracks)} PE(s) + coordinator | "
+        f"phase spans over {len(rows)} phase(s) | recovery markers: {recoveries}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Print the per-phase/per-PE skew table of an exported trace.",
+    )
+    parser.add_argument("trace", type=Path, help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--no-per-pe",
+        action="store_true",
+        help="suppress the per-PE columns (summary statistics only)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        trace = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        sys.stdout.write(render_report(trace, per_pe=not args.no_per_pe))
+    except ValueError as exc:
+        print(f"error: invalid trace: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CLI smoke test
+    raise SystemExit(main())

@@ -1,0 +1,210 @@
+"""Span/instant/counter tracers with a zero-overhead Null default.
+
+Events are plain tuples so they pickle cheaply across the process
+boundary and serialise to JSON without custom encoders::
+
+    (ph, name, cat, ts, dur, args)
+
+``ph`` is the Chrome trace-event phase code — ``"X"`` (complete span),
+``"i"`` (instant) or ``"C"`` (counter) — ``ts`` is a local
+:func:`time.perf_counter` reading in seconds, ``dur`` the span duration
+(0.0 for instants/counters) and ``args`` a small dict of JSON-safe
+values or ``None``.
+
+Two tracer implementations exist:
+
+* :class:`NullTracer` — every method is a no-op and :meth:`span` returns
+  a shared do-nothing context manager.  This is the default wired into
+  every instrumentation point, so a run without tracing pays only the
+  cost of a method call that immediately returns (the ``bench_obs``
+  gate keeps that below 2% of round time).
+* :class:`MemoryTracer` — appends events to an in-process list.  Buffer
+  appends are plain ``list.append`` calls, which the GIL makes safe
+  against the pipelined drivers' worker-side prepare threads.
+
+One *process tracer* global exists per process
+(:func:`process_tracer` / :func:`set_process_tracer`): it is how code
+without access to a per-PE state dict — the worker command loop, the
+mailbox, the shared-memory rings — finds the active tracer.  Worker
+processes adopt their per-rank tracer as the process tracer when the
+collector installs it; the coordinator adopts the collector's own
+tracer.  The default is :data:`NULL_TRACER`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "MemoryTracer",
+    "NULL_TRACER",
+    "process_tracer",
+    "set_process_tracer",
+]
+
+#: event tuple: (ph, name, cat, ts, dur, args)
+TraceEvent = Tuple[str, str, Optional[str], float, float, Optional[dict]]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned by :meth:`NullTracer.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """The tracer protocol every instrumentation point talks to.
+
+    ``span(name, cat=None, **args)`` returns a context manager timing a
+    region; ``instant`` marks a point in time; ``counter`` samples a
+    numeric series.  ``drain()`` returns and clears any buffered events.
+    ``enabled`` lets rare call sites skip building expensive arguments;
+    hot paths call the methods unconditionally and rely on the Null
+    implementation being free.
+    """
+
+    enabled = False
+    track = ""
+    tags: Dict[str, object] = {}
+
+    def span(self, name: str, cat: Optional[str] = None, **args):
+        raise NotImplementedError
+
+    def instant(self, name: str, cat: Optional[str] = None, **args) -> None:
+        raise NotImplementedError
+
+    def counter(self, name: str, value: float, cat: Optional[str] = None, **args) -> None:
+        raise NotImplementedError
+
+    def drain(self) -> List[TraceEvent]:
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default tracer: records nothing.
+
+    Mirrors the Null-stub convention of the communicator layer — every
+    call site can invoke the tracer unconditionally and a run without
+    tracing executes only trivially cheap no-ops.  ``NullTracer`` never
+    touches a random generator, so samples are byte-identical with
+    tracing on, off, or Null (test-enforced).
+    """
+
+    enabled = False
+    track = ""
+    tags: Dict[str, object] = {}
+
+    def span(self, name: str, cat: Optional[str] = None, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: Optional[str] = None, **args) -> None:
+        return None
+
+    def counter(self, name: str, value: float, cat: Optional[str] = None, **args) -> None:
+        return None
+
+    def drain(self) -> List[TraceEvent]:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "NullTracer()"
+
+
+#: the process-wide shared Null tracer instance
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Context manager recording one complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, tracer: "MemoryTracer", name: str, cat: Optional[str], args) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        self._tracer.events.append(
+            ("X", self._name, self._cat, self._start, end - self._start, self._args)
+        )
+        return False
+
+
+class MemoryTracer(Tracer):
+    """In-process buffering tracer.
+
+    Parameters
+    ----------
+    track:
+        Display name of the timeline this tracer's events belong to
+        (``"coordinator"`` or ``"pe3"``).  The exporter renders one track
+        per tracer.
+    tags:
+        Static key/value tags merged into every event's args at export
+        time (rank, ``kernel_tier``); kept on the tracer instead of per
+        event so the hot path does not copy them.
+    """
+
+    __slots__ = ("track", "tags", "events")
+
+    enabled = True
+
+    def __init__(self, track: str = "main", tags: Optional[Dict[str, object]] = None) -> None:
+        self.track = track
+        self.tags: Dict[str, object] = dict(tags) if tags else {}
+        self.events: List[TraceEvent] = []
+
+    def span(self, name: str, cat: Optional[str] = None, **args) -> _Span:
+        return _Span(self, name, cat, args or None)
+
+    def instant(self, name: str, cat: Optional[str] = None, **args) -> None:
+        self.events.append(("i", name, cat, time.perf_counter(), 0.0, args or None))
+
+    def counter(self, name: str, value: float, cat: Optional[str] = None, **args) -> None:
+        args["value"] = float(value)
+        self.events.append(("C", name, cat, time.perf_counter(), 0.0, args))
+
+    def drain(self) -> List[TraceEvent]:
+        """Return and clear the buffered events (atomic swap)."""
+        events, self.events = self.events, []
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MemoryTracer(track={self.track!r}, events={len(self.events)})"
+
+
+_PROCESS_TRACER: Tracer = NULL_TRACER
+
+
+def process_tracer():
+    """The process-wide tracer (``NULL_TRACER`` unless collection installed one)."""
+    return _PROCESS_TRACER
+
+
+def set_process_tracer(tracer) -> object:
+    """Install ``tracer`` as the process-wide tracer; returns the previous one."""
+    global _PROCESS_TRACER
+    previous = _PROCESS_TRACER
+    _PROCESS_TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous

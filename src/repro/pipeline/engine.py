@@ -216,6 +216,13 @@ class _PipelineEngineBase:
             current = metrics.phase_times.get("prepare", PhaseTimes())
             metrics.phase_times["prepare"] = PhaseTimes(local=busy_measured, comm=current.comm)
             metrics.overlap_saved_time = max(0.0, busy_measured - wait_time)
+            self.comm.tracer.instant(
+                "overlap.join",
+                cat="pipeline",
+                busy=busy_measured,
+                wait=wait_time,
+                saved=metrics.overlap_saved_time,
+            )
             return
         prepare_pt = metrics.phase_times.get("prepare")
         prepare_local = prepare_pt.local if prepare_pt is not None else 0.0

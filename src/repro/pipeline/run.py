@@ -37,12 +37,16 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.network.base import Communicator, make_communicator
+from repro.obs.collect import resolve_trace
+from repro.obs.log import get_logger
 from repro.pipeline.autotune import DEFAULT_TARGET_ROUND_TIME, BatchSizeAutotuner
 from repro.pipeline.engine import make_pipeline_engine, normalize_pipeline_mode
 from repro.runtime.metrics import RoundMetrics, RunMetrics
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["PipelinedSamplingRun"]
+
+_logger = get_logger("pipeline.run")
 
 
 class PipelinedSamplingRun:
@@ -79,6 +83,11 @@ class PipelinedSamplingRun:
         Latency target of the ``"auto"`` batch sizing (seconds/round).
     weighted / store / seed / weights / kernel_tier:
         Forwarded to the sampler / stream shards.
+    trace:
+        ``True`` or a :class:`~repro.obs.collect.TraceCollector` enables
+        distributed tracing (per-PE spans, clock-aligned collection,
+        Chrome-trace export; see :mod:`repro.obs`).  Exposed as
+        :attr:`trace`; never touches any RNG.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class PipelinedSamplingRun:
         window: Optional[int] = None,
         target_round_time: float = DEFAULT_TARGET_ROUND_TIME,
         kernel_tier: str = "numpy",
+        trace=None,
         **comm_kwargs,
     ) -> None:
         from repro.core.api import make_distributed_sampler
@@ -138,6 +148,9 @@ class PipelinedSamplingRun:
                 attach_kwargs["weights"] = weights
             self.sampler.attach_worker_stream(initial_batch, **attach_kwargs)
             self.engine = make_pipeline_engine(self.sampler, mode)
+            self.trace = resolve_trace(trace)
+            if self.trace is not None:
+                self.trace.attach(self.comm, self.sampler._handle)
         except BaseException:
             # don't leak the workers we just spawned on invalid arguments
             if self._owns_comm:
@@ -168,13 +181,24 @@ class PipelinedSamplingRun:
         """Process one measured round and record its metrics."""
         self._ensure_warmup()
         start = time.perf_counter()
-        round_metrics = self.engine.step()
+        with self.comm.tracer.span("round", cat="round", round=self.metrics.num_rounds):
+            round_metrics = self.engine.step()
         elapsed = time.perf_counter() - start
         self.metrics.wall_time += elapsed
         self.metrics.add_round(round_metrics)
+        if self.trace is not None:
+            self.trace.record_round(round_metrics, wall_time=elapsed)
         if self.autotuner is not None:
             resized = self.autotuner.update(elapsed)
             if resized is not None:
+                _logger.debug(
+                    "autotuner resized batch %d -> %d (round took %.4fs)",
+                    self.batch_size,
+                    resized,
+                    elapsed,
+                )
+                if self.trace is not None:
+                    self.trace.on_autotune(self.batch_size, resized)
                 self.batch_size = resized
                 self.engine.request_batch_size(resized)
         return round_metrics
@@ -210,6 +234,8 @@ class PipelinedSamplingRun:
     def close(self) -> None:
         """Join any in-flight prepare and shut down an owned communicator."""
         self.engine.finish()
+        if self.trace is not None:
+            self.trace.finish()
         if self._owns_comm:
             self.comm.shutdown()
 

@@ -27,10 +27,14 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.network.base import Communicator, make_communicator
+from repro.obs.collect import resolve_trace
+from repro.obs.log import get_logger
 from repro.runtime.metrics import RoundMetrics, RunMetrics
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["ParallelStreamingRun"]
+
+_logger = get_logger("runtime.parallel")
 
 
 class ParallelStreamingRun:
@@ -63,6 +67,11 @@ class ParallelStreamingRun:
         :class:`~repro.runtime.simulator.StreamingSimulation`.
     weighted / store / seed / weights / kernel_tier:
         Forwarded to the sampler / stream shards.
+    trace:
+        ``True`` or a :class:`~repro.obs.collect.TraceCollector` enables
+        distributed tracing (per-PE spans, clock-aligned collection,
+        Chrome-trace export; see :mod:`repro.obs`).  Exposed as
+        :attr:`trace`; never touches any RNG.
 
     Use as a context manager (or call :meth:`close`) so the process
     backend's workers are torn down deterministically.
@@ -83,6 +92,7 @@ class ParallelStreamingRun:
         weights=None,
         target_round_time: Optional[float] = None,
         kernel_tier: str = "numpy",
+        trace=None,
         **comm_kwargs,
     ) -> None:
         from repro.core.api import make_distributed_sampler
@@ -113,6 +123,9 @@ class ParallelStreamingRun:
             self.sampler.attach_worker_stream(
                 self.batch_size, seed=seed, weights=weights, variable=self.autotuner is not None
             )
+            self.trace = resolve_trace(trace)
+            if self.trace is not None:
+                self.trace.attach(self.comm, self.sampler._handle)
         except BaseException:
             # don't leak the workers we just spawned on invalid arguments
             if self._owns_comm:
@@ -143,15 +156,26 @@ class ParallelStreamingRun:
         """Process one measured round and record its metrics."""
         self._ensure_warmup()
         start = time.perf_counter()
-        round_metrics = self.sampler.process_stream_round()
+        with self.comm.tracer.span("round", cat="round", round=self.metrics.num_rounds):
+            round_metrics = self.sampler.process_stream_round()
         elapsed = time.perf_counter() - start
         self.metrics.wall_time += elapsed
         self.metrics.add_round(round_metrics)
+        if self.trace is not None:
+            self.trace.record_round(round_metrics, wall_time=elapsed)
         if self.autotuner is not None:
             resized = self.autotuner.update(elapsed)
             if resized is not None:
                 from repro.core import pe_kernels
 
+                _logger.debug(
+                    "autotuner resized batch %d -> %d (round took %.4fs)",
+                    self.batch_size,
+                    resized,
+                    elapsed,
+                )
+                if self.trace is not None:
+                    self.trace.on_autotune(self.batch_size, resized)
                 self.batch_size = resized
                 self.comm.run_per_pe(
                     self.sampler._handle,
@@ -199,6 +223,8 @@ class ParallelStreamingRun:
 
     def close(self) -> None:
         """Shut down the communicator if this run created it."""
+        if self.trace is not None:
+            self.trace.finish()
         if self._owns_comm:
             self.comm.shutdown()
 

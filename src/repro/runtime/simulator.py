@@ -9,6 +9,7 @@ processing rounds until a given amount of simulated time has elapsed.
 
 from __future__ import annotations
 
+from repro.obs.collect import resolve_trace
 from repro.runtime.metrics import RoundMetrics, RunMetrics
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -30,15 +31,23 @@ class StreamingSimulation:
         Rounds processed before metric collection starts (their cost is not
         reported).  The paper's steady-state behaviour — few insertions per
         batch — only establishes itself after the first few batches.
+    trace:
+        ``True`` or a :class:`~repro.obs.collect.TraceCollector` enables
+        span recording (see :mod:`repro.obs`); exposed as :attr:`trace`.
+        Under the simulated backend the PEs run inline, so all spans share
+        the coordinator clock and no calibration offsets apply.
     """
 
-    def __init__(self, sampler, stream, *, warmup_rounds: int = 0) -> None:
+    def __init__(self, sampler, stream, *, warmup_rounds: int = 0, trace=None) -> None:
         if stream.p != sampler.p:
             raise ValueError(f"stream has {stream.p} PEs but the sampler has {sampler.p}")
         self.sampler = sampler
         self.stream = stream
         self.warmup_rounds = check_positive_int(warmup_rounds, "warmup_rounds", allow_zero=True)
         self._warmed_up = False
+        self.trace = resolve_trace(trace)
+        if self.trace is not None:
+            self.trace.attach(sampler.comm, sampler._handle)
         self.metrics = RunMetrics(
             p=sampler.p,
             k=int(getattr(sampler, "k", 0)),
@@ -61,8 +70,11 @@ class StreamingSimulation:
         """Process one round and record its metrics."""
         self._ensure_warmup()
         batches = self.stream.next_round()
-        round_metrics = self.sampler.process_round(batches.batches)
+        with self.sampler.comm.tracer.span("round", cat="round", round=self.metrics.num_rounds):
+            round_metrics = self.sampler.process_round(batches.batches)
         self.metrics.add_round(round_metrics)
+        if self.trace is not None:
+            self.trace.record_round(round_metrics)
         return round_metrics
 
     def run_rounds(self, rounds: int) -> RunMetrics:
@@ -96,3 +108,8 @@ class StreamingSimulation:
 
     def communication_summary(self) -> dict:
         return self.sampler.comm.ledger.summary()
+
+    def close(self) -> None:
+        """Detach an attached trace collector (no other resources owned)."""
+        if self.trace is not None:
+            self.trace.finish()

@@ -312,7 +312,19 @@ class DistributedWindowSampler:
             if self._boundary_still_exact(clock, sizes):
                 selection_skipped = True
                 self._selection_skips += 1
+                self.comm.tracer.instant(
+                    "selection.amortised_skip",
+                    cat="select",
+                    round=self._round,
+                    buffer_items=total_live,
+                )
             else:
+                self.comm.tracer.instant(
+                    "selection.recompute",
+                    cat="select",
+                    round=self._round,
+                    buffer_items=total_live,
+                )
                 keyset = self.keyset()
                 with self.comm.phase("select"):
                     selection_result = recompute_window_threshold(

@@ -1,0 +1,52 @@
+"""Fixtures for the observability tests.
+
+Mirrors the fault-injection harness of ``tests/fault``: real worker
+processes with small timeouts so injected deaths surface fast, plus a
+fresh checkpoint directory per test for the recovery-trace cases.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.network.process_comm import ProcessComm
+
+#: small-timeout settings so injected faults surface fast on one core
+FAST_TIMEOUTS = dict(mailbox_timeout=5.0, reply_timeout=60.0)
+
+
+def kill_worker(comm: ProcessComm, rank: int) -> None:
+    """SIGKILL one worker and wait until the OS has reaped it."""
+    pid = comm.worker_pids[rank]
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while comm.workers_alive[rank]:
+        if time.monotonic() > deadline:  # pragma: no cover - diagnostics
+            raise RuntimeError(f"worker {rank} (pid {pid}) survived SIGKILL")
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def make_process_comm():
+    """Factory for fast-timeout :class:`ProcessComm` instances."""
+    comms = []
+
+    def factory(p: int, **kwargs) -> ProcessComm:
+        merged = {**FAST_TIMEOUTS, **kwargs}
+        comm = ProcessComm(p, **merged)
+        comms.append(comm)
+        return comm
+
+    yield factory
+    for comm in comms:
+        comm.shutdown()
+
+
+@pytest.fixture
+def checkpoint_dir(tmp_path):
+    """A fresh checkpoint directory per test."""
+    return tmp_path / "ckpt"

@@ -1,0 +1,107 @@
+"""Chrome trace-event export: schema, strict JSON, track layout."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    COORDINATOR_PID,
+    chrome_trace_dict,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def sample_events():
+    # (track, ph, name, cat, ts, dur, args)
+    return [
+        ("coordinator", "X", "round", "round", 1.0, 0.5, {"round": 0}),
+        ("pe0", "X", "insert", "kernel", 1.1, 0.2, {"rank": 0}),
+        ("pe1", "i", "marker", "fault", 1.2, 0.0, None),
+        ("pe0", "C", "depth", "comm", 1.3, 0.0, {"value": 3.0}),
+    ]
+
+
+class TestChromeTraceDict:
+    def test_validates_and_round_trips_strict_json(self):
+        trace = chrome_trace_dict(sample_events(), metadata={"rounds_recorded": 1})
+        events = validate_chrome_trace(trace)
+        restored = json.loads(json.dumps(trace, allow_nan=False))
+        assert restored["metadata"]["rounds_recorded"] == 1
+        assert len(events) == len(trace["traceEvents"])
+
+    def test_one_process_name_record_per_track(self):
+        trace = chrome_trace_dict(sample_events())
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert sorted(names.values()) == ["coordinator", "pe0", "pe1"]
+        assert names[COORDINATOR_PID] == "coordinator"
+
+    def test_coordinator_track_exists_even_without_events(self):
+        trace = chrome_trace_dict([("pe0", "i", "x", None, 0.0, 0.0, None)])
+        names = [
+            e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"
+        ]
+        assert "coordinator" in names
+
+    def test_pe_tracks_sort_numerically(self):
+        events = [
+            (f"pe{r}", "i", "x", None, 0.0, 0.0, None) for r in (10, 2, 0)
+        ]
+        trace = chrome_trace_dict(events)
+        names = [e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert names == ["coordinator", "pe0", "pe2", "pe10"]
+
+    def test_timestamps_scale_to_microseconds(self):
+        trace = chrome_trace_dict(sample_events())
+        span = next(e for e in trace["traceEvents"] if e["ph"] == "X" and e["name"] == "round")
+        assert span["ts"] == pytest.approx(1.0e6)
+        assert span["dur"] == pytest.approx(0.5e6)
+
+    def test_numpy_and_nonfinite_args_become_json_safe(self):
+        events = [
+            (
+                "pe0",
+                "i",
+                "x",
+                None,
+                0.0,
+                0.0,
+                {"n": np.int64(5), "f": np.float64(0.5), "bad": float("inf")},
+            )
+        ]
+        trace = chrome_trace_dict(events)
+        payload = json.loads(json.dumps(trace, allow_nan=False))
+        args = next(e for e in payload["traceEvents"] if e["ph"] == "i")["args"]
+        assert args == {"n": 5, "f": 0.5, "bad": None}
+
+
+class TestWriteAndValidate:
+    def test_write_chrome_trace_loads_back(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", sample_events())
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"foo": 1})
+
+    def test_rejects_unknown_phase_code(self):
+        trace = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "ts": 0.0}]}
+        with pytest.raises(ValueError, match="phase code"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_complete_event_without_duration(self):
+        trace = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "ts": 0.0}]}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_missing_required_key(self):
+        trace = {"traceEvents": [{"ph": "i", "ts": 0.0}]}
+        with pytest.raises(ValueError, match="name"):
+            validate_chrome_trace(trace)

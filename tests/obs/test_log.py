@@ -1,0 +1,94 @@
+"""The ``repro`` logging hierarchy and worker log forwarding."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core.api import DistributedSamplingRun
+from repro.obs.log import (
+    ROOT_LOGGER,
+    drain_worker_log_records,
+    get_logger,
+    install_worker_log_buffer,
+    replay_worker_records,
+    set_worker_log_epoch,
+    uninstall_worker_log_buffer,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_worker_buffer():
+    yield
+    uninstall_worker_log_buffer()
+
+
+class TestLoggerHierarchy:
+    def test_get_logger_prefixes_into_hierarchy(self):
+        assert get_logger().name == ROOT_LOGGER
+        assert get_logger("network.shm").name == "repro.network.shm"
+        assert get_logger("repro.checkpoint").name == "repro.checkpoint"
+
+    def test_root_logger_has_null_handler(self):
+        handlers = logging.getLogger(ROOT_LOGGER).handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+
+class TestWorkerBuffer:
+    def test_records_tagged_with_rank_and_epoch(self):
+        install_worker_log_buffer(3, epoch=1)
+        get_logger("network").warning("lost %d", 7)
+        set_worker_log_epoch(2)
+        get_logger("checkpoint").debug("pruned")
+        records = drain_worker_log_records()
+        assert [(r[3], r[4]) for r in records] == [(3, 1), (3, 2)]
+        assert records[0][0] == logging.WARNING
+        assert records[0][1] == "repro.network"
+        assert records[0][2] == "lost 7"
+        assert drain_worker_log_records() == []
+
+    def test_reinstall_replaces_previous_buffer(self):
+        install_worker_log_buffer(0)
+        install_worker_log_buffer(1)
+        get_logger().info("once")
+        records = drain_worker_log_records()
+        assert len(records) == 1
+        assert records[0][3] == 1
+
+    def test_drain_without_buffer_is_empty(self):
+        uninstall_worker_log_buffer()
+        assert drain_worker_log_records() == []
+
+    def test_buffer_is_bounded(self):
+        handler = install_worker_log_buffer(0)
+        for i in range(handler.records.maxlen + 10):
+            get_logger().info("m%d", i)
+        assert len(drain_worker_log_records()) == handler.records.maxlen
+
+    def test_replay_prefixes_rank_and_epoch(self, caplog):
+        records = [(logging.WARNING, "repro.network", "boom", 2, 1, 0.0)]
+        with caplog.at_level(logging.WARNING, logger="repro.network"):
+            assert replay_worker_records(records) == 1
+        assert caplog.records[-1].getMessage() == "[worker r2 e1] boom"
+
+
+def _worker_log_kernel(state):
+    get_logger("testworker").info("hello from rank %d", state["pe"])
+    return True
+
+
+class TestProcessCommForwarding:
+    def test_worker_records_replayed_on_coordinator(self, make_process_comm, caplog):
+        comm = make_process_comm(2)
+        with DistributedSamplingRun(
+            "ours", comm=comm, k=10, p=2, batch_size=100, seed=4
+        ) as run:
+            run.run(1)
+            comm.run_per_pe(run.sampler._handle, _worker_log_kernel)
+            with caplog.at_level(logging.INFO, logger="repro.testworker"):
+                drained = comm.drain_worker_logs()
+        assert drained >= 2
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("[worker r0 e0] hello from rank 0" in m for m in messages)
+        assert any("[worker r1 e0] hello from rank 1" in m for m in messages)

@@ -1,0 +1,77 @@
+"""The live metrics registry and its Prometheus text exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_decrease(self):
+        counter = Counter("repro_items_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("repro_batch_size")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value == 8.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        hist = Histogram("repro_round_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.bucket_counts == [1, 2, 3]
+        lines = hist.sample_lines()
+        assert 'repro_round_seconds_bucket{le="+Inf"} 4' in lines
+        assert "repro_round_seconds_count 4" in lines
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name with spaces")
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_rounds_total", "rounds")
+        assert registry.counter("repro_rounds_total") is first
+        assert "repro_rounds_total" in registry
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x")
+
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_items_total", "stream items processed").inc(42)
+        registry.gauge("repro_threshold").set(0.25)
+        registry.histogram("repro_round_seconds", "round time", buckets=(1.0,)).observe(0.5)
+        text = registry.exposition()
+        assert "# HELP repro_items_total stream items processed" in text
+        assert "# TYPE repro_items_total counter" in text
+        assert "repro_items_total 42" in text
+        assert "repro_threshold 0.25" in text
+        assert "# TYPE repro_round_seconds histogram" in text
+        assert 'repro_round_seconds_bucket{le="1"} 1' in text
+        assert text.endswith("\n")
+
+    def test_as_dict_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a").inc()
+        registry.histogram("repro_b", buckets=(0.5,)).observe(0.1)
+        snapshot = json.loads(json.dumps(registry.as_dict(), allow_nan=False))
+        assert snapshot["repro_a"]["value"] == 1.0
+        assert snapshot["repro_b"]["count"] == 1

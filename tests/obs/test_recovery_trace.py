@@ -1,0 +1,108 @@
+"""Fault injection under tracing: recovery markers, no event loss/dup.
+
+A traced run that loses a worker mid-stream must (a) still produce the
+byte-identical sample of an undisturbed untraced run, (b) carry exactly
+one ``recovery`` marker per survived death with the bumped epoch, and
+(c) contain every round exactly once — the rounds replayed from the
+checkpoint are collected once, the partially-executed originals are
+rolled back by :meth:`TraceCollector.on_recovery`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import DistributedSamplingRun
+from repro.obs import TraceCollector, validate_chrome_trace
+
+from conftest import kill_worker
+
+P = 3
+RUN_KWARGS = dict(k=24, p=P, batch_size=150, seed=5)
+TOTAL_ROUNDS = 6
+
+
+def reference_ids() -> np.ndarray:
+    with DistributedSamplingRun("ours", comm="process", **RUN_KWARGS) as ref:
+        ref.run(TOTAL_ROUNDS)
+        return ref.sample_ids()
+
+
+class TestRecoveryTrace:
+    def test_recovery_marker_and_exactly_once_rounds(
+        self, make_process_comm, checkpoint_dir
+    ):
+        ref = reference_ids()
+        comm = make_process_comm(P)
+        collector = TraceCollector()
+        run = DistributedSamplingRun(
+            "ours",
+            comm=comm,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=2,
+            trace=collector,
+            **RUN_KWARGS,
+        )
+        try:
+            run.run(3)
+            kill_worker(comm, 1)
+            run.run(TOTAL_ROUNDS - 3)
+            assert run.metrics.recoveries == 1
+            sample = run.sample_ids()
+        finally:
+            run.close()
+
+        # (a) recovery is invisible in the output, tracing or not
+        assert np.array_equal(sample, ref)
+
+        events = collector.events()
+
+        # (b) exactly one recovery marker, carrying the bumped epoch and
+        # the dead rank, plus the respawned worker's epoch-bump instants
+        markers = [e for e in events if e[1] == "i" and e[2] == "recovery"]
+        assert len(markers) == 1
+        args = markers[0][6]
+        assert args["epoch"] == 1
+        assert args["dead_ranks"] == [1]
+        assert collector.registry.as_dict()["repro_recoveries_total"]["value"] == 1
+
+        # (c) every round exactly once: the replayed rounds replaced the
+        # rolled-back originals, nothing lost, nothing duplicated
+        rounds = [
+            e[6]["round"]
+            for e in events
+            if e[0] == "coordinator" and e[1] == "X" and e[2] == "round"
+        ]
+        assert sorted(rounds) == list(range(TOTAL_ROUNDS))
+
+        # per-PE events collected after the recovery carry the new epoch
+        post = [
+            e[6]["epoch"]
+            for e in events
+            if e[0].startswith("pe")
+            and e[6] is not None
+            and e[6].get("round", -1) >= run.metrics.rounds[-1].round_index
+        ]
+        assert post and all(epoch == 1 for epoch in post)
+
+        # the trace still validates and exports cleanly after the rollback
+        validate_chrome_trace(collector.chrome_trace())
+
+    def test_trace_off_recovery_still_byte_identical(
+        self, make_process_comm, checkpoint_dir
+    ):
+        # control: the same fault without tracing — guards against the
+        # obs hooks becoming load-bearing for recovery itself
+        ref = reference_ids()
+        comm = make_process_comm(P)
+        with DistributedSamplingRun(
+            "ours",
+            comm=comm,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=2,
+            **RUN_KWARGS,
+        ) as run:
+            run.run(3)
+            kill_worker(comm, 2)
+            run.run(TOTAL_ROUNDS - 3)
+            assert np.array_equal(run.sample_ids(), ref)

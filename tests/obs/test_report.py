@@ -1,0 +1,82 @@
+"""The ``python -m repro.obs.report`` skew-table CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import TraceCollector
+from repro.obs.export import write_chrome_trace
+from repro.obs.report import main, phase_track_times, render_report, skew_table
+from repro.core.api import DistributedSamplingRun
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    collector = TraceCollector()
+    with DistributedSamplingRun(
+        "ours", k=30, p=2, batch_size=200, seed=9, trace=collector
+    ) as run:
+        run.run(3)
+    return collector.export(tmp_path_factory.mktemp("trace") / "trace.json")
+
+
+class TestLibraryApi:
+    def test_phase_track_times_covers_pes_and_coordinator(self, trace_path):
+        per_phase = phase_track_times(json.loads(trace_path.read_text()))
+        assert "insert" in per_phase
+        assert {"pe0", "pe1"} <= set(per_phase["insert"])
+        assert all(t >= 0.0 for times in per_phase.values() for t in times.values())
+
+    def test_skew_table_rows_in_canonical_order(self, trace_path):
+        rows = skew_table(json.loads(trace_path.read_text()))
+        phases = [row[0] for row in rows]
+        assert phases == sorted(phases, key=["prepare", "insert", "expire", "select",
+                                             "threshold", "gather", "overlap"].index)
+        for _phase, _per_track, mean, peak, skew in rows:
+            assert peak >= mean >= 0.0
+            assert skew >= 1.0 or mean == 0.0
+
+    def test_render_report_lists_tracks_and_phases(self, trace_path):
+        text = render_report(json.loads(trace_path.read_text()))
+        assert "phase" in text and "skew" in text
+        assert "pe0" in text and "pe1" in text
+        assert "insert" in text
+        assert "recovery markers: 0" in text
+
+
+class TestCli:
+    def test_cli_prints_skew_table(self, trace_path, capsys):
+        assert main([str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "insert" in out and "skew" in out
+
+    def test_cli_no_per_pe_flag(self, trace_path, capsys):
+        assert main([str(trace_path), "--no-per-pe"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_s" in out and "pe0" not in out.splitlines()[0]
+
+    def test_cli_missing_file_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_cli_invalid_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main([str(bad)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_cli_on_handwritten_trace(self, tmp_path, capsys):
+        path = write_chrome_trace(
+            tmp_path / "t.json",
+            [
+                ("coordinator", "X", "insert", "phase", 0.0, 1.0, None),
+                ("pe0", "X", "insert", "kernel", 0.1, 0.4, None),
+                ("pe1", "X", "insert", "kernel", 0.1, 0.8, None),
+            ],
+        )
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        # pe skew = max 0.8 / mean 0.6
+        assert "1.33" in out

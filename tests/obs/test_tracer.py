@@ -1,0 +1,108 @@
+"""Unit tests of the tracer implementations and the process-tracer global."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    MemoryTracer,
+    NullTracer,
+    process_tracer,
+    set_process_tracer,
+)
+
+
+class TestNullTracer:
+    def test_is_disabled_and_records_nothing(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("anything", cat="x", foo=1):
+            pass
+        tracer.instant("point", cat="x")
+        tracer.counter("series", 3.0)
+        assert tracer.drain() == []
+
+    def test_span_context_manager_is_shared(self):
+        # the hot path must not allocate per call
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", cat="c", x=1)
+
+    def test_span_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError("boom")
+
+
+class TestMemoryTracer:
+    def test_span_records_complete_event(self):
+        tracer = MemoryTracer(track="pe0")
+        assert tracer.enabled is True
+        with tracer.span("insert", cat="kernel", items=10):
+            pass
+        (event,) = tracer.events
+        ph, name, cat, ts, dur, args = event
+        assert (ph, name, cat) == ("X", "insert", "kernel")
+        assert ts > 0.0 and dur >= 0.0
+        assert args == {"items": 10}
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = MemoryTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert [e[1] for e in tracer.events] == ["failing"]
+
+    def test_instant_and_counter_shapes(self):
+        tracer = MemoryTracer()
+        tracer.instant("marker", cat="fault", epoch=2)
+        tracer.counter("depth", 7, cat="comm", extra="x")
+        instant, counter = tracer.events
+        assert instant[0] == "i" and instant[5] == {"epoch": 2}
+        assert counter[0] == "C"
+        assert counter[5] == {"extra": "x", "value": 7.0}
+
+    def test_nested_spans_close_inner_first(self):
+        tracer = MemoryTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events
+        assert inner[1] == "inner" and outer[1] == "outer"
+        # inner interval contained in outer interval
+        assert outer[3] <= inner[3]
+        assert inner[3] + inner[4] <= outer[3] + outer[4]
+
+    def test_drain_clears_buffer(self):
+        tracer = MemoryTracer(track="x", tags={"rank": 1})
+        tracer.instant("a")
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == []
+        assert tracer.tags == {"rank": 1}
+
+    def test_events_pickle_cheaply(self):
+        tracer = MemoryTracer()
+        with tracer.span("s", cat="c", n=1):
+            pass
+        restored = pickle.loads(pickle.dumps(tracer.drain()))
+        assert restored[0][1] == "s"
+
+
+class TestProcessTracer:
+    def test_default_is_null(self):
+        assert process_tracer() is NULL_TRACER
+
+    def test_set_returns_previous_and_restores(self):
+        mine = MemoryTracer()
+        previous = set_process_tracer(mine)
+        try:
+            assert process_tracer() is mine
+        finally:
+            assert set_process_tracer(previous) is mine
+        assert process_tracer() is NULL_TRACER
+
+    def test_none_resets_to_null(self):
+        set_process_tracer(MemoryTracer())
+        set_process_tracer(None)
+        assert process_tracer() is NULL_TRACER

@@ -183,3 +183,56 @@ class TestBenchmarkJsonSafety:
         assert restored["rounds"] == 1
         assert restored["throughput_per_pe"] > 0.0
         assert restored["wall_throughput_total"] > 0.0
+
+
+class TestJsonRoundTrip:
+    """``as_dict`` → ``json`` → ``from_dict`` must be lossless, so traces
+    and checkpoints can embed metrics snapshots (the phase ``(local, comm)``
+    tuples come back from JSON as lists)."""
+
+    def roundtrip(self, metrics):
+        import json
+
+        cls = type(metrics)
+        return cls.from_dict(json.loads(json.dumps(metrics.as_dict(), allow_nan=False)))
+
+    def test_round_metrics_round_trip_is_lossless(self):
+        original = make_round(3, insertions=(5, 9, 1))
+        assert self.roundtrip(original) == original
+
+    def test_round_metrics_round_trip_preserves_optionals(self):
+        original = make_round(0)
+        original.threshold = None
+        original.selection_stats = None
+        original.evicted_items = 7
+        original.window_buffer_items = 40
+        original.selection_skipped = True
+        original.overlap_saved_time = 0.125
+        original.stale_extra_candidates = 3
+        original.recovered_pes = [1, 2]
+        restored = self.roundtrip(original)
+        assert restored == original
+        assert restored.threshold is None
+        assert restored.selection_stats is None
+
+    def test_run_metrics_round_trip_is_lossless(self):
+        run = RunMetrics(
+            p=3,
+            k=10,
+            algorithm="ours",
+            store="merge",
+            comm_backend="process",
+            kernel_tier="numpy",
+            wall_time=1.5,
+            recoveries=2,
+        )
+        for i in range(3):
+            run.add_round(make_round(i))
+        restored = self.roundtrip(run)
+        assert restored == run
+        assert restored.num_rounds == 3
+        assert restored.phase_times()["insert"].local == run.phase_times()["insert"].local
+
+    def test_empty_run_round_trips(self):
+        run = RunMetrics(p=1, k=1, algorithm="x")
+        assert self.roundtrip(run) == run
