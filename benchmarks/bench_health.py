@@ -1,0 +1,296 @@
+"""Health-monitoring gates: monitoring-off overhead and stall detection.
+
+Three properties of the live health layer (``repro.obs.health``) are
+CI-gated here:
+
+* **monitoring-off overhead < 2%** — with ``health=None`` every kernel
+  instrumentation point is one ``state.get("beat")`` returning ``None``
+  (see ``repro.core.pe_kernels._beat_phase``), so the overhead of an
+  unmonitored run is (beats per round) x (cost of one no-op bracket).
+  Both factors are measured on the same machine, mirroring the
+  ``bench_obs`` methodology: the beat count from a monitored run of the
+  identical workload, the per-bracket cost from a tight no-op
+  ``_beat_phase`` loop.  The estimate is conservative — one full no-op
+  bracket is charged per *beat*, though each bracket emits two.
+* **byte identity** — the final ``sample_ids()`` with monitoring off,
+  on, and default must be identical: heartbeats never touch a random
+  generator.
+* **stall detection latency** — an injected 60 s in-kernel hang under
+  ``on_stall="recover"`` must be detected by the watchdog, the hung
+  rank (and only it) killed and recovered, the output byte-identical to
+  an undisturbed run, and the whole drill finished within a few seconds
+  instead of the 60 s the hang would otherwise cost.
+
+The unmonitored throughput is additionally gated against the
+conservative committed baseline in
+``benchmarks/baselines/bench_health_baseline.json`` (see
+``benchmarks/baseline_gate.py``; refresh with ``--update-baseline``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_health.py --output BENCH_health.json
+    PYTHONPATH=src python benchmarks/bench_health.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+from harness import write_bench_json
+
+from repro.core import DistributedSamplingRun
+from repro.core.pe_kernels import _beat_phase
+from repro.network.process_comm import FaultSpec, ProcessComm
+from repro.obs.health import HealthConfig
+
+ALGORITHM = "ours"
+K = 1_000
+P = 4
+BATCH_SIZE = 16_384
+ROUNDS = 5
+SEED = 11
+#: hard ceiling on the estimated monitoring-off overhead fraction
+MAX_OFF_OVERHEAD = 0.02
+#: hard ceiling on the extra wall time of the watchdog drill vs clean run
+MAX_DETECTION_OVERHEAD_S = 8.0
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_health_baseline.json"
+
+#: the stall drill mirrors tests/fault/test_worker_recovery.TestStallWatchdog
+FAST_TIMEOUTS = dict(mailbox_timeout=5.0, reply_timeout=60.0)
+WATCHDOG = dict(poll_interval=0.05, min_deadline=0.8, grace=0.2)
+HANG = dict(rank=0, action="delay_reply", after_calls=12, seconds=60.0)
+DRILL_KWARGS = dict(k=24, p=3, batch_size=150, seed=5)
+DRILL_ROUNDS = 6
+
+
+def null_bracket_cost(calls: int = 200_000) -> float:
+    """Best-of-3 measured seconds per no-op ``_beat_phase`` bracket."""
+    state: dict = {"beat": None}
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(calls):
+            with _beat_phase(state, "insert"):
+                pass
+        best = min(best, time.perf_counter() - start)
+    return best / calls
+
+
+def _measure(health) -> dict:
+    with DistributedSamplingRun(
+        ALGORITHM,
+        comm="process",
+        k=K,
+        p=P,
+        batch_size=BATCH_SIZE,
+        seed=SEED,
+        health=health,
+    ) as run:
+        start = time.perf_counter()
+        run.run(ROUNDS)
+        wall = time.perf_counter() - start
+        sample = np.sort(run.sample_ids())
+        heartbeats = 0
+        if run.health is not None:
+            run.health._drain_once()
+            heartbeats = run.health.heartbeats_seen
+    metrics = run.metrics
+    return {
+        "rounds": metrics.num_rounds,
+        "total_items": metrics.total_items,
+        "wall_time_s": wall,
+        "items_per_s": metrics.total_items / max(wall, 1e-9),
+        "seconds_per_round": wall / max(metrics.num_rounds, 1),
+        "heartbeats": heartbeats,
+        "_sample": sample,
+    }
+
+
+def _drill_run(fault, health, checkpoint_dir=None) -> dict:
+    comm = ProcessComm(DRILL_KWARGS["p"], fault=fault, **FAST_TIMEOUTS)
+    try:
+        kwargs = {}
+        if checkpoint_dir is not None:
+            kwargs = dict(checkpoint_dir=checkpoint_dir, checkpoint_every=2)
+        start = time.perf_counter()
+        with DistributedSamplingRun(
+            ALGORITHM, comm=comm, health=health, **kwargs, **DRILL_KWARGS
+        ) as run:
+            run.run(DRILL_ROUNDS)
+            return {
+                "wall_time_s": time.perf_counter() - start,
+                "stalls": run.metrics.stalls,
+                "recoveries": run.metrics.recoveries,
+                "watchdog_kills": run.health.watchdog_kills if run.health else 0,
+                "recovered_pes": [
+                    r.recovered_pes for r in run.metrics.rounds if r.recovered_pes
+                ],
+                "_sample": np.sort(run.sample_ids()),
+            }
+    finally:
+        comm.shutdown()
+
+
+def stall_drill() -> dict:
+    """The watchdog acceptance drill: hang, detect, kill, recover, compare."""
+    clean = _drill_run(None, None)
+    with tempfile.TemporaryDirectory(prefix="bench_health_") as ckdir:
+        hung = _drill_run(
+            FaultSpec(**HANG),
+            HealthConfig(on_stall="recover", **WATCHDOG),
+            checkpoint_dir=Path(ckdir),
+        )
+    identical = bool(np.array_equal(clean.pop("_sample"), hung.pop("_sample")))
+    detection_overhead = hung["wall_time_s"] - clean["wall_time_s"]
+    return {
+        "clean": clean,
+        "hung": hung,
+        "hang_injected_s": HANG["seconds"],
+        "detection_overhead_s": detection_overhead,
+        "max_detection_overhead_s": MAX_DETECTION_OVERHEAD_S,
+        "samples_identical_after_recovery": identical,
+    }
+
+
+def run_suite() -> dict:
+    print(f"workload: {ALGORITHM}, k={K}, p={P}, batch={BATCH_SIZE}, rounds={ROUNDS}")
+    off = _measure(None)
+    print(f"  health off:     {off['items_per_s']:>12,.0f} items/s")
+    on = _measure(True)
+    print(
+        f"  health on:      {on['items_per_s']:>12,.0f} items/s, "
+        f"{on['heartbeats']} heartbeats"
+    )
+    default = _measure(False)
+
+    per_bracket = null_bracket_cost()
+    beats_per_round = on["heartbeats"] / ROUNDS
+    estimated = (beats_per_round * per_bracket) / off["seconds_per_round"]
+    print(
+        f"  no-op bracket {per_bracket * 1e9:,.0f} ns x {beats_per_round:.0f} "
+        f"beats/round -> estimated off-overhead {estimated * 100:.4f}% "
+        f"of a {off['seconds_per_round'] * 1e3:.1f} ms round"
+    )
+
+    samples_identical = bool(
+        np.array_equal(off["_sample"], on["_sample"])
+        and np.array_equal(off.pop("_sample"), default.pop("_sample"))
+    )
+    on.pop("_sample")
+
+    drill = stall_drill()
+    print(
+        f"  stall drill: {drill['hung']['stalls']} stall(s), "
+        f"{drill['hung']['watchdog_kills']} kill(s), "
+        f"{drill['hung']['recoveries']} recovery(ies) in "
+        f"{drill['hung']['wall_time_s']:.2f} s "
+        f"(clean run {drill['clean']['wall_time_s']:.2f} s, "
+        f"hang injected {drill['hang_injected_s']:.0f} s)"
+    )
+
+    return {
+        "algorithm": ALGORITHM,
+        "k": K,
+        "p": P,
+        "batch_size": BATCH_SIZE,
+        "rounds": ROUNDS,
+        "health_off": off,
+        "health_on": on,
+        "no_op_bracket_cost_s": per_bracket,
+        "beats_per_round": beats_per_round,
+        "estimated_off_overhead_fraction": estimated,
+        "max_off_overhead_fraction": MAX_OFF_OVERHEAD,
+        "samples_identical_off_on_default": samples_identical,
+        "stall_drill": drill,
+        # flat key for the shared baseline gate
+        "health_off_items_per_s": off["items_per_s"],
+    }
+
+
+def gate_failures(results: dict) -> list:
+    failures = []
+    if results["estimated_off_overhead_fraction"] >= MAX_OFF_OVERHEAD:
+        failures.append(
+            f"estimated monitoring-off overhead "
+            f"{results['estimated_off_overhead_fraction'] * 100:.3f}% "
+            f">= {MAX_OFF_OVERHEAD * 100:g}% budget"
+        )
+    if not results["samples_identical_off_on_default"]:
+        failures.append("sample differs between health off/on/default")
+    if results["health_on"]["heartbeats"] == 0:
+        failures.append("monitored run produced no heartbeats")
+    drill = results["stall_drill"]
+    hung = drill["hung"]
+    if hung["stalls"] != 1 or hung["watchdog_kills"] != 1 or hung["recoveries"] != 1:
+        failures.append(
+            f"stall drill expected 1 stall/kill/recovery, got "
+            f"{hung['stalls']}/{hung['watchdog_kills']}/{hung['recoveries']}"
+        )
+    if hung["recovered_pes"] != [[HANG["rank"]]]:
+        failures.append(
+            f"watchdog recovered {hung['recovered_pes']}, "
+            f"expected only the hung rank {HANG['rank']}"
+        )
+    if not drill["samples_identical_after_recovery"]:
+        failures.append("sample after watchdog recovery differs from undisturbed run")
+    if drill["detection_overhead_s"] >= MAX_DETECTION_OVERHEAD_S:
+        failures.append(
+            f"stall detection+recovery took {drill['detection_overhead_s']:.2f} s extra "
+            f">= {MAX_DETECTION_OVERHEAD_S:g} s budget "
+            f"(hang injected: {drill['hang_injected_s']:.0f} s)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_health.json"))
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured numbers (halved, to stay conservative) as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    write_bench_json(args.output, results, bench="bench_health")
+
+    failures = gate_failures(results)
+
+    if args.update_baseline:
+        write_conservative_baseline(
+            args.baseline, {"health_off_items_per_s": results["health_off_items_per_s"]}
+        )
+        print(f"updated baseline {args.baseline}")
+    elif not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update-baseline to create one")
+        return 1
+    else:
+        failures.extend(
+            compare_to_baseline(results, load_baseline(args.baseline), args.max_regression)
+        )
+
+    if failures:
+        print("\nBENCHMARK GATE FAILED:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(
+        f"\nall gates passed (off-overhead "
+        f"{results['estimated_off_overhead_fraction'] * 100:.4f}% < "
+        f"{MAX_OFF_OVERHEAD * 100:g}%, stall detected and recovered in "
+        f"{results['stall_drill']['hung']['wall_time_s']:.2f} s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

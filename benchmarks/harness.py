@@ -47,13 +47,22 @@ from repro.analysis.experiments import (
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: repository root — the benchmark history files live here so trend data
+#: survives ``benchmarks/results/`` cleanups and is easy to find
+REPO_ROOT = Path(__file__).parent.parent
+
 #: version of the shared benchmark-JSON ``meta`` block; bump on breaking
 #: changes to the stamped fields
 BENCH_SCHEMA_VERSION = 1
 
+#: history files keep at most this many records (oldest dropped first)
+BENCH_HISTORY_LIMIT = 200
+
 __all__ = [
     "RESULTS_DIR",
+    "REPO_ROOT",
     "BENCH_SCHEMA_VERSION",
+    "BENCH_HISTORY_LIMIT",
     "bench_scale",
     "scaling_config",
     "weak_scaling_result",
@@ -61,6 +70,8 @@ __all__ = [
     "write_result",
     "bench_metadata",
     "write_bench_json",
+    "bench_history_path",
+    "append_bench_history",
 ]
 
 
@@ -158,4 +169,39 @@ def write_bench_json(
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n")
     print(f"wrote {path}")
+    append_bench_history(payload, bench=bench)
+    return path
+
+
+def bench_history_path(bench: str, root: Optional[Path] = None) -> Path:
+    """The top-level history file of one gated benchmark.
+
+    ``bench_obs`` → ``<repo>/BENCH_obs_history.json`` (the ``bench_``
+    prefix is folded into the ``BENCH_`` stem).
+    """
+    stem = bench[len("bench_"):] if bench.startswith("bench_") else bench
+    return (root or REPO_ROOT) / f"BENCH_{stem}_history.json"
+
+
+def append_bench_history(record: dict, *, bench: str, root: Optional[Path] = None) -> Path:
+    """Append one schema-v1 result record to the benchmark's history file.
+
+    The history is ``{"bench": ..., "schema_version": ..., "records":
+    [...]}`` — every CI run of a gated benchmark adds one record, so
+    ``python -m repro.obs.report --bench-history <file>`` can print the
+    performance trend across commits.  Unreadable or foreign-schema
+    files are started over rather than crashing the benchmark.
+    """
+    path = bench_history_path(bench, root)
+    history = {"bench": bench, "schema_version": BENCH_SCHEMA_VERSION, "records": []}
+    try:
+        loaded = json.loads(path.read_text())
+        if isinstance(loaded, dict) and isinstance(loaded.get("records"), list):
+            history["records"] = loaded["records"]
+    except (OSError, json.JSONDecodeError):
+        pass
+    history["records"].append(record)
+    history["records"] = history["records"][-BENCH_HISTORY_LIMIT:]
+    path.write_text(json.dumps(history, indent=2, sort_keys=True, allow_nan=False) + "\n")
+    print(f"appended record {len(history['records'])} to {path}")
     return path

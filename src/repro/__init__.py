@@ -40,7 +40,17 @@ from repro.core import (
     make_distributed_sampler,
 )
 from repro.network import CostLedger, CostParameters, SimComm
-from repro.obs import MetricsRegistry, NullTracer, TraceCollector, Tracer, get_logger
+from repro.obs import (
+    HealthConfig,
+    HealthMonitor,
+    HealthServer,
+    MetricsRegistry,
+    NullTracer,
+    StallError,
+    TraceCollector,
+    Tracer,
+    get_logger,
+)
 from repro.pipeline import BatchSizeAutotuner, PipelinedSamplingRun
 from repro.runtime import MachineSpec, RunMetrics, StreamingSimulation
 from repro.selection import (
@@ -98,6 +108,10 @@ __all__ = [
     "TraceCollector",
     "MetricsRegistry",
     "get_logger",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthServer",
+    "StallError",
     # substrate
     "SimComm",
     "CostParameters",

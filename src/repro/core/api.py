@@ -29,6 +29,8 @@ from repro.core.variable_size import VariableSizeReservoirSampler
 from repro.network.base import Communicator, make_communicator
 from repro.network.process_comm import WorkerError
 from repro.obs.collect import TraceCollector, resolve_trace
+from repro.obs.health import resolve_health
+from repro.obs.serve import resolve_serve
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import RunMetrics
@@ -464,6 +466,27 @@ class DistributedSamplingRun:
         :attr:`trace`; export with ``run.trace.export("trace.json")``.
         Tracing never touches any RNG — samples are byte-identical with
         tracing on or off.
+    health:
+        ``True``, a :class:`~repro.obs.health.HealthConfig` or a
+        :class:`~repro.obs.health.HealthMonitor` enables live health
+        monitoring: workers publish per-phase heartbeats and a watchdog
+        daemon thread classifies every rank as
+        ``ok|straggler|stalled|dead`` against adaptive EWMA deadlines
+        (see :mod:`repro.obs.health`).  Exposed as :attr:`health`.  Like
+        tracing, heartbeats never touch any RNG.
+    on_stall:
+        Watchdog policy when a rank exceeds its stall deadline (requires
+        ``health=``): ``"warn"`` (default) logs and counts,
+        ``"recover"`` kills the stuck worker and lets the run's
+        checkpoint recovery replay the lost rounds (byte-identical, like
+        SIGKILL recovery), ``"raise"`` kills it and raises
+        :class:`~repro.obs.health.StallError`.
+    serve_metrics:
+        ``True`` or an ``("127.0.0.1", 0)``-style address starts the
+        live HTTP exporter (:class:`~repro.obs.serve.HealthServer`)
+        serving ``GET /metrics`` (Prometheus text) and ``GET /health``
+        (per-rank watchdog state); exposed as :attr:`server` —
+        ``run.server.address`` has the bound port.
     """
 
     def __init__(
@@ -490,6 +513,9 @@ class DistributedSamplingRun:
         max_recoveries: int = 3,
         stream_id_offset: int = 0,
         trace=None,
+        health=None,
+        on_stall: Optional[str] = None,
+        serve_metrics=None,
         **comm_kwargs,
     ) -> None:
         # imported lazily: repro.pipeline itself imports from repro.core
@@ -585,6 +611,28 @@ class DistributedSamplingRun:
                 if self._owns_comm:
                     self.comm.shutdown()
                 raise
+        # ---- live health monitoring + HTTP exporter -------------------
+        # the monitor shares the trace collector's registry when both are
+        # on, so one /metrics scrape sees the whole run
+        shared_registry = self.trace.registry if self.trace is not None else None
+        self.health = resolve_health(health, on_stall=on_stall, registry=shared_registry)
+        self.server = None
+        try:
+            if self.health is not None:
+                self.health.attach(self.comm, self.sampler._handle)
+            self.server = resolve_serve(
+                serve_metrics,
+                registry=shared_registry
+                if shared_registry is not None
+                else (self.health.registry if self.health is not None else None),
+                monitor=self.health,
+            )
+        except BaseException:
+            if self.health is not None:
+                self.health.finish()
+            if self._owns_comm:
+                self.comm.shutdown()
+            raise
         # ---- fault tolerance / checkpointing --------------------------
         # the config travels inside every checkpoint so resume() can
         # rebuild an equivalent run without the caller repeating arguments
@@ -653,30 +701,46 @@ class DistributedSamplingRun:
         :attr:`~repro.runtime.metrics.RoundMetrics.recovered_pes`.
         """
         target = self._rounds_completed + check_positive_int(rounds, "rounds", allow_zero=True)
-        while self._rounds_completed < target:
-            try:
-                # comm.tracer is the collector's tracer when tracing is
-                # attached, the shared NullTracer otherwise
-                with self.comm.tracer.span("round", cat="round", round=self._rounds_completed):
-                    round_metrics = self._step_once()
-            except WorkerError:
-                if (
-                    self._ckpt is None
-                    or not hasattr(self.comm, "recover")
-                    or self.metrics.recoveries >= self.max_recoveries
-                ):
-                    raise
-                self._recover_and_restore()
-                continue
-            if self._pending_recovered:
-                round_metrics.recovered_pes = list(self._pending_recovered)
-                self._pending_recovered = []
-            self.metrics.add_round(round_metrics)
-            self._rounds_completed += 1
-            if self.trace is not None:
-                self.trace.record_round(round_metrics)
-            if self._ckpt is not None and self._ckpt.should_checkpoint(self._rounds_completed):
-                self.save_checkpoint()
+        try:
+            while self._rounds_completed < target:
+                if self.health is not None:
+                    self.health.arm(self._rounds_completed)
+                try:
+                    # comm.tracer is the collector's tracer when tracing is
+                    # attached, the shared NullTracer otherwise
+                    with self.comm.tracer.span("round", cat="round", round=self._rounds_completed):
+                        round_metrics = self._step_once()
+                except WorkerError:
+                    if self.health is not None:
+                        # keep the watchdog out of the recovery window: a
+                        # respawned-but-still-restoring rank must not be
+                        # re-flagged (and re-killed) for its silence
+                        self.health.disarm()
+                        stall = self.health.escalation()
+                        if stall is not None:
+                            raise stall from None
+                    if (
+                        self._ckpt is None
+                        or not hasattr(self.comm, "recover")
+                        or self.metrics.recoveries >= self.max_recoveries
+                    ):
+                        raise
+                    self._recover_and_restore()
+                    continue
+                if self._pending_recovered:
+                    round_metrics.recovered_pes = list(self._pending_recovered)
+                    self._pending_recovered = []
+                self.metrics.add_round(round_metrics)
+                self._rounds_completed += 1
+                if self.trace is not None:
+                    self.trace.record_round(round_metrics)
+                if self._ckpt is not None and self._ckpt.should_checkpoint(self._rounds_completed):
+                    self.save_checkpoint()
+        finally:
+            if self.health is not None:
+                self.health.disarm()
+                self.metrics.stalls = self.health.stalls_detected
+                self.metrics.stragglers_detected = self.health.stragglers_detected
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -735,6 +799,10 @@ class DistributedSamplingRun:
                 dead_ranks=dead,
                 resume_round=self._rounds_completed,
             )
+        if self.health is not None:
+            # reinstall beat channels (the respawned ranks lost theirs)
+            # and restart every rank's silence clock at the new epoch
+            self.health.on_recovery(epoch=getattr(self.comm, "epoch", 0), dead_ranks=dead)
 
     @classmethod
     def resume(
@@ -888,6 +956,10 @@ class DistributedSamplingRun:
         """
         if self.engine is not None:
             self.engine.finish()
+        if self.server is not None:
+            self.server.close()
+        if self.health is not None:
+            self.health.finish()
         if self.trace is not None:
             self.trace.finish()
         if self._owns_comm:

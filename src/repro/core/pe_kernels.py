@@ -27,6 +27,7 @@ picklable values otherwise, and returns only picklable values.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -192,7 +193,7 @@ def prefetch_stream_kernel(state: Dict[str, object]) -> Tuple[int, float]:
     measured-overlap numerator of the strict pipeline mode).
     """
     start = time.perf_counter()
-    with _state_tracer(state).span("prepare", cat="kernel"):
+    with _beat_phase(state, "prepare"), _state_tracer(state).span("prepare", cat="kernel"):
         items = _require_stream(state).prefetch()
     return items, time.perf_counter() - start
 
@@ -212,6 +213,27 @@ def _state_tracer(state: Dict[str, object]):
     """
     tracer = state.get("tracer")
     return tracer if tracer is not None else NULL_TRACER
+
+
+@contextlib.contextmanager
+def _beat_phase(state: Dict[str, object], phase: str, items: int = 0, *, bump_round: bool = False):
+    """Bracket a kernel's phase work with heartbeats when monitoring is on.
+
+    No-op (no beat channel in the state) unless a
+    :class:`~repro.obs.health.HealthMonitor` installed one — so like the
+    tracer stub this costs a dict lookup on unmonitored runs and never
+    touches any random generator.  ``bump_round`` marks the once-per-round
+    ingestion kernels, giving each rank its own live round counter.
+    """
+    beat = state.get("beat")
+    if beat is None:
+        yield
+        return
+    beat.begin(phase)
+    try:
+        yield
+    finally:
+        beat.end(phase, items=items, bump_round=bump_round)
 
 
 # ---------------------------------------------------------------------------
@@ -315,7 +337,9 @@ def insert_batch_kernel(
     """Ingest one mini-batch; returns ``(inserted, pruned, reservoir_size)``."""
     if ids.shape[0] == 0:
         return 0, 0, len(state["reservoir"])
-    with _state_tracer(state).span("insert", cat="kernel", items=int(ids.shape[0])):
+    with _beat_phase(state, "insert", int(ids.shape[0]), bump_round=True), _state_tracer(
+        state
+    ).span("insert", cat="kernel", items=int(ids.shape[0])):
         if threshold is None:
             inserted, pruned = _insert_without_threshold(state, ids, weights, weighted, local_thresholding)
         else:
@@ -369,7 +393,7 @@ def prepare_batch_kernel(
     numerator.
     """
     start = time.perf_counter()
-    with _state_tracer(state).span("prepare", cat="kernel"):
+    with _beat_phase(state, "prepare"), _state_tracer(state).span("prepare", cat="kernel"):
         batch = _require_stream(state).next_batch()
         rng: np.random.Generator = state["gen_rng"]
         if threshold is None:
@@ -411,7 +435,9 @@ def ingest_prepared_kernel(
     keys: np.ndarray = prepared["keys"]
     ids: np.ndarray = prepared["ids"]
     stale_extra = 0
-    with _state_tracer(state).span("insert", cat="kernel", items=int(keys.shape[0])):
+    with _beat_phase(state, "insert", int(keys.shape[0]), bump_round=True), _state_tracer(
+        state
+    ).span("insert", cat="kernel", items=int(keys.shape[0])):
         stale = prepared["threshold"]
         if threshold is not None and (stale is None or stale > threshold):
             mask = keys <= threshold
@@ -434,7 +460,7 @@ def window_prepare_kernel(
     ``(batch_items, batch_weight, max_stamp, seconds)``.
     """
     start = time.perf_counter()
-    with _state_tracer(state).span("prepare", cat="kernel"):
+    with _beat_phase(state, "prepare"), _state_tracer(state).span("prepare", cat="kernel"):
         batch = _require_stream(state).next_batch()
         stamps = getattr(batch, "stamps", None)
         if stamps is None:
@@ -483,12 +509,12 @@ def prune_kernel(state: Dict[str, object], threshold: float) -> Tuple[int, int]:
 
 
 def items_kernel(state: Dict[str, object]) -> List[Tuple[float, int]]:
-    with _state_tracer(state).span("gather", cat="kernel"):
+    with _beat_phase(state, "gather"), _state_tracer(state).span("gather", cat="kernel"):
         return state["reservoir"].items()
 
 
 def item_ids_kernel(state: Dict[str, object]) -> np.ndarray:
-    with _state_tracer(state).span("gather", cat="kernel"):
+    with _beat_phase(state, "gather"), _state_tracer(state).span("gather", cat="kernel"):
         return state["reservoir"].item_ids()
 
 
@@ -572,7 +598,7 @@ def propose_pivots_kernel(
     m = hi - lo
     if m <= 0:
         return np.empty(0, dtype=np.float64)
-    with _state_tracer(state).span("select", cat="kernel"):
+    with _beat_phase(state, "select"), _state_tracer(state).span("select", cat="kernel"):
         positions = propose_window_positions(rng, m, prob, d, from_below)
         if positions is None:
             return np.empty(0, dtype=np.float64)
@@ -601,7 +627,9 @@ def window_insert_kernel(
     buffer = state["reservoir"]
     if ids.shape[0] == 0:
         return 0, len(buffer)
-    with _state_tracer(state).span("insert", cat="kernel", items=int(ids.shape[0])):
+    with _beat_phase(state, "insert", int(ids.shape[0]), bump_round=True), _state_tracer(
+        state
+    ).span("insert", cat="kernel", items=int(ids.shape[0])):
         rng: np.random.Generator = state["rng"]
         keys = _generate_keys(weights, weighted, rng)
         kept = buffer.append(stamps, keys, ids)
@@ -612,7 +640,7 @@ def window_evict_kernel(state: Dict[str, object], cutoff: int) -> Tuple[int, int
     """Expire buffered items with ``stamp <= cutoff``; returns
     ``(evicted, live_size)``."""
     buffer = state["reservoir"]
-    with _state_tracer(state).span("expire", cat="kernel"):
+    with _beat_phase(state, "expire"), _state_tracer(state).span("expire", cat="kernel"):
         evicted = buffer.evict_older_than(int(cutoff))
     return evicted, len(buffer)
 
@@ -657,7 +685,9 @@ def centralized_candidates_kernel(
     b = ids.shape[0]
     if b == 0:
         return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
-    with _state_tracer(state).span("gather", cat="kernel", items=int(b)):
+    with _beat_phase(state, "gather", int(b), bump_round=True), _state_tracer(state).span(
+        "gather", cat="kernel", items=int(b)
+    ):
         if threshold is None:
             if weighted:
                 keys = keymod.exponential_keys(weights, rng)

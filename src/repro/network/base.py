@@ -179,6 +179,18 @@ class Communicator(abc.ABC):
         #: :class:`~repro.obs.collect.TraceCollector` attaches
         self.tracer = NULL_TRACER
 
+    def drain_beats(self, *, replay_logs: bool = True) -> List[tuple]:
+        """Pending heartbeat messages from the backend's beat transport.
+
+        The base backend has none: the simulated communicator's inline
+        kernels publish straight into the health monitor's local sink, so
+        there is nothing to drain here.  The multiprocess backend
+        overrides this with its beat-queue drain.  ``replay_logs=False``
+        defers eagerly-forwarded worker log records to the caller
+        (the monitor replays them itself).
+        """
+        return []
+
     # ------------------------------------------------------------------
     # structure and phase accounting
     # ------------------------------------------------------------------

@@ -95,6 +95,12 @@ from repro.network.base import (
     normalize_payload_transport,
 )
 from repro.network.cost_model import CostLedger
+from repro.obs.health import (
+    drain_beat_messages,
+    register_worker_beat_queue,
+    set_worker_beat_epoch,
+    worker_wait_beat,
+)
 from repro.obs.log import (
     drain_worker_log_records,
     get_logger,
@@ -310,6 +316,9 @@ class _Mailbox:
             return payload
         return self._recv_blocking(seq, src, key)
 
+    #: poll slice of the blocking receive; bounds the wait-beat cadence
+    WAIT_SLICE = 0.25
+
     def _recv_blocking(self, seq: int, src: int, key: Tuple[int, int]) -> object:
         deadline = time.monotonic() + self._timeout
         while True:
@@ -320,8 +329,14 @@ class _Mailbox:
                     "a peer worker likely died or raised"
                 )
             try:
-                msg_seq, msg_src, msg_epoch, payload = self._queue.get(timeout=remaining)
+                msg_seq, msg_src, msg_epoch, payload = self._queue.get(
+                    timeout=min(remaining, self.WAIT_SLICE)
+                )
             except queue_module.Empty:
+                # still waiting on a peer: prove to the watchdog that this
+                # rank is blocked, not stuck — the peer that fails to send
+                # these is the stall culprit (see repro.obs.health)
+                worker_wait_beat()
                 # loop back so the deadline check raises the descriptive
                 # TimeoutError instead of a bare queue.Empty killing the
                 # worker without a diagnosis
@@ -518,6 +533,7 @@ def _worker_main(
     segment_prefix: Optional[str] = None,
     epoch: int = 0,
     fault: Optional[FaultSpec] = None,
+    beat_queue=None,
 ) -> None:
     """Command loop of one worker process."""
     try:
@@ -531,6 +547,11 @@ def _worker_main(
     # the coordinator can forward them over the command pipe.
     set_process_tracer(NULL_TRACER)
     install_worker_log_buffer(rank, epoch=epoch)
+    if beat_queue is not None:
+        # heartbeat transport (mp.Queue inherited at spawn — queues cannot
+        # travel over the command pipe); also wires the eager ≥WARNING log
+        # forwarder so crash context survives this process dying
+        register_worker_beat_queue(beat_queue, rank, epoch)
     _logger.debug("worker rank %d (pid %d) online at epoch %d", rank, os.getpid(), epoch)
     topology = Topology(p)
     codec = _PayloadCodec(payload_transport, shm_min_bytes, segment_prefix=segment_prefix)
@@ -541,6 +562,11 @@ def _worker_main(
     fault_calls = 0
     while True:
         try:
+            # poll in slices so a rank idling between commands (its reply
+            # is in, peers are still working) keeps proving liveness to
+            # the watchdog instead of looking as silent as a stuck peer
+            while not conn.poll(_Mailbox.WAIT_SLICE):
+                worker_wait_beat("idle")
             msg = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
@@ -637,6 +663,7 @@ def _worker_main(
                 mailbox.flush(new_epoch)
                 codec.forget_attachments()
                 set_worker_log_epoch(new_epoch)
+                set_worker_beat_epoch(new_epoch)
                 tracer.instant("epoch_bump", cat="fault", epoch=int(new_epoch))
                 conn.send(("ok", None))
             elif kind == "logs":
@@ -775,6 +802,10 @@ class ProcessComm(Communicator):
         self.last_swept_segments: List[str] = []
         self._closed = False
         self._inboxes = [self._ctx.Queue() for _ in range(p)]
+        # heartbeat channel: one many-producer queue all workers inherit
+        # at spawn; drained by an attached HealthMonitor (or recover/
+        # shutdown, for the eagerly-forwarded log records it also carries)
+        self._beat_queue = self._ctx.Queue()
         self._conns: List[object] = [None] * p
         self._procs: List[object] = [None] * p
         for rank in range(p):
@@ -808,6 +839,7 @@ class ProcessComm(Communicator):
                 self._segment_prefix(rank),
                 self._epoch,
                 fault,
+                self._beat_queue,
             ),
             name=f"repro-pe-{rank}",
             daemon=True,
@@ -1271,6 +1303,26 @@ class ProcessComm(Communicator):
             total += len(records)
         return total
 
+    def drain_beats(self, *, replay_logs: bool = True) -> List[tuple]:
+        """Drain the heartbeat queue (non-blocking).
+
+        The queue carries ``("beat", ...)`` progress tuples and eagerly
+        forwarded ``("log", record)`` tuples.  With ``replay_logs=True``
+        (the recover/shutdown path) log records are replayed into the
+        coordinator's loggers here and only the beats are returned; the
+        health monitor drains with ``replay_logs=False`` and handles
+        both kinds itself.
+        """
+        messages: List[tuple] = []
+        while True:
+            try:
+                messages.append(self._beat_queue.get_nowait())
+            except (queue_module.Empty, OSError, ValueError):
+                break
+        if replay_logs:
+            return drain_beat_messages(messages)
+        return messages
+
     def recover(self) -> List[int]:
         """Respawn dead workers and resynchronise the communicator.
 
@@ -1298,8 +1350,12 @@ class ProcessComm(Communicator):
         self._ensure_open()
         dead = [rank for rank, proc in enumerate(self._procs) if not proc.is_alive()]
         # forward what the survivors logged before the failure, so the
-        # records carry their pre-recovery epoch tags
+        # records carry their pre-recovery epoch tags — and whatever the
+        # dead ranks managed to ship eagerly over the beat queue (their
+        # buffered records died with them; the eager ≥WARNING copies are
+        # all the crash context that survives)
         self.drain_worker_logs()
+        self.drain_beats()
         self._epoch += 1
         _logger.info(
             "recovering communicator: epoch %d -> %d, dead ranks %s",
@@ -1341,6 +1397,7 @@ class ProcessComm(Communicator):
             return
         try:
             self.drain_worker_logs()
+            self.drain_beats()
         except Exception:  # pragma: no cover - teardown is best-effort
             pass
         self._closed = True
@@ -1367,6 +1424,11 @@ class ProcessComm(Communicator):
                 queue.close()
             except (OSError, ValueError):  # pragma: no cover
                 pass
+        try:
+            self._beat_queue.cancel_join_thread()
+            self._beat_queue.close()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
         for conn in self._conns:
             try:
                 conn.close()

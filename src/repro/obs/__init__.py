@@ -19,7 +19,14 @@ per-PE skew away.  This package restores the lost dimension:
   prints the per-phase/per-PE skew table mirroring Figure 6,
 * :mod:`repro.obs.log` — the ``repro`` stdlib-logging hierarchy and the
   worker→coordinator log-record forwarding used by the multiprocess
-  backend.
+  backend,
+* :mod:`repro.obs.health` — live health monitoring: worker heartbeats,
+  a stall/straggler watchdog with adaptive EWMA deadlines and
+  ``ok|straggler|stalled|dead`` per-rank classification, and stall
+  policies that escalate into the checkpoint-recovery machinery,
+* :mod:`repro.obs.serve` — the stdlib HTTP exporter serving
+  ``GET /metrics`` (Prometheus text) and ``GET /health`` (per-rank
+  JSON) from a daemon thread.
 
 Tracing is off by default everywhere: every instrumentation point talks
 to a :data:`NULL_TRACER` whose methods are no-ops, and the byte-identity
@@ -33,8 +40,17 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.health import (
+    BeatChannel,
+    HealthConfig,
+    HealthMonitor,
+    Heartbeat,
+    StallError,
+    resolve_health,
+)
 from repro.obs.log import get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.serve import HealthServer, resolve_serve
 from repro.obs.tracer import (
     NULL_TRACER,
     MemoryTracer,
@@ -61,4 +77,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "get_logger",
+    "Heartbeat",
+    "BeatChannel",
+    "HealthConfig",
+    "HealthMonitor",
+    "StallError",
+    "resolve_health",
+    "HealthServer",
+    "resolve_serve",
 ]

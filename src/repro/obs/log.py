@@ -32,8 +32,10 @@ __all__ = [
     "uninstall_worker_log_buffer",
     "drain_worker_log_records",
     "set_worker_log_epoch",
+    "set_worker_eager_forwarder",
     "replay_worker_records",
     "WorkerLogBuffer",
+    "EAGER_FORWARD_LEVEL",
 ]
 
 #: root logger name of the library hierarchy
@@ -41,6 +43,9 @@ ROOT_LOGGER = "repro"
 
 #: worker record: (levelno, logger name, message, rank, epoch, created)
 WorkerLogRecord = Tuple[int, str, str, int, int, float]
+
+#: records at or above this level are shipped eagerly (not only on drain)
+EAGER_FORWARD_LEVEL = logging.WARNING
 
 # a consumer that configures no handlers must see no "No handlers could
 # be found" noise — standard library-logging convention
@@ -63,6 +68,14 @@ class WorkerLogBuffer(logging.Handler):
     ``LogRecord`` objects can reference unpicklable args).  The deque is
     bounded: if nobody drains, old records age out instead of growing
     without bound.
+
+    Records at or above :data:`EAGER_FORWARD_LEVEL` are additionally
+    offered to an ``eager_forward`` callable when one is registered (the
+    health plumbing ships them over the beat queue): a record buffered in
+    a worker that dies before the next drain is lost, so warnings and
+    errors — the crash context — must not wait.  An eagerly-shipped
+    record is *not* buffered, otherwise a later drain would replay it a
+    second time.
     """
 
     def __init__(self, rank: int, capacity: int = 1000) -> None:
@@ -70,15 +83,21 @@ class WorkerLogBuffer(logging.Handler):
         self.rank = int(rank)
         self.epoch = 0
         self.records: deque = deque(maxlen=int(capacity))
+        self.eager_forward = None  # Optional[Callable[[WorkerLogRecord], None]]
 
     def emit(self, record: logging.LogRecord) -> None:
         try:
             message = record.getMessage()
         except Exception:  # pragma: no cover - malformed log call
             message = str(record.msg)
-        self.records.append(
-            (record.levelno, record.name, message, self.rank, self.epoch, record.created)
-        )
+        flat = (record.levelno, record.name, message, self.rank, self.epoch, record.created)
+        if self.eager_forward is not None and record.levelno >= EAGER_FORWARD_LEVEL:
+            try:
+                self.eager_forward(flat)
+                return
+            except Exception:  # pragma: no cover - queue torn down mid-send
+                pass  # fall back to buffering
+        self.records.append(flat)
 
     def drain(self) -> List[WorkerLogRecord]:
         records = list(self.records)
@@ -116,6 +135,12 @@ def set_worker_log_epoch(epoch: int) -> None:
     """Stamp subsequent worker records with the communicator epoch."""
     if _WORKER_BUFFER is not None:
         _WORKER_BUFFER.epoch = int(epoch)
+
+
+def set_worker_eager_forwarder(forward) -> None:
+    """Register (or clear, with ``None``) the eager ≥WARNING shipper."""
+    if _WORKER_BUFFER is not None:
+        _WORKER_BUFFER.eager_forward = forward
 
 
 def drain_worker_log_records() -> List[WorkerLogRecord]:

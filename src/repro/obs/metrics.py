@@ -18,12 +18,21 @@ Three instrument kinds, mirroring the Prometheus data model:
 Instruments are created on first use (``registry.counter(name)``), and
 re-requesting a name returns the same instrument, so producer call sites
 need no registration ceremony.
+
+Thread safety: the HTTP exporter (:mod:`repro.obs.serve`) scrapes from a
+daemon thread while the driver and the health monitor write.  Every
+instrument guards its mutations with a lock, and instruments created
+through a :class:`MetricsRegistry` share the registry's single re-entrant
+lock — so :meth:`MetricsRegistry.exposition` and
+:meth:`MetricsRegistry.as_dict` are consistent snapshots: no counter
+advances between the first and the last rendered line.
 """
 
 from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
@@ -67,26 +76,35 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` payload per the Prometheus text format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 class Counter:
     """Monotonically increasing total."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", *, lock: Optional[threading.RLock] = None) -> None:
         self.name = _check_name(name)
         self.help = help
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease (inc({amount}))")
-        self.value += float(amount)
+        with self._lock:
+            self.value += float(amount)
 
     def sample_lines(self) -> List[str]:
-        return [f"{self.name} {_format_value(self.value)}"]
+        with self._lock:
+            return [f"{self.name} {_format_value(self.value)}"]
 
     def as_dict(self) -> Dict[str, object]:
-        return {"kind": self.kind, "value": self.value}
+        with self._lock:
+            return {"kind": self.kind, "value": self.value}
 
 
 class Gauge:
@@ -94,34 +112,50 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", *, lock: Optional[threading.RLock] = None) -> None:
         self.name = _check_name(name)
         self.help = help
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += float(amount)
+        with self._lock:
+            self.value += float(amount)
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= float(amount)
+        with self._lock:
+            self.value -= float(amount)
 
     def sample_lines(self) -> List[str]:
-        return [f"{self.name} {_format_value(self.value)}"]
+        with self._lock:
+            return [f"{self.name} {_format_value(self.value)}"]
 
     def as_dict(self) -> Dict[str, object]:
-        return {"kind": self.kind, "value": self.value}
+        with self._lock:
+            return {"kind": self.kind, "value": self.value}
 
 
 class Histogram:
-    """Cumulative-bucket distribution (Prometheus histogram semantics)."""
+    """Distribution instrument with Prometheus histogram semantics.
+
+    Observations are stored *per bucket* (each lands in the first bound
+    that fits); the cumulative ``le``-bucket counts of the exposition
+    format are computed at render time.
+    """
 
     kind = "histogram"
 
     def __init__(
-        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        *,
+        lock: Optional[threading.RLock] = None,
     ) -> None:
         self.name = _check_name(name)
         self.help = help
@@ -132,33 +166,46 @@ class Histogram:
         self.bucket_counts = [0] * len(self.bounds)
         self.count = 0
         self.sum = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
+
+    def _cumulative_counts(self) -> List[int]:
+        running = 0
+        out = []
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
 
     def sample_lines(self) -> List[str]:
-        lines = []
-        # bucket_counts are cumulative already: observe() increments every
-        # bound >= value, which is exactly the le-bucket semantics
-        for bound, count in zip(self.bounds, self.bucket_counts):
-            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}} {count}')
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
-        lines.append(f"{self.name}_sum {_format_value(self.sum)}")
-        lines.append(f"{self.name}_count {self.count}")
-        return lines
+        with self._lock:
+            lines = []
+            for bound, count in zip(self.bounds, self._cumulative_counts()):
+                lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}} {count}')
+            lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+            lines.append(f"{self.name}_sum {_format_value(self.sum)}")
+            lines.append(f"{self.name}_count {self.count}")
+            return lines
 
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "kind": self.kind,
-            "count": self.count,
-            "sum": self.sum,
-            "buckets": {_format_value(b): c for b, c in zip(self.bounds, self.bucket_counts)},
-        }
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "count": self.count,
+                "sum": self.sum,
+                "buckets": {
+                    _format_value(b): c for b, c in zip(self.bounds, self._cumulative_counts())
+                },
+            }
 
 
 class MetricsRegistry:
@@ -166,29 +213,37 @@ class MetricsRegistry:
 
     A name is bound to one instrument kind for the registry's lifetime;
     requesting an existing name with a different kind raises.
+
+    All instruments created through the registry share its single
+    re-entrant lock, so a scrape (:meth:`exposition` / :meth:`as_dict`)
+    observes one consistent point in time even while other threads write.
     """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = cls(name, help, **kwargs)
-            self._instruments[name] = instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help, lock=self._lock, **kwargs)
+                self._instruments[name] = instrument
+                return instrument
+            if not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {instrument.kind}, "
+                    f"requested {cls.kind}"
+                )
             return instrument
-        if not isinstance(instrument, cls):
-            raise ValueError(
-                f"metric {name!r} already registered as {instrument.kind}, "
-                f"requested {cls.kind}"
-            )
-        return instrument
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -205,19 +260,26 @@ class MetricsRegistry:
 
     def get(self, name: str):
         """The instrument registered under ``name`` or ``None``."""
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def exposition(self) -> str:
-        """Prometheus text exposition of every registered instrument."""
-        lines: List[str] = []
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
-            if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
-            lines.append(f"# TYPE {name} {instrument.kind}")
-            lines.extend(instrument.sample_lines())
-        return "\n".join(lines) + ("\n" if lines else "")
+        """Prometheus text exposition of every registered instrument.
+
+        Rendered under the registry lock (re-entrant, so the instruments'
+        own locking nests) — the output is a consistent snapshot.
+        """
+        with self._lock:
+            lines: List[str] = []
+            for name in sorted(self._instruments):
+                instrument = self._instruments[name]
+                if instrument.help:
+                    lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+                lines.append(f"# TYPE {name} {instrument.kind}")
+                lines.extend(instrument.sample_lines())
+            return "\n".join(lines) + ("\n" if lines else "")
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-safe snapshot of every instrument (used by the benches)."""
-        return {name: inst.as_dict() for name, inst in sorted(self._instruments.items())}
+        """JSON-safe consistent snapshot of every instrument (benches, /health)."""
+        with self._lock:
+            return {name: inst.as_dict() for name, inst in sorted(self._instruments.items())}

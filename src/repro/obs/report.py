@@ -11,6 +11,13 @@ ledger averages away.
 The module doubles as the library API used by the obs tests and the
 ``bench_obs`` gate: :func:`phase_track_times` and :func:`skew_table`
 work on any loaded trace-event dict.
+
+``python -m repro.obs.report --bench-history BENCH_obs_history.json``
+renders the other report: the trend table over a top-level benchmark
+history file (appended to by ``benchmarks/harness.write_bench_json`` on
+every gated run), with each numeric metric annotated with its ratio to
+the previous record — the quick answer to "did this commit regress the
+benchmark".
 """
 
 from __future__ import annotations
@@ -24,7 +31,13 @@ from typing import Dict, List, Tuple
 from repro.obs.export import validate_chrome_trace
 from repro.runtime.metrics import PHASES
 
-__all__ = ["phase_track_times", "skew_table", "render_report", "main"]
+__all__ = [
+    "phase_track_times",
+    "skew_table",
+    "render_report",
+    "render_bench_history",
+    "main",
+]
 
 
 def _track_names(events: List[dict]) -> Dict[int, str]:
@@ -110,18 +123,109 @@ def render_report(trace: dict, *, per_pe: bool = True) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _numeric_metrics(record: dict) -> Dict[str, float]:
+    """The record's top-level numeric scalars (``meta`` and bools excluded)."""
+    return {
+        key: float(value)
+        for key, value in record.items()
+        if key != "meta" and isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def render_bench_history(history: dict, *, limit: int = 10) -> str:
+    """The trend table over a ``BENCH_*_history.json`` benchmark history.
+
+    One row per record (newest last), one column per numeric metric;
+    every value after the first row carries its ratio to the previous
+    record's value (``×1.06`` = 6% higher than the run before), so a
+    perf regression is visible without diffing JSON by hand.
+    """
+    records = history.get("records") or []
+    if not records:
+        return "no records in benchmark history\n"
+    shown = records[-limit:]
+    metrics = sorted({key for record in shown for key in _numeric_metrics(record)})
+    if not metrics:
+        return "no numeric metrics in benchmark history records\n"
+    dropped_metrics = metrics[6:]
+    metrics = metrics[:6]
+
+    width = max(16, max(len(m) for m in metrics) + 2)
+    lines = []
+    header = ["timestamp".ljust(20), "revision".ljust(8)]
+    header += [m.rjust(width) for m in metrics]
+    lines.append("  ".join(header))
+    lines.append("-" * len(lines[0]))
+    previous: Dict[str, float] = {}
+    for record in shown:
+        meta = record.get("meta", {})
+        stamp = str(meta.get("timestamp_utc", "?"))[:19]
+        revision = str(meta.get("git_revision", "?"))[:7]
+        values = _numeric_metrics(record)
+        row = [stamp.ljust(20), revision.ljust(8)]
+        for metric in metrics:
+            if metric not in values:
+                row.append("-".rjust(width))
+                continue
+            value = values[metric]
+            cell = f"{value:.4g}"
+            prev = previous.get(metric)
+            if prev:
+                cell += f" ×{value / prev:.2f}"
+            row.append(cell.rjust(width))
+        previous.update(values)
+        lines.append("  ".join(row))
+    lines.append("")
+    summary = (
+        f"bench: {history.get('bench', '?')} | {len(records)} record(s)"
+        + (f", showing last {len(shown)}" if len(shown) < len(records) else "")
+        + " | ×N.NN = ratio vs previous record"
+    )
+    if dropped_metrics:
+        summary += f" | columns omitted: {', '.join(dropped_metrics)}"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Print the per-phase/per-PE skew table of an exported trace.",
+        description="Print the per-phase/per-PE skew table of an exported trace, "
+        "or the trend table of a benchmark history file.",
     )
-    parser.add_argument("trace", type=Path, help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "trace", type=Path, nargs="?", help="Chrome trace-event JSON file"
+    )
     parser.add_argument(
         "--no-per-pe",
         action="store_true",
         help="suppress the per-PE columns (summary statistics only)",
     )
+    parser.add_argument(
+        "--bench-history",
+        type=Path,
+        metavar="FILE",
+        help="render the trend table of a top-level BENCH_*_history.json file "
+        "instead of a trace report",
+    )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="records shown by --bench-history (default: 10)",
+    )
     args = parser.parse_args(argv)
+    if args.bench_history is not None:
+        try:
+            history = json.loads(args.bench_history.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load {args.bench_history}: {exc}", file=sys.stderr)
+            return 2
+        sys.stdout.write(render_bench_history(history, limit=max(1, args.last)))
+        return 0
+    if args.trace is None:
+        parser.error("a trace file or --bench-history FILE is required")
     try:
         trace = json.loads(args.trace.read_text())
     except (OSError, json.JSONDecodeError) as exc:

@@ -1,0 +1,183 @@
+"""Live HTTP exporter: ``GET /metrics`` (Prometheus) and ``GET /health``.
+
+A stdlib-only (:mod:`http.server`) daemon thread that makes a running
+sampler scrapeable, the way any production stream processor is:
+
+* ``GET /metrics`` — the run's :class:`~repro.obs.metrics.MetricsRegistry`
+  in Prometheus text exposition format,
+* ``GET /health`` — the :class:`~repro.obs.health.HealthMonitor`'s live
+  per-rank JSON view; HTTP 200 while every rank is ``ok`` or merely a
+  ``straggler``, 503 once any rank is ``stalled`` or ``dead`` (so a load
+  balancer or readiness probe needs no JSON parsing).
+
+Drivers start one via ``serve_metrics=("127.0.0.1", 0)``; standalone use
+is a context manager::
+
+    with HealthServer(registry=reg, monitor=mon, port=0) as server:
+        print(server.url("/metrics"))
+
+Port 0 binds an ephemeral port; :attr:`HealthServer.address` reports the
+actual one.  The server binds to loopback by default — exposing it wider
+is an explicit choice.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple, Union
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["HealthServer", "resolve_serve"]
+
+_logger = get_logger("obs.serve")
+
+#: content type of the Prometheus text exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class HealthServer:
+    """Threaded HTTP endpoint over a metrics registry and health monitor."""
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        monitor=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if registry is None and monitor is not None:
+            registry = monitor.registry
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.monitor = monitor
+        self._requested = (host, int(port))
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "HealthServer":
+        if self._server is not None:
+            return self
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # keep scrapes out of stderr; route rare errors to our logger
+            def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+                pass
+
+            def log_error(self, format, *args):  # noqa: A002 - stdlib signature
+                _logger.debug("http: " + format, *args)
+
+            def do_GET(self):  # noqa: N802 - stdlib signature
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = exporter.registry.exposition().encode("utf-8")
+                    self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+                elif path in ("/health", "/healthz"):
+                    status, payload = exporter._health_payload()
+                    body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+                    self._reply(status, "application/json; charset=utf-8", body)
+                elif path == "/":
+                    body = b'{"endpoints": ["/metrics", "/health"]}'
+                    self._reply(200, "application/json; charset=utf-8", body)
+                else:
+                    self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+            def _reply(self, status: int, content_type: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._server = ThreadingHTTPServer(self._requested, _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-health-server",
+            daemon=True,
+        )
+        self._thread.start()
+        _logger.info("serving /metrics and /health on http://%s:%d", *self.address)
+        return self
+
+    def close(self) -> None:
+        """Stop serving.  Idempotent."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "HealthServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — the real port even when 0 was asked."""
+        if self._server is not None:
+            return self._server.server_address[0], self._server.server_address[1]
+        return self._requested
+
+    def url(self, path: str = "/") -> str:
+        host, port = self.address
+        if not path.startswith("/"):
+            path = "/" + path
+        return f"http://{host}:{port}{path}"
+
+    def _health_payload(self) -> Tuple[int, dict]:
+        if self.monitor is None:
+            return 200, {"status": "unknown", "detail": "no health monitor attached"}
+        payload = self.monitor.status()
+        status = 503 if payload.get("status") == "unhealthy" else 200
+        return status, payload
+
+
+def resolve_serve(
+    serve_metrics: Union[None, bool, Tuple[str, int], HealthServer],
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    monitor=None,
+) -> Optional[HealthServer]:
+    """Resolve a driver's ``serve_metrics=`` argument and start the server.
+
+    ``None``/``False`` → no server; ``True`` → loopback on an ephemeral
+    port; an ``(host, port)`` tuple → that address; a pre-built
+    :class:`HealthServer` is adopted (started if needed, wired to the
+    run's registry/monitor if it has none).
+    """
+    if serve_metrics is None or serve_metrics is False:
+        return None
+    if isinstance(serve_metrics, HealthServer):
+        server = serve_metrics
+        if monitor is not None and server.monitor is None:
+            server.monitor = monitor
+            if registry is not None:
+                server.registry = registry
+        return server.start()
+    if serve_metrics is True:
+        host, port = "127.0.0.1", 0
+    else:
+        try:
+            host, port = serve_metrics
+        except (TypeError, ValueError):
+            raise TypeError(
+                "serve_metrics must be None, True, a (host, port) tuple or a "
+                f"HealthServer, got {serve_metrics!r}"
+            ) from None
+    return HealthServer(registry=registry, monitor=monitor, host=host, port=int(port)).start()

@@ -38,7 +38,9 @@ import numpy as np
 
 from repro.network.base import Communicator, make_communicator
 from repro.obs.collect import resolve_trace
+from repro.obs.health import resolve_health
 from repro.obs.log import get_logger
+from repro.obs.serve import resolve_serve
 from repro.pipeline.autotune import DEFAULT_TARGET_ROUND_TIME, BatchSizeAutotuner
 from repro.pipeline.engine import make_pipeline_engine, normalize_pipeline_mode
 from repro.runtime.metrics import RoundMetrics, RunMetrics
@@ -88,6 +90,11 @@ class PipelinedSamplingRun:
         distributed tracing (per-PE spans, clock-aligned collection,
         Chrome-trace export; see :mod:`repro.obs`).  Exposed as
         :attr:`trace`; never touches any RNG.
+    health / on_stall / serve_metrics:
+        Live health monitoring and the HTTP ``/metrics`` + ``/health``
+        exporter — same semantics as on
+        :class:`~repro.core.api.DistributedSamplingRun`.  Exposed as
+        :attr:`health` and :attr:`server`.
     """
 
     def __init__(
@@ -108,6 +115,9 @@ class PipelinedSamplingRun:
         target_round_time: float = DEFAULT_TARGET_ROUND_TIME,
         kernel_tier: str = "numpy",
         trace=None,
+        health=None,
+        on_stall: Optional[str] = None,
+        serve_metrics=None,
         **comm_kwargs,
     ) -> None:
         from repro.core.api import make_distributed_sampler
@@ -151,6 +161,17 @@ class PipelinedSamplingRun:
             self.trace = resolve_trace(trace)
             if self.trace is not None:
                 self.trace.attach(self.comm, self.sampler._handle)
+            shared_registry = self.trace.registry if self.trace is not None else None
+            self.health = resolve_health(health, on_stall=on_stall, registry=shared_registry)
+            if self.health is not None:
+                self.health.attach(self.comm, self.sampler._handle)
+            self.server = resolve_serve(
+                serve_metrics,
+                registry=shared_registry
+                if shared_registry is not None
+                else (self.health.registry if self.health is not None else None),
+                monitor=self.health,
+            )
         except BaseException:
             # don't leak the workers we just spawned on invalid arguments
             if self._owns_comm:
@@ -179,11 +200,19 @@ class PipelinedSamplingRun:
 
     def step(self) -> RoundMetrics:
         """Process one measured round and record its metrics."""
-        self._ensure_warmup()
-        start = time.perf_counter()
-        with self.comm.tracer.span("round", cat="round", round=self.metrics.num_rounds):
-            round_metrics = self.engine.step()
-        elapsed = time.perf_counter() - start
+        if self.health is not None:
+            self.health.arm(self.metrics.num_rounds)
+        try:
+            self._ensure_warmup()
+            start = time.perf_counter()
+            with self.comm.tracer.span("round", cat="round", round=self.metrics.num_rounds):
+                round_metrics = self.engine.step()
+            elapsed = time.perf_counter() - start
+        finally:
+            if self.health is not None:
+                self.health.disarm()
+                self.metrics.stalls = self.health.stalls_detected
+                self.metrics.stragglers_detected = self.health.stragglers_detected
         self.metrics.wall_time += elapsed
         self.metrics.add_round(round_metrics)
         if self.trace is not None:
@@ -234,6 +263,10 @@ class PipelinedSamplingRun:
     def close(self) -> None:
         """Join any in-flight prepare and shut down an owned communicator."""
         self.engine.finish()
+        if self.server is not None:
+            self.server.close()
+        if self.health is not None:
+            self.health.finish()
         if self.trace is not None:
             self.trace.finish()
         if self._owns_comm:

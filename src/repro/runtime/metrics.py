@@ -202,6 +202,10 @@ class RunMetrics:
     wall_time: float = 0.0
     #: worker-death recoveries the run survived (process backend only)
     recoveries: int = 0
+    #: watchdog stall detections (health monitoring enabled only)
+    stalls: int = 0
+    #: watchdog straggler detections (health monitoring enabled only)
+    stragglers_detected: int = 0
     rounds: List[RoundMetrics] = field(default_factory=list)
 
     def add_round(self, metrics: RoundMetrics) -> None:
@@ -351,6 +355,8 @@ class RunMetrics:
             "total_selection_skips": self.total_selection_skips,
             "overlap_efficiency": self.overlap_efficiency(),
             "recoveries": self.recoveries,
+            "stalls": self.stalls,
+            "stragglers_detected": self.stragglers_detected,
             "round_details": [r.as_dict() for r in self.rounds],
         }
 
@@ -366,5 +372,7 @@ class RunMetrics:
             kernel_tier=str(data.get("kernel_tier", "")),
             wall_time=float(data.get("wall_time", 0.0)),
             recoveries=int(data.get("recoveries", 0)),
+            stalls=int(data.get("stalls", 0)),
+            stragglers_detected=int(data.get("stragglers_detected", 0)),
             rounds=[RoundMetrics.from_dict(r) for r in data.get("round_details", [])],
         )

@@ -28,7 +28,9 @@ import numpy as np
 
 from repro.network.base import Communicator, make_communicator
 from repro.obs.collect import resolve_trace
+from repro.obs.health import resolve_health
 from repro.obs.log import get_logger
+from repro.obs.serve import resolve_serve
 from repro.runtime.metrics import RoundMetrics, RunMetrics
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -72,6 +74,13 @@ class ParallelStreamingRun:
         distributed tracing (per-PE spans, clock-aligned collection,
         Chrome-trace export; see :mod:`repro.obs`).  Exposed as
         :attr:`trace`; never touches any RNG.
+    health / on_stall / serve_metrics:
+        Live health monitoring (worker heartbeats + stall/straggler
+        watchdog, see :mod:`repro.obs.health`) and the HTTP
+        ``/metrics`` + ``/health`` exporter (:mod:`repro.obs.serve`) —
+        same semantics as on
+        :class:`~repro.core.api.DistributedSamplingRun`.  Exposed as
+        :attr:`health` and :attr:`server`.
 
     Use as a context manager (or call :meth:`close`) so the process
     backend's workers are torn down deterministically.
@@ -93,6 +102,9 @@ class ParallelStreamingRun:
         target_round_time: Optional[float] = None,
         kernel_tier: str = "numpy",
         trace=None,
+        health=None,
+        on_stall: Optional[str] = None,
+        serve_metrics=None,
         **comm_kwargs,
     ) -> None:
         from repro.core.api import make_distributed_sampler
@@ -126,6 +138,17 @@ class ParallelStreamingRun:
             self.trace = resolve_trace(trace)
             if self.trace is not None:
                 self.trace.attach(self.comm, self.sampler._handle)
+            shared_registry = self.trace.registry if self.trace is not None else None
+            self.health = resolve_health(health, on_stall=on_stall, registry=shared_registry)
+            if self.health is not None:
+                self.health.attach(self.comm, self.sampler._handle)
+            self.server = resolve_serve(
+                serve_metrics,
+                registry=shared_registry
+                if shared_registry is not None
+                else (self.health.registry if self.health is not None else None),
+                monitor=self.health,
+            )
         except BaseException:
             # don't leak the workers we just spawned on invalid arguments
             if self._owns_comm:
@@ -154,11 +177,19 @@ class ParallelStreamingRun:
 
     def step(self) -> RoundMetrics:
         """Process one measured round and record its metrics."""
-        self._ensure_warmup()
-        start = time.perf_counter()
-        with self.comm.tracer.span("round", cat="round", round=self.metrics.num_rounds):
-            round_metrics = self.sampler.process_stream_round()
-        elapsed = time.perf_counter() - start
+        if self.health is not None:
+            self.health.arm(self.metrics.num_rounds)
+        try:
+            self._ensure_warmup()
+            start = time.perf_counter()
+            with self.comm.tracer.span("round", cat="round", round=self.metrics.num_rounds):
+                round_metrics = self.sampler.process_stream_round()
+            elapsed = time.perf_counter() - start
+        finally:
+            if self.health is not None:
+                self.health.disarm()
+                self.metrics.stalls = self.health.stalls_detected
+                self.metrics.stragglers_detected = self.health.stragglers_detected
         self.metrics.wall_time += elapsed
         self.metrics.add_round(round_metrics)
         if self.trace is not None:
@@ -223,6 +254,10 @@ class ParallelStreamingRun:
 
     def close(self) -> None:
         """Shut down the communicator if this run created it."""
+        if self.server is not None:
+            self.server.close()
+        if self.health is not None:
+            self.health.finish()
         if self.trace is not None:
             self.trace.finish()
         if self._owns_comm:

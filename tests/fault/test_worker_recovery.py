@@ -114,16 +114,111 @@ class TestInjectedFaults:
         comm = make_process_comm(
             P, fault=FaultSpec(rank=0, action="delay_reply", after_calls=5, seconds=0.2)
         )
+        # health on with the default policy: a short delay must at most be
+        # *warned* about, never killed — on_stall="warn" is the default
         run = DistributedSamplingRun(
-            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=2, **RUN_KWARGS
+            "ours",
+            comm=comm,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=2,
+            health=True,
+            **RUN_KWARGS,
         )
+        assert run.health.config.on_stall == "warn"
         run.run(6)
         assert run.metrics.recoveries == 0
+        assert run.health.watchdog_kills == 0
         assert np.array_equal(run.sample_ids(), ref)
 
     def test_unknown_fault_action_rejected(self):
         with pytest.raises(ValueError, match="unknown fault action"):
             FaultSpec(rank=0, action="segfault")
+
+
+class TestStallWatchdog:
+    """A hang (not a death) escalated by the watchdog into recovery."""
+
+    #: fast watchdog: 50 ms polls, ~1 s stall deadline
+    WATCHDOG = dict(poll_interval=0.05, min_deadline=0.8, grace=0.2)
+    #: the hang: rank 0 goes silent mid-round for far longer than any test
+    #: would wait — only a watchdog kill can unstick the run
+    HANG = dict(rank=0, action="delay_reply", after_calls=12, seconds=60.0)
+
+    def test_hang_is_detected_and_recovered_byte_identical(
+        self, make_process_comm, checkpoint_dir
+    ):
+        from repro.obs.health import HealthConfig
+
+        ref = reference_ids(6)
+        comm = make_process_comm(P, fault=FaultSpec(**self.HANG))
+        run = DistributedSamplingRun(
+            "ours",
+            comm=comm,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=2,
+            health=HealthConfig(on_stall="recover", **self.WATCHDOG),
+            **RUN_KWARGS,
+        )
+        run.run(6)
+
+        assert run.metrics.recoveries == 1
+        assert run.metrics.stalls == 1
+        assert run.health.watchdog_kills == 1
+        # the watchdog must kill the hung rank, not a peer blocked on it
+        recovered = [r.recovered_pes for r in run.metrics.rounds if r.recovered_pes]
+        assert recovered == [[0]]
+        assert comm.workers_alive == [True] * P
+        assert np.array_equal(run.sample_ids(), ref)
+
+    def test_hang_with_on_stall_raise_surfaces_stall_error(
+        self, make_process_comm, checkpoint_dir
+    ):
+        from repro.obs.health import HealthConfig, StallError
+
+        comm = make_process_comm(P, fault=FaultSpec(**self.HANG))
+        run = DistributedSamplingRun(
+            "ours",
+            comm=comm,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=2,
+            health=HealthConfig(on_stall="raise", **self.WATCHDOG),
+            **RUN_KWARGS,
+        )
+        with pytest.raises(StallError) as excinfo:
+            run.run(6)
+        assert excinfo.value.rank == 0
+
+
+def _warn_then_die_kernel(state):
+    import logging
+    import os
+    import time
+
+    logging.getLogger("repro.worker.test").warning("disk almost full on this rank")
+    # eager forwarding rides the beat queue's feeder thread; give it a
+    # moment to flush — the guarantee is best-effort crash context
+    time.sleep(0.2)
+    os._exit(1)
+
+
+class TestEagerLogForwarding:
+    def test_warning_logged_before_death_reaches_coordinator(
+        self, make_process_comm, checkpoint_dir, caplog
+    ):
+        import logging
+
+        comm = make_process_comm(P)
+        run = DistributedSamplingRun(
+            "ours", comm=comm, checkpoint_dir=checkpoint_dir, checkpoint_every=2, **RUN_KWARGS
+        )
+        run.run(2)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with pytest.raises(WorkerError):
+                comm.run_per_pe(run.sampler._handle, _warn_then_die_kernel, None)
+            # the buffered copy died with the workers; recover() drains the
+            # eagerly-forwarded ≥WARNING copies off the beat queue
+            comm.recover()
+        assert any("disk almost full" in message for message in caplog.messages)
 
 
 class TestShmHygiene:

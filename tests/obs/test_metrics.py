@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import re
+import threading
 
 import pytest
 
@@ -25,15 +27,21 @@ class TestInstruments:
         gauge.dec(4)
         assert gauge.value == 8.0
 
-    def test_histogram_buckets_are_cumulative(self):
+    def test_histogram_rendering_is_cumulative(self):
         hist = Histogram("repro_round_seconds", buckets=(0.1, 1.0, 10.0))
         for value in (0.05, 0.5, 5.0, 50.0):
             hist.observe(value)
         assert hist.count == 4
-        assert hist.bucket_counts == [1, 2, 3]
+        # stored per bucket (observe stops at the first fitting bound) ...
+        assert hist.bucket_counts == [1, 1, 1]
         lines = hist.sample_lines()
+        # ... rendered cumulatively, per le-bucket semantics
+        assert 'repro_round_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_round_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_round_seconds_bucket{le="10"} 3' in lines
         assert 'repro_round_seconds_bucket{le="+Inf"} 4' in lines
         assert "repro_round_seconds_count 4" in lines
+        assert hist.as_dict()["buckets"] == {"0.1": 1, "1": 2, "10": 3}
 
     def test_invalid_metric_name_rejected(self):
         with pytest.raises(ValueError):
@@ -75,3 +83,61 @@ class TestMetricsRegistry:
         snapshot = json.loads(json.dumps(registry.as_dict(), allow_nan=False))
         assert snapshot["repro_a"]["value"] == 1.0
         assert snapshot["repro_b"]["count"] == 1
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_weird", "line one\nline two with back\\slash").inc()
+        text = registry.exposition()
+        assert "# HELP repro_weird line one\\nline two with back\\\\slash" in text
+        # the exposition must stay line-oriented: exactly one HELP line
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP repro_weird")]
+        assert len(help_lines) == 1
+
+
+class TestThreadSafety:
+    """Concurrent writers + a scraping reader (the HTTP exporter shape)."""
+
+    def test_concurrent_hammer_keeps_counts_exact(self):
+        registry = MetricsRegistry()
+        errors = []
+        n_threads, n_iters = 8, 2000
+        stop_scraping = threading.Event()
+
+        def writer(idx):
+            try:
+                for i in range(n_iters):
+                    registry.counter("repro_hits_total", "hammered").inc()
+                    registry.gauge("repro_level").set(i)
+                    registry.histogram("repro_lat", buckets=(0.5, 1.5)).observe(i % 2)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def scraper():
+            try:
+                while not stop_scraping.is_set():
+                    text = registry.exposition()
+                    snapshot = registry.as_dict()
+                    # a snapshot must be self-consistent: the histogram's
+                    # +Inf bucket equals its count
+                    match = re.search(r'repro_lat_bucket\{le="\+Inf"\} (\d+)', text)
+                    if match is not None:
+                        count = int(re.search(r"repro_lat_count (\d+)", text).group(1))
+                        assert int(match.group(1)) == count
+                    if "repro_lat" in snapshot:
+                        buckets = snapshot["repro_lat"]["buckets"]
+                        assert buckets["1.5"] == snapshot["repro_lat"]["count"]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(n_threads)]
+        scrape_thread = threading.Thread(target=scraper)
+        scrape_thread.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop_scraping.set()
+        scrape_thread.join()
+        assert not errors
+        assert registry.get("repro_hits_total").value == n_threads * n_iters
+        assert registry.get("repro_lat").count == n_threads * n_iters

@@ -1,14 +1,23 @@
-"""The ``python -m repro.obs.report`` skew-table CLI."""
+"""The ``python -m repro.obs.report`` skew-table and bench-history CLI."""
 
 from __future__ import annotations
 
+import importlib.util
 import json
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.obs import TraceCollector
 from repro.obs.export import write_chrome_trace
-from repro.obs.report import main, phase_track_times, render_report, skew_table
+from repro.obs.report import (
+    main,
+    phase_track_times,
+    render_bench_history,
+    render_report,
+    skew_table,
+)
 from repro.core.api import DistributedSamplingRun
 
 
@@ -80,3 +89,99 @@ class TestCli:
         out = capsys.readouterr().out
         # pe skew = max 0.8 / mean 0.6
         assert "1.33" in out
+
+    def test_cli_without_any_input_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "required" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# benchmark history (harness append + trend table)
+# ---------------------------------------------------------------------------
+def _load_harness():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "harness.py"
+    spec = importlib.util.spec_from_file_location("bench_harness", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _record(items_per_s, revision="abcdef0123456789"):
+    return {
+        "items_per_s": items_per_s,
+        "overhead_ratio": 1.01,
+        "meta": {
+            "schema_version": 1,
+            "bench": "bench_demo",
+            "git_revision": revision,
+            "timestamp_utc": "2026-08-08T10:00:00+00:00",
+        },
+    }
+
+
+class TestBenchHistory:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return _load_harness()
+
+    def test_append_creates_then_extends_history(self, harness, tmp_path):
+        path = harness.append_bench_history(_record(100.0), bench="bench_demo", root=tmp_path)
+        assert path == tmp_path / "BENCH_demo_history.json"
+        harness.append_bench_history(_record(110.0), bench="bench_demo", root=tmp_path)
+        history = json.loads(path.read_text())
+        assert history["bench"] == "bench_demo"
+        assert history["schema_version"] == harness.BENCH_SCHEMA_VERSION
+        assert [r["items_per_s"] for r in history["records"]] == [100.0, 110.0]
+
+    def test_corrupt_history_is_started_over(self, harness, tmp_path):
+        path = harness.bench_history_path("bench_demo", tmp_path)
+        path.write_text("{not json")
+        harness.append_bench_history(_record(5.0), bench="bench_demo", root=tmp_path)
+        assert len(json.loads(path.read_text())["records"]) == 1
+
+    def test_history_is_capped(self, harness, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "BENCH_HISTORY_LIMIT", 3)
+        for n in range(5):
+            harness.append_bench_history(_record(float(n)), bench="bench_demo", root=tmp_path)
+        records = json.loads(harness.bench_history_path("bench_demo", tmp_path).read_text())
+        assert [r["items_per_s"] for r in records["records"]] == [2.0, 3.0, 4.0]
+
+    def test_write_bench_json_appends_to_history(self, harness, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(harness, "REPO_ROOT", tmp_path)
+        out = tmp_path / "BENCH_demo.json"
+        for _ in range(2):
+            harness.write_bench_json(out, {"items_per_s": 7.0}, bench="bench_demo")
+        single = json.loads(out.read_text())
+        assert single["items_per_s"] == 7.0 and single["meta"]["bench"] == "bench_demo"
+        history = json.loads((tmp_path / "BENCH_demo_history.json").read_text())
+        assert len(history["records"]) == 2
+
+    def test_trend_table_shows_ratio_vs_previous(self):
+        history = {
+            "bench": "bench_demo",
+            "records": [_record(100.0), _record(106.0, revision="feedc0ffee")],
+        }
+        text = render_bench_history(history)
+        assert "items_per_s" in text and "bench_demo" in text
+        assert "feedc0f" in text and "feedc0ff" not in text
+        assert "×1.06" in text
+        assert "2 record(s)" in text
+
+    def test_trend_table_limit_and_empty(self):
+        assert "no records" in render_bench_history({"records": []})
+        history = {"bench": "b", "records": [_record(float(n)) for n in range(1, 6)]}
+        text = render_bench_history(history, limit=2)
+        assert "showing last 2" in text
+
+    def test_cli_bench_history_mode(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_demo_history.json"
+        path.write_text(json.dumps({"bench": "bench_demo", "records": [_record(3.0)]}))
+        assert main(["--bench-history", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_demo" in out and "items_per_s" in out
+
+    def test_cli_bench_history_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["--bench-history", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
