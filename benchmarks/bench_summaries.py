@@ -1,0 +1,227 @@
+"""Ingest-throughput gate for the sibling summaries (``repro.summaries``).
+
+One benchmark per summary family — exact weighted top-k, streaming
+quantile cursors, Misra–Gries heavy hitters with engine-backed pruning,
+and the recency-boosted reservoir — each driven by the corpus-replay
+stream (``repro.stream.CorpusReplayStream``: real scraped document
+lengths when the corpus directory exists, the deterministic synthetic
+corpus everywhere else) on the real multiprocess backend at ``p = 4``.
+
+Correctness is asserted inline on the benchmarked stream (top-k equals
+brute force, the quantile cursors respect their rank-error bound), and
+the measured throughputs are gated against the conservative committed
+baseline in ``benchmarks/baselines/bench_summaries_baseline.json``
+(see ``benchmarks/baseline_gate.py``; refresh with ``--update-baseline``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_summaries.py --output BENCH_summaries.json
+    PYTHONPATH=src python benchmarks/bench_summaries.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+from baseline_gate import compare_to_baseline, load_baseline, write_conservative_baseline
+from harness import write_bench_json
+
+from repro.stream.corpus import CorpusReplayStream
+from repro.summaries import (
+    DistributedTopK,
+    HeavyHitters,
+    RecencyReservoir,
+    StreamingQuantiles,
+)
+
+P = 4
+BATCH = 4096  # per PE per round
+ROUNDS = 6
+SEED = 19
+TOPK_K = 256
+QUANTILE_PHIS = (0.5, 0.9, 0.99)
+QUANTILE_EPS = 0.01
+HH_K = 32
+HH_UNIVERSE = 1500  # documents folded onto a skewed id universe
+RECENCY_K = 256
+RECENCY_R = 1.02
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "bench_summaries_baseline.json"
+
+
+def replay_rounds():
+    """The benchmark stream, materialised once so every sibling sees it."""
+    stream = CorpusReplayStream(P, BATCH, seed=SEED)
+    rounds = []
+    for round_batches in stream.rounds(ROUNDS):
+        rounds.append([(batch.ids, batch.weights) for batch in round_batches.batches])
+    return stream.source, rounds
+
+
+def _drive(summary, rounds, transform=None):
+    """Feed all rounds, returning (wall seconds, items ingested)."""
+    items = 0
+    start = time.perf_counter()
+    for per_pe in rounds:
+        batches = [transform(ids, weights) if transform else (ids, weights) for ids, weights in per_pe]
+        summary.process_round(batches)
+        items += sum(ids.shape[0] for ids, _ in batches)
+    return time.perf_counter() - start, items
+
+
+def bench_topk(rounds) -> dict:
+    with DistributedTopK(TOPK_K, "process", p=P, seed=SEED) as summary:
+        wall, items = _drive(summary, rounds)
+        answer = summary.top_k()
+    all_ids = np.concatenate([ids for per_pe in rounds for ids, _ in per_pe])
+    all_weights = np.concatenate([w for per_pe in rounds for _, w in per_pe])
+    order = np.lexsort((all_ids, -all_weights))
+    expected = [(int(all_ids[i]), float(all_weights[i])) for i in order[:TOPK_K]]
+    return {
+        "items_per_s": items / max(wall, 1e-9),
+        "wall_time_s": wall,
+        "items": items,
+        "exact_vs_brute_force": answer == expected,
+    }
+
+
+def bench_quantiles(rounds) -> dict:
+    with StreamingQuantiles(
+        QUANTILE_PHIS, "process", p=P, eps=QUANTILE_EPS, seed=SEED
+    ) as summary:
+        wall, items = _drive(summary, rounds)
+        estimates = summary.quantiles()
+        reselections = summary.reselections
+    values = np.sort(np.concatenate([w for per_pe in rounds for _, w in per_pe]))
+    within_bound = True
+    for phi, estimate in estimates.items():
+        rank = int(np.searchsorted(values, estimate, side="right"))
+        target = max(1, int(np.ceil(phi * values.shape[0])))
+        within_bound &= abs(rank - target) <= QUANTILE_EPS * values.shape[0] + 1
+    return {
+        "items_per_s": items / max(wall, 1e-9),
+        "wall_time_s": wall,
+        "items": items,
+        "reselections": reselections,
+        "rank_error_within_eps": bool(within_bound),
+    }
+
+
+def bench_heavy(rounds) -> dict:
+    def as_counts(ids, weights):
+        # fold the id space so ids repeat; the heavy-tailed document
+        # lengths are the count increments, so the counters are skewed
+        return (ids % HH_UNIVERSE).astype(np.int64), weights
+
+    with HeavyHitters(
+        HH_K, "process", p=P, capacity=8 * HH_K, prune_every=2, seed=SEED
+    ) as summary:
+        wall, items = _drive(summary, rounds, transform=as_counts)
+        top = summary.top(5)
+        pruned = summary.pruned_total
+    return {
+        "items_per_s": items / max(wall, 1e-9),
+        "wall_time_s": wall,
+        "items": items,
+        "pruned_total": pruned,
+        "reported_top5": [int(item) for item, _ in top],
+    }
+
+
+def bench_recency(rounds) -> dict:
+    with RecencyReservoir(RECENCY_K, "process", p=P, recency=RECENCY_R, seed=SEED) as summary:
+        wall, items = _drive(summary, rounds)
+        sample_size = summary.sample_size()
+    return {
+        "items_per_s": items / max(wall, 1e-9),
+        "wall_time_s": wall,
+        "items": items,
+        "sample_size": sample_size,
+    }
+
+
+def run_suite() -> dict:
+    source, rounds = replay_rounds()
+    total = sum(ids.shape[0] for per_pe in rounds for ids, _ in per_pe)
+    print(f"corpus source: {source}; p={P}, batch={BATCH}/PE, rounds={ROUNDS}, items={total:,}")
+    results = {"corpus_source": source, "p": P, "batch_size": BATCH, "rounds": ROUNDS}
+    for name, bench in [
+        ("topk", bench_topk),
+        ("quantiles", bench_quantiles),
+        ("heavy_hitters", bench_heavy),
+        ("recency", bench_recency),
+    ]:
+        results[name] = bench(rounds)
+        print(f"  {name:>14}: {results[name]['items_per_s']:>12,.0f} items/s")
+        # flat keys for the shared baseline gate
+        results[f"{name}_items_per_s"] = results[name]["items_per_s"]
+    return results
+
+
+def gate_failures(results: dict) -> list:
+    failures = []
+    if not results["topk"]["exact_vs_brute_force"]:
+        failures.append("top-k answer differs from brute force on the benchmark stream")
+    if not results["quantiles"]["rank_error_within_eps"]:
+        failures.append("a quantile cursor violates its rank-error bound")
+    if results["recency"]["sample_size"] != RECENCY_K:
+        failures.append(
+            f"recency sample holds {results['recency']['sample_size']} items, "
+            f"expected {RECENCY_K}"
+        )
+    if results["heavy_hitters"]["pruned_total"] <= 0:
+        failures.append("engine-backed candidate prune never fired")
+    return failures
+
+
+BASELINE_KEYS = [
+    "topk_items_per_s",
+    "quantiles_items_per_s",
+    "heavy_hitters_items_per_s",
+    "recency_items_per_s",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_summaries.json"))
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured numbers (halved, to stay conservative) as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    write_bench_json(args.output, results, bench="bench_summaries")
+
+    failures = gate_failures(results)
+
+    if args.update_baseline:
+        write_conservative_baseline(
+            args.baseline, {key: results[key] for key in BASELINE_KEYS}
+        )
+        print(f"updated baseline {args.baseline}")
+    elif not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update-baseline to create one")
+        return 1
+    else:
+        failures.extend(
+            compare_to_baseline(results, load_baseline(args.baseline), args.max_regression)
+        )
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall summary gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ PACKAGES = [
     "repro.obs",
     "repro.runtime",
     "repro.selection",
+    "repro.summaries",
     "repro.stream",
     "repro.btree",
     "repro.analysis",

@@ -39,8 +39,10 @@ from repro.checkpoint.manager import CHECKPOINT_SUFFIX, CheckpointManager
 from repro.checkpoint.state import (
     restore_engine,
     restore_sampler,
+    restore_summary,
     snapshot_engine,
     snapshot_sampler,
+    snapshot_summary,
 )
 
 __all__ = [
@@ -55,6 +57,8 @@ __all__ = [
     "load_checkpoint_file",
     "snapshot_sampler",
     "restore_sampler",
+    "snapshot_summary",
+    "restore_summary",
     "snapshot_engine",
     "restore_engine",
 ]

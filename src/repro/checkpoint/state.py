@@ -35,6 +35,8 @@ from repro.core import pe_kernels
 __all__ = [
     "snapshot_sampler",
     "restore_sampler",
+    "snapshot_summary",
+    "restore_summary",
     "snapshot_engine",
     "restore_engine",
 ]
@@ -120,6 +122,66 @@ def restore_sampler(sampler, snapshot: Dict[str, object]) -> None:
         if keys.shape[0]:
             store.insert_batch(keys, ids)
         sampler._reservoir = store
+
+
+# ---------------------------------------------------------------------------
+# summaries (repro.summaries)
+# ---------------------------------------------------------------------------
+#: summaries whose complete mutable state fits the sampler checkpoint
+#: format: reservoir-shaped per-PE keysets + generators + driver counters
+_SNAPSHOTTABLE_SUMMARIES = ("DistributedTopK", "RecencyReservoir")
+
+#: summary types that carry state outside the per-PE keyset export, with
+#: the reason restore would be silently wrong for each
+_UNSUPPORTED_SUMMARIES = {
+    "HeavyHitters": "its Misra-Gries counter tables and error bounds live outside the keyset",
+    "StreamingQuantiles": "its quantile cursors and reselection counters live outside the keyset",
+}
+
+def _check_summary_type(name: str, verb: str) -> None:
+    if name in _SNAPSHOTTABLE_SUMMARIES:
+        return
+    reason = _UNSUPPORTED_SUMMARIES.get(name, "it is not a known snapshot-capable summary")
+    raise CheckpointError(
+        f"cannot {verb} a {name}: {reason}. Checkpointable summaries: "
+        f"{', '.join(_SNAPSHOTTABLE_SUMMARIES)} — for a {name}, re-ingest the stream "
+        "(or persist its query results) instead"
+    )
+
+
+def snapshot_summary(summary) -> Dict[str, object]:
+    """Capture a summary's complete mutable state (top-k / recency only).
+
+    Uses the sampler capture path — the snapshot-capable summaries keep
+    their entire per-PE state in the same reservoir-shaped slots the
+    samplers use — tagged with ``summary_type`` instead of
+    ``sampler_type`` so sampler and summary checkpoints cannot be mixed
+    up.  Raises :class:`CheckpointError` with the reason for the summary
+    families whose state the format cannot represent.
+    """
+    _check_summary_type(type(summary).__name__, "snapshot")
+    snapshot = snapshot_sampler(summary)
+    snapshot["summary_type"] = snapshot.pop("sampler_type")
+    return snapshot
+
+
+def restore_summary(summary, snapshot: Dict[str, object]) -> None:
+    """Restore a freshly constructed summary from a :func:`snapshot_summary`.
+
+    The summary must have been built with the same constructor arguments
+    (``k``, ``p``, recency multiplier, seed, kernel tier) as the one the
+    snapshot was taken from.
+    """
+    _check_summary_type(type(summary).__name__, "restore")
+    if "summary_type" not in snapshot:
+        kind = snapshot.get("sampler_type", "<unknown>")
+        raise CheckpointError(
+            f"checkpoint holds a sampler state ({kind}), not a summary — restore it with "
+            "restore_sampler onto the matching sampler type"
+        )
+    relabeled = dict(snapshot)
+    relabeled["sampler_type"] = relabeled.pop("summary_type")
+    restore_sampler(summary, relabeled)
 
 
 # ---------------------------------------------------------------------------

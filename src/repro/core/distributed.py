@@ -46,6 +46,7 @@ from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import PhaseTimes, RoundMetrics
 from repro.selection.base import DistributedKeySet, SelectionAlgorithm, SelectionResult
 from repro.selection.bernoulli_pivot import SinglePivotSelection
+from repro.selection.engine import OrderStatisticsEngine, ThresholdUpdate
 from repro.stream.items import ItemBatch
 from repro.stream.shard import make_shard_specs
 from repro.utils.rng import spawn_seed_sequences
@@ -179,6 +180,14 @@ class CommBackedKeySet(DistributedKeySet):
     # -- batched all-PE operations ------------------------------------------
     def local_sizes(self) -> List[int]:
         return self._comm.run_per_pe(self._handle, pe_kernels.local_size_kernel)
+
+    def count_le_all(self, key: float) -> List[int]:
+        return self._comm.run_per_pe(
+            self._handle, pe_kernels.count_le_kernel, [(float(key),)] * self.p
+        )
+
+    def local_maxes(self) -> List[float]:
+        return self._comm.run_per_pe(self._handle, pe_kernels.max_key_kernel)
 
     def window_counts_all(
         self, pivots: np.ndarray, lo: Sequence[int], hi: Sequence[int]
@@ -352,6 +361,15 @@ class DistributedReservoirSampler:
     def keyset(self) -> CommBackedKeySet:
         """A selection view over the current local reservoirs."""
         return CommBackedKeySet(self.comm, self._handle)
+
+    def engine(self) -> OrderStatisticsEngine:
+        """The order-statistics engine over the current local reservoirs.
+
+        Each round's threshold re-establishment is one
+        :meth:`~repro.selection.engine.OrderStatisticsEngine.threshold_update`
+        call on this engine; the selection algorithm acts as its policy.
+        """
+        return OrderStatisticsEngine(self.keyset(), self.comm, policy=self.selection)
 
     def preload(
         self,
@@ -531,28 +549,16 @@ class DistributedReservoirSampler:
     ) -> RoundMetrics:
         """Select + threshold phases and metric assembly (shared by both
         round entry points)."""
-        selection_result: Optional[SelectionResult] = None
-        selection_ran = False
+        engine = self.engine()
         with self.comm.phase("select"):
-            total_candidates = int(
-                self.comm.allreduce([float(s) for s in sizes], Communicator.SUM)[0]
-            )
-        if self._needs_selection(total_candidates):
-            keyset = self.keyset()
-            with self.comm.phase("select"):
-                selection_result = self._run_selection(keyset)
-            selection_ran = True
-            self._charge_selection_work(clock, selection_result, sizes)
-            new_threshold: Optional[float] = float(selection_result.key)
-        else:
-            new_threshold = self._tighten_without_selection(total_candidates)
-
-        if selection_ran:
-            with self.comm.phase("threshold"):
-                agreed = self.comm.allreduce([new_threshold] * self.p, Communicator.MAX)
-            new_threshold = float(agreed[0])
-        if new_threshold is not None:
-            self.threshold = new_threshold
+            total_candidates = engine.global_size(sizes=sizes)
+        update = self._update_threshold(engine, total_candidates)
+        if update.result is not None:
+            self._charge_selection_work(clock, update.result, sizes)
+        if update.threshold is not None:
+            # A ThresholdUpdate without a boundary (total below k) leaves
+            # the previous threshold in place — nothing tightened it.
+            self.threshold = update.threshold
             with self.comm.phase("threshold"):
                 prune_results = self.comm.run_per_pe(
                     self._handle, pe_kernels.prune_kernel, [(self.threshold,)] * self.p
@@ -568,35 +574,23 @@ class DistributedReservoirSampler:
             batch_items=batch_items,
             insertions=insertions,
             sample_size=sum(sizes),
-            selection_result=selection_result,
-            selection_ran=selection_ran,
+            selection_result=update.result,
+            selection_ran=update.selection_ran,
         )
 
     # ------------------------------------------------------------------
-    # selection helpers (overridden by the variable-size sampler)
+    # threshold re-establishment (overridden by the variable-size sampler)
     # ------------------------------------------------------------------
-    def _needs_selection(self, total_candidates: int) -> bool:
-        """Whether the candidate count requires re-establishing the threshold."""
-        return total_candidates > self.k
+    def _update_threshold(self, engine: OrderStatisticsEngine, total: int) -> ThresholdUpdate:
+        """Re-establish the global threshold: one engine call.
 
-    def _tighten_without_selection(self, total_candidates: int) -> Optional[float]:
-        """Threshold update used when no full selection is necessary.
-
-        When the candidate count equals ``k`` exactly, the sample is the
-        union of the reservoirs and the threshold can be tightened to the
-        globally largest key with a single all-reduction, letting the next
-        batch skip items already.
+        Selection runs when the candidate count exceeds ``k``; at exactly
+        ``k`` the engine tightens the boundary to the global max key with a
+        single all-reduction.  The comm-backed keyset draws pivot proposals
+        from the worker-held per-PE generators, so no driver-side generator
+        is involved.
         """
-        if total_candidates != self.k:
-            return None
-        with self.comm.phase("threshold"):
-            local_max = self.comm.run_per_pe(self._handle, pe_kernels.max_key_kernel)
-            return float(self.comm.allreduce(local_max, Communicator.MAX)[0])
-
-    def _run_selection(self, keyset: DistributedKeySet) -> SelectionResult:
-        # The comm-backed key set draws pivot proposals from the worker-held
-        # per-PE generators, so no driver-side generators are passed.
-        return self.selection.select(keyset, self.k, self.comm, None)
+        return engine.threshold_update(self.k, total=total)
 
     def _charge_selection_work(
         self, clock: PhaseClock, result: SelectionResult, sizes: Sequence[int]

@@ -19,12 +19,10 @@ replaces the "when to select and which rank to accept" decisions.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.distributed import DistributedReservoirSampler
 from repro.network.base import Communicator
 from repro.selection.ams_select import AmsSelection
-from repro.selection.base import DistributedKeySet, SelectionResult
+from repro.selection.engine import OrderStatisticsEngine, ThresholdUpdate
 from repro.utils.validation import check_positive_int
 
 __all__ = ["VariableSizeReservoirSampler"]
@@ -69,18 +67,19 @@ class VariableSizeReservoirSampler(DistributedReservoirSampler):
         self.rounds_without_selection = 0
 
     # ------------------------------------------------------------------
-    def _needs_selection(self, total_candidates: int) -> bool:
-        """Only re-threshold when the sample outgrew the upper band limit."""
-        needed = total_candidates > self.k_hi
-        if not needed:
+    def _update_threshold(self, engine: OrderStatisticsEngine, total: int) -> ThresholdUpdate:
+        """Only re-threshold when the sample outgrew the upper band limit.
+
+        The engine runs the banded selection (any rank in ``[k_lo, k_hi]``
+        is acceptable); inside the band the existing threshold remains
+        valid, so no exact-count tightening happens either
+        (``tighten_at_exact=False``).
+        """
+        update = engine.threshold_update(
+            self.k_lo, k_hi=self.k_hi, total=total, tighten_at_exact=False
+        )
+        if update.selection_ran:
+            self.selections_run += 1
+        else:
             self.rounds_without_selection += 1
-        return needed
-
-    def _tighten_without_selection(self, total_candidates: int) -> Optional[float]:
-        """Inside the band the existing threshold remains valid; do nothing."""
-        return None
-
-    def _run_selection(self, keyset: DistributedKeySet) -> SelectionResult:
-        self.selections_run += 1
-        # Pivot proposals draw from the worker-held per-PE generators.
-        return self.selection.select_range(keyset, self.k_lo, self.k_hi, self.comm, None)
+        return update

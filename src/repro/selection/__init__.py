@@ -1,9 +1,21 @@
-"""Distributed selection algorithms (paper Section 3.3).
+"""Distributed selection algorithms and the order-statistics engine.
 
 The distributed reservoir sampler re-establishes its global insertion
 threshold once per mini-batch by selecting the key with global rank ``k``
-over the union of the local reservoirs.  This package provides every
-selection strategy the paper discusses:
+over the union of the local reservoirs.  Since the engine refactor the
+package has two layers:
+
+**The engine** — :class:`OrderStatisticsEngine` wraps a
+:class:`DistributedKeySet` (``p`` locally sorted key multisets) and a
+communicator behind four verbs: ``rank_select`` (global order
+statistics), ``count_le`` / ``count_le_many`` (global ranks of probe
+keys), ``threshold_update`` (the samplers' full count → select/tighten →
+agree round sequence) and ``global_merge`` (sorted union, small inputs).
+The sibling summaries of :mod:`repro.summaries` are built on the same
+verbs.
+
+**The policies** — every selection strategy the paper discusses plugs
+into the engine (and remains directly usable):
 
 ==============================  ============================================
 Class                           Paper reference
@@ -18,8 +30,10 @@ Class                           Paper reference
 ==============================  ============================================
 
 All algorithms speak to the data only through :class:`DistributedKeySet`
-and communicate only through the simulated communicator, so their
-communication cost is fully accounted.
+and communicate only through the communicator, so their communication
+cost is fully accounted.  :func:`recompute_window_threshold` is a
+deprecated thin wrapper kept for backwards compatibility; the window
+sampler issues one ``threshold_update`` engine call instead.
 """
 
 from repro.selection.ams_select import AmsSelection
@@ -31,6 +45,7 @@ from repro.selection.base import (
     SelectionStats,
 )
 from repro.selection.bernoulli_pivot import SinglePivotSelection
+from repro.selection.engine import OrderStatisticsEngine, ThresholdUpdate
 from repro.selection.keysets import ArrayKeySet
 from repro.selection.multi_pivot import MultiPivotSelection
 from repro.selection.pivot_select import PivotSelection
@@ -45,6 +60,8 @@ __all__ = [
     "SelectionError",
     "SelectionResult",
     "SelectionStats",
+    "OrderStatisticsEngine",
+    "ThresholdUpdate",
     "ArrayKeySet",
     "PivotSelection",
     "SinglePivotSelection",

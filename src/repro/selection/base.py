@@ -102,6 +102,19 @@ class DistributedKeySet(abc.ABC):
         """Per-PE key counts, in rank order."""
         return [self.local_size(pe) for pe in range(self.p)]
 
+    def count_le_all(self, key: float) -> List[int]:
+        """Per-PE counts of keys ``<= key``, in rank order.
+
+        The communicator-backed key set overrides this with a single
+        batched kernel dispatch; the engine's global ``count_le`` sums the
+        result with one all-reduction.
+        """
+        return [self.count_le(pe, float(key)) for pe in range(self.p)]
+
+    def local_maxes(self) -> List[float]:
+        """Per-PE largest keys (``-inf`` where empty), in rank order."""
+        return [self.local_max(pe) for pe in range(self.p)]
+
     def window_counts_all(
         self, pivots: np.ndarray, lo: Sequence[int], hi: Sequence[int]
     ) -> List[np.ndarray]:

@@ -1,0 +1,260 @@
+"""The distributed order-statistics engine.
+
+The paper's selection machinery — per-PE sorted keysets, Bernoulli pivot
+proposals, counting all-reductions — answers a far more general question
+than "what is the reservoir threshold": it computes *order statistics over
+the union of ``p`` locally sorted multisets* with communication that is
+polylogarithmic in ``p`` and independent of the data size.
+:class:`OrderStatisticsEngine` packages that machinery behind four
+verbs:
+
+* :meth:`~OrderStatisticsEngine.rank_select` — the key with global rank
+  ``r`` (or any rank inside a band), delegated to an interchangeable
+  selection *policy* (:class:`~repro.selection.bernoulli_pivot.SinglePivotSelection`,
+  :class:`~repro.selection.multi_pivot.MultiPivotSelection`,
+  :class:`~repro.selection.ams_select.AmsSelection`, …);
+* :meth:`~OrderStatisticsEngine.count_le` /
+  :meth:`~OrderStatisticsEngine.count_le_many` — global ranks of one or
+  many probe keys via a single counting all-reduction;
+* :meth:`~OrderStatisticsEngine.threshold_update` — the full
+  select-then-agree "dance" every round of the distributed samplers ends
+  with (count → select or tighten → boundary all-reduction), factored out
+  of :mod:`repro.core.distributed` and :mod:`repro.window.distributed` so
+  it exists exactly once;
+* :meth:`~OrderStatisticsEngine.global_merge` — gather the union, sorted
+  (the small-input escape hatch).
+
+The engine is deliberately thin: it holds no state beyond the keyset view
+and the policy, so one engine call maps to the exact collective sequence
+the samplers issued before the refactor — same phases ("select" for
+counting and selection, "threshold" for tighten/agree), same all-reduce
+order, same kernels — which keeps samples byte-identical across the
+refactor and across execution backends.  The sibling summaries of
+:mod:`repro.summaries` (top-k, quantiles, heavy hitters, recency
+reservoir) are built on the same four verbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.base import Communicator
+from repro.selection.base import (
+    DistributedKeySet,
+    SelectionAlgorithm,
+    SelectionResult,
+)
+
+__all__ = ["OrderStatisticsEngine", "ThresholdUpdate"]
+
+
+@dataclass(frozen=True)
+class ThresholdUpdate:
+    """Outcome of one :meth:`OrderStatisticsEngine.threshold_update` call.
+
+    Attributes
+    ----------
+    threshold:
+        The agreed global boundary key, or ``None`` when the union holds
+        fewer keys than the target rank (no boundary separates anything).
+        Callers decide what ``None`` means for them: the unbounded sampler
+        keeps its previous threshold, the window sampler clears it.
+    total:
+        Total key count across all PEs this update was based on.
+    action:
+        ``"selected"`` (a distributed selection ran and its key was agreed
+        via a MAX all-reduction), ``"tightened"`` (the union held exactly
+        the target count, so the boundary is the global max key — one
+        all-reduction, no selection) or ``"none"``.
+    result:
+        The :class:`~repro.selection.base.SelectionResult` when a
+        selection ran, else ``None``.
+    """
+
+    threshold: Optional[float]
+    total: int
+    action: str
+    result: Optional[SelectionResult] = None
+
+    @property
+    def selection_ran(self) -> bool:
+        return self.action == "selected"
+
+
+class OrderStatisticsEngine:
+    """Order statistics over a :class:`~repro.selection.base.DistributedKeySet`.
+
+    Parameters
+    ----------
+    keyset:
+        View over the ``p`` locally sorted key multisets.  The samplers and
+        summaries pass a :class:`~repro.core.distributed.CommBackedKeySet`
+        so every batched operation is one kernel dispatch to all PEs;
+        tests pass :class:`~repro.selection.keysets.ArrayKeySet`.
+    comm:
+        Communicator the collectives run (and are cost-attributed) on.
+    policy:
+        Selection strategy used by :meth:`rank_select`; any
+        :class:`~repro.selection.base.SelectionAlgorithm`.  Defaults to
+        single-pivot selection.
+    rng:
+        Driver-side generator for pivot proposals; leave ``None`` for
+        communicator-backed keysets, whose proposals consume the
+        worker-held per-PE generators (this is what keeps samples
+        byte-identical across execution backends).
+    """
+
+    def __init__(
+        self,
+        keyset: DistributedKeySet,
+        comm: Communicator,
+        *,
+        policy: Optional[SelectionAlgorithm] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if comm.p != keyset.p:
+            raise ValueError(f"communicator has {comm.p} PEs but key set has {keyset.p}")
+        from repro.selection.bernoulli_pivot import SinglePivotSelection
+
+        self.keyset = keyset
+        self.comm = comm
+        self.policy = policy if policy is not None else SinglePivotSelection()
+        self.rng = rng
+
+    @property
+    def p(self) -> int:
+        """Number of PEs."""
+        return self.keyset.p
+
+    # ------------------------------------------------------------------
+    # counting primitives (callers attribute phases)
+    # ------------------------------------------------------------------
+    def global_size(self, *, sizes: Optional[Sequence[int]] = None) -> int:
+        """Total key count across all PEs, agreed via a SUM all-reduction.
+
+        ``sizes`` short-circuits the per-PE size query when the caller
+        already knows the local sizes (e.g. from this round's insert
+        kernel results) — only the all-reduction is issued then.
+        """
+        if sizes is None:
+            sizes = self.keyset.local_sizes()
+        return int(self.comm.allreduce([float(s) for s in sizes], Communicator.SUM)[0])
+
+    def count_le(self, key: float) -> int:
+        """Global number of keys ``<= key`` (one counting all-reduction)."""
+        counts = self.keyset.count_le_all(float(key))
+        return int(self.comm.allreduce([float(c) for c in counts], Communicator.SUM)[0])
+
+    def count_le_many(self, keys: Sequence[float]) -> np.ndarray:
+        """Global ranks of many probe keys in one batched all-reduction.
+
+        Returns ``count_le(key)`` for every probe, computed with a single
+        per-PE kernel dispatch plus one vector all-reduction of
+        ``len(keys)`` words — the primitive the streaming-quantile summary
+        tracks its cursors with.
+        """
+        probes = np.asarray(keys, dtype=np.float64)
+        if probes.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        sizes = self.keyset.local_sizes()
+        counts = self.keyset.window_counts_all(probes, [0] * self.p, sizes)
+        summed = self.comm.allreduce(counts, Communicator.SUM, words=float(probes.shape[0]))[0]
+        return np.asarray(summed, dtype=np.float64).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def rank_select(self, rank: int, *, rank_hi: Optional[int] = None) -> SelectionResult:
+        """The key with global rank ``rank`` (1-based), via the policy.
+
+        With ``rank_hi`` the policy may stop at any rank inside
+        ``[rank, rank_hi]`` (banded selection, Section 4.4).
+        """
+        if rank_hi is not None:
+            # Always routed through select_range, even for a width-0 band:
+            # policies like AmsSelection treat a bare select() as "expand
+            # my default band around the rank", which is not what an
+            # explicit band requests.
+            return self.policy.select_range(self.keyset, int(rank), int(rank_hi), self.comm, self.rng)
+        return self.policy.select(self.keyset, int(rank), self.comm, self.rng)
+
+    def tighten_to_max(self) -> float:
+        """The globally largest key, agreed via a MAX all-reduction.
+
+        Used instead of a full selection when the union is known to hold
+        exactly the target count: the boundary is then simply the maximum.
+        """
+        maxes = self.keyset.local_maxes()
+        return float(self.comm.allreduce([float(m) for m in maxes], Communicator.MAX)[0])
+
+    def threshold_update(
+        self,
+        k: int,
+        *,
+        k_hi: Optional[int] = None,
+        total: Optional[int] = None,
+        tighten_at_exact: bool = True,
+    ) -> ThresholdUpdate:
+        """One full boundary re-establishment: count, select/tighten, agree.
+
+        This is the shared round-ending sequence of the distributed
+        samplers, phase-attributed exactly as they issued it before the
+        refactor:
+
+        1. (phase ``"select"``) agree on the total key count — skipped
+           when the caller passes ``total`` from an earlier all-reduction;
+        2. if ``total`` exceeds ``k_hi or k``: (phase ``"select"``) run the
+           selection policy for rank ``k`` (or the band ``[k, k_hi]``),
+           then (phase ``"threshold"``) agree on the selected key via a
+           MAX all-reduction;
+        3. else if ``total == k`` and ``tighten_at_exact``: (phase
+           ``"threshold"``) tighten the boundary to the global max key;
+        4. else: no boundary exists (``threshold=None``).
+
+        The variable-size sampler passes ``k_hi`` (band) and
+        ``tighten_at_exact=False`` (inside the band the old threshold
+        stays valid).
+        """
+        cap = int(k if k_hi is None else k_hi)
+        if total is None:
+            with self.comm.phase("select"):
+                total = self.global_size()
+        total = int(total)
+        if total > cap:
+            with self.comm.phase("select"):
+                result = self.rank_select(int(k), rank_hi=k_hi)
+            with self.comm.phase("threshold"):
+                agreed = self.comm.allreduce([float(result.key)] * self.p, Communicator.MAX)
+            return ThresholdUpdate(
+                threshold=float(agreed[0]), total=total, action="selected", result=result
+            )
+        if tighten_at_exact and total == int(k) and total > 0:
+            with self.comm.phase("threshold"):
+                boundary = self.tighten_to_max()
+            return ThresholdUpdate(threshold=boundary, total=total, action="tightened")
+        return ThresholdUpdate(threshold=None, total=total, action="none")
+
+    # ------------------------------------------------------------------
+    # small-input escape hatch
+    # ------------------------------------------------------------------
+    def global_merge(self) -> np.ndarray:
+        """The sorted union of all local keys, gathered at the root.
+
+        Communication is linear in the data size — this is the escape
+        hatch for unions known to be small (the pivot loop's gather
+        cutoff uses the same idea internally), not a substitute for
+        :meth:`rank_select`.
+        """
+        sizes: List[int] = self.keyset.local_sizes()
+        arrays = self.keyset.window_keys_all([0] * self.p, sizes)
+        gathered = self.comm.gather(
+            arrays, root=0, words_per_pe=[float(np.asarray(a).shape[0]) for a in arrays]
+        )
+        if not gathered:
+            return np.empty(0, dtype=np.float64)
+        merged = np.concatenate([np.asarray(a, dtype=np.float64) for a in gathered])
+        merged.sort()
+        return merged

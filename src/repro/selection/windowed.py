@@ -1,15 +1,16 @@
-"""Threshold recomputation over surviving keysets after window expiry.
+"""Deprecated shim: threshold recomputation is an engine call now.
 
-Under a sliding window the global threshold of the distributed sampler
-cannot be maintained incrementally: eviction removes keys *below* the old
-threshold, so after every round of expiry the key with global rank ``k``
-over the union of the surviving per-PE keysets must be re-selected from
-scratch.  :func:`recompute_window_threshold` is that entry point — it runs
-any :class:`~repro.selection.base.SelectionAlgorithm` over a
-:class:`~repro.selection.base.DistributedKeySet` view of the post-eviction
-buffers (the windowed sampler passes the communicator-backed keyset, so
-the batched all-PE operations are reused unchanged) and returns ``None``
-when the union is small enough that no selection is needed.
+The select-then-agree sequence this module used to implement for the
+sliding-window sampler lives in
+:meth:`repro.selection.engine.OrderStatisticsEngine.threshold_update`,
+shared with the unbounded sampler's per-round selection.
+:func:`recompute_window_threshold` is kept as a thin wrapper so existing
+imports (``from repro.selection import recompute_window_threshold``)
+keep working; new code should construct an
+:class:`~repro.selection.engine.OrderStatisticsEngine` and call
+:meth:`~repro.selection.engine.OrderStatisticsEngine.rank_select` or
+:meth:`~repro.selection.engine.OrderStatisticsEngine.threshold_update`
+directly.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.selection.base import DistributedKeySet, SelectionAlgorithm, SelectionResult
+from repro.selection.engine import OrderStatisticsEngine
 
 __all__ = ["recompute_window_threshold"]
 
@@ -34,24 +36,9 @@ def recompute_window_threshold(
 ) -> Optional[SelectionResult]:
     """Re-establish the global rank-``k`` threshold over surviving keysets.
 
-    Parameters
-    ----------
-    keyset:
-        View over the per-PE candidate buffers *after* expired items have
-        been evicted.
-    k:
-        Sample size; the returned key has global rank ``k``.
-    comm:
-        Communicator the selection's collectives run (and are charged) on.
-    selection:
-        The selection algorithm to run (single-/multi-pivot, AMS, …).
-    total:
-        Total surviving key count, if the caller already agreed on it via
-        an all-reduction; computed from the keyset otherwise.
-    rng:
-        Driver-side generator for pivot proposals; leave ``None`` for
-        communicator-backed keysets, whose proposals consume the
-        worker-held per-PE generators.
+    .. deprecated::
+        Thin wrapper over
+        :meth:`~repro.selection.engine.OrderStatisticsEngine.rank_select`.
 
     Returns ``None`` when the union holds at most ``k`` keys (everything
     is in the sample; no threshold separates candidates).
@@ -60,4 +47,4 @@ def recompute_window_threshold(
         total = keyset.total_size()
     if total <= k:
         return None
-    return selection.select(keyset, k, comm, rng)
+    return OrderStatisticsEngine(keyset, comm, policy=selection, rng=rng).rank_select(k)

@@ -16,6 +16,12 @@ is available in memory.  This package provides
 * partitioning helpers for splitting a globally arriving batch across PEs.
 """
 
+from repro.stream.corpus import (
+    CorpusDocument,
+    CorpusReplayStream,
+    load_corpus,
+    synthetic_corpus,
+)
 from repro.stream.generators import (
     BurstyWeightGenerator,
     ExponentialWeightGenerator,
@@ -33,6 +39,10 @@ from repro.stream.partition import partition_even, partition_random, partition_w
 
 __all__ = [
     "ItemBatch",
+    "CorpusDocument",
+    "CorpusReplayStream",
+    "load_corpus",
+    "synthetic_corpus",
     "TimestampedItemBatch",
     "WeightGenerator",
     "UniformWeightGenerator",

@@ -1,0 +1,47 @@
+"""Sibling summaries built on the distributed order-statistics engine.
+
+The paper's selection machinery answers "what key has global rank ``r``
+over ``p`` sorted multisets" with communication independent of the data
+size.  Reservoir sampling is one client of that primitive; this package
+ships four more, all driven through the same
+:class:`~repro.selection.engine.OrderStatisticsEngine` verbs, the same
+picklable per-PE kernel pattern, and therefore byte-identical across the
+``"sim"`` and ``"process"`` execution backends:
+
+======================================  =====================================
+Class                                   Summary
+======================================  =====================================
+:class:`~repro.summaries.topk.DistributedTopK`
+                                        exact weighted top-``k`` (key =
+                                        negated weight, rank-``k`` prune)
+:class:`~repro.summaries.quantiles.StreamingQuantiles`
+                                        quantile cursors re-ranked by one
+                                        vector counting all-reduce per round
+:class:`~repro.summaries.heavy.HeavyHitters`
+                                        Misra–Gries counters with
+                                        engine-backed global candidate prune
+:class:`~repro.summaries.recency.RecencyReservoir`
+                                        weighted sample with exponential
+                                        recency boost (log-space static keys)
+======================================  =====================================
+
+:class:`~repro.summaries.topk.DistributedTopK` and
+:class:`~repro.summaries.recency.RecencyReservoir` checkpoint/restore
+through :func:`repro.checkpoint.snapshot_summary` /
+:func:`repro.checkpoint.restore_summary`.
+"""
+
+from repro.summaries.base import DistributedSummary, split_batch
+from repro.summaries.heavy import HeavyHitters
+from repro.summaries.quantiles import StreamingQuantiles
+from repro.summaries.recency import RecencyReservoir
+from repro.summaries.topk import DistributedTopK
+
+__all__ = [
+    "DistributedSummary",
+    "split_batch",
+    "DistributedTopK",
+    "StreamingQuantiles",
+    "HeavyHitters",
+    "RecencyReservoir",
+]

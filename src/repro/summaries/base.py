@@ -1,0 +1,137 @@
+"""Shared driver plumbing of the sibling summaries.
+
+Every summary in this package is an SPMD driver over the same stack the
+reservoir samplers use: per-PE state behind the communicator's PE-state
+layer, picklable kernels from :mod:`repro.summaries.kernels` (plus the
+generic query kernels of :mod:`repro.core.pe_kernels`), and global
+decisions through the :class:`~repro.selection.engine.OrderStatisticsEngine`.
+:class:`DistributedSummary` factors out what they all share — communicator
+resolution, the keyset/engine views, sizing, batch splitting and
+shutdown — so each sibling only implements its ingest round and its
+query surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import pe_kernels
+from repro.core.distributed import CommBackedKeySet
+from repro.network.base import Communicator, make_communicator
+from repro.selection.base import SelectionAlgorithm
+from repro.selection.bernoulli_pivot import SinglePivotSelection
+from repro.selection.engine import OrderStatisticsEngine
+
+__all__ = ["DistributedSummary", "split_batch"]
+
+
+def split_batch(
+    ids: Sequence[int], values: Sequence[float], p: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split one logical batch into ``p`` contiguous per-PE shards.
+
+    Deterministic (no hashing, no randomness): PE ``i`` receives the
+    ``i``-th contiguous slice, sized as evenly as possible.  Convenience
+    for the ``ingest`` front doors; callers that already own a per-PE
+    partition pass it to ``process_round`` directly.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if ids.shape != values.shape:
+        raise ValueError(f"ids and values disagree in shape: {ids.shape} vs {values.shape}")
+    bounds = np.linspace(0, ids.shape[0], p + 1).astype(np.int64)
+    return [
+        (ids[bounds[pe] : bounds[pe + 1]], values[bounds[pe] : bounds[pe + 1]])
+        for pe in range(p)
+    ]
+
+
+class DistributedSummary:
+    """Base class of the engine-backed distributed summaries.
+
+    Parameters
+    ----------
+    comm:
+        A :class:`~repro.network.base.Communicator` instance, or a backend
+        name (``"sim"`` / ``"process"``) combined with ``p``; a
+        communicator created from a name is owned by the summary and torn
+        down by :meth:`close`.
+    policy:
+        Selection policy the engine uses for its rank selections; defaults
+        to the single-pivot general-case algorithm.
+    """
+
+    summary_name = "summary"
+
+    def __init__(
+        self,
+        comm,
+        *,
+        p: Optional[int] = None,
+        policy: Optional[SelectionAlgorithm] = None,
+        **comm_kwargs,
+    ) -> None:
+        if isinstance(comm, Communicator):
+            if p is not None and p != comm.p:
+                raise ValueError(f"p ({p}) disagrees with communicator ({comm.p} PEs)")
+            self.comm = comm
+            self._owns_comm = False
+        elif isinstance(comm, str):
+            if p is None:
+                raise ValueError('p is required when comm is a backend name ("sim"/"process")')
+            self.comm = make_communicator(comm, p, **comm_kwargs)
+            self._owns_comm = True
+        else:
+            raise TypeError(f"comm must be a Communicator or a backend name, got {type(comm)!r}")
+        self.policy = policy if policy is not None else SinglePivotSelection()
+        self._handle = None  # set by the subclass once its state factory is bound
+        self._round = 0
+        self._items_seen = 0
+        self._total_weight = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of PEs."""
+        return self.comm.p
+
+    @property
+    def rounds_processed(self) -> int:
+        return self._round
+
+    @property
+    def items_seen(self) -> int:
+        """Total number of items ingested so far (all PEs)."""
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight (or count mass) ingested so far (all PEs)."""
+        return self._total_weight
+
+    def keyset(self) -> CommBackedKeySet:
+        """Key-set view over the per-PE candidate stores."""
+        return CommBackedKeySet(self.comm, self._handle)
+
+    def engine(self) -> OrderStatisticsEngine:
+        """The order-statistics engine over the current candidate stores."""
+        return OrderStatisticsEngine(self.keyset(), self.comm, policy=self.policy)
+
+    def store_size(self) -> int:
+        """Total number of candidates held across all PEs."""
+        return sum(self.comm.run_per_pe(self._handle, pe_kernels.local_size_kernel))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the communicator if this summary created it."""
+        if self._owns_comm:
+            self.comm.shutdown()
+            self._owns_comm = False
+
+    def __enter__(self) -> "DistributedSummary":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,193 @@
+"""Distributed heavy hitters: Misra–Gries counters + engine-backed pruning.
+
+Each PE runs a batched Misra–Gries sketch over its share of the (id,
+count) stream: a bounded counter table whose overflow is resolved by
+subtracting the smallest surviving counter value from *every* counter
+(one vectorised decrement per batch instead of one per item).  The
+classic guarantee carries over — every estimate undercounts its true
+total by at most the PE's accumulated ``error`` — and summing tables and
+errors across PEs preserves it globally, so :meth:`HeavyHitters.heavy_hitters`
+can report every item above the requested frequency with **no false
+negatives** (the recall direction of Misra–Gries).
+
+What the engine adds: the union of the per-PE tables can be ``p`` times
+the per-PE budget.  :meth:`HeavyHitters.prune_candidates` rebuilds a
+derived keyset (key = negated count estimate), asks the
+order-statistics engine for the global rank-``keep`` cutoff, and drops
+every counter strictly below it — a global, communication-efficient
+shrink that touches no raw stream data and widens the error bound by
+exactly the largest dropped estimate per PE.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.summaries import kernels
+from repro.summaries.base import DistributedSummary, split_batch
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.validation import check_positive_int
+
+__all__ = ["HeavyHitters"]
+
+
+class HeavyHitters(DistributedSummary):
+    """Distributed count-based heavy hitters over (id, count) increments.
+
+    Parameters
+    ----------
+    k:
+        Number of heavy hitters the caller is after; sizes the default
+        capacity and the default prune budget.
+    capacity:
+        Per-PE Misra–Gries counter budget; defaults to ``max(8 * k, 64)``.
+        Larger capacity → smaller undercount error.
+    prune_every:
+        Auto-run :meth:`prune_candidates` every this many rounds
+        (``0`` = only when called explicitly).
+    """
+
+    summary_name = "heavy_hitters"
+
+    def __init__(
+        self,
+        k: int,
+        comm,
+        *,
+        p: Optional[int] = None,
+        capacity: Optional[int] = None,
+        prune_every: int = 0,
+        policy=None,
+        seed: Optional[int] = 0,
+        kernel_tier: str = "numpy",
+    ) -> None:
+        super().__init__(comm, p=p, policy=policy)
+        self.k = check_positive_int(k, "k")
+        self.capacity = (
+            check_positive_int(capacity, "capacity")
+            if capacity is not None
+            else max(8 * self.k, 64)
+        )
+        if self.capacity < self.k:
+            raise ValueError(f"capacity ({self.capacity}) must be at least k ({self.k})")
+        self.prune_every = int(prune_every)
+        self.kernel_tier = kernel_tier
+        seed_seqs = spawn_seed_sequences(seed, self.comm.p)
+        self._handle = self.comm.create_pe_state(
+            functools.partial(
+                kernels.make_hh_state,
+                k=self.k,
+                capacity=self.capacity,
+                kernel_tier=kernel_tier,
+            ),
+            per_pe_args=[(ss,) for ss in seed_seqs],
+        )
+        #: total counters dropped by engine-backed prunes so far
+        self.pruned_total = 0
+
+    # ------------------------------------------------------------------
+    def process_round(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> dict:
+        """Fold one round of per-PE ``(ids, counts)`` batches into the sketch."""
+        if len(batches) != self.p:
+            raise ValueError(f"expected {self.p} per-PE batches, got {len(batches)}")
+        args = [
+            (np.asarray(ids, dtype=np.int64), np.asarray(counts, dtype=np.float64))
+            for ids, counts in batches
+        ]
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(self._handle, kernels.hh_update_kernel, args)
+        self._items_seen += sum(batch for _, batch in results)
+        self._total_weight += float(sum(counts.sum() for _, counts in args))
+        self._round += 1
+        pruned = 0
+        if self.prune_every > 0 and self._round % self.prune_every == 0:
+            pruned = self.prune_candidates()
+        return {
+            "table_sizes": [size for size, _ in results],
+            "pruned": pruned,
+        }
+
+    def ingest(self, ids: Sequence[int], counts: Optional[Sequence[float]] = None) -> dict:
+        """Split one logical batch into contiguous per-PE shards and ingest it.
+
+        ``counts`` defaults to 1 per occurrence (plain frequency counting).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if counts is None:
+            counts = np.ones(ids.shape[0], dtype=np.float64)
+        return self.process_round(split_batch(ids, counts, self.p))
+
+    # ------------------------------------------------------------------
+    def prune_candidates(self, keep: Optional[int] = None) -> int:
+        """Shrink the union of counter tables to ~``keep`` global candidates.
+
+        Rebuilds the derived candidate keyset (key = negated count
+        estimate) on every PE, selects the global rank-``keep`` cutoff via
+        the engine, and drops every counter strictly below the cutoff
+        count.  Returns the number of counters dropped.  ``keep`` defaults
+        to the per-PE ``capacity`` and must be at least ``k`` — pruning
+        never removes a candidate that could still be among the reported
+        top-``k``-by-estimate.
+        """
+        keep = self.capacity if keep is None else check_positive_int(keep, "keep")
+        if keep < self.k:
+            raise ValueError(f"keep ({keep}) must be at least k ({self.k})")
+        with self.comm.phase("select"):
+            sizes = self.comm.run_per_pe(self._handle, kernels.hh_sync_kernel)
+        engine = self.engine()
+        with self.comm.phase("select"):
+            total = engine.global_size(sizes=sizes)
+        update = engine.threshold_update(keep, total=total, tighten_at_exact=False)
+        if update.threshold is None:
+            return 0
+        with self.comm.phase("threshold"):
+            results = self.comm.run_per_pe(
+                self._handle, kernels.hh_prune_kernel, [(update.threshold,)] * self.p
+            )
+        dropped = sum(d for d, _ in results)
+        self.pruned_total += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    def candidates(self) -> Tuple[Dict[int, float], float]:
+        """Merged candidate table and global error bound.
+
+        Returns ``(estimates, error)`` where every true total satisfies
+        ``estimates.get(id, 0) <= true(id) <= estimates.get(id, 0) + error``.
+        """
+        merged: Dict[int, float] = {}
+        error = 0.0
+        with self.comm.phase("gather"):
+            per_pe = self.comm.run_per_pe(self._handle, kernels.hh_candidates_kernel)
+        for ids, counts, pe_error in per_pe:
+            error += float(pe_error)
+            for item_id, count in zip(ids.tolist(), counts.tolist()):
+                merged[item_id] = merged.get(item_id, 0.0) + count
+        return merged, error
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[int, float]]:
+        """Every item that *may* have total count at least ``phi * N``.
+
+        Misra–Gries recall guarantee: any item whose true total reaches
+        ``phi * N`` appears in the output (its estimate is at least
+        ``phi * N - error``).  Precision is best-effort — callers needing
+        it re-count the (few) returned candidates exactly.  Sorted by
+        descending estimate, ties by ascending id.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must lie in (0, 1], got {phi}")
+        merged, error = self.candidates()
+        cut = phi * self._total_weight - error
+        out = [(item_id, est) for item_id, est in merged.items() if est >= cut]
+        out.sort(key=lambda pair: (-pair[1], pair[0]))
+        return out
+
+    def top(self, m: Optional[int] = None) -> List[Tuple[int, float]]:
+        """The ``m`` (default ``k``) largest estimates, descending."""
+        m = self.k if m is None else check_positive_int(m, "m")
+        merged, _ = self.candidates()
+        out = sorted(merged.items(), key=lambda pair: (-pair[1], pair[0]))
+        return out[:m]

@@ -1,0 +1,307 @@
+"""Per-PE kernels of the sibling summaries.
+
+Same contract as :mod:`repro.core.pe_kernels`: module-level picklable
+functions taking the PE-state dict first, returning picklable values, so
+both execution backends run the identical code (byte-identical results)
+and the multiprocess backend can ship them to its workers by reference.
+
+The summary states deliberately share the slot layout of
+:func:`repro.core.pe_kernels.make_pe_state` (``"pe"``, ``"rng"``,
+``"gen_rng"``, ``"reservoir"`` holding a
+:class:`~repro.core.local_reservoir.LocalReservoir`, ``"kernel_tier"``,
+``"stream"``, ``"prepared"``, ``"tracer"``), which buys three things for
+free:
+
+* every generic query/selection kernel of :mod:`repro.core.pe_kernels`
+  (``count_le_kernel``, ``window_counts_kernel``,
+  ``propose_pivots_kernel``, ``prune_kernel``, ``items_kernel``, …) —
+  and through them the whole :class:`~repro.core.distributed.CommBackedKeySet`
+  + :class:`~repro.selection.engine.OrderStatisticsEngine` stack —
+  operates on summary state unchanged;
+* checkpointing via ``export_pe_state_kernel`` /
+  ``import_pe_state_kernel`` works for the fixed-``k`` summaries;
+* tracing heartbeats (``"tracer"`` / ``"beat"`` slots) compose unchanged.
+
+The heavy-hitter state additionally carries a ``"counts"`` dict (the
+Misra–Gries counters) and a scalar ``"hh_error"`` undercount bound; its
+``"reservoir"`` is a *derived* candidate keyset (key = negated count)
+rebuilt by :func:`hh_sync_kernel` before each engine-backed prune.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import jit_kernels
+from repro.core.local_reservoir import LocalReservoir
+from repro.core.pe_kernels import _beat_phase, _state_tracer
+from repro.obs.tracer import NULL_TRACER
+
+__all__ = [
+    "make_summary_state",
+    "make_hh_state",
+    "topk_insert_kernel",
+    "value_insert_kernel",
+    "recency_insert_kernel",
+    "hh_update_kernel",
+    "hh_sync_kernel",
+    "hh_prune_kernel",
+    "hh_candidates_kernel",
+]
+
+
+# ---------------------------------------------------------------------------
+# state factories
+# ---------------------------------------------------------------------------
+def make_summary_state(
+    pe: int,
+    seed_seq: np.random.SeedSequence,
+    *,
+    k: int,
+    kernel_tier: str = "numpy",
+) -> Dict[str, object]:
+    """PE state shared by the top-k, quantile and recency summaries.
+
+    ``seed_seq`` must come from ``spawn_seed_sequences(seed, p)[pe]`` so
+    the per-PE random streams are identical across backends; the pivot
+    proposals of the engine's selections consume ``"rng"`` exactly like
+    the samplers' do.
+    """
+    tier = jit_kernels.resolve_kernel_tier(kernel_tier)
+    return {
+        "pe": int(pe),
+        "rng": np.random.default_rng(seed_seq),
+        "gen_rng": np.random.default_rng(seed_seq.spawn(1)[0]),
+        "reservoir": LocalReservoir(kernel_tier=tier),
+        "k": int(k),
+        "kernel_tier": tier,
+        "stream": None,
+        "prepared": None,
+        "tracer": NULL_TRACER,
+    }
+
+
+def make_hh_state(
+    pe: int,
+    seed_seq: np.random.SeedSequence,
+    *,
+    k: int,
+    capacity: int,
+    kernel_tier: str = "numpy",
+) -> Dict[str, object]:
+    """PE state of the heavy-hitter summary: Misra–Gries counters on top.
+
+    ``capacity`` bounds the per-PE counter table; overflowing it triggers
+    the batched Misra–Gries decrement in :func:`hh_update_kernel`.
+    """
+    state = make_summary_state(pe, seed_seq, k=k, kernel_tier=kernel_tier)
+    state["counts"] = {}
+    state["hh_capacity"] = int(capacity)
+    state["hh_error"] = 0.0
+    return state
+
+
+# ---------------------------------------------------------------------------
+# weighted top-k
+# ---------------------------------------------------------------------------
+def topk_insert_kernel(
+    state: Dict[str, object], ids: np.ndarray, weights: np.ndarray
+) -> Tuple[int, int]:
+    """Ingest one batch into the local top-``k`` candidate store.
+
+    Keys are negated weights, so "globally largest ``k`` weights" becomes
+    "globally smallest ``k`` keys" and the whole rank-select machinery
+    applies verbatim.  The local filter keeps only keys at most the local
+    ``k``-th key — *inclusive*, so weight ties at the boundary are never
+    lost locally (any globally needed tie survives on some PE; see the
+    exactness test).  Returns ``(inserted, size)``.
+    """
+    res: LocalReservoir = state["reservoir"]
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.shape[0] == 0:
+        return 0, len(res)
+    with _beat_phase(state, "insert", int(ids.shape[0]), bump_round=True), _state_tracer(
+        state
+    ).span("insert", cat="kernel", items=int(ids.shape[0])):
+        keys = -np.asarray(weights, dtype=np.float64)
+        k = int(state["k"])
+        if len(res) >= k:
+            boundary = res.kth_key(k)
+            mask = keys <= boundary
+            keys, ids = keys[mask], ids[mask]
+        inserted = int(res.insert_batch(keys, ids)) if keys.shape[0] else 0
+    return inserted, len(res)
+
+
+# ---------------------------------------------------------------------------
+# streaming quantiles
+# ---------------------------------------------------------------------------
+def value_insert_kernel(
+    state: Dict[str, object], values: np.ndarray, ids: np.ndarray
+) -> Tuple[int, int]:
+    """Ingest one batch of raw values (key = value) into the local store.
+
+    The quantile summary keeps every value, sorted per PE — the engine
+    then answers rank/count queries over the exact global distribution.
+    Returns ``(inserted, size)``.
+    """
+    res: LocalReservoir = state["reservoir"]
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] == 0:
+        return 0, len(res)
+    with _beat_phase(state, "insert", int(values.shape[0]), bump_round=True), _state_tracer(
+        state
+    ).span("insert", cat="kernel", items=int(values.shape[0])):
+        inserted = int(res.insert_batch(values, np.asarray(ids, dtype=np.int64)))
+    return inserted, len(res)
+
+
+# ---------------------------------------------------------------------------
+# recency reservoir
+# ---------------------------------------------------------------------------
+def recency_insert_kernel(
+    state: Dict[str, object],
+    ids: np.ndarray,
+    weights: np.ndarray,
+    stamps: np.ndarray,
+    threshold: Optional[float],
+    log_recency: float,
+    weighted: bool,
+) -> Tuple[int, int]:
+    """Ingest one stamped batch under the recency-multiplier key transform.
+
+    An item arriving at stamp ``t`` with weight ``w`` behaves as if its
+    weight were ``w * r^t`` for recency multiplier ``r >= 1`` — the
+    principled version of the ThirdAI recency heuristic.  Factoring out
+    the query-time constant leaves the *static* log-space key
+
+        ``L = ln(-ln U) - ln w - t * ln r``
+
+    (:func:`repro.window.decayed.decayed_log_keys` with
+    ``log_decay = -ln r``), so the standard threshold / prune / select
+    machinery applies unchanged; with ``r == 1`` the summary degenerates
+    to classic weighted reservoir sampling.  Keys are generated densely
+    (one uniform per item — the stamp term forbids jump skipping) and
+    filtered against the global threshold.  Returns ``(inserted, size)``.
+    """
+    res: LocalReservoir = state["reservoir"]
+    from repro.window.decayed import decayed_log_keys
+
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.shape[0] == 0:
+        return 0, len(res)
+    with _beat_phase(state, "insert", int(ids.shape[0]), bump_round=True), _state_tracer(
+        state
+    ).span("insert", cat="kernel", items=int(ids.shape[0])):
+        weights = (
+            np.asarray(weights, dtype=np.float64)
+            if weighted
+            else np.ones(ids.shape[0], dtype=np.float64)
+        )
+        keys = decayed_log_keys(weights, stamps, -float(log_recency), state["rng"])
+        inserted = int(res.insert_batch(keys, ids, threshold=threshold))
+    return inserted, len(res)
+
+
+# ---------------------------------------------------------------------------
+# heavy hitters (Misra–Gries counters + engine-backed candidate pruning)
+# ---------------------------------------------------------------------------
+def hh_update_kernel(
+    state: Dict[str, object], ids: np.ndarray, counts: np.ndarray
+) -> Tuple[int, int]:
+    """Fold one batch of (id, count) increments into the local counters.
+
+    Batched Misra–Gries: when the counter table outgrows its capacity the
+    smallest counters are removed by subtracting the ``excess``-th
+    smallest value from *every* counter (dropping the non-positive ones)
+    and the subtracted value is added to the PE's ``"hh_error"`` —
+    every surviving estimate undercounts its true total by at most the
+    accumulated error.  Returns ``(table_size, batch_items)``.
+    """
+    table: dict = state["counts"]
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.shape[0] == 0:
+        return len(table), 0
+    with _beat_phase(state, "insert", int(ids.shape[0]), bump_round=True), _state_tracer(
+        state
+    ).span("insert", cat="kernel", items=int(ids.shape[0])):
+        counts = np.asarray(counts, dtype=np.float64)
+        unique_ids, inverse = np.unique(ids, return_inverse=True)
+        added = np.bincount(inverse, weights=counts)
+        for item_id, inc in zip(unique_ids.tolist(), added.tolist()):
+            table[item_id] = table.get(item_id, 0.0) + inc
+        capacity = int(state["hh_capacity"])
+        excess = len(table) - capacity
+        if excess > 0:
+            values = np.fromiter(table.values(), dtype=np.float64, count=len(table))
+            delta = float(np.partition(values, excess - 1)[excess - 1])
+            state["hh_error"] = float(state["hh_error"]) + delta
+            for item_id in [i for i, c in table.items() if c <= delta]:
+                del table[item_id]
+            for item_id in table:
+                table[item_id] -= delta
+    return len(table), int(ids.shape[0])
+
+
+def hh_sync_kernel(state: Dict[str, object]) -> int:
+    """Rebuild the derived candidate keyset from the counter table.
+
+    Key = negated count, id = item — "globally largest counts" becomes
+    "globally smallest keys", so the engine's ``rank_select`` finds the
+    global candidate-count cutoff.  Returns the keyset size.
+    """
+    res: LocalReservoir = state["reservoir"]
+    table: dict = state["counts"]
+    res.prune_to_rank(0)
+    if table:
+        ids = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+        values = np.fromiter(table.values(), dtype=np.float64, count=len(table))
+        res.insert_batch(-values, ids)
+    return len(res)
+
+
+def hh_prune_kernel(state: Dict[str, object], cutoff_key: float) -> Tuple[int, int]:
+    """Drop counters whose negated count exceeds the agreed cutoff key.
+
+    The engine selected ``cutoff_key`` as the global rank-``m`` candidate
+    boundary; counters strictly above it (count strictly below the
+    cutoff count) cannot be global heavy hitters *given the error bound*,
+    which grows by the largest dropped estimate.  Returns
+    ``(dropped, table_size)``.
+    """
+    table: dict = state["counts"]
+    cutoff = float(cutoff_key)
+    with _beat_phase(state, "threshold"), _state_tracer(state).span(
+        "threshold", cat="kernel"
+    ):
+        doomed = [item_id for item_id, count in table.items() if -count > cutoff]
+        if doomed:
+            state["hh_error"] = float(state["hh_error"]) + max(
+                table[item_id] for item_id in doomed
+            )
+            for item_id in doomed:
+                del table[item_id]
+        res: LocalReservoir = state["reservoir"]
+        res.prune_above_key(cutoff, inclusive=False)
+    return len(doomed), len(table)
+
+
+def hh_candidates_kernel(
+    state: Dict[str, object],
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """The PE's candidate table as ``(ids, counts, error)`` arrays.
+
+    Ids are sorted so the coordinator-side merge is deterministic.
+    """
+    table: dict = state["counts"]
+    with _beat_phase(state, "gather"), _state_tracer(state).span("gather", cat="kernel"):
+        if not table:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), float(
+                state["hh_error"]
+            )
+        ids = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+        order = np.argsort(ids, kind="stable")
+        counts = np.fromiter(table.values(), dtype=np.float64, count=len(table))
+        return ids[order], counts[order], float(state["hh_error"])

@@ -1,0 +1,159 @@
+"""Streaming quantile cursors over the distributed order-statistics engine.
+
+Each PE keeps its share of the stream as a sorted key multiset; the
+summary tracks one *cursor* per requested quantile fraction.  After every
+round a single vectorised
+:meth:`~repro.selection.engine.OrderStatisticsEngine.count_le_many`
+all-reduce re-ranks every cursor at once (one message of ``q`` words, not
+``q`` messages); only cursors that have drifted further than
+``eps * total`` ranks from their target are re-established with a full
+:meth:`~repro.selection.engine.OrderStatisticsEngine.rank_select`.  For
+stationary inputs the cursors stop drifting once the empirical
+distribution stabilises, so steady-state rounds cost one small all-reduce
+and no selection — the same amortisation idea the variable-size sampler
+uses for its threshold.
+
+Every reported quantile is an actual stream element whose global rank is
+within ``eps * total`` of the target rank (checked cheaply, enforced by
+reselection), so the rank-error guarantee holds at every query point.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.summaries import kernels
+from repro.summaries.base import DistributedSummary, split_batch
+from repro.utils.rng import spawn_seed_sequences
+
+__all__ = ["StreamingQuantiles"]
+
+
+class StreamingQuantiles(DistributedSummary):
+    """Track a fixed set of quantiles of a distributed value stream.
+
+    Parameters
+    ----------
+    phis:
+        Quantile fractions, each strictly between 0 and 1 (e.g.
+        ``(0.5, 0.9, 0.99)``).
+    eps:
+        Relative rank tolerance: a cursor is only re-selected when its
+        global rank drifts further than ``eps * total`` from the target
+        rank ``ceil(phi * total)``.
+    """
+
+    summary_name = "quantiles"
+
+    def __init__(
+        self,
+        phis: Sequence[float],
+        comm,
+        *,
+        p: Optional[int] = None,
+        eps: float = 0.01,
+        policy=None,
+        seed: Optional[int] = 0,
+        kernel_tier: str = "numpy",
+    ) -> None:
+        super().__init__(comm, p=p, policy=policy)
+        phis = tuple(float(phi) for phi in phis)
+        if not phis:
+            raise ValueError("at least one quantile fraction is required")
+        for phi in phis:
+            if not 0.0 < phi < 1.0:
+                raise ValueError(f"quantile fractions must lie in (0, 1), got {phi}")
+        if not 0.0 < eps < 1.0:
+            raise ValueError(f"eps must lie in (0, 1), got {eps}")
+        self.phis = phis
+        self.eps = float(eps)
+        seed_seqs = spawn_seed_sequences(seed, self.comm.p)
+        self._handle = self.comm.create_pe_state(
+            functools.partial(
+                kernels.make_summary_state, k=len(phis), kernel_tier=kernel_tier
+            ),
+            per_pe_args=[(ss,) for ss in seed_seqs],
+        )
+        self._cursors: List[Optional[float]] = [None] * len(phis)
+        #: number of cursor re-selections run so far (amortisation metric)
+        self.reselections = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _target_rank(phi: float, total: int) -> int:
+        return max(1, int(math.ceil(phi * total)))
+
+    def process_round(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> dict:
+        """Ingest one round of per-PE ``(ids, values)`` batches.
+
+        Returns a metrics dict (``total``, list of drifted-cursor indices
+        that were re-selected this round).
+        """
+        if len(batches) != self.p:
+            raise ValueError(f"expected {self.p} per-PE batches, got {len(batches)}")
+        args = [
+            (np.asarray(values, dtype=np.float64), np.asarray(ids, dtype=np.int64))
+            for ids, values in batches
+        ]
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(self._handle, kernels.value_insert_kernel, args)
+        sizes = [size for _, size in results]
+        self._items_seen += sum(int(values.shape[0]) for values, _ in args)
+        self._total_weight += float(sum(values.sum() for values, _ in args))
+        self._round += 1
+
+        engine = self.engine()
+        with self.comm.phase("select"):
+            total = engine.global_size(sizes=sizes)
+        self._total = total
+        reselected: List[int] = []
+        if total == 0:
+            return {"total": 0, "reselected": reselected}
+
+        slack = self.eps * total
+        stale = [i for i, cursor in enumerate(self._cursors) if cursor is None]
+        live = [i for i, cursor in enumerate(self._cursors) if cursor is not None]
+        if live:
+            with self.comm.phase("select"):
+                ranks = engine.count_le_many([self._cursors[i] for i in live])
+            for i, rank in zip(live, ranks.tolist()):
+                if abs(rank - self._target_rank(self.phis[i], total)) > slack:
+                    stale.append(i)
+        for i in sorted(stale):
+            with self.comm.phase("select"):
+                result = engine.rank_select(self._target_rank(self.phis[i], total))
+            self._cursors[i] = result.key
+            self.reselections += 1
+            reselected.append(i)
+        return {"total": total, "reselected": reselected}
+
+    def ingest(self, ids: Sequence[int], values: Sequence[float]) -> dict:
+        """Split one logical batch into contiguous per-PE shards and ingest it."""
+        return self.process_round(split_batch(ids, values, self.p))
+
+    # ------------------------------------------------------------------
+    def quantiles(self) -> Dict[float, float]:
+        """The current quantile estimates as ``{phi: value}``.
+
+        Each value is an actual stream element whose global rank is within
+        ``eps * total`` of ``ceil(phi * total)``.
+        """
+        if any(cursor is None for cursor in self._cursors):
+            raise RuntimeError("no data ingested yet — quantile cursors are unset")
+        return {phi: float(cursor) for phi, cursor in zip(self.phis, self._cursors)}
+
+    def quantile(self, phi: float) -> float:
+        """The tracked estimate for one of the configured fractions."""
+        try:
+            index = self.phis.index(float(phi))
+        except ValueError:
+            raise KeyError(f"phi={phi} is not tracked (configured: {self.phis})") from None
+        cursor = self._cursors[index]
+        if cursor is None:
+            raise RuntimeError("no data ingested yet — quantile cursors are unset")
+        return float(cursor)

@@ -1,0 +1,144 @@
+"""Recency-biased weighted reservoir over the order-statistics engine.
+
+A recency reservoir holds a weighted sample without replacement in which
+an item ingested at stamp ``t`` with weight ``w`` competes as if its
+weight were ``w * r^t`` for a recency multiplier ``r >= 1``: recent items
+are exponentially favoured, and ``r == 1`` degenerates to classic
+weighted reservoir sampling.  This is the time-*forward* mirror of the
+time-decayed window sampler — instead of decaying old items at query
+time, new items are boosted at insert time — and it reuses the same
+log-space key transform (:func:`repro.window.decayed.decayed_log_keys`
+with ``log_decay = -ln r``): the keys are *static*, so the samplers'
+entire threshold / select / prune machinery applies unchanged and the
+summary is byte-identical across execution backends.
+
+Because the boost grows without bound, stamps are kept small (one stamp
+per ingest round, not per item); the log-space keys absorb the magnitude
+without overflow exactly as the decayed window sampler's do.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import pe_kernels
+from repro.summaries import kernels
+from repro.summaries.base import DistributedSummary, split_batch
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RecencyReservoir"]
+
+
+class RecencyReservoir(DistributedSummary):
+    """Distributed weighted sample of size ``k`` with exponential recency bias.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    recency:
+        Recency multiplier ``r >= 1``; every ingest round multiplies the
+        effective weight of all *later* items by ``r``.  ``1.0`` (default)
+        is classic weighted reservoir sampling.
+    weighted:
+        ``False`` ignores the provided weights (uniform-with-recency).
+    """
+
+    summary_name = "recency"
+
+    def __init__(
+        self,
+        k: int,
+        comm,
+        *,
+        p: Optional[int] = None,
+        recency: float = 1.0,
+        weighted: bool = True,
+        policy=None,
+        seed: Optional[int] = 0,
+        kernel_tier: str = "numpy",
+    ) -> None:
+        super().__init__(comm, p=p, policy=policy)
+        self.k = check_positive_int(k, "k")
+        if not recency >= 1.0:
+            raise ValueError(f"recency multiplier must be >= 1, got {recency}")
+        self.recency = float(recency)
+        self.weighted = bool(weighted)
+        self.kernel_tier = kernel_tier
+        self._log_recency = math.log(self.recency)
+        seed_seqs = spawn_seed_sequences(seed, self.comm.p)
+        self._handle = self.comm.create_pe_state(
+            functools.partial(kernels.make_summary_state, k=self.k, kernel_tier=kernel_tier),
+            per_pe_args=[(ss,) for ss in seed_seqs],
+        )
+        #: global insertion threshold (key of the rank-``k`` candidate)
+        self.threshold: Optional[float] = None
+        self._next_stamp = 0
+
+    # ------------------------------------------------------------------
+    def process_round(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> dict:
+        """Ingest one round of per-PE ``(ids, weights)`` batches.
+
+        All items of a round share one recency stamp; the stamp advances
+        once per round, so the bias is identical across backends and
+        independent of how a round's items are spread over the PEs.
+        """
+        if len(batches) != self.p:
+            raise ValueError(f"expected {self.p} per-PE batches, got {len(batches)}")
+        stamp = float(self._next_stamp)
+        args = []
+        for ids, weights in batches:
+            ids = np.asarray(ids, dtype=np.int64)
+            weights = np.asarray(weights, dtype=np.float64)
+            stamps = np.full(ids.shape[0], stamp, dtype=np.float64)
+            args.append((ids, weights, stamps, self.threshold, self._log_recency, self.weighted))
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(self._handle, kernels.recency_insert_kernel, args)
+        sizes = [size for _, size in results]
+        self._items_seen += sum(int(arg[0].shape[0]) for arg in args)
+        self._total_weight += float(
+            sum(arg[1].sum() if self.weighted else arg[0].shape[0] for arg in args)
+        )
+        self._next_stamp += 1
+        self._round += 1
+
+        engine = self.engine()
+        with self.comm.phase("select"):
+            total = engine.global_size(sizes=sizes)
+        update = engine.threshold_update(self.k, total=total)
+        if update.threshold is not None:
+            self.threshold = update.threshold
+            with self.comm.phase("threshold"):
+                self.comm.run_per_pe(
+                    self._handle, pe_kernels.prune_kernel, [(self.threshold,)] * self.p
+                )
+        return {
+            "total": total,
+            "threshold": self.threshold,
+            "selection_ran": update.selection_ran,
+        }
+
+    def ingest(self, ids: Sequence[int], weights: Sequence[float]) -> dict:
+        """Split one logical batch into contiguous per-PE shards and ingest it."""
+        return self.process_round(split_batch(ids, weights, self.p))
+
+    # ------------------------------------------------------------------
+    def sample_ids(self) -> np.ndarray:
+        """The item ids of the current sample (all PEs, unordered)."""
+        ids = self.comm.run_per_pe(self._handle, pe_kernels.item_ids_kernel)
+        return np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+
+    def sample_items(self) -> List[Tuple[int, float]]:
+        """The current sample as ``(item id, key)`` pairs (all PEs, unordered)."""
+        out: List[Tuple[int, float]] = []
+        for items in self.comm.run_per_pe(self._handle, pe_kernels.items_kernel):
+            out.extend((item_id, key) for key, item_id in items)
+        return out
+
+    def sample_size(self) -> int:
+        return self.store_size()

@@ -1,0 +1,122 @@
+"""Exact distributed weighted top-``k`` via rank selection.
+
+The engine makes exact top-``k`` cheap: store candidates under the key
+``-weight`` so the globally heaviest ``k`` items are the globally
+*smallest* ``k`` keys, re-establish the global rank-``k`` key once per
+round with :meth:`~repro.selection.engine.OrderStatisticsEngine.threshold_update`,
+and prune everything above it (ties at the boundary survive the prune, so
+no globally tied item is ever lost).  Between selections, each PE filters
+incoming items against its *local* ``k``-th key — any key strictly above
+it is at least the global ``k``-th key and provably cannot belong to the
+answer.  The result is exact (not approximate): the returned weight
+multiset equals the brute-force top-``k`` of everything ingested, with
+ties at the boundary broken deterministically by item id.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import pe_kernels
+from repro.summaries import kernels
+from repro.summaries.base import DistributedSummary, split_batch
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.validation import check_positive_int
+
+__all__ = ["DistributedTopK"]
+
+
+class DistributedTopK(DistributedSummary):
+    """Exact weighted top-``k`` over a distributed stream.
+
+    Parameters
+    ----------
+    k:
+        Number of heaviest items to maintain.
+    comm:
+        Communicator instance, or backend name with ``p``.
+    seed:
+        Per-PE random streams (consumed only by the engine's pivot
+        proposals) are derived from this seed, so results are
+        byte-identical across execution backends.
+    """
+
+    summary_name = "topk"
+
+    def __init__(
+        self,
+        k: int,
+        comm,
+        *,
+        p: Optional[int] = None,
+        policy=None,
+        seed: Optional[int] = 0,
+        kernel_tier: str = "numpy",
+    ) -> None:
+        super().__init__(comm, p=p, policy=policy)
+        self.k = check_positive_int(k, "k")
+        self.kernel_tier = kernel_tier
+        seed_seqs = spawn_seed_sequences(seed, self.comm.p)
+        self._handle = self.comm.create_pe_state(
+            functools.partial(kernels.make_summary_state, k=self.k, kernel_tier=kernel_tier),
+            per_pe_args=[(ss,) for ss in seed_seqs],
+        )
+        #: key of the global rank-``k`` candidate after the last selection
+        self.threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def process_round(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> dict:
+        """Ingest one round of per-PE ``(ids, weights)`` batches.
+
+        Returns a small metrics dict (``total`` candidates after insert,
+        ``threshold``, whether a ``selection_ran``).
+        """
+        if len(batches) != self.p:
+            raise ValueError(f"expected {self.p} per-PE batches, got {len(batches)}")
+        args = [
+            (np.asarray(ids, dtype=np.int64), np.asarray(weights, dtype=np.float64))
+            for ids, weights in batches
+        ]
+        with self.comm.phase("insert"):
+            results = self.comm.run_per_pe(self._handle, kernels.topk_insert_kernel, args)
+        sizes = [size for _, size in results]
+        self._items_seen += sum(int(ids.shape[0]) for ids, _ in args)
+        self._total_weight += float(sum(weights.sum() for _, weights in args))
+        self._round += 1
+
+        engine = self.engine()
+        with self.comm.phase("select"):
+            total = engine.global_size(sizes=sizes)
+        update = engine.threshold_update(self.k, total=total, tighten_at_exact=False)
+        if update.threshold is not None:
+            self.threshold = update.threshold
+            with self.comm.phase("threshold"):
+                self.comm.run_per_pe(
+                    self._handle, pe_kernels.prune_kernel, [(self.threshold,)] * self.p
+                )
+        return {
+            "total": total,
+            "threshold": self.threshold,
+            "selection_ran": update.selection_ran,
+        }
+
+    def ingest(self, ids: Sequence[int], weights: Sequence[float]) -> dict:
+        """Split one logical batch into contiguous per-PE shards and ingest it."""
+        return self.process_round(split_batch(ids, weights, self.p))
+
+    # ------------------------------------------------------------------
+    def top_k(self) -> List[Tuple[int, float]]:
+        """The current top-``k`` as ``(item id, weight)``, heaviest first.
+
+        Ties at the boundary weight are broken by the smaller item id, so
+        the answer is deterministic and identical across backends.
+        """
+        pairs: List[Tuple[float, int]] = []
+        with self.comm.phase("gather"):
+            for items in self.comm.run_per_pe(self._handle, pe_kernels.items_kernel):
+                pairs.extend(items)
+        pairs.sort(key=lambda pair: (pair[0], pair[1]))
+        return [(item_id, -key) for key, item_id in pairs[: self.k]]

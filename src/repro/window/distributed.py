@@ -52,7 +52,7 @@ from repro.runtime.machine import MachineSpec
 from repro.runtime.metrics import RoundMetrics
 from repro.selection.base import SelectionAlgorithm, SelectionResult
 from repro.selection.bernoulli_pivot import SinglePivotSelection
-from repro.selection.windowed import recompute_window_threshold
+from repro.selection.engine import OrderStatisticsEngine
 from repro.stream.items import ItemBatch
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
@@ -207,6 +207,10 @@ class DistributedWindowSampler:
         """A selection view over the current per-PE candidate buffers."""
         return CommBackedKeySet(self.comm, self._handle)
 
+    def engine(self) -> OrderStatisticsEngine:
+        """The order-statistics engine over the live candidate buffers."""
+        return OrderStatisticsEngine(self.keyset(), self.comm, policy=self.selection)
+
     def buffer_size(self) -> int:
         """Total number of buffered candidates (the distributed over-sample)."""
         return sum(self.comm.run_per_pe(self._handle, pe_kernels.local_size_kernel))
@@ -304,47 +308,37 @@ class DistributedWindowSampler:
         selection_result: Optional[SelectionResult] = None
         selection_ran = False
         selection_skipped = False
+        engine = self.engine()
         with self.comm.phase("select"):
-            total_live = int(
-                self.comm.allreduce([float(s) for s in sizes], Communicator.SUM)[0]
+            total_live = engine.global_size(sizes=sizes)
+        if total_live > self.k and self._boundary_still_exact(clock, sizes, engine):
+            selection_skipped = True
+            self._selection_skips += 1
+            self.comm.tracer.instant(
+                "selection.amortised_skip",
+                cat="select",
+                round=self._round,
+                buffer_items=total_live,
             )
-        if total_live > self.k:
-            if self._boundary_still_exact(clock, sizes):
-                selection_skipped = True
-                self._selection_skips += 1
-                self.comm.tracer.instant(
-                    "selection.amortised_skip",
-                    cat="select",
-                    round=self._round,
-                    buffer_items=total_live,
-                )
-            else:
+        else:
+            if total_live > self.k:
                 self.comm.tracer.instant(
                     "selection.recompute",
                     cat="select",
                     round=self._round,
                     buffer_items=total_live,
                 )
-                keyset = self.keyset()
-                with self.comm.phase("select"):
-                    selection_result = recompute_window_threshold(
-                        keyset, self.k, self.comm, self.selection, total=total_live
-                    )
+            # One engine call: selection + boundary agreement when the live
+            # window exceeds k, max-key tightening at exactly k, no boundary
+            # below k (the whole window is the sample).
+            update = engine.threshold_update(self.k, total=total_live)
+            if update.selection_ran:
+                selection_result = update.result
                 selection_ran = True
                 charge_selection_work(
                     clock, self.machine, self.selection, selection_result, sizes
                 )
-                with self.comm.phase("threshold"):
-                    agreed = self.comm.allreduce(
-                        [float(selection_result.key)] * self.p, Communicator.MAX
-                    )
-                self.threshold = float(agreed[0])
-        elif total_live == self.k and total_live > 0:
-            with self.comm.phase("threshold"):
-                local_max = self.comm.run_per_pe(self._handle, pe_kernels.max_key_kernel)
-                self.threshold = float(self.comm.allreduce(local_max, Communicator.MAX)[0])
-        else:
-            self.threshold = None
+            self.threshold = update.threshold
 
         self._round += 1
         return self._build_metrics(
@@ -359,7 +353,9 @@ class DistributedWindowSampler:
             selection_skipped=selection_skipped,
         )
 
-    def _boundary_still_exact(self, clock: PhaseClock, sizes: Sequence[int]) -> bool:
+    def _boundary_still_exact(
+        self, clock: PhaseClock, sizes: Sequence[int], engine: OrderStatisticsEngine
+    ) -> bool:
         """Amortised selection check: does the old boundary still cut at ``k``?
 
         One counting all-reduction of ``count_le(threshold)`` over the live
@@ -375,12 +371,7 @@ class DistributedWindowSampler:
         if not self.amortise_selection or self.threshold is None:
             return False
         with self.comm.phase("select"):
-            counts = self.comm.run_per_pe(
-                self._handle, pe_kernels.count_le_kernel, [(float(self.threshold),)] * self.p
-            )
-            at_or_below = int(
-                self.comm.allreduce([float(c) for c in counts], Communicator.SUM)[0]
-            )
+            at_or_below = engine.count_le(float(self.threshold))
         for pe, size in enumerate(sizes):
             clock.charge("select", pe, self.machine.tree_op_time(1, max(int(size), 1)))
         return at_or_below == self.k

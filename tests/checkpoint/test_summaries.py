@@ -1,0 +1,131 @@
+"""Checkpoint/restore for the sibling summaries.
+
+The snapshot-capable summaries (weighted top-k, recency reservoir) keep
+their entire per-PE state in the same reservoir-shaped slots the samplers
+use, so the sampler capture path round-trips them byte-identically:
+restoring a snapshot and continuing the stream yields exactly the state
+of never having stopped.  The other summary families carry state the
+format cannot represent and must be rejected with an actionable error,
+not restored silently wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    load_checkpoint_file,
+    restore_summary,
+    save_checkpoint_file,
+    snapshot_summary,
+)
+from repro.summaries import (
+    DistributedTopK,
+    HeavyHitters,
+    RecencyReservoir,
+    StreamingQuantiles,
+)
+
+P = 3
+ROUNDS_BEFORE = 4
+ROUNDS_AFTER = 3
+BATCH = 40
+
+
+def feed(summary, rounds, *, start_round=0):
+    for r in range(start_round, start_round + rounds):
+        rng = np.random.default_rng(900 + r)
+        ids = np.arange(r * BATCH, (r + 1) * BATCH)
+        weights = rng.pareto(1.3, BATCH) + 0.05
+        summary.ingest(ids, weights)
+
+
+def make_summary(kind, seed=11):
+    if kind == "topk":
+        return DistributedTopK(15, "sim", p=P, seed=seed)
+    return RecencyReservoir(15, "sim", p=P, recency=1.07, seed=seed)
+
+
+@pytest.mark.parametrize("kind", ["topk", "recency"])
+class TestRoundTrip:
+    def test_resume_is_byte_identical(self, kind, tmp_path):
+        # reference: run straight through
+        reference = make_summary(kind)
+        feed(reference, ROUNDS_BEFORE + ROUNDS_AFTER)
+
+        # checkpointed: stop after ROUNDS_BEFORE, persist, restore, continue
+        original = make_summary(kind)
+        feed(original, ROUNDS_BEFORE)
+        path = tmp_path / "summary.ckpt"
+        save_checkpoint_file(str(path), snapshot_summary(original))
+
+        resumed = make_summary(kind)
+        restore_summary(resumed, load_checkpoint_file(str(path)))
+        feed(resumed, ROUNDS_AFTER, start_round=ROUNDS_BEFORE)
+
+        if kind == "topk":
+            assert resumed.top_k() == reference.top_k()
+        else:
+            assert sorted(resumed.sample_items()) == sorted(reference.sample_items())
+        assert resumed.threshold == reference.threshold
+        assert resumed.items_seen == reference.items_seen
+        assert resumed.total_weight == reference.total_weight
+        assert resumed.rounds_processed == reference.rounds_processed
+
+    def test_restore_requires_matching_type(self, kind, tmp_path):
+        original = make_summary(kind)
+        feed(original, 2)
+        snapshot = snapshot_summary(original)
+        other = make_summary("recency" if kind == "topk" else "topk")
+        with pytest.raises(CheckpointError, match="must match"):
+            restore_summary(other, snapshot)
+
+    def test_restore_rejects_wrong_p(self, kind):
+        original = make_summary(kind)
+        feed(original, 2)
+        snapshot = snapshot_summary(original)
+        if kind == "topk":
+            other = DistributedTopK(15, "sim", p=P + 1, seed=11)
+        else:
+            other = RecencyReservoir(15, "sim", p=P + 1, recency=1.07, seed=11)
+        with pytest.raises(CheckpointError, match="p="):
+            restore_summary(other, snapshot)
+
+
+class TestRecencyDriverFields:
+    def test_stamp_counter_round_trips(self):
+        original = make_summary("recency")
+        feed(original, ROUNDS_BEFORE)
+        snapshot = snapshot_summary(original)
+        resumed = make_summary("recency")
+        restore_summary(resumed, snapshot)
+        assert resumed._next_stamp == original._next_stamp == ROUNDS_BEFORE
+
+
+class TestUnsupportedSummaries:
+    def test_heavy_hitters_rejected_with_reason(self):
+        hh = HeavyHitters(8, "sim", p=P)
+        hh.ingest(np.arange(100) % 7)
+        with pytest.raises(CheckpointError, match="Misra-Gries"):
+            snapshot_summary(hh)
+        with pytest.raises(CheckpointError, match="re-ingest"):
+            restore_summary(hh, {"summary_type": "HeavyHitters"})
+
+    def test_quantiles_rejected_with_reason(self):
+        quantiles = StreamingQuantiles((0.5,), "sim", p=P)
+        quantiles.ingest(np.arange(50), np.linspace(0, 1, 50))
+        with pytest.raises(CheckpointError, match="cursors"):
+            snapshot_summary(quantiles)
+
+    def test_sampler_snapshot_not_accepted_as_summary(self):
+        from repro.checkpoint import snapshot_sampler
+        from repro.core.distributed import DistributedWeightedReservoirSampler
+        from repro.network.base import make_communicator
+
+        sampler = DistributedWeightedReservoirSampler(10, make_communicator("sim", P), seed=1)
+        snapshot = snapshot_sampler(sampler)
+        target = make_summary("topk")
+        with pytest.raises(CheckpointError, match="restore_sampler"):
+            restore_summary(target, snapshot)

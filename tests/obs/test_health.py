@@ -15,6 +15,8 @@ The load-bearing guarantees:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -212,11 +214,26 @@ class TestLiveMonitoring:
             assert rank["items"] > 0
 
     def test_skew_gauge_exported(self, finished_run):
-        finished_run.health._drain_once()
+        # on the process backend the workers' final heartbeats may still be
+        # in flight when the run returns; drain until they have landed
+        deadline = time.monotonic() + 5.0
+        while True:
+            finished_run.health._drain_once()
+            if finished_run.health.skew_by_phase() or time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
         finished_run.health._update_registry()
         text = finished_run.health.registry.exposition()
         assert "repro_straggler_skew" in text
-        assert "repro_ranks_ok 4" in text
+        # a loaded machine can legitimately classify a rank as a transient
+        # straggler (the EWMA skew is real), so don't demand ok == p; the
+        # contract is that every rank is accounted for and none is broken
+        assert "repro_ranks_ok " in text
+        states = [
+            rank["state"] for rank in finished_run.health.status()["ranks"].values()
+        ]
+        assert len(states) == 4
+        assert all(state in ("ok", "straggler") for state in states)
         skew = finished_run.health.skew_by_phase()
         assert skew, "phase EWMAs should produce at least one skew entry"
         assert all(ratio >= 1.0 for ratio in skew.values())

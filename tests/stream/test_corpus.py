@@ -1,0 +1,140 @@
+"""Tests for the corpus-replay weighted stream adapter."""
+
+import numpy as np
+import pytest
+
+from repro.stream import CorpusDocument, CorpusReplayStream, load_corpus, synthetic_corpus
+from repro.stream.corpus import DEFAULT_CORPUS_ROOT
+
+
+class TestSyntheticCorpus:
+    def test_deterministic(self):
+        a = synthetic_corpus(seed=5)
+        b = synthetic_corpus(seed=5)
+        assert a == b
+
+    def test_seed_changes_corpus(self):
+        assert synthetic_corpus(seed=1) != synthetic_corpus(seed=2)
+
+    def test_site_grouped_order(self):
+        docs = synthetic_corpus()
+        sites = [d.site for d in docs]
+        # grouped: each site forms one contiguous run
+        first_seen = {}
+        for i, site in enumerate(sites):
+            if site in first_seen:
+                assert sites[i - 1] == site, "sites must be contiguous runs"
+            first_seen.setdefault(site, i)
+
+    def test_heavy_tailed_positive_lengths(self):
+        lengths = np.array([d.length for d in synthetic_corpus()])
+        assert (lengths > 0).all()
+        assert lengths.max() > 10 * np.median(lengths)
+
+
+class TestLoadCorpus:
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus(str(tmp_path / "nope"))
+
+    def test_scans_sites_and_weights(self, tmp_path):
+        (tmp_path / "siteA").mkdir()
+        (tmp_path / "siteB").mkdir()
+        (tmp_path / "siteA" / "a.html").write_text("x" * 100)
+        (tmp_path / "siteA" / "b.txt").write_text("y" * 7)
+        (tmp_path / "siteB" / "c.json").write_text("z" * 42)
+        (tmp_path / "siteB" / "ignored.bin").write_text("nope")
+        (tmp_path / "root.md").write_text("r" * 3)
+        docs = load_corpus(str(tmp_path))
+        assert [(d.site, d.length) for d in docs] == [
+            ("_root", 3),
+            ("siteA", 100),
+            ("siteA", 7),
+            ("siteB", 42),
+        ]
+
+    def test_empty_files_skipped(self, tmp_path):
+        (tmp_path / "empty.txt").write_text("")
+        assert load_corpus(str(tmp_path)) == []
+
+
+class TestCorpusReplayStream:
+    def test_falls_back_to_synthetic_when_corpus_absent(self, tmp_path):
+        stream = CorpusReplayStream(2, 8, corpus_root=str(tmp_path / "absent"))
+        assert stream.source == "synthetic"
+        assert stream.n_docs > 0
+
+    def test_real_corpus_used_when_present(self, tmp_path):
+        (tmp_path / "site").mkdir()
+        (tmp_path / "site" / "a.txt").write_text("hello")
+        stream = CorpusReplayStream(1, 4, corpus_root=str(tmp_path))
+        assert stream.source == str(tmp_path)
+        assert stream.n_docs == 1
+
+    def test_deterministic_replay(self):
+        def weights(stream, rounds):
+            return [np.concatenate([b.weights for b in r.batches]) for r in stream.rounds(rounds)]
+
+        a = weights(CorpusReplayStream(3, 16, seed=9), 5)
+        b = weights(CorpusReplayStream(3, 16, seed=9), 5)
+        for wa, wb in zip(a, b):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_minibatch_interface(self):
+        stream = CorpusReplayStream(4, 10)
+        round0 = stream.next_round()
+        assert round0.p == 4
+        assert round0.total_items == 40
+        assert stream.round_index == 1
+        assert stream.items_emitted == 40
+        # globally unique, monotone ids
+        ids = np.concatenate([b.ids for b in round0.batches])
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_weights_are_doc_lengths_in_order(self):
+        docs = [
+            CorpusDocument("s/a", "s", 10),
+            CorpusDocument("s/b", "s", 20),
+            CorpusDocument("t/c", "t", 30),
+        ]
+        stream = CorpusReplayStream(1, 2, docs=docs, cycle=True)
+        r0 = stream.next_round()
+        np.testing.assert_array_equal(r0.batches[0].weights, [10.0, 20.0])
+        r1 = stream.next_round()
+        np.testing.assert_array_equal(r1.batches[0].weights, [30.0, 10.0])
+        assert stream.doc_for(3).name == "s/a"
+
+    def test_non_cycling_stream_dries_up(self):
+        docs = [CorpusDocument("s/a", "s", 10)] * 5
+        stream = CorpusReplayStream(2, 2, docs=docs, cycle=False)
+        first = stream.next_round()
+        assert first.total_items == 4
+        second = stream.next_round()
+        assert second.total_items == 1
+        assert stream.exhausted
+        third = stream.next_round()
+        assert third.total_items == 0
+
+    def test_start_id_offsets_ids(self):
+        docs = [CorpusDocument("s/a", "s", 10), CorpusDocument("s/b", "s", 20)]
+        stream = CorpusReplayStream(1, 2, docs=docs, start_id=100)
+        r0 = stream.next_round()
+        np.testing.assert_array_equal(r0.batches[0].ids, [100, 101])
+        assert stream.doc_for(101).name == "s/b"
+        with pytest.raises(KeyError):
+            stream.doc_for(99)
+
+    def test_drives_a_sampler(self):
+        from repro.core.distributed import DistributedWeightedReservoirSampler
+        from repro.network.base import make_communicator
+
+        comm = make_communicator("sim", 2)
+        sampler = DistributedWeightedReservoirSampler(16, comm, seed=3)
+        stream = CorpusReplayStream(2, 32, seed=3)
+        for round_batches in stream.rounds(4):
+            sampler.process_round(round_batches.batches)
+        assert sampler.sample_size() == 16
+        assert sampler.items_seen == 4 * 2 * 32
+
+    def test_default_root_constant(self):
+        assert "Gint367" in DEFAULT_CORPUS_ROOT

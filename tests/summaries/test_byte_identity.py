@@ -1,0 +1,74 @@
+"""Backend equivalence: every sibling summary is byte-identical sim vs process.
+
+Same contract the samplers carry: the simulated and the real multiprocess
+backend run the same kernels from the same per-PE seeds, so every query
+result — not just statistics — must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.summaries import (
+    DistributedTopK,
+    HeavyHitters,
+    RecencyReservoir,
+    StreamingQuantiles,
+)
+
+P = 4
+ROUNDS = 6
+BATCH = 120
+SEED = 23
+
+
+def stream_round(r):
+    rng = np.random.default_rng(500 + r)
+    ids = np.arange(r * BATCH, (r + 1) * BATCH)
+    weights = rng.pareto(1.4, BATCH) + 0.01
+    return ids, weights
+
+
+def drive(summary):
+    for r in range(ROUNDS):
+        ids, weights = stream_round(r)
+        summary.ingest(ids, weights)
+
+
+def run_topk(backend):
+    with DistributedTopK(25, backend, p=P, seed=SEED) as summary:
+        drive(summary)
+        return summary.top_k(), summary.threshold, summary.store_size()
+
+
+def run_quantiles(backend):
+    with StreamingQuantiles((0.25, 0.5, 0.9), backend, p=P, eps=0.02, seed=SEED) as summary:
+        drive(summary)
+        return summary.quantiles(), summary.reselections
+
+
+def run_heavy(backend):
+    zipf = np.random.default_rng(77).zipf(1.4, ROUNDS * BATCH) % 300
+    with HeavyHitters(12, backend, p=P, capacity=96, prune_every=2, seed=SEED) as summary:
+        for r in range(ROUNDS):
+            summary.ingest(zipf[r * BATCH : (r + 1) * BATCH])
+        return summary.candidates(), summary.top(), summary.pruned_total
+
+
+def run_recency(backend):
+    with RecencyReservoir(30, backend, p=P, recency=1.05, seed=SEED) as summary:
+        drive(summary)
+        return sorted(summary.sample_items()), summary.threshold
+
+
+RUNNERS = {
+    "topk": run_topk,
+    "quantiles": run_quantiles,
+    "heavy_hitters": run_heavy,
+    "recency": run_recency,
+}
+
+
+@pytest.mark.parametrize("name", list(RUNNERS))
+def test_sim_process_byte_identical(name):
+    runner = RUNNERS[name]
+    assert runner("sim") == runner("process")

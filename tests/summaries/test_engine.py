@@ -1,0 +1,145 @@
+"""Property-based checks of the order-statistics engine itself.
+
+The engine's verbs are pure functions of the distributed key multiset, so
+every one of them has an obvious sequential reference: sort the union.
+Hypothesis drives randomized PE counts, skews and duplicate-heavy key
+sets through :class:`ArrayKeySet` + :class:`SimComm` and compares.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import SimComm
+from repro.selection import ArrayKeySet, OrderStatisticsEngine
+from repro.selection.engine import ThresholdUpdate
+
+
+@st.composite
+def distributed_keys(draw):
+    p = draw(st.integers(min_value=1, max_value=6))
+    sizes = draw(st.lists(st.integers(min_value=0, max_value=30), min_size=p, max_size=p))
+    if sum(sizes) == 0:
+        sizes[0] = 1
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    # duplicate-heavy keys: draw from a tiny value set half the time
+    if draw(st.booleans()):
+        arrays = [rng.integers(0, 8, size=s).astype(np.float64) for s in sizes]
+    else:
+        arrays = [rng.random(s) for s in sizes]
+    return arrays, seed
+
+
+def make_engine(arrays):
+    keyset = ArrayKeySet(arrays)
+    return OrderStatisticsEngine(keyset, SimComm(len(arrays)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=distributed_keys(), data=st.data())
+def test_rank_select_matches_sorted_reference(case, data):
+    arrays, _ = case
+    union = np.sort(np.concatenate(arrays))
+    rank = data.draw(st.integers(min_value=1, max_value=union.shape[0]))
+    engine = make_engine(arrays)
+    result = engine.rank_select(rank)
+    assert result.key == pytest.approx(union[rank - 1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=distributed_keys(), data=st.data())
+def test_count_le_matches_sorted_reference(case, data):
+    arrays, _ = case
+    union = np.sort(np.concatenate(arrays))
+    probe = data.draw(
+        st.one_of(
+            st.floats(min_value=-1.0, max_value=9.0, allow_nan=False),
+            st.sampled_from(union.tolist()),
+        )
+    )
+    engine = make_engine(arrays)
+    assert engine.count_le(probe) == int(np.searchsorted(union, probe, side="right"))
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=distributed_keys(), data=st.data())
+def test_count_le_many_matches_scalar_count_le(case, data):
+    arrays, _ = case
+    union = np.sort(np.concatenate(arrays))
+    probes = data.draw(
+        st.lists(
+            st.one_of(
+                st.floats(min_value=-1.0, max_value=9.0, allow_nan=False),
+                st.sampled_from(union.tolist()),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    engine = make_engine(arrays)
+    batched = engine.count_le_many(probes)
+    expected = np.searchsorted(union, np.asarray(probes), side="right")
+    np.testing.assert_array_equal(batched, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=distributed_keys())
+def test_global_size_and_merge(case):
+    arrays, _ = case
+    union = np.sort(np.concatenate(arrays))
+    engine = make_engine(arrays)
+    assert engine.global_size() == union.shape[0]
+    np.testing.assert_allclose(engine.global_merge(), union)
+
+
+class TestThresholdUpdate:
+    def test_selects_when_total_exceeds_k(self):
+        arrays = [np.arange(10.0), np.arange(10.0, 20.0)]
+        engine = make_engine(arrays)
+        update = engine.threshold_update(5)
+        assert isinstance(update, ThresholdUpdate)
+        assert update.action == "selected"
+        assert update.selection_ran
+        assert update.threshold == pytest.approx(4.0)
+        assert update.total == 20
+        assert update.result is not None
+
+    def test_tightens_at_exact_count(self):
+        arrays = [np.array([1.0, 3.0]), np.array([2.0])]
+        engine = make_engine(arrays)
+        update = engine.threshold_update(3)
+        assert update.action == "tightened"
+        assert not update.selection_ran
+        assert update.threshold == pytest.approx(3.0)
+        assert update.result is None
+
+    def test_no_boundary_below_k(self):
+        arrays = [np.array([1.0]), np.array([2.0])]
+        engine = make_engine(arrays)
+        update = engine.threshold_update(5)
+        assert update.action == "none"
+        assert update.threshold is None
+
+    def test_tighten_can_be_disabled(self):
+        arrays = [np.array([1.0, 3.0]), np.array([2.0])]
+        engine = make_engine(arrays)
+        update = engine.threshold_update(3, tighten_at_exact=False)
+        assert update.action == "none"
+        assert update.threshold is None
+
+    def test_banded_update_accepts_rank_in_band(self):
+        rng = np.random.default_rng(4)
+        arrays = [rng.random(50) for _ in range(3)]
+        union = np.sort(np.concatenate(arrays))
+        engine = make_engine(arrays)
+        engine.rng = np.random.default_rng(9)
+        update = engine.threshold_update(10, k_hi=20)
+        assert update.action == "selected"
+        rank = int(np.searchsorted(union, update.threshold, side="right"))
+        assert 10 <= rank <= 20
+
+    def test_mismatched_p_rejected(self):
+        with pytest.raises(ValueError, match="PEs"):
+            OrderStatisticsEngine(ArrayKeySet([np.arange(3.0)]), SimComm(2))

@@ -1,0 +1,96 @@
+"""Heavy-hitter guarantees: recall on skewed data, honest error bounds."""
+
+import numpy as np
+import pytest
+
+from repro.summaries import HeavyHitters
+
+
+def zipf_stream(rng, n, universe=400, a=1.3):
+    return rng.zipf(a, n) % universe
+
+
+def drive(summary, ids, batch=500):
+    for s in range(0, len(ids), batch):
+        summary.ingest(ids[s : s + batch])
+
+
+class TestRecall:
+    @pytest.mark.parametrize("prune_every", [0, 2])
+    def test_no_false_negatives_on_zipfian(self, prune_every):
+        rng = np.random.default_rng(41)
+        n = 30000
+        ids = zipf_stream(rng, n)
+        summary = HeavyHitters(10, "sim", p=4, capacity=128, prune_every=prune_every, seed=8)
+        drive(summary, ids)
+        phi = 0.01
+        true_counts = np.bincount(ids)
+        truly_heavy = set(np.flatnonzero(true_counts >= phi * n).tolist())
+        reported = {item for item, _ in summary.heavy_hitters(phi)}
+        assert truly_heavy <= reported
+
+    def test_top_matches_true_ranking_head(self):
+        # with enough capacity the undercount error is small relative to the
+        # zipfian head, so the reported top must start with the true top
+        rng = np.random.default_rng(43)
+        ids = zipf_stream(rng, 40000, a=1.6)
+        summary = HeavyHitters(5, "sim", p=4, capacity=256, seed=9)
+        drive(summary, ids)
+        true_top = np.argsort(-np.bincount(ids), kind="stable")[:3].tolist()
+        reported_top = [item for item, _ in summary.top(3)]
+        assert reported_top == true_top
+
+
+class TestErrorBound:
+    def test_estimates_bracket_true_counts(self):
+        rng = np.random.default_rng(47)
+        ids = zipf_stream(rng, 20000)
+        summary = HeavyHitters(8, "sim", p=3, capacity=96, prune_every=3, seed=10)
+        drive(summary, ids)
+        estimates, error = summary.candidates()
+        true_counts = np.bincount(ids)
+        assert error >= 0.0
+        for item, estimate in estimates.items():
+            true = float(true_counts[item]) if item < len(true_counts) else 0.0
+            assert estimate <= true + 1e-9  # Misra-Gries never overcounts
+            assert true <= estimate + error + 1e-9
+
+    def test_prune_shrinks_tables_and_grows_error(self):
+        rng = np.random.default_rng(53)
+        ids = zipf_stream(rng, 20000, universe=2000, a=1.1)
+        summary = HeavyHitters(8, "sim", p=4, capacity=64, seed=11)
+        drive(summary, ids)
+        merged_before, error_before = summary.candidates()
+        dropped = summary.prune_candidates(keep=16)
+        merged_after, error_after = summary.candidates()
+        assert dropped > 0
+        assert len(merged_after) < len(merged_before)
+        assert error_after >= error_before
+        assert summary.pruned_total == dropped
+
+
+class TestApi:
+    def test_capacity_must_cover_k(self):
+        with pytest.raises(ValueError, match="capacity"):
+            HeavyHitters(50, "sim", p=2, capacity=10)
+
+    def test_prune_keep_must_cover_k(self):
+        summary = HeavyHitters(8, "sim", p=2)
+        with pytest.raises(ValueError, match="at least k"):
+            summary.prune_candidates(keep=4)
+
+    def test_phi_validated(self):
+        summary = HeavyHitters(4, "sim", p=2)
+        summary.ingest(np.zeros(10, dtype=np.int64))
+        with pytest.raises(ValueError, match="phi"):
+            summary.heavy_hitters(0.0)
+        with pytest.raises(ValueError, match="phi"):
+            summary.heavy_hitters(1.5)
+
+    def test_counts_default_to_ones(self):
+        summary = HeavyHitters(4, "sim", p=2)
+        summary.ingest(np.array([3, 3, 3, 5]))
+        estimates, _ = summary.candidates()
+        assert estimates[3] == pytest.approx(3.0)
+        assert estimates[5] == pytest.approx(1.0)
+        assert summary.total_weight == pytest.approx(4.0)

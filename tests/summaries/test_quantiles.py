@@ -1,0 +1,85 @@
+"""Rank-error guarantee of the streaming quantile cursors."""
+
+import numpy as np
+import pytest
+
+from repro.summaries import StreamingQuantiles
+
+PHIS = (0.1, 0.5, 0.9, 0.99)
+EPS = 0.02
+
+
+def rank_of(value, values):
+    return int(np.searchsorted(np.sort(values), value, side="right"))
+
+
+def drive(summary, values, batch=200):
+    ids = np.arange(len(values))
+    for s in range(0, len(values), batch):
+        summary.ingest(ids[s : s + batch], values[s : s + batch])
+
+
+class TestRankError:
+    @pytest.mark.parametrize(
+        "make_values",
+        [
+            lambda rng, n: rng.normal(size=n),
+            lambda rng, n: rng.pareto(1.5, n),
+            lambda rng, n: rng.integers(0, 50, n).astype(float),  # heavy duplicates
+        ],
+        ids=["normal", "pareto", "duplicates"],
+    )
+    def test_all_cursors_within_eps(self, make_values):
+        rng = np.random.default_rng(17)
+        n = 5000
+        values = make_values(rng, n)
+        summary = StreamingQuantiles(PHIS, "sim", p=4, eps=EPS, seed=5)
+        drive(summary, values)
+        for phi, estimate in summary.quantiles().items():
+            target = max(1, int(np.ceil(phi * n)))
+            assert abs(rank_of(estimate, values) - target) <= EPS * n + 1, phi
+
+    def test_guarantee_holds_at_every_round(self):
+        rng = np.random.default_rng(23)
+        n, batch = 3000, 250
+        values = rng.normal(size=n)
+        summary = StreamingQuantiles((0.5, 0.9), "sim", p=3, eps=EPS, seed=6)
+        ids = np.arange(n)
+        for s in range(0, n, batch):
+            summary.ingest(ids[s : s + batch], values[s : s + batch])
+            seen = values[: s + batch]
+            for phi, estimate in summary.quantiles().items():
+                target = max(1, int(np.ceil(phi * len(seen))))
+                assert abs(rank_of(estimate, seen) - target) <= EPS * len(seen) + 1
+
+    def test_cursors_amortise_on_stationary_input(self):
+        # once the distribution stabilises, rounds stop triggering selections
+        rng = np.random.default_rng(31)
+        summary = StreamingQuantiles((0.5,), "sim", p=4, eps=0.05, seed=7)
+        drive(summary, rng.normal(size=20000), batch=500)
+        rounds = 20000 // 500
+        assert summary.reselections < rounds / 2
+
+
+class TestApi:
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\)"):
+            StreamingQuantiles((0.0,), "sim", p=2)
+        with pytest.raises(ValueError, match=r"\(0, 1\)"):
+            StreamingQuantiles((1.5,), "sim", p=2)
+        with pytest.raises(ValueError, match="at least one"):
+            StreamingQuantiles((), "sim", p=2)
+
+    def test_query_before_ingest_raises(self):
+        summary = StreamingQuantiles((0.5,), "sim", p=2)
+        with pytest.raises(RuntimeError, match="no data"):
+            summary.quantiles()
+        with pytest.raises(RuntimeError, match="no data"):
+            summary.quantile(0.5)
+
+    def test_untracked_phi_rejected(self):
+        summary = StreamingQuantiles((0.5,), "sim", p=2)
+        summary.ingest(np.arange(10), np.arange(10.0))
+        assert summary.quantile(0.5) == pytest.approx(4.0)
+        with pytest.raises(KeyError, match="not tracked"):
+            summary.quantile(0.25)

@@ -1,0 +1,89 @@
+"""Statistical behaviour of the recency reservoir.
+
+With ``recency == 1`` the summary *is* classic weighted reservoir
+sampling, so with unit weights its inclusion law must be uniform — a
+chi-squared test over many independent trials checks that no item is
+systematically favoured.  With ``recency > 1`` later items must be
+favoured monotonically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import chi_square_statistic, inclusion_counts
+from repro.summaries import RecencyReservoir
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+P = 2
+K = 8
+N = 64
+BATCH = 16
+
+
+def run_trial(seed, recency=1.0):
+    summary = RecencyReservoir(K, "sim", p=P, recency=recency, seed=seed)
+    ids = np.arange(N)
+    for s in range(0, N, BATCH):
+        summary.ingest(ids[s : s + BATCH], np.ones(BATCH))
+    return summary.sample_ids()
+
+
+class TestUniformInclusion:
+    def test_chi_squared_uniform_with_unit_weights(self):
+        trials = 300
+        samples = [run_trial(2000 + t) for t in range(trials)]
+        for sample in samples:
+            assert len(sample) == K
+            assert len(np.unique(sample)) == K
+        counts = inclusion_counts(samples, N)
+        statistic, dof = chi_square_statistic(counts, np.full(N, K / N), trials)
+        critical = scipy_stats.chi2.ppf(0.999, dof)
+        assert statistic < critical, (statistic, critical)
+
+
+class TestRecencyBias:
+    def test_later_items_favoured_monotonically(self):
+        trials = 200
+        counts = inclusion_counts(
+            [run_trial(4000 + t, recency=1.6) for t in range(trials)], N
+        )
+        # average inclusion per ingest round must increase with the round
+        per_round = counts.reshape(N // BATCH, BATCH).sum(axis=1).astype(float)
+        assert (np.diff(per_round) > 0).all(), per_round
+        assert per_round[-1] > 2 * per_round[0]
+
+    def test_recency_one_is_unbiased_across_rounds(self):
+        trials = 200
+        counts = inclusion_counts([run_trial(6000 + t) for t in range(trials)], N)
+        per_round = counts.reshape(N // BATCH, BATCH).sum(axis=1).astype(float)
+        expected = trials * K / (N // BATCH)
+        np.testing.assert_allclose(per_round, expected, rtol=0.2)
+
+    def test_weighted_and_recency_compose(self):
+        # one early item with overwhelming weight must stay in the sample
+        # despite a strong recency bias
+        summary = RecencyReservoir(4, "sim", p=2, recency=1.5, seed=3)
+        summary.ingest(np.arange(20), np.concatenate([[1e12], np.ones(19)]))
+        for r in range(1, 6):
+            summary.ingest(np.arange(r * 20, (r + 1) * 20), np.ones(20))
+        assert 0 in summary.sample_ids()
+
+
+class TestApi:
+    def test_recency_below_one_rejected(self):
+        with pytest.raises(ValueError, match="recency"):
+            RecencyReservoir(4, "sim", p=2, recency=0.9)
+
+    def test_sample_size_capped_at_k(self):
+        summary = RecencyReservoir(5, "sim", p=2, recency=1.2, seed=1)
+        summary.ingest(np.arange(100), np.ones(100))
+        assert summary.sample_size() == 5
+        assert summary.items_seen == 100
+
+    def test_unweighted_mode_ignores_weights(self):
+        a = RecencyReservoir(5, "sim", p=2, recency=1.1, weighted=False, seed=2)
+        b = RecencyReservoir(5, "sim", p=2, recency=1.1, weighted=False, seed=2)
+        a.ingest(np.arange(50), np.ones(50))
+        b.ingest(np.arange(50), np.random.default_rng(0).pareto(1.0, 50) + 0.1)
+        assert sorted(a.sample_ids().tolist()) == sorted(b.sample_ids().tolist())

@@ -1,0 +1,90 @@
+"""Exactness of the distributed weighted top-k.
+
+The summary claims *exactness*, so the reference is brute force: sort all
+(weight, id) pairs ever ingested and compare — including adversarial
+weight ties at the boundary, the case the inclusive local filter and the
+tie-keeping global prune exist for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.summaries import DistributedTopK
+
+
+def brute_force(ids, weights, k):
+    order = np.lexsort((ids, -np.asarray(weights, dtype=np.float64)))
+    return [(int(ids[i]), float(weights[i])) for i in order[:k]]
+
+
+def drive(summary, ids, weights, batch=150):
+    for s in range(0, len(ids), batch):
+        summary.ingest(ids[s : s + batch], weights[s : s + batch])
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 10, 64])
+    def test_matches_brute_force_heavy_tail(self, k):
+        rng = np.random.default_rng(8)
+        n = 3000
+        ids = np.arange(n)
+        weights = rng.pareto(1.2, n) + 0.01
+        summary = DistributedTopK(k, "sim", p=4, seed=1)
+        drive(summary, ids, weights)
+        assert summary.top_k() == brute_force(ids, weights, k)
+
+    def test_boundary_weight_ties(self):
+        # many items share the exact boundary weight; the answer must pick
+        # the smallest ids among them and lose none of the strictly heavier
+        n = 400
+        ids = np.arange(n)
+        weights = np.full(n, 5.0)
+        weights[:7] = 9.0  # strictly heavier block
+        summary = DistributedTopK(20, "sim", p=4, seed=2)
+        drive(summary, ids, weights, batch=64)
+        got = summary.top_k()
+        assert got == brute_force(ids, weights, 20)
+        assert [i for i, _ in got[:7]] == list(range(7))
+        assert [i for i, _ in got[7:]] == list(range(7, 20))
+
+    def test_ties_split_across_rounds_and_pes(self):
+        # boundary ties arriving in different rounds on different PEs
+        rng = np.random.default_rng(3)
+        ids = np.arange(1000)
+        weights = rng.choice([1.0, 2.0, 3.0, 4.0], size=1000)
+        perm = rng.permutation(1000)
+        summary = DistributedTopK(50, "sim", p=5, seed=3)
+        drive(summary, ids[perm], weights[perm], batch=90)
+        assert summary.top_k() == brute_force(ids, weights, 50)
+
+    def test_fewer_items_than_k(self):
+        summary = DistributedTopK(100, "sim", p=3, seed=0)
+        summary.ingest(np.arange(10), np.arange(10) + 1.0)
+        got = summary.top_k()
+        assert len(got) == 10
+        assert got[0] == (9, 10.0)
+
+    def test_store_stays_near_k(self):
+        # the point of the rank-k prune: the candidate store does not grow
+        # with the stream
+        rng = np.random.default_rng(11)
+        summary = DistributedTopK(16, "sim", p=4, seed=4)
+        for r in range(30):
+            ids = np.arange(r * 200, (r + 1) * 200)
+            summary.ingest(ids, rng.random(200))
+        assert summary.store_size() <= 4 * 16  # ties only, never unbounded
+        assert summary.items_seen == 30 * 200
+
+
+class TestApi:
+    def test_per_pe_batches_validated(self):
+        summary = DistributedTopK(5, "sim", p=2, seed=0)
+        with pytest.raises(ValueError, match="per-PE"):
+            summary.process_round([(np.arange(3), np.ones(3))])
+
+    def test_round_metrics(self):
+        summary = DistributedTopK(5, "sim", p=2, seed=0)
+        metrics = summary.ingest(np.arange(40), np.random.default_rng(0).random(40))
+        assert metrics["selection_ran"]
+        assert metrics["total"] >= 5
+        assert summary.rounds_processed == 1
